@@ -1,0 +1,126 @@
+"""E11 — scalability of the algorithms the paper leaves implicit.
+
+The paper reports no measurements; these benchmarks document that the
+design-tool loop stays interactive as extents grow: instance matching uses a
+hash join on key-to-key equality rules (linear in the extents), conformation
+and merging are linear in the number of objects, and the solver's entailment
+checks are independent of extent size.
+"""
+
+import pytest
+
+from repro import ObjectStore, Solver, TypeEnvironment, parse_expression
+from repro.fixtures import (
+    bookseller_schema,
+    cslibrary_schema,
+    library_integration_spec,
+)
+from repro.integration.conformation import conform
+from repro.integration.matching import match_instances
+from repro.integration.merging import merge_instances
+from repro.types import RangeType
+
+PUBLISHERS = ("ACM", "IEEE", "Springer", "Elsevier", "Kluwer")
+
+
+def _generate_stores(size: int, overlap: float = 0.5):
+    """Synthetic Figure 1-shaped extents: ``size`` publications per side,
+    with ``overlap`` of the ISBNs shared (the objects to be merged)."""
+    local_store = ObjectStore(cslibrary_schema(), enforce=False)
+    remote_store = ObjectStore(bookseller_schema(), enforce=False)
+    publisher_objects = {
+        name: remote_store.insert(
+            "Publisher", name=name, location=f"{name} City"
+        )
+        for name in PUBLISHERS
+    }
+    shared = int(size * overlap)
+    for index in range(size):
+        publisher = PUBLISHERS[index % len(PUBLISHERS)]
+        local_store.insert(
+            "Publication",
+            title=f"Book {index}",
+            isbn=f"L-{index}",
+            publisher=publisher,
+            shopprice=50.0 + index % 40,
+            ourprice=45.0 + index % 40,
+        )
+    for index in range(size):
+        isbn = f"L-{index}" if index < shared else f"R-{index}"
+        remote_store.insert(
+            "Monograph",
+            title=f"Book {index}",
+            isbn=isbn,
+            publisher=publisher_objects[PUBLISHERS[index % len(PUBLISHERS)]],
+            authors=frozenset({f"Author {index}"}),
+            shopprice=52.0 + index % 40,
+            libprice=47.0 + index % 40,
+            subjects=frozenset({"misc"}),
+        )
+    return local_store, remote_store
+
+
+@pytest.mark.parametrize("size", [50, 200, 500])
+def test_e11_match_and_merge_scaling(benchmark, size):
+    spec = library_integration_spec()
+    local_store, remote_store = _generate_stores(size)
+
+    def run():
+        match = match_instances(spec, local_store, remote_store)
+        conformation = conform(spec, local_store, remote_store)
+        view = merge_instances(spec, conformation, match)
+        return match, view
+
+    match, view = benchmark(run)
+    expected_merges = int(size * 0.5) + len(PUBLISHERS)
+    assert len(view.merged_objects()) == expected_merges
+    benchmark.extra_info["objects per side"] = size
+    benchmark.extra_info["merged"] = expected_merges
+
+
+@pytest.mark.parametrize("size", [50, 500])
+def test_e11_conformation_scaling(benchmark, size):
+    spec = library_integration_spec()
+    local_store, remote_store = _generate_stores(size)
+    conformation = benchmark(conform, spec, local_store, remote_store)
+    assert len(conformation.local.instances) >= size
+
+
+def test_e11_entailment_throughput(benchmark):
+    """A batch of entailment checks of the paper's shapes (solver cost is
+    independent of extent sizes — it is pure constraint reasoning)."""
+    env = TypeEnvironment({"rating": RangeType(1, 10)})
+    solver = Solver(env)
+    judgements = [
+        ("rating >= 7", "rating >= 4", True),
+        ("rating >= 3", "rating >= 4", False),
+        ("ref? = true and (ref? = true implies rating >= 7)", "rating >= 7", True),
+        ("rating in {8, 9}", "rating >= 7", True),
+        (
+            "publisher.name = 'ACM' implies rating >= 6",
+            "publisher.name = 'ACM' implies rating >= 5",
+            True,
+        ),
+    ]
+    parsed = [
+        (parse_expression(p), parse_expression(c), expected)
+        for p, c, expected in judgements
+    ]
+
+    def run():
+        return [solver.entails(p, c) for p, c, _ in parsed]
+
+    results = benchmark(run)
+    assert results == [expected for _, _, expected in parsed]
+    benchmark.extra_info["judgements per round"] = len(parsed)
+
+
+def test_e11_workbench_constraint_analysis(benchmark):
+    """The schema-level (no instances) analysis loop — what a designer
+    iterates on — is milliseconds."""
+    from repro.integration import IntegrationWorkbench
+
+    spec = library_integration_spec()
+    result = benchmark(lambda: IntegrationWorkbench(spec).run())
+    assert result.derivation is not None
+    benchmark.extra_info["global constraints"] = len(result.global_constraints)

@@ -1,0 +1,100 @@
+"""E12 (extension) — ablation over the Section 5.1.2 decision-function
+taxonomy.
+
+Not a paper table, but the paper's central design lever made measurable: the
+same component databases and constraints, swept across all four decision
+function categories for ``trav_reimb``, produce the four qualitatively
+different global outcomes the taxonomy predicts.
+"""
+
+import pytest
+
+from repro import (
+    AnyChoice,
+    Average,
+    Maximum,
+    PropertyEquivalence,
+    PropertyStatus,
+    Trust,
+    parse_expression,
+)
+from repro.fixtures import personnel_integration_spec, personnel_stores
+from repro.integration import IntegrationWorkbench
+from repro.integration.relationships import Side
+
+CASES = {
+    "any (ignoring)": (
+        AnyChoice(),
+        dict(
+            local_status=PropertyStatus.OBJECTIVE,
+            derived=None,
+            union=True,  # both memberships objective → explicit conflict
+            global_value=20,  # prefers local
+        ),
+    ),
+    "trust (avoiding)": (
+        Trust(Side.LOCAL, "PersonnelDB1"),
+        dict(
+            local_status=PropertyStatus.OBJECTIVE,
+            derived=None,
+            union=False,
+            global_value=20,
+        ),
+    ),
+    "max (settling)": (
+        Maximum(),
+        dict(
+            local_status=PropertyStatus.SUBJECTIVE,
+            derived="trav_reimb in {14, 20, 24}",
+            union=False,
+            global_value=20,
+        ),
+    ),
+    "avg (eliminating)": (
+        Average(),
+        dict(
+            local_status=PropertyStatus.SUBJECTIVE,
+            derived="trav_reimb in {12, 17, 22}",
+            union=False,
+            global_value=17,
+        ),
+    ),
+}
+
+
+def _run_case(df):
+    spec = personnel_integration_spec()
+    spec.propeqs[1] = PropertyEquivalence(
+        "Employee", "trav_reimb", "Employee", "trav_reimb", df=df
+    )
+    db1, db2, _ = personnel_stores()
+    return IntegrationWorkbench(spec, db1, db2).run()
+
+
+def _sweep():
+    return {label: _run_case(df) for label, (df, _) in CASES.items()}
+
+
+def test_e12_decision_function_ablation(benchmark):
+    results = benchmark(_sweep)
+
+    scope = "PersonnelDB1.Employee ⋈ PersonnelDB2.Employee"
+    for label, (df, expected) in CASES.items():
+        result = results[label]
+        status = result.subjectivity.status_of_property(
+            Side.LOCAL, "Employee", "trav_reimb"
+        )
+        assert status is expected["local_status"], label
+        bob = result.view.merged_objects()[0]
+        assert bob.state["trav_reimb"] == expected["global_value"], label
+        formulas = result.derivation.formulas_for_scope(scope)
+        if expected["derived"] is not None:
+            assert parse_expression(expected["derived"]) in formulas, label
+        if expected["union"]:
+            # Both objective memberships union → contradictory global set,
+            # flagged as explicit conflict (the `any` pathology).
+            assert result.derivation.explicit_conflicts, label
+        else:
+            assert not result.derivation.explicit_conflicts, label
+
+    benchmark.extra_info["cases"] = list(CASES)

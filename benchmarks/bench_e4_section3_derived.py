@@ -1,0 +1,36 @@
+"""E4 — Section 3: derived object constraints from rule conditions.
+
+Paper artifact: from the intraobject condition ``O'.ref? = true`` of
+``Sim(O':Proceedings, RefereedPubl)`` and object constraint ``oc2`` of
+Proceedings, "we can deduce the derived object constraint rating >= 7 on
+O'" — identifying the potential discrepancy with RefereedPubl's ``oc1``.
+"""
+
+from repro import entails, parse_expression
+from repro.integration.conformation import conform
+from repro.integration.relationships import Side
+from repro.integration.rule_checks import check_rules
+
+
+def _run(spec):
+    conformation = conform(spec)
+    return check_rules(spec, conformation)
+
+
+def test_e4_section3_derived_constraints(benchmark, library_setup):
+    spec, _, _ = library_setup
+    result = benchmark(_run, spec)
+
+    assert result.conflicts == [], "the paper's rule conditions are consistent"
+    derived = result.derived_for(Side.REMOTE, "Proceedings")
+    formulas = [c.formula for c in derived]
+    rating_floor = parse_expression("rating >= 7")
+    assert rating_floor in formulas, "paper: derived constraint rating >= 7"
+    # The derived constraint settles the 'potential discrepancy' with the
+    # conformed RefereedPubl oc1 (rating >= 4).
+    assert entails(rating_floor, parse_expression("rating >= 4"))
+
+    benchmark.extra_info["derived constraints"] = [
+        f"{c.owner}: {c.formula}" for c in derived
+    ]
+    benchmark.extra_info["rating >= 7 entails rating >= 4"] = True

@@ -1,0 +1,44 @@
+"""E5 — Section 4: conformation of constraints.
+
+Paper artifacts, verbatim:
+
+* ``oc2`` of Publication reallocated to the virtual class —
+  "object constraint on VirtPublisher: oc1: name in KNOWNPUBLISHERS";
+* ``oc1`` of RefereedPubl converted through ``multiply(2)`` —
+  "object constraint on RefereedPubl: oc1: rating >= 4".
+"""
+
+from repro import parse_expression
+from repro.integration.conformation import conform
+from repro.integration.relationships import Side
+
+
+def _run(spec, local_store, remote_store):
+    return conform(spec, local_store, remote_store)
+
+
+def test_e5_section4_conformation(benchmark, library_setup):
+    spec, local_store, remote_store = library_setup
+    conformation = benchmark(_run, spec, local_store, remote_store)
+
+    local = conformation.on(Side.LOCAL)
+    oc2 = local.conformed_constraints["CSLibrary.Publication.oc2"]
+    assert oc2.owner == "VirtPublisher"
+    assert oc2.formula == parse_expression("name in KNOWNPUBLISHERS")
+
+    oc1 = local.conformed_constraints["CSLibrary.RefereedPubl.oc1"]
+    assert oc1.owner == "RefereedPubl"
+    assert oc1.formula == parse_expression("rating >= 4")
+
+    # Supporting artifacts: renames and instance conversion.
+    assert "libprice" in local.schema.effective_attributes("Publication")
+    ratings = sorted(
+        obj.state["rating"] for obj in local.instances_of("ScientificPubl")
+    )
+    assert ratings == [4, 6, 8]  # doubled 2, 3, 4
+
+    benchmark.extra_info["oc2 conformed"] = f"{oc2.owner}: {oc2.formula}"
+    benchmark.extra_info["oc1 conformed"] = f"{oc1.owner}: {oc1.formula}"
+    benchmark.extra_info["virtual publishers"] = len(
+        local.instances_of("VirtPublisher")
+    )

@@ -1,0 +1,77 @@
+"""E6 — Section 5.1.3: trust functions make even shared constraints subjective.
+
+Paper artifact: with (ourprice, shopprice) = (26, 29) in CSLibrary and
+(libprice, shopprice) = (22, 25) in Bookseller, ``trust(CSLibrary)`` /
+``trust(Bookseller)`` produce the global state (26, 25) — violating
+``libprice <= shopprice`` even though *both* databases satisfy it.  Hence
+"(DB satisfies φ ∧ DB' satisfies φ) ⇏ DBint satisfies φ": value subjectivity
+forces the constraint to be subjective, and the integration stays
+conflict-free because the constraint is excluded from the view.
+"""
+
+from repro import ObjectStore, parse_expression
+from repro.fixtures import (
+    bookseller_schema,
+    cslibrary_schema,
+    library_integration_spec,
+)
+from repro.integration import IntegrationWorkbench, analyse_subjectivity
+
+
+def _build_stores():
+    local_store = ObjectStore(cslibrary_schema())
+    remote_store = ObjectStore(bookseller_schema())
+    local_store.insert(
+        "Publication",
+        title="Price Example",
+        isbn="ISBN-900",
+        publisher="ACM",
+        shopprice=29.0,
+        ourprice=26.0,
+    )
+    with remote_store.transaction():
+        acm = remote_store.insert("Publisher", name="ACM", location="NY")
+        remote_store.insert(
+            "Monograph",
+            title="Price Example",
+            isbn="ISBN-900",
+            publisher=acm,
+            authors=frozenset(),
+            shopprice=25.0,
+            libprice=22.0,
+            subjects=frozenset(),
+        )
+    return local_store, remote_store
+
+
+def _run():
+    local_store, remote_store = _build_stores()
+    spec = library_integration_spec()
+    return IntegrationWorkbench(spec, local_store, remote_store).run()
+
+
+def test_e6_value_subjectivity(benchmark):
+    result = benchmark(_run)
+
+    book = next(
+        obj
+        for obj in result.view.merged_objects()
+        if obj.state.get("isbn") == "ISBN-900"
+    )
+    # The paper's global state: trust picks 26 and 25.
+    assert book.state["libprice"] == 26.0
+    assert book.state["shopprice"] == 25.0
+    invariant = parse_expression("libprice <= shopprice")
+    assert result.view.satisfies(book, invariant) is False
+
+    # Both local constraints are classified subjective...
+    status = result.subjectivity.constraint_status
+    assert status["CSLibrary.Publication.oc1"].subjective
+    assert status["Bookseller.Item.oc1"].subjective
+    # ...so the constraint is not integrated and no conflict is reported.
+    assert invariant not in [c.formula for c in result.global_constraints]
+    assert result.state_violations == []
+
+    benchmark.extra_info["global (libprice, shopprice)"] = (26.0, 25.0)
+    benchmark.extra_info["constraint subjective"] = True
+    benchmark.extra_info["state violations"] = 0

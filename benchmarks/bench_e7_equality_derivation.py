@@ -1,0 +1,50 @@
+"""E7 — Section 5.2.1: derivation of global constraints under object equality.
+
+Paper artifacts:
+
+* from local ``rating >= 4`` (avg df) and remote
+  ``publisher.name = 'ACM' implies rating >= 6``, the global constraint
+  ``publisher.name = 'ACM' implies rating >= 5`` is derived;
+* the ``oc1`` price constraints of Publication and Item derive **nothing**
+  because their conflict-avoiding trust functions block condition (1).
+"""
+
+from repro import parse_expression, to_source
+from repro.integration.conformation import conform
+from repro.integration.derivation import ConstraintDeriver
+from repro.integration.rule_checks import check_rules
+from repro.integration.subjectivity import analyse_subjectivity
+
+ACM_SCOPE = "CSLibrary.RefereedPubl ⋈ Bookseller.Proceedings"
+
+
+def _run(spec):
+    conformation = conform(spec)
+    analysis = analyse_subjectivity(spec)
+    rule_checks = check_rules(spec, conformation)
+    return ConstraintDeriver(spec, conformation, analysis, rule_checks).run()
+
+
+def test_e7_equality_derivation(benchmark, library_setup):
+    spec, _, _ = library_setup
+    result = benchmark(_run, spec)
+
+    formulas = result.formulas_for_scope(ACM_SCOPE)
+    assert parse_expression(
+        "publisher.name = 'ACM' implies rating >= 5"
+    ) in formulas, [to_source(f) for f in formulas]
+
+    # No derivation touches the trust-governed prices.
+    derived_sources = [
+        to_source(c.formula)
+        for c in result.constraints
+        if c.origin == "derived"
+    ]
+    assert all("libprice" not in s and "shopprice" not in s for s in derived_sources)
+    assert any("condition (1)" in note for note in result.notes)
+
+    benchmark.extra_info["paper derivation"] = (
+        "publisher.name = 'ACM' implies rating >= 5"
+    )
+    benchmark.extra_info["price derivations blocked"] = True
+    benchmark.extra_info["derived constraints (all scopes)"] = len(derived_sources)

@@ -1,0 +1,66 @@
+"""E8 — Section 5.2.1: strict similarity and rule repair.
+
+Paper artifacts:
+
+* with the Figure 1 constraints, ``rating >= 7 ⊨ rating >= 4``: the rule
+  ``Sim(O':Proceedings, RefereedPubl) <- O'.ref? = true`` guarantees valid
+  RefereedPubl members (no conflict);
+* with the counterfactual weakened ``oc2`` (``ref? = true implies
+  rating >= 3``), the entailment fails and the rule "would have to be
+  changed into ``... <- O'.ref? = true and O'.rating >= 4``".
+"""
+
+from repro import parse_expression
+from repro.fixtures import library_integration_spec
+from repro.integration import IntegrationWorkbench
+
+
+def _weakened_spec():
+    spec = library_integration_spec()
+    proceedings = spec.remote_schema.class_named("Proceedings")
+    oc2 = next(c for c in proceedings.constraints if c.name == "oc2")
+    proceedings.constraints[proceedings.constraints.index(oc2)] = oc2.with_formula(
+        parse_expression("ref? = true implies rating >= 3")
+    )
+    return spec
+
+
+def _run_both():
+    baseline = IntegrationWorkbench(library_integration_spec()).run()
+    weakened = IntegrationWorkbench(_weakened_spec()).run()
+    return baseline, weakened
+
+
+def test_e8_similarity_and_repair(benchmark):
+    baseline, weakened = benchmark(_run_both)
+
+    # Baseline: the refereed rule is consistent.
+    refereed_conflicts = [
+        c
+        for c in baseline.derivation.similarity_conflicts
+        if c.rule.target_class == "RefereedPubl"
+    ]
+    assert refereed_conflicts == []
+
+    # Counterfactual: conflict + the paper's exact repaired rule.
+    refereed_conflicts = [
+        c
+        for c in weakened.derivation.similarity_conflicts
+        if c.rule.target_class == "RefereedPubl"
+    ]
+    assert len(refereed_conflicts) == 1
+    repair = next(
+        s
+        for s in weakened.suggestions
+        if s.action == "repair-rule"
+        and s.target == "Sim(Proceedings, RefereedPubl)"
+    )
+    assert repair.repaired_rule is not None
+    assert repair.repaired_rule.condition == parse_expression(
+        "O'.ref? = true and O'.rating >= 4"
+    )
+    assert repair.fallback_rule is not None  # approximate-similarity option
+
+    benchmark.extra_info["baseline conflict"] = False
+    benchmark.extra_info["weakened oc2 conflict"] = True
+    benchmark.extra_info["repaired condition"] = "O'.ref? = true and O'.rating >= 4"

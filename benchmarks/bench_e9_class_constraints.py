@@ -1,0 +1,53 @@
+"""E9 — Section 5.2.2: integration of class constraints.
+
+Paper artifacts:
+
+* class constraints are subjective by default (``cc2`` of Publication stays
+  local);
+* classes untouched by Eq/Sim rules have *objective extension* and keep all
+  class constraints;
+* the key constraint survives when all equality rules are key-to-key and
+  similarity sources are covered by equality rules — the Figure 1 ``isbn``
+  keys propagate; a non-key equality rule breaks the propagation.
+"""
+
+from repro import ComparisonRule
+from repro.fixtures import library_integration_spec
+from repro.integration.class_constraints import integrate_class_constraints
+from repro.integration.conformation import conform
+from repro.integration.relationships import Side
+
+
+def _run(spec):
+    conformation = conform(spec)
+    return integrate_class_constraints(spec, conformation)
+
+
+def test_e9_class_constraints(benchmark, library_setup):
+    spec, _, _ = library_setup
+    report = benchmark(_run, spec)
+
+    origins = {(c.origin, c.scope) for c in report.propagated}
+    assert ("key-propagation", "CSLibrary.Publication") in origins
+    assert ("key-propagation", "Bookseller.Item") in origins
+
+    retained = dict(report.retained_locally)
+    assert "CSLibrary.Publication.cc2" in retained
+    assert "CSLibrary.ScientificPubl.cc1" in retained
+
+    assert "ProfessionalPubl" in report.objective_extension[Side.LOCAL]
+    assert "Publisher" in report.objective_extension[Side.REMOTE]
+
+    # Counter-case: a second, non-key equality rule (matching on titles)
+    # breaks the propagation condition.
+    broken_spec = library_integration_spec()
+    broken_spec.add_rule(
+        ComparisonRule.equality("Publication", "Item", "O.title = O'.title")
+    )
+    broken_report = _run(broken_spec)
+    broken_origins = {(c.origin, c.scope) for c in broken_report.propagated}
+    assert ("key-propagation", "CSLibrary.Publication") not in broken_origins
+
+    benchmark.extra_info["keys propagated"] = 2
+    benchmark.extra_info["retained locally"] = len(report.retained_locally)
+    benchmark.extra_info["non-key rule breaks propagation"] = True

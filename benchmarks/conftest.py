@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark both *verifies* the paper artifact it regenerates (plain
+assertions — a benchmark that reproduces the wrong result must fail) and
+*times* the machinery behind it, so `pytest benchmarks/ --benchmark-only`
+doubles as the reproduction record.  EXPERIMENTS.md maps each file to the
+paper artifact it covers.
+"""
+
+import pytest
+
+from repro.fixtures import (
+    bookseller_store,
+    cslibrary_store,
+    library_integration_spec,
+    personnel_integration_spec,
+    personnel_stores,
+)
+from repro.integration import IntegrationWorkbench
+
+
+@pytest.fixture()
+def library_setup():
+    """Fresh Figure 1 stores + spec (stores are mutable, so per-test)."""
+    local_store, local_named = cslibrary_store()
+    remote_store, remote_named = bookseller_store()
+    return library_integration_spec(), local_store, remote_store
+
+
+@pytest.fixture()
+def personnel_setup():
+    db1, db2, named = personnel_stores()
+    return personnel_integration_spec(), db1, db2
+
+
+@pytest.fixture()
+def library_result(library_setup):
+    spec, local_store, remote_store = library_setup
+    return IntegrationWorkbench(spec, local_store, remote_store).run()

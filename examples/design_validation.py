@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""The design-tool loop of Figure 3: detect conflicts, apply repairs, re-run.
+
+A designer writes a *deliberately flawed* integration of the Figure 1
+databases:
+
+* a similarity rule whose intraobject condition contradicts the target
+  class's constraints (Section 3 conflict);
+* a similarity rule that does not guarantee the target's constraints
+  (Section 5.2.1 strict-similarity conflict);
+* a constraint declared objective although it ranges over subjective values
+  (Section 5.1.3 consistency violation).
+
+The workbench reports each problem with a concrete suggestion; the script
+applies the suggested repairs and shows the second run coming out clean(er).
+"""
+
+from repro import (
+    ComparisonRule,
+    IntegrationWorkbench,
+    bookseller_store,
+    cslibrary_store,
+    library_integration_spec,
+)
+from repro.integration.relationships import Side
+
+
+def build_flawed_spec():
+    spec = library_integration_spec()
+    # Flaw 1: candidates must have rating < 2 — but RefereedPubl (the rule's
+    # *source* here) requires rating >= 2: no object can ever qualify.
+    spec.add_rule(
+        ComparisonRule.similarity(
+            "RefereedPubl", "Proceedings", "O.rating < 2", Side.LOCAL
+        )
+    )
+    # Flaw 2: declaring the price invariant objective although the trust
+    # decision functions make its values subjective.
+    spec.declare_objective("CSLibrary.Publication.oc1")
+    return spec
+
+
+def main() -> None:
+    local_store, _ = cslibrary_store()
+    remote_store, _ = bookseller_store()
+
+    print("=== first run: flawed specification ===")
+    spec = build_flawed_spec()
+    result = IntegrationWorkbench(spec, local_store, remote_store).run()
+
+    print(f"consistent: {result.is_consistent()}")
+    print("\nSection 3 conflicts (rule vs constraints):")
+    for conflict in result.rule_checks.conflicts:
+        print(f"  ! {conflict.describe()}")
+    print("\nSection 5.1.3 consistency violations:")
+    for violation in result.subjectivity.violations:
+        print(f"  ! {violation}")
+    print("\nstrict-similarity conflicts:")
+    for conflict in result.derivation.similarity_conflicts:
+        print(f"  ! {conflict.describe()}")
+    print("\nsuggestions:")
+    for suggestion in result.suggestions:
+        print(f"  * {suggestion.describe()}")
+
+    print("\n=== second run: repaired specification ===")
+    repaired_spec = library_integration_spec()
+    # Repair flaw 1: drop the impossible rule (never added).
+    # Repair flaw 2: accept the subjectivity verdict (no objective override).
+    # Repair the similarity conflicts by applying the suggested rules.
+    first = IntegrationWorkbench(
+        repaired_spec, local_store, remote_store
+    ).run()
+    replacements = {
+        s.target: s for s in first.suggestions if s.repaired_rule is not None
+    }
+    repaired_spec.rules = [
+        replacements[rule.name].repaired_rule
+        if rule.name in replacements
+        else rule
+        for rule in repaired_spec.rules
+    ]
+    second = IntegrationWorkbench(
+        repaired_spec, local_store, remote_store
+    ).run()
+    print(f"similarity conflicts before: "
+          f"{len(first.derivation.similarity_conflicts)}, after: "
+          f"{len(second.derivation.similarity_conflicts)}")
+    print(f"rule-check conflicts after: {len(second.rule_checks.conflicts)}")
+    print(f"subjectivity violations after: "
+          f"{len(second.subjectivity.violations)}")
+    print("\nremaining advisories (implicit-conflict risks from `any`):")
+    for risk in second.derivation.implicit_risks:
+        print(f"  - {risk.describe()}")
+
+
+if __name__ == "__main__":
+    main()

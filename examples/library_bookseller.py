@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""The full Figure 1 scenario: CSLibrary ⋈ Bookseller.
+
+Reproduces, mechanically, every worked example of the paper:
+
+* Section 2.3 / Figure 2 — conformation and merging, with the virtual
+  ``RefereedProceedings`` class derived from partially overlapping extents;
+* Section 3 — the derived object constraint ``rating >= 7`` from the
+  RefereedPubl similarity rule;
+* Section 4 — constraint conformation (``oc2`` moves to ``VirtPublisher``;
+  ``rating >= 2`` becomes ``rating >= 4`` through ``multiply(2)``);
+* Section 5.1 — objectivity/subjectivity classification of every constraint;
+* Section 5.2 — the derived ``publisher.name = 'ACM' implies rating >= 5``,
+  the blocked derivations (trust on the prices), and the similarity-rule
+  repair suggestions.
+"""
+
+from repro import (
+    IntegrationWorkbench,
+    bookseller_store,
+    cslibrary_store,
+    library_integration_spec,
+    render_report,
+    to_source,
+)
+from repro.integration.relationships import Side
+
+
+def main() -> None:
+    local_store, local_named = cslibrary_store()
+    remote_store, remote_named = bookseller_store()
+    spec = library_integration_spec()
+
+    result = IntegrationWorkbench(spec, local_store, remote_store).run()
+
+    print("=== Section 4: conformed constraints ===")
+    conformed = result.conformation.on(Side.LOCAL).conformed_constraints
+    for original in (
+        "CSLibrary.Publication.oc2",
+        "CSLibrary.RefereedPubl.oc1",
+        "CSLibrary.NonRefereedPubl.oc1",
+        "CSLibrary.ScientificPubl.cc1",
+    ):
+        constraint = conformed[original]
+        print(
+            f"  {original}  →  on {constraint.owner}: "
+            f"{to_source(constraint.formula)}"
+        )
+
+    print("\n=== Section 3: derived object constraints ===")
+    for analysis in result.rule_checks.analyses:
+        for derived in analysis.derived:
+            print(
+                f"  {analysis.rule.name} ⇒ {derived.owner}: "
+                f"{to_source(derived.formula)}"
+            )
+
+    print("\n=== Figure 2: the integrated view ===")
+    vldb = next(
+        obj
+        for obj in result.view.merged_objects()
+        if obj.state.get("isbn") == "ISBN-001"
+    )
+    print(f"  merged VLDB'95 proceedings: {vldb.state}")
+    print(f"  classified under: {sorted(vldb.classes)}")
+    print(
+        "  RefereedProceedings extent: "
+        + str(
+            sorted(
+                obj.state["isbn"]
+                for obj in result.view.extent("RefereedProceedings")
+            )
+        )
+    )
+    print("  derived subclass relationships:")
+    for child, parent in sorted(set(result.hierarchy.derived_edges)):
+        print(f"    {child} isa {parent}")
+
+    print("\n=== Section 5.2: the integrated constraint set ===")
+    for constraint in result.global_constraints:
+        print(f"  {constraint.describe()}")
+
+    print("\n=== conflicts and suggestions ===")
+    for conflict in result.derivation.similarity_conflicts:
+        print(f"  ! {conflict.describe()}")
+    for risk in result.derivation.implicit_risks:
+        print(f"  ! {risk.describe()}")
+    for suggestion in result.suggestions:
+        print(f"  * {suggestion.describe()}")
+        if suggestion.repaired_rule is not None:
+            print(f"      repaired: {suggestion.repaired_rule.describe()}")
+
+    print()
+    print(render_report(result))
+
+
+if __name__ == "__main__":
+    main()

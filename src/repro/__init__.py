@@ -1,0 +1,142 @@
+"""repro — a reproduction of Vermeer & Apers (VLDB 1996):
+*The Role of Integrity Constraints in Database Interoperation*.
+
+The library implements the paper's instance-based database-interoperation
+methodology end to end, with integrity constraints as first-class citizens:
+
+>>> from repro import (
+...     IntegrationWorkbench,
+...     library_integration_spec,
+...     cslibrary_store,
+...     bookseller_store,
+... )
+>>> spec = library_integration_spec()
+>>> local, _ = cslibrary_store()
+>>> remote, _ = bookseller_store()
+>>> result = IntegrationWorkbench(spec, local, remote).run()
+>>> len(result.global_constraints) > 0
+True
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.types` / :mod:`repro.domains` — TM types and the abstract
+  value-set algebra underlying all symbolic reasoning;
+* :mod:`repro.constraints` — the first-order constraint language: parser,
+  printer, evaluator and the satisfiability/entailment solver;
+* :mod:`repro.tm` — the TM schema language of Figure 1;
+* :mod:`repro.engine` — an in-memory object database that *enforces* its TM
+  schema's constraints (the autonomous component databases);
+* :mod:`repro.integration` — the paper's contribution: comparison rules,
+  property equivalences, decision functions, subjectivity analysis,
+  conformation, merging, constraint derivation, conflict detection and the
+  Figure 3 workbench; plus the two motivating applications (query
+  optimisation, update validation);
+* :mod:`repro.reverse` — relational→TM reverse engineering ([VeA95]);
+* :mod:`repro.fixtures` — the paper's running examples, ready to use.
+"""
+
+from repro.constraints import (
+    Constraint,
+    ConstraintKind,
+    Solver,
+    TypeEnvironment,
+    entails,
+    is_satisfiable,
+    parse_expression,
+    to_source,
+)
+from repro.engine import DBObject, ObjectStore, select
+from repro.errors import (
+    ConstraintViolation,
+    ReproError,
+    SchemaError,
+    SpecificationError,
+)
+from repro.fixtures import (
+    bookseller_schema,
+    bookseller_store,
+    cslibrary_schema,
+    cslibrary_store,
+    library_integration_spec,
+    personnel_integration_spec,
+    personnel_stores,
+)
+from repro.integration import (
+    AnyChoice,
+    Average,
+    ComparisonRule,
+    DecisionCategory,
+    IdentityConversion,
+    IntegrationSpecification,
+    IntegrationWorkbench,
+    LinearConversion,
+    MappingConversion,
+    Maximum,
+    Minimum,
+    PropertyEquivalence,
+    PropertyStatus,
+    RelationshipKind,
+    Trust,
+    Union,
+    analyse_subjectivity,
+)
+from repro.integration.optimizer import GlobalQueryOptimizer
+from repro.integration.relationships import Side
+from repro.integration.report import render_report
+from repro.integration.updates import GlobalUpdateValidator
+from repro.reverse import RelationalSchema, translate_schema
+from repro.tm import DatabaseSchema, parse_database, schema_to_source, validate_schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Constraint",
+    "ConstraintKind",
+    "parse_expression",
+    "to_source",
+    "Solver",
+    "TypeEnvironment",
+    "entails",
+    "is_satisfiable",
+    "ObjectStore",
+    "DBObject",
+    "select",
+    "DatabaseSchema",
+    "parse_database",
+    "schema_to_source",
+    "validate_schema",
+    "IntegrationSpecification",
+    "IntegrationWorkbench",
+    "ComparisonRule",
+    "PropertyEquivalence",
+    "RelationshipKind",
+    "Side",
+    "DecisionCategory",
+    "PropertyStatus",
+    "AnyChoice",
+    "Trust",
+    "Maximum",
+    "Minimum",
+    "Average",
+    "Union",
+    "IdentityConversion",
+    "LinearConversion",
+    "MappingConversion",
+    "analyse_subjectivity",
+    "render_report",
+    "GlobalQueryOptimizer",
+    "GlobalUpdateValidator",
+    "RelationalSchema",
+    "translate_schema",
+    "cslibrary_schema",
+    "bookseller_schema",
+    "cslibrary_store",
+    "bookseller_store",
+    "personnel_stores",
+    "library_integration_spec",
+    "personnel_integration_spec",
+    "ReproError",
+    "SchemaError",
+    "SpecificationError",
+    "ConstraintViolation",
+]

@@ -1,0 +1,102 @@
+"""Command-line interface: run the Figure 3 workbench on specification files.
+
+Usage::
+
+    python -m repro report --local library.tm --remote bookseller.tm \\
+        --spec integration.spec
+    python -m repro validate --local library.tm --remote bookseller.tm \\
+        --spec integration.spec
+    python -m repro demo            # the built-in Figure 1 scenario
+
+``validate`` exits non-zero when the specification is inconsistent with the
+component constraints, so the workbench slots into CI pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.fixtures import (
+    bookseller_store,
+    cslibrary_store,
+    library_integration_spec,
+)
+from repro.integration.report import render_report
+from repro.integration.spec_parser import parse_specification
+from repro.integration.workbench import IntegrationWorkbench
+from repro.tm.parser import parse_database
+
+
+def _load_result(args: argparse.Namespace):
+    local_schema = parse_database(Path(args.local).read_text())
+    remote_schema = parse_database(Path(args.remote).read_text())
+    spec = parse_specification(
+        Path(args.spec).read_text(), local_schema, remote_schema
+    )
+    return IntegrationWorkbench(
+        spec, descriptivity_view=args.descriptivity_view
+    ).run()
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--local", required=True, help="local TM schema file")
+    parser.add_argument("--remote", required=True, help="remote TM schema file")
+    parser.add_argument("--spec", required=True, help="integration spec file")
+    parser.add_argument(
+        "--descriptivity-view",
+        choices=("object", "value"),
+        default="object",
+        help="how to settle object-value conflicts (default: object)",
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Integrity-constraint-aware database interoperation "
+        "(Vermeer & Apers, VLDB 1996)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    report = commands.add_parser("report", help="print the full workbench report")
+    _add_common(report)
+
+    validate = commands.add_parser(
+        "validate", help="exit 1 if the specification causes conflicts"
+    )
+    _add_common(validate)
+
+    commands.add_parser("demo", help="run the built-in Figure 1 scenario")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "demo":
+        local_store, _ = cslibrary_store()
+        remote_store, _ = bookseller_store()
+        result = IntegrationWorkbench(
+            library_integration_spec(), local_store, remote_store
+        ).run()
+        print(render_report(result))
+        return 0
+
+    result = _load_result(args)
+    if args.command == "report":
+        print(render_report(result))
+        return 0
+    # validate
+    if result.is_consistent():
+        print("specification is consistent with the component constraints")
+        return 0
+    print(render_report(result))
+    print(
+        f"INCONSISTENT: {result.conflict_count()} conflict(s); "
+        f"{len(result.suggestions)} suggestion(s) available",
+        file=sys.stderr,
+    )
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,336 @@
+"""Immutable AST for the constraint language.
+
+All nodes are frozen dataclasses: structural equality and hashability are used
+throughout (deduplicating atoms in the solver, comparing conformed constraints
+across databases, caching).  Collections inside nodes are tuples.
+
+Expression nodes produce values; formula nodes produce truth values.  Both
+share the :class:`Node` base so that rewriting (attribute substitution, domain
+conversion) can traverse uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+# Comparison operators and their negations/mirrors.
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+NEGATED_OP = {
+    "=": "!=",
+    "!=": "=",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+MIRRORED_OP = {
+    "=": "=",
+    "!=": "!=",
+    "<": ">",
+    "<=": ">=",
+    ">": "<",
+    ">=": "<=",
+}
+
+
+class Node:
+    """Base class for every AST node."""
+
+    def children(self) -> Iterator["Node"]:
+        """The node's direct sub-nodes, in source order."""
+        return iter(())
+
+    def walk(self) -> Iterator["Node"]:
+        """Depth-first pre-order traversal of the subtree rooted here."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A constant value: number, string or boolean."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class SetLiteral(Node):
+    """An explicit finite set of constants, e.g. ``{10, 20}``."""
+
+    values: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+
+
+@dataclass(frozen=True)
+class NamedConstant(Node):
+    """A named schema constant such as ``KNOWNPUBLISHERS`` or ``MAX``.
+
+    The binding of a named constant to a value (or value set) lives in the
+    schema / evaluation context, not in the AST.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Path(Node):
+    """A (possibly dotted) attribute path: ``rating``, ``publisher.name``,
+    ``O'.ref?``, ``i.publisher``.
+
+    ``parts[0]`` may name a bound variable (``O``, ``O'``, a quantifier
+    variable, ``self``); otherwise the path is implicitly rooted at the
+    constrained object.  Resolution happens at evaluation/solving time when
+    the variable scope is known.
+    """
+
+    parts: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parts", tuple(self.parts))
+
+    @staticmethod
+    def of(*parts: str) -> "Path":
+        return Path(tuple(parts))
+
+    def dotted(self) -> str:
+        return ".".join(self.parts)
+
+    def strip_root(self, root_names: tuple[str, ...]) -> "Path":
+        """Drop a leading variable name in ``root_names``, if present."""
+        if len(self.parts) > 1 and self.parts[0] in root_names:
+            return Path(self.parts[1:])
+        return self
+
+    def with_root(self, root: str) -> "Path":
+        """Prefix the path with an explicit root variable."""
+        return Path((root,) + self.parts)
+
+
+@dataclass(frozen=True)
+class BinaryOp(Node):
+    """Arithmetic: ``+ - * /`` between expressions."""
+
+    op: str
+    left: Node
+    right: Node
+
+    def children(self) -> Iterator[Node]:
+        yield self.left
+        yield self.right
+
+
+@dataclass(frozen=True)
+class FunctionCall(Node):
+    """An uninterpreted or built-in function applied to expressions.
+
+    The paper's example rules use ``contains(O.title, 'Proceed')``; conversion
+    functions applied during conformation also surface as calls.
+    """
+
+    name: str
+    args: tuple[Node, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.args)
+
+
+@dataclass(frozen=True)
+class Aggregate(Node):
+    """A TM aggregate: ``(sum (collect x for x in self) over ourprice)``.
+
+    ``collection`` is either the literal string ``"self"`` (the extent of the
+    class owning the constraint) or a class name.
+    """
+
+    func: str  # sum | avg | min | max | count
+    item_var: str
+    collection: str
+    over: str | None  # attribute name; None only for count
+
+    def children(self) -> Iterator[Node]:
+        return iter(())
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison(Node):
+    """``left op right`` with ``op`` one of ``= != < <= > >=``."""
+
+    op: str
+    left: Node
+    right: Node
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def children(self) -> Iterator[Node]:
+        yield self.left
+        yield self.right
+
+    def negated(self) -> "Comparison":
+        return Comparison(NEGATED_OP[self.op], self.left, self.right)
+
+    def mirrored(self) -> "Comparison":
+        """The same relation with operands swapped (``a < b`` ↦ ``b > a``)."""
+        return Comparison(MIRRORED_OP[self.op], self.right, self.left)
+
+
+@dataclass(frozen=True)
+class Membership(Node):
+    """``expr in set_expr`` — set_expr is a :class:`SetLiteral` or a
+    :class:`NamedConstant` naming a set."""
+
+    element: Node
+    collection: Node
+
+    def children(self) -> Iterator[Node]:
+        yield self.element
+        yield self.collection
+
+
+@dataclass(frozen=True)
+class Not(Node):
+    operand: Node
+
+    def children(self) -> Iterator[Node]:
+        yield self.operand
+
+
+@dataclass(frozen=True)
+class And(Node):
+    parts: tuple[Node, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parts", tuple(self.parts))
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.parts)
+
+
+@dataclass(frozen=True)
+class Or(Node):
+    parts: tuple[Node, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parts", tuple(self.parts))
+
+    def children(self) -> Iterator[Node]:
+        return iter(self.parts)
+
+
+@dataclass(frozen=True)
+class Implies(Node):
+    """``antecedent implies consequent`` (the conditional constraints of
+    Figure 1, e.g. ``publisher.name='IEEE' implies ref?=true``)."""
+
+    antecedent: Node
+    consequent: Node
+
+    def children(self) -> Iterator[Node]:
+        yield self.antecedent
+        yield self.consequent
+
+
+@dataclass(frozen=True)
+class Quantified(Node):
+    """``forall v in Class body`` / ``exists v in Class | body``.
+
+    Database constraints chain quantifiers, e.g. the Figure 1 constraint
+    ``forall p in Publisher exists i in Item | i.publisher = p``.
+    """
+
+    kind: str  # 'forall' | 'exists'
+    var: str
+    class_name: str
+    body: Node
+
+    def children(self) -> Iterator[Node]:
+        yield self.body
+
+
+@dataclass(frozen=True)
+class KeyConstraint(Node):
+    """``key isbn`` — a uniqueness constraint over the listed attributes."""
+
+    attributes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attributes", tuple(self.attributes))
+
+
+@dataclass(frozen=True)
+class TrueFormula(Node):
+    """The always-true formula (unit of conjunction)."""
+
+
+@dataclass(frozen=True)
+class FalseFormula(Node):
+    """The always-false formula (unit of disjunction)."""
+
+
+TRUE = TrueFormula()
+FALSE = FalseFormula()
+
+
+def conjoin(parts: list[Node]) -> Node:
+    """Conjunction of formulas with unit simplification."""
+    live = [p for p in parts if not isinstance(p, TrueFormula)]
+    if any(isinstance(p, FalseFormula) for p in live):
+        return FALSE
+    if not live:
+        return TRUE
+    if len(live) == 1:
+        return live[0]
+    flattened: list[Node] = []
+    for part in live:
+        if isinstance(part, And):
+            flattened.extend(part.parts)
+        else:
+            flattened.append(part)
+    return And(tuple(flattened))
+
+
+def disjoin(parts: list[Node]) -> Node:
+    """Disjunction of formulas with unit simplification."""
+    live = [p for p in parts if not isinstance(p, FalseFormula)]
+    if any(isinstance(p, TrueFormula) for p in live):
+        return TRUE
+    if not live:
+        return FALSE
+    if len(live) == 1:
+        return live[0]
+    flattened: list[Node] = []
+    for part in live:
+        if isinstance(part, Or):
+            flattened.extend(part.parts)
+        else:
+            flattened.append(part)
+    return Or(tuple(flattened))
+
+
+def paths_in(node: Node) -> tuple[Path, ...]:
+    """All :class:`Path` nodes in ``node``, in traversal order, deduplicated."""
+    seen: dict[Path, None] = {}
+    for sub in node.walk():
+        if isinstance(sub, Path):
+            seen.setdefault(sub, None)
+    return tuple(seen)

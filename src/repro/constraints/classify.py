@@ -1,0 +1,50 @@
+"""Structural classification of constraint formulas.
+
+The paper distinguishes *object*, *class* and *database* constraints
+(Section 2) and notes that design tools supporting proper classification
+exist [FKS94].  In TM the classification is given by the specification
+section a constraint appears in; this module derives it structurally instead,
+which lets the reverse-engineering substrate classify constraints it extracts
+from relational schemas, and lets the TM parser validate that a constraint is
+declared in the right section.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.ast import (
+    Aggregate,
+    KeyConstraint,
+    Node,
+    Quantified,
+)
+from repro.constraints.model import ConstraintKind
+
+
+def classify_formula(formula: Node) -> ConstraintKind:
+    """Classify a formula into the paper's three constraint categories.
+
+    * Quantification over named class extents → ``DATABASE`` (the formula
+      relates objects from different classes, or constrains an extent against
+      another).
+    * ``key`` constraints or aggregates over ``self`` → ``CLASS`` (they
+      constrain the extent of a single class).
+    * Everything else → ``OBJECT`` (conditions on one object's state,
+      implicitly universally quantified).
+
+    An aggregate over a *named* class inside an otherwise object-level
+    formula also makes the constraint a database constraint, since its truth
+    depends on another class's extent.
+    """
+    has_class_level = False
+    for node in formula.walk():
+        if isinstance(node, Quantified):
+            return ConstraintKind.DATABASE
+        if isinstance(node, Aggregate):
+            if node.collection != "self":
+                return ConstraintKind.DATABASE
+            has_class_level = True
+        if isinstance(node, KeyConstraint):
+            has_class_level = True
+    if has_class_level:
+        return ConstraintKind.CLASS
+    return ConstraintKind.OBJECT

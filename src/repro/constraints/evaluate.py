@@ -1,0 +1,278 @@
+"""Evaluation of constraint formulas against object states.
+
+An *object state* is any mapping from attribute names to values (the engine
+stores states as dicts).  Evaluation is parameterised by an
+:class:`EvalContext` carrying:
+
+* ``current`` — the object an object constraint is being checked on (paths
+  without an explicit root resolve against it);
+* ``bindings`` — named variables in scope (``O``, ``O'``, quantifier vars);
+* ``extents`` — class name → iterable of object states, for quantifiers,
+  aggregates over named classes and key constraints;
+* ``self_extent`` — the extent behind ``self`` in class constraints;
+* ``constants`` — named schema constants (``MAX`` → number,
+  ``KNOWNPUBLISHERS`` → set of strings);
+* ``get_attr`` — attribute accessor hook; the engine substitutes one that
+  dereferences object identifiers through the store so that paths like
+  ``publisher.name`` traverse references.
+
+Aggregates over an empty extent: ``sum`` is 0 and ``count`` is 0; ``avg`` /
+``min`` / ``max`` are *vacuous* — any comparison against a vacuous value is
+satisfied.  (TM leaves this case open; vacuous truth matches how the paper
+treats constraints on empty classes.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.constraints.ast import (
+    Aggregate,
+    And,
+    BinaryOp,
+    Comparison,
+    FalseFormula,
+    FunctionCall,
+    Implies,
+    KeyConstraint,
+    Literal,
+    Membership,
+    NamedConstant,
+    Node,
+    Not,
+    Or,
+    Path,
+    Quantified,
+    SetLiteral,
+    TrueFormula,
+)
+from repro.errors import EvaluationError
+
+
+class _Vacuous:
+    """Result of an aggregate over an empty extent; satisfies any comparison."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<vacuous>"
+
+
+VACUOUS = _Vacuous()
+
+
+def _default_get_attr(obj: Any, name: str) -> Any:
+    if isinstance(obj, Mapping):
+        if name in obj:
+            return obj[name]
+        raise EvaluationError(f"object state has no attribute {name!r}: {obj!r}")
+    if hasattr(obj, name):
+        return getattr(obj, name)
+    raise EvaluationError(f"cannot read attribute {name!r} from {obj!r}")
+
+
+#: Built-in functions available in rule conditions and constraints.
+BUILTIN_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "contains": lambda haystack, needle: needle in haystack,
+    "lower": lambda s: s.lower(),
+    "upper": lambda s: s.upper(),
+    "abs": abs,
+    "length": len,
+    "startswith": lambda s, prefix: s.startswith(prefix),
+}
+
+
+@dataclass
+class EvalContext:
+    """Everything a formula needs to evaluate; see module docstring."""
+
+    current: Any = None
+    bindings: dict[str, Any] = field(default_factory=dict)
+    extents: Mapping[str, Iterable[Any]] = field(default_factory=dict)
+    self_extent: Iterable[Any] = ()
+    constants: Mapping[str, Any] = field(default_factory=dict)
+    get_attr: Callable[[Any, str], Any] = _default_get_attr
+    functions: Mapping[str, Callable[..., Any]] = field(default_factory=dict)
+
+    def child(self, **overrides: Any) -> "EvalContext":
+        """A copy with some fields replaced (used by quantifier binding)."""
+        data = {
+            "current": self.current,
+            "bindings": dict(self.bindings),
+            "extents": self.extents,
+            "self_extent": self.self_extent,
+            "constants": self.constants,
+            "get_attr": self.get_attr,
+            "functions": self.functions,
+        }
+        data.update(overrides)
+        return EvalContext(**data)
+
+    def function(self, name: str) -> Callable[..., Any]:
+        if name in self.functions:
+            return self.functions[name]
+        if name in BUILTIN_FUNCTIONS:
+            return BUILTIN_FUNCTIONS[name]
+        raise EvaluationError(f"unknown function {name!r}")
+
+    def extent_of(self, class_name: str) -> Iterable[Any]:
+        if class_name not in self.extents:
+            raise EvaluationError(f"no extent known for class {class_name!r}")
+        return self.extents[class_name]
+
+
+def evaluate(node: Node, ctx: EvalContext) -> Any:
+    """Evaluate a formula (→ bool) or expression (→ value) in ``ctx``."""
+    if isinstance(node, Literal):
+        return node.value
+    if isinstance(node, SetLiteral):
+        return frozenset(node.values)
+    if isinstance(node, NamedConstant):
+        if node.name not in ctx.constants:
+            raise EvaluationError(f"unknown named constant {node.name!r}")
+        return ctx.constants[node.name]
+    if isinstance(node, Path):
+        return _evaluate_path(node, ctx)
+    if isinstance(node, BinaryOp):
+        return _evaluate_arith(node, ctx)
+    if isinstance(node, FunctionCall):
+        args = [evaluate(arg, ctx) for arg in node.args]
+        return ctx.function(node.name)(*args)
+    if isinstance(node, Aggregate):
+        return _evaluate_aggregate(node, ctx)
+    if isinstance(node, Comparison):
+        return _evaluate_comparison(node, ctx)
+    if isinstance(node, Membership):
+        element = evaluate(node.element, ctx)
+        collection = evaluate(node.collection, ctx)
+        if isinstance(element, _Vacuous):
+            return True
+        try:
+            return element in collection
+        except TypeError as exc:
+            raise EvaluationError(f"cannot test membership in {collection!r}") from exc
+    if isinstance(node, Not):
+        return not evaluate(node.operand, ctx)
+    if isinstance(node, And):
+        return all(evaluate(part, ctx) for part in node.parts)
+    if isinstance(node, Or):
+        return any(evaluate(part, ctx) for part in node.parts)
+    if isinstance(node, Implies):
+        return (not evaluate(node.antecedent, ctx)) or evaluate(node.consequent, ctx)
+    if isinstance(node, Quantified):
+        return _evaluate_quantified(node, ctx)
+    if isinstance(node, KeyConstraint):
+        return _evaluate_key(node, ctx)
+    if isinstance(node, TrueFormula):
+        return True
+    if isinstance(node, FalseFormula):
+        return False
+    raise EvaluationError(f"cannot evaluate node of type {type(node).__name__}")
+
+
+def _evaluate_path(path: Path, ctx: EvalContext) -> Any:
+    parts = path.parts
+    if parts[0] in ctx.bindings:
+        obj = ctx.bindings[parts[0]]
+        rest = parts[1:]
+    else:
+        if ctx.current is None:
+            raise EvaluationError(
+                f"path {path.dotted()!r} has no root: no current object bound"
+            )
+        obj = ctx.current
+        rest = parts
+    for name in rest:
+        obj = ctx.get_attr(obj, name)
+    return obj
+
+
+def _evaluate_arith(node: BinaryOp, ctx: EvalContext) -> Any:
+    left = evaluate(node.left, ctx)
+    right = evaluate(node.right, ctx)
+    if isinstance(left, _Vacuous) or isinstance(right, _Vacuous):
+        return VACUOUS
+    try:
+        if node.op == "+":
+            return left + right
+        if node.op == "-":
+            return left - right
+        if node.op == "*":
+            return left * right
+        if node.op == "/":
+            return left / right
+    except TypeError as exc:
+        raise EvaluationError(
+            f"arithmetic {node.op!r} failed on {left!r} and {right!r}"
+        ) from exc
+    raise EvaluationError(f"unknown arithmetic operator {node.op!r}")
+
+
+_COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _evaluate_comparison(node: Comparison, ctx: EvalContext) -> bool:
+    left = evaluate(node.left, ctx)
+    right = evaluate(node.right, ctx)
+    if isinstance(left, _Vacuous) or isinstance(right, _Vacuous):
+        return True
+    try:
+        return _COMPARATORS[node.op](left, right)
+    except TypeError as exc:
+        raise EvaluationError(
+            f"cannot compare {left!r} {node.op} {right!r}"
+        ) from exc
+
+
+def _evaluate_aggregate(node: Aggregate, ctx: EvalContext) -> Any:
+    if node.collection == "self":
+        extent = list(ctx.self_extent)
+    else:
+        extent = list(ctx.extent_of(node.collection))
+    if node.func == "count" and node.over is None:
+        return len(extent)
+    values = [ctx.get_attr(obj, node.over) for obj in extent]
+    if node.func == "sum":
+        return sum(values)
+    if node.func == "count":
+        return len(values)
+    if not values:
+        return VACUOUS
+    if node.func == "avg":
+        return sum(values) / len(values)
+    if node.func == "min":
+        return min(values)
+    if node.func == "max":
+        return max(values)
+    raise EvaluationError(f"unknown aggregate {node.func!r}")
+
+
+def _evaluate_quantified(node: Quantified, ctx: EvalContext) -> bool:
+    extent = ctx.extent_of(node.class_name)
+    if node.kind == "forall":
+        return all(
+            evaluate(node.body, ctx.child(bindings={**ctx.bindings, node.var: obj}))
+            for obj in extent
+        )
+    if node.kind == "exists":
+        return any(
+            evaluate(node.body, ctx.child(bindings={**ctx.bindings, node.var: obj}))
+            for obj in extent
+        )
+    raise EvaluationError(f"unknown quantifier {node.kind!r}")
+
+
+def _evaluate_key(node: KeyConstraint, ctx: EvalContext) -> bool:
+    seen: set[tuple] = set()
+    for obj in ctx.self_extent:
+        key = tuple(ctx.get_attr(obj, attr) for attr in node.attributes)
+        if key in seen:
+            return False
+        seen.add(key)
+    return True

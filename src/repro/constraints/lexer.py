@@ -1,0 +1,168 @@
+"""Tokenizer for the constraint language and the TM schema syntax.
+
+One lexer serves both parsers; the TM schema parser simply consumes a wider
+set of keywords.  Identifiers may end in ``?`` (``ref?``) and contain a prime
+(``O'``) to match the paper's notation.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+TOKEN_SPEC = [
+    ("NUMBER", r"\d+\.\d+|\d+"),
+    ("DOTDOT", r"\.\."),
+    ("STRING", r"'[^']*'|\"[^\"]*\""),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*'?\??"),
+    ("ARROW", r"<-"),
+    ("OP", r"<=|>=|!=|=>|<|>|="),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("LBRACE", r"\{"),
+    ("RBRACE", r"\}"),
+    ("LBRACKET", r"\["),
+    ("RBRACKET", r"\]"),
+    ("COMMA", r","),
+    ("COLON", r":"),
+    ("SEMI", r";"),
+    ("DOT", r"\."),
+    ("BAR", r"\|"),
+    ("PLUS", r"\+"),
+    ("MINUS", r"-"),
+    ("STAR", r"\*"),
+    ("SLASH", r"/"),
+    ("NEWLINE", r"\n"),
+    ("SKIP", r"[ \t\r]+"),
+    ("COMMENT", r"#[^\n]*|//[^\n]*"),
+    ("MISMATCH", r"."),
+]
+
+_MASTER_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in TOKEN_SPEC))
+
+#: Words with grammatical meaning in constraint expressions.
+KEYWORDS = frozenset(
+    {
+        "and",
+        "or",
+        "not",
+        "implies",
+        "in",
+        "key",
+        "forall",
+        "exists",
+        "true",
+        "false",
+        "sum",
+        "avg",
+        "min",
+        "max",
+        "count",
+        "collect",
+        "for",
+        "over",
+        "self",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its 1-based source position."""
+
+    kind: str  # NUMBER | STRING | IDENT | KEYWORD | operator kinds | EOF
+    text: str
+    line: int
+    column: int
+
+    def describe(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def tokenize(source: str, keep_newlines: bool = False) -> list[Token]:
+    """Tokenize ``source``; raises :class:`ParseError` on illegal characters.
+
+    ``keep_newlines`` is used by the TM schema parser, where line breaks
+    terminate attribute and constraint declarations.
+    """
+    tokens: list[Token] = []
+    line = 1
+    line_start = 0
+    for match in _MASTER_RE.finditer(source):
+        kind = match.lastgroup or "MISMATCH"
+        text = match.group()
+        column = match.start() - line_start + 1
+        if kind == "NEWLINE":
+            if keep_newlines:
+                tokens.append(Token("NEWLINE", text, line, column))
+            line += 1
+            line_start = match.end()
+            continue
+        if kind in ("SKIP", "COMMENT"):
+            continue
+        if kind == "MISMATCH":
+            raise ParseError(f"unexpected character {text!r}", line, column)
+        if kind == "IDENT" and text in KEYWORDS:
+            # Case-sensitive: MAX / KNOWNPUBLISHERS are named constants, not
+            # the aggregate keywords max / count.
+            tokens.append(Token("KEYWORD", text, line, column))
+            continue
+        if kind == "OP" and text == "=>":
+            # Some renderings of the paper use => for implication.
+            tokens.append(Token("KEYWORD", "implies", line, column))
+            continue
+        tokens.append(Token(kind, text, line, column))
+    tokens.append(Token("EOF", "", line, 1))
+    return tokens
+
+
+class TokenStream:
+    """A cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def at(self, kind: str, text: str | None = None) -> bool:
+        token = self.peek()
+        if token.kind != kind:
+            return False
+        return text is None or token.text == text
+
+    def at_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        return token.kind == "KEYWORD" and token.text in words
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.at(kind, text):
+            return self.next()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.peek()
+        if not self.at(kind, text):
+            wanted = text or kind
+            raise ParseError(
+                f"expected {wanted}, found {token.describe()}", token.line, token.column
+            )
+        return self.next()
+
+    def skip_newlines(self) -> None:
+        while self.at("NEWLINE"):
+            self.next()
+
+    def error(self, message: str) -> ParseError:
+        token = self.peek()
+        return ParseError(message + f" (found {token.describe()})", token.line, token.column)

@@ -1,0 +1,78 @@
+"""The :class:`Constraint` wrapper: a named, classified formula.
+
+A constraint carries the paper's classification (object / class / database),
+the class it is declared on (``owner``), and — once the integration analysis
+has run — its objectivity status (see :mod:`repro.integration.subjectivity`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.constraints.ast import Node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    pass
+
+
+class ConstraintKind(enum.Enum):
+    """The three constraint categories distinguished by the paper.
+
+    * ``OBJECT`` — constrains the state of a single (complex) object; read as
+      implicitly universally quantified over the class extent.
+    * ``CLASS`` — constrains a set of objects from a single class (aggregates,
+      keys).
+    * ``DATABASE`` — constrains objects from different classes.
+    """
+
+    OBJECT = "object"
+    CLASS = "class"
+    DATABASE = "database"
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A named integrity constraint attached to a class or database.
+
+    Attributes
+    ----------
+    name:
+        The constraint label from the specification (``"oc1"``, ``"cc2"``,
+        ``"db1"``).
+    kind:
+        Which of the paper's three categories the constraint belongs to.
+    owner:
+        The class the constraint is declared on; ``None`` for database
+        constraints (which belong to the database as a whole).
+    formula:
+        The constraint body as an AST.
+    database:
+        The component database the constraint originates from, filled in when
+        a schema is loaded.  Needed because objectivity/subjectivity is a
+        judgement about a constraint *in the context of its database*.
+    """
+
+    name: str
+    kind: ConstraintKind
+    formula: Node
+    owner: str | None = None
+    database: str | None = None
+
+    @property
+    def qualified_name(self) -> str:
+        """``Database.Class.name`` (pieces omitted when unknown)."""
+        pieces = [p for p in (self.database, self.owner, self.name) if p]
+        return ".".join(pieces)
+
+    def with_formula(self, formula: Node) -> "Constraint":
+        """A copy with a different body (used by conformation rewriting)."""
+        return replace(self, formula=formula)
+
+    def with_owner(self, owner: str | None) -> "Constraint":
+        """A copy allocated to a different class (conformation subtask 1)."""
+        return replace(self, owner=owner)
+
+    def renamed(self, name: str) -> "Constraint":
+        return replace(self, name=name)

@@ -1,0 +1,168 @@
+"""Normalisation of constraint formulas.
+
+Section 5.2.1 of the paper works with *normalised* object constraints: a
+constraint that cannot be written as ``phi_1 and phi_2 and ... and phi_n``
+(such constraints "are normalised into n separate object constraints").  A
+normalised constraint then "defines a correlation between the values of the
+properties involved".
+
+:func:`split_conjunction` implements exactly that normalisation.  To maximise
+granularity it first rewrites implications whose consequent is a conjunction
+(``A implies (B and C)`` ≡ ``(A implies B) and (A implies C)``) and flattens
+nested conjunctions.
+
+:func:`to_nnf` / :func:`to_dnf` support the solver: negation normal form
+pushes ``not`` down to atoms (comparisons negate by operator flipping), and
+disjunctive normal form turns a formula into a list of conjunctive branches
+for domain propagation.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.ast import (
+    And,
+    Comparison,
+    FalseFormula,
+    Implies,
+    Membership,
+    Node,
+    Not,
+    Or,
+    TrueFormula,
+    conjoin,
+    disjoin,
+    FALSE,
+    TRUE,
+)
+from repro.errors import SolverError
+
+#: Guard against exponential DNF blow-up; the paper's constraints are tiny.
+DNF_LIMIT = 512
+
+
+def negate(formula: Node) -> Node:
+    """Logical negation with immediate simplification at the top node."""
+    if isinstance(formula, TrueFormula):
+        return FALSE
+    if isinstance(formula, FalseFormula):
+        return TRUE
+    if isinstance(formula, Not):
+        return formula.operand
+    if isinstance(formula, Comparison):
+        return formula.negated()
+    return Not(formula)
+
+
+def to_nnf(formula: Node) -> Node:
+    """Negation normal form: ``not`` only on atoms, implications expanded."""
+    return _nnf(formula, negated=False)
+
+
+def _nnf(node: Node, negated: bool) -> Node:
+    if isinstance(node, Not):
+        return _nnf(node.operand, not negated)
+    if isinstance(node, And):
+        parts = [_nnf(part, negated) for part in node.parts]
+        return disjoin(parts) if negated else conjoin(parts)
+    if isinstance(node, Or):
+        parts = [_nnf(part, negated) for part in node.parts]
+        return conjoin(parts) if negated else disjoin(parts)
+    if isinstance(node, Implies):
+        # A -> B  ==  not A or B;   not(A -> B)  ==  A and not B
+        if negated:
+            return conjoin([_nnf(node.antecedent, False), _nnf(node.consequent, True)])
+        return disjoin([_nnf(node.antecedent, True), _nnf(node.consequent, False)])
+    if isinstance(node, TrueFormula):
+        return FALSE if negated else TRUE
+    if isinstance(node, FalseFormula):
+        return TRUE if negated else FALSE
+    if isinstance(node, Comparison):
+        return node.negated() if negated else node
+    # Membership, quantifiers, key constraints, function calls, bare paths:
+    # negation stays wrapped around the atom.
+    return Not(node) if negated else node
+
+
+def to_dnf(formula: Node, limit: int = DNF_LIMIT) -> list[list[Node]]:
+    """Disjunctive normal form as a list of conjunctive branches.
+
+    Each branch is a list of literals (atoms or ``Not`` of atoms).  An empty
+    branch list means the formula is unsatisfiable (``false``); a branch that
+    is an empty list is trivially true.
+    """
+    nnf = to_nnf(formula)
+    branches = _dnf(nnf, limit)
+    return branches
+
+
+def _dnf(node: Node, limit: int) -> list[list[Node]]:
+    if isinstance(node, TrueFormula):
+        return [[]]
+    if isinstance(node, FalseFormula):
+        return []
+    if isinstance(node, Or):
+        branches: list[list[Node]] = []
+        for part in node.parts:
+            branches.extend(_dnf(part, limit))
+            if len(branches) > limit:
+                raise SolverError(f"DNF exceeds {limit} branches")
+        return branches
+    if isinstance(node, And):
+        branches = [[]]
+        for part in node.parts:
+            part_branches = _dnf(part, limit)
+            branches = [
+                existing + new for existing in branches for new in part_branches
+            ]
+            if len(branches) > limit:
+                raise SolverError(f"DNF exceeds {limit} branches")
+        return branches
+    return [[node]]
+
+
+def split_conjunction(formula: Node) -> list[Node]:
+    """The paper's constraint normalisation: split into non-conjunctive parts.
+
+    ``A and (B and C)`` yields ``[A, B, C]``; ``A implies (B and C)`` yields
+    ``[A implies B, A implies C]``.  Disjunctions and implications with
+    non-conjunctive consequents are atomic normalised constraints.
+    """
+    formula = _distribute_implications(formula)
+    if isinstance(formula, And):
+        result: list[Node] = []
+        for part in formula.parts:
+            result.extend(split_conjunction(part))
+        return result
+    if isinstance(formula, TrueFormula):
+        return []
+    return [formula]
+
+
+def _distribute_implications(node: Node) -> Node:
+    if isinstance(node, Implies):
+        consequent = _distribute_implications(node.consequent)
+        if isinstance(consequent, And):
+            return conjoin(
+                [Implies(node.antecedent, part) for part in consequent.parts]
+            )
+        return Implies(node.antecedent, consequent)
+    if isinstance(node, And):
+        return conjoin([_distribute_implications(part) for part in node.parts])
+    return node
+
+
+def is_literal(node: Node) -> bool:
+    """Whether ``node`` is an atom or a negated atom (DNF branch member)."""
+    if isinstance(node, Not):
+        node = node.operand
+    return not isinstance(node, (And, Or, Implies, Not))
+
+
+def atoms_of(formula: Node) -> list[Node]:
+    """The distinct atoms of a formula (negations stripped)."""
+    seen: dict[Node, None] = {}
+    for branch in to_dnf(formula):
+        for literal in branch:
+            atom = literal.operand if isinstance(literal, Not) else literal
+            seen.setdefault(atom, None)
+    return list(seen)

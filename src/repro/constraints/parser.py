@@ -1,0 +1,299 @@
+"""Recursive-descent parser for the constraint language.
+
+The grammar follows the surface syntax of Figure 1 plus the comparison-rule
+conditions in Section 2.2:
+
+.. code-block:: text
+
+    formula     := implication
+    implication := disjunction ('implies' implication)?
+    disjunction := conjunction ('or' conjunction)*
+    conjunction := negation ('and' negation)*
+    negation    := 'not' negation | relation
+    relation    := additive (('=' | '!=' | '<' | '<=' | '>' | '>=') additive
+                             | 'in' set_expr)?
+    additive    := term (('+' | '-') term)*
+    term        := unary (('*' | '/') unary)*
+    unary       := '-' unary | primary
+    primary     := NUMBER | STRING | 'true' | 'false' | set_literal
+                 | aggregate | quantified | key | call_or_path
+                 | '(' formula ')'
+    aggregate   := '(' AGG '(' 'collect' v 'for' v 'in' coll ')' 'over' IDENT ')'
+    quantified  := ('forall'|'exists') IDENT 'in' IDENT (quantified | '|' formula | formula)
+    key         := 'key' IDENT (',' IDENT)*
+
+Named constants (``MAX``, ``KNOWNPUBLISHERS``) are recognised either from an
+explicit ``constants`` set or by the paper's all-caps convention.
+"""
+
+from __future__ import annotations
+
+from typing import Collection
+
+from repro.constraints.ast import (
+    Aggregate,
+    And,
+    BinaryOp,
+    Comparison,
+    FunctionCall,
+    Implies,
+    KeyConstraint,
+    Literal,
+    Membership,
+    NamedConstant,
+    Node,
+    Not,
+    Or,
+    Path,
+    Quantified,
+    SetLiteral,
+    FALSE,
+    TRUE,
+)
+from repro.constraints.lexer import Token, TokenStream, tokenize
+
+AGGREGATE_FUNCS = ("sum", "avg", "min", "max", "count")
+
+
+def parse_expression(source: str, constants: Collection[str] = ()) -> Node:
+    """Parse a constraint formula (or bare expression) from source text."""
+    stream = TokenStream(tokenize(source))
+    parser = _Parser(stream, frozenset(constants))
+    node = parser.parse_formula()
+    stream.expect("EOF")
+    return node
+
+
+def parse_constraint(source: str, constants: Collection[str] = ()) -> Node:
+    """Alias of :func:`parse_expression`, kept for call-site readability."""
+    return parse_expression(source, constants)
+
+
+class _Parser:
+    def __init__(self, stream: TokenStream, constants: frozenset):
+        self.stream = stream
+        self.constants = constants
+
+    # -- formulas ------------------------------------------------------------
+
+    def parse_formula(self) -> Node:
+        return self._implication()
+
+    def _implication(self) -> Node:
+        left = self._disjunction()
+        if self.stream.at_keyword("implies"):
+            self.stream.next()
+            right = self._implication()
+            return Implies(left, right)
+        return left
+
+    def _disjunction(self) -> Node:
+        parts = [self._conjunction()]
+        while self.stream.at_keyword("or"):
+            self.stream.next()
+            parts.append(self._conjunction())
+        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+
+    def _conjunction(self) -> Node:
+        parts = [self._negation()]
+        while self.stream.at_keyword("and"):
+            self.stream.next()
+            parts.append(self._negation())
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+
+    def _negation(self) -> Node:
+        if self.stream.at_keyword("not"):
+            self.stream.next()
+            return Not(self._negation())
+        return self._relation()
+
+    def _relation(self) -> Node:
+        left = self._additive()
+        token = self.stream.peek()
+        if token.kind == "OP":
+            self.stream.next()
+            right = self._additive()
+            return Comparison(token.text, left, right)
+        if self.stream.at_keyword("in"):
+            self.stream.next()
+            collection = self._set_expression()
+            return Membership(left, collection)
+        return left
+
+    def _set_expression(self) -> Node:
+        if self.stream.at("LBRACE"):
+            return self._set_literal()
+        # A named constant set (KNOWNPUBLISHERS) or a set-valued attribute
+        # path; _call_or_path applies the all-caps constant convention.
+        return self._additive()
+
+    # -- expressions -------------------------------------------------------------
+
+    def _additive(self) -> Node:
+        left = self._term()
+        while self.stream.at("PLUS") or self.stream.at("MINUS"):
+            op = "+" if self.stream.next().kind == "PLUS" else "-"
+            left = BinaryOp(op, left, self._term())
+        return left
+
+    def _term(self) -> Node:
+        left = self._unary()
+        while self.stream.at("STAR") or self.stream.at("SLASH"):
+            op = "*" if self.stream.next().kind == "STAR" else "/"
+            left = BinaryOp(op, left, self._unary())
+        return left
+
+    def _unary(self) -> Node:
+        if self.stream.at("MINUS"):
+            self.stream.next()
+            operand = self._unary()
+            if isinstance(operand, Literal) and isinstance(operand.value, (int, float)):
+                return Literal(-operand.value)
+            return BinaryOp("-", Literal(0), operand)
+        return self._primary()
+
+    def _primary(self) -> Node:
+        stream = self.stream
+        token = stream.peek()
+        if token.kind == "NUMBER":
+            stream.next()
+            return Literal(_number(token))
+        if token.kind == "STRING":
+            stream.next()
+            return Literal(token.text[1:-1])
+        if stream.at_keyword("true"):
+            stream.next()
+            return Literal(True)
+        if stream.at_keyword("false"):
+            stream.next()
+            return Literal(False)
+        if stream.at("LBRACE"):
+            return self._set_literal()
+        if stream.at_keyword("forall", "exists"):
+            return self._quantified()
+        if stream.at_keyword("key"):
+            return self._key()
+        if stream.at("LPAREN"):
+            return self._parenthesised()
+        if token.kind == "IDENT" or stream.at_keyword("self"):
+            return self._call_or_path()
+        raise stream.error("expected an expression")
+
+    def _parenthesised(self) -> Node:
+        stream = self.stream
+        stream.expect("LPAREN")
+        if stream.at_keyword(*AGGREGATE_FUNCS):
+            node = self._aggregate_body()
+            stream.expect("RPAREN")
+            return node
+        node = self.parse_formula()
+        stream.expect("RPAREN")
+        return node
+
+    def _set_literal(self) -> Node:
+        stream = self.stream
+        stream.expect("LBRACE")
+        values = []
+        if not stream.at("RBRACE"):
+            values.append(self._constant_value())
+            while stream.accept("COMMA"):
+                values.append(self._constant_value())
+        stream.expect("RBRACE")
+        return SetLiteral(tuple(values))
+
+    def _constant_value(self):
+        stream = self.stream
+        token = stream.peek()
+        if token.kind == "NUMBER":
+            stream.next()
+            return _number(token)
+        if token.kind == "STRING":
+            stream.next()
+            return token.text[1:-1]
+        if stream.at_keyword("true"):
+            stream.next()
+            return True
+        if stream.at_keyword("false"):
+            stream.next()
+            return False
+        if stream.at("MINUS"):
+            stream.next()
+            inner = stream.expect("NUMBER")
+            return -_number(inner)
+        raise stream.error("expected a constant inside a set literal")
+
+    def _aggregate_body(self) -> Node:
+        stream = self.stream
+        func = stream.next().text  # the aggregate keyword
+        stream.expect("LPAREN")
+        stream.expect("KEYWORD", "collect")
+        item_var = stream.expect("IDENT").text
+        stream.expect("KEYWORD", "for")
+        bound_var = stream.expect("IDENT").text
+        stream.expect("KEYWORD", "in")
+        if stream.at_keyword("self"):
+            stream.next()
+            collection = "self"
+        else:
+            collection = stream.expect("IDENT").text
+        stream.expect("RPAREN")
+        over: str | None = None
+        if stream.at_keyword("over"):
+            stream.next()
+            over = stream.expect("IDENT").text
+        if bound_var != item_var:
+            raise stream.error(
+                f"collect variable {item_var!r} must match loop variable {bound_var!r}"
+            )
+        return Aggregate(func, item_var, collection, over)
+
+    def _quantified(self) -> Node:
+        stream = self.stream
+        kind = stream.next().text  # forall | exists
+        var = stream.expect("IDENT").text
+        stream.expect("KEYWORD", "in")
+        class_name = stream.expect("IDENT").text
+        if stream.at_keyword("forall", "exists"):
+            body = self._quantified()
+        elif stream.accept("BAR"):
+            body = self.parse_formula()
+        else:
+            body = self.parse_formula()
+        return Quantified(kind, var, class_name, body)
+
+    def _key(self) -> Node:
+        stream = self.stream
+        stream.expect("KEYWORD", "key")
+        attributes = [stream.expect("IDENT").text]
+        while stream.accept("COMMA"):
+            attributes.append(stream.expect("IDENT").text)
+        return KeyConstraint(tuple(attributes))
+
+    def _call_or_path(self) -> Node:
+        stream = self.stream
+        first = stream.next().text
+        if stream.at("LPAREN"):
+            stream.next()
+            args = []
+            if not stream.at("RPAREN"):
+                args.append(self.parse_formula())
+                while stream.accept("COMMA"):
+                    args.append(self.parse_formula())
+            stream.expect("RPAREN")
+            return FunctionCall(first, tuple(args))
+        parts = [first]
+        while stream.at("DOT"):
+            stream.next()
+            parts.append(stream.expect("IDENT").text)
+        if len(parts) == 1 and self._is_constant(first):
+            return NamedConstant(first)
+        return Path(tuple(parts))
+
+    def _is_constant(self, name: str) -> bool:
+        if name in self.constants:
+            return True
+        return len(name) > 1 and name.isupper()
+
+
+def _number(token: Token):
+    return float(token.text) if "." in token.text else int(token.text)

@@ -1,0 +1,121 @@
+"""Pretty-printer for constraint ASTs.
+
+``parse_expression(to_source(node))`` reproduces ``node`` for every node the
+parser can produce — the round-trip property is enforced by the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.ast import (
+    Aggregate,
+    And,
+    BinaryOp,
+    Comparison,
+    FalseFormula,
+    FunctionCall,
+    Implies,
+    KeyConstraint,
+    Literal,
+    Membership,
+    NamedConstant,
+    Node,
+    Not,
+    Or,
+    Path,
+    Quantified,
+    SetLiteral,
+    TrueFormula,
+)
+
+# Binding strength, loosest first; used to decide parenthesisation.
+_PRECEDENCE = {
+    Implies: 1,
+    Or: 2,
+    And: 3,
+    Not: 4,
+    Comparison: 5,
+    Membership: 5,
+    BinaryOp: 6,
+}
+
+
+def to_source(node: Node) -> str:
+    """Render ``node`` as parseable constraint-language source."""
+    return _render(node, 0)
+
+
+def _precedence(node: Node) -> int:
+    for node_type, prec in _PRECEDENCE.items():
+        if isinstance(node, node_type):
+            if isinstance(node, BinaryOp):
+                return 6 if node.op in "+-" else 7
+            return prec
+    return 9  # atoms never need parentheses
+
+
+def _render(node: Node, parent_prec: int) -> str:
+    text = _render_bare(node)
+    if _precedence(node) < parent_prec:
+        return f"({text})"
+    return text
+
+
+def _render_bare(node: Node) -> str:
+    if isinstance(node, Literal):
+        return _literal(node.value)
+    if isinstance(node, SetLiteral):
+        return "{" + ", ".join(_literal(v) for v in node.values) + "}"
+    if isinstance(node, NamedConstant):
+        return node.name
+    if isinstance(node, Path):
+        return node.dotted()
+    if isinstance(node, BinaryOp):
+        prec = _precedence(node)
+        return f"{_render(node.left, prec)} {node.op} {_render(node.right, prec + 1)}"
+    if isinstance(node, FunctionCall):
+        args = ", ".join(_render(arg, 0) for arg in node.args)
+        return f"{node.name}({args})"
+    if isinstance(node, Aggregate):
+        collected = f"(collect {node.item_var} for {node.item_var} in {node.collection})"
+        suffix = f" over {node.over}" if node.over else ""
+        return f"({node.func} {collected}{suffix})"
+    if isinstance(node, Comparison):
+        prec = _precedence(node)
+        return f"{_render(node.left, prec + 1)} {node.op} {_render(node.right, prec + 1)}"
+    if isinstance(node, Membership):
+        prec = _precedence(node)
+        return f"{_render(node.element, prec + 1)} in {_render(node.collection, 0)}"
+    if isinstance(node, Not):
+        return f"not {_render(node.operand, _precedence(node))}"
+    if isinstance(node, And):
+        # Children at prec+1 so a *nested* And gets parenthesised; the parser
+        # produces flat n-ary conjunctions, so flat trees stay paren-free.
+        prec = _precedence(node)
+        return " and ".join(_render(part, prec + 1) for part in node.parts)
+    if isinstance(node, Or):
+        prec = _precedence(node)
+        return " or ".join(_render(part, prec + 1) for part in node.parts)
+    if isinstance(node, Implies):
+        prec = _precedence(node)
+        return f"{_render(node.antecedent, prec + 1)} implies {_render(node.consequent, prec)}"
+    if isinstance(node, Quantified):
+        body = _render(node.body, 0)
+        separator = " " if isinstance(node.body, Quantified) else " | "
+        return f"{node.kind} {node.var} in {node.class_name}{separator}{body}"
+    if isinstance(node, KeyConstraint):
+        return "key " + ", ".join(node.attributes)
+    if isinstance(node, TrueFormula):
+        return "true"
+    if isinstance(node, FalseFormula):
+        return "false"
+    raise TypeError(f"cannot render node of type {type(node).__name__}")
+
+
+def _literal(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return f"'{value}'"
+    if isinstance(value, float) and value.is_integer():
+        return str(value)  # keep the .0 so the round-trip preserves floatness
+    return str(value)

@@ -1,0 +1,52 @@
+"""Abstract value-set domains.
+
+The symbolic machinery of the reproduction — constraint satisfiability,
+entailment (``⊨``), and the derivation of global constraints through decision
+functions — all reduces to computations on *sets of possible values* for
+attribute paths.  This package provides that algebra:
+
+* :class:`~repro.domains.interval.Interval` /
+  :class:`~repro.domains.interval.IntervalSet` — unions of disjoint intervals
+  over the reals, with open/closed bounds and optional integrality.
+* :class:`~repro.domains.discrete.AtomSet` — finite or co-finite sets of
+  atomic values (strings, booleans, publisher names, ...).
+* :class:`~repro.domains.valueset.ValueSet` — the unified facade with
+  ``intersect`` / ``union_with`` / ``complement`` / ``is_empty`` /
+  ``is_subset_of`` and bounded enumeration.
+* :mod:`~repro.domains.combine` — pointwise combination of two value sets
+  under a decision function (``avg``, ``max``, ``min``, arithmetic), the
+  engine behind the paper's intro example where ``{10, 20}`` and ``{14, 24}``
+  combine under ``avg`` into ``{12, 17, 22}``.
+* :mod:`~repro.domains.typed` — seeding a value set from a TM type
+  (``1..5`` becomes the integral interval ``[1, 5]``).
+"""
+
+from repro.domains.interval import Interval, IntervalSet
+from repro.domains.discrete import AtomSet
+from repro.domains.valueset import (
+    BOTTOM,
+    NumericSet,
+    TopSet,
+    ValueSet,
+    boolean_set,
+    numeric_points,
+    numeric_range,
+)
+from repro.domains.combine import combine_numeric, combine_pointwise
+from repro.domains.typed import type_to_valueset
+
+__all__ = [
+    "Interval",
+    "IntervalSet",
+    "AtomSet",
+    "ValueSet",
+    "NumericSet",
+    "TopSet",
+    "BOTTOM",
+    "boolean_set",
+    "numeric_points",
+    "numeric_range",
+    "combine_numeric",
+    "combine_pointwise",
+    "type_to_valueset",
+]

@@ -1,0 +1,184 @@
+"""Pointwise combination of value sets under decision functions.
+
+This module answers the question at the heart of the paper's intro example:
+*given that the local value lies in D and the remote value lies in D', where
+does the global value ``df(local, remote)`` lie?*
+
+For ``avg`` on ``{10, 20}`` and ``{14, 24}`` the answer is ``{12, 17, 22}``
+(the paper's derived global constraint for ``trav-reimb``).  When either side
+is not finitely enumerable the combination falls back to sound interval
+reasoning on the bounds.
+
+Only *numeric* combination lives here; the ``union`` decision function on
+power-set values is handled structurally in
+:mod:`repro.integration.derivation` because its "domains" are sets of sets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.domains.interval import Interval, IntervalSet
+from repro.domains.valueset import (
+    ENUMERATION_LIMIT,
+    BOTTOM,
+    NumericSet,
+    TopSet,
+    ValueSet,
+)
+from repro.errors import SolverError
+
+#: Pointwise semantics of the supported numeric combinators.
+POINT_FUNCTIONS: dict[str, Callable[[float, float], float]] = {
+    "avg": lambda a, b: (a + b) / 2,
+    "max": max,
+    "min": min,
+    "sum": lambda a, b: a + b,
+    "diff": lambda a, b: a - b,
+    "first": lambda a, b: a,
+    "second": lambda a, b: b,
+}
+
+
+def combine_numeric(left: NumericSet, right: NumericSet, op: str) -> NumericSet:
+    """The image ``{ op(a, b) : a ∈ left, b ∈ right }`` (or a sound superset).
+
+    Finite × finite domains are combined exactly, pointwise.  Otherwise each
+    pair of intervals is combined through monotone bound arithmetic, which is
+    exact for ``avg``/``sum``/``diff`` and for ``max``/``min`` (both are
+    monotone in each argument), though the union of the per-pair images may
+    merge into a coarser interval set.
+    """
+    if op not in POINT_FUNCTIONS:
+        raise SolverError(f"unknown numeric combinator {op!r}")
+    if left.is_empty() or right.is_empty():
+        return NumericSet.empty()
+
+    fn = POINT_FUNCTIONS[op]
+    left_values = left.enumerate(ENUMERATION_LIMIT)
+    right_values = right.enumerate(ENUMERATION_LIMIT)
+    if (
+        left_values is not None
+        and right_values is not None
+        and len(left_values) * len(right_values) <= ENUMERATION_LIMIT * 4
+    ):
+        combined = sorted({fn(a, b) for a in left_values for b in right_values})
+        return NumericSet.points(combined)
+
+    pieces = []
+    for a in left.intervals.intervals:
+        for b in right.intervals.intervals:
+            pieces.append(_combine_intervals(a, b, op))
+    integral = _result_integral(left, right, op)
+    return NumericSet(IntervalSet(pieces), integral)
+
+
+def combine_pointwise(left: ValueSet, right: ValueSet, op: str) -> ValueSet:
+    """Dispatching wrapper around :func:`combine_numeric`.
+
+    ``first``/``second`` projections work for any domain kind (they model
+    conflict-settling functions whose winner is known); other combinators
+    require numeric operands.
+    """
+    if op == "first":
+        return left
+    if op == "second":
+        return right
+    if isinstance(left, TopSet) or isinstance(right, TopSet):
+        return TopSet()
+    if left.is_empty() or right.is_empty():
+        return BOTTOM
+    if isinstance(left, NumericSet) and isinstance(right, NumericSet):
+        return combine_numeric(left, right, op)
+    if op in ("max", "min"):
+        # Settling functions pick one of the two values, so the union is a
+        # sound result set even for non-numeric (but ordered) atom domains.
+        return left.union_with(right)
+    raise SolverError(
+        f"combinator {op!r} requires numeric domains, got "
+        f"{type(left).__name__} and {type(right).__name__}"
+    )
+
+
+def _result_integral(left: NumericSet, right: NumericSet, op: str) -> bool:
+    if op in ("max", "min"):
+        return left.integral and right.integral
+    if op in ("sum", "diff"):
+        return left.integral and right.integral
+    # avg of two integers need not be an integer.
+    return False
+
+
+def _bound_add(a: float | None, b: float | None) -> float | None:
+    if a is None or b is None:
+        return None
+    return a + b
+
+
+def _combine_intervals(a: Interval, b: Interval, op: str) -> Interval:
+    if op == "avg":
+        low = _bound_add(a.low, b.low)
+        high = _bound_add(a.high, b.high)
+        return Interval(
+            None if low is None else low / 2,
+            None if high is None else high / 2,
+            a.low_open or b.low_open,
+            a.high_open or b.high_open,
+        )
+    if op == "sum":
+        return Interval(
+            _bound_add(a.low, b.low),
+            _bound_add(a.high, b.high),
+            a.low_open or b.low_open,
+            a.high_open or b.high_open,
+        )
+    if op == "diff":
+        low = None if a.low is None or b.high is None else a.low - b.high
+        high = None if a.high is None or b.low is None else a.high - b.low
+        return Interval(low, high, a.low_open or b.high_open, a.high_open or b.low_open)
+    if op == "max":
+        # max(x, y): infimum is max of the lows, supremum is max of the highs.
+        low, low_open = _pick_larger((a.low, a.low_open), (b.low, b.low_open), none_is="-inf")
+        high, high_open = _pick_larger((a.high, a.high_open), (b.high, b.high_open), none_is="+inf")
+        return Interval(low, high, low_open, high_open)
+    if op == "min":
+        low, low_open = _pick_smaller((a.low, a.low_open), (b.low, b.low_open), none_is="-inf")
+        high, high_open = _pick_smaller((a.high, a.high_open), (b.high, b.high_open), none_is="+inf")
+        return Interval(low, high, low_open, high_open)
+    if op == "first":
+        return a
+    if op == "second":
+        return b
+    raise SolverError(f"unknown numeric combinator {op!r}")
+
+
+def _pick_larger(x: tuple, y: tuple, none_is: str) -> tuple:
+    """The larger of two bounds; ``None`` reads as -inf or +inf per kind."""
+    (vx, ox), (vy, oy) = x, y
+    if vx is None and vy is None:
+        return None, False
+    if vx is None:
+        return (vy, oy) if none_is == "-inf" else (None, False)
+    if vy is None:
+        return (vx, ox) if none_is == "-inf" else (None, False)
+    if vx > vy:
+        return vx, ox
+    if vy > vx:
+        return vy, oy
+    return vx, ox and oy
+
+
+def _pick_smaller(x: tuple, y: tuple, none_is: str) -> tuple:
+    """The smaller of two bounds; ``None`` reads as -inf or +inf per kind."""
+    (vx, ox), (vy, oy) = x, y
+    if vx is None and vy is None:
+        return None, False
+    if vx is None:
+        return (None, False) if none_is == "-inf" else (vy, oy)
+    if vy is None:
+        return (None, False) if none_is == "-inf" else (vx, ox)
+    if vx < vy:
+        return vx, ox
+    if vy < vx:
+        return vy, oy
+    return vx, ox and oy

@@ -1,0 +1,140 @@
+"""Finite and co-finite sets of atomic values.
+
+Strings (publisher names, titles), booleans and other unordered values are
+tracked as :class:`AtomSet`: either a finite set of admitted values or the
+complement of a finite set over an implicitly infinite universe.  When the
+universe is actually finite (booleans, named constant sets), pass it at
+construction and complements normalise back to finite sets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable
+
+
+class AtomSet:
+    """A finite (``complemented=False``) or co-finite set of atoms.
+
+    Instances are immutable.  Unless ``universe`` is given, the universe is
+    assumed infinite, so a co-finite set is never empty and never a subset of
+    a finite one.
+    """
+
+    __slots__ = ("values", "complemented", "universe")
+
+    def __init__(
+        self,
+        values: Iterable[Any] = (),
+        complemented: bool = False,
+        universe: FrozenSet[Any] | None = None,
+    ):
+        values = frozenset(values)
+        if universe is not None:
+            if not values <= universe:
+                values = values & universe
+            if complemented:
+                values = universe - values
+                complemented = False
+        self.values: FrozenSet[Any] = values
+        self.complemented = complemented
+        self.universe = universe
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def of(*values: Any) -> "AtomSet":
+        return AtomSet(values)
+
+    @staticmethod
+    def top(universe: FrozenSet[Any] | None = None) -> "AtomSet":
+        """The full universe (co-finite complement of nothing)."""
+        return AtomSet((), complemented=True, universe=universe)
+
+    @staticmethod
+    def empty() -> "AtomSet":
+        return AtomSet(())
+
+    # -- queries ---------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not self.complemented and not self.values
+
+    def is_top(self) -> bool:
+        if self.complemented:
+            return not self.values
+        return self.universe is not None and self.values == self.universe
+
+    def contains(self, value: Any) -> bool:
+        if self.complemented:
+            return value not in self.values
+        return value in self.values
+
+    def is_finite(self) -> bool:
+        return not self.complemented
+
+    def finite_values(self) -> FrozenSet[Any] | None:
+        return None if self.complemented else self.values
+
+    # -- set algebra -----------------------------------------------------------
+
+    def _merged_universe(self, other: "AtomSet") -> FrozenSet[Any] | None:
+        if self.universe is not None:
+            return self.universe
+        return other.universe
+
+    def intersect(self, other: "AtomSet") -> "AtomSet":
+        universe = self._merged_universe(other)
+        if not self.complemented and not other.complemented:
+            return AtomSet(self.values & other.values, universe=universe)
+        if not self.complemented:
+            return AtomSet(self.values - other.values, universe=universe)
+        if not other.complemented:
+            return AtomSet(other.values - self.values, universe=universe)
+        return AtomSet(self.values | other.values, complemented=True, universe=universe)
+
+    def union(self, other: "AtomSet") -> "AtomSet":
+        universe = self._merged_universe(other)
+        if not self.complemented and not other.complemented:
+            return AtomSet(self.values | other.values, universe=universe)
+        if self.complemented and other.complemented:
+            return AtomSet(self.values & other.values, complemented=True, universe=universe)
+        finite, cofinite = (self, other) if not self.complemented else (other, self)
+        return AtomSet(cofinite.values - finite.values, complemented=True, universe=universe)
+
+    def complement(self) -> "AtomSet":
+        return AtomSet(self.values, complemented=not self.complemented, universe=self.universe)
+
+    def difference(self, other: "AtomSet") -> "AtomSet":
+        return self.intersect(other.complement())
+
+    def is_subset(self, other: "AtomSet") -> bool:
+        if not self.complemented and not other.complemented:
+            return self.values <= other.values
+        if not self.complemented and other.complemented:
+            return not (self.values & other.values)
+        if self.complemented and other.complemented:
+            return other.values <= self.values
+        # Co-finite (infinite universe) can never fit inside a finite set.
+        return False
+
+    # -- dunder ------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AtomSet):
+            return NotImplemented
+        return self.values == other.values and self.complemented == other.complemented
+
+    def __hash__(self) -> int:
+        return hash((self.values, self.complemented))
+
+    def describe(self) -> str:
+        rendered = ", ".join(repr(v) for v in sorted(self.values, key=repr))
+        if self.complemented:
+            return f"¬{{{rendered}}}" if rendered else "⊤"
+        return "{" + rendered + "}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial delegation
+        return self.describe()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"AtomSet({self.describe()})"

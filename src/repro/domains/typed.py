@@ -1,0 +1,56 @@
+"""Seeding value-set domains from TM types.
+
+The solver starts every attribute path at the domain its declared type allows
+(``rating : 1..5`` starts at the integral interval ``[1, 5]``) and narrows it
+as constraint atoms are propagated.
+"""
+
+from __future__ import annotations
+
+from repro.domains.discrete import AtomSet
+from repro.domains.valueset import (
+    DiscreteSet,
+    NumericSet,
+    TopSet,
+    ValueSet,
+    boolean_set,
+    numeric_range,
+)
+from repro.types.primitives import (
+    BoolType,
+    ClassRef,
+    EnumType,
+    IntType,
+    RangeType,
+    RealType,
+    SetType,
+    StringType,
+    Type,
+)
+
+
+def type_to_valueset(tm_type: Type | None) -> ValueSet:
+    """The full domain of ``tm_type`` as a :class:`ValueSet`.
+
+    Unknown or uninterpreted types (``None``, class references, power sets)
+    yield the unconstrained :class:`TopSet`.
+    """
+    if tm_type is None:
+        return TopSet()
+    if isinstance(tm_type, RangeType):
+        return numeric_range(tm_type.low, tm_type.high, integral=True)
+    if isinstance(tm_type, IntType):
+        return NumericSet.all(integral=True)
+    if isinstance(tm_type, RealType):
+        return NumericSet.all()
+    if isinstance(tm_type, BoolType):
+        return boolean_set()
+    if isinstance(tm_type, StringType):
+        return DiscreteSet(AtomSet.top())
+    if isinstance(tm_type, EnumType):
+        if tm_type.is_numeric:
+            return NumericSet.points(tm_type.values)
+        return DiscreteSet(AtomSet(tm_type.values))
+    if isinstance(tm_type, (SetType, ClassRef)):
+        return TopSet()
+    return TopSet()

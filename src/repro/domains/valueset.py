@@ -1,0 +1,358 @@
+"""The unified :class:`ValueSet` facade over numeric and discrete domains.
+
+The solver tracks one :class:`ValueSet` per attribute path.  Three concrete
+kinds exist:
+
+* :class:`NumericSet` — an :class:`~repro.domains.interval.IntervalSet` plus
+  an integrality flag (integral sets tighten open bounds: ``rating > 3`` over
+  ``1..5`` becomes ``rating ∈ [4, 5]``).
+* :class:`DiscreteSet` — an :class:`~repro.domains.discrete.AtomSet` for
+  strings, booleans and other unordered atoms.
+* :class:`TopSet` — the unconstrained domain for values the algebra does not
+  interpret (object references, power-set values); it absorbs nothing and
+  intersects to the other operand.
+
+Mixing numeric and discrete sets in one operation signals a type error in the
+caller and raises :class:`~repro.errors.SolverError`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.domains.discrete import AtomSet
+from repro.domains.interval import IntervalSet
+from repro.errors import SolverError
+
+#: Enumeration cut-off: domains with more members than this are treated as
+#: non-enumerable by derivation (falls back to interval reasoning).
+ENUMERATION_LIMIT = 1024
+
+
+class ValueSet:
+    """Abstract base for the three domain kinds."""
+
+    def intersect(self, other: "ValueSet") -> "ValueSet":
+        raise NotImplementedError
+
+    def union_with(self, other: "ValueSet") -> "ValueSet":
+        raise NotImplementedError
+
+    def complement(self) -> "ValueSet":
+        raise NotImplementedError
+
+    def is_empty(self) -> bool:
+        raise NotImplementedError
+
+    def contains(self, value: Any) -> bool:
+        raise NotImplementedError
+
+    def is_subset_of(self, other: "ValueSet") -> bool:
+        raise NotImplementedError
+
+    def enumerate(self, limit: int = ENUMERATION_LIMIT) -> tuple | None:
+        """The members as a tuple if finitely enumerable, else ``None``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - trivial delegation
+        return self.describe()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.describe()})"
+
+
+class TopSet(ValueSet):
+    """The unconstrained domain: contains everything, subset of nothing else."""
+
+    _instance: "TopSet | None" = None
+
+    def __new__(cls) -> "TopSet":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def intersect(self, other: ValueSet) -> ValueSet:
+        return other
+
+    def union_with(self, other: ValueSet) -> ValueSet:
+        return self
+
+    def complement(self) -> ValueSet:
+        return BOTTOM
+
+    def is_empty(self) -> bool:
+        return False
+
+    def contains(self, value: Any) -> bool:
+        return True
+
+    def is_subset_of(self, other: ValueSet) -> bool:
+        return isinstance(other, TopSet)
+
+    def enumerate(self, limit: int = ENUMERATION_LIMIT) -> tuple | None:
+        return None
+
+    def describe(self) -> str:
+        return "⊤"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TopSet)
+
+    def __hash__(self) -> int:
+        return hash("TopSet")
+
+
+class NumericSet(ValueSet):
+    """A set of numbers: interval set plus integrality."""
+
+    __slots__ = ("intervals", "integral")
+
+    def __init__(self, intervals: IntervalSet, integral: bool = False):
+        if integral:
+            intervals = intervals.tighten_integral()
+        self.intervals = intervals
+        self.integral = integral
+
+    # -- constructors -----------------------------------------------------------
+
+    @staticmethod
+    def all(integral: bool = False) -> "NumericSet":
+        return NumericSet(IntervalSet.all(), integral)
+
+    @staticmethod
+    def empty() -> "NumericSet":
+        return NumericSet(IntervalSet.empty())
+
+    @staticmethod
+    def points(values: Iterable[float], integral: bool | None = None) -> "NumericSet":
+        values = tuple(values)
+        if integral is None:
+            integral = all(float(v).is_integer() for v in values)
+        return NumericSet(IntervalSet.points(values), integral)
+
+    # -- ValueSet API -------------------------------------------------------------
+
+    def intersect(self, other: ValueSet) -> ValueSet:
+        if isinstance(other, TopSet):
+            return self
+        if not isinstance(other, NumericSet):
+            raise SolverError(
+                f"type clash: numeric set intersected with {type(other).__name__}"
+            )
+        return NumericSet(
+            self.intervals.intersect(other.intervals),
+            self.integral or other.integral,
+        )
+
+    def union_with(self, other: ValueSet) -> ValueSet:
+        if isinstance(other, TopSet):
+            return other
+        if not isinstance(other, NumericSet):
+            raise SolverError(
+                f"type clash: numeric set united with {type(other).__name__}"
+            )
+        return NumericSet(
+            self.intervals.union(other.intervals),
+            self.integral and other.integral,
+        )
+
+    def complement(self) -> ValueSet:
+        # The complement of an integral set over the reals is not integral;
+        # the caller re-intersects with the path's type domain afterwards.
+        return NumericSet(self.intervals.complement(), False)
+
+    def is_empty(self) -> bool:
+        return self.intervals.is_empty()
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            return False
+        if self.integral and not float(value).is_integer():
+            return False
+        return self.intervals.contains(value)
+
+    def is_subset_of(self, other: ValueSet) -> bool:
+        if isinstance(other, TopSet):
+            return True
+        if not isinstance(other, NumericSet):
+            return False
+        if self.integral:
+            mine = self.enumerate()
+            if mine is not None:
+                return all(other.contains(v) for v in mine)
+        return self.intervals.is_subset(other.intervals)
+
+    def enumerate(self, limit: int = ENUMERATION_LIMIT) -> tuple | None:
+        if self.integral:
+            return self.intervals.enumerate_integers(limit)
+        values = self.intervals.finite_values()
+        if values is not None and len(values) <= limit:
+            return values
+        return None
+
+    # -- numeric extras --------------------------------------------------------------
+
+    def lower_bound(self) -> tuple[float | None, bool]:
+        return self.intervals.lower_bound()
+
+    def upper_bound(self) -> tuple[float | None, bool]:
+        return self.intervals.upper_bound()
+
+    def describe(self) -> str:
+        suffix = " (int)" if self.integral else ""
+        return self.intervals.describe() + suffix
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NumericSet):
+            return NotImplemented
+        return self.intervals == other.intervals and self.integral == other.integral
+
+    def __hash__(self) -> int:
+        return hash((self.intervals, self.integral))
+
+
+class DiscreteSet(ValueSet):
+    """A set of unordered atoms (strings, booleans)."""
+
+    __slots__ = ("atoms",)
+
+    def __init__(self, atoms: AtomSet):
+        self.atoms = atoms
+
+    @staticmethod
+    def of(*values: Any) -> "DiscreteSet":
+        return DiscreteSet(AtomSet(values))
+
+    @staticmethod
+    def top() -> "DiscreteSet":
+        return DiscreteSet(AtomSet.top())
+
+    def intersect(self, other: ValueSet) -> ValueSet:
+        if isinstance(other, TopSet):
+            return self
+        if not isinstance(other, DiscreteSet):
+            raise SolverError(
+                f"type clash: discrete set intersected with {type(other).__name__}"
+            )
+        return DiscreteSet(self.atoms.intersect(other.atoms))
+
+    def union_with(self, other: ValueSet) -> ValueSet:
+        if isinstance(other, TopSet):
+            return other
+        if not isinstance(other, DiscreteSet):
+            raise SolverError(
+                f"type clash: discrete set united with {type(other).__name__}"
+            )
+        return DiscreteSet(self.atoms.union(other.atoms))
+
+    def complement(self) -> ValueSet:
+        return DiscreteSet(self.atoms.complement())
+
+    def is_empty(self) -> bool:
+        return self.atoms.is_empty()
+
+    def contains(self, value: Any) -> bool:
+        return self.atoms.contains(value)
+
+    def is_subset_of(self, other: ValueSet) -> bool:
+        if isinstance(other, TopSet):
+            return True
+        if not isinstance(other, DiscreteSet):
+            return False
+        return self.atoms.is_subset(other.atoms)
+
+    def enumerate(self, limit: int = ENUMERATION_LIMIT) -> tuple | None:
+        values = self.atoms.finite_values()
+        if values is None or len(values) > limit:
+            return None
+        return tuple(sorted(values, key=repr))
+
+    def describe(self) -> str:
+        return self.atoms.describe()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DiscreteSet):
+            return NotImplemented
+        return self.atoms == other.atoms
+
+    def __hash__(self) -> int:
+        return hash(self.atoms)
+
+
+class _BottomSet(ValueSet):
+    """The empty domain of unknown kind (complement of ⊤)."""
+
+    def intersect(self, other: ValueSet) -> ValueSet:
+        return self
+
+    def union_with(self, other: ValueSet) -> ValueSet:
+        return other
+
+    def complement(self) -> ValueSet:
+        return TopSet()
+
+    def is_empty(self) -> bool:
+        return True
+
+    def contains(self, value: Any) -> bool:
+        return False
+
+    def is_subset_of(self, other: ValueSet) -> bool:
+        return True
+
+    def enumerate(self, limit: int = ENUMERATION_LIMIT) -> tuple | None:
+        return ()
+
+    def describe(self) -> str:
+        return "⊥"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _BottomSet)
+
+    def __hash__(self) -> int:
+        return hash("_BottomSet")
+
+
+#: The canonical empty domain.
+BOTTOM = _BottomSet()
+
+
+def boolean_set(*values: bool) -> DiscreteSet:
+    """A boolean domain; with no arguments, the full ``{True, False}``."""
+    universe = frozenset({True, False})
+    if not values:
+        return DiscreteSet(AtomSet(universe, universe=universe))
+    return DiscreteSet(AtomSet(values, universe=universe))
+
+
+def numeric_range(
+    low: float | None,
+    high: float | None,
+    integral: bool = False,
+    low_strict: bool = False,
+    high_strict: bool = False,
+) -> NumericSet:
+    """The numeric interval domain ``[low, high]`` (``None`` = unbounded)."""
+    from repro.domains.interval import Interval
+
+    return NumericSet(
+        IntervalSet((Interval(low, high, low_strict, high_strict),)), integral
+    )
+
+
+def numeric_points(values: Sequence[float]) -> NumericSet:
+    """A finite numeric domain, integral iff all members are integers."""
+    return NumericSet.points(values)
+
+
+def from_values(values: Iterable[Any]) -> ValueSet:
+    """Build the appropriate domain kind from a collection of literals."""
+    values = tuple(values)
+    if not values:
+        return BOTTOM
+    if all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in values):
+        return NumericSet.points(values)
+    return DiscreteSet(AtomSet(values))

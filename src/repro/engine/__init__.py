@@ -1,0 +1,24 @@
+"""An in-memory object database engine with integrity enforcement.
+
+The paper's setting is interoperation of *autonomous component databases*
+that each enforce their own integrity constraints ("the scope of this paper
+is restricted to constraints that are being enforced by the component
+databases").  This package provides that substrate: a small OO database
+engine that stores typed objects in inheritance-aware class extents and
+rejects any operation that would violate an object, class or database
+constraint of its TM schema.
+
+* :mod:`~repro.engine.objects` — object identities and states;
+* :mod:`~repro.engine.store` — the store: insert/update/delete, extents,
+  reference dereferencing, evaluation contexts;
+* :mod:`~repro.engine.enforcement` — constraint checking;
+* :mod:`~repro.engine.query` — predicate queries over extents;
+* :mod:`~repro.engine.transactions` — snapshot transactions with deferred
+  constraint checking.
+"""
+
+from repro.engine.objects import DBObject
+from repro.engine.store import ObjectStore
+from repro.engine.query import select
+
+__all__ = ["DBObject", "ObjectStore", "select"]

@@ -1,0 +1,125 @@
+"""Constraint enforcement over an :class:`~repro.engine.store.ObjectStore`.
+
+The component databases of the paper enforce their own integrity constraints;
+this module is that enforcement.  Object constraints (own + inherited) are
+checked against single objects, class constraints against (deep) extents, and
+database constraints against the whole store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.constraints.evaluate import evaluate
+from repro.errors import ConstraintViolation, EvaluationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.objects import DBObject
+    from repro.engine.store import ObjectStore
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A detected constraint violation (used by bulk validation)."""
+
+    constraint_name: str
+    detail: str
+
+    def describe(self) -> str:
+        return f"{self.constraint_name}: {self.detail}"
+
+
+def check_object_constraints(store: "ObjectStore", obj: "DBObject") -> None:
+    """Raise unless ``obj`` satisfies all effective object constraints."""
+    for constraint in store.schema.effective_object_constraints(obj.class_name):
+        ctx = store.eval_context(current=obj)
+        try:
+            satisfied = evaluate(constraint.formula, ctx)
+        except EvaluationError as exc:
+            raise ConstraintViolation(
+                constraint.qualified_name, f"cannot evaluate on {obj.oid}: {exc}"
+            ) from exc
+        if not satisfied:
+            raise ConstraintViolation(
+                constraint.qualified_name,
+                f"object {obj.oid} with state {obj.state!r}",
+            )
+
+
+def check_class_constraints(store: "ObjectStore", class_name: str) -> None:
+    """Raise unless the extents touched by ``class_name`` satisfy their
+    class constraints.
+
+    Class constraints of every ancestor are re-checked because an object of a
+    subclass is a member of each ancestor's extent (the paper's ``cc2`` on
+    Publication constrains the sum over *all* publications).  This is extent
+    membership, not constraint inheritance — the constraint stays attached to
+    the ancestor.
+    """
+    for ancestor in store.schema.ancestors(class_name):
+        for constraint in ancestor.own_class_constraints():
+            ctx = store.eval_context(self_extent_class=ancestor.name)
+            try:
+                satisfied = evaluate(constraint.formula, ctx)
+            except EvaluationError as exc:
+                raise ConstraintViolation(
+                    constraint.qualified_name, str(exc)
+                ) from exc
+            if not satisfied:
+                raise ConstraintViolation(
+                    constraint.qualified_name,
+                    f"extent of {ancestor.name} "
+                    f"({len(store.extent(ancestor.name))} objects)",
+                )
+
+
+def check_database_constraints(store: "ObjectStore") -> None:
+    """Raise unless all database constraints hold on the current store."""
+    for constraint in store.schema.database_constraints:
+        ctx = store.eval_context()
+        try:
+            satisfied = evaluate(constraint.formula, ctx)
+        except EvaluationError as exc:
+            raise ConstraintViolation(constraint.qualified_name, str(exc)) from exc
+        if not satisfied:
+            raise ConstraintViolation(
+                constraint.qualified_name, "database constraint violated"
+            )
+
+
+def all_violations(store: "ObjectStore") -> list[Violation]:
+    """Every violation in the store (does not stop at the first)."""
+    found: list[Violation] = []
+    for obj in store.objects():
+        for constraint in store.schema.effective_object_constraints(obj.class_name):
+            ctx = store.eval_context(current=obj)
+            try:
+                if not evaluate(constraint.formula, ctx):
+                    found.append(
+                        Violation(constraint.qualified_name, f"object {obj.oid}")
+                    )
+            except EvaluationError as exc:
+                found.append(Violation(constraint.qualified_name, str(exc)))
+    for class_def in store.schema.classes.values():
+        for constraint in class_def.own_class_constraints():
+            ctx = store.eval_context(self_extent_class=class_def.name)
+            try:
+                if not evaluate(constraint.formula, ctx):
+                    found.append(
+                        Violation(
+                            constraint.qualified_name,
+                            f"extent of {class_def.name}",
+                        )
+                    )
+            except EvaluationError as exc:
+                found.append(Violation(constraint.qualified_name, str(exc)))
+    for constraint in store.schema.database_constraints:
+        try:
+            if not evaluate(constraint.formula, store.eval_context()):
+                found.append(
+                    Violation(constraint.qualified_name, "database constraint")
+                )
+        except EvaluationError as exc:
+            found.append(Violation(constraint.qualified_name, str(exc)))
+    return found

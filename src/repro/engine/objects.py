@@ -1,0 +1,60 @@
+"""Object identities and states."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+
+class DBObject:
+    """A stored object: an identity, a most-specific class, and a state.
+
+    The state maps attribute names to values; reference attributes hold the
+    *object identifier* of the target (dereferencing is the store's job).
+    ``DBObject`` behaves as a read-only mapping over its state so that the
+    constraint evaluator can treat stored objects and plain dict states
+    uniformly.
+    """
+
+    __slots__ = ("oid", "class_name", "state")
+
+    def __init__(self, oid: str, class_name: str, state: dict[str, Any]):
+        self.oid = oid
+        self.class_name = class_name
+        self.state = state
+
+    # -- mapping protocol ---------------------------------------------------
+
+    def __getitem__(self, name: str) -> Any:
+        return self.state[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.state
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.state)
+
+    def keys(self):
+        return self.state.keys()
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.state.get(name, default)
+
+    # -- identity ---------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DBObject):
+            return self.oid == other.oid
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.oid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.class_name} {self.oid} {self.state!r}>"
+
+
+def state_of(obj: "DBObject | Mapping[str, Any]") -> Mapping[str, Any]:
+    """The raw state mapping behind an object or plain dict."""
+    if isinstance(obj, DBObject):
+        return obj.state
+    return obj

@@ -1,0 +1,43 @@
+"""Predicate queries over class extents.
+
+A thin query facility: filter a (deep) class extent by a constraint-language
+predicate.  Used by the examples and by the integration layer's rule matcher.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.constraints.ast import Node
+from repro.constraints.evaluate import evaluate
+from repro.constraints.parser import parse_expression
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.objects import DBObject
+    from repro.engine.store import ObjectStore
+
+
+def select(
+    store: "ObjectStore",
+    class_name: str,
+    predicate: "str | Node | Callable[[DBObject], bool] | None" = None,
+    deep: bool = True,
+) -> "list[DBObject]":
+    """The objects of ``class_name`` satisfying ``predicate``.
+
+    ``predicate`` may be constraint-language source (``"rating >= 4"``), a
+    parsed formula, a Python callable, or ``None`` (whole extent).
+    """
+    extent = store.extent(class_name, deep=deep)
+    if predicate is None:
+        return extent
+    if isinstance(predicate, str):
+        predicate = parse_expression(predicate, constants=store.schema.constants)
+    if isinstance(predicate, Node):
+        formula = predicate
+        return [
+            obj
+            for obj in extent
+            if evaluate(formula, store.eval_context(current=obj))
+        ]
+    return [obj for obj in extent if predicate(obj)]

@@ -1,0 +1,278 @@
+"""The object store: extents, mutation, dereferencing, enforcement hooks."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.constraints.evaluate import EvalContext
+from repro.engine.objects import DBObject
+from repro.errors import (
+    ConstraintViolation,
+    EngineError,
+    SchemaError,
+    UnknownClassError,
+    UnknownObjectError,
+)
+from repro.tm.schema import DatabaseSchema
+from repro.types.primitives import ClassRef
+from repro.types.values import check_value, coerce_value
+
+
+class ObjectStore:
+    """An in-memory object database over a TM schema.
+
+    Every mutating operation type-checks the affected state and — unless the
+    store is created with ``enforce=False`` or the mutation happens inside a
+    deferred transaction — re-checks the constraints that the mutation could
+    have invalidated, raising :class:`ConstraintViolation` and leaving the
+    store unchanged on failure.
+    """
+
+    def __init__(self, schema: DatabaseSchema, enforce: bool = True):
+        self.schema = schema
+        self.enforce = enforce
+        self._objects: dict[str, DBObject] = {}
+        self._direct_extents: dict[str, set[str]] = {
+            name: set() for name in schema.classes
+        }
+        self._counter = itertools.count(1)
+        self._deferred = False
+
+    # -- basic access --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __contains__(self, oid: str) -> bool:
+        return oid in self._objects
+
+    def get(self, oid: str) -> DBObject:
+        if oid not in self._objects:
+            raise UnknownObjectError(f"no object with identifier {oid!r}")
+        return self._objects[oid]
+
+    def objects(self) -> Iterable[DBObject]:
+        return self._objects.values()
+
+    def extent(self, class_name: str, deep: bool = True) -> list[DBObject]:
+        """The objects whose most specific class is ``class_name`` (or a
+        subclass, when ``deep``).  Order is insertion order."""
+        if class_name not in self._direct_extents:
+            raise UnknownClassError(
+                f"no class {class_name!r} in database {self.schema.name}"
+            )
+        names = {class_name}
+        if deep:
+            names.update(self.schema.subclasses_of(class_name))
+        return [
+            obj
+            for obj in self._objects.values()
+            if obj.class_name in names
+        ]
+
+    # -- mutation -----------------------------------------------------------------
+
+    def insert(self, class_name: str, state: Mapping[str, Any] | None = None, **kwargs: Any) -> DBObject:
+        """Create an object of ``class_name`` with the given attribute values.
+
+        All effective attributes must be provided; values are type-checked
+        (with safe coercions such as int→real applied).
+        """
+        if class_name not in self.schema.classes:
+            raise UnknownClassError(
+                f"no class {class_name!r} in database {self.schema.name}"
+            )
+        full_state = dict(state or {})
+        full_state.update(kwargs)
+        checked = self._check_types(class_name, full_state)
+        oid = f"{class_name}#{next(self._counter)}"
+        obj = DBObject(oid, class_name, checked)
+        self._objects[oid] = obj
+        self._direct_extents[class_name].add(oid)
+        try:
+            self._after_mutation(obj)
+        except ConstraintViolation:
+            del self._objects[oid]
+            self._direct_extents[class_name].discard(oid)
+            raise
+        return obj
+
+    def update(self, target: DBObject | str, **changes: Any) -> DBObject:
+        """Change attribute values of an existing object."""
+        obj = self.get(target.oid if isinstance(target, DBObject) else target)
+        unknown = set(changes) - set(self.schema.effective_attributes(obj.class_name))
+        if unknown:
+            raise EngineError(
+                f"class {obj.class_name} has no attributes {sorted(unknown)}"
+            )
+        new_state = dict(obj.state)
+        new_state.update(changes)
+        checked = self._check_types(obj.class_name, new_state)
+        old_state = obj.state
+        obj.state = checked
+        try:
+            self._after_mutation(obj)
+        except ConstraintViolation:
+            obj.state = old_state
+            raise
+        return obj
+
+    def delete(self, target: DBObject | str) -> None:
+        """Remove an object (checking database constraints afterwards)."""
+        obj = self.get(target.oid if isinstance(target, DBObject) else target)
+        del self._objects[obj.oid]
+        self._direct_extents[obj.class_name].discard(obj.oid)
+        try:
+            if self.enforce and not self._deferred:
+                self._check_database_constraints()
+        except ConstraintViolation:
+            self._objects[obj.oid] = obj
+            self._direct_extents[obj.class_name].add(obj.oid)
+            raise
+
+    # -- type checking -----------------------------------------------------------------
+
+    def _check_types(self, class_name: str, state: Mapping[str, Any]) -> dict[str, Any]:
+        attributes = self.schema.effective_attributes(class_name)
+        missing = set(attributes) - set(state)
+        if missing:
+            raise EngineError(
+                f"missing attributes for {class_name}: {sorted(missing)}"
+            )
+        extra = set(state) - set(attributes)
+        if extra:
+            raise EngineError(
+                f"class {class_name} has no attributes {sorted(extra)}"
+            )
+        checked: dict[str, Any] = {}
+        for name, attribute in attributes.items():
+            value = state[name]
+            context = f"{class_name}.{name}"
+            if isinstance(attribute.tm_type, ClassRef):
+                value = value.oid if isinstance(value, DBObject) else value
+                if value not in self._objects:
+                    raise EngineError(
+                        f"{context}: reference to unknown object {value!r}"
+                    )
+                target = self._objects[value]
+                if not self.schema.is_subclass_of(
+                    target.class_name, attribute.tm_type.class_name
+                ):
+                    raise EngineError(
+                        f"{context}: object {value!r} is a {target.class_name}, "
+                        f"not a {attribute.tm_type.class_name}"
+                    )
+                checked[name] = value
+                continue
+            try:
+                checked[name] = coerce_value(value, attribute.tm_type)
+            except Exception:
+                check_value(value, attribute.tm_type, context)
+                checked[name] = value
+        return checked
+
+    # -- dereferencing & evaluation contexts --------------------------------------------
+
+    def get_attr(self, obj: Any, name: str) -> Any:
+        """Attribute accessor for the constraint evaluator.
+
+        Dereferences reference attributes: reading ``publisher`` from an Item
+        yields the Publisher *object*, so paths like ``publisher.name``
+        traverse the store.
+        """
+        if isinstance(obj, DBObject):
+            if name not in obj.state:
+                raise EngineError(
+                    f"{obj.class_name} object {obj.oid} has no attribute {name!r}"
+                )
+            value = obj.state[name]
+            try:
+                tm_type = self.schema.attribute_type(obj.class_name, name)
+            except SchemaError:
+                tm_type = None
+            if isinstance(tm_type, ClassRef) and isinstance(value, str):
+                return self.get(value)
+            return value
+        if isinstance(obj, Mapping):
+            value = obj[name]
+            if isinstance(value, str) and value in self._objects:
+                return self._objects[value]
+            return value
+        raise EngineError(f"cannot read attribute {name!r} from {obj!r}")
+
+    def eval_context(
+        self,
+        current: Any = None,
+        self_extent_class: str | None = None,
+        bindings: dict[str, Any] | None = None,
+    ) -> EvalContext:
+        """An :class:`EvalContext` wired to this store's extents/constants."""
+        return EvalContext(
+            current=current,
+            bindings=bindings or {},
+            extents=_ExtentView(self),
+            self_extent=(
+                self.extent(self_extent_class) if self_extent_class else ()
+            ),
+            constants=self.schema.constants,
+            get_attr=self.get_attr,
+        )
+
+    # -- enforcement --------------------------------------------------------------------
+
+    def _after_mutation(self, obj: DBObject) -> None:
+        if not self.enforce or self._deferred:
+            return
+        from repro.engine.enforcement import (
+            check_class_constraints,
+            check_database_constraints,
+            check_object_constraints,
+        )
+
+        check_object_constraints(self, obj)
+        check_class_constraints(self, obj.class_name)
+        check_database_constraints(self)
+
+    def _check_database_constraints(self) -> None:
+        from repro.engine.enforcement import check_database_constraints
+
+        check_database_constraints(self)
+
+    def check_all(self) -> list[str]:
+        """Validate the entire store; returns violation descriptions."""
+        from repro.engine.enforcement import all_violations
+
+        return [violation.describe() for violation in all_violations(self)]
+
+    # -- transactions -------------------------------------------------------------------
+
+    def transaction(self):
+        """A snapshot transaction with deferred constraint checking.
+
+        Inside the ``with`` block constraints are not enforced; at exit the
+        whole store is validated and rolled back (raising
+        :class:`ConstraintViolation`) if any constraint is broken.
+        """
+        from repro.engine.transactions import Transaction
+
+        return Transaction(self)
+
+
+class _ExtentView(Mapping):
+    """Lazy class-name → extent mapping for evaluation contexts."""
+
+    def __init__(self, store: ObjectStore):
+        self._store = store
+
+    def __getitem__(self, class_name: str) -> list[DBObject]:
+        return self._store.extent(class_name)
+
+    def __iter__(self):
+        return iter(self._store.schema.classes)
+
+    def __len__(self) -> int:
+        return len(self._store.schema.classes)
+
+    def __contains__(self, class_name: object) -> bool:
+        return class_name in self._store.schema.classes

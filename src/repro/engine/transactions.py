@@ -1,0 +1,74 @@
+"""Snapshot transactions with deferred constraint checking.
+
+Multi-object updates (e.g. inserting a Publisher and the Item referencing it
+under the referential database constraint ``db1``) need constraint checking
+deferred to commit time; a :class:`Transaction` snapshots the store, disables
+per-operation enforcement, and validates everything at exit, rolling back on
+failure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConstraintViolation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.store import ObjectStore
+
+
+class Transaction:
+    """Context manager: ``with store.transaction(): ...``"""
+
+    def __init__(self, store: "ObjectStore"):
+        self.store = store
+        self._snapshot_objects: dict | None = None
+        self._snapshot_extents: dict | None = None
+        self._was_deferred = False
+
+    def __enter__(self) -> "Transaction":
+        store = self.store
+        self._snapshot_objects = {
+            oid: (obj.class_name, dict(obj.state))
+            for oid, obj in store._objects.items()
+        }
+        self._snapshot_extents = {
+            name: set(oids) for name, oids in store._direct_extents.items()
+        }
+        self._was_deferred = store._deferred
+        store._deferred = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        store = self.store
+        store._deferred = self._was_deferred
+        if exc_type is not None:
+            self._rollback()
+            return False
+        if store.enforce and not store._deferred:
+            violations = store.check_all()
+            if violations:
+                self._rollback()
+                raise ConstraintViolation(
+                    "transaction", "; ".join(violations)
+                )
+        return False
+
+    def _rollback(self) -> None:
+        from repro.engine.objects import DBObject
+
+        store = self.store
+        assert self._snapshot_objects is not None
+        assert self._snapshot_extents is not None
+        survivors: dict[str, DBObject] = {}
+        for oid, (class_name, state) in self._snapshot_objects.items():
+            existing = store._objects.get(oid)
+            if existing is not None:
+                existing.state = state
+                survivors[oid] = existing
+            else:
+                survivors[oid] = DBObject(oid, class_name, state)
+        store._objects = survivors
+        store._direct_extents = {
+            name: set(oids) for name, oids in self._snapshot_extents.items()
+        }

@@ -1,0 +1,104 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch library failures with a single ``except`` clause.  The hierarchy
+mirrors the major subsystems: the specification languages (parsing), the type
+system, the database engine (enforcement), and the integration machinery.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ParseError(ReproError):
+    """A specification (TM schema or constraint expression) failed to parse.
+
+    Attributes
+    ----------
+    message:
+        Human-readable description of the problem.
+    line, column:
+        1-based position of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.message = message
+        self.line = line
+        self.column = column
+        position = ""
+        if line is not None:
+            position = f" at line {line}"
+            if column is not None:
+                position += f", column {column}"
+        super().__init__(f"{message}{position}")
+
+
+class TypeSystemError(ReproError):
+    """A value or expression does not conform to its declared TM type."""
+
+
+class SchemaError(ReproError):
+    """A TM schema is structurally invalid (bad inheritance, unknown types...)."""
+
+
+class EngineError(ReproError):
+    """Base class for errors raised by the in-memory object database engine."""
+
+
+class UnknownClassError(EngineError):
+    """An operation referenced a class that is not part of the schema."""
+
+
+class UnknownObjectError(EngineError):
+    """An operation referenced an object identifier that does not exist."""
+
+
+class ConstraintViolation(EngineError):
+    """A database operation would leave the store violating a constraint.
+
+    Attributes
+    ----------
+    constraint_name:
+        The label of the violated constraint (e.g. ``"Publication.oc1"``).
+    detail:
+        Explanation of the violation, including the offending object(s).
+    """
+
+    def __init__(self, constraint_name: str, detail: str = ""):
+        self.constraint_name = constraint_name
+        self.detail = detail
+        message = f"constraint {constraint_name} violated"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+class IntegrationError(ReproError):
+    """Base class for errors raised by the integration machinery."""
+
+
+class SpecificationError(IntegrationError):
+    """An integration specification is malformed (unknown classes/properties,
+    a decision function violating ``df(a, a) = a``, ...)."""
+
+
+class ConformationError(IntegrationError):
+    """The conformation phase could not bring the databases into a common
+    semantic context (e.g. a constraint mentions a hidden property)."""
+
+
+class DerivationError(IntegrationError):
+    """Global-constraint derivation was attempted in a situation the paper's
+    necessary conditions rule out."""
+
+
+class SolverError(ReproError):
+    """The symbolic solver met a formula outside the decidable fragment."""
+
+
+class EvaluationError(ReproError):
+    """A constraint could not be evaluated against an object state (missing
+    attribute, unknown function, unresolvable reference...)."""

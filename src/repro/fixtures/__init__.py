@@ -1,0 +1,47 @@
+"""Programmatic builders for the paper's running examples.
+
+* :mod:`~repro.fixtures.schemas` — the Figure 1 databases (``CSLibrary`` and
+  ``Bookseller``) as TM source and parsed schemas, plus the intro's two
+  personnel databases.
+* :mod:`~repro.fixtures.instances` — populated object stores whose states
+  satisfy every Figure 1 constraint, with the overlaps the paper's narrative
+  needs (shared ISBNs, refereed and non-refereed proceedings, ...).
+* :mod:`~repro.fixtures.integration` — the example integration specification
+  of Section 2.2 (object comparison rules and property equivalences).
+"""
+
+from repro.fixtures.schemas import (
+    bookseller_schema,
+    bookseller_source,
+    cslibrary_schema,
+    cslibrary_source,
+    personnel_db1_schema,
+    personnel_db2_schema,
+    personnel_db1_source,
+    personnel_db2_source,
+)
+from repro.fixtures.instances import (
+    bookseller_store,
+    cslibrary_store,
+    personnel_stores,
+)
+from repro.fixtures.integration import (
+    library_integration_spec,
+    personnel_integration_spec,
+)
+
+__all__ = [
+    "cslibrary_source",
+    "bookseller_source",
+    "cslibrary_schema",
+    "bookseller_schema",
+    "personnel_db1_source",
+    "personnel_db2_source",
+    "personnel_db1_schema",
+    "personnel_db2_schema",
+    "cslibrary_store",
+    "bookseller_store",
+    "personnel_stores",
+    "library_integration_spec",
+    "personnel_integration_spec",
+]

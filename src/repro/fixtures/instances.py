@@ -1,0 +1,177 @@
+"""Populated object stores for the paper's running examples.
+
+Every state below satisfies the Figure 1 constraints of its database (the
+stores enforce them on insert — a violating fixture would fail to build), and
+the extents embed the overlaps the paper's narrative uses:
+
+* ``ISBN-001`` — a VLDB proceedings volume held by the library as a
+  RefereedPubl *and* by the bookseller as a Proceedings with ``ref? = true``
+  (the object-equality case; note the rating consistency 4 ↔ 8 across the
+  1..5 / 1..10 scales related by ``multiply(2)``);
+* ``ISBN-002`` — a monograph known to both databases;
+* ``ISBN-006`` / ``ISBN-007`` — bookseller-only proceedings, one refereed
+  (→ strictly similar to RefereedPubl) and one not;
+* library-only publications, giving RefereedProceedings-style partial
+  overlaps (Figure 2).
+"""
+
+from __future__ import annotations
+
+from repro.engine.objects import DBObject
+from repro.engine.store import ObjectStore
+from repro.fixtures.schemas import (
+    bookseller_schema,
+    cslibrary_schema,
+    personnel_db1_schema,
+    personnel_db2_schema,
+)
+
+
+def cslibrary_store() -> tuple[ObjectStore, dict[str, DBObject]]:
+    """The populated CSLibrary database."""
+    store = ObjectStore(cslibrary_schema())
+    named: dict[str, DBObject] = {}
+    with store.transaction():
+        _populate_cslibrary(store, named)
+    return store, named
+
+
+def _populate_cslibrary(store: ObjectStore, named: dict[str, DBObject]) -> None:
+    named["vldb95"] = store.insert(
+        "RefereedPubl",
+        title="Proceedings of VLDB 1995",
+        isbn="ISBN-001",
+        publisher="ACM",
+        shopprice=95.0,
+        ourprice=90.0,
+        editors=frozenset({"Dayal", "Gray"}),
+        rating=4,
+        avgAccRate=0.18,
+    )
+    named["tp_book"] = store.insert(
+        "RefereedPubl",
+        title="Transaction Processing",
+        isbn="ISBN-002",
+        publisher="Springer",
+        shopprice=70.0,
+        ourprice=65.0,
+        editors=frozenset({"Gray", "Reuter"}),
+        rating=3,
+        avgAccRate=0.35,
+    )
+    named["dutch_day"] = store.insert(
+        "NonRefereedPubl",
+        title="Proceedings of the Dutch Database Day",
+        isbn="ISBN-003",
+        publisher="Kluwer",
+        shopprice=25.0,
+        ourprice=20.0,
+        editors=frozenset({"Apers"}),
+        rating=2,
+        authAffil="UTwente",
+    )
+    named["db2_handbook"] = store.insert(
+        "ProfessionalPubl",
+        title="DB2 Handbook",
+        isbn="ISBN-004",
+        publisher="IEEE",
+        shopprice=40.0,
+        ourprice=35.0,
+        authors=frozenset({"Smith"}),
+    )
+    named["newsletter"] = store.insert(
+        "Publication",
+        title="Library Newsletter",
+        isbn="ISBN-005",
+        publisher="Elsevier",
+        shopprice=10.0,
+        ourprice=5.0,
+    )
+
+
+def bookseller_store() -> tuple[ObjectStore, dict[str, DBObject]]:
+    """The populated Bookseller database."""
+    store = ObjectStore(bookseller_schema())
+    named: dict[str, DBObject] = {}
+    with store.transaction():
+        named["acm"] = store.insert("Publisher", name="ACM", location="New York")
+        named["ieee"] = store.insert("Publisher", name="IEEE", location="Piscataway")
+        named["springer"] = store.insert("Publisher", name="Springer", location="Berlin")
+        named["vldb95"] = store.insert(
+            "Proceedings",
+            title="Proceedings of VLDB 1995",
+            isbn="ISBN-001",
+            publisher=named["acm"],
+            authors=frozenset({"Dayal", "Gray"}),
+            shopprice=99.0,
+            libprice=92.0,
+            **{"ref?": True},
+            rating=8,
+        )
+        named["icde"] = store.insert(
+            "Proceedings",
+            title="Proceedings of IEEE ICDE",
+            isbn="ISBN-006",
+            publisher=named["ieee"],
+            authors=frozenset({"Lim", "Srivastava"}),
+            shopprice=80.0,
+            libprice=75.0,
+            **{"ref?": True},
+            rating=9,
+        )
+        named["workshop"] = store.insert(
+            "Proceedings",
+            title="Advanced Databases Workshop Notes",
+            isbn="ISBN-007",
+            publisher=named["springer"],
+            authors=frozenset({"Vermeer"}),
+            shopprice=30.0,
+            libprice=28.0,
+            **{"ref?": False},
+            rating=5,
+        )
+        named["tp_book"] = store.insert(
+            "Monograph",
+            title="Transaction Processing",
+            isbn="ISBN-002",
+            publisher=named["springer"],
+            authors=frozenset({"Gray", "Reuter"}),
+            shopprice=72.0,
+            libprice=66.0,
+            subjects=frozenset({"transactions", "recovery"}),
+        )
+        named["readings"] = store.insert(
+            "Monograph",
+            title="Readings in Database Systems",
+            isbn="ISBN-008",
+            publisher=named["acm"],
+            authors=frozenset({"Stonebraker"}),
+            shopprice=55.0,
+            libprice=50.0,
+            subjects=frozenset({"databases"}),
+        )
+    return store, named
+
+
+def personnel_stores() -> tuple[ObjectStore, ObjectStore, dict[str, DBObject]]:
+    """The intro example's two departmental personnel databases.
+
+    Employee ``100-20`` is registered by both departments (a
+    multi-department project member); the others are local to one.
+    """
+    db1 = ObjectStore(personnel_db1_schema())
+    db2 = ObjectStore(personnel_db2_schema())
+    named: dict[str, DBObject] = {}
+    named["alice_db1"] = db1.insert(
+        "Employee", ssn="100-10", salary=1200.0, trav_reimb=10
+    )
+    named["bob_db1"] = db1.insert(
+        "Employee", ssn="100-20", salary=1400.0, trav_reimb=20
+    )
+    named["bob_db2"] = db2.insert(
+        "Employee", ssn="100-20", salary=1450.0, trav_reimb=14
+    )
+    named["carol_db2"] = db2.insert(
+        "Employee", ssn="100-30", salary=1800.0, trav_reimb=24
+    )
+    return db1, db2, named

@@ -1,0 +1,155 @@
+"""The paper's example integration specifications.
+
+:func:`library_integration_spec` transcribes the Section 2.2 example — the
+object comparison rules and property equivalence assertions integrating
+``CSLibrary`` (local) with ``Bookseller`` (remote) — including the paper's
+design decisions: ``cc2`` of Publication is a subjective business rule, and
+the virtual overlap class of Proceedings and RefereedPubl is named
+``RefereedProceedings`` (Section 2.3).
+
+:func:`personnel_integration_spec` does the same for the intro's personnel
+databases: employees match on ``ssn``; multi-department travel reimbursements
+are averaged (the company's business-trip policy); the department's salary
+cap is a subjective business rule.
+"""
+
+from __future__ import annotations
+
+from repro.integration.conversion import IdentityConversion, LinearConversion
+from repro.integration.decision import AnyChoice, Average, Trust, Union
+from repro.integration.propeq import PropertyEquivalence
+from repro.integration.relationships import Side
+from repro.integration.rules import ComparisonRule
+from repro.integration.spec import IntegrationSpecification
+from repro.fixtures.schemas import (
+    bookseller_schema,
+    cslibrary_schema,
+    personnel_db1_schema,
+    personnel_db2_schema,
+)
+from repro.tm.schema import DatabaseSchema
+
+
+def library_integration_spec(
+    local: DatabaseSchema | None = None,
+    remote: DatabaseSchema | None = None,
+) -> IntegrationSpecification:
+    """The Section 2.2 example specification (CSLibrary ⋈ Bookseller)."""
+    spec = IntegrationSpecification(
+        local or cslibrary_schema(), remote or bookseller_schema()
+    )
+
+    # -- object comparison rules (Section 2.2) --------------------------------
+    spec.add_rule(
+        ComparisonRule.equality("Publication", "Item", "O.isbn = O'.isbn")
+    )
+    spec.add_rule(
+        ComparisonRule.descriptivity(
+            source_class="Publisher",
+            target_class="Publication",
+            value_attribute="publisher",
+            object_attribute="name",
+            condition="O.publisher = O'.name",
+            source_side=Side.REMOTE,
+        )
+    )
+    spec.add_rule(
+        ComparisonRule.similarity(
+            "Proceedings", "RefereedPubl", "O'.ref? = true", Side.REMOTE
+        )
+    )
+    spec.add_rule(
+        ComparisonRule.similarity(
+            "Proceedings", "NonRefereedPubl", "O'.ref? = false", Side.REMOTE
+        )
+    )
+    spec.add_rule(
+        ComparisonRule.similarity(
+            "ScientificPubl",
+            "Proceedings",
+            "contains(O.title, 'Proceed')",
+            Side.LOCAL,
+        )
+    )
+
+    # -- property equivalences (Section 2.2; obvious ones included) ------------
+    spec.add_propeq(
+        PropertyEquivalence(
+            "Publication", "ourprice", "Item", "libprice",
+            df=Trust(Side.LOCAL, "CSLibrary"),
+            conformed_name="libprice",
+        )
+    )
+    spec.add_propeq(
+        PropertyEquivalence(
+            "Publication", "shopprice", "Item", "shopprice",
+            df=Trust(Side.REMOTE, "Bookseller"),
+        )
+    )
+    spec.add_propeq(
+        PropertyEquivalence(
+            "Publication", "publisher", "Publisher", "name",
+            df=AnyChoice(),
+            conformed_name="name",
+        )
+    )
+    spec.add_propeq(
+        PropertyEquivalence(
+            "ScientificPubl", "rating", "Proceedings", "rating",
+            local_cf=LinearConversion(2),
+            remote_cf=IdentityConversion(),
+            df=Average(),
+        )
+    )
+    spec.add_propeq(
+        PropertyEquivalence(
+            "ScientificPubl", "editors", "Item", "authors",
+            df=Union(),
+        )
+    )
+    spec.add_propeq(
+        PropertyEquivalence("Publication", "title", "Item", "title", df=AnyChoice())
+    )
+    spec.add_propeq(
+        PropertyEquivalence("Publication", "isbn", "Item", "isbn", df=AnyChoice())
+    )
+
+    # -- design decisions --------------------------------------------------------
+    # cc2 is "a business rule adhered to by a specific department" — the
+    # paper's canonical subjective constraint (Section 5.1.1).
+    spec.declare_subjective("CSLibrary.Publication.cc2")
+    # Section 2.3: the overlap of Proceedings and RefereedPubl is the virtual
+    # class RefereedProceedings.
+    spec.name_virtual_class("Proceedings", "RefereedPubl", "RefereedProceedings")
+    return spec
+
+
+def personnel_integration_spec(
+    local: DatabaseSchema | None = None,
+    remote: DatabaseSchema | None = None,
+) -> IntegrationSpecification:
+    """The intro example's specification (PersonnelDB1 ⋈ PersonnelDB2)."""
+    spec = IntegrationSpecification(
+        local or personnel_db1_schema(), remote or personnel_db2_schema()
+    )
+    spec.add_rule(ComparisonRule.equality("Employee", "Employee", "O.ssn = O'.ssn"))
+    spec.add_propeq(
+        PropertyEquivalence("Employee", "ssn", "Employee", "ssn", df=AnyChoice())
+    )
+    # "Trips made on behalf of multiple departments are reimbursed based on
+    # the average of the tariffs of the departments involved."
+    spec.add_propeq(
+        PropertyEquivalence(
+            "Employee", "trav_reimb", "Employee", "trav_reimb", df=Average()
+        )
+    )
+    spec.add_propeq(
+        PropertyEquivalence(
+            "Employee", "salary", "Employee", "salary",
+            df=Trust(Side.LOCAL, "PersonnelDB1"),
+        )
+    )
+    # "constraint (2) of DB1 ... may represent a business rule adhered to by
+    # a specific department" — subjective.
+    spec.declare_subjective("PersonnelDB1.Employee.oc2")
+    return spec

@@ -1,0 +1,180 @@
+"""The paper's example database specifications, in TM syntax.
+
+The text follows Figure 1 of the paper with three mechanical adjustments,
+each documented in DESIGN.md:
+
+* OCR damage is repaired (``ScientificPub``/``Scientif icPub1`` and similar
+  variants are normalised to one spelling per class; the scrambled
+  ``Publisher`` attribute block is restored);
+* the hyphenated attribute ``trav-reimb`` of the intro example becomes
+  ``trav_reimb`` (hyphens read as subtraction in the constraint language);
+* the implicit named constants ``KNOWNPUBLISHERS`` and ``MAX`` are given
+  concrete bindings in a ``constants`` section so the specifications are
+  self-contained.
+"""
+
+from __future__ import annotations
+
+from repro.tm.parser import parse_database
+from repro.tm.schema import DatabaseSchema
+
+CSLIBRARY_SOURCE = """
+Database CSLibrary
+
+constants
+  KNOWNPUBLISHERS = {'ACM', 'IEEE', 'Springer', 'Elsevier', 'Kluwer'}
+  MAX = 100000
+
+Class Publication
+attributes
+  title     : string
+  isbn      : string
+  publisher : string
+  shopprice : real
+  ourprice  : real
+object constraints
+  oc1: ourprice <= shopprice
+  oc2: publisher in KNOWNPUBLISHERS
+class constraints
+  cc1: key isbn
+  cc2: (sum (collect x for x in self) over ourprice) < MAX
+end Publication
+
+Class ScientificPubl isa Publication
+attributes
+  editors : P string
+  rating  : 1..5
+class constraints
+  cc1: (avg (collect x for x in self) over rating) < 4
+end ScientificPubl
+
+Class RefereedPubl isa ScientificPubl
+attributes
+  avgAccRate : real
+object constraints
+  oc1: rating >= 2
+end RefereedPubl
+
+Class NonRefereedPubl isa ScientificPubl
+attributes
+  authAffil : string
+object constraints
+  oc1: rating <= 3
+end NonRefereedPubl
+
+Class ProfessionalPubl isa Publication
+attributes
+  authors : P string
+end ProfessionalPubl
+"""
+
+BOOKSELLER_SOURCE = """
+Database Bookseller
+
+Class Item
+attributes
+  title     : string
+  isbn      : string
+  publisher : Publisher
+  authors   : P string
+  shopprice : real
+  libprice  : real
+object constraints
+  oc1: libprice <= shopprice
+class constraints
+  cc1: key isbn
+end Item
+
+Class Proceedings isa Item
+attributes
+  ref?   : boolean
+  rating : 1..10
+object constraints
+  oc1: publisher.name = 'IEEE' implies ref? = true
+  oc2: ref? = true implies rating >= 7
+  oc3: publisher.name = 'ACM' implies rating >= 6
+end Proceedings
+
+Class Monograph isa Item
+attributes
+  subjects : P string
+end Monograph
+
+Class Publisher
+attributes
+  name     : string
+  location : string
+end Publisher
+
+Database constraints
+  db1: forall p in Publisher exists i in Item | i.publisher = p
+"""
+
+PERSONNEL_DB1_SOURCE = """
+Database PersonnelDB1
+
+Class Employee
+attributes
+  ssn         : string
+  salary      : real
+  trav_reimb  : int
+object constraints
+  oc1: trav_reimb in {10, 20}
+  oc2: salary < 1500
+class constraints
+  cc1: key ssn
+end Employee
+"""
+
+PERSONNEL_DB2_SOURCE = """
+Database PersonnelDB2
+
+Class Employee
+attributes
+  ssn         : string
+  salary      : real
+  trav_reimb  : int
+object constraints
+  oc1: trav_reimb in {14, 24}
+class constraints
+  cc1: key ssn
+end Employee
+"""
+
+
+def cslibrary_source() -> str:
+    """The TM source of the CSLibrary database (Figure 1, left column)."""
+    return CSLIBRARY_SOURCE
+
+
+def bookseller_source() -> str:
+    """The TM source of the Bookseller database (Figure 1, right column)."""
+    return BOOKSELLER_SOURCE
+
+
+def personnel_db1_source() -> str:
+    """The intro example's first personnel database."""
+    return PERSONNEL_DB1_SOURCE
+
+
+def personnel_db2_source() -> str:
+    """The intro example's second personnel database."""
+    return PERSONNEL_DB2_SOURCE
+
+
+def cslibrary_schema() -> DatabaseSchema:
+    """The parsed CSLibrary schema."""
+    return parse_database(CSLIBRARY_SOURCE)
+
+
+def bookseller_schema() -> DatabaseSchema:
+    """The parsed Bookseller schema."""
+    return parse_database(BOOKSELLER_SOURCE)
+
+
+def personnel_db1_schema() -> DatabaseSchema:
+    return parse_database(PERSONNEL_DB1_SOURCE)
+
+
+def personnel_db2_schema() -> DatabaseSchema:
+    return parse_database(PERSONNEL_DB2_SOURCE)

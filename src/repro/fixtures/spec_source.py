@@ -1,0 +1,37 @@
+"""The Section 2.2 example specification in the paper's own textual syntax.
+
+Parsing this text (see :mod:`repro.integration.spec_parser`) yields an
+:class:`~repro.integration.spec.IntegrationSpecification` equivalent to the
+programmatic :func:`repro.fixtures.integration.library_integration_spec` —
+asserted by the test suite.
+"""
+
+LIBRARY_SPEC_SOURCE = """
+# Object comparison rules (Section 2.2)
+Eq(O:Publication, O':Item) <- O.isbn = O'.isbn
+Eq(O:Publication.{publisher}, O':Publisher) <- O.publisher = O'.name
+Sim(O':Proceedings, RefereedPubl) <- O'.ref? = true
+Sim(O':Proceedings, NonRefereedPubl) <- O'.ref? = false
+Sim(O:ScientificPubl, Proceedings) <- contains(O.title, 'Proceed')
+
+# Property equivalence assertions
+propeq(Publication.ourprice, Item.libprice, id, id, trust(CSLibrary)) as libprice
+propeq(Publication.shopprice, Item.shopprice, id, id, trust(Bookseller))
+propeq(Publication.publisher, Publisher.name, id, id, any) as name
+propeq(ScientificPubl.rating, Proceedings.rating, multiply(2), id, avg)
+propeq(ScientificPubl.editors, Item.authors, id, id, union)
+propeq(Publication.title, Item.title, id, id, any)
+propeq(Publication.isbn, Item.isbn, id, id, any)
+
+# Design decisions (Sections 2.3 and 5.1)
+subjective CSLibrary.Publication.cc2
+virtual(Proceedings, RefereedPubl) = RefereedProceedings
+"""
+
+PERSONNEL_SPEC_SOURCE = """
+Eq(O:Employee, O':Employee) <- O.ssn = O'.ssn
+propeq(Employee.ssn, Employee.ssn, id, id, any)
+propeq(Employee.trav_reimb, Employee.trav_reimb, id, id, avg)
+propeq(Employee.salary, Employee.salary, id, id, trust(PersonnelDB1))
+subjective PersonnelDB1.Employee.oc2
+"""

@@ -1,0 +1,93 @@
+"""Instance-based database interoperation with integrity constraints.
+
+This package is the paper's primary contribution, end to end:
+
+* the **integration specification** language of Section 2.2 — object
+  comparison rules over the relationships Eq / Sim / approximate Sim /
+  descriptivity (:mod:`~repro.integration.relationships`,
+  :mod:`~repro.integration.rules`), property equivalence assertions with
+  conversion and decision functions (:mod:`~repro.integration.propeq`,
+  :mod:`~repro.integration.conversion`, :mod:`~repro.integration.decision`),
+  collected and validated by :mod:`~repro.integration.spec`;
+* the Section 3 checks relating rule conditions and object constraints
+  (:mod:`~repro.integration.rule_checks`);
+* the **conformation** phase of Section 4 for schemas, instances and
+  constraints (:mod:`~repro.integration.conformation`,
+  :mod:`~repro.integration.constraint_conformation`);
+* the **merging** phase — rule matching, object merging, derived class
+  hierarchy, the integrated view (:mod:`~repro.integration.matching`,
+  :mod:`~repro.integration.merging`, :mod:`~repro.integration.hierarchy`,
+  :mod:`~repro.integration.view`);
+* **objectivity/subjectivity** analysis of Section 5.1
+  (:mod:`~repro.integration.subjectivity`);
+* **constraint integration** of Section 5.2 — global-constraint derivation,
+  conflict detection and resolution options
+  (:mod:`~repro.integration.derivation`,
+  :mod:`~repro.integration.conflicts`,
+  :mod:`~repro.integration.resolution`,
+  :mod:`~repro.integration.class_constraints`,
+  :mod:`~repro.integration.database_constraints`);
+* the **workbench** implementing the Figure 3 methodology pipeline
+  (:mod:`~repro.integration.workbench`, :mod:`~repro.integration.report`).
+"""
+
+from repro.integration.relationships import RelationshipKind
+from repro.integration.rules import ComparisonRule
+from repro.integration.propeq import PropertyEquivalence
+from repro.integration.conversion import (
+    ConversionFunction,
+    IdentityConversion,
+    LinearConversion,
+    MappingConversion,
+)
+from repro.integration.decision import (
+    AnyChoice,
+    Average,
+    DecisionCategory,
+    DecisionFunction,
+    Maximum,
+    Minimum,
+    Trust,
+    Union,
+)
+from repro.integration.spec import IntegrationSpecification
+from repro.integration.subjectivity import (
+    PropertyStatus,
+    SubjectivityAnalysis,
+    analyse_subjectivity,
+)
+__all__ = [
+    "RelationshipKind",
+    "ComparisonRule",
+    "PropertyEquivalence",
+    "ConversionFunction",
+    "IdentityConversion",
+    "LinearConversion",
+    "MappingConversion",
+    "DecisionFunction",
+    "DecisionCategory",
+    "AnyChoice",
+    "Trust",
+    "Maximum",
+    "Minimum",
+    "Average",
+    "Union",
+    "IntegrationSpecification",
+    "PropertyStatus",
+    "SubjectivityAnalysis",
+    "analyse_subjectivity",
+]
+
+
+def __getattr__(name):
+    # Deferred imports: the workbench pulls in the whole pipeline; importing
+    # it lazily keeps `import repro.integration` light and avoids cycles.
+    if name in ("IntegrationWorkbench", "IntegrationResult"):
+        from repro.integration import workbench
+
+        return getattr(workbench, name)
+    if name == "parse_specification":
+        from repro.integration.spec_parser import parse_specification
+
+        return parse_specification
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,198 @@
+"""AST rewriting utilities shared by conformation and rule repair."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.constraints.ast import (
+    Aggregate,
+    And,
+    BinaryOp,
+    Comparison,
+    FunctionCall,
+    Implies,
+    KeyConstraint,
+    Literal,
+    Membership,
+    Node,
+    Not,
+    Or,
+    Path,
+    Quantified,
+    SetLiteral,
+)
+from repro.errors import ConformationError
+from repro.integration.conversion import ConversionFunction
+
+
+def map_paths(node: Node, fn: Callable[[Path], Path]) -> Node:
+    """Structurally rebuild ``node`` with every :class:`Path` passed through
+    ``fn``."""
+    if isinstance(node, Path):
+        return fn(node)
+    if isinstance(node, Comparison):
+        return Comparison(node.op, map_paths(node.left, fn), map_paths(node.right, fn))
+    if isinstance(node, Membership):
+        return Membership(
+            map_paths(node.element, fn), map_paths(node.collection, fn)
+        )
+    if isinstance(node, BinaryOp):
+        return BinaryOp(node.op, map_paths(node.left, fn), map_paths(node.right, fn))
+    if isinstance(node, FunctionCall):
+        return FunctionCall(node.name, tuple(map_paths(arg, fn) for arg in node.args))
+    if isinstance(node, Not):
+        return Not(map_paths(node.operand, fn))
+    if isinstance(node, And):
+        return And(tuple(map_paths(part, fn) for part in node.parts))
+    if isinstance(node, Or):
+        return Or(tuple(map_paths(part, fn) for part in node.parts))
+    if isinstance(node, Implies):
+        return Implies(map_paths(node.antecedent, fn), map_paths(node.consequent, fn))
+    if isinstance(node, Quantified):
+        return Quantified(node.kind, node.var, node.class_name, map_paths(node.body, fn))
+    return node
+
+
+def rename_attributes(node: Node, renames: Mapping[str, str]) -> Node:
+    """Substitute conformed attribute names (Section 4, subtask 2).
+
+    ``renames`` maps *first path segments* (attribute names of the class the
+    constraint is allocated to) to their conformed names.  Key-constraint
+    attribute lists are renamed too; aggregate ``over`` attributes likewise.
+    """
+
+    def rename(path: Path) -> Path:
+        first = path.parts[0]
+        if first in renames:
+            return Path((renames[first],) + path.parts[1:])
+        return path
+
+    rebuilt = map_paths(node, rename)
+    return _rename_special(rebuilt, renames)
+
+
+def _rename_special(node: Node, renames: Mapping[str, str]) -> Node:
+    if isinstance(node, KeyConstraint):
+        return KeyConstraint(
+            tuple(renames.get(attr, attr) for attr in node.attributes)
+        )
+    if isinstance(node, Aggregate):
+        over = renames.get(node.over, node.over) if node.over else node.over
+        return Aggregate(node.func, node.item_var, node.collection, over)
+    if isinstance(node, Comparison):
+        return Comparison(
+            node.op,
+            _rename_special(node.left, renames),
+            _rename_special(node.right, renames),
+        )
+    if isinstance(node, Membership):
+        return Membership(
+            _rename_special(node.element, renames),
+            _rename_special(node.collection, renames),
+        )
+    if isinstance(node, Not):
+        return Not(_rename_special(node.operand, renames))
+    if isinstance(node, And):
+        return And(tuple(_rename_special(p, renames) for p in node.parts))
+    if isinstance(node, Or):
+        return Or(tuple(_rename_special(p, renames) for p in node.parts))
+    if isinstance(node, Implies):
+        return Implies(
+            _rename_special(node.antecedent, renames),
+            _rename_special(node.consequent, renames),
+        )
+    if isinstance(node, Quantified):
+        return Quantified(
+            node.kind, node.var, node.class_name, _rename_special(node.body, renames)
+        )
+    return node
+
+
+def convert_domains(node: Node, conversions: Mapping[str, ConversionFunction]) -> Node:
+    """Domain conversion of constraint constants (Section 4, subtask 3).
+
+    For every comparison/membership whose path's *first segment* is a
+    converted property, the constant side is pushed through the conversion
+    function: under ``multiply(2)`` on ``rating``, ``rating >= 2`` becomes
+    ``rating >= 4`` and ``rating in {1, 2}`` becomes ``rating in {2, 4}``.
+    """
+    if isinstance(node, Comparison):
+        return _convert_comparison(node, conversions)
+    if isinstance(node, Membership):
+        return _convert_membership(node, conversions)
+    if isinstance(node, Not):
+        return Not(convert_domains(node.operand, conversions))
+    if isinstance(node, And):
+        return And(tuple(convert_domains(p, conversions) for p in node.parts))
+    if isinstance(node, Or):
+        return Or(tuple(convert_domains(p, conversions) for p in node.parts))
+    if isinstance(node, Implies):
+        return Implies(
+            convert_domains(node.antecedent, conversions),
+            convert_domains(node.consequent, conversions),
+        )
+    if isinstance(node, Quantified):
+        return Quantified(
+            node.kind,
+            node.var,
+            node.class_name,
+            convert_domains(node.body, conversions),
+        )
+    return node
+
+
+def _conversion_for(node: Node, conversions: Mapping[str, ConversionFunction]):
+    if isinstance(node, Path) and node.parts[0] in conversions:
+        cf = conversions[node.parts[0]]
+        if len(node.parts) > 1:
+            raise ConformationError(
+                f"cannot convert dotted path {node.dotted()!r}: conversion "
+                f"functions apply to scalar properties"
+            )
+        return cf
+    return None
+
+
+def _convert_comparison(
+    node: Comparison, conversions: Mapping[str, ConversionFunction]
+) -> Node:
+    left_cf = _conversion_for(node.left, conversions)
+    right_cf = _conversion_for(node.right, conversions)
+    if left_cf is None and right_cf is None:
+        return node
+    if left_cf is not None and right_cf is not None:
+        if left_cf.name == right_cf.name:
+            # Same conversion both sides of an order comparison: for the
+            # linear/mapping conversions here, the relation is preserved
+            # (or flipped for decreasing linear maps).
+            if left_cf.order_preserving is False and node.op not in ("=", "!="):
+                return node.mirrored()
+            return node
+        raise ConformationError(
+            "comparison relates two differently-converted properties"
+        )
+    if left_cf is not None and isinstance(node.right, Literal):
+        value, op = left_cf.convert_constant(node.right.value, node.op)
+        return Comparison(op, node.left, Literal(value))
+    if right_cf is not None and isinstance(node.left, Literal):
+        mirrored = node.mirrored()  # put the path on the left
+        value, op = right_cf.convert_constant(mirrored.right.value, mirrored.op)  # type: ignore[union-attr]
+        return Comparison(op, mirrored.left, Literal(value))
+    raise ConformationError(
+        f"cannot convert comparison {node!r}: non-constant operand"
+    )
+
+
+def _convert_membership(
+    node: Membership, conversions: Mapping[str, ConversionFunction]
+) -> Node:
+    cf = _conversion_for(node.element, conversions)
+    if cf is None:
+        return node
+    if isinstance(node.collection, SetLiteral):
+        converted = tuple(cf.apply(v) for v in node.collection.values)
+        return Membership(node.element, SetLiteral(converted))
+    raise ConformationError(
+        f"cannot convert membership of {node.element!r} in a named constant: "
+        "bind the constant to an explicit set first"
+    )

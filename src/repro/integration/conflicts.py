@@ -1,0 +1,85 @@
+"""Conflict vocabulary for constraint integration (Sections 3 and 5.2).
+
+* :class:`RuleConflict` — Section 3: a rule's intraobject conditions are
+  inconsistent with the object constraints of the class they apply to.
+* :class:`ExplicitConflict` — Section 5.2.1: the integrated object-constraint
+  set is unsatisfiable (``⊨ false``).
+* :class:`ImplicitConflictRisk` — Section 5.2.1: an objective constraint over
+  a property with a conflict-*ignoring* decision function, with no equivalent
+  constraint on the other side; the non-deterministic choice may produce a
+  violating global state.
+* :class:`StateViolation` — an *actual* implicit conflict: a merged global
+  object violates an integrated constraint.
+* :class:`SimilarityConflict` — Section 5.2.1 (strict similarity): the
+  source objects' constraints plus the rule condition do not entail the
+  target class's constraints (``Ω' ⊭ Ω``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.model import Constraint
+from repro.integration.rules import ComparisonRule
+
+
+@dataclass(frozen=True)
+class RuleConflict:
+    rule: ComparisonRule
+    detail: str
+
+    def describe(self) -> str:
+        return f"rule {self.rule.name}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class ExplicitConflict:
+    scope: str
+    constraint_names: tuple[str, ...]
+    detail: str
+
+    def describe(self) -> str:
+        names = ", ".join(self.constraint_names)
+        return f"explicit conflict on {self.scope} among {{{names}}}: {self.detail}"
+
+
+@dataclass(frozen=True)
+class ImplicitConflictRisk:
+    scope: str
+    constraint_name: str
+    property_name: str
+    detail: str
+
+    def describe(self) -> str:
+        return (
+            f"implicit conflict risk on {self.scope}: objective constraint "
+            f"{self.constraint_name} over conflict-ignored property "
+            f"{self.property_name!r} — {self.detail}"
+        )
+
+
+@dataclass(frozen=True)
+class StateViolation:
+    scope: str
+    constraint_name: str
+    global_oid: str
+    detail: str
+
+    def describe(self) -> str:
+        return (
+            f"global object {self.global_oid} violates {self.constraint_name} "
+            f"({self.scope}): {self.detail}"
+        )
+
+
+@dataclass(frozen=True)
+class SimilarityConflict:
+    rule: ComparisonRule
+    unmet: tuple[Constraint, ...]
+
+    def describe(self) -> str:
+        names = ", ".join(c.qualified_name for c in self.unmet)
+        return (
+            f"similarity rule {self.rule.name} does not guarantee the target "
+            f"class's constraints: {{{names}}} are not entailed"
+        )

@@ -1,0 +1,170 @@
+"""Conversion functions (``cf``) of property equivalence assertions.
+
+A conversion function maps a property's values into the common domain chosen
+for the conformed property (Section 2.2).  Besides converting *values*
+(instance conformation), a conversion function must be able to rewrite the
+*constants appearing in constraints* (Section 4, "domain conversion": the
+``multiply(2)`` conversion turns ``rating >= 2`` into ``rating >= 4``) and to
+transform declared *types* so the conformed schema and the solver's type
+environment stay faithful.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.domains.interval import IntervalSet
+from repro.errors import ConformationError
+from repro.types.primitives import (
+    EnumType,
+    IntType,
+    RangeType,
+    RealType,
+    Type,
+)
+
+
+class ConversionFunction:
+    """Base class; implementations must be injective on the values in use
+    (otherwise object matching through converted values is ambiguous)."""
+
+    name: str = "cf"
+
+    def apply(self, value: Any) -> Any:
+        """Convert a property value into the common domain."""
+        raise NotImplementedError
+
+    @property
+    def is_identity(self) -> bool:
+        return False
+
+    @property
+    def order_preserving(self) -> bool | None:
+        """True = monotone increasing, False = decreasing, None = unordered."""
+        return None
+
+    def convert_constant(self, value: Any, op: str) -> tuple[Any, str]:
+        """Rewrite a comparison ``path op value`` into the common domain.
+
+        Returns the converted constant and the (possibly flipped) operator.
+        Raises :class:`ConformationError` when the comparison kind cannot be
+        carried through this conversion (e.g. an order comparison through an
+        unordered mapping).
+        """
+        if op in ("=", "!="):
+            return self.apply(value), op
+        if self.order_preserving is True:
+            return self.apply(value), op
+        if self.order_preserving is False:
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[op]
+            return self.apply(value), flipped
+        raise ConformationError(
+            f"conversion {self.name} cannot carry ordered comparison {op!r}"
+        )
+
+    def convert_type(self, tm_type: Type) -> Type:
+        """The conformed type of a property of ``tm_type``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<cf {self.describe()}>"
+
+
+class IdentityConversion(ConversionFunction):
+    """``id`` — the property already uses the common domain."""
+
+    name = "id"
+
+    def apply(self, value: Any) -> Any:
+        return value
+
+    @property
+    def is_identity(self) -> bool:
+        return True
+
+    @property
+    def order_preserving(self) -> bool | None:
+        return True
+
+    def convert_type(self, tm_type: Type) -> Type:
+        return tm_type
+
+
+class LinearConversion(ConversionFunction):
+    """``multiply(k)`` / affine rescaling ``v ↦ k·v + c`` (``k ≠ 0``).
+
+    The paper's ``multiply(2)`` relates the library's 1..5 rating scale to
+    the bookseller's 1..10 scale.
+    """
+
+    def __init__(self, factor: float, offset: float = 0.0):
+        if factor == 0:
+            raise ConformationError("linear conversion requires a non-zero factor")
+        self.factor = factor
+        self.offset = offset
+        if offset:
+            self.name = f"linear({factor}, {offset})"
+        else:
+            self.name = f"multiply({factor})"
+
+    def apply(self, value: Any) -> Any:
+        result = value * self.factor + self.offset
+        if isinstance(result, float) and result.is_integer():
+            return int(result)
+        return result
+
+    @property
+    def order_preserving(self) -> bool | None:
+        return self.factor > 0
+
+    def convert_type(self, tm_type: Type) -> Type:
+        if isinstance(tm_type, RangeType):
+            # The image of an integer range under a non-unit factor is a
+            # sparse set of points; EnumType keeps the solver exact.
+            image = IntervalSet.closed(tm_type.low, tm_type.high)
+            points = image.enumerate_integers()
+            assert points is not None
+            converted = frozenset(self.apply(v) for v in points)
+            if all(isinstance(v, int) for v in converted):
+                return EnumType(converted)
+            return RealType()
+        if isinstance(tm_type, EnumType):
+            return EnumType(frozenset(self.apply(v) for v in tm_type.values))
+        if isinstance(tm_type, IntType):
+            if float(self.factor).is_integer() and float(self.offset).is_integer():
+                return tm_type
+            return RealType()
+        if isinstance(tm_type, RealType):
+            return tm_type
+        raise ConformationError(
+            f"linear conversion does not apply to type {tm_type.describe()}"
+        )
+
+
+class MappingConversion(ConversionFunction):
+    """An explicit (injective) value table, e.g. correspondence tables for
+    coded enumerations."""
+
+    def __init__(self, table: Mapping[Any, Any], name: str = "mapping"):
+        values = list(table.values())
+        if len(set(values)) != len(values):
+            raise ConformationError("mapping conversion must be injective")
+        self.table = dict(table)
+        self.name = name
+
+    def apply(self, value: Any) -> Any:
+        if value not in self.table:
+            raise ConformationError(
+                f"mapping conversion {self.name} has no entry for {value!r}"
+            )
+        return self.table[value]
+
+    @property
+    def order_preserving(self) -> bool | None:
+        return None
+
+    def convert_type(self, tm_type: Type) -> Type:
+        return EnumType(frozenset(self.table.values()))

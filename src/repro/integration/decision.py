@@ -1,0 +1,174 @@
+"""Decision functions (``df``) and the paper's four-way taxonomy.
+
+A decision function determines the global value of a property from the
+(conformed) local and remote values; the paper requires ``df(a, a) = a`` for
+every decision function.  Section 5.1.2 classifies decision functions by how
+they handle value conflicts, and derives the *subjectivity* of the underlying
+properties from the class:
+
+=====================  =========================  =============================
+category               examples                   property subjectivity
+=====================  =========================  =============================
+conflict **ignoring**  ``any``                    both objective
+conflict **avoiding**  ``trust(DB)``              trusted objective, other subj.
+conflict **settling**  ``max``, ``min``           both subjective
+conflict **eliminating**  ``avg``, ``union``      both subjective
+=====================  =========================  =============================
+
+For constraint derivation each decision function exposes ``combinator`` — the
+pointwise domain operation of :mod:`repro.domains.combine` describing where
+the global value can lie given local/remote value sets.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterable
+
+from repro.errors import SpecificationError
+from repro.integration.relationships import Side
+
+
+class DecisionCategory(enum.Enum):
+    """Section 5.1.2's four classes of decision functions."""
+
+    IGNORING = "conflict ignoring"
+    AVOIDING = "conflict avoiding"
+    SETTLING = "conflict settling"
+    ELIMINATING = "conflict eliminating"
+
+
+class DecisionFunction:
+    """Base class for decision functions."""
+
+    name: str = "df"
+    category: DecisionCategory
+
+    def apply(self, local: Any, remote: Any) -> Any:
+        """The global value for conformed local and remote values."""
+        raise NotImplementedError
+
+    @property
+    def combinator(self) -> str | None:
+        """The :mod:`repro.domains.combine` operation bounding the global
+        value, or ``None`` when no sound combination exists (``any``)."""
+        return None
+
+    def objective_sides(self) -> frozenset[Side]:
+        """Which sides' properties remain *objective* under this function."""
+        if self.category is DecisionCategory.IGNORING:
+            return frozenset({Side.LOCAL, Side.REMOTE})
+        return frozenset()
+
+    def check_idempotent(self, samples: Iterable[Any]) -> None:
+        """Verify the paper's requirement ``df(a, a) = a`` on sample values."""
+        for sample in samples:
+            if self.apply(sample, sample) != sample:
+                raise SpecificationError(
+                    f"decision function {self.name} violates df(a, a) = a "
+                    f"for a = {sample!r}"
+                )
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<df {self.describe()} ({self.category.value})>"
+
+
+class AnyChoice(DecisionFunction):
+    """``any`` — conflict ignoring: non-deterministically either value.
+
+    This implementation is deterministic (it returns the value of
+    ``prefer``), but the *analysis* treats the choice as non-deterministic —
+    that non-determinism is exactly what creates the paper's *implicit
+    conflicts*.
+    """
+
+    category = DecisionCategory.IGNORING
+
+    def __init__(self, prefer: Side = Side.LOCAL):
+        self.prefer = prefer
+        self.name = "any"
+
+    def apply(self, local: Any, remote: Any) -> Any:
+        return local if self.prefer is Side.LOCAL else remote
+
+
+class Trust(DecisionFunction):
+    """``trust(DB)`` — conflict avoiding: one database is the primary source."""
+
+    category = DecisionCategory.AVOIDING
+
+    def __init__(self, trusted: Side, label: str | None = None):
+        self.trusted = trusted
+        self.name = f"trust({label or trusted.value})"
+
+    def apply(self, local: Any, remote: Any) -> Any:
+        return local if self.trusted is Side.LOCAL else remote
+
+    @property
+    def combinator(self) -> str | None:
+        return "first" if self.trusted is Side.LOCAL else "second"
+
+    def objective_sides(self) -> frozenset[Side]:
+        return frozenset({self.trusted})
+
+
+class Maximum(DecisionFunction):
+    """``max`` — conflict settling."""
+
+    name = "max"
+    category = DecisionCategory.SETTLING
+
+    def apply(self, local: Any, remote: Any) -> Any:
+        return max(local, remote)
+
+    @property
+    def combinator(self) -> str | None:
+        return "max"
+
+
+class Minimum(DecisionFunction):
+    """``min`` — conflict settling."""
+
+    name = "min"
+    category = DecisionCategory.SETTLING
+
+    def apply(self, local: Any, remote: Any) -> Any:
+        return min(local, remote)
+
+    @property
+    def combinator(self) -> str | None:
+        return "min"
+
+
+class Average(DecisionFunction):
+    """``avg`` — conflict eliminating; ``avg(a, a) = a`` holds as required."""
+
+    name = "avg"
+    category = DecisionCategory.ELIMINATING
+
+    def apply(self, local: Any, remote: Any) -> Any:
+        result = (local + remote) / 2
+        if isinstance(result, float) and result.is_integer():
+            return int(result)
+        return result
+
+    @property
+    def combinator(self) -> str | None:
+        return "avg"
+
+
+class Union(DecisionFunction):
+    """``union`` — conflict eliminating, for set-valued properties."""
+
+    name = "union"
+    category = DecisionCategory.ELIMINATING
+
+    def apply(self, local: Any, remote: Any) -> Any:
+        return frozenset(local) | frozenset(remote)
+
+    @property
+    def combinator(self) -> str | None:
+        return None  # handled structurally, not via numeric domains

@@ -1,0 +1,301 @@
+"""The merging phase: global objects, global values, global extents.
+
+"In the merging step, objects from SLC and SRC between which an equivalence
+relationship has been determined are merged into a single global object.
+Equivalent properties are merged into an integrated property ... the value of
+global properties is determined from the conformed local and remote ones,
+using a decision function where applicable" (Section 2.3).
+
+Descriptivity pairs (virtual objects created during conformation vs. the
+remote objects they mirror — ``VirtPublisher('ACM')`` vs. the bookseller's
+``Publisher('ACM')``) merge here too, matching on the described attribute.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.integration.conformation import (
+    ConformationResult,
+    ConformedObject,
+    ConformedPropeq,
+)
+from repro.integration.matching import MatchResult
+from repro.integration.relationships import Side
+from repro.integration.spec import IntegrationSpecification
+
+
+@dataclass
+class GlobalObject:
+    """A merged object of the integrated view."""
+
+    oid: str
+    components: dict[Side, ConformedObject]
+    state: dict[str, Any]
+    #: Qualified class names (``CSLibrary.RefereedPubl``) this object belongs
+    #: to in the integrated view, including via similarity classification.
+    classes: set[str] = field(default_factory=set)
+    #: Properties whose local/remote values disagreed, with both values —
+    #: the raw material of implicit conflicts.
+    value_differences: dict[str, tuple[Any, Any]] = field(default_factory=dict)
+
+    def component_on(self, side: Side) -> ConformedObject | None:
+        return self.components.get(side)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<global {self.oid} {sorted(self.classes)} {self.state!r}>"
+
+
+def merge_instances(
+    spec: IntegrationSpecification,
+    conformation: ConformationResult,
+    match: MatchResult,
+):
+    """Build the integrated view's objects and extents.
+
+    Returns an :class:`~repro.integration.view.IntegratedView` (imported
+    lazily to avoid a cycle).
+    """
+    from repro.integration.view import IntegratedView
+
+    by_conformed_oid: dict[str, ConformedObject] = {}
+    for side in (Side.LOCAL, Side.REMOTE):
+        for obj in conformation.on(side).instances:
+            by_conformed_oid[obj.oid] = obj
+
+    pairs = _collect_pairs(conformation, match, by_conformed_oid)
+    groups = _group_pairs(pairs, by_conformed_oid)
+
+    counter = itertools.count(1)
+    view = IntegratedView(spec, conformation)
+    conformed_to_global: dict[str, str] = {}
+    merged_members: set[str] = set()
+
+    # Merged (multi-component) objects first, then singletons.
+    for group in groups:
+        oid = f"g{next(counter)}"
+        components = {obj.side: obj for obj in group}
+        global_obj = GlobalObject(oid, components, {})
+        view.add_object(global_obj)
+        for obj in group:
+            conformed_to_global[obj.oid] = oid
+            merged_members.add(obj.oid)
+    for conformed_oid, obj in by_conformed_oid.items():
+        if conformed_oid in merged_members:
+            continue
+        oid = f"g{next(counter)}"
+        view.add_object(GlobalObject(oid, {obj.side: obj}, {}))
+        conformed_to_global[conformed_oid] = oid
+
+    _compute_states(spec, conformation, view, conformed_to_global)
+    _classify(spec, conformation, match, view, conformed_to_global)
+    return view
+
+
+# ---------------------------------------------------------------------------
+# pair collection and grouping
+# ---------------------------------------------------------------------------
+
+
+def _collect_pairs(
+    conformation: ConformationResult,
+    match: MatchResult,
+    by_conformed_oid: dict[str, ConformedObject],
+) -> list[tuple[str, str]]:
+    pairs: list[tuple[str, str]] = []
+    for equality in match.equalities:
+        local_oid = f"local:{equality.local.oid}"
+        remote_oid = f"remote:{equality.remote.oid}"
+        if local_oid in by_conformed_oid and remote_oid in by_conformed_oid:
+            pairs.append((local_oid, remote_oid))
+    pairs.extend(_descriptivity_pairs(conformation, by_conformed_oid))
+    return pairs
+
+
+def _descriptivity_pairs(
+    conformation: ConformationResult,
+    by_conformed_oid: dict[str, ConformedObject],
+) -> list[tuple[str, str]]:
+    """Match virtual objects with the objects they mirror, by described value."""
+    pairs = []
+    for side in (Side.LOCAL, Side.REMOTE):
+        conformed = conformation.on(side)
+        other = conformation.on(side.other)
+        for relocation in conformed.relocations:
+            # Virtual objects live on `side`; the real objects are the
+            # descriptivity rule's source class on the other side.
+            virtuals = [
+                obj
+                for obj in conformed.instances
+                if obj.class_name == relocation.virtual_class
+            ]
+            source_class = relocation.virtual_class.removeprefix("Virt")
+            if not other.schema.has_class(source_class):
+                continue
+            attr = relocation.object_attribute
+            remote_renames = other.rename_map(source_class)
+            conformed_attr = remote_renames.get(attr, attr)
+            candidates: dict[Any, ConformedObject] = {}
+            for obj in other.instances_of(source_class):
+                candidates[obj.state.get(conformed_attr)] = obj
+            for virtual in virtuals:
+                value = virtual.state.get(attr)
+                twin = candidates.get(value)
+                if twin is not None:
+                    pairs.append((virtual.oid, twin.oid))
+    return pairs
+
+
+def _group_pairs(
+    pairs: list[tuple[str, str]],
+    by_conformed_oid: dict[str, ConformedObject],
+) -> list[list[ConformedObject]]:
+    parent: dict[str, str] = {}
+
+    def find(x: str) -> str:
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for a, b in pairs:
+        parent[find(a)] = find(b)
+    groups: dict[str, list[ConformedObject]] = {}
+    for oid in parent:
+        groups.setdefault(find(oid), []).append(by_conformed_oid[oid])
+    return [sorted(group, key=lambda o: o.oid) for group in groups.values()]
+
+
+# ---------------------------------------------------------------------------
+# global states
+# ---------------------------------------------------------------------------
+
+
+def _compute_states(
+    spec: IntegrationSpecification,
+    conformation: ConformationResult,
+    view,
+    conformed_to_global: dict[str, str],
+) -> None:
+    for global_obj in view.objects():
+        local = global_obj.component_on(Side.LOCAL)
+        remote = global_obj.component_on(Side.REMOTE)
+        if local is not None and remote is not None:
+            state = _merge_states(
+                conformation, local, remote, global_obj, conformed_to_global
+            )
+        else:
+            only = local if local is not None else remote
+            assert only is not None
+            state = {
+                key: _remap(value, conformed_to_global)
+                for key, value in only.state.items()
+            }
+        global_obj.state = state
+
+
+def _remap(value: Any, conformed_to_global: dict[str, str]) -> Any:
+    """Conformed reference oids become global oids."""
+    if isinstance(value, str) and value in conformed_to_global:
+        return conformed_to_global[value]
+    return value
+
+
+def _merge_states(
+    conformation: ConformationResult,
+    local: ConformedObject,
+    remote: ConformedObject,
+    global_obj: GlobalObject,
+    conformed_to_global: dict[str, str],
+) -> dict[str, Any]:
+    state: dict[str, Any] = {}
+    shared = set(local.state) & set(remote.state)
+    for key in local.state.keys() | remote.state.keys():
+        if key not in shared:
+            value = local.state.get(key, remote.state.get(key))
+            state[key] = _remap(value, conformed_to_global)
+            continue
+        # References are compared *after* remapping so that two references
+        # to the same merged object do not read as a value conflict.
+        local_value = _remap(local.state[key], conformed_to_global)
+        remote_value = _remap(remote.state[key], conformed_to_global)
+        propeq = _conformed_propeq_for(conformation, local, remote, key)
+        if local_value != remote_value:
+            global_obj.value_differences[key] = (local_value, remote_value)
+        if propeq is not None:
+            state[key] = propeq.df.apply(local_value, remote_value)
+        else:
+            state[key] = local_value  # default: keep the local view
+    return state
+
+
+def _conformed_propeq_for(
+    conformation: ConformationResult,
+    local: ConformedObject,
+    remote: ConformedObject,
+    name: str,
+) -> ConformedPropeq | None:
+    for propeq in conformation.propeqs:
+        if propeq.name != name:
+            continue
+        local_schema = conformation.local.schema
+        remote_schema = conformation.remote.schema
+        if not (
+            local_schema.has_class(local.class_name)
+            and local_schema.has_class(propeq.local_class)
+            and remote_schema.has_class(remote.class_name)
+            and remote_schema.has_class(propeq.remote_class)
+        ):
+            continue
+        if local_schema.is_subclass_of(
+            local.class_name, propeq.local_class
+        ) and remote_schema.is_subclass_of(remote.class_name, propeq.remote_class):
+            return propeq
+    return None
+
+
+# ---------------------------------------------------------------------------
+# classification
+# ---------------------------------------------------------------------------
+
+
+def _classify(
+    spec: IntegrationSpecification,
+    conformation: ConformationResult,
+    match: MatchResult,
+    view,
+    conformed_to_global: dict[str, str],
+) -> None:
+    # Component classes (with ancestors) on their own side.
+    for global_obj in view.objects():
+        for side, component in global_obj.components.items():
+            schema = conformation.on(side).schema
+            database = schema.name
+            if schema.has_class(component.class_name):
+                for ancestor in schema.ancestors(component.class_name):
+                    global_obj.classes.add(f"{database}.{ancestor.name}")
+            else:  # pragma: no cover - defensive
+                global_obj.classes.add(f"{database}.{component.class_name}")
+    # Similarity classifications place the source object into target classes.
+    for similarity in match.similarities:
+        source_conformed = f"{similarity.source_side.value}:{similarity.source.oid}"
+        global_oid = conformed_to_global.get(source_conformed)
+        if global_oid is None:
+            continue
+        global_obj = view.get(global_oid)
+        target_side = similarity.source_side.other
+        target_schema = conformation.on(target_side).schema
+        if similarity.virtual_class is not None:
+            view.add_virtual_extent_member(similarity.virtual_class, global_oid)
+            view.register_virtual_superclass(
+                similarity.virtual_class,
+                f"{target_schema.name}.{similarity.target_class}",
+            )
+            continue
+        if target_schema.has_class(similarity.target_class):
+            for ancestor in target_schema.ancestors(similarity.target_class):
+                global_obj.classes.add(f"{target_schema.name}.{ancestor.name}")
+    view.rebuild_extents()

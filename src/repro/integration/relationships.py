@@ -1,0 +1,55 @@
+"""The object-relationship vocabulary of Section 2.2.
+
+The paper distinguishes four relationships a remote object ``O'`` can have to
+local objects/classes (the *constituency* relationship of [VeA96] is noted as
+irrelevant to constraints and omitted, as the paper does):
+
+* **Equality** ``Eq(O', O)`` — same real-world object;
+* **Strict similarity** ``Sim(O', C)`` — ``O'`` would locally be classified
+  under ``C``;
+* **Approximate similarity** ``Sim(O', C, Cv)`` — locally ``C ∪ {O'}`` can be
+  regarded as a more general virtual class ``Cv``;
+* **Descriptivity** ``Eq(O', O.S)`` / ``Sim(O', C.S)`` — ``O'`` is considered
+  a set of values describing a local object/class.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RelationshipKind(enum.Enum):
+    """Which of the paper's object relationships a comparison rule asserts."""
+
+    EQUALITY = "equality"
+    SIMILARITY = "similarity"
+    APPROXIMATE_SIMILARITY = "approximate_similarity"
+    DESCRIPTIVITY = "descriptivity"
+
+    def describe(self) -> str:
+        return {
+            RelationshipKind.EQUALITY: "Eq(O, O')",
+            RelationshipKind.SIMILARITY: "Sim(O', C)",
+            RelationshipKind.APPROXIMATE_SIMILARITY: "Sim(O', C, Cv)",
+            RelationshipKind.DESCRIPTIVITY: "Eq(O', O.S)",
+        }[self]
+
+
+class Side(enum.Enum):
+    """Which component database an object/class/property belongs to.
+
+    The paper's conventions: unprimed symbols are local (``s``), primed are
+    remote (``s'``).
+    """
+
+    LOCAL = "local"
+    REMOTE = "remote"
+
+    @property
+    def other(self) -> "Side":
+        return Side.REMOTE if self is Side.LOCAL else Side.LOCAL
+
+    @property
+    def variable(self) -> str:
+        """The rule-condition variable bound to this side's object."""
+        return "O" if self is Side.LOCAL else "O'"

@@ -1,0 +1,137 @@
+"""Textual rendering of an :class:`IntegrationResult` — the design-tool
+output the paper's conclusion envisions ("constraint conflicts detected can
+be used to highlight errors in the specification, and suggestions can be done
+to the user as to how to correct them")."""
+
+from __future__ import annotations
+
+from repro.constraints.printer import to_source
+from repro.integration.relationships import Side
+from repro.integration.workbench import IntegrationResult
+
+
+def render_report(result: IntegrationResult, width: int = 78) -> str:
+    """A complete multi-section plain-text report."""
+    lines: list[str] = []
+    rule = "=" * width
+
+    def section(title: str) -> None:
+        lines.append("")
+        lines.append(title)
+        lines.append("-" * len(title))
+
+    lines.append(rule)
+    lines.append("DATABASE INTEROPERATION REPORT".center(width))
+    local = result.spec.local_schema.name
+    remote = result.spec.remote_schema.name
+    lines.append(f"{local} (local) ⋈ {remote} (remote)".center(width))
+    lines.append(rule)
+
+    if result.spec_issues:
+        section("Specification issues")
+        for issue in result.spec_issues:
+            lines.append(f"  ! {issue.describe()}")
+
+    if result.subjectivity is not None:
+        section("Constraint subjectivity (Section 5.1)")
+        for name, status in sorted(result.subjectivity.constraint_status.items()):
+            tag = "subjective" if status.subjective else "objective "
+            lines.append(f"  [{tag}] {name} — {status.reason}")
+        for violation in result.subjectivity.violations:
+            lines.append(f"  ! consistency violation: {violation}")
+
+    if result.conformation is not None:
+        section("Conformation (Section 4)")
+        for side in (Side.LOCAL, Side.REMOTE):
+            conformed = result.conformation.on(side)
+            for note in conformed.notes:
+                lines.append(f"  [{side.value}] {note}")
+            for name, reason in conformed.dropped_constraints:
+                lines.append(f"  [{side.value}] dropped {name}: {reason}")
+
+    if result.rule_checks is not None:
+        section("Rule checks (Section 3)")
+        for analysis in result.rule_checks.analyses:
+            for constraint in analysis.derived:
+                lines.append(
+                    f"  derived on {analysis.class_name} "
+                    f"({analysis.rule.name}): {to_source(constraint.formula)}"
+                )
+        for conflict in result.rule_checks.conflicts:
+            lines.append(f"  ! {conflict.describe()}")
+
+    if result.view is not None:
+        section("Integrated view (Section 2.3)")
+        merged = result.view.merged_objects()
+        total = len(list(result.view.objects()))
+        lines.append(f"  {total} global objects ({len(merged)} merged)")
+        if result.hierarchy is not None:
+            for child, parent in sorted(result.hierarchy.derived_edges):
+                lines.append(f"  derived: {child} isa {parent}")
+            for name, (a, b) in sorted(result.hierarchy.virtual_classes.items()):
+                lines.append(f"  virtual class {name} = {a} ∩ {b}")
+
+    if result.derivation is not None:
+        section("Integrated constraints (Section 5.2)")
+        for constraint in result.derivation.constraints:
+            lines.append(f"  {constraint.describe()}")
+        if result.derivation.notes:
+            lines.append("  notes:")
+            for note in result.derivation.notes:
+                lines.append(f"    - {note}")
+
+    if result.class_constraints is not None:
+        section("Class constraints (Section 5.2.2)")
+        for side, names in result.class_constraints.objective_extension.items():
+            if names:
+                lines.append(
+                    f"  objective extension ({side.value}): "
+                    + ", ".join(sorted(names))
+                )
+        for constraint in result.class_constraints.propagated:
+            lines.append(f"  {constraint.describe()}")
+        for name, reason in result.class_constraints.retained_locally:
+            lines.append(f"  local-only {name}: {reason}")
+        for name, reason in result.class_constraints.needs_global_enforcement:
+            lines.append(f"  ! {name}: {reason}")
+
+    if result.database_constraints is not None:
+        section("Database constraints (Section 5.2.3)")
+        for name, reason in result.database_constraints.retained_locally:
+            lines.append(f"  local-only {name}: {reason}")
+
+    conflicts_present = (
+        result.derivation is not None
+        and (
+            result.derivation.explicit_conflicts
+            or result.derivation.implicit_risks
+            or result.derivation.similarity_conflicts
+        )
+    ) or result.state_violations
+    if conflicts_present:
+        section("Conflicts")
+        assert result.derivation is not None
+        for conflict in result.derivation.explicit_conflicts:
+            lines.append(f"  ! {conflict.describe()}")
+        for risk in result.derivation.implicit_risks:
+            lines.append(f"  ! {risk.describe()}")
+        for conflict in result.derivation.similarity_conflicts:
+            lines.append(f"  ! {conflict.describe()}")
+        for violation in result.state_violations:
+            lines.append(f"  ! {violation.describe()}")
+
+    if result.suggestions:
+        section("Suggestions (Section 5.2.1 resolution options)")
+        for suggestion in result.suggestions:
+            lines.append(f"  * {suggestion.describe()}")
+
+    section("Verdict")
+    if result.is_consistent():
+        lines.append("  specification is consistent with the local constraints")
+    else:
+        lines.append(
+            f"  {result.conflict_count()} conflict(s) found — "
+            "see suggestions above"
+        )
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,163 @@
+"""Conflict resolution options (Section 5.2.1).
+
+The paper identifies three ways to resolve a detected conflict:
+
+1. *Change or ignore local and/or remote constraints* — in this framework,
+   demote the constraint from objective to subjective;
+2. *Change the object comparison rules* — conflicting constraints indicate
+   the objects are not truly equivalent; for strict-similarity conflicts the
+   concrete repair is to add the unmet target constraints as intraobject
+   conditions (optionally with an approximate-similarity fallback rule for
+   the objects the strengthened rule no longer covers);
+3. *Change the decision functions* — altering a df changes which global
+   constraints are derivable and removes value-subjectivity conflicts.
+
+This module turns each conflict into concrete, applicable suggestions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.ast import Node, conjoin
+from repro.constraints.printer import to_source
+from repro.errors import ConformationError
+from repro.integration._rewrite import map_paths
+from repro.integration.conflicts import (
+    ExplicitConflict,
+    ImplicitConflictRisk,
+    SimilarityConflict,
+)
+from repro.integration.conformation import ConformationResult
+from repro.integration.relationships import Side
+from repro.integration.rules import ComparisonRule
+from repro.integration.spec import IntegrationSpecification
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One actionable repair suggestion."""
+
+    option: int  # the paper's option number (1, 2 or 3)
+    action: str  # machine-readable: demote-constraint | repair-rule | ...
+    target: str  # what to change (constraint name, rule name, propeq)
+    detail: str
+    #: For rule repairs: the repaired rule, ready to substitute.
+    repaired_rule: ComparisonRule | None = None
+    #: For rule repairs: the optional approximate-similarity fallback.
+    fallback_rule: ComparisonRule | None = None
+
+    def describe(self) -> str:
+        return f"option {self.option} [{self.action}] {self.target}: {self.detail}"
+
+
+def suggest_for_explicit(
+    conflict: ExplicitConflict, spec: IntegrationSpecification
+) -> list[Suggestion]:
+    """Suggestions for an explicit conflict among objective constraints."""
+    suggestions = [
+        Suggestion(
+            1,
+            "demote-constraint",
+            name,
+            "declare the constraint subjective so it no longer joins the "
+            "integrated set",
+        )
+        for name in conflict.constraint_names
+    ]
+    suggestions.append(
+        Suggestion(
+            2,
+            "revisit-rules",
+            conflict.scope,
+            "conflicting constraints may indicate the objects related by the "
+            "equality rule are not truly equivalent; reconsider the rule "
+            "conditions",
+        )
+    )
+    return suggestions
+
+
+def suggest_for_implicit_risk(
+    risk: ImplicitConflictRisk, spec: IntegrationSpecification
+) -> list[Suggestion]:
+    """Suggestions for an implicit-conflict risk (conflict-ignoring df)."""
+    return [
+        Suggestion(
+            3,
+            "change-decision-function",
+            risk.property_name,
+            "replace the conflict-ignoring function (any) by a "
+            "conflict-avoiding one (trust) so the constrained side supplies "
+            "the global value",
+        ),
+        Suggestion(
+            1,
+            "demote-constraint",
+            risk.constraint_name,
+            "declare the constraint subjective if violations by the other "
+            "database's values are acceptable",
+        ),
+    ]
+
+
+def repair_similarity_rule(
+    conflict: SimilarityConflict,
+    conformation: ConformationResult,
+) -> Suggestion:
+    """The paper's strict-similarity repair: add the unmet constraints as
+    intraobject conditions on the rule's source object.
+
+    The added conditions are the unmet constraints *deconformed* back onto
+    the source side's original attribute names (identity conversions only —
+    with a non-identity conversion the condition is left in conformed terms
+    and flagged), rebased on the rule variable:
+    ``Sim(O':Proceedings, RefereedPubl) <- O'.ref? = true`` becomes
+    ``... <- O'.ref? = true and O'.rating >= 4``.
+    """
+    rule = conflict.rule
+    source_side = rule.source_side
+    variable = source_side.variable
+    conformed = conformation.on(source_side)
+    assert rule.source_class is not None
+
+    extra_conditions: list[Node] = []
+    for constraint in conflict.unmet:
+        formula = _deconform(conformed, rule.source_class, constraint.formula)
+        rebased = map_paths(formula, lambda p: p.with_root(variable))
+        extra_conditions.append(rebased)
+
+    repaired = rule.strengthened(conjoin(extra_conditions))
+    fallback = ComparisonRule.approximate_similarity(
+        rule.source_class,
+        rule.target_class or "",
+        virtual_class=f"{rule.target_class}Like",
+        condition=rule.condition,
+        source_side=source_side,
+    )
+    added = " and ".join(to_source(c) for c in extra_conditions)
+    return Suggestion(
+        2,
+        "repair-rule",
+        rule.name,
+        f"strengthen the condition with {added}; optionally add an "
+        "approximate-similarity rule for source objects no longer covered",
+        repaired_rule=repaired,
+        fallback_rule=fallback,
+    )
+
+
+def _deconform(conformed, class_name: str, formula: Node) -> Node:
+    """Map conformed attribute names back to the side's original names.
+
+    Only renames are inverted; non-identity conversions would require
+    inverse value mapping, so such constraints stay in conformed terms (the
+    conformed and original scales agree for every case in the paper).
+    """
+    inverse: dict[str, str] = {}
+    for declaring, renames in conformed.renames.items():
+        for original, renamed in renames.items():
+            inverse[renamed] = original
+    from repro.integration._rewrite import rename_attributes
+
+    return rename_attributes(formula, inverse)

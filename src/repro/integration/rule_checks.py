@@ -1,0 +1,289 @@
+"""Section 3: object comparison rules vs. object constraints.
+
+Intraobject conditions "are conditions that a local (or remote) object must
+satisfy to be a candidate for having this relationship in the first place" —
+structurally object constraints.  Two consequences (both implemented here):
+
+1. the intraobject conditions of a rule must not conflict with the object
+   constraints of the class they apply to;
+2. from the object constraints and the intraobject conditions, *derived
+   object constraints* follow, "subsequently treated like regular object
+   constraints in the integration process" — the paper derives
+   ``rating >= 7`` for Proceedings matched by the RefereedPubl similarity
+   rule from the condition ``ref? = true`` and constraint ``oc2``.
+
+Derived constraints are computed mechanically as per-property domain
+tightenings of the conjunction (constraints ∧ conditions), emitted whenever
+the resulting domain is strictly tighter than the property's declared type.
+Everything runs in *conformed* terms so results feed straight into the
+merging-phase analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.ast import (
+    Comparison,
+    Literal,
+    Membership,
+    Node,
+    Path,
+    SetLiteral,
+    conjoin,
+)
+from repro.constraints.model import Constraint, ConstraintKind
+from repro.constraints.solver import Solver, TypeEnvironment
+from repro.domains.valueset import NumericSet, ValueSet
+from repro.errors import ConformationError
+from repro.integration.conflicts import RuleConflict
+from repro.integration.conformation import ConformationResult
+from repro.integration.constraint_conformation import conform_formula
+from repro.integration.relationships import RelationshipKind, Side
+from repro.integration.rules import ComparisonRule, rebase_condition
+from repro.integration.spec import IntegrationSpecification
+
+
+@dataclass
+class RuleAnalysis:
+    """Derived constraints and conflicts for one rule side."""
+
+    rule: ComparisonRule
+    side: Side
+    class_name: str
+    #: The conformed intraobject conditions (object-constraint form).
+    conditions: list[Node] = field(default_factory=list)
+    derived: list[Constraint] = field(default_factory=list)
+    conflict: RuleConflict | None = None
+
+
+@dataclass
+class RuleCheckResult:
+    analyses: list[RuleAnalysis] = field(default_factory=list)
+    conflicts: list[RuleConflict] = field(default_factory=list)
+
+    def derived_for(self, side: Side, class_name: str) -> list[Constraint]:
+        """All rule-derived constraints applying to ``class_name`` objects
+        matched on ``side``."""
+        return [
+            constraint
+            for analysis in self.analyses
+            if analysis.side is side and analysis.class_name == class_name
+            for constraint in analysis.derived
+        ]
+
+    def analysis_for(self, rule: ComparisonRule) -> "RuleAnalysis | None":
+        for analysis in self.analyses:
+            if analysis.rule is rule:
+                return analysis
+        return None
+
+
+def check_rules(
+    spec: IntegrationSpecification, conformation: ConformationResult
+) -> RuleCheckResult:
+    """Run the Section 3 analysis for every comparison rule."""
+    result = RuleCheckResult()
+    for rule in spec.rules:
+        for side in (Side.LOCAL, Side.REMOTE):
+            class_name = _constrained_class(rule, side)
+            if class_name is None:
+                continue
+            conditions = rule.intraobject_conditions(side)
+            if not conditions:
+                continue
+            analysis = _analyse(rule, side, class_name, conditions, conformation)
+            result.analyses.append(analysis)
+            if analysis.conflict is not None:
+                result.conflicts.append(analysis.conflict)
+    return result
+
+
+def _constrained_class(rule: ComparisonRule, side: Side) -> str | None:
+    if rule.kind is RelationshipKind.EQUALITY:
+        return rule.local_class if side is Side.LOCAL else rule.remote_class
+    if side is rule.source_side:
+        return rule.source_class
+    return None  # intraobject conditions only constrain the source object
+
+
+def _analyse(
+    rule: ComparisonRule,
+    side: Side,
+    class_name: str,
+    conditions: list[Node],
+    conformation: ConformationResult,
+) -> RuleAnalysis:
+    conformed = conformation.on(side)
+    analysis = RuleAnalysis(rule, side, class_name)
+    if not conformed.schema.has_class(class_name):
+        analysis.conflict = RuleConflict(
+            rule, f"class {class_name} does not survive conformation"
+        )
+        return analysis
+
+    conformed_conditions: list[Node] = []
+    for condition in conditions:
+        rebased = rebase_condition(condition, side)
+        try:
+            conformed_conditions.append(
+                conform_formula(conformed, class_name, rebased)
+            )
+        except ConformationError as exc:
+            analysis.conflict = RuleConflict(
+                rule, f"condition cannot be conformed: {exc}"
+            )
+            return analysis
+    analysis.conditions = conformed_conditions
+
+    constraints = conformed.schema.effective_object_constraints(class_name)
+    premise = conjoin(
+        [c.formula for c in constraints] + list(conformed_conditions)
+    )
+    env = conformed.schema.type_environment(class_name)
+    solver = Solver(env)
+    if solver.is_unsatisfiable(premise):
+        analysis.conflict = RuleConflict(
+            rule,
+            f"intraobject conditions conflict with the object constraints "
+            f"of {conformed.schema.name}.{class_name}",
+        )
+        return analysis
+
+    analysis.derived = derive_domain_constraints(
+        premise,
+        conformed.schema,
+        class_name,
+        env,
+        label_prefix=f"derived({rule.name})",
+        database=conformed.schema.name,
+    )
+    return analysis
+
+
+def derive_domain_constraints(
+    premise: Node,
+    schema,
+    class_name: str,
+    env: TypeEnvironment,
+    label_prefix: str,
+    database: str | None = None,
+) -> list[Constraint]:
+    """Per-property domain tightenings implied by ``premise``.
+
+    For each scalar attribute of ``class_name`` whose propagated domain under
+    ``premise`` is strictly tighter than its declared type, emit an object
+    constraint expressing the tightened domain.
+    """
+    from repro.domains.typed import type_to_valueset
+
+    solver = Solver(env)
+    derived: list[Constraint] = []
+    counter = 1
+    for name, attribute in schema.effective_attributes(class_name).items():
+        type_domain = type_to_valueset(attribute.tm_type)
+        path = Path((name,))
+        domain = solver.domain_of(premise, path)
+        formula = domain_to_formula(path, domain, type_domain)
+        if formula is None:
+            continue
+        derived.append(
+            Constraint(
+                f"{label_prefix}#{counter}",
+                ConstraintKind.OBJECT,
+                formula,
+                owner=class_name,
+                database=database,
+            )
+        )
+        counter += 1
+    return derived
+
+
+def domain_to_formula(
+    path: Path, domain: ValueSet, type_domain: ValueSet
+) -> Node | None:
+    """Express a propagated domain as a constraint formula, or ``None`` when
+    it is no tighter than the declared type.
+
+    Prefers the readable forms the paper uses: half-line bounds
+    (``rating >= 7``) and finite memberships (``trav_reimb in {12, 17, 22}``).
+    """
+    if not domain.is_subset_of(type_domain) or type_domain.is_subset_of(domain):
+        return None
+    if domain.is_empty():
+        from repro.constraints.ast import FALSE
+
+        return FALSE
+    if isinstance(domain, NumericSet):
+        type_values = type_domain.enumerate()
+        values = domain.enumerate()
+        low, low_strict = domain.lower_bound()
+        high, high_strict = domain.upper_bound()
+        type_low, _ = (
+            type_domain.lower_bound()
+            if isinstance(type_domain, NumericSet)
+            else (None, False)
+        )
+        type_high, _ = (
+            type_domain.upper_bound()
+            if isinstance(type_domain, NumericSet)
+            else (None, False)
+        )
+        lower_tightened = low is not None and (type_low is None or low > type_low)
+        upper_tightened = high is not None and (type_high is None or high < type_high)
+
+        # Gap-free domains read as bounds (rating >= 7, rating >= 5 in the
+        # paper); domains with holes read as memberships ({12, 17, 22}).
+        contiguous = _contiguous_within(domain, type_domain)
+        if values is not None and len(values) == 1:
+            return Comparison("=", path, Literal(_num(values[0])))
+        if values is not None and not contiguous:
+            return Membership(path, SetLiteral(tuple(_num(v) for v in values)))
+        if lower_tightened or upper_tightened:
+            parts = []
+            if lower_tightened:
+                parts.append(
+                    Comparison(">" if low_strict else ">=", path, Literal(_num(low)))
+                )
+            if upper_tightened:
+                parts.append(
+                    Comparison("<" if high_strict else "<=", path, Literal(_num(high)))
+                )
+            return conjoin(parts)
+        if values is not None and (
+            type_values is None or len(values) < len(type_values)
+        ):
+            return Membership(path, SetLiteral(tuple(_num(v) for v in values)))
+        return None
+    values = domain.enumerate()
+    if values is not None:
+        if len(values) == 1:
+            return Comparison("=", path, Literal(values[0]))
+        return Membership(path, SetLiteral(values))
+    return None
+
+
+def _contiguous_within(domain: NumericSet, type_domain: ValueSet) -> bool:
+    """Whether ``domain`` equals the type domain restricted to its hull —
+    i.e. expressing it as bounds loses nothing."""
+    from repro.domains.interval import Interval, IntervalSet
+
+    low, low_strict = domain.lower_bound()
+    high, high_strict = domain.upper_bound()
+    hull = NumericSet(IntervalSet((Interval(low, high, low_strict, high_strict),)))
+    try:
+        restricted = type_domain.intersect(hull)
+    except Exception:
+        return False
+    ours = domain.enumerate()
+    theirs = restricted.enumerate()
+    if ours is not None and theirs is not None:
+        return set(ours) == set(theirs)
+    return domain.is_subset_of(restricted) and restricted.is_subset_of(domain)
+
+
+def _num(value: float):
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    return value

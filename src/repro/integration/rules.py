@@ -1,0 +1,251 @@
+"""Object comparison rules ``ρ <- Q`` (Section 2.2).
+
+A rule asserts a relationship between objects when its condition holds.  The
+condition is a conjunction of first-order predicates over the rule variables
+``O`` (local object) and ``O'`` (remote object); Section 3 splits the
+conjuncts into
+
+* **interobject conditions** — involving both objects (``O.isbn = O'.isbn``);
+* **intraobject conditions** — on one object only (``O'.ref? = true``), which
+  behave like object constraints on that side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.ast import Node, Path, conjoin, paths_in, TRUE
+from repro.constraints.parser import parse_expression
+from repro.constraints.printer import to_source
+from repro.errors import SpecificationError
+from repro.integration.relationships import RelationshipKind, Side
+
+
+@dataclass
+class ComparisonRule:
+    """One object comparison rule.
+
+    The meaning per relationship kind:
+
+    * ``EQUALITY`` — ``Eq(O:local_class, O':remote_class) <- condition``;
+    * ``SIMILARITY`` — ``Sim(source:source_class, target_class) <- cond``:
+      the object of ``source_class`` (on ``source_side``) is classified under
+      ``target_class`` of the *other* side;
+    * ``APPROXIMATE_SIMILARITY`` — additionally names the common virtual
+      class ``virtual_class``;
+    * ``DESCRIPTIVITY`` — the ``source_side`` object of ``source_class`` is a
+      value describing objects of ``target_class`` (other side) through
+      attribute pair (``value_attribute``, ``object_attribute``).
+    """
+
+    kind: RelationshipKind
+    local_class: str | None = None
+    remote_class: str | None = None
+    condition: Node = TRUE
+    #: For similarity/descriptivity: which side the source object lives on.
+    source_side: Side = Side.REMOTE
+    source_class: str | None = None
+    target_class: str | None = None
+    virtual_class: str | None = None
+    #: Descriptivity: the value-holding attribute on the target (value) side
+    #: and the described attribute on the object side.
+    value_attribute: str | None = None
+    object_attribute: str | None = None
+    name: str = ""
+
+    # -- constructors ----------------------------------------------------------
+
+    @staticmethod
+    def equality(local_class: str, remote_class: str, condition: str | Node) -> "ComparisonRule":
+        """``Eq(O:local_class, O':remote_class) <- condition``."""
+        return ComparisonRule(
+            RelationshipKind.EQUALITY,
+            local_class=local_class,
+            remote_class=remote_class,
+            condition=_parse(condition),
+            name=f"Eq({local_class}, {remote_class})",
+        )
+
+    @staticmethod
+    def similarity(
+        source_class: str,
+        target_class: str,
+        condition: str | Node = TRUE,
+        source_side: Side = Side.REMOTE,
+    ) -> "ComparisonRule":
+        """``Sim(source:source_class, target_class) <- condition``."""
+        return ComparisonRule(
+            RelationshipKind.SIMILARITY,
+            condition=_parse(condition),
+            source_side=source_side,
+            source_class=source_class,
+            target_class=target_class,
+            name=f"Sim({source_class}, {target_class})",
+        )
+
+    @staticmethod
+    def approximate_similarity(
+        source_class: str,
+        target_class: str,
+        virtual_class: str,
+        condition: str | Node = TRUE,
+        source_side: Side = Side.REMOTE,
+    ) -> "ComparisonRule":
+        """``Sim(source:source_class, target_class, virtual_class) <- cond``."""
+        return ComparisonRule(
+            RelationshipKind.APPROXIMATE_SIMILARITY,
+            condition=_parse(condition),
+            source_side=source_side,
+            source_class=source_class,
+            target_class=target_class,
+            virtual_class=virtual_class,
+            name=f"Sim({source_class}, {target_class}, {virtual_class})",
+        )
+
+    @staticmethod
+    def descriptivity(
+        source_class: str,
+        target_class: str,
+        value_attribute: str,
+        object_attribute: str,
+        condition: str | Node = TRUE,
+        source_side: Side = Side.REMOTE,
+    ) -> "ComparisonRule":
+        """``Eq(source:source_class, target.value_attribute) <- condition``.
+
+        The paper's example: ``Eq(O:Publication.{publisher}, O':Publisher) <-
+        O.publisher = O'.name`` is expressed as ``descriptivity("Publisher",
+        "Publication", "publisher", "name")`` — Publisher objects (remote)
+        describe the ``publisher`` value of local Publications through their
+        ``name`` attribute.
+        """
+        return ComparisonRule(
+            RelationshipKind.DESCRIPTIVITY,
+            condition=_parse(condition),
+            source_side=source_side,
+            source_class=source_class,
+            target_class=target_class,
+            value_attribute=value_attribute,
+            object_attribute=object_attribute,
+            name=f"Descr({source_class}, {target_class}.{value_attribute})",
+        )
+
+    # -- condition analysis -------------------------------------------------------
+
+    def condition_conjuncts(self) -> list[Node]:
+        from repro.constraints.normalize import split_conjunction
+
+        return split_conjunction(self.condition)
+
+    def interobject_conditions(self) -> list[Node]:
+        """Conjuncts that mention both ``O`` and ``O'``."""
+        return [
+            part
+            for part in self.condition_conjuncts()
+            if _sides_of(part) == {Side.LOCAL, Side.REMOTE}
+        ]
+
+    def intraobject_conditions(self, side: Side) -> list[Node]:
+        """Conjuncts that mention only the object on ``side``."""
+        return [
+            part for part in self.condition_conjuncts() if _sides_of(part) == {side}
+        ]
+
+    def with_condition(self, condition: str | Node) -> "ComparisonRule":
+        """A copy with a different (e.g. repaired) condition."""
+        from dataclasses import replace
+
+        return replace(self, condition=_parse(condition))
+
+    def strengthened(self, extra: Node) -> "ComparisonRule":
+        """A copy whose condition additionally requires ``extra``."""
+        return self.with_condition(conjoin([self.condition, extra]))
+
+    # -- sides ------------------------------------------------------------------------
+
+    def classes_on(self, side: Side) -> set[str]:
+        """The classes of ``side`` whose extents this rule can affect."""
+        result: set[str] = set()
+        if self.kind is RelationshipKind.EQUALITY:
+            name = self.local_class if side is Side.LOCAL else self.remote_class
+            if name:
+                result.add(name)
+        elif self.kind in (
+            RelationshipKind.SIMILARITY,
+            RelationshipKind.APPROXIMATE_SIMILARITY,
+        ):
+            if side is self.source_side:
+                if self.source_class:
+                    result.add(self.source_class)
+            else:
+                if self.target_class:
+                    result.add(self.target_class)
+        else:  # descriptivity
+            if side is self.source_side:
+                if self.source_class:
+                    result.add(self.source_class)
+            else:
+                if self.target_class:
+                    result.add(self.target_class)
+        return result
+
+    def describe(self) -> str:
+        head = {
+            RelationshipKind.EQUALITY: (
+                f"Eq(O:{self.local_class}, O':{self.remote_class})"
+            ),
+            RelationshipKind.SIMILARITY: (
+                f"Sim({self.source_side.variable}:{self.source_class}, "
+                f"{self.target_class})"
+            ),
+            RelationshipKind.APPROXIMATE_SIMILARITY: (
+                f"Sim({self.source_side.variable}:{self.source_class}, "
+                f"{self.target_class}, {self.virtual_class})"
+            ),
+            RelationshipKind.DESCRIPTIVITY: (
+                f"Eq({self.source_side.variable}:{self.source_class}, "
+                f"{self.target_class}.{{{self.value_attribute}}})"
+            ),
+        }[self.kind]
+        return f"{head} <- {to_source(self.condition)}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<rule {self.describe()}>"
+
+
+def _parse(condition: str | Node) -> Node:
+    if isinstance(condition, str):
+        return parse_expression(condition)
+    return condition
+
+
+def _sides_of(part: Node) -> set[Side]:
+    """Which rule variables a condition conjunct mentions.
+
+    Paths that do not start with a rule variable are treated as belonging to
+    the rule's source object (bare attribute paths in similarity conditions).
+    """
+    sides: set[Side] = set()
+    for path in paths_in(part):
+        root = path.parts[0]
+        if root == "O'":
+            sides.add(Side.REMOTE)
+        elif root == "O":
+            sides.add(Side.LOCAL)
+    return sides
+
+
+def rebase_condition(part: Node, onto: Side) -> Node:
+    """Strip rule-variable roots so the conjunct reads as an object constraint.
+
+    ``O'.ref? = true`` becomes ``ref? = true`` — the form in which intraobject
+    conditions are compared with object constraints (Section 3).
+    """
+    from repro.integration._rewrite import map_paths
+
+    def strip(path: Path) -> Path:
+        if path.parts[0] in ("O", "O'"):
+            return Path(path.parts[1:])
+        return path
+
+    return map_paths(part, strip)

@@ -1,0 +1,252 @@
+"""Parser for the paper's integration-specification surface syntax.
+
+Section 2.2 writes specifications as plain text; this module makes that text
+executable.  Accepted statements (one per line, ``#`` comments allowed):
+
+.. code-block:: text
+
+    Eq(O:Publication, O':Item) <- O.isbn = O'.isbn
+    Eq(O:Publication.{publisher}, O':Publisher) <- O.publisher = O'.name
+    Sim(O':Proceedings, RefereedPubl) <- O'.ref? = true
+    Sim(O:ScientificPubl, Proceedings) <- contains(O.title, 'Proceed')
+    Sim(O':Monograph, ProfessionalPubl, TradeBook) <- true
+    propeq(Publication.ourprice, Item.libprice, id, id, trust(CSLibrary)) as libprice
+    propeq(ScientificPubl.rating, Proceedings.rating, multiply(2), id, avg)
+    subjective CSLibrary.Publication.cc2
+    objective Bookseller.Item.cc1
+    virtual(Proceedings, RefereedPubl) = RefereedProceedings
+
+Conversion functions: ``id``, ``multiply(k)``, ``linear(k, c)``.
+Decision functions: ``any``, ``trust(DatabaseName)``, ``max``, ``min``,
+``avg``, ``union``.  The primed variable marks the remote side, matching the
+paper's conventions.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.integration.conversion import (
+    ConversionFunction,
+    IdentityConversion,
+    LinearConversion,
+)
+from repro.integration.decision import (
+    AnyChoice,
+    Average,
+    DecisionFunction,
+    Maximum,
+    Minimum,
+    Trust,
+    Union,
+)
+from repro.integration.propeq import PropertyEquivalence
+from repro.integration.relationships import Side
+from repro.integration.rules import ComparisonRule
+from repro.integration.spec import IntegrationSpecification
+from repro.tm.schema import DatabaseSchema
+
+_EQ_RE = re.compile(
+    r"^Eq\(\s*(O'?):(\w+)(?:\.\{(\w+)\})?\s*,\s*(O'?):(\w+)(?:\.\{(\w+)\})?\s*\)\s*"
+    r"(?:<-\s*(.+))?$"
+)
+_SIM_RE = re.compile(
+    r"^Sim\(\s*(O'?):(\w+)\s*,\s*(\w+)\s*(?:,\s*(\w+)\s*)?\)\s*(?:<-\s*(.+))?$"
+)
+# cf / df arguments may themselves carry parenthesised arguments
+# (multiply(2), linear(2, 3), trust(CSLibrary)).
+_FUNC = r"\w+(?:\([^)]*\))?"
+_PROPEQ_RE = re.compile(
+    rf"^propeq\(\s*(\w+)\.(\w+)\s*,\s*(\w+)\.(\w+)\s*,\s*({_FUNC})\s*,"
+    rf"\s*({_FUNC})\s*,\s*({_FUNC})\s*\)\s*(?:as\s+(\w+))?$"
+)
+_VIRTUAL_RE = re.compile(r"^virtual\(\s*(\w+)\s*,\s*(\w+)\s*\)\s*=\s*(\w+)$")
+_DECLARE_RE = re.compile(r"^(subjective|objective)\s+([\w.?]+)$")
+_MULTIPLY_RE = re.compile(r"^multiply\(\s*(-?[\d.]+)\s*\)$")
+_LINEAR_RE = re.compile(r"^linear\(\s*(-?[\d.]+)\s*,\s*(-?[\d.]+)\s*\)$")
+_TRUST_RE = re.compile(r"^trust\(\s*(\w+)\s*\)$")
+
+
+def parse_specification(
+    source: str,
+    local_schema: DatabaseSchema,
+    remote_schema: DatabaseSchema,
+) -> IntegrationSpecification:
+    """Parse a textual specification against the two component schemas."""
+    spec = IntegrationSpecification(local_schema, remote_schema)
+    for line_number, raw in enumerate(source.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            _parse_statement(line, spec)
+        except ParseError as exc:
+            raise ParseError(
+                f"{exc.message} (in spec statement {line!r})", line_number
+            ) from exc
+    return spec
+
+
+def _parse_statement(line: str, spec: IntegrationSpecification) -> None:
+    if line.startswith("Eq("):
+        _parse_eq(line, spec)
+        return
+    if line.startswith("Sim("):
+        _parse_sim(line, spec)
+        return
+    if line.startswith("propeq("):
+        _parse_propeq(line, spec)
+        return
+    if line.startswith("virtual("):
+        match = _VIRTUAL_RE.match(line)
+        if not match:
+            raise ParseError("malformed virtual-class naming")
+        spec.name_virtual_class(match.group(1), match.group(2), match.group(3))
+        return
+    declare = _DECLARE_RE.match(line)
+    if declare:
+        if declare.group(1) == "subjective":
+            spec.declare_subjective(declare.group(2))
+        else:
+            spec.declare_objective(declare.group(2))
+        return
+    raise ParseError("unrecognised specification statement")
+
+
+def _side_of(variable: str) -> Side:
+    return Side.REMOTE if variable == "O'" else Side.LOCAL
+
+
+def _parse_eq(line: str, spec: IntegrationSpecification) -> None:
+    match = _EQ_RE.match(line)
+    if not match:
+        raise ParseError("malformed Eq rule")
+    var_a, class_a, attrs_a, var_b, class_b, attrs_b, condition = match.groups()
+    condition = condition or "true"
+    side_a, side_b = _side_of(var_a), _side_of(var_b)
+    if side_a is side_b:
+        raise ParseError("Eq rule must relate a local (O) and a remote (O') object")
+    if attrs_a or attrs_b:
+        # Descriptivity: Eq(O:Publication.{publisher}, O':Publisher) — the
+        # object side is the one without the value-attribute braces.
+        value_var, value_class, value_attr = (
+            (var_a, class_a, attrs_a) if attrs_a else (var_b, class_b, attrs_b)
+        )
+        object_var, object_class = (var_b, class_b) if attrs_a else (var_a, class_a)
+        object_attr = _described_attribute(condition, _side_of(object_var))
+        spec.add_rule(
+            ComparisonRule.descriptivity(
+                source_class=object_class,
+                target_class=value_class,
+                value_attribute=value_attr,
+                object_attribute=object_attr,
+                condition=condition,
+                source_side=_side_of(object_var),
+            )
+        )
+        return
+    local_class = class_a if side_a is Side.LOCAL else class_b
+    remote_class = class_b if side_b is Side.REMOTE else class_a
+    spec.add_rule(ComparisonRule.equality(local_class, remote_class, condition))
+
+
+def _described_attribute(condition: str, object_side: Side) -> str:
+    """The object-side attribute in a descriptivity condition
+    (``O.publisher = O'.name`` → ``name`` when the object side is remote)."""
+    variable = object_side.variable
+    match = re.search(rf"{re.escape(variable)}\.([\w?]+)", condition)
+    if not match:
+        raise ParseError(
+            "descriptivity condition must mention the described attribute"
+        )
+    return match.group(1)
+
+
+def _parse_sim(line: str, spec: IntegrationSpecification) -> None:
+    match = _SIM_RE.match(line)
+    if not match:
+        raise ParseError("malformed Sim rule")
+    variable, source_class, target_class, virtual_class, condition = match.groups()
+    condition = condition or "true"
+    side = _side_of(variable)
+    if virtual_class:
+        spec.add_rule(
+            ComparisonRule.approximate_similarity(
+                source_class, target_class, virtual_class, condition, side
+            )
+        )
+    else:
+        spec.add_rule(
+            ComparisonRule.similarity(source_class, target_class, condition, side)
+        )
+
+
+def _parse_propeq(line: str, spec: IntegrationSpecification) -> None:
+    match = _PROPEQ_RE.match(line)
+    if not match:
+        raise ParseError("malformed propeq assertion")
+    (
+        local_class,
+        local_prop,
+        remote_class,
+        remote_prop,
+        local_cf,
+        remote_cf,
+        df,
+        as_name,
+    ) = match.groups()
+    spec.add_propeq(
+        PropertyEquivalence(
+            local_class,
+            local_prop,
+            remote_class,
+            remote_prop,
+            local_cf=_parse_cf(local_cf.strip()),
+            remote_cf=_parse_cf(remote_cf.strip()),
+            df=_parse_df(df.strip(), spec),
+            conformed_name=as_name,
+        )
+    )
+
+
+def _parse_cf(text: str) -> ConversionFunction:
+    if text == "id":
+        return IdentityConversion()
+    multiply = _MULTIPLY_RE.match(text)
+    if multiply:
+        return LinearConversion(_number(multiply.group(1)))
+    linear = _LINEAR_RE.match(text)
+    if linear:
+        return LinearConversion(_number(linear.group(1)), _number(linear.group(2)))
+    raise ParseError(f"unknown conversion function {text!r}")
+
+
+def _parse_df(text: str, spec: IntegrationSpecification) -> DecisionFunction:
+    if text == "any":
+        return AnyChoice()
+    if text == "max":
+        return Maximum()
+    if text == "min":
+        return Minimum()
+    if text == "avg":
+        return Average()
+    if text == "union":
+        return Union()
+    trust = _TRUST_RE.match(text)
+    if trust:
+        database = trust.group(1)
+        if database == spec.local_schema.name:
+            return Trust(Side.LOCAL, database)
+        if database == spec.remote_schema.name:
+            return Trust(Side.REMOTE, database)
+        raise ParseError(
+            f"trust({database}) names neither component database "
+            f"({spec.local_schema.name} / {spec.remote_schema.name})"
+        )
+    raise ParseError(f"unknown decision function {text!r}")
+
+
+def _number(text: str) -> float:
+    value = float(text)
+    return int(value) if value.is_integer() else value

@@ -1,0 +1,224 @@
+"""Global update validation with derived integrity constraints.
+
+The paper's second motivation: global constraints can be used "in the
+validation of update transactions, preventing the formulation of
+subtransactions which will certainly be rejected by the local transaction
+manager".
+
+:class:`GlobalUpdateValidator` checks a proposed update of a global object
+against (a) the integrated constraint set and (b) each component database's
+own (conformed) object constraints as they would apply to the updated state —
+so a doomed subtransaction is rejected *before* it is shipped to a component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constraints.evaluate import EvaluationError, evaluate
+from repro.constraints.printer import to_source
+from repro.integration.decision import DecisionCategory
+from repro.integration.relationships import Side
+from repro.integration.workbench import IntegrationResult
+
+
+@dataclass(frozen=True)
+class Rejection:
+    """One reason an update would fail."""
+
+    level: str  # 'global' or a component database name
+    constraint: str
+    detail: str
+
+    def describe(self) -> str:
+        return f"[{self.level}] {self.constraint}: {self.detail}"
+
+
+@dataclass
+class UpdateVerdict:
+    """The outcome of validating one proposed update."""
+
+    global_oid: str
+    changes: dict
+    rejections: list[Rejection] = field(default_factory=list)
+
+    @property
+    def accepted(self) -> bool:
+        return not self.rejections
+
+    def describe(self) -> str:
+        if self.accepted:
+            return f"update of {self.global_oid} accepted"
+        reasons = "; ".join(r.describe() for r in self.rejections)
+        return f"update of {self.global_oid} rejected: {reasons}"
+
+
+class GlobalUpdateValidator:
+    """See module docstring."""
+
+    def __init__(self, result: IntegrationResult):
+        if result.view is None or result.derivation is None:
+            raise ValueError("run the workbench with stores before validating updates")
+        self.result = result
+        self.view = result.view
+
+    def validate(self, global_oid: str, **changes) -> UpdateVerdict:
+        """Validate updating ``global_oid``'s state with ``changes``."""
+        verdict = UpdateVerdict(global_oid, changes)
+        obj = self.view.get(global_oid)
+        proposed = dict(obj.state)
+        proposed.update(changes)
+
+        self._check_global_constraints(obj, proposed, verdict)
+        self._check_component_constraints(obj, proposed, verdict)
+        return verdict
+
+    # -- global level ---------------------------------------------------------------
+
+    def _check_global_constraints(self, obj, proposed, verdict) -> None:
+        for constraint in self.result.global_constraints:
+            classes = [part.strip() for part in constraint.scope.split("⋈")]
+            if not all(cls in obj.classes or self._virtual_member(cls, obj) for cls in classes):
+                continue
+            satisfied = self._evaluate(constraint.formula, proposed)
+            if satisfied is False:
+                verdict.rejections.append(
+                    Rejection(
+                        "global",
+                        constraint.name,
+                        f"violates {to_source(constraint.formula)} "
+                        f"({constraint.origin})",
+                    )
+                )
+
+    def _virtual_member(self, class_name: str, obj) -> bool:
+        return self.view.has_class(class_name) and obj.oid in self.view.extent_oids(
+            class_name
+        )
+
+    # -- component level ----------------------------------------------------------------
+
+    def _check_component_constraints(self, obj, proposed, verdict) -> None:
+        """A component's own constraints must hold on the state it would
+        store — the subtransaction its transaction manager will see.
+
+        A changed global value maps back to a component value through the
+        decision function: a trusted side receives it, a conflict-ignored
+        property may land on either side (checked on both), and settling /
+        eliminating functions are not invertible — constraints over such
+        properties cannot be pre-validated from the global state and are
+        skipped (the derived *global* constraints cover them instead).
+        """
+        conformation = self.result.conformation
+        assert conformation is not None
+        changes = {
+            key: value
+            for key, value in proposed.items()
+            if obj.state.get(key) != value
+        }
+        for side, component in obj.components.items():
+            conformed = conformation.on(side)
+            schema = conformed.schema
+            if not schema.has_class(component.class_name):
+                continue
+            projected = dict(component.state)
+            untranslatable: set[str] = set()
+            for key, value in changes.items():
+                if key not in component.state:
+                    continue
+                propeq = self._propeq_for(conformation, obj, key)
+                if propeq is None:
+                    projected[key] = value
+                    continue
+                category = propeq.df.category
+                if category is DecisionCategory.AVOIDING:
+                    trusted = getattr(propeq.df, "trusted", None)
+                    if trusted is side:
+                        projected[key] = value
+                elif category is DecisionCategory.IGNORING:
+                    projected[key] = value
+                else:  # settling / eliminating: not invertible
+                    untranslatable.add(key)
+            for constraint in schema.effective_object_constraints(
+                component.class_name
+            ):
+                relevant = {path.parts[0] for path in _paths(constraint.formula)}
+                if relevant & untranslatable:
+                    continue
+                if not relevant & set(changes):
+                    continue  # untouched by this update
+                satisfied = self._evaluate_component(
+                    constraint.formula, projected, conformation
+                )
+                if satisfied is False:
+                    verdict.rejections.append(
+                        Rejection(
+                            schema.name,
+                            constraint.qualified_name,
+                            "the subtransaction would be rejected by this "
+                            "component's transaction manager: "
+                            f"{to_source(constraint.formula)}",
+                        )
+                    )
+
+    def _propeq_for(self, conformation, obj, name):
+        local = obj.component_on(Side.LOCAL)
+        remote = obj.component_on(Side.REMOTE)
+        if local is None or remote is None:
+            return None
+        from repro.integration.merging import _conformed_propeq_for
+
+        return _conformed_propeq_for(conformation, local, remote, name)
+
+    def _evaluate_component(self, formula, state: dict, conformation) -> bool | None:
+        """Evaluate against a conformed component state, dereferencing
+        conformed object ids through the conformation's instances."""
+        instances = {
+            obj.oid: obj
+            for side in (Side.LOCAL, Side.REMOTE)
+            for obj in conformation.on(side).instances
+        }
+
+        def get_attr(obj, name):
+            from repro.integration.conformation import ConformedObject
+
+            if isinstance(obj, ConformedObject):
+                value = obj.state[name]
+            elif isinstance(obj, dict):
+                value = obj[name]
+            else:
+                raise EvaluationError(f"cannot read {name!r} from {obj!r}")
+            if isinstance(value, str) and value in instances:
+                return instances[value]
+            return value
+
+        constants: dict = {}
+        constants.update(conformation.remote.schema.constants)
+        constants.update(conformation.local.schema.constants)
+        from repro.constraints.evaluate import EvalContext
+
+        try:
+            return bool(
+                evaluate(
+                    formula,
+                    EvalContext(
+                        current=state, constants=constants, get_attr=get_attr
+                    ),
+                )
+            )
+        except EvaluationError:
+            return None
+
+    def _evaluate(self, formula, state: dict) -> bool | None:
+        # Plain dict states flow through the view's accessor, which still
+        # dereferences global object ids for paths like publisher.name.
+        try:
+            return bool(evaluate(formula, self.view.eval_context(current=state)))
+        except EvaluationError:
+            return None
+
+
+def _paths(formula):
+    from repro.constraints.ast import paths_in
+
+    return paths_in(formula)

@@ -1,0 +1,162 @@
+"""The integrated (global) view of the two component databases.
+
+Holds the merged global objects, class extents keyed by *qualified* class
+names (``CSLibrary.RefereedPubl``, ``Bookseller.Proceedings``), virtual
+classes arising from approximate similarity or partial extent overlaps, and
+— once the workbench has run — the set of integrated constraints.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.constraints.ast import Node
+from repro.constraints.evaluate import EvalContext, evaluate
+from repro.constraints.parser import parse_expression
+from repro.errors import EvaluationError, IntegrationError
+from repro.integration.conformation import ConformationResult
+from repro.integration.relationships import Side
+from repro.integration.spec import IntegrationSpecification
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.integration.merging import GlobalObject
+
+
+class IntegratedView:
+    """See module docstring."""
+
+    def __init__(
+        self, spec: IntegrationSpecification, conformation: ConformationResult
+    ):
+        self.spec = spec
+        self.conformation = conformation
+        self._objects: dict[str, "GlobalObject"] = {}
+        self._extents: dict[str, set[str]] = {}
+        #: virtual class name → global oids explicitly placed there.
+        self._virtual_extents: dict[str, set[str]] = {}
+        #: virtual class name → qualified superclass names (approx. Sim Cv).
+        self.virtual_superclasses: dict[str, set[str]] = {}
+
+    # -- population (used by merging) ----------------------------------------
+
+    def add_object(self, obj: "GlobalObject") -> None:
+        if obj.oid in self._objects:
+            raise IntegrationError(f"duplicate global object {obj.oid}")
+        self._objects[obj.oid] = obj
+
+    def add_virtual_extent_member(self, virtual_class: str, oid: str) -> None:
+        self._virtual_extents.setdefault(virtual_class, set()).add(oid)
+
+    def register_virtual_superclass(self, virtual_class: str, parent: str) -> None:
+        self.virtual_superclasses.setdefault(virtual_class, set()).add(parent)
+
+    def rebuild_extents(self) -> None:
+        self._extents = {}
+        for obj in self._objects.values():
+            for class_name in obj.classes:
+                self._extents.setdefault(class_name, set()).add(obj.oid)
+        for virtual_class, members in self._virtual_extents.items():
+            extent = self._extents.setdefault(virtual_class, set())
+            extent.update(members)
+            # The approximate-similarity Cv also contains the target class.
+            for parent in self.virtual_superclasses.get(virtual_class, ()):
+                extent.update(self._extents.get(parent, ()))
+
+    # -- access ---------------------------------------------------------------------
+
+    def objects(self) -> Iterable["GlobalObject"]:
+        return self._objects.values()
+
+    def get(self, oid: str) -> "GlobalObject":
+        if oid not in self._objects:
+            raise IntegrationError(f"no global object {oid!r}")
+        return self._objects[oid]
+
+    def classes(self) -> list[str]:
+        return sorted(self._extents)
+
+    def extent(self, class_name: str) -> list["GlobalObject"]:
+        """The global extent of a (qualified or virtual) class name."""
+        if class_name not in self._extents:
+            raise IntegrationError(f"no global class {class_name!r}")
+        return [self._objects[oid] for oid in sorted(self._extents[class_name])]
+
+    def extent_oids(self, class_name: str) -> frozenset[str]:
+        return frozenset(self._extents.get(class_name, frozenset()))
+
+    def has_class(self, class_name: str) -> bool:
+        return class_name in self._extents
+
+    def merged_objects(self) -> list["GlobalObject"]:
+        """Objects with components from both databases (Eq merges)."""
+        return [
+            obj
+            for obj in self._objects.values()
+            if len(obj.components) == 2
+        ]
+
+    # -- evaluation -------------------------------------------------------------------
+
+    def get_attr(self, obj: Any, name: str) -> Any:
+        from repro.integration.merging import GlobalObject
+
+        if isinstance(obj, GlobalObject):
+            if name not in obj.state:
+                raise EvaluationError(
+                    f"global object {obj.oid} has no property {name!r}"
+                )
+            value = obj.state[name]
+            if isinstance(value, str) and value in self._objects:
+                return self._objects[value]
+            return value
+        if isinstance(obj, dict):
+            return obj[name]
+        raise EvaluationError(f"cannot read {name!r} from {obj!r}")
+
+    def eval_context(self, current: Any = None, self_extent_class: str | None = None) -> EvalContext:
+        constants: dict[str, Any] = {}
+        constants.update(self.conformation.remote.schema.constants)
+        constants.update(self.conformation.local.schema.constants)
+        extents = {
+            name: [self._objects[oid] for oid in oids]
+            for name, oids in self._extents.items()
+        }
+        return EvalContext(
+            current=current,
+            extents=extents,
+            self_extent=(
+                self.extent(self_extent_class) if self_extent_class else ()
+            ),
+            constants=constants,
+            get_attr=self.get_attr,
+        )
+
+    def select(
+        self, class_name: str, predicate: "str | Node | Callable | None" = None
+    ) -> list["GlobalObject"]:
+        """Objects of a global class satisfying a predicate (cf. queries
+        against the integrated view, one of the paper's motivations)."""
+        extent = self.extent(class_name)
+        if predicate is None:
+            return extent
+        if isinstance(predicate, str):
+            predicate = parse_expression(predicate)
+        if isinstance(predicate, Node):
+            formula = predicate
+            selected = []
+            for obj in extent:
+                try:
+                    if evaluate(formula, self.eval_context(current=obj)):
+                        selected.append(obj)
+                except EvaluationError:
+                    continue  # partial global states: treat as non-match
+            return selected
+        return [obj for obj in extent if predicate(obj)]
+
+    def satisfies(self, obj: "GlobalObject", formula: Node) -> bool | None:
+        """Evaluate a constraint on a global object; ``None`` if the object's
+        state lacks the needed properties."""
+        try:
+            return bool(evaluate(formula, self.eval_context(current=obj)))
+        except EvaluationError:
+            return None

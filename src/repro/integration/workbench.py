@@ -1,0 +1,238 @@
+"""The integration workbench — the paper's Figure 3 methodology, end to end.
+
+Pipeline stages (each stage's output is kept on the result for inspection,
+which is what makes this the "design tool" the paper's conclusion calls for):
+
+1. structural validation of the integration specification;
+2. subjectivity analysis (Section 5.1) including the consistency check
+   *subjective values ⇒ subjective constraints*;
+3. conformation of schemas, constraints and (when stores are supplied)
+   instances (Sections 2.3 and 4);
+4. rule checks: intraobject conditions vs object constraints, derived
+   object constraints (Section 3);
+5. instance matching and merging into the integrated view, with the derived
+   class hierarchy (Section 2.3);
+6. constraint integration: objective union, derivation through decision
+   functions, similarity entailment, approximate-similarity disjunctions
+   (Section 5.2.1), class constraints (5.2.2), database constraints (5.2.3);
+7. validation of the merged states against the integrated constraints
+   (actual implicit conflicts);
+8. resolution suggestions for every conflict found (the three options of
+   Section 5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.constraints.evaluate import EvaluationError
+from repro.engine.store import ObjectStore
+from repro.integration.class_constraints import (
+    ClassConstraintReport,
+    integrate_class_constraints,
+)
+from repro.integration.conflicts import StateViolation
+from repro.integration.conformation import ConformationResult, conform
+from repro.integration.database_constraints import (
+    DatabaseConstraintReport,
+    integrate_database_constraints,
+)
+from repro.integration.derivation import (
+    ConstraintDeriver,
+    DerivationResult,
+    GlobalConstraint,
+)
+from repro.integration.hierarchy import DerivedHierarchy, derive_hierarchy
+from repro.integration.matching import MatchResult, match_instances
+from repro.integration.merging import merge_instances
+from repro.integration.relationships import Side
+from repro.integration.resolution import (
+    Suggestion,
+    repair_similarity_rule,
+    suggest_for_explicit,
+    suggest_for_implicit_risk,
+)
+from repro.integration.rule_checks import RuleCheckResult, check_rules
+from repro.integration.spec import IntegrationSpecification, SpecificationIssue
+from repro.integration.subjectivity import SubjectivityAnalysis, analyse_subjectivity
+from repro.integration.view import IntegratedView
+
+
+@dataclass
+class IntegrationResult:
+    """Everything the workbench produced, stage by stage."""
+
+    spec: IntegrationSpecification
+    spec_issues: list[SpecificationIssue] = field(default_factory=list)
+    subjectivity: SubjectivityAnalysis | None = None
+    conformation: ConformationResult | None = None
+    rule_checks: RuleCheckResult | None = None
+    match: MatchResult | None = None
+    view: IntegratedView | None = None
+    hierarchy: DerivedHierarchy | None = None
+    derivation: DerivationResult | None = None
+    class_constraints: ClassConstraintReport | None = None
+    database_constraints: DatabaseConstraintReport | None = None
+    state_violations: list[StateViolation] = field(default_factory=list)
+    suggestions: list[Suggestion] = field(default_factory=list)
+
+    @property
+    def global_constraints(self) -> list[GlobalConstraint]:
+        """The full integrated constraint set (object + class level)."""
+        constraints: list[GlobalConstraint] = []
+        if self.derivation is not None:
+            constraints.extend(self.derivation.constraints)
+        if self.class_constraints is not None:
+            constraints.extend(self.class_constraints.propagated)
+        return constraints
+
+    def conflict_count(self) -> int:
+        total = len(self.state_violations)
+        if self.rule_checks is not None:
+            total += len(self.rule_checks.conflicts)
+        if self.derivation is not None:
+            total += len(self.derivation.explicit_conflicts)
+            total += len(self.derivation.similarity_conflicts)
+        if self.subjectivity is not None:
+            total += len(self.subjectivity.violations)
+        return total
+
+    def is_consistent(self) -> bool:
+        """Whether the specification produced no conflicts at all."""
+        return self.conflict_count() == 0 and not self.spec_issues
+
+
+class IntegrationWorkbench:
+    """Facade running the Figure 3 pipeline; see module docstring."""
+
+    def __init__(
+        self,
+        spec: IntegrationSpecification,
+        local_store: ObjectStore | None = None,
+        remote_store: ObjectStore | None = None,
+        descriptivity_view: str = "object",
+    ):
+        self.spec = spec
+        self.local_store = local_store
+        self.remote_store = remote_store
+        self.descriptivity_view = descriptivity_view
+
+    def run(self) -> IntegrationResult:
+        result = IntegrationResult(self.spec)
+        result.spec_issues = self.spec.validate()
+        result.subjectivity = analyse_subjectivity(self.spec)
+        result.conformation = conform(
+            self.spec,
+            self.local_store,
+            self.remote_store,
+            descriptivity_view=self.descriptivity_view,
+        )
+        result.rule_checks = check_rules(self.spec, result.conformation)
+
+        if self.local_store is not None and self.remote_store is not None:
+            result.match = match_instances(
+                self.spec, self.local_store, self.remote_store
+            )
+            result.view = merge_instances(
+                self.spec, result.conformation, result.match
+            )
+            result.hierarchy = derive_hierarchy(result.view, result.conformation)
+
+        deriver = ConstraintDeriver(
+            self.spec, result.conformation, result.subjectivity, result.rule_checks
+        )
+        result.derivation = deriver.run()
+        result.class_constraints = integrate_class_constraints(
+            self.spec, result.conformation
+        )
+        result.database_constraints = integrate_database_constraints(
+            self.spec, result.conformation
+        )
+
+        if result.view is not None:
+            result.state_violations = _validate_states(result)
+        result.suggestions = _collect_suggestions(result)
+        return result
+
+    def run_with_repairs(self, max_rounds: int = 3) -> list[IntegrationResult]:
+        """The design-tool fixpoint loop: run, apply every rule-repair
+        suggestion (resolution option 2), and re-run until no repairable
+        conflicts remain or ``max_rounds`` is reached.
+
+        Returns the result of every round (the last one is the final state);
+        the specification object is updated in place, mirroring a designer
+        accepting the tool's suggestions.
+        """
+        history: list[IntegrationResult] = []
+        for _ in range(max_rounds):
+            result = self.run()
+            history.append(result)
+            replacements = {
+                s.target: s.repaired_rule
+                for s in result.suggestions
+                if s.action == "repair-rule" and s.repaired_rule is not None
+            }
+            if not replacements:
+                break
+            self.spec.rules = [
+                replacements.get(rule.name, rule) for rule in self.spec.rules
+            ]
+        return history
+
+
+# ---------------------------------------------------------------------------
+# state validation (actual implicit conflicts)
+# ---------------------------------------------------------------------------
+
+
+def _validate_states(result: IntegrationResult) -> list[StateViolation]:
+    assert result.view is not None and result.derivation is not None
+    view = result.view
+    violations: list[StateViolation] = []
+    for constraint in result.derivation.constraints:
+        for class_name in _scope_classes(constraint.scope):
+            if not view.has_class(class_name):
+                break
+        else:
+            extents = [
+                view.extent_oids(name) for name in _scope_classes(constraint.scope)
+            ]
+            members = set.intersection(*(set(e) for e in extents)) if extents else set()
+            for oid in sorted(members):
+                obj = view.get(oid)
+                verdict = view.satisfies(obj, constraint.formula)
+                if verdict is False:
+                    violations.append(
+                        StateViolation(
+                            constraint.scope,
+                            constraint.name,
+                            oid,
+                            f"state {obj.state!r} falsifies "
+                            f"{constraint.describe()}",
+                        )
+                    )
+    return violations
+
+
+def _scope_classes(scope: str) -> list[str]:
+    return [part.strip() for part in scope.split("⋈")]
+
+
+# ---------------------------------------------------------------------------
+# suggestions
+# ---------------------------------------------------------------------------
+
+
+def _collect_suggestions(result: IntegrationResult) -> list[Suggestion]:
+    suggestions: list[Suggestion] = []
+    assert result.derivation is not None and result.conformation is not None
+    for conflict in result.derivation.explicit_conflicts:
+        suggestions.extend(suggest_for_explicit(conflict, result.spec))
+    for risk in result.derivation.implicit_risks:
+        suggestions.extend(suggest_for_implicit_risk(risk, result.spec))
+    for conflict in result.derivation.similarity_conflicts:
+        suggestions.append(
+            repair_similarity_rule(conflict, result.conformation)
+        )
+    return suggestions

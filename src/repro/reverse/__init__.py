@@ -1,0 +1,33 @@
+"""Reverse engineering of relational schemas into TM specifications.
+
+The paper assumes "semantically rich specifications such as those expressible
+in TM are not always available for existing databases.  Typically, such
+specifications are obtained through reverse engineering, as discussed in
+[VeA95]" — this package is that substrate.  It models a relational schema
+(tables, columns, primary/foreign keys, NOT NULL / UNIQUE / CHECK
+constraints), parses the SQL fragment used in CHECK bodies, and translates
+the whole into a TM :class:`~repro.tm.schema.DatabaseSchema`:
+
+* a table becomes a class; a foreign-key column becomes a reference
+  attribute (and the FK itself a referential database constraint);
+* ``CHECK`` constraints become object constraints in the constraint
+  language;
+* primary keys and ``UNIQUE`` columns become ``key`` class constraints;
+* enumerated ``CHECK (c IN (...))`` columns tighten the attribute type.
+"""
+
+from repro.reverse.relational import (
+    Column,
+    ForeignKey,
+    RelationalSchema,
+    Table,
+)
+from repro.reverse.translate import translate_schema
+
+__all__ = [
+    "Column",
+    "ForeignKey",
+    "Table",
+    "RelationalSchema",
+    "translate_schema",
+]

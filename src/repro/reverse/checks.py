@@ -1,0 +1,45 @@
+"""Translation of SQL CHECK bodies into the constraint language.
+
+Covers the SQL fragment that appears in practice for single-table checks:
+comparisons (including ``<>``), ``IN (...)`` lists, ``BETWEEN``, boolean
+connectives ``AND`` / ``OR`` / ``NOT``, literals.  The output is source text
+for :func:`repro.constraints.parser.parse_expression`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.constraints.ast import Node
+from repro.constraints.parser import parse_expression
+from repro.errors import ParseError
+
+_BETWEEN_RE = re.compile(
+    r"([A-Za-z_][A-Za-z0-9_.]*)\s+BETWEEN\s+(\S+)\s+AND\s+(\S+)",
+    re.IGNORECASE,
+)
+_IN_RE = re.compile(r"\bIN\s*\(([^()]*)\)", re.IGNORECASE)
+_KEYWORDS_RE = re.compile(r"\b(AND|OR|NOT|TRUE|FALSE|IMPLIES)\b", re.IGNORECASE)
+
+
+def sql_check_to_source(sql: str) -> str:
+    """Rewrite a SQL CHECK body as constraint-language source text."""
+    text = sql.strip().rstrip(";")
+    text = _BETWEEN_RE.sub(r"(\1 >= \2 and \1 <= \3)", text)
+    text = _IN_RE.sub(lambda m: " in {" + m.group(1) + "}", text)
+    text = text.replace("<>", "!=")
+    text = _KEYWORDS_RE.sub(lambda m: m.group(1).lower(), text)
+    return text
+
+
+def parse_sql_check(sql: str) -> Node:
+    """Parse a SQL CHECK body into a constraint AST."""
+    source = sql_check_to_source(sql)
+    try:
+        return parse_expression(source)
+    except ParseError as exc:
+        raise ParseError(
+            f"cannot translate SQL CHECK {sql!r} (as {source!r}): {exc.message}",
+            exc.line,
+            exc.column,
+        ) from exc

@@ -1,0 +1,205 @@
+"""Relational → TM translation (the [VeA95] reverse-engineering step).
+
+Rules applied, in the spirit of classic reverse-engineering methodology:
+
+* a table whose primary key is simultaneously a foreign key to another table
+  is a **subclass** of that table (the ``isa`` pattern); the shared columns
+  are not repeated;
+* any other foreign-key column becomes a **reference attribute** typed by the
+  referenced class, plus a referential database constraint in the ``db1``
+  style of Figure 1;
+* per-column and per-table ``CHECK`` bodies become object constraints;
+* the primary key and every ``UNIQUE`` column become ``key`` class
+  constraints;
+* an enumerated check ``c IN (v1, ..., vn)`` additionally tightens the
+  attribute's TM type to the enumeration.
+"""
+
+from __future__ import annotations
+
+from repro.constraints.ast import Membership, Path, SetLiteral
+from repro.constraints.classify import classify_formula
+from repro.constraints.model import Constraint, ConstraintKind
+from repro.constraints.parser import parse_expression
+from repro.errors import SchemaError
+from repro.reverse.checks import parse_sql_check
+from repro.reverse.relational import (
+    SQL_TYPE_MAP,
+    Column,
+    RelationalSchema,
+    Table,
+)
+from repro.tm.schema import ClassDef, DatabaseSchema
+from repro.types.primitives import ClassRef, EnumType, parse_type
+
+
+def translate_schema(relational: RelationalSchema) -> DatabaseSchema:
+    """Translate a relational schema into a TM database schema."""
+    schema = DatabaseSchema(relational.name)
+    subclass_of = _detect_subclasses(relational)
+    for table in relational.tables.values():
+        schema.add_class(_translate_table(relational, table, subclass_of))
+    _add_referential_constraints(relational, schema, subclass_of)
+    return schema
+
+
+def _detect_subclasses(relational: RelationalSchema) -> dict[str, str]:
+    """Tables whose PK is also an FK are subclasses of the referenced table."""
+    subclass_of: dict[str, str] = {}
+    for table in relational.tables.values():
+        if not table.primary_key:
+            continue
+        pk = set(table.primary_key)
+        for fk in table.foreign_keys:
+            if {fk.column} == pk and fk.references_table in relational.tables:
+                parent = relational.table_named(fk.references_table)
+                if set(parent.primary_key) == {fk.references_column}:
+                    subclass_of[table.name] = fk.references_table
+                    break
+    return subclass_of
+
+
+def _translate_table(
+    relational: RelationalSchema,
+    table: Table,
+    subclass_of: dict[str, str],
+) -> ClassDef:
+    parent = subclass_of.get(table.name)
+    class_def = ClassDef(table.name, parent)
+    fk_by_column = {fk.column: fk for fk in table.foreign_keys}
+    inherited = _inherited_columns(relational, table, subclass_of)
+
+    oc_counter = 1
+    for column in table.columns:
+        if column.name in inherited:
+            continue
+        if parent is not None and column.name in table.primary_key:
+            continue  # the subclass key column is the parent reference
+        fk = fk_by_column.get(column.name)
+        if fk is not None and fk.references_table != parent:
+            class_def.add_attribute(column.name, ClassRef(fk.references_table))
+        else:
+            class_def.add_attribute(
+                column.name, _column_type(column)
+            )
+        if column.check:
+            formula = parse_sql_check(column.check)
+            class_def.add_constraint(
+                Constraint(
+                    f"oc{oc_counter}",
+                    ConstraintKind.OBJECT,
+                    formula,
+                    database=relational.name,
+                )
+            )
+            oc_counter += 1
+    for check in table.checks:
+        formula = parse_sql_check(check)
+        kind = classify_formula(formula)
+        class_def.add_constraint(
+            Constraint(
+                f"oc{oc_counter}", kind, formula, database=relational.name
+            )
+        )
+        oc_counter += 1
+
+    cc_counter = 1
+    if table.primary_key and parent is None:
+        key_source = "key " + ", ".join(table.primary_key)
+        class_def.add_constraint(
+            Constraint(
+                f"cc{cc_counter}",
+                ConstraintKind.CLASS,
+                parse_expression(key_source),
+                database=relational.name,
+            )
+        )
+        cc_counter += 1
+    for column in table.columns:
+        if column.unique and column.name not in table.primary_key:
+            class_def.add_constraint(
+                Constraint(
+                    f"cc{cc_counter}",
+                    ConstraintKind.CLASS,
+                    parse_expression(f"key {column.name}"),
+                    database=relational.name,
+                )
+            )
+            cc_counter += 1
+    return class_def
+
+
+def _inherited_columns(
+    relational: RelationalSchema,
+    table: Table,
+    subclass_of: dict[str, str],
+) -> set[str]:
+    """Columns a subclass table shares with its (transitive) parents."""
+    inherited: set[str] = set()
+    parent = subclass_of.get(table.name)
+    while parent is not None:
+        parent_table = relational.table_named(parent)
+        inherited.update(
+            column.name
+            for column in parent_table.columns
+            if table.has_column(column.name)
+            and column.name not in table.primary_key
+        )
+        parent = subclass_of.get(parent)
+    return inherited
+
+
+def _column_type(column: Column):
+    base_type = parse_type(SQL_TYPE_MAP[column.sql_type])
+    if column.check:
+        enum_values = _enumeration_from_check(column)
+        if enum_values is not None:
+            return EnumType(enum_values)
+    return base_type
+
+
+def _enumeration_from_check(column: Column):
+    """``c IN (...)`` checks tighten the column type to the enumeration."""
+    assert column.check is not None
+    try:
+        formula = parse_sql_check(column.check)
+    except Exception:
+        return None
+    if (
+        isinstance(formula, Membership)
+        and isinstance(formula.element, Path)
+        and formula.element.parts == (column.name,)
+        and isinstance(formula.collection, SetLiteral)
+    ):
+        return frozenset(formula.collection.values)
+    return None
+
+
+def _add_referential_constraints(
+    relational: RelationalSchema,
+    schema: DatabaseSchema,
+    subclass_of: dict[str, str],
+) -> None:
+    counter = 1
+    for table in relational.tables.values():
+        for fk in table.foreign_keys:
+            if subclass_of.get(table.name) == fk.references_table:
+                continue  # expressed as isa, not as a reference
+            if fk.references_table not in relational.tables:
+                raise SchemaError(
+                    f"foreign key of {table.name} references unknown table "
+                    f"{fk.references_table!r}"
+                )
+            source = (
+                f"forall c in {table.name} exists p in {fk.references_table} "
+                f"| c.{fk.column} = p"
+            )
+            schema.add_database_constraint(
+                Constraint(
+                    f"db{counter}",
+                    ConstraintKind.DATABASE,
+                    parse_expression(source),
+                    database=relational.name,
+                )
+            )
+            counter += 1

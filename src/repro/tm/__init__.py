@@ -1,0 +1,30 @@
+"""The TM specification-language fragment used by the paper.
+
+The paper expresses component databases in TM [BBZ93], "an object-oriented
+specification language which allows for the expression of first-order
+constraints on an object-oriented database".  This package implements the
+fragment appearing in the paper: databases of classes with single
+inheritance (``isa``), typed attributes, named constants, and the three
+constraint sections (``object constraints`` / ``class constraints`` /
+``Database constraints``).
+
+* :mod:`~repro.tm.schema` — the schema object model with inheritance-aware
+  lookups and solver type environments;
+* :mod:`~repro.tm.parser` — parses the Figure 1 surface syntax;
+* :mod:`~repro.tm.printer` — renders schemas back to that syntax;
+* :mod:`~repro.tm.validate` — structural well-formedness checking.
+"""
+
+from repro.tm.schema import Attribute, ClassDef, DatabaseSchema
+from repro.tm.parser import parse_database
+from repro.tm.printer import schema_to_source
+from repro.tm.validate import validate_schema
+
+__all__ = [
+    "Attribute",
+    "ClassDef",
+    "DatabaseSchema",
+    "parse_database",
+    "schema_to_source",
+    "validate_schema",
+]

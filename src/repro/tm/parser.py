@@ -1,0 +1,282 @@
+"""Parser for the TM schema surface syntax of Figure 1.
+
+The accepted grammar (case of section keywords follows the paper):
+
+.. code-block:: text
+
+    database      := 'Database' IDENT constants? class* db_constraints?
+    constants     := 'constants' (IDENT '=' constant_value)*
+    class         := 'Class' IDENT ('isa' IDENT)?
+                     ('attributes' attribute+)?
+                     ('object' 'constraints' labelled+)?
+                     ('class' 'constraints' labelled+)?
+                     'end' IDENT
+    attribute     := IDENT ':' type_tokens NEWLINE
+    labelled      := IDENT ':' formula_tokens
+    db_constraints:= 'Database' 'constraints' labelled+
+
+Attribute types and constraint formulas are collected as token spans and
+re-parsed with :func:`repro.types.parse_type` /
+:func:`repro.constraints.parse_expression`; a constraint continues onto the
+following line whenever that line does not start a new labelled constraint,
+section, or class (Figure 1 wraps ``cc2`` and ``db1`` across lines).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.constraints.classify import classify_formula
+from repro.constraints.lexer import Token, TokenStream, tokenize
+from repro.constraints.model import Constraint, ConstraintKind
+from repro.constraints.parser import parse_expression
+from repro.errors import ParseError, SchemaError
+from repro.tm.schema import ClassDef, DatabaseSchema
+from repro.types.primitives import parse_type
+
+_SECTION_STARTERS = {
+    "attributes",
+    "object",
+    "class",
+    "constraints",
+    "end",
+    "database",
+    "constants",
+}
+
+
+def parse_database(
+    source: str,
+    constants: dict[str, Any] | None = None,
+    validate_sections: bool = True,
+) -> DatabaseSchema:
+    """Parse a TM database specification.
+
+    ``constants`` supplies bindings for named constants the spec references
+    but does not declare (the paper leaves ``KNOWNPUBLISHERS`` and ``MAX``
+    implicit).  When ``validate_sections`` is true, a constraint declared in
+    an ``object constraints`` section must structurally *be* an object
+    constraint, and likewise for the other sections.
+    """
+    stream = TokenStream(tokenize(source, keep_newlines=True))
+    parser = _SchemaParser(stream, validate_sections)
+    schema = parser.parse()
+    if constants:
+        for name, value in constants.items():
+            schema.set_constant(name, value)
+    return schema
+
+
+class _SchemaParser:
+    def __init__(self, stream: TokenStream, validate_sections: bool):
+        self.stream = stream
+        self.validate_sections = validate_sections
+
+    # -- entry ---------------------------------------------------------------
+
+    def parse(self) -> DatabaseSchema:
+        stream = self.stream
+        stream.skip_newlines()
+        self._expect_word("Database")
+        name = stream.expect("IDENT").text
+        schema = DatabaseSchema(name)
+        stream.skip_newlines()
+        while not stream.at("EOF"):
+            if self._at_word("constants"):
+                self._parse_constants(schema)
+            elif self._at_word("Class"):
+                self._parse_class(schema)
+            elif self._at_word("Database"):
+                self._parse_database_constraints(schema)
+            else:
+                raise stream.error("expected 'Class', 'constants' or 'Database constraints'")
+            stream.skip_newlines()
+        return schema
+
+    # -- word helpers (section keywords are plain identifiers to the lexer) ----
+
+    def _at_word(self, word: str) -> bool:
+        token = self.stream.peek()
+        return token.kind in ("IDENT", "KEYWORD") and token.text == word
+
+    def _expect_word(self, word: str) -> Token:
+        if not self._at_word(word):
+            raise self.stream.error(f"expected {word!r}")
+        return self.stream.next()
+
+    # -- sections -----------------------------------------------------------------
+
+    def _parse_constants(self, schema: DatabaseSchema) -> None:
+        stream = self.stream
+        self._expect_word("constants")
+        stream.skip_newlines()
+        while stream.at("IDENT") and stream.peek(1).kind == "OP" and stream.peek(1).text == "=":
+            name = stream.expect("IDENT").text
+            stream.expect("OP", "=")
+            schema.set_constant(name, self._constant_value())
+            stream.skip_newlines()
+
+    def _constant_value(self) -> Any:
+        stream = self.stream
+        if stream.at("LBRACE"):
+            stream.next()
+            values = []
+            while not stream.at("RBRACE"):
+                values.append(self._scalar())
+                stream.accept("COMMA")
+            stream.expect("RBRACE")
+            return frozenset(values)
+        return self._scalar()
+
+    def _scalar(self) -> Any:
+        stream = self.stream
+        token = stream.peek()
+        if token.kind == "NUMBER":
+            stream.next()
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "STRING":
+            stream.next()
+            return token.text[1:-1]
+        if token.kind == "MINUS":
+            stream.next()
+            inner = stream.expect("NUMBER")
+            return -(float(inner.text) if "." in inner.text else int(inner.text))
+        if stream.at_keyword("true"):
+            stream.next()
+            return True
+        if stream.at_keyword("false"):
+            stream.next()
+            return False
+        raise stream.error("expected a constant value")
+
+    def _parse_class(self, schema: DatabaseSchema) -> None:
+        stream = self.stream
+        self._expect_word("Class")
+        name = stream.expect("IDENT").text
+        parent = None
+        if self._at_word("isa"):
+            stream.next()
+            parent = stream.expect("IDENT").text
+        class_def = ClassDef(name, parent)
+        stream.skip_newlines()
+
+        if self._at_word("attributes"):
+            stream.next()
+            stream.skip_newlines()
+            self._parse_attributes(class_def)
+        while True:
+            stream.skip_newlines()
+            if self._at_word("object") and self.stream.peek(1).text == "constraints":
+                stream.next()
+                stream.next()
+                self._parse_labelled_constraints(
+                    class_def, schema, ConstraintKind.OBJECT
+                )
+            elif self._at_word("class") and self.stream.peek(1).text == "constraints":
+                stream.next()
+                stream.next()
+                self._parse_labelled_constraints(
+                    class_def, schema, ConstraintKind.CLASS
+                )
+            else:
+                break
+        self._expect_word("end")
+        end_name = stream.expect("IDENT").text
+        if end_name != name:
+            raise ParseError(
+                f"'end {end_name}' does not match 'Class {name}'",
+                stream.peek().line,
+            )
+        schema.add_class(class_def)
+
+    def _parse_attributes(self, class_def: ClassDef) -> None:
+        stream = self.stream
+        while stream.at("IDENT") and stream.peek(1).kind == "COLON":
+            name = stream.expect("IDENT").text
+            stream.expect("COLON")
+            type_text = self._collect_until_newline()
+            try:
+                tm_type = parse_type(type_text)
+            except Exception as exc:
+                raise ParseError(
+                    f"bad type {type_text!r} for attribute {name}: {exc}",
+                    stream.peek().line,
+                ) from exc
+            class_def.add_attribute(name, tm_type)
+            stream.skip_newlines()
+            # Figure 1 puts some attribute types on the following line
+            # (Publisher's 'name' / 'location'); tolerate a dangling colon.
+            if stream.at("COLON"):
+                raise stream.error("attribute type missing before ':'")
+
+    def _collect_until_newline(self) -> str:
+        stream = self.stream
+        pieces: list[str] = []
+        while not stream.at("NEWLINE") and not stream.at("EOF"):
+            pieces.append(stream.next().text)
+        return " ".join(pieces)
+
+    def _parse_labelled_constraints(
+        self,
+        class_def: ClassDef | None,
+        schema: DatabaseSchema,
+        expected_kind: ConstraintKind,
+    ) -> None:
+        stream = self.stream
+        stream.skip_newlines()
+        while stream.at("IDENT") and stream.peek(1).kind == "COLON":
+            label = stream.expect("IDENT").text
+            stream.expect("COLON")
+            formula_text = self._collect_formula_text()
+            try:
+                formula = parse_expression(formula_text, constants=schema.constants)
+            except ParseError as exc:
+                raise ParseError(
+                    f"bad constraint {label}: {exc.message} in {formula_text!r}",
+                    exc.line,
+                ) from exc
+            kind = classify_formula(formula)
+            if self.validate_sections and kind is not expected_kind:
+                raise SchemaError(
+                    f"constraint {label} is declared as a {expected_kind.value} "
+                    f"constraint but is structurally a {kind.value} constraint: "
+                    f"{formula_text!r}"
+                )
+            constraint = Constraint(
+                label, expected_kind, formula, database=schema.name
+            )
+            if class_def is not None:
+                class_def.add_constraint(constraint)
+            else:
+                schema.add_database_constraint(constraint)
+            stream.skip_newlines()
+
+    def _collect_formula_text(self) -> str:
+        """Consume the constraint body, following line continuations."""
+        stream = self.stream
+        pieces: list[str] = []
+        while True:
+            while not stream.at("NEWLINE") and not stream.at("EOF"):
+                pieces.append(stream.next().text)
+            if stream.at("EOF"):
+                break
+            # Decide whether the next line continues this constraint.
+            offset = 1
+            while stream.peek(offset).kind == "NEWLINE":
+                offset += 1
+            follow = stream.peek(offset)
+            after = stream.peek(offset + 1)
+            if follow.kind == "EOF":
+                break
+            if follow.kind == "IDENT" and after.kind == "COLON":
+                break  # next labelled constraint
+            if follow.text in _SECTION_STARTERS or follow.text in ("Class", "Database"):
+                break
+            stream.next()  # consume the newline; keep collecting
+        return " ".join(pieces)
+
+    def _parse_database_constraints(self, schema: DatabaseSchema) -> None:
+        stream = self.stream
+        self._expect_word("Database")
+        self._expect_word("constraints")
+        self._parse_labelled_constraints(None, schema, ConstraintKind.DATABASE)

@@ -1,0 +1,66 @@
+"""Rendering of schemas back to TM surface syntax (Figure 1 style)."""
+
+from __future__ import annotations
+
+from repro.constraints.printer import to_source
+from repro.tm.schema import ClassDef, DatabaseSchema
+
+
+def schema_to_source(schema: DatabaseSchema, include_constants: bool = True) -> str:
+    """Render ``schema`` as parseable TM source.
+
+    ``parse_database(schema_to_source(s))`` reproduces ``s`` up to constraint
+    formula formatting — the round-trip property is covered by tests.
+    """
+    lines: list[str] = [f"Database {schema.name}", ""]
+    if include_constants and schema.constants:
+        lines.append("constants")
+        for name, value in sorted(schema.constants.items()):
+            lines.append(f"  {name} = {_constant(value)}")
+        lines.append("")
+    for class_def in schema.classes.values():
+        lines.extend(_class_lines(class_def))
+        lines.append("")
+    if schema.database_constraints:
+        lines.append("Database constraints")
+        for constraint in schema.database_constraints:
+            lines.append(f"  {constraint.name}: {to_source(constraint.formula)}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _class_lines(class_def: ClassDef) -> list[str]:
+    header = f"Class {class_def.name}"
+    if class_def.parent:
+        header += f" isa {class_def.parent}"
+    lines = [header]
+    if class_def.attributes:
+        lines.append("attributes")
+        width = max(len(name) for name in class_def.attributes)
+        for attribute in class_def.attributes.values():
+            lines.append(
+                f"  {attribute.name.ljust(width)} : {attribute.tm_type.describe()}"
+            )
+    object_constraints = class_def.own_object_constraints()
+    if object_constraints:
+        lines.append("object constraints")
+        for constraint in object_constraints:
+            lines.append(f"  {constraint.name}: {to_source(constraint.formula)}")
+    class_constraints = class_def.own_class_constraints()
+    if class_constraints:
+        lines.append("class constraints")
+        for constraint in class_constraints:
+            lines.append(f"  {constraint.name}: {to_source(constraint.formula)}")
+    lines.append(f"end {class_def.name}")
+    return lines
+
+
+def _constant(value) -> str:
+    if isinstance(value, frozenset):
+        rendered = ", ".join(_constant(v) for v in sorted(value, key=repr))
+        return "{" + rendered + "}"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        return f"'{value}'"
+    return str(value)

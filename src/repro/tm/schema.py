@@ -1,0 +1,199 @@
+"""Schema object model for the TM fragment.
+
+A :class:`DatabaseSchema` owns a set of :class:`ClassDef` objects with single
+inheritance plus database-level constraints and named constants.  All lookups
+that the rest of the system needs — effective attributes, *inheritable*
+constraints (object constraints inherit, class constraints do not; see
+Section 5.2.2 of the paper), subclass queries, solver type environments — live
+here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.constraints.model import Constraint, ConstraintKind
+from repro.errors import SchemaError
+from repro.types.primitives import ClassRef, Type
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A typed attribute declaration (``rating : 1..5``)."""
+
+    name: str
+    tm_type: Type
+
+    def describe(self) -> str:
+        return f"{self.name} : {self.tm_type.describe()}"
+
+
+@dataclass
+class ClassDef:
+    """A TM class: attributes, a single optional parent, own constraints."""
+
+    name: str
+    parent: str | None = None
+    attributes: dict[str, Attribute] = field(default_factory=dict)
+    constraints: list[Constraint] = field(default_factory=list)
+    #: True for classes synthesised during integration (virtual classes).
+    virtual: bool = False
+
+    def add_attribute(self, name: str, tm_type: Type) -> None:
+        if name in self.attributes:
+            raise SchemaError(f"duplicate attribute {name!r} in class {self.name}")
+        self.attributes[name] = Attribute(name, tm_type)
+
+    def add_constraint(self, constraint: Constraint) -> None:
+        if any(c.name == constraint.name for c in self.constraints):
+            raise SchemaError(
+                f"duplicate constraint label {constraint.name!r} in class {self.name}"
+            )
+        self.constraints.append(constraint.with_owner(self.name))
+
+    def own_object_constraints(self) -> list[Constraint]:
+        return [c for c in self.constraints if c.kind is ConstraintKind.OBJECT]
+
+    def own_class_constraints(self) -> list[Constraint]:
+        return [c for c in self.constraints if c.kind is ConstraintKind.CLASS]
+
+
+class DatabaseSchema:
+    """A component database schema: classes + database constraints + constants."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.classes: dict[str, ClassDef] = {}
+        self.database_constraints: list[Constraint] = []
+        self.constants: dict[str, Any] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_class(self, class_def: ClassDef) -> ClassDef:
+        if class_def.name in self.classes:
+            raise SchemaError(f"duplicate class {class_def.name!r} in {self.name}")
+        self.classes[class_def.name] = class_def
+        return class_def
+
+    def new_class(self, name: str, parent: str | None = None, virtual: bool = False) -> ClassDef:
+        return self.add_class(ClassDef(name, parent, virtual=virtual))
+
+    def add_database_constraint(self, constraint: Constraint) -> None:
+        self.database_constraints.append(constraint)
+
+    def set_constant(self, name: str, value: Any) -> None:
+        self.constants[name] = value
+
+    # -- lookups ------------------------------------------------------------------
+
+    def class_named(self, name: str) -> ClassDef:
+        if name not in self.classes:
+            raise SchemaError(f"unknown class {name!r} in database {self.name}")
+        return self.classes[name]
+
+    def has_class(self, name: str) -> bool:
+        return name in self.classes
+
+    def ancestors(self, class_name: str) -> Iterator[ClassDef]:
+        """The inheritance chain starting at ``class_name`` (inclusive)."""
+        seen: set[str] = set()
+        current: str | None = class_name
+        while current is not None:
+            if current in seen:
+                raise SchemaError(f"inheritance cycle through class {current!r}")
+            seen.add(current)
+            class_def = self.class_named(current)
+            yield class_def
+            current = class_def.parent
+
+    def is_subclass_of(self, child: str, ancestor: str) -> bool:
+        return any(cls.name == ancestor for cls in self.ancestors(child))
+
+    def subclasses_of(self, class_name: str) -> list[str]:
+        """All classes (transitively) below ``class_name``, excluding itself."""
+        return [
+            name
+            for name in self.classes
+            if name != class_name and self.is_subclass_of(name, class_name)
+        ]
+
+    def effective_attributes(self, class_name: str) -> dict[str, Attribute]:
+        """Own plus inherited attributes (nearest declaration wins)."""
+        merged: dict[str, Attribute] = {}
+        for class_def in self.ancestors(class_name):
+            for name, attribute in class_def.attributes.items():
+                merged.setdefault(name, attribute)
+        return merged
+
+    def effective_object_constraints(self, class_name: str) -> list[Constraint]:
+        """Own plus inherited object constraints.
+
+        The paper relies on object-constraint inheritance: a Proceedings
+        object must satisfy the inherited ``oc1`` of Item.  Class constraints
+        are *not* inheritable (Section 5.2.2) and are excluded here.
+        """
+        constraints: list[Constraint] = []
+        for class_def in self.ancestors(class_name):
+            constraints.extend(class_def.own_object_constraints())
+        return constraints
+
+    def class_constraints(self, class_name: str) -> list[Constraint]:
+        """The class constraints declared on exactly this class."""
+        return self.class_named(class_name).own_class_constraints()
+
+    def attribute_type(self, class_name: str, attribute: str) -> Type:
+        attributes = self.effective_attributes(class_name)
+        if attribute not in attributes:
+            raise SchemaError(
+                f"class {class_name} has no attribute {attribute!r}"
+            )
+        return attributes[attribute].tm_type
+
+    # -- solver support ---------------------------------------------------------------
+
+    def type_environment(self, class_name: str, max_depth: int = 3):
+        """A solver :class:`~repro.constraints.solver.TypeEnvironment` for
+        object constraints of ``class_name``.
+
+        Dotted paths through reference attributes are expanded up to
+        ``max_depth`` levels (``publisher.name`` resolves to the ``name``
+        attribute of the referenced ``Publisher`` class).
+        """
+        from repro.constraints.solver import TypeEnvironment
+
+        attribute_types: dict[str, Type] = {}
+        self._collect_paths(class_name, "", attribute_types, max_depth)
+        return TypeEnvironment(attribute_types, dict(self.constants))
+
+    def _collect_paths(
+        self,
+        class_name: str,
+        prefix: str,
+        into: dict[str, Type],
+        depth: int,
+    ) -> None:
+        if depth == 0 or not self.has_class(class_name):
+            return
+        for name, attribute in self.effective_attributes(class_name).items():
+            path = f"{prefix}{name}"
+            if path in into:
+                continue
+            into[path] = attribute.tm_type
+            if isinstance(attribute.tm_type, ClassRef):
+                self._collect_paths(
+                    attribute.tm_type.class_name, f"{path}.", into, depth - 1
+                )
+
+    # -- misc ----------------------------------------------------------------------------
+
+    def all_constraints(self) -> Iterator[Constraint]:
+        for class_def in self.classes.values():
+            yield from class_def.constraints
+        yield from self.database_constraints
+
+    def root_classes(self) -> list[str]:
+        return [name for name, cls in self.classes.items() if cls.parent is None]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DatabaseSchema({self.name!r}, {len(self.classes)} classes)"

@@ -1,0 +1,231 @@
+"""Structural validation of TM schemas.
+
+Checks the properties the integration machinery relies on:
+
+* the inheritance graph is acyclic and parents exist;
+* reference attribute types point at declared classes;
+* constraint formulas only mention resolvable attribute paths and declared
+  named constants;
+* every constraint's structural classification matches the section it was
+  declared in.
+
+Problems are collected (not raised one-by-one) so a design tool can show all
+of them at once; :func:`validate_schema` raises :class:`SchemaError` only
+when asked to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constraints.ast import (
+    Aggregate,
+    Membership,
+    NamedConstant,
+    Node,
+    Path,
+    Quantified,
+)
+from repro.constraints.classify import classify_formula
+from repro.constraints.model import Constraint
+from repro.errors import SchemaError
+from repro.tm.schema import DatabaseSchema
+from repro.types.primitives import ClassRef
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """A single schema problem with enough context to locate it."""
+
+    location: str  # "CSLibrary.Publication.oc2"
+    message: str
+
+    def describe(self) -> str:
+        return f"{self.location}: {self.message}"
+
+
+def validate_schema(schema: DatabaseSchema, raise_on_error: bool = False) -> list[ValidationIssue]:
+    """All structural problems found in ``schema`` (empty list = valid)."""
+    issues: list[ValidationIssue] = []
+    _check_inheritance(schema, issues)
+    _check_attribute_types(schema, issues)
+    _check_constraints(schema, issues)
+    if issues and raise_on_error:
+        summary = "; ".join(issue.describe() for issue in issues)
+        raise SchemaError(f"schema {schema.name} is invalid: {summary}")
+    return issues
+
+
+def _check_inheritance(schema: DatabaseSchema, issues: list[ValidationIssue]) -> None:
+    for class_def in schema.classes.values():
+        if class_def.parent is None:
+            continue
+        if not schema.has_class(class_def.parent):
+            issues.append(
+                ValidationIssue(
+                    f"{schema.name}.{class_def.name}",
+                    f"parent class {class_def.parent!r} is not declared",
+                )
+            )
+            continue
+        try:
+            list(schema.ancestors(class_def.name))
+        except SchemaError as exc:
+            issues.append(
+                ValidationIssue(f"{schema.name}.{class_def.name}", str(exc))
+            )
+
+
+def _check_attribute_types(schema: DatabaseSchema, issues: list[ValidationIssue]) -> None:
+    for class_def in schema.classes.values():
+        for attribute in class_def.attributes.values():
+            tm_type = attribute.tm_type
+            if isinstance(tm_type, ClassRef) and not schema.has_class(tm_type.class_name):
+                issues.append(
+                    ValidationIssue(
+                        f"{schema.name}.{class_def.name}.{attribute.name}",
+                        f"references undeclared class {tm_type.class_name!r}",
+                    )
+                )
+
+
+def _check_constraints(schema: DatabaseSchema, issues: list[ValidationIssue]) -> None:
+    for class_def in schema.classes.values():
+        try:
+            attributes = schema.effective_attributes(class_def.name)
+        except SchemaError:
+            continue  # broken ancestry already reported by _check_inheritance
+        for constraint in class_def.constraints:
+            location = f"{schema.name}.{class_def.name}.{constraint.name}"
+            _check_classification(constraint, location, issues)
+            _check_paths(schema, constraint.formula, attributes, location, issues)
+            _check_key_attributes(constraint, attributes, location, issues)
+    for constraint in schema.database_constraints:
+        location = f"{schema.name}.{constraint.name}"
+        _check_classification(constraint, location, issues)
+        _check_quantified_classes(schema, constraint.formula, location, issues)
+
+
+def _check_classification(
+    constraint: Constraint, location: str, issues: list[ValidationIssue]
+) -> None:
+    actual = classify_formula(constraint.formula)
+    if actual is not constraint.kind:
+        issues.append(
+            ValidationIssue(
+                location,
+                f"declared as a {constraint.kind.value} constraint but is "
+                f"structurally a {actual.value} constraint",
+            )
+        )
+
+
+def _check_paths(
+    schema: DatabaseSchema,
+    formula: Node,
+    attributes: dict,
+    location: str,
+    issues: list[ValidationIssue],
+    bound_vars: frozenset = frozenset(),
+) -> None:
+    for node in formula.walk():
+        if isinstance(node, Quantified):
+            bound_vars = bound_vars | {node.var}
+        if isinstance(node, NamedConstant):
+            if node.name not in schema.constants:
+                issues.append(
+                    ValidationIssue(
+                        location,
+                        f"references undeclared constant {node.name!r}",
+                    )
+                )
+        if isinstance(node, Path):
+            first = node.parts[0]
+            if first in bound_vars or first in ("O", "O'", "self"):
+                continue
+            if first not in attributes:
+                issues.append(
+                    ValidationIssue(
+                        location,
+                        f"references unknown attribute {first!r}",
+                    )
+                )
+                continue
+            _check_dotted_tail(schema, node, attributes, location, issues)
+
+
+def _check_dotted_tail(
+    schema: DatabaseSchema,
+    path: Path,
+    attributes: dict,
+    location: str,
+    issues: list[ValidationIssue],
+) -> None:
+    current_attrs = attributes
+    for index, part in enumerate(path.parts):
+        if part not in current_attrs:
+            issues.append(
+                ValidationIssue(
+                    location,
+                    f"path {path.dotted()!r} breaks at segment {part!r}",
+                )
+            )
+            return
+        tm_type = current_attrs[part].tm_type
+        is_last = index == len(path.parts) - 1
+        if is_last:
+            return
+        if isinstance(tm_type, ClassRef) and schema.has_class(tm_type.class_name):
+            current_attrs = schema.effective_attributes(tm_type.class_name)
+        else:
+            issues.append(
+                ValidationIssue(
+                    location,
+                    f"path {path.dotted()!r} dereferences non-reference "
+                    f"attribute {part!r}",
+                )
+            )
+            return
+
+
+def _check_key_attributes(
+    constraint: Constraint,
+    attributes: dict,
+    location: str,
+    issues: list[ValidationIssue],
+) -> None:
+    from repro.constraints.ast import KeyConstraint
+
+    for node in constraint.formula.walk():
+        if isinstance(node, KeyConstraint):
+            for name in node.attributes:
+                if name not in attributes:
+                    issues.append(
+                        ValidationIssue(
+                            location, f"key attribute {name!r} is not declared"
+                        )
+                    )
+
+
+def _check_quantified_classes(
+    schema: DatabaseSchema,
+    formula: Node,
+    location: str,
+    issues: list[ValidationIssue],
+) -> None:
+    for node in formula.walk():
+        if isinstance(node, Quantified) and not schema.has_class(node.class_name):
+            issues.append(
+                ValidationIssue(
+                    location,
+                    f"quantifies over undeclared class {node.class_name!r}",
+                )
+            )
+        if isinstance(node, Aggregate) and node.collection != "self":
+            if not schema.has_class(node.collection):
+                issues.append(
+                    ValidationIssue(
+                        location,
+                        f"aggregates over undeclared class {node.collection!r}",
+                    )
+                )

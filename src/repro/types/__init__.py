@@ -1,0 +1,50 @@
+"""TM-style type system.
+
+The paper's example databases (Figure 1) use the type language of the TM
+specification language [BBZ93]: primitive types (``string``, ``int``, ``real``,
+``bool``), integer range types (``1..5``), power-set types (``P string``) and
+references to other classes (``publisher : Publisher``).  Named constants such
+as ``KNOWNPUBLISHERS`` and ``MAX`` are declared alongside the schema.
+
+This package models that fragment.  Types know how to validate values
+(:meth:`Type.contains`) and how to describe themselves as an abstract value
+set for the symbolic solver (see :mod:`repro.domains.typed`).
+"""
+
+from repro.types.primitives import (
+    BoolType,
+    ClassRef,
+    EnumType,
+    IntType,
+    RangeType,
+    RealType,
+    SetType,
+    StringType,
+    Type,
+    BOOL,
+    INT,
+    REAL,
+    STRING,
+    parse_type,
+)
+from repro.types.values import check_value, coerce_value, default_value
+
+__all__ = [
+    "Type",
+    "IntType",
+    "RealType",
+    "StringType",
+    "BoolType",
+    "RangeType",
+    "SetType",
+    "EnumType",
+    "ClassRef",
+    "INT",
+    "REAL",
+    "STRING",
+    "BOOL",
+    "parse_type",
+    "check_value",
+    "coerce_value",
+    "default_value",
+]

@@ -1,0 +1,252 @@
+"""Type objects for the TM fragment used in the paper.
+
+Each type is an immutable value object.  Equality is structural, so two
+independently constructed ``RangeType(1, 5)`` instances compare equal; this is
+relied on throughout conformation, where attribute types from different
+databases are compared and converted.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import TypeSystemError
+
+
+class Type:
+    """Base class for all TM types.
+
+    Subclasses are frozen dataclasses; instances are hashable and can be used
+    as dictionary keys (the conformation phase indexes conversion functions by
+    source/target type).
+    """
+
+    def contains(self, value: Any) -> bool:
+        """Return ``True`` iff ``value`` is a member of this type's domain."""
+        raise NotImplementedError
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether values of this type support ordered arithmetic."""
+        return False
+
+    @property
+    def is_integral(self) -> bool:
+        """Whether the type's values are integers (enables bound tightening)."""
+        return False
+
+    def describe(self) -> str:
+        """Human-readable TM-syntax rendering of the type (``'1..5'`` etc.)."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - trivial delegation
+        return self.describe()
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class IntType(Type):
+    """The unbounded integer type (``int``)."""
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, int) and not isinstance(value, bool)
+
+    @property
+    def is_numeric(self) -> bool:
+        return True
+
+    @property
+    def is_integral(self) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "int"
+
+
+@dataclass(frozen=True)
+class RealType(Type):
+    """The real-number type (``real``).  Integers are accepted as reals."""
+
+    def contains(self, value: Any) -> bool:
+        return _is_number(value)
+
+    @property
+    def is_numeric(self) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return "real"
+
+
+@dataclass(frozen=True)
+class StringType(Type):
+    """The string type (``string``)."""
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, str)
+
+    def describe(self) -> str:
+        return "string"
+
+
+@dataclass(frozen=True)
+class BoolType(Type):
+    """The boolean type (``boolean`` — used for ``ref?`` in Figure 1)."""
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, bool)
+
+    def describe(self) -> str:
+        return "boolean"
+
+
+@dataclass(frozen=True)
+class RangeType(Type):
+    """A bounded integer range such as ``1..5`` (ratings in Figure 1).
+
+    Both bounds are inclusive, matching TM's ``lo..hi`` notation.
+    """
+
+    low: int
+    high: int
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise TypeSystemError(f"empty range type {self.low}..{self.high}")
+
+    def contains(self, value: Any) -> bool:
+        return (
+            isinstance(value, int)
+            and not isinstance(value, bool)
+            and self.low <= value <= self.high
+        )
+
+    @property
+    def is_numeric(self) -> bool:
+        return True
+
+    @property
+    def is_integral(self) -> bool:
+        return True
+
+    def describe(self) -> str:
+        return f"{self.low}..{self.high}"
+
+
+@dataclass(frozen=True)
+class SetType(Type):
+    """A power-set type ``P T`` (e.g. ``P string`` for ``editors``).
+
+    Values are Python ``frozenset``/``set`` instances whose members all belong
+    to the element type.
+    """
+
+    element: Type
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, (set, frozenset)):
+            return False
+        return all(self.element.contains(member) for member in value)
+
+    def describe(self) -> str:
+        return f"P {self.element.describe()}"
+
+
+@dataclass(frozen=True)
+class EnumType(Type):
+    """A finite enumeration of atomic values.
+
+    Not part of the Figure 1 surface syntax, but produced by the
+    reverse-engineering substrate for SQL ``CHECK (x IN (...))`` columns and
+    useful for seeding solver domains with named constant sets.
+    """
+
+    values: frozenset
+
+    def contains(self, value: Any) -> bool:
+        return value in self.values
+
+    @property
+    def is_numeric(self) -> bool:
+        return all(_is_number(value) for value in self.values)
+
+    @property
+    def is_integral(self) -> bool:
+        return all(isinstance(value, int) and not isinstance(value, bool) for value in self.values)
+
+    def describe(self) -> str:
+        rendered = ", ".join(repr(value) for value in sorted(self.values, key=repr))
+        return "{" + rendered + "}"
+
+
+@dataclass(frozen=True)
+class ClassRef(Type):
+    """A reference to another class (``publisher : Publisher`` in Figure 1).
+
+    Values are object identifiers; membership checking against the referenced
+    extent is the engine's job (the type alone cannot see the store), so
+    :meth:`contains` only checks that the value is a plausible identifier.
+    """
+
+    class_name: str
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, (str, int)) and not isinstance(value, bool)
+
+    def describe(self) -> str:
+        return self.class_name
+
+
+INT = IntType()
+REAL = RealType()
+STRING = StringType()
+BOOL = BoolType()
+
+_RANGE_RE = re.compile(r"^(-?\d+)\s*\.\.\s*(-?\d+)$")
+
+_PRIMITIVES = {
+    "int": INT,
+    "integer": INT,
+    "real": REAL,
+    "float": REAL,
+    "string": STRING,
+    "bool": BOOL,
+    "boolean": BOOL,
+}
+
+
+def parse_type(text: str) -> Type:
+    """Parse a TM type expression.
+
+    Accepts primitive names, ranges (``1..5``), power-set types (``P string``,
+    also accepting the OCR variants ``Pstring``/``P&string`` that appear in the
+    scanned paper), and treats any other capitalised identifier as a class
+    reference.
+
+    >>> parse_type("1..5")
+    RangeType(low=1, high=5)
+    >>> parse_type("P string").describe()
+    'P string'
+    """
+    text = text.strip()
+    if not text:
+        raise TypeSystemError("empty type expression")
+    match = _RANGE_RE.match(text)
+    if match:
+        return RangeType(int(match.group(1)), int(match.group(2)))
+    lowered = text.lower()
+    if lowered in _PRIMITIVES:
+        return _PRIMITIVES[lowered]
+    if text.startswith("P ") or text.startswith("P\t"):
+        return SetType(parse_type(text[1:].strip()))
+    # OCR-damaged power-set forms from the scanned Figure 1 ("Pstring").
+    if text.startswith("P") and text[1:].lower() in _PRIMITIVES:
+        return SetType(_PRIMITIVES[text[1:].lower()])
+    if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_?]*", text):
+        return ClassRef(text)
+    raise TypeSystemError(f"cannot parse type expression {text!r}")

@@ -1,0 +1,70 @@
+"""Value validation and coercion against TM types."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import TypeSystemError
+from repro.types.primitives import (
+    BoolType,
+    ClassRef,
+    EnumType,
+    IntType,
+    RangeType,
+    RealType,
+    SetType,
+    StringType,
+    Type,
+)
+
+
+def check_value(value: Any, tm_type: Type, context: str = "") -> None:
+    """Raise :class:`TypeSystemError` unless ``value`` belongs to ``tm_type``.
+
+    ``context`` is prepended to the error message so that engine-level checks
+    can report which attribute of which class was at fault.
+    """
+    if not tm_type.contains(value):
+        prefix = f"{context}: " if context else ""
+        raise TypeSystemError(
+            f"{prefix}value {value!r} is not a member of type {tm_type.describe()}"
+        )
+
+
+def coerce_value(value: Any, tm_type: Type) -> Any:
+    """Coerce ``value`` into ``tm_type`` where a safe coercion exists.
+
+    Safe coercions: ``int`` → real type, ``list``/``tuple`` → set for set
+    types, numeric strings are *not* coerced (the paper's conversion functions
+    handle representation differences explicitly).  Raises
+    :class:`TypeSystemError` if the value cannot be made to fit.
+    """
+    if tm_type.contains(value):
+        return value
+    if isinstance(tm_type, RealType) and isinstance(value, int) and not isinstance(value, bool):
+        return float(value)
+    if isinstance(tm_type, SetType) and isinstance(value, (list, tuple)):
+        coerced = frozenset(coerce_value(member, tm_type.element) for member in value)
+        return coerced
+    raise TypeSystemError(f"cannot coerce {value!r} to type {tm_type.describe()}")
+
+
+def default_value(tm_type: Type) -> Any:
+    """A representative member of ``tm_type``, used by test data generators."""
+    if isinstance(tm_type, (IntType,)):
+        return 0
+    if isinstance(tm_type, RealType):
+        return 0.0
+    if isinstance(tm_type, StringType):
+        return ""
+    if isinstance(tm_type, BoolType):
+        return False
+    if isinstance(tm_type, RangeType):
+        return tm_type.low
+    if isinstance(tm_type, SetType):
+        return frozenset()
+    if isinstance(tm_type, EnumType):
+        return next(iter(sorted(tm_type.values, key=repr)))
+    if isinstance(tm_type, ClassRef):
+        return f"{tm_type.class_name}#0"
+    raise TypeSystemError(f"no default value for {tm_type.describe()}")

@@ -1,0 +1,263 @@
+"""Tests for the constraint-language lexer/parser (repro.constraints.parser).
+
+Every constraint appearing in Figure 1 of the paper must parse.
+"""
+
+import pytest
+
+from repro.constraints import (
+    Aggregate,
+    And,
+    BinaryOp,
+    Comparison,
+    FunctionCall,
+    Implies,
+    KeyConstraint,
+    Literal,
+    Membership,
+    NamedConstant,
+    Not,
+    Or,
+    Path,
+    Quantified,
+    SetLiteral,
+    parse_expression,
+)
+from repro.errors import ParseError
+
+
+class TestFigure1Constraints:
+    """Each constraint of the paper's Figure 1, verbatim (modulo OCR)."""
+
+    def test_publication_oc1(self):
+        node = parse_expression("ourprice <= shopprice")
+        assert node == Comparison("<=", Path.of("ourprice"), Path.of("shopprice"))
+
+    def test_publication_oc2(self):
+        node = parse_expression("publisher in KNOWNPUBLISHERS")
+        assert node == Membership(
+            Path.of("publisher"), NamedConstant("KNOWNPUBLISHERS")
+        )
+
+    def test_publication_cc1_key(self):
+        assert parse_expression("key isbn") == KeyConstraint(("isbn",))
+
+    def test_publication_cc2_sum(self):
+        node = parse_expression("(sum (collect x for x in self) over ourprice) < MAX")
+        assert node == Comparison(
+            "<",
+            Aggregate("sum", "x", "self", "ourprice"),
+            NamedConstant("MAX"),
+        )
+
+    def test_scientificpub_cc1_avg(self):
+        node = parse_expression("(avg (collect x for x in self) over rating) < 4")
+        assert node == Comparison(
+            "<", Aggregate("avg", "x", "self", "rating"), Literal(4)
+        )
+
+    def test_refereedpub_oc1(self):
+        assert parse_expression("rating >= 2") == Comparison(
+            ">=", Path.of("rating"), Literal(2)
+        )
+
+    def test_nonrefereed_oc1(self):
+        assert parse_expression("rating <= 3") == Comparison(
+            "<=", Path.of("rating"), Literal(3)
+        )
+
+    def test_item_oc1(self):
+        assert parse_expression("libprice <= shopprice") == Comparison(
+            "<=", Path.of("libprice"), Path.of("shopprice")
+        )
+
+    def test_proceedings_oc1_implication(self):
+        node = parse_expression("publisher.name='IEEE' implies ref?=true")
+        assert node == Implies(
+            Comparison("=", Path.of("publisher", "name"), Literal("IEEE")),
+            Comparison("=", Path.of("ref?"), Literal(True)),
+        )
+
+    def test_proceedings_oc2(self):
+        node = parse_expression("ref?=true implies rating >= 7")
+        assert node == Implies(
+            Comparison("=", Path.of("ref?"), Literal(True)),
+            Comparison(">=", Path.of("rating"), Literal(7)),
+        )
+
+    def test_proceedings_oc3(self):
+        node = parse_expression("publisher.name='ACM' implies rating >= 6")
+        assert isinstance(node, Implies)
+
+    def test_database_constraint_db1(self):
+        node = parse_expression(
+            "forall p in Publisher exists i in Item | i.publisher = p"
+        )
+        assert node == Quantified(
+            "forall",
+            "p",
+            "Publisher",
+            Quantified(
+                "exists",
+                "i",
+                "Item",
+                Comparison("=", Path.of("i", "publisher"), Path.of("p")),
+            ),
+        )
+
+
+class TestIntroExampleConstraints:
+    def test_trav_reimb_membership(self):
+        node = parse_expression("trav_reimb in {10, 20}")
+        assert node == Membership(Path.of("trav_reimb"), SetLiteral((10, 20)))
+
+    def test_salary_bound(self):
+        assert parse_expression("salary < 1500") == Comparison(
+            "<", Path.of("salary"), Literal(1500)
+        )
+
+
+class TestRuleConditions:
+    """Conditions from the object comparison rules of Section 2.2."""
+
+    def test_interobject_condition(self):
+        node = parse_expression("O.isbn = O'.isbn")
+        assert node == Comparison("=", Path.of("O", "isbn"), Path.of("O'", "isbn"))
+
+    def test_intraobject_condition(self):
+        node = parse_expression("O'.ref? = true")
+        assert node == Comparison("=", Path.of("O'", "ref?"), Literal(True))
+
+    def test_contains_condition(self):
+        node = parse_expression("contains(O.title, 'Proceed')")
+        assert node == FunctionCall(
+            "contains", (Path.of("O", "title"), Literal("Proceed"))
+        )
+
+    def test_conjunction_condition(self):
+        node = parse_expression("O'.ref? = true and O'.rating >= 4")
+        assert isinstance(node, And)
+        assert len(node.parts) == 2
+
+
+class TestOperatorsAndPrecedence:
+    def test_implies_is_right_associative(self):
+        node = parse_expression("a = 1 implies b = 2 implies c = 3")
+        assert isinstance(node, Implies)
+        assert isinstance(node.consequent, Implies)
+
+    def test_and_binds_tighter_than_or(self):
+        node = parse_expression("a = 1 or b = 2 and c = 3")
+        assert isinstance(node, Or)
+        assert isinstance(node.parts[1], And)
+
+    def test_not_binds_tighter_than_and(self):
+        node = parse_expression("not a = 1 and b = 2")
+        assert isinstance(node, And)
+        assert isinstance(node.parts[0], Not)
+
+    def test_parentheses_override(self):
+        node = parse_expression("(a = 1 or b = 2) and c = 3")
+        assert isinstance(node, And)
+        assert isinstance(node.parts[0], Or)
+
+    def test_arithmetic_precedence(self):
+        node = parse_expression("salary + bonus * 2 < 1500")
+        assert isinstance(node, Comparison)
+        assert isinstance(node.left, BinaryOp)
+        assert node.left.op == "+"
+        assert isinstance(node.left.right, BinaryOp)
+        assert node.left.right.op == "*"
+
+    def test_unary_minus(self):
+        assert parse_expression("x > -5") == Comparison(
+            ">", Path.of("x"), Literal(-5)
+        )
+
+    def test_arrow_style_implication(self):
+        # Some renderings of the paper use => for implies.
+        node = parse_expression("ref? = true => rating >= 7")
+        assert isinstance(node, Implies)
+
+
+class TestLiterals:
+    def test_floats(self):
+        assert parse_expression("price <= 12.5") == Comparison(
+            "<=", Path.of("price"), Literal(12.5)
+        )
+
+    def test_double_quoted_strings(self):
+        assert parse_expression('name = "ACM"') == Comparison(
+            "=", Path.of("name"), Literal("ACM")
+        )
+
+    def test_booleans(self):
+        assert parse_expression("ref? != false") == Comparison(
+            "!=", Path.of("ref?"), Literal(False)
+        )
+
+    def test_set_of_strings(self):
+        node = parse_expression("name in {'ACM', 'IEEE'}")
+        assert node == Membership(Path.of("name"), SetLiteral(("ACM", "IEEE")))
+
+    def test_set_with_negative_numbers(self):
+        node = parse_expression("delta in {-1, 0, 1}")
+        assert node == Membership(Path.of("delta"), SetLiteral((-1, 0, 1)))
+
+    def test_empty_set(self):
+        assert parse_expression("x in {}") == Membership(
+            Path.of("x"), SetLiteral(())
+        )
+
+
+class TestConstantsConvention:
+    def test_all_caps_is_constant(self):
+        node = parse_expression("x < MAX")
+        assert node == Comparison("<", Path.of("x"), NamedConstant("MAX"))
+
+    def test_explicit_constants_set(self):
+        node = parse_expression("x < Limit", constants={"Limit"})
+        assert node == Comparison("<", Path.of("x"), NamedConstant("Limit"))
+
+    def test_lowercase_is_path(self):
+        node = parse_expression("x < limit")
+        assert node == Comparison("<", Path.of("x"), Path.of("limit"))
+
+    def test_single_letter_uppercase_is_path(self):
+        # Single capitals are variables (O, C) by the paper's convention.
+        node = parse_expression("O.isbn = x")
+        assert node.left == Path.of("O", "isbn")
+
+
+class TestMembershipInPathCollection:
+    def test_membership_in_attribute(self):
+        node = parse_expression("'databases' in subjects")
+        assert node == Membership(Literal("databases"), Path.of("subjects"))
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "",
+            "x <",
+            "x = (1",
+            "x in",
+            "key",
+            "forall x Publisher | x = 1",
+            "x § y",
+            "{1, } = x",
+        ],
+    )
+    def test_parse_errors(self, source):
+        with pytest.raises(ParseError):
+            parse_expression(source)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_expression("x = §")
+        assert excinfo.value.line == 1
+
+    def test_aggregate_variable_mismatch(self):
+        with pytest.raises(ParseError):
+            parse_expression("(sum (collect x for y in self) over price) < 3")

@@ -1,0 +1,224 @@
+"""Tests for the printer round-trip and normalisation passes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.constraints import (
+    And,
+    Comparison,
+    Implies,
+    Literal,
+    Membership,
+    Not,
+    Or,
+    Path,
+    SetLiteral,
+    negate,
+    parse_expression,
+    split_conjunction,
+    to_dnf,
+    to_nnf,
+    to_source,
+)
+from repro.constraints.ast import FALSE, TRUE, conjoin, disjoin, paths_in
+from repro.constraints.normalize import atoms_of
+from repro.errors import SolverError
+
+
+PAPER_SOURCES = [
+    "ourprice <= shopprice",
+    "publisher in KNOWNPUBLISHERS",
+    "key isbn",
+    "(sum (collect x for x in self) over ourprice) < MAX",
+    "(avg (collect x for x in self) over rating) < 4",
+    "rating >= 2",
+    "publisher.name = 'IEEE' implies ref? = true",
+    "ref? = true implies rating >= 7",
+    "forall p in Publisher exists i in Item | i.publisher = p",
+    "trav_reimb in {10, 20}",
+    "contains(O.title, 'Proceed')",
+    "O'.ref? = true and O'.rating >= 4",
+    "not (a = 1 or b = 2) and c = 3 implies d != 4",
+    "x + 1 <= y - 2",
+    "x * 2 < y / 3 + 1",
+]
+
+
+class TestPrinterRoundTrip:
+    @pytest.mark.parametrize("source", PAPER_SOURCES)
+    def test_round_trip(self, source):
+        node = parse_expression(source)
+        assert parse_expression(to_source(node)) == node
+
+    def test_double_round_trip_stable(self):
+        for source in PAPER_SOURCES:
+            once = to_source(parse_expression(source))
+            twice = to_source(parse_expression(once))
+            assert once == twice
+
+    def test_float_literal_keeps_floatness(self):
+        node = parse_expression("x = 2.0")
+        assert parse_expression(to_source(node)) == node
+
+
+# -- random formula strategy -----------------------------------------------------
+
+_paths = st.sampled_from([Path.of("a"), Path.of("b"), Path.of("c", "d")])
+_literals = st.one_of(
+    st.integers(-5, 5).map(Literal),
+    st.sampled_from([Literal("x"), Literal(True), Literal(False)]),
+)
+_comparisons = st.builds(
+    Comparison,
+    st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+    _paths,
+    _literals,
+)
+_memberships = st.builds(
+    Membership, _paths, st.just(SetLiteral((1, 2, 3)))
+)
+_atoms = st.one_of(_comparisons, _memberships)
+
+
+def _formulas(depth=3):
+    if depth == 0:
+        return _atoms
+    sub = _formulas(depth - 1)
+    return st.one_of(
+        _atoms,
+        st.builds(Not, sub),
+        st.builds(lambda a, b: And((a, b)), sub, sub),
+        st.builds(lambda a, b: Or((a, b)), sub, sub),
+        st.builds(Implies, sub, sub),
+    )
+
+
+class TestRoundTripProperty:
+    @given(_formulas())
+    def test_parse_print_identity(self, formula):
+        assert parse_expression(to_source(formula)) == formula
+
+
+class TestNegate:
+    def test_negate_comparison_flips_op(self):
+        assert negate(parse_expression("rating >= 4")) == parse_expression("rating < 4")
+
+    def test_negate_not_unwraps(self):
+        inner = parse_expression("publisher in KNOWNPUBLISHERS")
+        assert negate(Not(inner)) == inner
+
+    def test_negate_constants(self):
+        assert negate(TRUE) == FALSE
+        assert negate(FALSE) == TRUE
+
+
+class TestNNF:
+    def test_pushes_negation_through_and(self):
+        formula = parse_expression("not (a = 1 and b = 2)")
+        nnf = to_nnf(formula)
+        assert nnf == parse_expression("a != 1 or b != 2")
+
+    def test_pushes_negation_through_or(self):
+        formula = parse_expression("not (a = 1 or b = 2)")
+        assert to_nnf(formula) == parse_expression("a != 1 and b != 2")
+
+    def test_expands_implication(self):
+        formula = parse_expression("a = 1 implies b = 2")
+        assert to_nnf(formula) == parse_expression("a != 1 or b = 2")
+
+    def test_negated_implication(self):
+        formula = Not(parse_expression("a = 1 implies b = 2"))
+        assert to_nnf(formula) == parse_expression("a = 1 and b != 2")
+
+    def test_membership_negation_stays_wrapped(self):
+        formula = parse_expression("not x in {1, 2}")
+        nnf = to_nnf(formula)
+        assert isinstance(nnf, Not)
+        assert isinstance(nnf.operand, Membership)
+
+
+class TestDNF:
+    def test_atom_is_single_branch(self):
+        branches = to_dnf(parse_expression("rating >= 4"))
+        assert len(branches) == 1
+        assert len(branches[0]) == 1
+
+    def test_implication_gives_two_branches(self):
+        branches = to_dnf(parse_expression("ref? = true implies rating >= 7"))
+        assert len(branches) == 2
+
+    def test_distribution(self):
+        formula = parse_expression("(a = 1 or b = 2) and (c = 3 or d = 4)")
+        branches = to_dnf(formula)
+        assert len(branches) == 4
+
+    def test_true_false(self):
+        assert to_dnf(TRUE) == [[]]
+        assert to_dnf(FALSE) == []
+
+    def test_limit_guard(self):
+        # 2^12 branches exceeds the default cap of 512.
+        parts = tuple(
+            parse_expression(f"a{i} = 1 or b{i} = 2") for i in range(12)
+        )
+        with pytest.raises(SolverError):
+            to_dnf(And(parts))
+
+    @given(_formulas(2))
+    def test_dnf_branches_are_literals(self, formula):
+        from repro.constraints.normalize import is_literal
+
+        for branch in to_dnf(formula):
+            assert all(is_literal(lit) for lit in branch)
+
+
+class TestSplitConjunction:
+    def test_paper_normalisation(self):
+        """A constraint phi1 and phi2 and phi3 is 'normalised into n separate
+        object constraints' (Section 5.2.1)."""
+        formula = parse_expression("a = 1 and b = 2 and c = 3")
+        assert len(split_conjunction(formula)) == 3
+
+    def test_implication_distribution(self):
+        formula = parse_expression("a = 1 implies (b = 2 and c = 3)")
+        parts = split_conjunction(formula)
+        assert parts == [
+            parse_expression("a = 1 implies b = 2"),
+            parse_expression("a = 1 implies c = 3"),
+        ]
+
+    def test_atomic_constraint_is_kept_whole(self):
+        formula = parse_expression("a = 1 or b = 2")
+        assert split_conjunction(formula) == [formula]
+
+    def test_true_vanishes(self):
+        assert split_conjunction(TRUE) == []
+
+    def test_nested_conjunctions_flatten(self):
+        formula = parse_expression("(a = 1 and b = 2) and c = 3")
+        assert len(split_conjunction(formula)) == 3
+
+
+class TestHelpers:
+    def test_conjoin_simplification(self):
+        atom = parse_expression("a = 1")
+        assert conjoin([]) == TRUE
+        assert conjoin([atom]) == atom
+        assert conjoin([atom, FALSE]) == FALSE
+        assert conjoin([TRUE, atom]) == atom
+
+    def test_disjoin_simplification(self):
+        atom = parse_expression("a = 1")
+        assert disjoin([]) == FALSE
+        assert disjoin([atom, TRUE]) == TRUE
+        assert disjoin([FALSE, atom]) == atom
+
+    def test_paths_in(self):
+        formula = parse_expression("publisher.name = 'ACM' implies rating >= 6")
+        assert paths_in(formula) == (Path.of("publisher", "name"), Path.of("rating"))
+
+    def test_atoms_of(self):
+        formula = parse_expression("a = 1 implies b = 2")
+        atoms = atoms_of(formula)
+        assert parse_expression("b = 2") in atoms

@@ -1,0 +1,373 @@
+"""Tests for the symbolic solver (repro.constraints.solver).
+
+Covers every entailment / conflict judgement stated in the paper, plus a
+brute-force cross-check on randomly generated formulas.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import (
+    Path,
+    Solver,
+    TypeEnvironment,
+    entails,
+    is_satisfiable,
+    parse_expression,
+)
+from repro.constraints.ast import And, Not, conjoin
+from repro.constraints.evaluate import EvalContext, evaluate
+from repro.types import BOOL, INT, REAL, STRING, RangeType
+
+
+def formula(source):
+    return parse_expression(source)
+
+
+class TestPaperJudgements:
+    """The entailments and conflicts the paper states explicitly."""
+
+    def test_rating7_entails_rating4(self):
+        """Section 5.2.1: phi ⊨ rating >= 4 since phi : rating >= 7."""
+        assert entails(formula("rating >= 7"), formula("rating >= 4"))
+
+    def test_rating3_does_not_entail_rating4(self):
+        """Section 5.2.1: with the weakened oc2, rating >= 3 does not entail
+        rating >= 4 and the comparison rule must be repaired."""
+        assert not entails(formula("rating >= 3"), formula("rating >= 4"))
+
+    def test_derived_constraint_from_rule_and_oc2(self):
+        """Section 3: ref?=true plus (ref?=true implies rating>=7) entails
+        rating >= 7."""
+        premise = conjoin(
+            [formula("ref? = true"), formula("ref? = true implies rating >= 7")]
+        )
+        assert entails(premise, formula("rating >= 7"))
+
+    def test_intro_constraints_conflict_without_decision_function(self):
+        """The intro's 'apparent conflict': trav_reimb in {10,20} vs {14,24}
+        is unsatisfiable when read as constraints on one value."""
+        solver = Solver()
+        assert solver.conflicts(
+            formula("trav_reimb in {10, 20}"), formula("trav_reimb in {14, 24}")
+        )
+
+    def test_inherited_constraint_also_satisfied(self):
+        """Section 5.2.1: rating >= 7 satisfies the inherited RefereedPubl
+        constraints rating >= 4 (conformed oc1) within the 1..10 domain."""
+        env = TypeEnvironment({"rating": RangeType(1, 10)})
+        premise = formula("rating >= 7")
+        assert entails(premise, formula("rating >= 4"), env)
+        assert entails(premise, formula("rating <= 10"), env)
+
+
+class TestBasicSatisfiability:
+    def test_simple_sat(self):
+        assert is_satisfiable(formula("x >= 3"))
+
+    def test_point_conflict(self):
+        assert not is_satisfiable(formula("x = 3 and x = 4"))
+
+    def test_interval_conflict(self):
+        assert not is_satisfiable(formula("x < 3 and x > 5"))
+
+    def test_touching_strict_bounds(self):
+        assert not is_satisfiable(formula("x < 3 and x > 3"))
+        assert is_satisfiable(formula("x <= 3 and x >= 3"))
+
+    def test_membership_conflict(self):
+        assert not is_satisfiable(formula("x in {1, 2} and x in {3, 4}"))
+
+    def test_membership_overlap(self):
+        assert is_satisfiable(formula("x in {1, 2} and x in {2, 3}"))
+
+    def test_negated_membership(self):
+        assert not is_satisfiable(formula("x in {1} and not x in {1, 2}"))
+
+    def test_boolean_conflict(self):
+        assert not is_satisfiable(formula("ref? = true and ref? = false"))
+
+    def test_string_equality_conflict(self):
+        assert not is_satisfiable(formula("name = 'ACM' and name = 'IEEE'"))
+
+    def test_string_disequality_ok(self):
+        assert is_satisfiable(formula("name != 'ACM' and name != 'IEEE'"))
+
+    def test_disjunction_rescues(self):
+        assert is_satisfiable(formula("(x = 1 or x = 5) and x > 3"))
+
+    def test_implication_vacuous(self):
+        assert is_satisfiable(formula("x = 1 implies x = 2"))
+
+    def test_unsatisfiable_implication_chain(self):
+        src = "x = 1 and (x = 1 implies y = 2) and (y = 2 implies x = 3)"
+        assert not is_satisfiable(formula(src))
+
+
+class TestTermVsTerm:
+    def test_order_cycle(self):
+        assert not is_satisfiable(formula("x < y and y < x"))
+
+    def test_order_cycle_three(self):
+        assert not is_satisfiable(formula("x < y and y < z and z < x"))
+
+    def test_nonstrict_cycle_ok(self):
+        assert is_satisfiable(formula("x <= y and y <= x"))
+
+    def test_mixed_cycle_strict(self):
+        assert not is_satisfiable(formula("x <= y and y < x"))
+
+    def test_bounds_through_inequality(self):
+        assert not is_satisfiable(formula("x <= y and y <= 5 and x >= 7"))
+
+    def test_equality_merges_domains(self):
+        assert not is_satisfiable(formula("x = y and x in {1, 2} and y in {3}"))
+
+    def test_equality_sat(self):
+        assert is_satisfiable(formula("x = y and x in {1, 2} and y in {2, 3}"))
+
+    def test_disequality_singleton(self):
+        assert not is_satisfiable(formula("x != y and x = 3 and y = 3"))
+
+    def test_disequality_sat(self):
+        assert is_satisfiable(formula("x != y and x = 3 and y = 4"))
+
+    def test_disequality_prunes_finite_domain(self):
+        assert not is_satisfiable(formula("x in {1} and y in {1} and x != y"))
+
+    def test_offset_atoms(self):
+        assert not is_satisfiable(formula("x + 1 <= y and y <= x"))
+        assert is_satisfiable(formula("x + 1 <= y and y <= x + 1"))
+
+    def test_paper_price_constraint(self):
+        assert is_satisfiable(formula("ourprice <= shopprice"))
+        assert not is_satisfiable(
+            formula("ourprice <= shopprice and ourprice > shopprice")
+        )
+
+    def test_finite_domain_holes_feed_back(self):
+        # x in {1, 3}, y = 2: x >= y forces x = 3; x <= y then contradicts.
+        src = "x in {1, 3} and y = 2 and x >= y and x <= y"
+        assert not is_satisfiable(formula(src))
+
+
+class TestTypedEnvironment:
+    def test_range_type_bounds(self):
+        env = TypeEnvironment({"rating": RangeType(1, 5)})
+        assert not is_satisfiable(formula("rating >= 6"), env)
+        assert is_satisfiable(formula("rating >= 5"), env)
+
+    def test_integral_tightening(self):
+        env = TypeEnvironment({"rating": RangeType(1, 5)})
+        # rating > 4 over integers means rating = 5, so rating < 5 conflicts.
+        assert not is_satisfiable(formula("rating > 4 and rating < 5"), env)
+
+    def test_real_type_no_tightening(self):
+        env = TypeEnvironment({"price": REAL})
+        assert is_satisfiable(formula("price > 4 and price < 5"), env)
+
+    def test_bool_type(self):
+        env = TypeEnvironment({"ref?": BOOL})
+        assert not is_satisfiable(formula("ref? != true and ref? != false"), env)
+
+    def test_string_type(self):
+        env = TypeEnvironment({"name": STRING})
+        assert is_satisfiable(formula("name != 'a' and name != 'b'"), env)
+
+    def test_named_constants_fold(self):
+        env = TypeEnvironment({}, {"MAX": 100})
+        assert not is_satisfiable(formula("x < MAX and x > 200"), env)
+
+    def test_named_set_constants(self):
+        env = TypeEnvironment({}, {"KNOWN": {"ACM", "IEEE"}})
+        assert not is_satisfiable(
+            formula("name in KNOWN and name != 'ACM' and name != 'IEEE'"), env
+        )
+
+    def test_prefixed_environment(self):
+        env = TypeEnvironment({"rating": RangeType(1, 5)}).prefixed("O'")
+        assert not is_satisfiable(formula("O'.rating = 9"), env)
+
+    def test_merged_environment(self):
+        left = TypeEnvironment({"a": INT}, {"M": 5})
+        right = TypeEnvironment({"b": INT}, {"N": 6})
+        merged = left.merged_with(right)
+        assert merged.attribute_types == {"a": INT, "b": INT}
+        assert merged.constants == {"M": 5, "N": 6}
+
+
+class TestOpaqueAtoms:
+    def test_function_call_congruence(self):
+        src = "contains(title, 'x') = true and contains(title, 'x') = false"
+        assert not is_satisfiable(formula(src))
+
+    def test_bare_function_atom_conflict(self):
+        src = "contains(title, 'x') and not contains(title, 'x')"
+        assert not is_satisfiable(formula(src))
+
+    def test_different_calls_independent(self):
+        src = "contains(title, 'x') and not contains(title, 'y')"
+        assert is_satisfiable(formula(src))
+
+    def test_aggregate_atom_conflict(self):
+        src = (
+            "(avg (collect x for x in self) over rating) < 4 "
+            "and (avg (collect x for x in self) over rating) > 5"
+        )
+        assert not is_satisfiable(formula(src))
+
+    def test_membership_in_attribute_opaque(self):
+        src = "'a' in subjects and not 'a' in subjects"
+        assert not is_satisfiable(formula(src))
+
+
+class TestEntailment:
+    def test_reflexive(self):
+        phi = formula("rating >= 4")
+        assert entails(phi, phi)
+
+    def test_conjunction_entails_parts(self):
+        premise = formula("a = 1 and b = 2")
+        assert entails(premise, formula("a = 1"))
+        assert entails(premise, formula("b = 2"))
+
+    def test_part_does_not_entail_conjunction(self):
+        assert not entails(formula("a = 1"), formula("a = 1 and b = 2"))
+
+    def test_membership_entails_widened(self):
+        assert entails(formula("x in {1, 2}"), formula("x in {1, 2, 3}"))
+
+    def test_implication_modus_ponens(self):
+        premise = formula("p = true and (p = true implies q >= 5)")
+        assert entails(premise, formula("q >= 5"))
+
+    def test_entails_false_detects_conflict(self):
+        from repro.constraints.ast import FALSE
+
+        assert entails(formula("x = 1 and x = 2"), FALSE)
+
+    def test_conditional_entailment(self):
+        premise = formula("publisher.name = 'ACM' implies rating >= 6")
+        conclusion = formula("publisher.name = 'ACM' implies rating >= 5")
+        assert entails(premise, conclusion)
+        assert not entails(conclusion, premise)
+
+    def test_equivalent(self):
+        solver = Solver()
+        assert solver.equivalent(formula("x >= 4"), formula("not x < 4"))
+        assert not solver.equivalent(formula("x >= 4"), formula("x > 4"))
+
+
+class TestDomainOf:
+    def test_membership_domain(self):
+        solver = Solver()
+        dom = solver.domain_of(formula("x in {10, 20}"), "x")
+        assert dom.enumerate() == (10, 20)
+
+    def test_branch_union(self):
+        solver = Solver()
+        dom = solver.domain_of(formula("x = 1 or x = 5"), "x")
+        assert dom.enumerate() == (1, 5)
+
+    def test_typed_domain(self):
+        solver = Solver(TypeEnvironment({"rating": RangeType(1, 10)}))
+        dom = solver.domain_of(formula("rating >= 7"), "rating")
+        assert dom.enumerate() == (7, 8, 9, 10)
+
+    def test_unconstrained_path_is_type_domain(self):
+        solver = Solver(TypeEnvironment({"rating": RangeType(1, 3)}))
+        dom = solver.domain_of(formula("other = 1"), "rating")
+        assert dom.enumerate() == (1, 2, 3)
+
+    def test_unsat_formula_gives_bottom(self):
+        solver = Solver()
+        dom = solver.domain_of(formula("x = 1 and x = 2"), "x")
+        assert dom.is_empty()
+
+    def test_conditional_domain(self):
+        solver = Solver(TypeEnvironment({"rating": RangeType(1, 10)}))
+        premise = conjoin(
+            [
+                formula("publisher.name = 'ACM'"),
+                formula("publisher.name = 'ACM' implies rating >= 6"),
+            ]
+        )
+        dom = solver.domain_of(premise, "rating")
+        assert dom.enumerate() == (6, 7, 8, 9, 10)
+
+
+# ---------------------------------------------------------------------------
+# Brute-force cross-check
+# ---------------------------------------------------------------------------
+
+_VARS = ("x", "y")
+_DOMAIN = (0, 1, 2, 3)
+
+_atom_strategy = st.one_of(
+    st.builds(
+        lambda var, op, val: f"{var} {op} {val}",
+        st.sampled_from(_VARS),
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        st.sampled_from(_DOMAIN),
+    ),
+    st.builds(
+        lambda var, vals: f"{var} in {{{', '.join(map(str, sorted(vals)))}}}",
+        st.sampled_from(_VARS),
+        st.frozensets(st.sampled_from(_DOMAIN), min_size=1, max_size=3),
+    ),
+    st.builds(
+        lambda a, op, b: f"{a} {op} {b}",
+        st.sampled_from(_VARS),
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        st.sampled_from(_VARS),
+    ),
+)
+
+
+@st.composite
+def _formula_sources(draw, max_atoms=4):
+    atoms = draw(st.lists(_atom_strategy, min_size=1, max_size=max_atoms))
+    connectives = draw(
+        st.lists(st.sampled_from(["and", "or", "implies"]), min_size=len(atoms) - 1, max_size=len(atoms) - 1)
+    )
+    source = atoms[0]
+    for connective, atom in zip(connectives, atoms[1:]):
+        source = f"({source}) {connective} ({atom})"
+    return source
+
+
+def _brute_force_sat(node, env):
+    for values in itertools.product(_DOMAIN, repeat=len(_VARS)):
+        state = dict(zip(_VARS, values))
+        if evaluate(node, EvalContext(current=state)):
+            return True
+    return False
+
+
+class TestBruteForceCrossCheck:
+    @settings(max_examples=300, deadline=None)
+    @given(_formula_sources())
+    def test_solver_matches_enumeration(self, source):
+        env = TypeEnvironment(
+            {var: RangeType(_DOMAIN[0], _DOMAIN[-1]) for var in _VARS}
+        )
+        node = parse_expression(source)
+        assert is_satisfiable(node, env) == _brute_force_sat(node, env)
+
+    @settings(max_examples=150, deadline=None)
+    @given(_formula_sources(3), _formula_sources(3))
+    def test_entailment_matches_enumeration(self, premise_src, conclusion_src):
+        env = TypeEnvironment(
+            {var: RangeType(_DOMAIN[0], _DOMAIN[-1]) for var in _VARS}
+        )
+        premise = parse_expression(premise_src)
+        conclusion = parse_expression(conclusion_src)
+        expected = all(
+            evaluate(conclusion, EvalContext(current=dict(zip(_VARS, values))))
+            for values in itertools.product(_DOMAIN, repeat=len(_VARS))
+            if evaluate(premise, EvalContext(current=dict(zip(_VARS, values))))
+        )
+        assert entails(premise, conclusion, env) == expected

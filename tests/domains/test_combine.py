@@ -1,0 +1,134 @@
+"""Tests for pointwise domain combination (repro.domains.combine).
+
+This is the machinery behind the paper's intro example: travel reimbursement
+tariffs {10, 20} and {14, 24} combined under the ``avg`` decision function
+yield the derived global constraint trav-reimb ∈ {12, 17, 22}.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.domains import combine_numeric, combine_pointwise, numeric_points, numeric_range
+from repro.domains.combine import POINT_FUNCTIONS
+from repro.domains.valueset import DiscreteSet, TopSet
+from repro.errors import SolverError
+
+
+class TestPaperIntroExample:
+    def test_trav_reimb_avg(self):
+        """DB1 trav-reimb ∈ {10,20}, DB2 trav-reimb ∈ {14,24}, df = avg
+        derives the paper's global constraint trav-reimb ∈ {12,17,22}."""
+        local = numeric_points([10, 20])
+        remote = numeric_points([14, 24])
+        combined = combine_numeric(local, remote, "avg")
+        assert combined.enumerate() == (12, 17, 22)
+
+    def test_acm_rating_avg(self):
+        """Local rating >= 4 and remote rating >= 6 on the 1..10 scale under
+        avg give rating >= 5 (the paper's Section 5.2.1 derivation)."""
+        local = numeric_range(4, 10, integral=True)
+        remote = numeric_range(6, 10, integral=True)
+        combined = combine_numeric(local, remote, "avg")
+        assert combined.lower_bound() == (5, False)
+        assert combined.upper_bound() == (10, False)
+
+
+class TestIntervalCombination:
+    def test_avg_of_unbounded(self):
+        left = numeric_range(4, None)
+        right = numeric_range(6, None)
+        combined = combine_numeric(left, right, "avg")
+        assert combined.lower_bound() == (5, False)
+        assert combined.upper_bound() == (None, False)
+
+    def test_max_bounds(self):
+        left = numeric_range(1, 5)
+        right = numeric_range(3, 4)
+        combined = combine_numeric(left, right, "max")
+        assert combined.lower_bound() == (3, False)
+        assert combined.upper_bound() == (5, False)
+
+    def test_min_bounds(self):
+        left = numeric_range(1, 5)
+        right = numeric_range(3, 4)
+        combined = combine_numeric(left, right, "min")
+        assert combined.lower_bound() == (1, False)
+        assert combined.upper_bound() == (4, False)
+
+    def test_max_with_unbounded_low(self):
+        left = numeric_range(None, 5)
+        right = numeric_range(3, 4)
+        combined = combine_numeric(left, right, "max")
+        assert combined.lower_bound() == (3, False)
+        assert combined.upper_bound() == (5, False)
+
+    def test_sum_diff(self):
+        left = numeric_range(1, 2)
+        right = numeric_range(10, 20)
+        assert combine_numeric(left, right, "sum").lower_bound() == (11, False)
+        assert combine_numeric(left, right, "diff").upper_bound() == (-8, False)
+
+    def test_empty_operand_gives_empty(self):
+        assert combine_numeric(numeric_points([]), numeric_range(1, 2), "avg").is_empty()
+
+
+class TestPointwiseDispatch:
+    def test_first_second_projections(self):
+        left = DiscreteSet.of("CSLibrary")
+        right = DiscreteSet.of("Bookseller")
+        assert combine_pointwise(left, right, "first") is left
+        assert combine_pointwise(left, right, "second") is right
+
+    def test_top_operand_is_top(self):
+        assert isinstance(combine_pointwise(TopSet(), numeric_range(1, 2), "avg"), TopSet)
+
+    def test_settling_on_atoms_unions(self):
+        left = DiscreteSet.of("a")
+        right = DiscreteSet.of("b")
+        combined = combine_pointwise(left, right, "max")
+        assert combined.contains("a") and combined.contains("b")
+
+    def test_eliminating_on_atoms_raises(self):
+        with pytest.raises(SolverError):
+            combine_pointwise(DiscreteSet.of("a"), DiscreteSet.of("b"), "avg")
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(SolverError):
+            combine_numeric(numeric_range(1, 2), numeric_range(1, 2), "median")
+
+
+points_strategy = st.lists(st.integers(-20, 20), min_size=1, max_size=4)
+ops = st.sampled_from(sorted(POINT_FUNCTIONS))
+
+
+class TestSoundness:
+    @given(points_strategy, points_strategy, ops)
+    def test_finite_combination_is_exact(self, left_points, right_points, op):
+        fn = POINT_FUNCTIONS[op]
+        combined = combine_numeric(
+            numeric_points(left_points), numeric_points(right_points), op
+        )
+        expected = {fn(a, b) for a in left_points for b in right_points}
+        for value in expected:
+            assert combined.contains(value)
+        enumerated = combined.enumerate()
+        assert enumerated is not None
+        assert set(enumerated) == expected
+
+    @given(
+        st.integers(-20, 0),
+        st.integers(1, 20),
+        st.integers(-20, 0),
+        st.integers(1, 20),
+        ops,
+        st.integers(-20, 20),
+        st.integers(-20, 20),
+    )
+    def test_interval_combination_is_sound(self, l1, w1, l2, w2, op, a_off, b_off):
+        left = numeric_range(l1, l1 + w1)
+        right = numeric_range(l2, l2 + w2)
+        a = min(max(l1, a_off), l1 + w1)
+        b = min(max(l2, b_off), l2 + w2)
+        combined = combine_numeric(left, right, op)
+        assert combined.contains(POINT_FUNCTIONS[op](a, b))

@@ -1,0 +1,102 @@
+"""Tests for finite/co-finite atom sets (repro.domains.discrete)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.domains.discrete import AtomSet
+
+atoms = st.sampled_from(["ACM", "IEEE", "Springer", "Elsevier", "VLDB"])
+
+
+@st.composite
+def atom_sets(draw):
+    values = draw(st.frozensets(atoms, max_size=4))
+    return AtomSet(values, complemented=draw(st.booleans()))
+
+
+class TestBasics:
+    def test_finite_membership(self):
+        publishers = AtomSet.of("ACM", "IEEE")
+        assert publishers.contains("ACM")
+        assert not publishers.contains("Springer")
+
+    def test_cofinite_membership(self):
+        not_acm = AtomSet(["ACM"], complemented=True)
+        assert not not_acm.contains("ACM")
+        assert not_acm.contains("Springer")
+
+    def test_empty_and_top(self):
+        assert AtomSet.empty().is_empty()
+        assert not AtomSet.top().is_empty()
+        assert AtomSet.top().is_top()
+
+    def test_finite_values(self):
+        assert AtomSet.of("x").finite_values() == frozenset({"x"})
+        assert AtomSet.top().finite_values() is None
+
+    def test_universe_normalises_complement(self):
+        universe = frozenset({True, False})
+        not_true = AtomSet([True], complemented=True, universe=universe)
+        assert not not_true.complemented
+        assert not_true.values == frozenset({False})
+
+    def test_universe_top_detection(self):
+        universe = frozenset({True, False})
+        both = AtomSet(universe, universe=universe)
+        assert both.is_top()
+
+
+class TestAlgebra:
+    def test_intersect_finite(self):
+        a = AtomSet.of("ACM", "IEEE")
+        b = AtomSet.of("IEEE", "Springer")
+        assert a.intersect(b) == AtomSet.of("IEEE")
+
+    def test_intersect_with_cofinite(self):
+        a = AtomSet.of("ACM", "IEEE")
+        not_acm = AtomSet(["ACM"], complemented=True)
+        assert a.intersect(not_acm) == AtomSet.of("IEEE")
+
+    def test_union_cofinite(self):
+        not_acm = AtomSet(["ACM"], complemented=True)
+        with_acm = not_acm.union(AtomSet.of("ACM"))
+        assert with_acm.is_top()
+
+    def test_subset_finite_in_cofinite(self):
+        assert AtomSet.of("IEEE").is_subset(AtomSet(["ACM"], complemented=True))
+        assert not AtomSet.of("ACM").is_subset(AtomSet(["ACM"], complemented=True))
+
+    def test_cofinite_never_inside_finite(self):
+        assert not AtomSet.top().is_subset(AtomSet.of("ACM"))
+
+    def test_cofinite_subset_cofinite(self):
+        smaller = AtomSet(["ACM", "IEEE"], complemented=True)
+        bigger = AtomSet(["ACM"], complemented=True)
+        assert smaller.is_subset(bigger)
+        assert not bigger.is_subset(smaller)
+
+    @given(atom_sets(), atom_sets(), atoms)
+    def test_intersection_semantics(self, a, b, probe):
+        assert a.intersect(b).contains(probe) == (a.contains(probe) and b.contains(probe))
+
+    @given(atom_sets(), atom_sets(), atoms)
+    def test_union_semantics(self, a, b, probe):
+        assert a.union(b).contains(probe) == (a.contains(probe) or b.contains(probe))
+
+    @given(atom_sets(), atoms)
+    def test_complement_semantics(self, a, probe):
+        assert a.complement().contains(probe) == (not a.contains(probe))
+
+    @given(atom_sets())
+    def test_double_complement(self, a):
+        assert a.complement().complement() == a
+
+    @given(atom_sets(), atom_sets())
+    def test_subset_via_difference(self, a, b):
+        assert a.is_subset(b) == a.difference(b).is_empty()
+
+    @given(atom_sets(), atom_sets())
+    def test_de_morgan(self, a, b):
+        lhs = a.union(b).complement()
+        rhs = a.complement().intersect(b.complement())
+        assert lhs == rhs

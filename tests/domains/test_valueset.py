@@ -1,0 +1,147 @@
+"""Tests for the unified ValueSet facade (repro.domains.valueset)."""
+
+import pytest
+
+from repro.domains import (
+    BOTTOM,
+    NumericSet,
+    TopSet,
+    boolean_set,
+    numeric_points,
+    numeric_range,
+    type_to_valueset,
+)
+from repro.domains.valueset import DiscreteSet, from_values
+from repro.errors import SolverError
+from repro.types import BOOL, INT, REAL, STRING, ClassRef, EnumType, RangeType, SetType
+
+
+class TestNumericSet:
+    def test_integral_tightening_on_construction(self):
+        strict = numeric_range(3, None, integral=True, low_strict=True)
+        assert not strict.contains(3)
+        assert strict.contains(4)
+        assert strict.lower_bound() == (4, False)
+
+    def test_contains_rejects_non_numbers(self):
+        assert not numeric_range(1, 5).contains("three")
+        assert not numeric_range(0, 1).contains(True)
+
+    def test_integral_rejects_fractions(self):
+        assert not numeric_range(1, 5, integral=True).contains(2.5)
+        assert numeric_range(1, 5).contains(2.5)
+
+    def test_intersect_keeps_integrality(self):
+        mixed = numeric_range(1, 10, integral=True).intersect(numeric_range(2.5, 7.5))
+        assert mixed.enumerate() == (3, 4, 5, 6, 7)
+
+    def test_union_drops_integrality_when_mixed(self):
+        union = numeric_range(1, 2, integral=True).union_with(numeric_range(5.5, 6.5))
+        assert union.contains(5.7)
+
+    def test_type_clash_raises(self):
+        with pytest.raises(SolverError):
+            numeric_range(1, 5).intersect(DiscreteSet.of("a"))
+
+    def test_subset_integral_enumeration(self):
+        # {2, 4} over integers fits inside the union [1,2] ∪ [4,5].
+        points = numeric_points([2, 4])
+        container = numeric_range(1, 2).union_with(numeric_range(4, 5))
+        assert points.is_subset_of(container)
+
+    def test_enumerate_non_integral_points(self):
+        assert numeric_points([1.5, 2.5]).enumerate() == (1.5, 2.5)
+
+    def test_empty(self):
+        assert NumericSet.empty().is_empty()
+        assert not NumericSet.all().is_empty()
+
+
+class TestDiscreteSet:
+    def test_membership(self):
+        names = DiscreteSet.of("ACM", "IEEE")
+        assert names.contains("ACM")
+        assert not names.contains("VLDB")
+
+    def test_complement(self):
+        not_acm = DiscreteSet.of("ACM").complement()
+        assert not not_acm.contains("ACM")
+        assert not_acm.contains("anything else")
+
+    def test_type_clash(self):
+        with pytest.raises(SolverError):
+            DiscreteSet.of("a").intersect(numeric_range(1, 2))
+
+
+class TestTopAndBottom:
+    def test_top_absorbs(self):
+        top = TopSet()
+        nums = numeric_range(1, 5)
+        assert top.intersect(nums) is nums
+        assert nums.intersect(top) is nums
+        assert top.union_with(nums) is top
+
+    def test_top_is_singleton(self):
+        assert TopSet() is TopSet()
+
+    def test_bottom(self):
+        assert BOTTOM.is_empty()
+        assert BOTTOM.is_subset_of(numeric_range(1, 2))
+        assert BOTTOM.complement() is TopSet()
+        assert TopSet().complement() is BOTTOM
+
+    def test_bottom_enumerates_empty(self):
+        assert BOTTOM.enumerate() == ()
+
+
+class TestBooleanSet:
+    def test_full_boolean(self):
+        both = boolean_set()
+        assert both.contains(True)
+        assert both.contains(False)
+
+    def test_complement_within_universe(self):
+        only_true = boolean_set(True)
+        only_false = only_true.complement()
+        assert only_false.contains(False)
+        assert not only_false.contains(True)
+        assert only_false.enumerate() == (False,)
+
+
+class TestFromValues:
+    def test_numeric(self):
+        assert from_values([10, 20]).contains(10)
+
+    def test_strings(self):
+        assert from_values(["a"]).contains("a")
+
+    def test_empty(self):
+        assert from_values([]).is_empty()
+
+
+class TestTypeToValueSet:
+    def test_range(self):
+        rating = type_to_valueset(RangeType(1, 5))
+        assert rating.enumerate() == (1, 2, 3, 4, 5)
+
+    def test_int_real(self):
+        assert type_to_valueset(INT).contains(10**9)
+        assert not type_to_valueset(INT).contains(0.5)
+        assert type_to_valueset(REAL).contains(0.5)
+
+    def test_bool(self):
+        assert type_to_valueset(BOOL).enumerate() == (False, True)
+
+    def test_string_is_cofinite_top(self):
+        strings = type_to_valueset(STRING)
+        assert strings.contains("anything")
+        assert not strings.is_empty()
+
+    def test_enum(self):
+        reimb = type_to_valueset(EnumType(frozenset({10, 20})))
+        assert reimb.enumerate() == (10, 20)
+
+    def test_uninterpreted_types_are_top(self):
+        assert type_to_valueset(SetType(STRING)) is TopSet()
+        assert type_to_valueset(ClassRef("Publisher")) is TopSet()
+        assert type_to_valueset(None) is TopSet()

@@ -1,0 +1,270 @@
+"""Tests for constraint enforcement (repro.engine.enforcement) — the
+component databases of the paper enforce their own constraints."""
+
+import pytest
+
+from repro.engine import ObjectStore, select
+from repro.errors import ConstraintViolation
+from repro.fixtures import (
+    bookseller_store,
+    cslibrary_schema,
+    cslibrary_store,
+    personnel_stores,
+)
+
+
+class TestObjectConstraintEnforcement:
+    def test_oc1_price_invariant(self):
+        store, _ = cslibrary_store()
+        with pytest.raises(ConstraintViolation, match="Publication.oc1"):
+            store.insert(
+                "Publication",
+                title="Overpriced",
+                isbn="ISBN-300",
+                publisher="ACM",
+                shopprice=10.0,
+                ourprice=12.0,
+            )
+
+    def test_oc2_known_publishers(self):
+        store, _ = cslibrary_store()
+        with pytest.raises(ConstraintViolation, match="Publication.oc2"):
+            store.insert(
+                "Publication",
+                title="Obscure",
+                isbn="ISBN-301",
+                publisher="Basement Press",
+                shopprice=10.0,
+                ourprice=9.0,
+            )
+
+    def test_inherited_constraints_enforced_on_subclass(self):
+        store, _ = cslibrary_store()
+        with pytest.raises(ConstraintViolation, match="Publication.oc1"):
+            store.insert(
+                "RefereedPubl",
+                title="Overpriced proceedings",
+                isbn="ISBN-302",
+                publisher="ACM",
+                shopprice=10.0,
+                ourprice=12.0,
+                editors=frozenset(),
+                rating=3,
+                avgAccRate=0.2,
+            )
+
+    def test_refereed_rating_floor(self):
+        store, _ = cslibrary_store()
+        with pytest.raises(ConstraintViolation, match="RefereedPubl.oc1"):
+            store.insert(
+                "RefereedPubl",
+                title="Too low",
+                isbn="ISBN-303",
+                publisher="ACM",
+                shopprice=10.0,
+                ourprice=9.0,
+                editors=frozenset(),
+                rating=1,  # oc1: rating >= 2
+                avgAccRate=0.2,
+            )
+
+    def test_conditional_constraint_ieee_implies_refereed(self):
+        store, named = bookseller_store()
+        with pytest.raises(ConstraintViolation, match="Proceedings.oc1"):
+            store.insert(
+                "Proceedings",
+                title="IEEE informal notes",
+                isbn="ISBN-304",
+                publisher=named["ieee"],
+                authors=frozenset(),
+                shopprice=10.0,
+                libprice=9.0,
+                **{"ref?": False},  # IEEE implies ref?=true
+                rating=8,
+            )
+
+    def test_conditional_constraint_refereed_rating(self):
+        store, named = bookseller_store()
+        with pytest.raises(ConstraintViolation, match="Proceedings.oc2"):
+            store.insert(
+                "Proceedings",
+                title="Refereed but lowly rated",
+                isbn="ISBN-305",
+                publisher=named["springer"],
+                authors=frozenset(),
+                shopprice=10.0,
+                libprice=9.0,
+                **{"ref?": True},
+                rating=5,  # ref?=true implies rating >= 7
+            )
+
+    def test_acm_rating_constraint(self):
+        store, named = bookseller_store()
+        with pytest.raises(ConstraintViolation, match="Proceedings.oc3"):
+            store.insert(
+                "Proceedings",
+                title="ACM workshop",
+                isbn="ISBN-306",
+                publisher=named["acm"],
+                authors=frozenset(),
+                shopprice=10.0,
+                libprice=9.0,
+                **{"ref?": False},
+                rating=4,  # ACM implies rating >= 6
+            )
+
+
+class TestClassConstraintEnforcement:
+    def test_key_constraint(self):
+        store, _ = cslibrary_store()
+        with pytest.raises(ConstraintViolation, match="Publication.cc1"):
+            store.insert(
+                "Publication",
+                title="Duplicate ISBN",
+                isbn="ISBN-001",  # already used by vldb95
+                publisher="ACM",
+                shopprice=10.0,
+                ourprice=9.0,
+            )
+
+    def test_key_spans_subclasses(self):
+        store, _ = cslibrary_store()
+        # ISBN of a RefereedPubl clashes with a new ProfessionalPubl: the key
+        # is declared on Publication whose deep extent covers both.
+        with pytest.raises(ConstraintViolation, match="Publication.cc1"):
+            store.insert(
+                "ProfessionalPubl",
+                title="Clash",
+                isbn="ISBN-002",
+                publisher="ACM",
+                shopprice=10.0,
+                ourprice=9.0,
+                authors=frozenset(),
+            )
+
+    def test_sum_constraint_cc2(self):
+        schema = cslibrary_schema()
+        schema.set_constant("MAX", 100)  # tighten for the test
+        store = ObjectStore(schema)
+        store.insert(
+            "Publication",
+            title="A",
+            isbn="1",
+            publisher="ACM",
+            shopprice=60.0,
+            ourprice=60.0,
+        )
+        with pytest.raises(ConstraintViolation, match="Publication.cc2"):
+            store.insert(
+                "Publication",
+                title="B",
+                isbn="2",
+                publisher="ACM",
+                shopprice=50.0,
+                ourprice=50.0,
+            )
+
+    def test_avg_rating_constraint(self):
+        store, _ = cslibrary_store()
+        # Fixture ScientificPubl ratings: 4, 3, 2 (avg 3).  Adding two
+        # rating-5 publications pushes the average to 3.8 (< 4, fine); a
+        # third pushes it to 4 — rejected by ScientificPubl.cc1.
+        def add(i, rating):
+            store.insert(
+                "RefereedPubl",
+                title=f"High {i}",
+                isbn=f"ISBN-31{i}",
+                publisher="ACM",
+                shopprice=10.0,
+                ourprice=9.0,
+                editors=frozenset(),
+                rating=rating,
+                avgAccRate=0.1,
+            )
+
+        add(0, 5)
+        add(1, 5)
+        with pytest.raises(ConstraintViolation, match="ScientificPubl.cc1"):
+            add(2, 5)
+
+
+class TestDatabaseConstraintEnforcement:
+    def test_publisher_without_item_rejected(self):
+        store, _ = bookseller_store()
+        with pytest.raises(ConstraintViolation, match="Bookseller.db1"):
+            store.insert("Publisher", name="Ghost Press", location="Nowhere")
+
+    def test_transaction_allows_intermediate_violation(self):
+        store, _ = bookseller_store()
+        with store.transaction():
+            publisher = store.insert("Publisher", name="Morgan", location="SF")
+            store.insert(
+                "Monograph",
+                title="New readings",
+                isbn="ISBN-400",
+                publisher=publisher,
+                authors=frozenset(),
+                shopprice=20.0,
+                libprice=18.0,
+                subjects=frozenset(),
+            )
+        assert len(store.extent("Publisher", deep=False)) == 4
+
+    def test_transaction_rolls_back_on_final_violation(self):
+        store, _ = bookseller_store()
+        before = len(store)
+        with pytest.raises(ConstraintViolation):
+            with store.transaction():
+                store.insert("Publisher", name="Lonely", location="Nowhere")
+        assert len(store) == before
+
+    def test_transaction_rolls_back_on_exception(self):
+        store, named = bookseller_store()
+        original_price = named["vldb95"].state["libprice"]
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.update(named["vldb95"], libprice=1.0)
+                raise RuntimeError("abort")
+        assert named["vldb95"].state["libprice"] == original_price
+
+
+class TestSelect:
+    def test_select_by_source_predicate(self):
+        store, _ = bookseller_store()
+        refereed = select(store, "Proceedings", "ref? = true")
+        assert {obj.state["isbn"] for obj in refereed} == {"ISBN-001", "ISBN-006"}
+
+    def test_select_traverses_references(self):
+        store, _ = bookseller_store()
+        acm_items = select(store, "Item", "publisher.name = 'ACM'")
+        assert {obj.state["isbn"] for obj in acm_items} == {"ISBN-001", "ISBN-008"}
+
+    def test_select_with_callable(self):
+        store, _ = cslibrary_store()
+        cheap = select(store, "Publication", lambda o: o.state["ourprice"] < 30)
+        assert len(cheap) == 2
+
+    def test_select_whole_extent(self):
+        store, _ = cslibrary_store()
+        assert len(select(store, "ScientificPubl")) == 3
+
+    def test_select_uses_schema_constants(self):
+        store, _ = cslibrary_store()
+        known = select(store, "Publication", "publisher in KNOWNPUBLISHERS")
+        assert len(known) == 5
+
+
+class TestPersonnelFixture:
+    def test_stores_build_clean(self):
+        db1, db2, named = personnel_stores()
+        assert db1.check_all() == []
+        assert db2.check_all() == []
+
+    def test_shared_employee(self):
+        db1, db2, named = personnel_stores()
+        assert named["bob_db1"].state["ssn"] == named["bob_db2"].state["ssn"]
+
+    def test_subjective_salary_rule_enforced_locally(self):
+        db1, _, _ = personnel_stores()
+        with pytest.raises(ConstraintViolation, match="Employee.oc2"):
+            db1.insert("Employee", ssn="100-99", salary=2000.0, trav_reimb=10)

@@ -1,0 +1,112 @@
+"""Property-based tests of the engine's enforcement guarantees.
+
+Invariant: after any sequence of attempted operations, the store satisfies
+all of its constraints — successful operations preserve consistency,
+rejected operations leave the store untouched.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ObjectStore
+from repro.errors import ConstraintViolation, EngineError, TypeSystemError
+from repro.tm import parse_database
+
+SCHEMA_SOURCE = """
+Database PropDB
+Class Account
+attributes
+  number  : string
+  balance : real
+  level   : 1..5
+object constraints
+  oc1: balance >= 0
+  oc2: level >= 2 implies balance >= 100
+class constraints
+  cc1: key number
+  cc2: (sum (collect x for x in self) over balance) < 10000
+end Account
+"""
+
+
+def fresh_store() -> ObjectStore:
+    return ObjectStore(parse_database(SCHEMA_SOURCE))
+
+
+_operations = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete"]),
+        st.integers(0, 9),  # account number pool
+        st.floats(-200, 6000, allow_nan=False, width=32),
+        st.integers(0, 7),  # level (may exceed type range on purpose)
+    ),
+    max_size=25,
+)
+
+
+class TestEnforcementInvariant:
+    @settings(max_examples=50, deadline=None)
+    @given(_operations)
+    def test_store_always_consistent(self, operations):
+        store = fresh_store()
+        by_number = {}
+        for op, number, balance, level in operations:
+            key = f"acc-{number}"
+            try:
+                if op == "insert":
+                    obj = store.insert(
+                        "Account",
+                        number=key,
+                        balance=float(balance),
+                        level=level,
+                    )
+                    by_number[key] = obj
+                elif op == "update" and key in by_number:
+                    store.update(by_number[key], balance=float(balance))
+                elif op == "delete" and key in by_number:
+                    store.delete(by_number.pop(key))
+            except (ConstraintViolation, TypeSystemError, EngineError):
+                pass  # rejected operations must leave the store clean
+            assert store.check_all() == [], (op, number, balance, level)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(-200, 6000, allow_nan=False, width=32), st.integers(1, 5))
+    def test_rejection_is_atomic(self, balance, level):
+        """A rejected insert leaves no partial object behind."""
+        store = fresh_store()
+        before = len(store)
+        valid = balance >= 0 and (level < 2 or balance >= 100) and balance < 10000
+        try:
+            store.insert("Account", number="a", balance=float(balance), level=level)
+            assert valid
+            assert len(store) == before + 1
+        except ConstraintViolation:
+            assert not valid
+            assert len(store) == before
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(0, 400, allow_nan=False, width=32), min_size=1, max_size=10
+        )
+    )
+    def test_transaction_all_or_nothing(self, balances):
+        """A transaction commits iff the final state is globally valid."""
+        store = fresh_store()
+        total = sum(float(b) for b in balances)
+        try:
+            with store.transaction():
+                for index, balance in enumerate(balances):
+                    store.insert(
+                        "Account",
+                        number=f"t-{index}",
+                        balance=float(balance),
+                        level=1,
+                    )
+            assert total < 10000
+            assert len(store) == len(balances)
+        except ConstraintViolation:
+            assert total >= 10000
+            assert len(store) == 0
+        assert store.check_all() == []

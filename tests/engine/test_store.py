@@ -1,0 +1,232 @@
+"""Tests for the object store (repro.engine.store)."""
+
+import pytest
+
+from repro.engine import ObjectStore
+from repro.errors import (
+    ConstraintViolation,
+    EngineError,
+    TypeSystemError,
+    UnknownClassError,
+    UnknownObjectError,
+)
+from repro.fixtures import (
+    bookseller_schema,
+    bookseller_store,
+    cslibrary_schema,
+    cslibrary_store,
+)
+
+
+@pytest.fixture()
+def library():
+    store, named = cslibrary_store()
+    return store, named
+
+
+@pytest.fixture()
+def bookseller():
+    store, named = bookseller_store()
+    return store, named
+
+
+class TestInsert:
+    def test_insert_returns_object_with_oid(self, library):
+        store, _ = library
+        obj = store.insert(
+            "Publication",
+            title="New Book",
+            isbn="ISBN-100",
+            publisher="ACM",
+            shopprice=20.0,
+            ourprice=18.0,
+        )
+        assert obj.oid.startswith("Publication#")
+        assert store.get(obj.oid) is obj
+
+    def test_insert_unknown_class(self, library):
+        store, _ = library
+        with pytest.raises(UnknownClassError):
+            store.insert("Ghost", x=1)
+
+    def test_insert_missing_attribute(self, library):
+        store, _ = library
+        with pytest.raises(EngineError, match="missing attributes"):
+            store.insert("Publication", title="t")
+
+    def test_insert_extra_attribute(self, library):
+        store, _ = library
+        with pytest.raises(EngineError, match="no attributes"):
+            store.insert(
+                "Publication",
+                title="t",
+                isbn="i",
+                publisher="ACM",
+                shopprice=1.0,
+                ourprice=1.0,
+                bogus=1,
+            )
+
+    def test_insert_type_error(self, library):
+        store, _ = library
+        with pytest.raises(TypeSystemError):
+            store.insert(
+                "Publication",
+                title="t",
+                isbn="i",
+                publisher="ACM",
+                shopprice="not a number",
+                ourprice=1.0,
+            )
+
+    def test_int_coerced_to_real(self, library):
+        store, _ = library
+        obj = store.insert(
+            "Publication",
+            title="t",
+            isbn="ISBN-101",
+            publisher="ACM",
+            shopprice=20,
+            ourprice=18,
+        )
+        assert obj.state["shopprice"] == 20.0
+
+    def test_range_type_enforced(self, library):
+        store, _ = library
+        with pytest.raises(TypeSystemError):
+            store.insert(
+                "RefereedPubl",
+                title="t",
+                isbn="ISBN-102",
+                publisher="ACM",
+                shopprice=20.0,
+                ourprice=18.0,
+                editors=frozenset(),
+                rating=7,  # outside 1..5
+                avgAccRate=0.5,
+            )
+
+
+class TestReferences:
+    def test_reference_stored_as_oid(self, bookseller):
+        store, named = bookseller
+        assert named["vldb95"].state["publisher"] == named["acm"].oid
+
+    def test_reference_deref_in_get_attr(self, bookseller):
+        store, named = bookseller
+        publisher = store.get_attr(named["vldb95"], "publisher")
+        assert publisher is named["acm"]
+        assert store.get_attr(publisher, "name") == "ACM"
+
+    def test_dangling_reference_rejected(self, bookseller):
+        store, _ = bookseller
+        with pytest.raises(EngineError, match="unknown object"):
+            store.insert(
+                "Monograph",
+                title="t",
+                isbn="ISBN-200",
+                publisher="Publisher#999",
+                authors=frozenset(),
+                shopprice=10.0,
+                libprice=9.0,
+                subjects=frozenset(),
+            )
+
+    def test_reference_class_checked(self, bookseller):
+        store, named = bookseller
+        with pytest.raises(EngineError, match="not a Publisher"):
+            store.insert(
+                "Monograph",
+                title="t",
+                isbn="ISBN-201",
+                publisher=named["tp_book"],  # a Monograph, not a Publisher
+                authors=frozenset(),
+                shopprice=10.0,
+                libprice=9.0,
+                subjects=frozenset(),
+            )
+
+
+class TestExtents:
+    def test_deep_extent_includes_subclasses(self, library):
+        store, _ = library
+        deep = store.extent("Publication")
+        assert len(deep) == 5  # every object in the fixture
+
+    def test_shallow_extent(self, library):
+        store, _ = library
+        shallow = store.extent("Publication", deep=False)
+        assert len(shallow) == 1  # only the newsletter
+
+    def test_extent_of_leaf(self, library):
+        store, _ = library
+        assert len(store.extent("RefereedPubl")) == 2
+
+    def test_unknown_extent(self, library):
+        store, _ = library
+        with pytest.raises(UnknownClassError):
+            store.extent("Ghost")
+
+    def test_len_and_contains(self, library):
+        store, named = library
+        assert len(store) == 5
+        assert named["vldb95"].oid in store
+
+    def test_get_unknown_oid(self, library):
+        store, _ = library
+        with pytest.raises(UnknownObjectError):
+            store.get("Publication#999")
+
+
+class TestUpdateDelete:
+    def test_update_changes_state(self, library):
+        store, named = library
+        store.update(named["newsletter"], ourprice=6.0)
+        assert named["newsletter"].state["ourprice"] == 6.0
+
+    def test_update_unknown_attribute(self, library):
+        store, named = library
+        with pytest.raises(EngineError):
+            store.update(named["newsletter"], bogus=1)
+
+    def test_update_rolls_back_on_violation(self, library):
+        store, named = library
+        before = named["newsletter"].state["ourprice"]
+        with pytest.raises(ConstraintViolation):
+            # oc1: ourprice <= shopprice (shopprice is 10.0)
+            store.update(named["newsletter"], ourprice=11.0)
+        assert named["newsletter"].state["ourprice"] == before
+
+    def test_delete(self, library):
+        store, named = library
+        store.delete(named["newsletter"])
+        assert named["newsletter"].oid not in store
+
+    def test_delete_guarded_by_database_constraint(self, bookseller):
+        store, named = bookseller
+        # Deleting the only ACM item would break db1 unless all ACM items go;
+        # deleting one of two ACM items is fine.
+        store.delete(named["readings"])
+        with pytest.raises(ConstraintViolation):
+            store.delete(named["vldb95"])  # last item referencing ACM
+
+
+class TestCheckAll:
+    def test_fixture_stores_are_clean(self, library, bookseller):
+        assert library[0].check_all() == []
+        assert bookseller[0].check_all() == []
+
+    def test_check_all_reports_when_unenforced(self):
+        store = ObjectStore(cslibrary_schema(), enforce=False)
+        store.insert(
+            "Publication",
+            title="Bad",
+            isbn="ISBN-1",
+            publisher="Nobody",  # violates oc2
+            shopprice=5.0,
+            ourprice=9.0,  # violates oc1
+        )
+        violations = store.check_all()
+        assert len(violations) == 2
+        assert any("oc1" in v for v in violations)
+        assert any("oc2" in v for v in violations)

@@ -1,0 +1,261 @@
+"""Tests for the conformation phase (Sections 2.3 and 4).
+
+The two worked examples of Section 4 are asserted exactly:
+* ``oc2`` of Publication is reallocated to ``VirtPublisher`` as
+  ``name in KNOWNPUBLISHERS``;
+* ``oc1`` of RefereedPubl (``rating >= 2``) conforms to ``rating >= 4``
+  through the ``multiply(2)`` conversion.
+"""
+
+import pytest
+
+from repro.constraints import parse_expression, to_source
+from repro.engine import ObjectStore
+from repro.fixtures import (
+    bookseller_store,
+    cslibrary_store,
+    library_integration_spec,
+    personnel_integration_spec,
+    personnel_stores,
+)
+from repro.integration.conformation import conform
+from repro.integration.relationships import Side
+from repro.types import STRING, ClassRef, EnumType
+
+
+@pytest.fixture(scope="module")
+def conformation():
+    spec = library_integration_spec()
+    local_store, _ = cslibrary_store()
+    remote_store, _ = bookseller_store()
+    return conform(spec, local_store, remote_store)
+
+
+def conformed_constraint(conformation, side, qualified_name):
+    return conformation.on(side).conformed_constraints[qualified_name]
+
+
+class TestSchemaConformation:
+    def test_virtual_publisher_class_created(self, conformation):
+        local = conformation.local.schema
+        assert local.has_class("VirtPublisher")
+        assert local.class_named("VirtPublisher").virtual
+        assert local.attribute_type("VirtPublisher", "name") == STRING
+
+    def test_publisher_attribute_becomes_reference(self, conformation):
+        local = conformation.local.schema
+        assert local.attribute_type("Publication", "publisher") == ClassRef(
+            "VirtPublisher"
+        )
+
+    def test_ourprice_renamed_to_libprice(self, conformation):
+        local = conformation.local.schema
+        attributes = local.effective_attributes("Publication")
+        assert "libprice" in attributes
+        assert "ourprice" not in attributes
+
+    def test_rating_type_converted(self, conformation):
+        """multiply(2) turns the 1..5 scale into the even points of 1..10."""
+        local = conformation.local.schema
+        assert local.attribute_type("ScientificPubl", "rating") == EnumType(
+            frozenset({2, 4, 6, 8, 10})
+        )
+
+    def test_remote_schema_mostly_untouched(self, conformation):
+        remote = conformation.remote.schema
+        assert remote.attribute_type("Proceedings", "rating").describe() == "1..10"
+        # Item.authors conforms to the local name 'editors'.
+        assert "editors" in remote.effective_attributes("Item")
+
+    def test_conformed_propeqs_updated(self, conformation):
+        by_name = {p.name: p for p in conformation.propeqs}
+        assert by_name["name"].local_class == "VirtPublisher"
+        assert by_name["name"].remote_class == "Publisher"
+        assert by_name["libprice"].local_class == "Publication"
+        assert by_name["rating"].local_class == "ScientificPubl"
+
+
+class TestConstraintConformation:
+    def test_paper_example_oc2_reallocated(self, conformation):
+        """Section 4: 'object constraint on VirtPublisher:
+        oc1: name in KNOWNPUBLISHERS'."""
+        oc2 = conformed_constraint(
+            conformation, Side.LOCAL, "CSLibrary.Publication.oc2"
+        )
+        assert oc2.owner == "VirtPublisher"
+        assert oc2.formula == parse_expression("name in KNOWNPUBLISHERS")
+
+    def test_paper_example_rating_conversion(self, conformation):
+        """Section 4: 'object constraint on RefereedPubl: oc1: rating >= 4'."""
+        oc1 = conformed_constraint(
+            conformation, Side.LOCAL, "CSLibrary.RefereedPubl.oc1"
+        )
+        assert oc1.owner == "RefereedPubl"
+        assert oc1.formula == parse_expression("rating >= 4")
+
+    def test_nonrefereed_bound_converted(self, conformation):
+        oc1 = conformed_constraint(
+            conformation, Side.LOCAL, "CSLibrary.NonRefereedPubl.oc1"
+        )
+        assert oc1.formula == parse_expression("rating <= 6")
+
+    def test_price_constraints_become_identical(self, conformation):
+        """'the identical conformed constraints oc1 of classes Publication
+        and Item' (Section 5.1.3)."""
+        local = conformed_constraint(
+            conformation, Side.LOCAL, "CSLibrary.Publication.oc1"
+        )
+        remote = conformed_constraint(
+            conformation, Side.REMOTE, "Bookseller.Item.oc1"
+        )
+        assert local.formula == remote.formula == parse_expression(
+            "libprice <= shopprice"
+        )
+
+    def test_avg_class_constraint_converted(self, conformation):
+        cc1 = conformed_constraint(
+            conformation, Side.LOCAL, "CSLibrary.ScientificPubl.cc1"
+        )
+        assert cc1.formula == parse_expression(
+            "(avg (collect x for x in self) over rating) < 8"
+        )
+
+    def test_key_constraints_survive(self, conformation):
+        cc1 = conformed_constraint(
+            conformation, Side.LOCAL, "CSLibrary.Publication.cc1"
+        )
+        assert to_source(cc1.formula) == "key isbn"
+
+    def test_remote_conditional_constraints_conformed(self, conformation):
+        oc3 = conformed_constraint(
+            conformation, Side.REMOTE, "Bookseller.Proceedings.oc3"
+        )
+        assert oc3.formula == parse_expression(
+            "publisher.name = 'ACM' implies rating >= 6"
+        )
+
+    def test_database_constraint_conformed(self, conformation):
+        db1 = conformed_constraint(conformation, Side.REMOTE, "Bookseller.db1")
+        assert db1.formula == parse_expression(
+            "forall p in Publisher exists i in Item | i.publisher = p"
+        )
+
+    def test_nothing_dropped_in_object_view(self, conformation):
+        assert conformation.local.dropped_constraints == []
+        assert conformation.remote.dropped_constraints == []
+
+
+class TestInstanceConformation:
+    def test_virtual_publisher_objects_created(self, conformation):
+        virtuals = conformation.local.instances_of("VirtPublisher")
+        names = {obj.state["name"] for obj in virtuals}
+        assert names == {"ACM", "Springer", "Kluwer", "IEEE", "Elsevier"}
+        assert all(obj.virtual for obj in virtuals)
+
+    def test_publications_reference_virtual_publishers(self, conformation):
+        local = conformation.local
+        vldb = next(
+            obj for obj in local.instances if obj.source_oid and "RefereedPubl" in obj.oid
+        )
+        publisher_oid = vldb.state["publisher"]
+        publisher = next(o for o in local.instances if o.oid == publisher_oid)
+        assert publisher.class_name == "VirtPublisher"
+
+    def test_rating_values_converted(self, conformation):
+        local = conformation.local
+        rated = [
+            obj.state["rating"]
+            for obj in local.instances_of("ScientificPubl")
+        ]
+        assert sorted(rated) == [4, 6, 8]  # 2, 3, 4 on the 1..5 scale
+
+    def test_ourprice_values_renamed(self, conformation):
+        local = conformation.local
+        publication = local.instances_of("Publication")[0]
+        assert "libprice" in publication.state
+        assert "ourprice" not in publication.state
+
+    def test_remote_reference_oids_prefixed(self, conformation):
+        remote = conformation.remote
+        item = remote.instances_of("Proceedings")[0]
+        assert item.state["publisher"].startswith("remote:Publisher#")
+
+    def test_remote_authors_renamed_to_editors(self, conformation):
+        remote = conformation.remote
+        item = remote.instances_of("Item")[0]
+        assert "editors" in item.state
+
+    def test_conformed_oids_carry_side(self, conformation):
+        assert all(o.oid.startswith("local:") for o in conformation.local.instances)
+        assert all(o.oid.startswith("remote:") for o in conformation.remote.instances)
+
+
+class TestValueView:
+    """The alternative resolution of the object-value conflict: hiding."""
+
+    @pytest.fixture()
+    def value_conformation(self):
+        spec = library_integration_spec()
+        local_store, _ = cslibrary_store()
+        remote_store, _ = bookseller_store()
+        return conform(spec, local_store, remote_store, descriptivity_view="value")
+
+    def test_publisher_class_hidden(self, value_conformation):
+        remote = value_conformation.remote.schema
+        assert not remote.has_class("Publisher")
+
+    def test_item_publisher_becomes_value(self, value_conformation):
+        remote = value_conformation.remote.schema
+        assert remote.attribute_type("Item", "publisher") == STRING
+
+    def test_instances_cast_to_values(self, value_conformation):
+        remote = value_conformation.remote
+        item = remote.instances_of("Proceedings")[0]
+        assert isinstance(item.state["publisher"], str)
+        assert not item.state["publisher"].startswith("remote:")
+
+    def test_hidden_database_constraint_dropped(self, value_conformation):
+        dropped = dict(value_conformation.remote.dropped_constraints)
+        assert "Bookseller.db1" in dropped
+
+    def test_location_constraints_would_be_hidden(self):
+        """A constraint on Publisher.location is dropped when hiding."""
+        spec = library_integration_spec()
+        from repro.constraints.model import Constraint, ConstraintKind
+
+        publisher = spec.remote_schema.class_named("Publisher")
+        publisher.add_constraint(
+            Constraint(
+                "oc9",
+                ConstraintKind.OBJECT,
+                parse_expression("location != 'Atlantis'"),
+                database="Bookseller",
+            )
+        )
+        result = conform(spec, descriptivity_view="value")
+        dropped = dict(result.remote.dropped_constraints)
+        assert "Bookseller.Publisher.oc9" in dropped
+
+    def test_paths_through_hidden_class_collapse(self, value_conformation):
+        oc1 = value_conformation.remote.conformed_constraints[
+            "Bookseller.Proceedings.oc1"
+        ]
+        assert oc1.formula == parse_expression("publisher = 'IEEE' implies ref? = true")
+
+
+class TestPersonnelConformation:
+    def test_identity_conformation(self):
+        spec = personnel_integration_spec()
+        db1, db2, _ = personnel_stores()
+        result = conform(spec, db1, db2)
+        oc1 = result.local.conformed_constraints["PersonnelDB1.Employee.oc1"]
+        assert oc1.formula == parse_expression("trav_reimb in {10, 20}")
+        oc1_remote = result.remote.conformed_constraints["PersonnelDB2.Employee.oc1"]
+        assert oc1_remote.formula == parse_expression("trav_reimb in {14, 24}")
+
+    def test_instances_pass_through(self):
+        spec = personnel_integration_spec()
+        db1, db2, _ = personnel_stores()
+        result = conform(spec, db1, db2)
+        assert len(result.local.instances) == 2
+        assert len(result.remote.instances) == 2

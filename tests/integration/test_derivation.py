@@ -1,0 +1,328 @@
+"""Tests for global-constraint derivation (Section 5.2) — the paper's
+central results."""
+
+import pytest
+
+from repro.constraints import Solver, parse_expression, to_source
+from repro.fixtures import (
+    library_integration_spec,
+    personnel_integration_spec,
+)
+from repro.integration import ComparisonRule, PropertyEquivalence, Average, Maximum
+from repro.integration.conformation import conform
+from repro.integration.derivation import ConstraintDeriver
+from repro.integration.relationships import Side
+from repro.integration.rule_checks import check_rules
+from repro.integration.subjectivity import analyse_subjectivity
+
+
+def derive(spec):
+    conformation = conform(spec)
+    analysis = analyse_subjectivity(spec)
+    rule_checks = check_rules(spec, conformation)
+    deriver = ConstraintDeriver(spec, conformation, analysis, rule_checks)
+    return deriver.run()
+
+
+@pytest.fixture(scope="module")
+def personnel_result():
+    return derive(personnel_integration_spec())
+
+
+@pytest.fixture(scope="module")
+def library_result():
+    return derive(library_integration_spec())
+
+
+class TestIntroExample:
+    """The paper's introduction example, end to end."""
+
+    def test_trav_reimb_derivation(self, personnel_result):
+        """'we can derive a global constraint (1) trav-reimb ∈ {12,17,22};
+        the apparent conflict has been solved by the way the global values
+        are defined.'"""
+        scope = "PersonnelDB1.Employee ⋈ PersonnelDB2.Employee"
+        formulas = personnel_result.formulas_for_scope(scope)
+        assert parse_expression("trav_reimb in {12, 17, 22}") in formulas
+
+    def test_salary_rule_not_propagated(self, personnel_result):
+        """'constraint (2) of DB1 is not necessarily a valid constraint for
+        DBint' — declared subjective, so it must not appear globally."""
+        scope = "PersonnelDB1.Employee ⋈ PersonnelDB2.Employee"
+        formulas = personnel_result.formulas_for_scope(scope)
+        assert parse_expression("salary < 1500") not in formulas
+        assert any("oc2" in note and "declaration" in note for note in personnel_result.notes)
+
+    def test_no_explicit_conflict(self, personnel_result):
+        """The apparent {10,20} vs {14,24} conflict dissolves: both are
+        subjective, so neither enters the objective union."""
+        assert personnel_result.explicit_conflicts == []
+
+    def test_ssn_constraints_union(self, personnel_result):
+        # key constraints are class constraints — not part of object-level
+        # integration; no objective object constraints exist here at all.
+        scope = "PersonnelDB1.Employee ⋈ PersonnelDB2.Employee"
+        objective = [
+            c
+            for c in personnel_result.for_scope(scope)
+            if c.origin == "objective-union"
+        ]
+        assert objective == []
+
+
+class TestACMExample:
+    """Section 5.2.1's object-equality derivation."""
+
+    def test_acm_rating_derivation(self, library_result):
+        """'The global object constraint publisher.name='ACM' implies
+        rating >= 5 can be derived.'
+
+        The paper pairs 'a local object O:ScientificPubl' carrying the
+        conformed constraint rating >= 4 with a remote Proceedings; in the
+        Figure 1 schema that constraint is RefereedPubl's oc1, so the
+        derivation surfaces on the RefereedPubl ⋈ Proceedings pair."""
+        scope = "CSLibrary.RefereedPubl ⋈ Bookseller.Proceedings"
+        formulas = library_result.formulas_for_scope(scope)
+        expected = parse_expression("publisher.name = 'ACM' implies rating >= 5")
+        assert expected in formulas, [to_source(f) for f in formulas]
+
+    def test_price_constraints_not_derived(self, library_result):
+        """'The conflict avoiding decision functions on shopprice and
+        libprice render both of these constraints subjective, and no global
+        object constraints can be derived from them.'"""
+        for scope_constraints in library_result.constraints:
+            if scope_constraints.origin != "derived":
+                continue
+            paths = to_source(scope_constraints.formula)
+            assert "libprice" not in paths
+            assert "shopprice" not in paths
+        assert any("condition (1)" in note for note in library_result.notes)
+
+    def test_objective_constraints_union(self, library_result):
+        """Objective constraints (e.g. Proceedings.oc1) enter the global set."""
+        scope = "CSLibrary.ScientificPubl ⋈ Bookseller.Proceedings"
+        union = [
+            c
+            for c in library_result.for_scope(scope)
+            if c.origin == "objective-union"
+        ]
+        formulas = [c.formula for c in union]
+        assert parse_expression(
+            "publisher.name = 'IEEE' implies ref? = true"
+        ) in formulas
+
+    def test_implicit_conflict_risk_on_publisher(self, library_result):
+        """oc2 (name in KNOWNPUBLISHERS) is objective over the
+        conflict-ignored publisher name; the bookseller has no equivalent
+        constraint → implicit conflict risk (Section 5.2.1)."""
+        assert any(
+            "oc2" in risk.constraint_name
+            for risk in library_result.implicit_risks
+        )
+
+    def test_derivations_are_sound_for_merged_state(self, library_result):
+        """Every derived constraint on the ScientificPubl⋈Proceedings scope
+        admits the actual merged VLDB'95 state (rating 8, ACM)."""
+        from repro.constraints.evaluate import EvalContext, evaluate
+
+        scope = "CSLibrary.ScientificPubl ⋈ Bookseller.Proceedings"
+        state = {
+            "rating": 8,
+            "ref?": True,
+            "publisher": {"name": "ACM"},
+            "libprice": 90.0,
+            "shopprice": 99.0,
+        }
+        for constraint in library_result.for_scope(scope):
+            if constraint.origin != "derived":
+                continue
+            assert evaluate(
+                constraint.formula, EvalContext(current=state)
+            ), to_source(constraint.formula)
+
+
+class TestStrictSimilarity:
+    def test_refereed_rule_is_consistent(self, library_result):
+        """Section 5.2.1: rating >= 7 (derived) entails the conformed
+        rating >= 4 — O' is a valid RefereedPubl."""
+        conflicts = [
+            c
+            for c in library_result.similarity_conflicts
+            if c.rule.target_class == "RefereedPubl"
+        ]
+        assert conflicts == []
+        assert any(
+            "Ω' ⊨ Ω" in note or "valid RefereedPubl" in note
+            for note in library_result.notes
+        )
+
+    def test_weakened_oc2_creates_conflict(self):
+        """The paper's counterfactual: if oc2 were ref?=true implies
+        rating >= 3, the derived constraint no longer entails rating >= 4
+        and the comparison rule must be changed."""
+        spec = library_integration_spec()
+        proceedings = spec.remote_schema.class_named("Proceedings")
+        oc2 = next(c for c in proceedings.constraints if c.name == "oc2")
+        weakened = oc2.with_formula(
+            parse_expression("ref? = true implies rating >= 3")
+        )
+        proceedings.constraints[proceedings.constraints.index(oc2)] = weakened
+        result = derive(spec)
+        conflicts = [
+            c
+            for c in result.similarity_conflicts
+            if c.rule.target_class == "RefereedPubl"
+        ]
+        assert len(conflicts) == 1
+        unmet = {to_source(c.formula) for c in conflicts[0].unmet}
+        assert "rating >= 4" in unmet
+
+    def test_nonrefereed_rule_conflicts(self, library_result):
+        """Sim(Proceedings, NonRefereedPubl) <- ref?=false does not bound the
+        rating: NonRefereedPubl's conformed oc1 (rating <= 6) is not
+        entailed — a conflict the workbench should repair."""
+        conflicts = [
+            c
+            for c in library_result.similarity_conflicts
+            if c.rule.target_class == "NonRefereedPubl"
+        ]
+        assert len(conflicts) == 1
+        unmet = {to_source(c.formula) for c in conflicts[0].unmet}
+        assert "rating <= 6" in unmet
+
+    def test_declared_subjective_target_constraints_ignored(self):
+        """Marking NonRefereedPubl.oc1 subjective removes the conflict."""
+        spec = library_integration_spec()
+        spec.declare_subjective("CSLibrary.NonRefereedPubl.oc1")
+        result = derive(spec)
+        conflicts = [
+            c
+            for c in result.similarity_conflicts
+            if c.rule.target_class == "NonRefereedPubl"
+        ]
+        assert conflicts == []
+
+
+class TestApproximateSimilarity:
+    def test_cv_receives_disjunction(self):
+        spec = library_integration_spec()
+        spec.add_rule(
+            ComparisonRule.approximate_similarity(
+                "Monograph", "ProfessionalPubl", "TradeBook"
+            )
+        )
+        result = derive(spec)
+        cv = result.for_scope("TradeBook")
+        assert len(cv) == 1
+        assert cv[0].origin == "cv-disjunction"
+
+    def test_fragmentation_detection(self):
+        """Disjoint membership conditions flag horizontal fragmentation."""
+        spec = personnel_integration_spec()
+        local = spec.local_schema.class_named("Employee")
+        remote = spec.remote_schema.class_named("Employee")
+        from repro.constraints.model import Constraint, ConstraintKind
+
+        local.add_constraint(
+            Constraint(
+                "oc9",
+                ConstraintKind.OBJECT,
+                parse_expression("salary < 1000"),
+                database="PersonnelDB1",
+            )
+        )
+        remote.add_constraint(
+            Constraint(
+                "oc9",
+                ConstraintKind.OBJECT,
+                parse_expression("salary >= 1000"),
+                database="PersonnelDB2",
+            )
+        )
+        spec.add_rule(
+            ComparisonRule.approximate_similarity(
+                "Employee", "Employee", "AnyStaff"
+            )
+        )
+        result = derive(spec)
+        assert any("AnyStaff" in f for f in result.fragmentations)
+
+
+class TestExplicitConflict:
+    def test_objective_union_conflict_detected(self):
+        """Two objective constraints that cannot hold together."""
+        spec = personnel_integration_spec()
+        from repro.constraints.model import Constraint, ConstraintKind
+
+        spec.local_schema.class_named("Employee").add_constraint(
+            Constraint(
+                "oc8",
+                ConstraintKind.OBJECT,
+                parse_expression("ssn = 'FIXED'"),
+                database="PersonnelDB1",
+            )
+        )
+        spec.remote_schema.class_named("Employee").add_constraint(
+            Constraint(
+                "oc8",
+                ConstraintKind.OBJECT,
+                parse_expression("ssn != 'FIXED'"),
+                database="PersonnelDB2",
+            )
+        )
+        result = derive(spec)
+        assert len(result.explicit_conflicts) == 1
+        names = result.explicit_conflicts[0].constraint_names
+        assert "PersonnelDB1.Employee.oc8" in names
+        assert "PersonnelDB2.Employee.oc8" in names
+
+
+class TestSettlingFunctions:
+    def test_settling_requires_matching_remote_constraint(self):
+        """Condition (2): with max as df, a one-sided constraint does not
+        derive."""
+        spec = personnel_integration_spec()
+        spec.propeqs[1] = PropertyEquivalence(
+            "Employee", "trav_reimb", "Employee", "trav_reimb", df=Maximum()
+        )
+        # Remove the remote constraint so only DB1 constrains trav_reimb.
+        remote = spec.remote_schema.class_named("Employee")
+        remote.constraints[:] = [c for c in remote.constraints if c.name != "oc1"]
+        result = derive(spec)
+        scope = "PersonnelDB1.Employee ⋈ PersonnelDB2.Employee"
+        derived = [
+            c for c in result.for_scope(scope) if c.origin == "derived"
+        ]
+        assert derived == []
+        assert any("condition (2)" in note for note in result.notes)
+
+    def test_settling_with_matching_constraints_derives(self):
+        """max over {10,20} and {14,24} gives {14, 20, 24}."""
+        spec = personnel_integration_spec()
+        spec.propeqs[1] = PropertyEquivalence(
+            "Employee", "trav_reimb", "Employee", "trav_reimb", df=Maximum()
+        )
+        result = derive(spec)
+        scope = "PersonnelDB1.Employee ⋈ PersonnelDB2.Employee"
+        formulas = result.formulas_for_scope(scope)
+        assert parse_expression("trav_reimb in {14, 20, 24}") in formulas
+
+
+class TestIdenticalPairDerivation:
+    def test_price_invariant_derives_under_avg(self):
+        """Had the example used avg for both prices, the identical
+        libprice <= shopprice constraints WOULD derive globally (monotone
+        combinator) — contrast with the paper's trust case."""
+        spec = library_integration_spec()
+        spec.propeqs[0] = PropertyEquivalence(
+            "Publication", "ourprice", "Item", "libprice",
+            df=Average(),
+            conformed_name="libprice",
+        )
+        spec.propeqs[1] = PropertyEquivalence(
+            "Publication", "shopprice", "Item", "shopprice", df=Average()
+        )
+        result = derive(spec)
+        scope = "CSLibrary.Publication ⋈ Bookseller.Item"
+        formulas = result.formulas_for_scope(scope)
+        assert parse_expression("libprice <= shopprice") in formulas

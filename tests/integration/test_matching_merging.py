@@ -1,0 +1,263 @@
+"""Tests for rule matching, object merging and the derived hierarchy —
+the Figure 2 process of the paper."""
+
+import pytest
+
+from repro.fixtures import (
+    bookseller_store,
+    cslibrary_store,
+    library_integration_spec,
+    personnel_integration_spec,
+    personnel_stores,
+)
+from repro.integration.conformation import conform
+from repro.integration.hierarchy import derive_hierarchy
+from repro.integration.matching import match_instances
+from repro.integration.merging import merge_instances
+from repro.integration.relationships import Side
+
+
+@pytest.fixture(scope="module")
+def library_setup():
+    spec = library_integration_spec()
+    local_store, local_named = cslibrary_store()
+    remote_store, remote_named = bookseller_store()
+    match = match_instances(spec, local_store, remote_store)
+    conformation = conform(spec, local_store, remote_store)
+    view = merge_instances(spec, conformation, match)
+    hierarchy = derive_hierarchy(view, conformation)
+    return {
+        "spec": spec,
+        "match": match,
+        "conformation": conformation,
+        "view": view,
+        "hierarchy": hierarchy,
+        "local_named": local_named,
+        "remote_named": remote_named,
+    }
+
+
+class TestMatching:
+    def test_equality_matches_on_isbn(self, library_setup):
+        match = library_setup["match"]
+        pairs = {
+            (m.local.state["isbn"], m.remote.state["isbn"]) for m in match.equalities
+        }
+        assert pairs == {("ISBN-001", "ISBN-001"), ("ISBN-002", "ISBN-002")}
+
+    def test_refereed_similarity(self, library_setup):
+        match = library_setup["match"]
+        refereed = {
+            m.source.state["isbn"]
+            for m in match.similarities
+            if m.target_class == "RefereedPubl"
+        }
+        assert refereed == {"ISBN-001", "ISBN-006"}
+
+    def test_nonrefereed_similarity(self, library_setup):
+        match = library_setup["match"]
+        nonrefereed = {
+            m.source.state["isbn"]
+            for m in match.similarities
+            if m.target_class == "NonRefereedPubl"
+        }
+        assert nonrefereed == {"ISBN-007"}
+
+    def test_local_to_remote_similarity(self, library_setup):
+        """Sim(O:ScientificPubl, Proceedings) <- contains(O.title, 'Proceed')."""
+        match = library_setup["match"]
+        proceedings = {
+            m.source.state["isbn"]
+            for m in match.similarities
+            if m.target_class == "Proceedings" and m.source_side is Side.LOCAL
+        }
+        assert proceedings == {"ISBN-001", "ISBN-003"}
+
+
+class TestMerging:
+    def test_equal_objects_merged(self, library_setup):
+        view = library_setup["view"]
+        merged = view.merged_objects()
+        merged_isbns = {
+            obj.state["isbn"]
+            for obj in merged
+            if "isbn" in obj.state
+        }
+        assert {"ISBN-001", "ISBN-002"} <= merged_isbns
+
+    def test_publishers_merged_via_descriptivity(self, library_setup):
+        """VirtPublisher('ACM') merges with the bookseller's Publisher."""
+        view = library_setup["view"]
+        merged_names = {
+            obj.state.get("name")
+            for obj in view.merged_objects()
+            if "name" in obj.state
+        }
+        assert merged_names == {"ACM", "IEEE", "Springer"}
+
+    def test_trust_decision_functions_pick_values(self, library_setup):
+        """Global libprice comes from CSLibrary, shopprice from Bookseller."""
+        view = library_setup["view"]
+        vldb = next(
+            obj for obj in view.merged_objects() if obj.state.get("isbn") == "ISBN-001"
+        )
+        assert vldb.state["libprice"] == 90.0  # trust(CSLibrary): local 90
+        assert vldb.state["shopprice"] == 99.0  # trust(Bookseller): remote 99
+
+    def test_avg_rating_on_common_scale(self, library_setup):
+        """Library rating 4 (→8 conformed) and bookseller 8 average to 8."""
+        view = library_setup["view"]
+        vldb = next(
+            obj for obj in view.merged_objects() if obj.state.get("isbn") == "ISBN-001"
+        )
+        assert vldb.state["rating"] == 8
+
+    def test_union_merges_editor_sets(self, library_setup):
+        view = library_setup["view"]
+        tp = next(
+            obj for obj in view.merged_objects() if obj.state.get("isbn") == "ISBN-002"
+        )
+        assert tp.state["editors"] == frozenset({"Gray", "Reuter"})
+
+    def test_merged_references_not_flagged_as_differences(self, library_setup):
+        view = library_setup["view"]
+        vldb = next(
+            obj for obj in view.merged_objects() if obj.state.get("isbn") == "ISBN-001"
+        )
+        assert "publisher" not in vldb.value_differences
+
+    def test_value_differences_recorded(self, library_setup):
+        view = library_setup["view"]
+        vldb = next(
+            obj for obj in view.merged_objects() if obj.state.get("isbn") == "ISBN-001"
+        )
+        # Prices disagreed (90 vs 92, 95 vs 99).
+        assert "libprice" in vldb.value_differences
+        assert vldb.value_differences["libprice"] == (90.0, 92.0)
+
+    def test_singleton_objects_survive(self, library_setup):
+        view = library_setup["view"]
+        isbns = {
+            obj.state["isbn"] for obj in view.objects() if "isbn" in obj.state
+        }
+        assert {"ISBN-003", "ISBN-004", "ISBN-005", "ISBN-006", "ISBN-007", "ISBN-008"} <= isbns
+
+    def test_references_remapped_to_global_oids(self, library_setup):
+        view = library_setup["view"]
+        vldb = next(
+            obj for obj in view.merged_objects() if obj.state.get("isbn") == "ISBN-001"
+        )
+        publisher = view.get(vldb.state["publisher"])
+        assert publisher.state["name"] == "ACM"
+
+
+class TestClassification:
+    def test_merged_object_classified_on_both_sides(self, library_setup):
+        view = library_setup["view"]
+        vldb = next(
+            obj for obj in view.merged_objects() if obj.state.get("isbn") == "ISBN-001"
+        )
+        assert "CSLibrary.RefereedPubl" in vldb.classes
+        assert "CSLibrary.Publication" in vldb.classes  # ancestor
+        assert "Bookseller.Proceedings" in vldb.classes
+        assert "Bookseller.Item" in vldb.classes  # ancestor
+
+    def test_similarity_classifies_remote_into_local_class(self, library_setup):
+        view = library_setup["view"]
+        icde = next(
+            obj for obj in view.objects() if obj.state.get("isbn") == "ISBN-006"
+        )
+        assert "CSLibrary.RefereedPubl" in icde.classes
+        assert "CSLibrary.ScientificPubl" in icde.classes  # ancestor closure
+
+    def test_local_object_classified_into_remote_class(self, library_setup):
+        view = library_setup["view"]
+        dutch = next(
+            obj for obj in view.objects() if obj.state.get("isbn") == "ISBN-003"
+        )
+        assert "Bookseller.Proceedings" in dutch.classes
+        assert "Bookseller.Item" in dutch.classes
+
+    def test_untouched_objects_stay_local(self, library_setup):
+        view = library_setup["view"]
+        newsletter = next(
+            obj for obj in view.objects() if obj.state.get("isbn") == "ISBN-005"
+        )
+        assert newsletter.classes == {"CSLibrary.Publication"}
+
+    def test_global_extents(self, library_setup):
+        view = library_setup["view"]
+        refereed = view.extent("CSLibrary.RefereedPubl")
+        isbns = {obj.state["isbn"] for obj in refereed}
+        assert isbns == {"ISBN-001", "ISBN-002", "ISBN-006"}
+
+
+class TestDerivedHierarchy:
+    def test_refereed_proceedings_virtual_class(self, library_setup):
+        """Figure 2 / Section 2.3: the partial overlap of Proceedings and
+        RefereedPubl yields the virtual subclass RefereedProceedings."""
+        hierarchy = library_setup["hierarchy"]
+        view = library_setup["view"]
+        assert "RefereedProceedings" in hierarchy.virtual_classes
+        members = {
+            obj.state["isbn"] for obj in view.extent("RefereedProceedings")
+        }
+        assert members == {"ISBN-001", "ISBN-006"}
+
+    def test_virtual_class_is_subclass_of_both(self, library_setup):
+        hierarchy = library_setup["hierarchy"]
+        assert hierarchy.is_subclass("RefereedProceedings", "CSLibrary.RefereedPubl")
+        assert hierarchy.is_subclass("RefereedProceedings", "Bookseller.Proceedings")
+
+    def test_publisher_subclass_derived_from_extents(self, library_setup):
+        """Every bookseller Publisher merged into a VirtPublisher, but not
+        vice versa: Publisher isa VirtPublisher is derived."""
+        hierarchy = library_setup["hierarchy"]
+        assert (
+            "Bookseller.Publisher",
+            "CSLibrary.VirtPublisher",
+        ) in hierarchy.derived_edges
+
+    def test_declared_isa_edges_present(self, library_setup):
+        hierarchy = library_setup["hierarchy"]
+        assert hierarchy.is_subclass(
+            "CSLibrary.RefereedPubl", "CSLibrary.Publication"
+        )
+        assert hierarchy.is_subclass("Bookseller.Proceedings", "Bookseller.Item")
+
+
+class TestPersonnelMerging:
+    @pytest.fixture()
+    def personnel_view(self):
+        spec = personnel_integration_spec()
+        db1, db2, named = personnel_stores()
+        match = match_instances(spec, db1, db2)
+        conformation = conform(spec, db1, db2)
+        view = merge_instances(spec, conformation, match)
+        return view
+
+    def test_shared_employee_merged(self, personnel_view):
+        merged = personnel_view.merged_objects()
+        assert len(merged) == 1
+        assert merged[0].state["ssn"] == "100-20"
+
+    def test_intro_example_avg_reimbursement(self, personnel_view):
+        """The paper's policy: avg(20, 14) = 17 for the shared employee."""
+        bob = personnel_view.merged_objects()[0]
+        assert bob.state["trav_reimb"] == 17
+
+    def test_salary_trusts_db1(self, personnel_view):
+        bob = personnel_view.merged_objects()[0]
+        assert bob.state["salary"] == 1400.0
+
+    def test_local_only_employees_keep_values(self, personnel_view):
+        alice = next(
+            obj for obj in personnel_view.objects() if obj.state["ssn"] == "100-10"
+        )
+        assert alice.state["trav_reimb"] == 10
+        assert alice.classes == {"PersonnelDB1.Employee"}
+
+    def test_extent_counts(self, personnel_view):
+        assert len(personnel_view.extent("PersonnelDB1.Employee")) == 2
+        assert len(personnel_view.extent("PersonnelDB2.Employee")) == 2
+        assert len(list(personnel_view.objects())) == 3

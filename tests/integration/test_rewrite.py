@@ -1,0 +1,131 @@
+"""Direct tests for the AST rewriting utilities behind conformation."""
+
+import pytest
+
+from repro.constraints import parse_expression, to_source
+from repro.errors import ConformationError
+from repro.integration._rewrite import (
+    convert_domains,
+    map_paths,
+    rename_attributes,
+)
+from repro.integration.conversion import LinearConversion, MappingConversion
+
+
+class TestRenameAttributes:
+    def test_renames_first_segment_only(self):
+        formula = parse_expression("ourprice <= shopprice")
+        renamed = rename_attributes(formula, {"ourprice": "libprice"})
+        assert renamed == parse_expression("libprice <= shopprice")
+
+    def test_dotted_paths_keep_tail(self):
+        formula = parse_expression("publisher.name = 'ACM'")
+        renamed = rename_attributes(formula, {"publisher": "vendor"})
+        assert renamed == parse_expression("vendor.name = 'ACM'")
+
+    def test_key_constraints_renamed(self):
+        formula = parse_expression("key isbn")
+        renamed = rename_attributes(formula, {"isbn": "code"})
+        assert to_source(renamed) == "key code"
+
+    def test_aggregate_over_renamed(self):
+        formula = parse_expression(
+            "(sum (collect x for x in self) over ourprice) < MAX"
+        )
+        renamed = rename_attributes(formula, {"ourprice": "libprice"})
+        assert "over libprice" in to_source(renamed)
+
+    def test_connectives_traversed(self):
+        formula = parse_expression("a = 1 and (b = 2 or not c.d = 3)")
+        renamed = rename_attributes(formula, {"a": "x", "c": "y"})
+        assert renamed == parse_expression("x = 1 and (b = 2 or not y.d = 3)")
+
+    def test_quantified_bodies_traversed(self):
+        formula = parse_expression("forall p in Publisher | p.name = q")
+        renamed = rename_attributes(formula, {"q": "r"})
+        assert renamed == parse_expression("forall p in Publisher | p.name = r")
+
+
+class TestConvertDomains:
+    def test_comparison_constant_converted(self):
+        formula = parse_expression("rating >= 2")
+        converted = convert_domains(formula, {"rating": LinearConversion(2)})
+        assert converted == parse_expression("rating >= 4")
+
+    def test_negative_factor_flips_operator(self):
+        formula = parse_expression("score <= 3")
+        converted = convert_domains(formula, {"score": LinearConversion(-1)})
+        assert converted == parse_expression("score >= -3")
+
+    def test_membership_values_converted(self):
+        formula = parse_expression("rating in {1, 2}")
+        converted = convert_domains(formula, {"rating": LinearConversion(2)})
+        assert converted == parse_expression("rating in {2, 4}")
+
+    def test_constant_on_left_mirrored(self):
+        formula = parse_expression("2 <= rating")
+        converted = convert_domains(formula, {"rating": LinearConversion(2)})
+        assert converted == parse_expression("rating >= 4")
+
+    def test_equality_both_sides_converted_same(self):
+        formula = parse_expression("rating = other")
+        converted = convert_domains(
+            formula,
+            {"rating": LinearConversion(2), "other": LinearConversion(2)},
+        )
+        assert converted == formula  # same conversion: relation preserved
+
+    def test_differently_converted_sides_rejected(self):
+        formula = parse_expression("rating = other")
+        with pytest.raises(ConformationError):
+            convert_domains(
+                formula,
+                {"rating": LinearConversion(2), "other": LinearConversion(3)},
+            )
+
+    def test_dotted_converted_path_rejected(self):
+        formula = parse_expression("rating.sub = 1")
+        with pytest.raises(ConformationError):
+            convert_domains(formula, {"rating": LinearConversion(2)})
+
+    def test_membership_in_named_constant_rejected(self):
+        formula = parse_expression("rating in RATINGS")
+        with pytest.raises(ConformationError):
+            convert_domains(formula, {"rating": LinearConversion(2)})
+
+    def test_mapping_conversion_of_equality(self):
+        formula = parse_expression("grade = 'A'")
+        converted = convert_domains(
+            formula, {"grade": MappingConversion({"A": 1, "B": 2})}
+        )
+        assert converted == parse_expression("grade = 1")
+
+    def test_mapping_rejects_order(self):
+        formula = parse_expression("grade < 'B'")
+        with pytest.raises(ConformationError):
+            convert_domains(formula, {"grade": MappingConversion({"A": 1, "B": 2})})
+
+    def test_implication_sides_converted(self):
+        formula = parse_expression("ref? = true implies rating >= 7")
+        converted = convert_domains(formula, {"rating": LinearConversion(2)})
+        assert converted == parse_expression("ref? = true implies rating >= 14")
+
+
+class TestMapPaths:
+    def test_identity(self):
+        formula = parse_expression("a.b = 1 and contains(c, 'x')")
+        assert map_paths(formula, lambda p: p) == formula
+
+    def test_prefixing(self):
+        from repro.constraints.ast import Path
+
+        formula = parse_expression("rating >= 4")
+        prefixed = map_paths(formula, lambda p: p.with_root("O'"))
+        assert prefixed == parse_expression("O'.rating >= 4")
+
+    def test_function_arguments_mapped(self):
+        from repro.constraints.ast import Path
+
+        formula = parse_expression("contains(title, 'Proceed')")
+        mapped = map_paths(formula, lambda p: p.with_root("O"))
+        assert mapped == parse_expression("contains(O.title, 'Proceed')")

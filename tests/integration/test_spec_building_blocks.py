@@ -1,0 +1,320 @@
+"""Tests for rules, conversion/decision functions, propeq and the spec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.constraints import parse_expression
+from repro.errors import ConformationError, SpecificationError
+from repro.fixtures import (
+    bookseller_schema,
+    cslibrary_schema,
+    library_integration_spec,
+    personnel_integration_spec,
+)
+from repro.integration import (
+    AnyChoice,
+    Average,
+    ComparisonRule,
+    DecisionCategory,
+    IdentityConversion,
+    LinearConversion,
+    MappingConversion,
+    Maximum,
+    Minimum,
+    PropertyEquivalence,
+    RelationshipKind,
+    Trust,
+    Union,
+)
+from repro.integration.relationships import Side
+from repro.integration.rules import rebase_condition
+from repro.types import INT, REAL, EnumType, RangeType
+
+
+class TestComparisonRules:
+    def test_equality_rule(self):
+        rule = ComparisonRule.equality("Publication", "Item", "O.isbn = O'.isbn")
+        assert rule.kind is RelationshipKind.EQUALITY
+        assert rule.describe() == "Eq(O:Publication, O':Item) <- O.isbn = O'.isbn"
+
+    def test_interobject_vs_intraobject_split(self):
+        rule = ComparisonRule.equality(
+            "Publication", "Item", "O.isbn = O'.isbn and O'.ref? = true and O.rating >= 2"
+        )
+        inter = rule.interobject_conditions()
+        assert inter == [parse_expression("O.isbn = O'.isbn")]
+        assert rule.intraobject_conditions(Side.REMOTE) == [
+            parse_expression("O'.ref? = true")
+        ]
+        assert rule.intraobject_conditions(Side.LOCAL) == [
+            parse_expression("O.rating >= 2")
+        ]
+
+    def test_similarity_rule_paper_form(self):
+        rule = ComparisonRule.similarity(
+            "Proceedings", "RefereedPubl", "O'.ref? = true"
+        )
+        assert rule.source_side is Side.REMOTE
+        assert rule.intraobject_conditions(Side.REMOTE) == [
+            parse_expression("O'.ref? = true")
+        ]
+
+    def test_rebase_condition(self):
+        condition = parse_expression("O'.ref? = true")
+        assert rebase_condition(condition, Side.REMOTE) == parse_expression(
+            "ref? = true"
+        )
+
+    def test_strengthened(self):
+        rule = ComparisonRule.similarity("Proceedings", "RefereedPubl", "O'.ref? = true")
+        repaired = rule.strengthened(parse_expression("O'.rating >= 4"))
+        assert repaired.condition == parse_expression(
+            "O'.ref? = true and O'.rating >= 4"
+        )
+        # The original is untouched (rules are repaired by copy).
+        assert rule.condition == parse_expression("O'.ref? = true")
+
+    def test_classes_on_sides(self):
+        eq = ComparisonRule.equality("Publication", "Item", "O.isbn = O'.isbn")
+        assert eq.classes_on(Side.LOCAL) == {"Publication"}
+        assert eq.classes_on(Side.REMOTE) == {"Item"}
+        sim = ComparisonRule.similarity("Proceedings", "RefereedPubl", "O'.ref? = true")
+        assert sim.classes_on(Side.REMOTE) == {"Proceedings"}
+        assert sim.classes_on(Side.LOCAL) == {"RefereedPubl"}
+
+
+class TestConversionFunctions:
+    def test_identity(self):
+        cf = IdentityConversion()
+        assert cf.apply(5) == 5
+        assert cf.is_identity
+        assert cf.convert_type(INT) == INT
+
+    def test_multiply_two_paper_conversion(self):
+        cf = LinearConversion(2)
+        assert cf.apply(2) == 4
+        assert cf.convert_constant(2, ">=") == (4, ">=")
+        assert cf.name == "multiply(2)"
+
+    def test_linear_type_conversion_range_to_enum(self):
+        cf = LinearConversion(2)
+        converted = cf.convert_type(RangeType(1, 5))
+        assert converted == EnumType(frozenset({2, 4, 6, 8, 10}))
+
+    def test_negative_factor_flips_comparisons(self):
+        cf = LinearConversion(-1)
+        assert cf.convert_constant(3, "<=") == (-3, ">=")
+
+    def test_zero_factor_rejected(self):
+        with pytest.raises(ConformationError):
+            LinearConversion(0)
+
+    def test_fractional_factor_realises_type(self):
+        assert LinearConversion(0.5).convert_type(INT) == REAL
+
+    def test_mapping_conversion(self):
+        cf = MappingConversion({"A": 1, "B": 2})
+        assert cf.apply("A") == 1
+        assert cf.convert_type(EnumType(frozenset({"A", "B"}))) == EnumType(
+            frozenset({1, 2})
+        )
+
+    def test_mapping_rejects_order_comparison(self):
+        cf = MappingConversion({"A": 1})
+        with pytest.raises(ConformationError):
+            cf.convert_constant("A", "<")
+
+    def test_mapping_must_be_injective(self):
+        with pytest.raises(ConformationError):
+            MappingConversion({"A": 1, "B": 1})
+
+    def test_mapping_missing_entry(self):
+        with pytest.raises(ConformationError):
+            MappingConversion({"A": 1}).apply("Z")
+
+    @given(st.integers(-100, 100))
+    def test_linear_identity_composition(self, value):
+        cf = LinearConversion(2, 3)
+        assert cf.apply(value) == 2 * value + 3
+
+
+class TestDecisionFunctions:
+    def test_categories(self):
+        assert AnyChoice().category is DecisionCategory.IGNORING
+        assert Trust(Side.LOCAL).category is DecisionCategory.AVOIDING
+        assert Maximum().category is DecisionCategory.SETTLING
+        assert Average().category is DecisionCategory.ELIMINATING
+        assert Union().category is DecisionCategory.ELIMINATING
+
+    def test_objective_sides_per_taxonomy(self):
+        """Section 5.1.2's property-subjectivity table."""
+        assert AnyChoice().objective_sides() == {Side.LOCAL, Side.REMOTE}
+        assert Trust(Side.LOCAL).objective_sides() == {Side.LOCAL}
+        assert Trust(Side.REMOTE).objective_sides() == {Side.REMOTE}
+        assert Maximum().objective_sides() == frozenset()
+        assert Average().objective_sides() == frozenset()
+
+    def test_apply_semantics(self):
+        assert Trust(Side.LOCAL).apply(26, 22) == 26
+        assert Trust(Side.REMOTE).apply(29, 25) == 25
+        assert Maximum().apply(3, 7) == 7
+        assert Minimum().apply(3, 7) == 3
+        assert Average().apply(20, 14) == 17
+        assert Union().apply({"a"}, {"b"}) == {"a", "b"}
+        assert AnyChoice().apply(1, 2) == 1
+        assert AnyChoice(Side.REMOTE).apply(1, 2) == 2
+
+    @given(st.integers(-50, 50))
+    def test_df_idempotence_requirement(self, value):
+        """The paper requires df(a, a) = a for every decision function."""
+        for df in (AnyChoice(), Trust(Side.LOCAL), Maximum(), Minimum(), Average()):
+            assert df.apply(value, value) == value
+
+    def test_union_idempotent_on_sets(self):
+        assert Union().apply(frozenset({"x"}), frozenset({"x"})) == frozenset({"x"})
+
+    def test_check_idempotent_catches_bad_df(self):
+        class Bad(Average):
+            name = "bad"
+
+            def apply(self, local, remote):
+                return local + remote
+
+        with pytest.raises(SpecificationError):
+            Bad().check_idempotent([1])
+
+    def test_combinators(self):
+        assert Average().combinator == "avg"
+        assert Maximum().combinator == "max"
+        assert Trust(Side.LOCAL).combinator == "first"
+        assert AnyChoice().combinator is None
+
+
+class TestPropertyEquivalence:
+    def test_defaults(self):
+        propeq = PropertyEquivalence("A", "p", "B", "q", df=Average())
+        assert propeq.conformed_name == "p"
+        assert propeq.cf_on(Side.LOCAL).is_identity
+
+    def test_requires_df(self):
+        with pytest.raises(SpecificationError):
+            PropertyEquivalence("A", "p", "B", "q")
+
+    def test_describe_paper_form(self):
+        propeq = PropertyEquivalence(
+            "ScientificPubl", "rating", "Proceedings", "rating",
+            local_cf=LinearConversion(2),
+            df=Average(),
+        )
+        assert propeq.describe() == (
+            "propeq(ScientificPubl.rating, Proceedings.rating, "
+            "multiply(2), id, avg)"
+        )
+
+
+class TestSpecificationValidation:
+    def test_paper_spec_is_valid(self):
+        assert library_integration_spec().validate() == []
+
+    def test_personnel_spec_is_valid(self):
+        assert personnel_integration_spec().validate() == []
+
+    def test_unknown_rule_class(self):
+        spec = library_integration_spec()
+        spec.add_rule(ComparisonRule.equality("Ghost", "Item", "O.x = O'.x"))
+        issues = spec.validate()
+        assert any("unknown local class 'Ghost'" in i.message for i in issues)
+
+    def test_unknown_similarity_target(self):
+        spec = library_integration_spec()
+        spec.add_rule(ComparisonRule.similarity("Proceedings", "Ghost"))
+        issues = spec.validate()
+        assert any("unknown target class 'Ghost'" in i.message for i in issues)
+
+    def test_unknown_propeq_property(self):
+        spec = library_integration_spec()
+        spec.add_propeq(
+            PropertyEquivalence("Publication", "ghost", "Item", "title", df=AnyChoice())
+        )
+        issues = spec.validate()
+        assert any("no property 'ghost'" in i.message for i in issues)
+
+    def test_conformed_name_collision(self):
+        spec = library_integration_spec()
+        spec.add_propeq(
+            PropertyEquivalence(
+                "Publication", "title", "Item", "shopprice",
+                df=AnyChoice(),
+                conformed_name="libprice",  # clashes with ourprice's rename
+            )
+        )
+        issues = spec.validate()
+        assert any("already used" in i.message for i in issues)
+
+    def test_bad_df_reported(self):
+        class Bad(Average):
+            name = "bad"
+
+            def apply(self, local, remote):
+                return local + remote
+
+        spec = library_integration_spec()
+        spec.add_propeq(
+            PropertyEquivalence(
+                "ScientificPubl", "rating", "Proceedings", "rating", df=Bad()
+            )
+        )
+        issues = spec.validate()
+        assert any("df(a, a) = a" in i.message for i in issues)
+
+    def test_unknown_declaration(self):
+        spec = library_integration_spec()
+        spec.declare_subjective("CSLibrary.Publication.nothere")
+        issues = spec.validate()
+        assert any("unknown constraint" in i.message for i in issues)
+
+    def test_contradictory_declarations(self):
+        spec = library_integration_spec()
+        spec.declare_subjective("CSLibrary.RefereedPubl.oc1")
+        spec.declare_objective("CSLibrary.RefereedPubl.oc1")
+        issues = spec.validate()
+        assert any("both subjective and objective" in i.message for i in issues)
+
+    def test_raise_on_error(self):
+        spec = library_integration_spec()
+        spec.add_rule(ComparisonRule.equality("Ghost", "Item", "O.x = O'.x"))
+        with pytest.raises(SpecificationError):
+            spec.validate(raise_on_error=True)
+
+
+class TestAffectedClasses:
+    def test_affected_local_classes(self):
+        spec = library_integration_spec()
+        affected = spec.affected_classes(Side.LOCAL)
+        # Equality on Publication affects Publication; similarity adds remote
+        # objects into RefereedPubl / NonRefereedPubl and (transitively) their
+        # ancestors' deep extents.
+        assert "Publication" in affected
+        assert "RefereedPubl" in affected
+        assert "ScientificPubl" in affected
+        # ProfessionalPubl is untouched: objective extension.
+        assert "ProfessionalPubl" not in affected
+
+    def test_affected_remote_classes(self):
+        spec = library_integration_spec()
+        affected = spec.affected_classes(Side.REMOTE)
+        assert "Item" in affected
+        assert "Proceedings" in affected
+        assert "Monograph" not in affected
+        assert "Publisher" not in affected
+
+    def test_propeq_lookup_through_inheritance(self):
+        spec = library_integration_spec()
+        found = spec.propeq_for(Side.LOCAL, "RefereedPubl", "ourprice")
+        assert found is not None
+        assert found.conformed_name == "libprice"
+
+    def test_propeq_lookup_miss(self):
+        spec = library_integration_spec()
+        assert spec.propeq_for(Side.LOCAL, "Publication", "rating") is None

@@ -1,0 +1,195 @@
+"""Tests for the textual specification parser and the CLI."""
+
+import pytest
+
+from repro.constraints import parse_expression
+from repro.errors import ParseError
+from repro.fixtures import (
+    bookseller_schema,
+    bookseller_source,
+    cslibrary_schema,
+    cslibrary_source,
+    library_integration_spec,
+    personnel_db1_schema,
+    personnel_db2_schema,
+    personnel_integration_spec,
+)
+from repro.fixtures.spec_source import LIBRARY_SPEC_SOURCE, PERSONNEL_SPEC_SOURCE
+from repro.integration import DecisionCategory, IntegrationWorkbench, RelationshipKind
+from repro.integration.relationships import Side
+from repro.integration.spec_parser import parse_specification
+
+
+@pytest.fixture(scope="module")
+def parsed_library_spec():
+    return parse_specification(
+        LIBRARY_SPEC_SOURCE, cslibrary_schema(), bookseller_schema()
+    )
+
+
+class TestSpecParser:
+    def test_parses_all_rules(self, parsed_library_spec):
+        spec = parsed_library_spec
+        assert len(spec.equality_rules()) == 1
+        assert len(spec.descriptivity_rules()) == 1
+        assert len(spec.similarity_rules()) == 3
+
+    def test_equality_rule_matches_programmatic(self, parsed_library_spec):
+        parsed = parsed_library_spec.equality_rules()[0]
+        programmatic = library_integration_spec().equality_rules()[0]
+        assert parsed.local_class == programmatic.local_class
+        assert parsed.remote_class == programmatic.remote_class
+        assert parsed.condition == programmatic.condition
+
+    def test_descriptivity_rule(self, parsed_library_spec):
+        rule = parsed_library_spec.descriptivity_rules()[0]
+        assert rule.source_class == "Publisher"
+        assert rule.target_class == "Publication"
+        assert rule.value_attribute == "publisher"
+        assert rule.object_attribute == "name"
+        assert rule.source_side is Side.REMOTE
+
+    def test_local_side_similarity(self, parsed_library_spec):
+        local_rules = [
+            r
+            for r in parsed_library_spec.similarity_rules()
+            if r.source_side is Side.LOCAL
+        ]
+        assert len(local_rules) == 1
+        assert local_rules[0].source_class == "ScientificPubl"
+
+    def test_propeqs_match_programmatic(self, parsed_library_spec):
+        programmatic = library_integration_spec()
+        assert len(parsed_library_spec.propeqs) == len(programmatic.propeqs)
+        by_name = {p.conformed_name: p for p in parsed_library_spec.propeqs}
+        rating = by_name["rating"]
+        assert rating.local_cf.name == "multiply(2)"
+        assert rating.df.category is DecisionCategory.ELIMINATING
+        libprice = by_name["libprice"]
+        assert libprice.df.category is DecisionCategory.AVOIDING
+        assert libprice.df.trusted is Side.LOCAL
+
+    def test_declarations_and_virtual_names(self, parsed_library_spec):
+        assert "CSLibrary.Publication.cc2" in parsed_library_spec.declared_subjective
+        key = frozenset(("Proceedings", "RefereedPubl"))
+        assert parsed_library_spec.virtual_class_names[key] == "RefereedProceedings"
+
+    def test_parsed_spec_validates(self, parsed_library_spec):
+        assert parsed_library_spec.validate() == []
+
+    def test_parsed_spec_produces_paper_derivation(self, parsed_library_spec):
+        """The textual spec drives the whole pipeline to the same result."""
+        result = IntegrationWorkbench(parsed_library_spec).run()
+        formulas = result.derivation.formulas_for_scope(
+            "CSLibrary.RefereedPubl ⋈ Bookseller.Proceedings"
+        )
+        assert parse_expression(
+            "publisher.name = 'ACM' implies rating >= 5"
+        ) in formulas
+
+    def test_personnel_spec_source(self):
+        spec = parse_specification(
+            PERSONNEL_SPEC_SOURCE, personnel_db1_schema(), personnel_db2_schema()
+        )
+        assert spec.validate() == []
+        result = IntegrationWorkbench(spec).run()
+        formulas = result.derivation.formulas_for_scope(
+            "PersonnelDB1.Employee ⋈ PersonnelDB2.Employee"
+        )
+        assert parse_expression("trav_reimb in {12, 17, 22}") in formulas
+
+
+class TestSpecParserErrors:
+    def _parse(self, text):
+        return parse_specification(text, cslibrary_schema(), bookseller_schema())
+
+    def test_unknown_statement(self):
+        with pytest.raises(ParseError, match="unrecognised"):
+            self._parse("frobnicate everything")
+
+    def test_malformed_eq(self):
+        with pytest.raises(ParseError, match="malformed Eq"):
+            self._parse("Eq(Publication) <- x = y")
+
+    def test_eq_requires_both_sides(self):
+        with pytest.raises(ParseError, match="local .* remote"):
+            self._parse("Eq(O:Publication, O:Item) <- O.isbn = O.isbn")
+
+    def test_unknown_decision_function(self):
+        with pytest.raises(ParseError, match="unknown decision function"):
+            self._parse(
+                "propeq(Publication.title, Item.title, id, id, median)"
+            )
+
+    def test_trust_must_name_a_component(self):
+        with pytest.raises(ParseError, match="names neither"):
+            self._parse(
+                "propeq(Publication.title, Item.title, id, id, trust(Ghost))"
+            )
+
+    def test_unknown_conversion(self):
+        with pytest.raises(ParseError, match="unknown conversion"):
+            self._parse(
+                "propeq(Publication.title, Item.title, rot13, id, any)"
+            )
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            self._parse("# comment\n\nnonsense here")
+        assert excinfo.value.line == 3
+
+    def test_comments_and_blanks_ignored(self):
+        spec = self._parse("# just a comment\n\n")
+        assert spec.rules == []
+
+
+class TestCLI:
+    def test_demo_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "DATABASE INTEROPERATION REPORT" in out
+
+    def test_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        local = tmp_path / "library.tm"
+        remote = tmp_path / "bookseller.tm"
+        spec = tmp_path / "integration.spec"
+        local.write_text(cslibrary_source())
+        remote.write_text(bookseller_source())
+        spec.write_text(LIBRARY_SPEC_SOURCE)
+        assert main(
+            ["report", "--local", str(local), "--remote", str(remote), "--spec", str(spec)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "publisher.name = 'ACM' implies rating >= 5" in out
+
+    def test_validate_flags_inconsistency(self, tmp_path, capsys):
+        from repro.cli import main
+
+        local = tmp_path / "library.tm"
+        remote = tmp_path / "bookseller.tm"
+        spec = tmp_path / "integration.spec"
+        local.write_text(cslibrary_source())
+        remote.write_text(bookseller_source())
+        # The paper spec has similarity conflicts → validate fails.
+        spec.write_text(LIBRARY_SPEC_SOURCE)
+        assert main(
+            ["validate", "--local", str(local), "--remote", str(remote), "--spec", str(spec)]
+        ) == 1
+
+    def test_validate_accepts_consistent_spec(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.fixtures import personnel_db1_source, personnel_db2_source
+
+        local = tmp_path / "db1.tm"
+        remote = tmp_path / "db2.tm"
+        spec = tmp_path / "integration.spec"
+        local.write_text(personnel_db1_source())
+        remote.write_text(personnel_db2_source())
+        spec.write_text(PERSONNEL_SPEC_SOURCE)
+        assert main(
+            ["validate", "--local", str(local), "--remote", str(remote), "--spec", str(spec)]
+        ) == 0

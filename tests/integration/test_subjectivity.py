@@ -1,0 +1,191 @@
+"""Tests for the Section 5.1 subjectivity analysis."""
+
+import pytest
+
+from repro.fixtures import (
+    library_integration_spec,
+    personnel_integration_spec,
+)
+from repro.integration import PropertyStatus, analyse_subjectivity
+from repro.integration.relationships import Side
+
+
+@pytest.fixture(scope="module")
+def library_analysis():
+    return analyse_subjectivity(library_integration_spec())
+
+
+@pytest.fixture(scope="module")
+def personnel_analysis():
+    return analyse_subjectivity(personnel_integration_spec())
+
+
+def status(analysis, name):
+    return analysis.constraint_status[name]
+
+
+class TestPropertySubjectivity:
+    """Section 5.1.2's worked classifications."""
+
+    def test_any_makes_both_objective(self, library_analysis):
+        """'Publisher.name and Publication.publisher are considered
+        objective in our example specification.'"""
+        assert (
+            library_analysis.status_of_property(Side.LOCAL, "Publication", "publisher")
+            is PropertyStatus.OBJECTIVE
+        )
+        assert (
+            library_analysis.status_of_property(Side.REMOTE, "Publisher", "name")
+            is PropertyStatus.OBJECTIVE
+        )
+
+    def test_trust_splits_objectivity(self, library_analysis):
+        """'Publication.ourprice is seen as objective, whereas
+        Publication.shopprice is subjective.'"""
+        assert (
+            library_analysis.status_of_property(Side.LOCAL, "Publication", "ourprice")
+            is PropertyStatus.OBJECTIVE
+        )
+        assert (
+            library_analysis.status_of_property(Side.LOCAL, "Publication", "shopprice")
+            is PropertyStatus.SUBJECTIVE
+        )
+        # The mirror: Item.libprice subjective, Item.shopprice objective.
+        assert (
+            library_analysis.status_of_property(Side.REMOTE, "Item", "libprice")
+            is PropertyStatus.SUBJECTIVE
+        )
+        assert (
+            library_analysis.status_of_property(Side.REMOTE, "Item", "shopprice")
+            is PropertyStatus.OBJECTIVE
+        )
+
+    def test_avg_makes_both_subjective(self, library_analysis):
+        """'Both ScientificPubl.rating and Proceedings.rating are seen as
+        subjective in our example specification.'"""
+        assert (
+            library_analysis.status_of_property(Side.LOCAL, "ScientificPubl", "rating")
+            is PropertyStatus.SUBJECTIVE
+        )
+        assert (
+            library_analysis.status_of_property(Side.REMOTE, "Proceedings", "rating")
+            is PropertyStatus.SUBJECTIVE
+        )
+
+    def test_unmapped_property_is_objective(self, library_analysis):
+        assert (
+            library_analysis.status_of_property(Side.REMOTE, "Proceedings", "ref?")
+            is PropertyStatus.OBJECTIVE
+        )
+
+    def test_inherited_property_status(self, library_analysis):
+        # rating's propeq is declared on ScientificPubl; RefereedPubl inherits.
+        assert (
+            library_analysis.status_of_property(Side.LOCAL, "RefereedPubl", "rating")
+            is PropertyStatus.SUBJECTIVE
+        )
+
+
+class TestConstraintSubjectivity:
+    def test_declared_business_rule(self, library_analysis):
+        verdict = status(library_analysis, "CSLibrary.Publication.cc2")
+        assert verdict.subjective
+
+    def test_price_constraints_subjective_via_values(self, library_analysis):
+        """Section 5.1.3: the trust decision functions make the identical
+        oc1 constraints of Publication and Item subjective, 'even if it is
+        defined in both component databases'."""
+        local = status(library_analysis, "CSLibrary.Publication.oc1")
+        remote = status(library_analysis, "Bookseller.Item.oc1")
+        assert local.subjective and remote.subjective
+        assert "subjective properties" in local.reason
+        assert "shopprice" in local.reason
+        assert "libprice" in remote.reason
+
+    def test_rating_constraints_subjective_via_avg(self, library_analysis):
+        local = status(library_analysis, "CSLibrary.RefereedPubl.oc1")
+        remote = status(library_analysis, "Bookseller.Proceedings.oc2")
+        assert local.subjective and remote.subjective
+
+    def test_objective_constraint_example(self, library_analysis):
+        """'An example of an objective constraint would be oc1 of class
+        Proceedings' — publisher.name (any → objective) and ref?
+        (unmapped → objective)."""
+        verdict = status(library_analysis, "Bookseller.Proceedings.oc1")
+        assert not verdict.subjective
+
+    def test_membership_constraint_objective(self, library_analysis):
+        # oc2 of Publication constrains publisher (any → objective).
+        verdict = status(library_analysis, "CSLibrary.Publication.oc2")
+        assert not verdict.subjective
+
+    def test_class_constraints_subjective_by_default(self, library_analysis):
+        verdict = status(library_analysis, "CSLibrary.ScientificPubl.cc1")
+        assert verdict.subjective
+        assert "5.2.2" in verdict.reason
+
+    def test_database_constraints_subjective(self, library_analysis):
+        verdict = status(library_analysis, "Bookseller.db1")
+        assert verdict.subjective
+        assert "database" in verdict.reason
+
+    def test_proceedings_oc3_subjective_via_rating(self, library_analysis):
+        """oc3 mentions publisher.name (objective) AND rating (subjective):
+        the constraint is subjective."""
+        verdict = status(library_analysis, "Bookseller.Proceedings.oc3")
+        assert verdict.subjective
+
+
+class TestConsistencyRule:
+    def test_declaring_objective_over_subjective_values_violates(self):
+        """Section 5.1.3: 'subjectivity of values implies subjectivity of
+        constraints' — an objective declaration cannot override it."""
+        spec = library_integration_spec()
+        spec.declare_objective("CSLibrary.RefereedPubl.oc1")  # involves rating
+        analysis = analyse_subjectivity(spec)
+        assert any("RefereedPubl.oc1" in v for v in analysis.violations)
+        # The constraint stays subjective regardless.
+        assert analysis.constraint_status["CSLibrary.RefereedPubl.oc1"].subjective
+
+    def test_objective_database_constraint_violates(self):
+        spec = library_integration_spec()
+        spec.declare_objective("Bookseller.db1")
+        analysis = analyse_subjectivity(spec)
+        assert any("db1" in v for v in analysis.violations)
+
+    def test_class_constraint_objective_override_allowed(self):
+        spec = library_integration_spec()
+        spec.declare_objective("Bookseller.Item.cc1")  # key isbn
+        analysis = analyse_subjectivity(spec)
+        assert analysis.violations == []
+        assert not analysis.constraint_status["Bookseller.Item.cc1"].subjective
+
+    def test_designer_may_declare_objective_props_subjective(self):
+        spec = library_integration_spec()
+        spec.declare_subjective("Bookseller.Proceedings.oc1")
+        analysis = analyse_subjectivity(spec)
+        verdict = analysis.constraint_status["Bookseller.Proceedings.oc1"]
+        assert verdict.subjective
+        assert "declared" in verdict.reason
+
+
+class TestPersonnelExample:
+    def test_salary_business_rule(self, personnel_analysis):
+        """The intro's observation: salary < 1500 'may represent a business
+        rule adhered to by a specific department' — subjective."""
+        verdict = status(personnel_analysis, "PersonnelDB1.Employee.oc2")
+        assert verdict.subjective
+        assert "declared" in verdict.reason
+
+    def test_trav_reimb_constraints_subjective(self, personnel_analysis):
+        """The avg policy makes both trav_reimb membership constraints
+        subjective — they participate in derivation instead of union."""
+        assert status(personnel_analysis, "PersonnelDB1.Employee.oc1").subjective
+        assert status(personnel_analysis, "PersonnelDB2.Employee.oc1").subjective
+
+    def test_xi_of_constraint(self, personnel_analysis):
+        """Ξ(φ) for trav_reimb in {10,20} is {Employee.trav_reimb}."""
+        spec = personnel_analysis.spec
+        oc1 = spec.local_schema.class_named("Employee").constraints[0]
+        xi = personnel_analysis.subjective_properties_in(oc1, Side.LOCAL)
+        assert xi == {("Employee", "trav_reimb")}

@@ -1,0 +1,233 @@
+"""End-to-end tests for the workbench (Figure 3) and the report renderer,
+including the Section 5.1.3 price example."""
+
+import pytest
+
+from repro.constraints import parse_expression
+from repro.engine import ObjectStore
+from repro.fixtures import (
+    bookseller_schema,
+    bookseller_store,
+    cslibrary_schema,
+    cslibrary_store,
+    library_integration_spec,
+    personnel_integration_spec,
+    personnel_stores,
+)
+from repro.integration import IntegrationWorkbench
+from repro.integration.report import render_report
+
+
+@pytest.fixture(scope="module")
+def library_result():
+    spec = library_integration_spec()
+    local_store, _ = cslibrary_store()
+    remote_store, _ = bookseller_store()
+    return IntegrationWorkbench(spec, local_store, remote_store).run()
+
+
+@pytest.fixture(scope="module")
+def personnel_result():
+    spec = personnel_integration_spec()
+    db1, db2, _ = personnel_stores()
+    return IntegrationWorkbench(spec, db1, db2).run()
+
+
+class TestPipeline:
+    def test_all_stages_ran(self, library_result):
+        assert library_result.subjectivity is not None
+        assert library_result.conformation is not None
+        assert library_result.rule_checks is not None
+        assert library_result.view is not None
+        assert library_result.hierarchy is not None
+        assert library_result.derivation is not None
+        assert library_result.class_constraints is not None
+        assert library_result.database_constraints is not None
+
+    def test_spec_structurally_valid(self, library_result):
+        assert library_result.spec_issues == []
+
+    def test_global_constraints_collected(self, library_result):
+        formulas = [c.formula for c in library_result.global_constraints]
+        assert parse_expression(
+            "publisher.name = 'ACM' implies rating >= 5"
+        ) in formulas
+
+    def test_key_constraint_propagates(self, library_result):
+        """The isbn keys survive: the only equality rule is key-to-key and
+        similarity sources (Proceedings, ScientificPubl) are covered by it."""
+        assert library_result.class_constraints is not None
+        origins = {
+            (c.origin, c.scope)
+            for c in library_result.class_constraints.propagated
+        }
+        assert ("key-propagation", "CSLibrary.Publication") in origins
+        assert ("key-propagation", "Bookseller.Item") in origins
+
+    def test_objective_extension_classes(self, library_result):
+        """ProfessionalPubl (local) and Publisher (remote) extents cannot
+        change: their class constraints stay valid."""
+        from repro.integration.relationships import Side
+
+        report = library_result.class_constraints
+        assert "ProfessionalPubl" in report.objective_extension[Side.LOCAL]
+        assert "Publisher" in report.objective_extension[Side.REMOTE]
+        assert "Publication" not in report.objective_extension[Side.LOCAL]
+
+    def test_subjective_class_constraints_retained_locally(self, library_result):
+        retained = dict(library_result.class_constraints.retained_locally)
+        assert "CSLibrary.ScientificPubl.cc1" in retained
+        assert "CSLibrary.Publication.cc2" in retained
+
+    def test_database_constraint_stays_local(self, library_result):
+        retained = dict(library_result.database_constraints.retained_locally)
+        assert "Bookseller.db1" in retained
+        assert "5.2.3" in retained["Bookseller.db1"]
+
+    def test_similarity_conflict_produces_repair(self, library_result):
+        """The NonRefereedPubl rule conflict yields an option-2 repair whose
+        strengthened condition bounds the rating."""
+        repairs = {
+            s.target: s
+            for s in library_result.suggestions
+            if s.action == "repair-rule"
+        }
+        nonrefereed = repairs["Sim(Proceedings, NonRefereedPubl)"]
+        repaired = nonrefereed.repaired_rule
+        assert repaired is not None
+        assert repaired.condition == parse_expression(
+            "O'.ref? = false and O'.rating <= 6"
+        )
+        assert nonrefereed.fallback_rule is not None
+
+    def test_scientificpubl_to_proceedings_conflict_found(self, library_result):
+        """The local→remote similarity rule cannot guarantee the
+        Proceedings invariants (a library publication carries no ref?
+        attribute), which the analysis legitimately flags."""
+        conflicts = {
+            c.rule.target_class
+            for c in library_result.derivation.similarity_conflicts
+        }
+        assert "Proceedings" in conflicts
+
+    def test_implicit_risk_suggestions(self, library_result):
+        options = {s.option for s in library_result.suggestions}
+        assert 3 in options  # change-decision-function for the `any` risk
+
+    def test_no_state_violations_in_paper_scenario(self, library_result):
+        assert library_result.state_violations == []
+
+
+class TestPersonnelPipeline:
+    def test_consistent_after_subjective_declaration(self, personnel_result):
+        assert personnel_result.derivation is not None
+        assert personnel_result.derivation.explicit_conflicts == []
+        assert personnel_result.state_violations == []
+
+    def test_merged_bob_satisfies_derived_constraint(self, personnel_result):
+        """The derived trav_reimb ∈ {12,17,22} holds on the merged state
+        (avg(20, 14) = 17)."""
+        view = personnel_result.view
+        bob = view.merged_objects()[0]
+        derived = parse_expression("trav_reimb in {12, 17, 22}")
+        assert view.satisfies(bob, derived) is True
+
+
+class TestSection513PriceExample:
+    """The (26, 29) / (22, 25) example: trust functions make the price
+    invariant subjective; the merged state (26, 25) violates the local
+    formula, which is exactly why it must not be integrated."""
+
+    @pytest.fixture()
+    def price_result(self):
+        local_store = ObjectStore(cslibrary_schema())
+        remote_store = ObjectStore(bookseller_schema())
+        local_store.insert(
+            "Publication",
+            title="Price Example",
+            isbn="ISBN-900",
+            publisher="ACM",
+            shopprice=29.0,
+            ourprice=26.0,
+        )
+        with remote_store.transaction():
+            acm = remote_store.insert("Publisher", name="ACM", location="NY")
+            remote_store.insert(
+                "Monograph",
+                title="Price Example",
+                isbn="ISBN-900",
+                publisher=acm,
+                authors=frozenset(),
+                shopprice=25.0,
+                libprice=22.0,
+                subjects=frozenset(),
+            )
+        spec = library_integration_spec()
+        return IntegrationWorkbench(spec, local_store, remote_store).run()
+
+    def test_merged_state_violates_local_invariant(self, price_result):
+        view = price_result.view
+        book = next(
+            obj for obj in view.merged_objects() if obj.state.get("isbn") == "ISBN-900"
+        )
+        assert book.state["libprice"] == 26.0  # trust(CSLibrary)
+        assert book.state["shopprice"] == 25.0  # trust(Bookseller)
+        # The would-be constraint is falsified by the global state...
+        assert view.satisfies(book, parse_expression("libprice <= shopprice")) is False
+
+    def test_but_constraint_is_subjective_so_no_conflict(self, price_result):
+        """...yet no violation is reported: value subjectivity forced the
+        constraint to be subjective, so it is not part of the view."""
+        formulas = [c.formula for c in price_result.global_constraints]
+        assert parse_expression("libprice <= shopprice") not in formulas
+        assert price_result.state_violations == []
+
+    def test_declaring_it_objective_is_inconsistent(self):
+        """(DB ⊨ φ ∧ DB' ⊨ φ) ⇏ global ⊨ φ — trying to keep φ objective
+        violates the Section 5.1.3 consistency rule."""
+        spec = library_integration_spec()
+        spec.declare_objective("CSLibrary.Publication.oc1")
+        result = IntegrationWorkbench(spec).run()
+        assert result.subjectivity is not None
+        assert any(
+            "Publication.oc1" in v for v in result.subjectivity.violations
+        )
+        assert not result.is_consistent()
+
+
+class TestReport:
+    def test_report_renders_all_sections(self, library_result):
+        text = render_report(library_result)
+        for heading in (
+            "DATABASE INTEROPERATION REPORT",
+            "Constraint subjectivity",
+            "Conformation",
+            "Rule checks",
+            "Integrated view",
+            "Integrated constraints",
+            "Class constraints",
+            "Database constraints",
+            "Suggestions",
+            "Verdict",
+        ):
+            assert heading in text
+
+    def test_report_shows_paper_derivation(self, library_result):
+        text = render_report(library_result)
+        assert "publisher.name = 'ACM' implies rating >= 5" in text
+
+    def test_report_shows_virtual_class(self, library_result):
+        text = render_report(library_result)
+        assert "RefereedProceedings" in text
+
+    def test_consistent_report_verdict(self, personnel_result):
+        text = render_report(personnel_result)
+        assert "consistent" in text
+
+    def test_schema_only_run(self):
+        """The workbench runs without instance stores (pure design-time)."""
+        result = IntegrationWorkbench(library_integration_spec()).run()
+        assert result.view is None
+        assert result.derivation is not None
+        text = render_report(result)
+        assert "Integrated constraints" in text

@@ -1,0 +1,224 @@
+"""Tests for the reverse-engineering substrate (repro.reverse)."""
+
+import pytest
+
+from repro.constraints import ConstraintKind, parse_expression
+from repro.errors import ParseError, SchemaError
+from repro.reverse import (
+    Column,
+    ForeignKey,
+    RelationalSchema,
+    Table,
+    translate_schema,
+)
+from repro.reverse.checks import parse_sql_check, sql_check_to_source
+from repro.types import INT, REAL, STRING, ClassRef, EnumType
+
+
+def personnel_relational() -> RelationalSchema:
+    schema = RelationalSchema("PersonnelSQL")
+    schema.add_table(
+        Table(
+            "Employee",
+            columns=[
+                Column("ssn", "varchar(16)"),
+                Column("salary", "real", check="salary < 1500"),
+                Column("trav_reimb", "int", check="trav_reimb IN (10, 20)"),
+            ],
+            primary_key=("ssn",),
+        )
+    )
+    return schema
+
+
+def library_relational() -> RelationalSchema:
+    schema = RelationalSchema("LibrarySQL")
+    schema.add_table(
+        Table(
+            "Publisher",
+            columns=[
+                Column("pid", "int"),
+                Column("name", "varchar(100)", unique=True),
+                Column("location", "varchar(100)"),
+            ],
+            primary_key=("pid",),
+        )
+    )
+    schema.add_table(
+        Table(
+            "Item",
+            columns=[
+                Column("isbn", "varchar(20)"),
+                Column("title", "text"),
+                Column("publisher", "int"),
+                Column("shopprice", "real"),
+                Column("libprice", "real"),
+            ],
+            primary_key=("isbn",),
+            foreign_keys=[ForeignKey("publisher", "Publisher", "pid")],
+            checks=["libprice <= shopprice"],
+        )
+    )
+    schema.add_table(
+        Table(
+            "Proceedings",
+            columns=[
+                Column("isbn", "varchar(20)"),
+                Column("refereed", "boolean"),
+                Column("rating", "int", check="rating BETWEEN 1 AND 10"),
+            ],
+            primary_key=("isbn",),
+            foreign_keys=[ForeignKey("isbn", "Item", "isbn")],
+            checks=["NOT refereed = TRUE OR rating >= 7"],
+        )
+    )
+    return schema
+
+
+class TestCheckTranslation:
+    @pytest.mark.parametrize(
+        "sql,expected",
+        [
+            ("salary < 1500", "salary < 1500"),
+            ("trav_reimb IN (10, 20)", "trav_reimb  in {10, 20}"),
+            ("x <> 3", "x != 3"),
+            ("rating BETWEEN 1 AND 5", "(rating >= 1 and rating <= 5)"),
+            ("a = 1 AND b = 2", "a = 1 and b = 2"),
+            ("NOT x = TRUE", "not x = true"),
+        ],
+    )
+    def test_source_translation(self, sql, expected):
+        assert sql_check_to_source(sql) == expected
+
+    def test_parse_sql_check(self):
+        assert parse_sql_check("trav_reimb IN (10, 20)") == parse_expression(
+            "trav_reimb in {10, 20}"
+        )
+
+    def test_between_parses(self):
+        assert parse_sql_check("rating BETWEEN 1 AND 5") == parse_expression(
+            "rating >= 1 and rating <= 5"
+        )
+
+    def test_string_literals_survive(self):
+        node = parse_sql_check("publisher IN ('ACM', 'IEEE')")
+        assert node == parse_expression("publisher in {'ACM', 'IEEE'}")
+
+    def test_bad_check_raises_with_context(self):
+        with pytest.raises(ParseError, match="cannot translate SQL CHECK"):
+            parse_sql_check("salary <")
+
+
+class TestTranslation:
+    def test_personnel_round_trip(self):
+        tm = translate_schema(personnel_relational())
+        employee = tm.class_named("Employee")
+        assert employee.attributes["salary"].tm_type == REAL
+        constraints = {c.name: c for c in employee.constraints}
+        assert constraints["oc1"].formula == parse_expression("salary < 1500")
+        assert constraints["oc2"].formula == parse_expression(
+            "trav_reimb in {10, 20}"
+        )
+        assert constraints["cc1"].formula == parse_expression("key ssn")
+
+    def test_enumerated_check_tightens_type(self):
+        tm = translate_schema(personnel_relational())
+        trav_type = tm.attribute_type("Employee", "trav_reimb")
+        assert trav_type == EnumType(frozenset({10, 20}))
+
+    def test_foreign_key_becomes_reference(self):
+        tm = translate_schema(library_relational())
+        assert tm.attribute_type("Item", "publisher") == ClassRef("Publisher")
+
+    def test_foreign_key_becomes_database_constraint(self):
+        tm = translate_schema(library_relational())
+        formulas = [c.formula for c in tm.database_constraints]
+        assert parse_expression(
+            "forall c in Item exists p in Publisher | c.publisher = p"
+        ) in formulas
+
+    def test_pk_as_fk_becomes_subclass(self):
+        tm = translate_schema(library_relational())
+        proceedings = tm.class_named("Proceedings")
+        assert proceedings.parent == "Item"
+        # The shared key column is not repeated and no reference attr added.
+        assert "isbn" not in proceedings.attributes
+        # Inherited through the hierarchy instead:
+        assert "isbn" in tm.effective_attributes("Proceedings")
+
+    def test_subclass_has_no_duplicate_key_constraint(self):
+        tm = translate_schema(library_relational())
+        proceedings = tm.class_named("Proceedings")
+        assert all("key" not in str(c.formula) for c in proceedings.constraints)
+
+    def test_unique_column_becomes_key(self):
+        tm = translate_schema(library_relational())
+        publisher = tm.class_named("Publisher")
+        keys = [c for c in publisher.constraints if "key" in str(c.formula).lower()]
+        assert len(keys) == 2  # pid (primary) + name (unique)
+
+    def test_table_check_with_connectives(self):
+        tm = translate_schema(library_relational())
+        proceedings = tm.class_named("Proceedings")
+        formulas = [c.formula for c in proceedings.constraints]
+        assert parse_expression("not refereed = true or rating >= 7") in formulas
+
+    def test_translated_schema_validates(self):
+        from repro.tm import validate_schema
+
+        issues = validate_schema(translate_schema(library_relational()))
+        assert issues == []
+
+    def test_translated_schema_runs_in_engine(self):
+        from repro.engine import ObjectStore
+
+        tm = translate_schema(personnel_relational())
+        store = ObjectStore(tm)
+        store.insert("Employee", ssn="1", salary=1200.0, trav_reimb=10)
+        from repro.errors import ConstraintViolation
+
+        with pytest.raises(ConstraintViolation):
+            store.insert("Employee", ssn="2", salary=1600.0, trav_reimb=10)
+
+
+class TestRelationalModel:
+    def test_unsupported_type(self):
+        with pytest.raises(SchemaError):
+            Column("x", "blob")
+
+    def test_type_length_stripped(self):
+        assert Column("x", "VARCHAR(30)").sql_type == "varchar"
+
+    def test_duplicate_table(self):
+        schema = RelationalSchema("S")
+        schema.add_table(Table("T", [Column("a", "int")]))
+        with pytest.raises(SchemaError):
+            schema.add_table(Table("T", [Column("a", "int")]))
+
+    def test_missing_pk_column(self):
+        schema = RelationalSchema("S")
+        with pytest.raises(SchemaError):
+            schema.add_table(Table("T", [Column("a", "int")], primary_key=("b",)))
+
+    def test_missing_fk_column(self):
+        schema = RelationalSchema("S")
+        with pytest.raises(SchemaError):
+            schema.add_table(
+                Table(
+                    "T",
+                    [Column("a", "int")],
+                    foreign_keys=[ForeignKey("b", "U", "x")],
+                )
+            )
+
+    def test_dangling_fk_target(self):
+        schema = RelationalSchema("S")
+        schema.add_table(
+            Table(
+                "T",
+                [Column("a", "int")],
+                foreign_keys=[ForeignKey("a", "Ghost", "x")],
+            )
+        )
+        with pytest.raises(SchemaError):
+            translate_schema(schema)

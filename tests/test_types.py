@@ -1,0 +1,180 @@
+"""Tests for the TM type system (repro.types)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TypeSystemError
+from repro.types import (
+    BOOL,
+    INT,
+    REAL,
+    STRING,
+    ClassRef,
+    EnumType,
+    RangeType,
+    SetType,
+    check_value,
+    coerce_value,
+    default_value,
+    parse_type,
+)
+
+
+class TestPrimitives:
+    def test_int_contains_integers(self):
+        assert INT.contains(5)
+        assert INT.contains(-3)
+
+    def test_int_rejects_bool(self):
+        assert not INT.contains(True)
+
+    def test_int_rejects_float(self):
+        assert not INT.contains(1.5)
+
+    def test_real_contains_both(self):
+        assert REAL.contains(1.5)
+        assert REAL.contains(2)
+
+    def test_real_rejects_bool(self):
+        assert not REAL.contains(False)
+
+    def test_string(self):
+        assert STRING.contains("IEEE")
+        assert not STRING.contains(3)
+
+    def test_bool(self):
+        assert BOOL.contains(True)
+        assert not BOOL.contains(1)
+
+    def test_numeric_flags(self):
+        assert INT.is_numeric and INT.is_integral
+        assert REAL.is_numeric and not REAL.is_integral
+        assert not STRING.is_numeric
+
+    def test_describe(self):
+        assert INT.describe() == "int"
+        assert str(REAL) == "real"
+
+
+class TestRangeType:
+    def test_rating_range(self):
+        rating = RangeType(1, 5)
+        assert rating.contains(1)
+        assert rating.contains(5)
+        assert not rating.contains(0)
+        assert not rating.contains(6)
+
+    def test_rejects_non_integer(self):
+        assert not RangeType(1, 5).contains(2.5)
+
+    def test_rejects_bool(self):
+        assert not RangeType(0, 1).contains(True)
+
+    def test_empty_range_raises(self):
+        with pytest.raises(TypeSystemError):
+            RangeType(5, 1)
+
+    def test_describe(self):
+        assert RangeType(1, 10).describe() == "1..10"
+
+    def test_structural_equality(self):
+        assert RangeType(1, 5) == RangeType(1, 5)
+        assert hash(RangeType(1, 5)) == hash(RangeType(1, 5))
+
+
+class TestSetType:
+    def test_p_string(self):
+        editors = SetType(STRING)
+        assert editors.contains({"Gray", "Reuter"})
+        assert editors.contains(frozenset())
+        assert not editors.contains({"Gray", 3})
+        assert not editors.contains(["Gray"])
+
+    def test_describe(self):
+        assert SetType(STRING).describe() == "P string"
+
+
+class TestEnumType:
+    def test_membership(self):
+        tariffs = EnumType(frozenset({10, 20}))
+        assert tariffs.contains(10)
+        assert not tariffs.contains(15)
+
+    def test_numeric_detection(self):
+        assert EnumType(frozenset({10, 20})).is_numeric
+        assert EnumType(frozenset({10, 20})).is_integral
+        assert not EnumType(frozenset({"a"})).is_numeric
+
+
+class TestClassRef:
+    def test_accepts_identifiers(self):
+        publisher = ClassRef("Publisher")
+        assert publisher.contains("Publisher#3")
+        assert not publisher.contains(True)
+
+    def test_describe(self):
+        assert ClassRef("Publisher").describe() == "Publisher"
+
+
+class TestParseType:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("int", INT),
+            ("real", REAL),
+            ("string", STRING),
+            ("boolean", BOOL),
+            ("bool", BOOL),
+            ("1..5", RangeType(1, 5)),
+            ("l..lO".replace("l", "1").replace("O", "0"), RangeType(1, 10)),
+            ("P string", SetType(STRING)),
+            ("Pstring", SetType(STRING)),
+            ("Publisher", ClassRef("Publisher")),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert parse_type(text) == expected
+
+    def test_parse_range_with_spaces(self):
+        assert parse_type("1 .. 10") == RangeType(1, 10)
+
+    def test_parse_empty_raises(self):
+        with pytest.raises(TypeSystemError):
+            parse_type("")
+
+    def test_parse_garbage_raises(self):
+        with pytest.raises(TypeSystemError):
+            parse_type("<<not a type>>")
+
+
+class TestValues:
+    def test_check_value_passes(self):
+        check_value(3, RangeType(1, 5), "Proceedings.rating")
+
+    def test_check_value_fails_with_context(self):
+        with pytest.raises(TypeSystemError, match="Proceedings.rating"):
+            check_value(11, RangeType(1, 10), "Proceedings.rating")
+
+    def test_coerce_int_to_real(self):
+        assert coerce_value(3, REAL) == 3.0
+
+    def test_coerce_list_to_set(self):
+        assert coerce_value(["a", "b"], SetType(STRING)) == frozenset({"a", "b"})
+
+    def test_coerce_failure(self):
+        with pytest.raises(TypeSystemError):
+            coerce_value("abc", INT)
+
+    @pytest.mark.parametrize(
+        "tm_type",
+        [INT, REAL, STRING, BOOL, RangeType(2, 9), SetType(STRING), EnumType(frozenset({"x"})), ClassRef("C")],
+    )
+    def test_default_value_is_member(self, tm_type):
+        assert tm_type.contains(default_value(tm_type))
+
+    @given(st.integers(-100, 100), st.integers(0, 100))
+    def test_range_membership_matches_python(self, low, width):
+        rng = RangeType(low, low + width)
+        for probe in (low - 1, low, low + width, low + width + 1):
+            assert rng.contains(probe) == (low <= probe <= low + width)

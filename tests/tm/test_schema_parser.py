@@ -1,0 +1,310 @@
+"""Tests for the TM schema model and parser (repro.tm).
+
+The Figure 1 databases must parse completely and expose the structure the
+paper's narrative relies on.
+"""
+
+import pytest
+
+from repro.constraints import ConstraintKind, parse_expression
+from repro.errors import ParseError, SchemaError
+from repro.fixtures import (
+    bookseller_schema,
+    bookseller_source,
+    cslibrary_schema,
+    cslibrary_source,
+    personnel_db1_schema,
+)
+from repro.tm import parse_database, schema_to_source
+from repro.tm.schema import ClassDef
+from repro.types import REAL, STRING, ClassRef, RangeType, SetType
+
+
+@pytest.fixture(scope="module")
+def library():
+    return cslibrary_schema()
+
+
+@pytest.fixture(scope="module")
+def bookseller():
+    return bookseller_schema()
+
+
+class TestCSLibraryParsing:
+    def test_database_name(self, library):
+        assert library.name == "CSLibrary"
+
+    def test_all_classes_present(self, library):
+        assert set(library.classes) == {
+            "Publication",
+            "ScientificPubl",
+            "RefereedPubl",
+            "NonRefereedPubl",
+            "ProfessionalPubl",
+        }
+
+    def test_publication_attributes(self, library):
+        publication = library.class_named("Publication")
+        assert set(publication.attributes) == {
+            "title",
+            "isbn",
+            "publisher",
+            "shopprice",
+            "ourprice",
+        }
+        assert publication.attributes["ourprice"].tm_type == REAL
+
+    def test_inheritance_chain(self, library):
+        assert library.is_subclass_of("RefereedPubl", "Publication")
+        assert library.is_subclass_of("RefereedPubl", "ScientificPubl")
+        assert not library.is_subclass_of("Publication", "RefereedPubl")
+
+    def test_rating_range_type(self, library):
+        assert library.attribute_type("ScientificPubl", "rating") == RangeType(1, 5)
+
+    def test_editors_set_type(self, library):
+        assert library.attribute_type("ScientificPubl", "editors") == SetType(STRING)
+
+    def test_publication_constraints(self, library):
+        publication = library.class_named("Publication")
+        names = [c.name for c in publication.constraints]
+        assert names == ["oc1", "oc2", "cc1", "cc2"]
+        oc1 = publication.constraints[0]
+        assert oc1.kind is ConstraintKind.OBJECT
+        assert oc1.formula == parse_expression("ourprice <= shopprice")
+        assert oc1.database == "CSLibrary"
+        assert oc1.owner == "Publication"
+
+    def test_multiline_cc2_parsed(self, library):
+        cc2 = next(
+            c for c in library.class_named("Publication").constraints if c.name == "cc2"
+        )
+        assert cc2.kind is ConstraintKind.CLASS
+        assert "sum" in str(cc2.formula)
+
+    def test_constants(self, library):
+        assert library.constants["MAX"] == 100000
+        assert "ACM" in library.constants["KNOWNPUBLISHERS"]
+
+    def test_qualified_name(self, library):
+        oc1 = library.class_named("RefereedPubl").constraints[0]
+        assert oc1.qualified_name == "CSLibrary.RefereedPubl.oc1"
+
+
+class TestBooksellerParsing:
+    def test_classes(self, bookseller):
+        assert set(bookseller.classes) == {
+            "Item",
+            "Proceedings",
+            "Monograph",
+            "Publisher",
+        }
+
+    def test_reference_attribute(self, bookseller):
+        assert bookseller.attribute_type("Item", "publisher") == ClassRef("Publisher")
+
+    def test_boolean_attribute_with_question_mark(self, bookseller):
+        from repro.types import BOOL
+
+        assert bookseller.attribute_type("Proceedings", "ref?") == BOOL
+
+    def test_rating_scale_differs_from_library(self, bookseller):
+        assert bookseller.attribute_type("Proceedings", "rating") == RangeType(1, 10)
+
+    def test_proceedings_constraints(self, bookseller):
+        proceedings = bookseller.class_named("Proceedings")
+        assert [c.name for c in proceedings.constraints] == ["oc1", "oc2", "oc3"]
+        oc2 = proceedings.constraints[1]
+        assert oc2.formula == parse_expression("ref? = true implies rating >= 7")
+
+    def test_database_constraint(self, bookseller):
+        assert len(bookseseller_db := bookseller.database_constraints) == 1
+        db1 = bookseseller_db[0]
+        assert db1.kind is ConstraintKind.DATABASE
+        assert db1.formula == parse_expression(
+            "forall p in Publisher exists i in Item | i.publisher = p"
+        )
+
+
+class TestInheritanceLookups:
+    def test_effective_attributes_include_inherited(self, library):
+        attrs = library.effective_attributes("RefereedPubl")
+        assert "isbn" in attrs  # from Publication
+        assert "rating" in attrs  # from ScientificPubl
+        assert "avgAccRate" in attrs  # own
+
+    def test_effective_object_constraints_inherited(self, library):
+        constraints = library.effective_object_constraints("RefereedPubl")
+        names = {c.qualified_name for c in constraints}
+        assert "CSLibrary.RefereedPubl.oc1" in names
+        assert "CSLibrary.Publication.oc1" in names
+        assert "CSLibrary.Publication.oc2" in names
+
+    def test_class_constraints_not_inherited(self, library):
+        """Section 5.2.2: 'unlike object constraints, class constraints are
+        not inheritable'."""
+        assert library.class_constraints("RefereedPubl") == []
+        assert len(library.class_constraints("Publication")) == 2
+
+    def test_subclasses_of(self, library):
+        assert set(library.subclasses_of("ScientificPubl")) == {
+            "RefereedPubl",
+            "NonRefereedPubl",
+        }
+
+    def test_ancestors_order(self, library):
+        chain = [c.name for c in library.ancestors("RefereedPubl")]
+        assert chain == ["RefereedPubl", "ScientificPubl", "Publication"]
+
+    def test_unknown_class_raises(self, library):
+        with pytest.raises(SchemaError):
+            library.class_named("Nonexistent")
+
+    def test_unknown_attribute_raises(self, library):
+        with pytest.raises(SchemaError):
+            library.attribute_type("Publication", "nonexistent")
+
+
+class TestTypeEnvironment:
+    def test_simple_paths(self, library):
+        env = library.type_environment("RefereedPubl")
+        assert env.attribute_types["rating"] == RangeType(1, 5)
+        assert env.attribute_types["ourprice"] == REAL
+
+    def test_reference_paths_expanded(self, bookseller):
+        env = bookseller.type_environment("Proceedings")
+        assert env.attribute_types["publisher"] == ClassRef("Publisher")
+        assert env.attribute_types["publisher.name"] == STRING
+
+    def test_constants_carried(self, library):
+        env = library.type_environment("Publication")
+        assert env.constants["MAX"] == 100000
+
+
+class TestRoundTrip:
+    def test_cslibrary_round_trip(self, library):
+        reparsed = parse_database(schema_to_source(library))
+        assert set(reparsed.classes) == set(library.classes)
+        for name, class_def in library.classes.items():
+            reparsed_class = reparsed.class_named(name)
+            assert reparsed_class.parent == class_def.parent
+            assert set(reparsed_class.attributes) == set(class_def.attributes)
+            assert [
+                (c.name, c.kind, c.formula) for c in reparsed_class.constraints
+            ] == [(c.name, c.kind, c.formula) for c in class_def.constraints]
+        assert reparsed.constants == library.constants
+
+    def test_bookseller_round_trip(self, bookseller):
+        reparsed = parse_database(schema_to_source(bookseller))
+        assert set(reparsed.classes) == set(bookseller.classes)
+        assert [c.formula for c in reparsed.database_constraints] == [
+            c.formula for c in bookseller.database_constraints
+        ]
+
+
+class TestPersonnelFixture:
+    def test_intro_constraints(self):
+        schema = personnel_db1_schema()
+        employee = schema.class_named("Employee")
+        assert employee.constraints[0].formula == parse_expression(
+            "trav_reimb in {10, 20}"
+        )
+        assert employee.constraints[1].formula == parse_expression("salary < 1500")
+
+
+class TestParserErrors:
+    def test_mismatched_end(self):
+        source = """
+Database D
+Class A
+attributes
+  x : int
+end B
+"""
+        with pytest.raises(ParseError):
+            parse_database(source)
+
+    def test_duplicate_class(self):
+        source = """
+Database D
+Class A
+end A
+Class A
+end A
+"""
+        with pytest.raises(SchemaError):
+            parse_database(source)
+
+    def test_duplicate_attribute(self):
+        source = """
+Database D
+Class A
+attributes
+  x : int
+  x : real
+end A
+"""
+        with pytest.raises(SchemaError):
+            parse_database(source)
+
+    def test_duplicate_constraint_label(self):
+        source = """
+Database D
+Class A
+attributes
+  x : int
+object constraints
+  oc1: x > 0
+  oc1: x < 9
+end A
+"""
+        with pytest.raises(SchemaError):
+            parse_database(source)
+
+    def test_misclassified_constraint_rejected(self):
+        source = """
+Database D
+Class A
+attributes
+  x : int
+object constraints
+  oc1: key x
+end A
+"""
+        with pytest.raises(SchemaError):
+            parse_database(source)
+
+    def test_misclassification_tolerated_when_disabled(self):
+        source = """
+Database D
+Class A
+attributes
+  x : int
+object constraints
+  oc1: key x
+end A
+"""
+        schema = parse_database(source, validate_sections=False)
+        assert schema.class_named("A").constraints[0].name == "oc1"
+
+    def test_bad_type(self):
+        source = """
+Database D
+Class A
+attributes
+  x : <<?>>
+end A
+"""
+        with pytest.raises(ParseError):
+            parse_database(source)
+
+    def test_constants_injection(self):
+        source = """
+Database D
+Class A
+attributes
+  x : int
+end A
+"""
+        schema = parse_database(source, constants={"LIMIT": 10})
+        assert schema.constants["LIMIT"] == 10
