@@ -9,6 +9,23 @@ paper artifact it covers.
 
 import pytest
 
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="smoke-run: cap benchmark store sizes so CI finishes in seconds",
+    )
+
+
+def pytest_generate_tests(metafunc):
+    if "e13_size" in metafunc.fixturenames:
+        quick = metafunc.config.getoption("--quick")
+        sizes = [100, 1_000] if quick else [100, 1_000, 10_000, 100_000]
+        metafunc.parametrize("e13_size", sizes)
+
+
 from repro.fixtures import (
     bookseller_store,
     cslibrary_store,

@@ -2,14 +2,18 @@
 
 Usage::
 
-    python -m repro report --local library.tm --remote bookseller.tm \\
-        --spec integration.spec
-    python -m repro validate --local library.tm --remote bookseller.tm \\
-        --spec integration.spec
+    python -m repro scaffold DIR    # write the Figure 1 sources to DIR
+    python -m repro report --local DIR/cslibrary.tm \\
+        --remote DIR/bookseller.tm --spec DIR/library.spec
+    python -m repro validate --local DIR/cslibrary.tm \\
+        --remote DIR/bookseller.tm --spec DIR/library.spec
     python -m repro demo            # the built-in Figure 1 scenario
 
 ``validate`` exits non-zero when the specification is inconsistent with the
 component constraints, so the workbench slots into CI pipelines.
+``scaffold`` emits the paper's built-in schemas and integration
+specification as editable files, giving ``report``/``validate`` something to
+run on out of the box.
 """
 
 from __future__ import annotations
@@ -29,11 +33,18 @@ from repro.integration.workbench import IntegrationWorkbench
 from repro.tm.parser import parse_database
 
 
+def _read(path: str, role: str) -> str:
+    try:
+        return Path(path).read_text()
+    except OSError as exc:
+        raise SystemExit(f"repro: cannot read {role} file {path!r}: {exc}")
+
+
 def _load_result(args: argparse.Namespace):
-    local_schema = parse_database(Path(args.local).read_text())
-    remote_schema = parse_database(Path(args.remote).read_text())
+    local_schema = parse_database(_read(args.local, "local schema"))
+    remote_schema = parse_database(_read(args.remote, "remote schema"))
     spec = parse_specification(
-        Path(args.spec).read_text(), local_schema, remote_schema
+        _read(args.spec, "spec"), local_schema, remote_schema
     )
     return IntegrationWorkbench(
         spec, descriptivity_view=args.descriptivity_view
@@ -70,7 +81,54 @@ def main(argv: list[str] | None = None) -> int:
 
     commands.add_parser("demo", help="run the built-in Figure 1 scenario")
 
+    scaffold = commands.add_parser(
+        "scaffold",
+        help="write the built-in Figure 1 schemas and spec to a directory",
+    )
+    scaffold.add_argument(
+        "directory", help="target directory (created if missing)"
+    )
+    scaffold.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite files that already exist in the target directory",
+    )
+
     args = parser.parse_args(argv)
+
+    if args.command == "scaffold":
+        from repro.fixtures.schemas import bookseller_source, cslibrary_source
+        from repro.fixtures.spec_source import LIBRARY_SPEC_SOURCE
+
+        target = Path(args.directory)
+        written, skipped = [], []
+        try:
+            target.mkdir(parents=True, exist_ok=True)
+            for name, text in (
+                ("cslibrary.tm", cslibrary_source()),
+                ("bookseller.tm", bookseller_source()),
+                ("library.spec", LIBRARY_SPEC_SOURCE),
+            ):
+                path = target / name
+                if path.exists() and not args.force:
+                    skipped.append(str(path))
+                    continue
+                path.write_text(text.strip() + "\n")
+                written.append(str(path))
+        except OSError as exc:
+            raise SystemExit(f"repro: cannot scaffold into {args.directory!r}: {exc}")
+        if written:
+            print("wrote " + ", ".join(written))
+        if skipped:
+            print(
+                "kept existing " + ", ".join(skipped) + " (use --force to overwrite)"
+            )
+        paths = [str(target / n) for n in ("cslibrary.tm", "bookseller.tm", "library.spec")]
+        print(
+            f"try: python -m repro report --local {paths[0]} "
+            f"--remote {paths[1]} --spec {paths[2]}"
+        )
+        return 0
 
     if args.command == "demo":
         local_store, _ = cslibrary_store()

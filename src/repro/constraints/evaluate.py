@@ -20,6 +20,14 @@ Aggregates over an empty extent: ``sum`` is 0 and ``count`` is 0; ``avg`` /
 ``min`` / ``max`` are *vacuous* — any comparison against a vacuous value is
 satisfied.  (TM leaves this case open; vacuous truth matches how the paper
 treats constraints on empty classes.)
+
+Evaluation is *compiled*: :func:`compile_node` lowers an AST once into a tree
+of Python closures (``EvalContext -> value``), and :func:`evaluate` dispatches
+through a cache keyed by the (hashable, frozen) AST node.  Constraints are
+checked against every mutation, so the same formula is evaluated thousands of
+times per store lifetime; paying the ``isinstance`` dispatch and operator
+lookup once per formula instead of once per check is the difference between
+an interpretive and a compiled enforcement hot path.
 """
 
 from __future__ import annotations
@@ -120,91 +128,167 @@ class EvalContext:
         return self.extents[class_name]
 
 
+#: Compiled form of a node: a closure from evaluation context to value.
+CompiledNode = Callable[[EvalContext], Any]
+
+#: node → compiled closure.  AST nodes are frozen dataclasses, so structurally
+#: equal formulas share one compilation.  Unhashable nodes (a Literal holding
+#: a mutable value) are compiled without caching.  The cache is bounded: a
+#: long-lived process compiling formulas from many schemas (the workbench as
+#: a service, a large test session) would otherwise grow without limit, so
+#: once the bound is hit the cache is dropped wholesale — recompilation is
+#: cheap and the live constraints repopulate it on their next check.
+_COMPILED: dict[Node, CompiledNode] = {}
+_COMPILED_LIMIT = 4096
+
+
+def compiled(node: Node) -> CompiledNode:
+    """The compiled closure for ``node``, lowered once and cached."""
+    try:
+        closure = _COMPILED.get(node)
+    except TypeError:  # unhashable literal somewhere in the tree
+        return compile_node(node)
+    if closure is None:
+        closure = compile_node(node)
+        if len(_COMPILED) >= _COMPILED_LIMIT:
+            _COMPILED.clear()
+        _COMPILED[node] = closure
+    return closure
+
+
 def evaluate(node: Node, ctx: EvalContext) -> Any:
     """Evaluate a formula (→ bool) or expression (→ value) in ``ctx``."""
+    return compiled(node)(ctx)
+
+
+def compile_node(node: Node) -> CompiledNode:
+    """Lower ``node`` to a closure over :class:`EvalContext`.
+
+    The closure tree mirrors the AST; all per-node dispatch (isinstance
+    checks, operator table lookups, tuple rebuilding) happens here, once,
+    instead of on every evaluation.  Semantics are identical to the former
+    tree interpreter, including vacuous-value propagation and the errors
+    raised.
+    """
     if isinstance(node, Literal):
-        return node.value
+        value = node.value
+        return lambda ctx: value
     if isinstance(node, SetLiteral):
-        return frozenset(node.values)
+        values = frozenset(node.values)
+        return lambda ctx: values
     if isinstance(node, NamedConstant):
-        if node.name not in ctx.constants:
-            raise EvaluationError(f"unknown named constant {node.name!r}")
-        return ctx.constants[node.name]
+        name = node.name
+        def run_constant(ctx: EvalContext) -> Any:
+            if name not in ctx.constants:
+                raise EvaluationError(f"unknown named constant {name!r}")
+            return ctx.constants[name]
+        return run_constant
     if isinstance(node, Path):
-        return _evaluate_path(node, ctx)
+        return _compile_path(node)
     if isinstance(node, BinaryOp):
-        return _evaluate_arith(node, ctx)
+        return _compile_arith(node)
     if isinstance(node, FunctionCall):
-        args = [evaluate(arg, ctx) for arg in node.args]
-        return ctx.function(node.name)(*args)
+        fn_name = node.name
+        arg_closures = tuple(compiled(arg) for arg in node.args)
+        def run_call(ctx: EvalContext) -> Any:
+            return ctx.function(fn_name)(*[arg(ctx) for arg in arg_closures])
+        return run_call
     if isinstance(node, Aggregate):
-        return _evaluate_aggregate(node, ctx)
+        return _compile_aggregate(node)
     if isinstance(node, Comparison):
-        return _evaluate_comparison(node, ctx)
+        return _compile_comparison(node)
     if isinstance(node, Membership):
-        element = evaluate(node.element, ctx)
-        collection = evaluate(node.collection, ctx)
-        if isinstance(element, _Vacuous):
-            return True
-        try:
-            return element in collection
-        except TypeError as exc:
-            raise EvaluationError(f"cannot test membership in {collection!r}") from exc
+        element = compiled(node.element)
+        collection = compiled(node.collection)
+        def run_membership(ctx: EvalContext) -> bool:
+            value = element(ctx)
+            members = collection(ctx)
+            if isinstance(value, _Vacuous):
+                return True
+            try:
+                return value in members
+            except TypeError as exc:
+                raise EvaluationError(
+                    f"cannot test membership in {members!r}"
+                ) from exc
+        return run_membership
     if isinstance(node, Not):
-        return not evaluate(node.operand, ctx)
+        operand = compiled(node.operand)
+        return lambda ctx: not operand(ctx)
     if isinstance(node, And):
-        return all(evaluate(part, ctx) for part in node.parts)
+        parts = tuple(compiled(part) for part in node.parts)
+        return lambda ctx: all(part(ctx) for part in parts)
     if isinstance(node, Or):
-        return any(evaluate(part, ctx) for part in node.parts)
+        parts = tuple(compiled(part) for part in node.parts)
+        return lambda ctx: any(part(ctx) for part in parts)
     if isinstance(node, Implies):
-        return (not evaluate(node.antecedent, ctx)) or evaluate(node.consequent, ctx)
+        antecedent = compiled(node.antecedent)
+        consequent = compiled(node.consequent)
+        return lambda ctx: (not antecedent(ctx)) or consequent(ctx)
     if isinstance(node, Quantified):
-        return _evaluate_quantified(node, ctx)
+        return _compile_quantified(node)
     if isinstance(node, KeyConstraint):
-        return _evaluate_key(node, ctx)
+        return _compile_key(node)
     if isinstance(node, TrueFormula):
-        return True
+        return lambda ctx: True
     if isinstance(node, FalseFormula):
-        return False
+        return lambda ctx: False
     raise EvaluationError(f"cannot evaluate node of type {type(node).__name__}")
 
 
-def _evaluate_path(path: Path, ctx: EvalContext) -> Any:
+def _compile_path(path: Path) -> CompiledNode:
     parts = path.parts
-    if parts[0] in ctx.bindings:
-        obj = ctx.bindings[parts[0]]
-        rest = parts[1:]
-    else:
-        if ctx.current is None:
+    head, tail = parts[0], parts[1:]
+    dotted = path.dotted()
+
+    def run_path(ctx: EvalContext) -> Any:
+        if head in ctx.bindings:
+            obj = ctx.bindings[head]
+            rest = tail
+        else:
+            if ctx.current is None:
+                raise EvaluationError(
+                    f"path {dotted!r} has no root: no current object bound"
+                )
+            obj = ctx.current
+            rest = parts
+        get_attr = ctx.get_attr
+        for name in rest:
+            obj = get_attr(obj, name)
+        return obj
+
+    return run_path
+
+
+_ARITHMETIC: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+def _compile_arith(node: BinaryOp) -> CompiledNode:
+    if node.op not in _ARITHMETIC:
+        raise EvaluationError(f"unknown arithmetic operator {node.op!r}")
+    op_name = node.op
+    operator = _ARITHMETIC[op_name]
+    left = compiled(node.left)
+    right = compiled(node.right)
+
+    def run_arith(ctx: EvalContext) -> Any:
+        a = left(ctx)
+        b = right(ctx)
+        if isinstance(a, _Vacuous) or isinstance(b, _Vacuous):
+            return VACUOUS
+        try:
+            return operator(a, b)
+        except TypeError as exc:
             raise EvaluationError(
-                f"path {path.dotted()!r} has no root: no current object bound"
-            )
-        obj = ctx.current
-        rest = parts
-    for name in rest:
-        obj = ctx.get_attr(obj, name)
-    return obj
+                f"arithmetic {op_name!r} failed on {a!r} and {b!r}"
+            ) from exc
 
-
-def _evaluate_arith(node: BinaryOp, ctx: EvalContext) -> Any:
-    left = evaluate(node.left, ctx)
-    right = evaluate(node.right, ctx)
-    if isinstance(left, _Vacuous) or isinstance(right, _Vacuous):
-        return VACUOUS
-    try:
-        if node.op == "+":
-            return left + right
-        if node.op == "-":
-            return left - right
-        if node.op == "*":
-            return left * right
-        if node.op == "/":
-            return left / right
-    except TypeError as exc:
-        raise EvaluationError(
-            f"arithmetic {node.op!r} failed on {left!r} and {right!r}"
-        ) from exc
-    raise EvaluationError(f"unknown arithmetic operator {node.op!r}")
+    return run_arith
 
 
 _COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
@@ -217,62 +301,84 @@ _COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
 }
 
 
-def _evaluate_comparison(node: Comparison, ctx: EvalContext) -> bool:
-    left = evaluate(node.left, ctx)
-    right = evaluate(node.right, ctx)
-    if isinstance(left, _Vacuous) or isinstance(right, _Vacuous):
-        return True
-    try:
-        return _COMPARATORS[node.op](left, right)
-    except TypeError as exc:
-        raise EvaluationError(
-            f"cannot compare {left!r} {node.op} {right!r}"
-        ) from exc
+def _compile_comparison(node: Comparison) -> CompiledNode:
+    comparator = _COMPARATORS[node.op]
+    op_name = node.op
+    left = compiled(node.left)
+    right = compiled(node.right)
+
+    def run_comparison(ctx: EvalContext) -> bool:
+        a = left(ctx)
+        b = right(ctx)
+        if isinstance(a, _Vacuous) or isinstance(b, _Vacuous):
+            return True
+        try:
+            return comparator(a, b)
+        except TypeError as exc:
+            raise EvaluationError(
+                f"cannot compare {a!r} {op_name} {b!r}"
+            ) from exc
+
+    return run_comparison
 
 
-def _evaluate_aggregate(node: Aggregate, ctx: EvalContext) -> Any:
-    if node.collection == "self":
-        extent = list(ctx.self_extent)
-    else:
-        extent = list(ctx.extent_of(node.collection))
-    if node.func == "count" and node.over is None:
-        return len(extent)
-    values = [ctx.get_attr(obj, node.over) for obj in extent]
-    if node.func == "sum":
-        return sum(values)
-    if node.func == "count":
-        return len(values)
-    if not values:
-        return VACUOUS
-    if node.func == "avg":
-        return sum(values) / len(values)
-    if node.func == "min":
-        return min(values)
-    if node.func == "max":
+def _compile_aggregate(node: Aggregate) -> CompiledNode:
+    func, collection, over = node.func, node.collection, node.over
+    if func not in ("sum", "avg", "min", "max", "count"):
+        raise EvaluationError(f"unknown aggregate {func!r}")
+
+    def run_aggregate(ctx: EvalContext) -> Any:
+        if collection == "self":
+            extent = list(ctx.self_extent)
+        else:
+            extent = list(ctx.extent_of(collection))
+        if func == "count" and over is None:
+            return len(extent)
+        get_attr = ctx.get_attr
+        values = [get_attr(obj, over) for obj in extent]
+        if func == "sum":
+            return sum(values)
+        if func == "count":
+            return len(values)
+        if not values:
+            return VACUOUS
+        if func == "avg":
+            return sum(values) / len(values)
+        if func == "min":
+            return min(values)
         return max(values)
-    raise EvaluationError(f"unknown aggregate {node.func!r}")
+
+    return run_aggregate
 
 
-def _evaluate_quantified(node: Quantified, ctx: EvalContext) -> bool:
-    extent = ctx.extent_of(node.class_name)
-    if node.kind == "forall":
-        return all(
-            evaluate(node.body, ctx.child(bindings={**ctx.bindings, node.var: obj}))
+def _compile_quantified(node: Quantified) -> CompiledNode:
+    if node.kind not in ("forall", "exists"):
+        raise EvaluationError(f"unknown quantifier {node.kind!r}")
+    body = compiled(node.body)
+    var, class_name = node.var, node.class_name
+    combine = all if node.kind == "forall" else any
+
+    def run_quantified(ctx: EvalContext) -> bool:
+        extent = ctx.extent_of(class_name)
+        return combine(
+            body(ctx.child(bindings={**ctx.bindings, var: obj}))
             for obj in extent
         )
-    if node.kind == "exists":
-        return any(
-            evaluate(node.body, ctx.child(bindings={**ctx.bindings, node.var: obj}))
-            for obj in extent
-        )
-    raise EvaluationError(f"unknown quantifier {node.kind!r}")
+
+    return run_quantified
 
 
-def _evaluate_key(node: KeyConstraint, ctx: EvalContext) -> bool:
-    seen: set[tuple] = set()
-    for obj in ctx.self_extent:
-        key = tuple(ctx.get_attr(obj, attr) for attr in node.attributes)
-        if key in seen:
-            return False
-        seen.add(key)
-    return True
+def _compile_key(node: KeyConstraint) -> CompiledNode:
+    attributes = node.attributes
+
+    def run_key(ctx: EvalContext) -> bool:
+        seen: set[tuple] = set()
+        get_attr = ctx.get_attr
+        for obj in ctx.self_extent:
+            key = tuple(get_attr(obj, attr) for attr in attributes)
+            if key in seen:
+                return False
+            seen.add(key)
+        return True
+
+    return run_key

@@ -11,14 +11,31 @@ constraint of its TM schema.
 * :mod:`~repro.engine.objects` — object identities and states;
 * :mod:`~repro.engine.store` — the store: insert/update/delete, extents,
   reference dereferencing, evaluation contexts;
-* :mod:`~repro.engine.enforcement` — constraint checking;
+* :mod:`~repro.engine.enforcement` — full (store-wide) constraint checking;
+* :mod:`~repro.engine.incremental` — delta-driven constraint checking: the
+  constraint-dependency index, mutation dirty sets, and the validators that
+  intersect them (the enforcement hot path);
 * :mod:`~repro.engine.query` — predicate queries over extents;
-* :mod:`~repro.engine.transactions` — snapshot transactions with deferred
-  constraint checking.
+* :mod:`~repro.engine.transactions` — snapshot transactions with deferred,
+  delta-driven constraint checking at commit.
 """
 
 from repro.engine.objects import DBObject
 from repro.engine.store import ObjectStore
 from repro.engine.query import select
+from repro.engine.incremental import (
+    ConstraintDependencyIndex,
+    MutationDelta,
+    check_delta,
+    delta_violations,
+)
 
-__all__ = ["DBObject", "ObjectStore", "select"]
+__all__ = [
+    "DBObject",
+    "ObjectStore",
+    "select",
+    "ConstraintDependencyIndex",
+    "MutationDelta",
+    "check_delta",
+    "delta_violations",
+]

@@ -12,7 +12,14 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.constraints.evaluate import evaluate
-from repro.errors import ConstraintViolation, EvaluationError
+from repro.errors import ConstraintViolation, EngineError, EvaluationError
+
+#: Evaluation failures that count as violations rather than crashes in the
+#: bulk audit: a formula that cannot be evaluated (missing attribute,
+#: unknown function) or whose dereference hits a dangling/unknown object.
+#: ``ConstraintViolation`` subclasses ``EngineError`` but ``evaluate`` never
+#: raises it, so the widened catch is safe.
+_EVAL_FAILURES = (EvaluationError, EngineError)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.objects import DBObject
@@ -99,7 +106,7 @@ def all_violations(store: "ObjectStore") -> list[Violation]:
                     found.append(
                         Violation(constraint.qualified_name, f"object {obj.oid}")
                     )
-            except EvaluationError as exc:
+            except _EVAL_FAILURES as exc:
                 found.append(Violation(constraint.qualified_name, str(exc)))
     for class_def in store.schema.classes.values():
         for constraint in class_def.own_class_constraints():
@@ -112,7 +119,7 @@ def all_violations(store: "ObjectStore") -> list[Violation]:
                             f"extent of {class_def.name}",
                         )
                     )
-            except EvaluationError as exc:
+            except _EVAL_FAILURES as exc:
                 found.append(Violation(constraint.qualified_name, str(exc)))
     for constraint in store.schema.database_constraints:
         try:
@@ -120,6 +127,6 @@ def all_violations(store: "ObjectStore") -> list[Violation]:
                 found.append(
                     Violation(constraint.qualified_name, "database constraint")
                 )
-        except EvaluationError as exc:
+        except _EVAL_FAILURES as exc:
             found.append(Violation(constraint.qualified_name, str(exc)))
     return found

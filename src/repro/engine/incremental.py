@@ -1,0 +1,514 @@
+"""Incremental (delta-driven) constraint enforcement.
+
+The seed engine re-evaluated *every* constraint against the *whole* store at
+each transaction commit.  This module implements the classic remedy —
+simplified integrity checking: evaluate only the constraints that the update
+delta can possibly have invalidated.
+
+Three pieces cooperate:
+
+* :class:`ConstraintDependencyIndex` — a static index, built once per schema
+  (and rebuilt when :meth:`~repro.tm.schema.DatabaseSchema.fingerprint`
+  changes), that walks each constraint's AST and records what it *reads*:
+  ``(class, attribute)`` pairs, class extents whose membership matters, and
+  references into other classes.  Reads are expanded over the subclass
+  closure, because an object of a subclass lives in every ancestor's extent.
+
+* :class:`MutationDelta` — the dirty set.  Each ``insert``/``update``/
+  ``delete`` records the touched ``(class, attribute)`` pairs, the extents
+  whose membership changed, and the touched object identifiers (with the
+  attribute names changed per object).  Deltas merge, so a transaction
+  accumulates one delta across all of its operations.
+
+* the delta-driven validators — :func:`check_delta` (fail-fast, used for
+  single-operation enforcement) and :func:`delta_violations` (collecting,
+  used at transaction commit) — which intersect the dirty set with the index
+  and check only the affected constraints.
+
+Correctness argument: assuming the store satisfied all constraints before the
+delta, any newly violated constraint must read something the delta wrote
+(an attribute value or an extent membership), so it is matched by the
+intersection.  Anything the extractor cannot resolve statically (a path
+through an unknown attribute, an unknown class) marks the constraint
+*universal* — checked on every delta — so approximation errs on the side of
+checking.  Stores that were already inconsistent (built with
+``enforce=False``) are outside this contract; use
+:meth:`~repro.engine.store.ObjectStore.check_all` for a full audit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterator
+import weakref
+from weakref import WeakKeyDictionary
+
+from repro.constraints.ast import Aggregate, KeyConstraint, Node, Path, Quantified
+from repro.constraints.evaluate import compiled, evaluate
+from repro.constraints.model import Constraint, ConstraintKind
+from repro.errors import (
+    ConstraintViolation,
+    EngineError,
+    EvaluationError,
+    SchemaError,
+)
+from repro.types.primitives import ClassRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.objects import DBObject
+    from repro.engine.store import ObjectStore
+    from repro.tm.schema import DatabaseSchema
+
+
+# ---------------------------------------------------------------------------
+# dirty sets
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MutationDelta:
+    """What a batch of mutations touched.
+
+    ``objects`` maps oid → the set of attribute names changed on that object,
+    with ``None`` meaning "all of them" (inserts).  ``record_delete`` drops
+    the oid from its own delta, but merging per-operation deltas into a
+    transaction's accumulated delta can leave oids that were later deleted;
+    validators skip identifiers that no longer resolve.
+    """
+
+    attrs: set[tuple[str, str]] = field(default_factory=set)
+    extents: set[str] = field(default_factory=set)
+    objects: dict[str, set[str] | None] = field(default_factory=dict)
+
+    def record_insert(self, obj: "DBObject") -> None:
+        self.extents.add(obj.class_name)
+        self.attrs.update((obj.class_name, name) for name in obj.state)
+        self.objects[obj.oid] = None
+
+    def record_update(self, obj: "DBObject", changed: set[str]) -> None:
+        self.attrs.update((obj.class_name, name) for name in changed)
+        previous = self.objects.get(obj.oid, set())
+        if previous is None:
+            return  # inserted in this delta: already "all attributes"
+        self.objects[obj.oid] = set(previous) | changed
+
+    def record_delete(self, obj: "DBObject") -> None:
+        self.extents.add(obj.class_name)
+        self.attrs.update((obj.class_name, name) for name in obj.state)
+        self.objects.pop(obj.oid, None)
+
+    def merge(self, other: "MutationDelta") -> None:
+        self.attrs |= other.attrs
+        self.extents |= other.extents
+        for oid, changed in other.objects.items():
+            if changed is None or self.objects.get(oid, set()) is None:
+                self.objects[oid] = None
+            else:
+                self.objects[oid] = set(self.objects.get(oid) or set()) | changed
+
+    def copy(self) -> "MutationDelta":
+        return MutationDelta(
+            attrs=set(self.attrs),
+            extents=set(self.extents),
+            objects={
+                oid: (None if changed is None else set(changed))
+                for oid, changed in self.objects.items()
+            },
+        )
+
+
+# ---------------------------------------------------------------------------
+# the constraint-dependency index
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IndexedConstraint:
+    """One constraint plus the statically extracted read set."""
+
+    constraint: Constraint
+    #: The owner class and its subclasses (empty for database constraints).
+    owner_extent: frozenset[str]
+    #: Every ``(class, attribute)`` the formula may read, subclass-expanded.
+    attrs: frozenset[tuple[str, str]]
+    #: Classes whose extent *membership* the formula depends on.
+    extents: frozenset[str]
+    #: Reads taken directly off the constrained object (first path segment
+    #: rooted at the owner).
+    own: frozenset[tuple[str, str]] = frozenset()
+    #: Reads that reach *other* objects — through reference dereferences,
+    #: quantifier variables or aggregate items.  Changes to those can
+    #: invalidate the constraint on any object of the owner, even when the
+    #: read class lies inside the owner's own subclass closure (a
+    #: self-referencing ``Manager.rep : Employee`` reads other employees).
+    foreign: frozenset[tuple[str, str]] = frozenset()
+    #: True when static analysis could not resolve part of the formula;
+    #: universal constraints are checked on every delta.
+    universal: bool = False
+    #: The formula's compiled closure, bound once at index build so checks
+    #: skip the cache lookup (which re-hashes the AST); ``None`` when the
+    #: formula does not compile — evaluation then fails at check time with
+    #: the usual error shape.
+    run: Any = None
+
+    @property
+    def kind(self) -> ConstraintKind:
+        return self.constraint.kind
+
+    def evaluate_with(self, ctx) -> Any:
+        if self.run is not None:
+            return self.run(ctx)
+        return evaluate(self.constraint.formula, ctx)
+
+    def foreign_attrs(self) -> frozenset[tuple[str, str]]:
+        return self.foreign
+
+    def own_attr_names(self) -> frozenset[str]:
+        """Attribute names read directly off the constrained object."""
+        return frozenset(attr for _cls, attr in self.own)
+
+    def affected_by(self, delta: MutationDelta) -> bool:
+        return (
+            self.universal
+            or bool(self.attrs & delta.attrs)
+            or bool(self.extents & delta.extents)
+        )
+
+
+class _ReadSetBuilder:
+    """Walks one constraint formula, accumulating the read set."""
+
+    def __init__(self, schema: "DatabaseSchema", owner: str | None):
+        self.schema = schema
+        self.owner = owner
+        self.own: set[tuple[str, str]] = set()
+        self.foreign: set[tuple[str, str]] = set()
+        self.extents: set[str] = set()
+        self.universal = False
+
+    def closure(self, class_name: str) -> list[str]:
+        return [class_name, *self.schema.subclasses_of(class_name)]
+
+    def walk(self, node: Node, env: dict[str, str | None]) -> None:
+        if isinstance(node, Quantified):
+            if not self.schema.has_class(node.class_name):
+                self.universal = True
+                return
+            self.extents.update(self.closure(node.class_name))
+            self.walk(node.body, {**env, node.var: node.class_name})
+            return
+        if isinstance(node, Aggregate):
+            base = self.owner if node.collection == "self" else node.collection
+            if base is None or not self.schema.has_class(base):
+                self.universal = True
+                return
+            self.extents.update(self.closure(base))
+            if node.over is not None:
+                self._walk_path(base, (node.over,), owner_rooted=False)
+            return
+        if isinstance(node, KeyConstraint):
+            if self.owner is None or not self.schema.has_class(self.owner):
+                self.universal = True
+                return
+            self.extents.update(self.closure(self.owner))
+            for attr in node.attributes:
+                self._walk_path(self.owner, (attr,), owner_rooted=False)
+            return
+        if isinstance(node, Path):
+            if node.parts[0] in env:
+                # Rooted at a quantifier variable: a read of *another*
+                # object, whatever its class.
+                self._walk_path(
+                    env[node.parts[0]], node.parts[1:], owner_rooted=False
+                )
+            else:
+                self._walk_path(self.owner, node.parts, owner_rooted=True)
+            return
+        for child in node.children():
+            self.walk(child, env)
+
+    def _walk_path(
+        self, start: str | None, parts: tuple[str, ...], owner_rooted: bool
+    ) -> None:
+        """Record ``(class, attr)`` reads along a dotted path, following
+        reference attributes into the classes they point at.
+
+        Only the *first* segment of an owner-rooted path reads the
+        constrained object itself; every segment after a dereference (and
+        every segment of a variable-rooted path) reads a different object
+        and lands in ``foreign``.
+        """
+        current: str | None = start
+        for index, part in enumerate(parts):
+            if current is None or not self.schema.has_class(current):
+                self.universal = True
+                return
+            attributes = self.schema.effective_attributes(current)
+            if part not in attributes:
+                # A variable-free name we cannot type (e.g. a quantifier
+                # variable compared wholesale, or a rewritten attribute):
+                # treat conservatively.
+                self.universal = True
+                return
+            target = self.own if owner_rooted and index == 0 else self.foreign
+            for cls in self.closure(current):
+                target.add((cls, part))
+            tm_type = attributes[part].tm_type
+            if isinstance(tm_type, ClassRef):
+                # Reading a reference depends on the referenced object's
+                # *existence* even when no attribute of it is read (a bare
+                # ref comparison): deleting a member of the target extent
+                # can leave the reference dangling.
+                self.extents.update(self.closure(tm_type.class_name))
+                current = tm_type.class_name
+            elif index < len(parts) - 1:
+                self.universal = True
+                return
+            else:
+                current = None
+
+
+#: schema → index, invalidated by fingerprint comparison.
+_INDEX_CACHE: "WeakKeyDictionary[DatabaseSchema, ConstraintDependencyIndex]" = (
+    WeakKeyDictionary()
+)
+
+
+class ConstraintDependencyIndex:
+    """Read sets for every constraint of a schema, grouped by kind.
+
+    Building the index also warms the compiled-evaluation cache
+    (:func:`repro.constraints.evaluate.compiled`) for every constraint
+    formula, so the first post-build check pays no lowering cost.
+    """
+
+    def __init__(self, schema: "DatabaseSchema"):
+        # Held weakly: the index is a value in the schema-keyed
+        # WeakKeyDictionary cache, and a strong reference here would pin the
+        # key alive, leaking one (schema, index) pair per schema forever.
+        self._schema_ref = weakref.ref(schema)
+        self.fingerprint = schema.fingerprint()
+        self.object_constraints: list[IndexedConstraint] = []
+        self.class_constraints: list[IndexedConstraint] = []
+        self.database_constraints: list[IndexedConstraint] = []
+        self._by_constraint: dict[Constraint, IndexedConstraint] = {}
+        for constraint in schema.all_constraints():
+            entry = self._analyze(constraint)
+            self._by_constraint[constraint] = entry
+            if constraint.kind is ConstraintKind.OBJECT:
+                self.object_constraints.append(entry)
+            elif constraint.kind is ConstraintKind.CLASS:
+                self.class_constraints.append(entry)
+            else:
+                self.database_constraints.append(entry)
+
+    def _analyze(self, constraint: Constraint) -> IndexedConstraint:
+        schema = self._schema_ref()
+        assert schema is not None  # only called while building, schema alive
+        builder = _ReadSetBuilder(schema, constraint.owner)
+        try:
+            builder.walk(constraint.formula, {})
+        except SchemaError:
+            builder.universal = True
+        owner_extent: frozenset[str] = frozenset()
+        if constraint.owner is not None and schema.has_class(constraint.owner):
+            owner_extent = frozenset(builder.closure(constraint.owner))
+        try:
+            run = compiled(constraint.formula)
+        except EvaluationError:
+            run = None  # malformed formulas fail at check time, as before
+        return IndexedConstraint(
+            constraint=constraint,
+            owner_extent=owner_extent,
+            attrs=frozenset(builder.own | builder.foreign),
+            extents=frozenset(builder.extents),
+            own=frozenset(builder.own),
+            foreign=frozenset(builder.foreign),
+            universal=builder.universal,
+            run=run,
+        )
+
+    def entry(self, constraint: Constraint) -> IndexedConstraint | None:
+        return self._by_constraint.get(constraint)
+
+    def is_stale(self) -> bool:
+        schema = self._schema_ref()
+        return schema is None or schema.fingerprint() != self.fingerprint
+
+    @classmethod
+    def for_schema(cls, schema: "DatabaseSchema") -> "ConstraintDependencyIndex":
+        """The cached index for ``schema``, rebuilt when the schema changed."""
+        index = _INDEX_CACHE.get(schema)
+        if index is None or index.is_stale():
+            index = cls(schema)
+            _INDEX_CACHE[schema] = index
+        return index
+
+
+# ---------------------------------------------------------------------------
+# delta-driven validation
+# ---------------------------------------------------------------------------
+
+
+def _affected_object_checks(
+    store: "ObjectStore",
+    delta: MutationDelta,
+    index: ConstraintDependencyIndex,
+) -> Iterator[tuple[IndexedConstraint, "DBObject"]]:
+    """(constraint, object) pairs that must be re-checked, deduplicated.
+
+    Touched objects come first (in mutation order, each against its effective
+    constraints in the same order single-operation enforcement uses); then
+    full-extent re-checks for constraints that read *other* classes through
+    references — a change to a referenced object can invalidate the
+    constraint on any referrer.
+    """
+    seen: set[tuple[int, str]] = set()
+    schema = store.schema
+    for oid, changed in delta.objects.items():
+        if oid not in store:
+            continue  # deleted later in the same delta, or rolled back
+        obj = store.get(oid)
+        for constraint in schema.effective_object_constraints(obj.class_name):
+            # Every constraint of the schema is in the index: the caller
+            # fetched a fresh index for this same schema, and Constraint is
+            # a frozen value-hashed dataclass.
+            entry = index.entry(constraint)
+            assert entry is not None, constraint.qualified_name
+            if entry.universal or changed is None:
+                relevant = True
+            else:
+                relevant = any(
+                    (obj.class_name, attr) in entry.attrs for attr in changed
+                )
+            if relevant:
+                key = (id(constraint), oid)
+                if key not in seen:
+                    seen.add(key)
+                    yield entry, obj
+    for entry in index.object_constraints:
+        # Full-extent re-check when the delta touched something the
+        # constraint reads *outside* the constrained object itself: a
+        # referenced object's attributes, or the membership of an extent the
+        # formula quantifies/aggregates over.
+        triggered = (
+            entry.universal
+            or bool(entry.foreign & delta.attrs)
+            or bool(entry.extents & delta.extents)
+        )
+        if not triggered or not entry.owner_extent:
+            continue
+        owner = entry.constraint.owner
+        if owner is None or not schema.has_class(owner):
+            continue
+        for obj in store.extent(owner):
+            key = (id(entry.constraint), obj.oid)
+            if key not in seen:
+                seen.add(key)
+                yield entry, obj
+
+
+def check_delta(store: "ObjectStore", delta: MutationDelta) -> None:
+    """Fail-fast validation of the constraints affected by ``delta``.
+
+    Raises :class:`ConstraintViolation` for the first violated constraint,
+    with the same message shapes as full enforcement
+    (:mod:`repro.engine.enforcement`).  Check order matches the
+    single-operation path: object constraints, then class constraints, then
+    database constraints.
+    """
+    index = store.dependency_index()
+    for entry, obj in _affected_object_checks(store, delta, index):
+        constraint = entry.constraint
+        ctx = store.eval_context(current=obj)
+        try:
+            satisfied = entry.evaluate_with(ctx)
+        except (EvaluationError, EngineError) as exc:
+            raise ConstraintViolation(
+                constraint.qualified_name, f"cannot evaluate on {obj.oid}: {exc}"
+            ) from exc
+        if not satisfied:
+            raise ConstraintViolation(
+                constraint.qualified_name,
+                f"object {obj.oid} with state {obj.state!r}",
+            )
+    for entry in index.class_constraints:
+        if not entry.affected_by(delta):
+            continue
+        constraint = entry.constraint
+        owner = constraint.owner
+        ctx = store.eval_context(self_extent_class=owner)
+        try:
+            satisfied = entry.evaluate_with(ctx)
+        except (EvaluationError, EngineError) as exc:
+            raise ConstraintViolation(constraint.qualified_name, str(exc)) from exc
+        if not satisfied:
+            raise ConstraintViolation(
+                constraint.qualified_name,
+                f"extent of {owner} ({len(store.extent(owner))} objects)",
+            )
+    for entry in index.database_constraints:
+        if not entry.affected_by(delta):
+            continue
+        constraint = entry.constraint
+        try:
+            satisfied = entry.evaluate_with(store.eval_context())
+        except (EvaluationError, EngineError) as exc:
+            raise ConstraintViolation(constraint.qualified_name, str(exc)) from exc
+        if not satisfied:
+            raise ConstraintViolation(
+                constraint.qualified_name, "database constraint violated"
+            )
+
+
+def delta_violations(store: "ObjectStore", delta: MutationDelta) -> list:
+    """Every violation among the constraints affected by ``delta``.
+
+    The commit-time counterpart of
+    :func:`repro.engine.enforcement.all_violations`: given a store that
+    satisfied its constraints before the delta was applied, this finds a
+    violation if and only if full revalidation would (it may report fewer
+    violations overall — only the affected ones — but never zero when full
+    validation reports some).
+    """
+    from repro.engine.enforcement import Violation
+
+    found: list[Violation] = []
+    index = store.dependency_index()
+    for entry, obj in _affected_object_checks(store, delta, index):
+        constraint = entry.constraint
+        ctx = store.eval_context(current=obj)
+        try:
+            if not entry.evaluate_with(ctx):
+                found.append(
+                    Violation(constraint.qualified_name, f"object {obj.oid}")
+                )
+        except (EvaluationError, EngineError) as exc:
+            found.append(Violation(constraint.qualified_name, str(exc)))
+    for entry in index.class_constraints:
+        if not entry.affected_by(delta):
+            continue
+        constraint = entry.constraint
+        ctx = store.eval_context(self_extent_class=constraint.owner)
+        try:
+            if not entry.evaluate_with(ctx):
+                found.append(
+                    Violation(
+                        constraint.qualified_name,
+                        f"extent of {constraint.owner}",
+                    )
+                )
+        except (EvaluationError, EngineError) as exc:
+            found.append(Violation(constraint.qualified_name, str(exc)))
+    for entry in index.database_constraints:
+        if not entry.affected_by(delta):
+            continue
+        constraint = entry.constraint
+        try:
+            if not entry.evaluate_with(store.eval_context()):
+                found.append(
+                    Violation(constraint.qualified_name, "database constraint")
+                )
+        except (EvaluationError, EngineError) as exc:
+            found.append(Violation(constraint.qualified_name, str(exc)))
+    return found

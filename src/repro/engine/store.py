@@ -27,17 +27,50 @@ class ObjectStore:
     deferred transaction — re-checks the constraints that the mutation could
     have invalidated, raising :class:`ConstraintViolation` and leaving the
     store unchanged on failure.
+
+    With ``incremental=True`` (the default) enforcement is *delta-driven*:
+    each mutation records a :class:`~repro.engine.incremental.MutationDelta`
+    and only the constraints whose statically extracted read set intersects
+    the delta are re-checked (see :mod:`repro.engine.incremental`).  With
+    ``incremental=False`` the store keeps the exhaustive behaviour: full
+    revalidation at transaction commit and the fixed
+    object/class/database-constraint sweep after every operation.
     """
 
-    def __init__(self, schema: DatabaseSchema, enforce: bool = True):
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        enforce: bool = True,
+        incremental: bool = True,
+    ):
         self.schema = schema
         self.enforce = enforce
+        self.incremental = incremental
         self._objects: dict[str, DBObject] = {}
         self._direct_extents: dict[str, set[str]] = {
             name: set() for name in schema.classes
         }
         self._counter = itertools.count(1)
         self._deferred = False
+        #: Dirty set of the enclosing transaction; None outside transactions.
+        self._delta = None
+        #: Undo log of the enclosing transaction (oid → pre-image);
+        #: None outside transactions.
+        self._undo: dict[str, tuple[DBObject, dict] | None] | None = None
+        #: (class, attribute) → declared type, for the dereferencing hot
+        #: path.  Safe to cache for the store's lifetime: an attribute's
+        #: type cannot be redeclared once the class exists, and states are
+        #: type-checked against the schema before they are stored.
+        self._attr_types: dict[tuple[str, str], Any] = {}
+        #: Schema fingerprint as of the last *full* validation known to hold
+        #: on this store; ``None`` until one has run.  Incremental
+        #: enforcement needs a validated starting point (even an empty store
+        #: can violate an ``exists``-style constraint) and must notice
+        #: schema changes since — a rebound constant can invalidate
+        #: constraints with no data delta at all.  When the baseline is
+        #: missing or stale, enforcement falls back to full revalidation,
+        #: and any clean full pass re-baselines.
+        self._validated_fingerprint: int | None = None
 
     # -- basic access --------------------------------------------------------
 
@@ -90,9 +123,15 @@ class ObjectStore:
         obj = DBObject(oid, class_name, checked)
         self._objects[oid] = obj
         self._direct_extents[class_name].add(oid)
+        self._log_undo(oid, None)
+        delta = self._new_delta()
+        delta.record_insert(obj)
         try:
-            self._after_mutation(obj)
-        except ConstraintViolation:
+            self._after_mutation(obj, delta)
+        # EngineError covers ConstraintViolation plus evaluation blowing up
+        # on pre-existing inconsistencies (e.g. a dangling reference): the
+        # insert must stay atomic either way.
+        except EngineError:
             del self._objects[oid]
             self._direct_extents[class_name].discard(oid)
             raise
@@ -110,25 +149,42 @@ class ObjectStore:
         new_state.update(changes)
         checked = self._check_types(obj.class_name, new_state)
         old_state = obj.state
+        self._log_undo(obj.oid, (obj, old_state))
         obj.state = checked
+        delta = self._new_delta()
+        delta.record_update(obj, set(changes))
         try:
-            self._after_mutation(obj)
-        except ConstraintViolation:
+            self._after_mutation(obj, delta)
+        except EngineError:  # see insert(): keep the update atomic
             obj.state = old_state
             raise
         return obj
 
     def delete(self, target: DBObject | str) -> None:
-        """Remove an object (checking database constraints afterwards)."""
+        """Remove an object, re-checking the constraints the removal can
+        invalidate (database constraints, and — on incremental stores —
+        aggregate/key class constraints over the shrunk extent and object
+        constraints that referenced the removed object)."""
         obj = self.get(target.oid if isinstance(target, DBObject) else target)
+        self._log_undo(obj.oid, (obj, obj.state))
         del self._objects[obj.oid]
         self._direct_extents[obj.class_name].discard(obj.oid)
+        delta = self._new_delta()
+        delta.record_delete(obj)
+        self._note_delta(delta)
         try:
             if self.enforce and not self._deferred:
-                self._check_database_constraints()
-        except ConstraintViolation:
+                if self.incremental:
+                    self._enforce_incremental(delta)
+                else:
+                    self._check_database_constraints()
+        # EngineError also covers evaluation blowing up on a reference the
+        # removal left dangling (ConstraintViolation is a subclass): the
+        # delete must stay atomic either way.
+        except EngineError:
             self._objects[obj.oid] = obj
             self._direct_extents[obj.class_name].add(obj.oid)
+            self._restore_object_order()
             raise
 
     # -- type checking -----------------------------------------------------------------
@@ -187,10 +243,15 @@ class ObjectStore:
                     f"{obj.class_name} object {obj.oid} has no attribute {name!r}"
                 )
             value = obj.state[name]
-            try:
-                tm_type = self.schema.attribute_type(obj.class_name, name)
-            except SchemaError:
-                tm_type = None
+            key = (obj.class_name, name)
+            if key in self._attr_types:
+                tm_type = self._attr_types[key]
+            else:
+                try:
+                    tm_type = self.schema.attribute_type(obj.class_name, name)
+                except SchemaError:
+                    tm_type = None
+                self._attr_types[key] = tm_type
             if isinstance(tm_type, ClassRef) and isinstance(value, str):
                 return self.get(value)
             return value
@@ -221,8 +282,74 @@ class ObjectStore:
 
     # -- enforcement --------------------------------------------------------------------
 
-    def _after_mutation(self, obj: DBObject) -> None:
+    def _new_delta(self):
+        from repro.engine.incremental import MutationDelta
+
+        return MutationDelta()
+
+    def _note_delta(self, delta) -> None:
+        """Accumulate an operation's dirty set into the transaction's."""
+        if self._deferred and self._delta is not None:
+            self._delta.merge(delta)
+
+    def _restore_object_order(self) -> None:
+        """Re-sort ``_objects`` into insertion order after a removed object
+        was re-registered (which appends at the end of the dict).  Engine
+        oids embed the global insertion counter (``Class#N``), so the order
+        is recoverable without a snapshot."""
+        self._objects = dict(
+            sorted(
+                self._objects.items(),
+                key=lambda item: int(item[0].rsplit("#", 1)[-1]),
+            )
+        )
+
+    def _log_undo(self, oid: str, entry: "tuple[DBObject, dict] | None") -> None:
+        """Record an object's pre-image the first time a transaction touches
+        it.  ``None`` means the object did not exist (insert); the pre-image
+        dict is the abandoned state mapping, so no copy is needed."""
+        if self._undo is not None:
+            self._undo.setdefault(oid, entry)
+
+    def dependency_index(self):
+        """The cached constraint-dependency index for this store's schema,
+        rebuilt when the schema fingerprint changes."""
+        from repro.engine.incremental import ConstraintDependencyIndex
+
+        return ConstraintDependencyIndex.for_schema(self.schema)
+
+    def _schema_changed_since_validation(self) -> bool:
+        return (
+            self._validated_fingerprint is None
+            or self.schema.fingerprint() != self._validated_fingerprint
+        )
+
+    def _revalidate_fully(self) -> None:
+        """Full-store validation when no valid incremental baseline exists
+        (no full pass yet, or the schema changed since the last one); raises
+        on any violation."""
+        violations = self.check_all()
+        if violations:
+            raise ConstraintViolation(
+                "full revalidation", "; ".join(violations)
+            )
+
+    def _enforce_incremental(self, delta) -> None:
+        """The delta-driven enforcement step shared by all mutations."""
+        if self._schema_changed_since_validation():
+            self._revalidate_fully()
+            return
+        from repro.engine.incremental import check_delta
+
+        check_delta(self, delta)
+
+    def _after_mutation(self, obj: DBObject, delta=None) -> None:
+        if delta is not None:
+            self._note_delta(delta)
         if not self.enforce or self._deferred:
+            return
+        if self.incremental and delta is not None:
+            self._enforce_incremental(delta)
             return
         from repro.engine.enforcement import (
             check_class_constraints,
@@ -240,10 +367,17 @@ class ObjectStore:
         check_database_constraints(self)
 
     def check_all(self) -> list[str]:
-        """Validate the entire store; returns violation descriptions."""
+        """Validate the entire store; returns violation descriptions.
+
+        A clean full pass re-baselines the validated schema fingerprint:
+        the store is known consistent under the *current* schema, so
+        incremental enforcement may resume."""
         from repro.engine.enforcement import all_violations
 
-        return [violation.describe() for violation in all_violations(self)]
+        found = [violation.describe() for violation in all_violations(self)]
+        if not found:
+            self._validated_fingerprint = self.schema.fingerprint()
+        return found
 
     # -- transactions -------------------------------------------------------------------
 

@@ -1,10 +1,34 @@
-"""Snapshot transactions with deferred constraint checking.
+"""Snapshot-free transactions with deferred, delta-driven checking.
 
 Multi-object updates (e.g. inserting a Publisher and the Item referencing it
 under the referential database constraint ``db1``) need constraint checking
-deferred to commit time; a :class:`Transaction` snapshots the store, disables
-per-operation enforcement, and validates everything at exit, rolling back on
-failure.
+deferred to commit time; a :class:`Transaction` disables per-operation
+enforcement, and validates at exit, rolling back on failure.
+
+Both sides of the transaction are proportional to what it *touched*, not to
+the store size:
+
+* Rollback uses an **undo log** kept by the store (oid → pre-image, recorded
+  on first touch) instead of a whole-store snapshot, so entering a
+  transaction is O(1) and rolling back is O(touched objects).
+
+* Commit-time validation is **delta-driven** on incremental stores: the
+  store accumulates a :class:`~repro.engine.incremental.MutationDelta`
+  across the transaction's operations, and only the constraints whose read
+  set (per the cached
+  :class:`~repro.engine.incremental.ConstraintDependencyIndex`) intersects
+  the delta are re-checked.  The transaction falls back to full revalidation
+  when the schema changed since the store's last validated state (detected
+  by fingerprint comparison — whether the change happened before or during
+  the transaction), or when the store was created with
+  ``incremental=False``.
+
+Transactions nest: an inner transaction inside an already-deferred store
+keeps deferring to the *outermost* commit, which validates everything.  An
+inner commit merges its undo log into the outer one (first-touch pre-images
+win); an inner rollback restores the state and dirty set captured at the
+inner entry, so reverted operations neither leak into nor hide from the
+outer commit.
 """
 
 from __future__ import annotations
@@ -22,21 +46,28 @@ class Transaction:
 
     def __init__(self, store: "ObjectStore"):
         self.store = store
-        self._snapshot_objects: dict | None = None
-        self._snapshot_extents: dict | None = None
         self._was_deferred = False
+        self._outer_undo: dict | None = None
+        self._outer_delta = None
+        self._delta_mark = None
 
     def __enter__(self) -> "Transaction":
         store = self.store
-        self._snapshot_objects = {
-            oid: (obj.class_name, dict(obj.state))
-            for oid, obj in store._objects.items()
-        }
-        self._snapshot_extents = {
-            name: set(oids) for name, oids in store._direct_extents.items()
-        }
         self._was_deferred = store._deferred
         store._deferred = True
+        self._outer_undo = store._undo
+        store._undo = {}
+        if self._was_deferred:
+            # Nested: keep accumulating into the outer delta, but remember
+            # where we came in so a rollback can discard our contribution.
+            self._delta_mark = (
+                store._delta.copy() if store._delta is not None else None
+            )
+        else:
+            self._outer_delta = store._delta
+            from repro.engine.incremental import MutationDelta
+
+            store._delta = MutationDelta()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -45,30 +76,82 @@ class Transaction:
         if exc_type is not None:
             self._rollback()
             return False
-        if store.enforce and not store._deferred:
-            violations = store.check_all()
+        undo = store._undo
+        if self._was_deferred:
+            # Inner commit: the outermost transaction validates.  Merge the
+            # undo log outward; the outer transaction's earlier pre-images
+            # take precedence over ours.
+            if self._outer_undo is not None:
+                for oid, entry in undo.items():
+                    self._outer_undo.setdefault(oid, entry)
+            store._undo = self._outer_undo
+            return False
+        store._undo = self._outer_undo
+        delta = store._delta
+        store._delta = self._outer_delta
+        if store.enforce:
+            violations = self._validate(delta)
             if violations:
-                self._rollback()
+                self._apply_undo(undo)
                 raise ConstraintViolation(
                     "transaction", "; ".join(violations)
                 )
         return False
 
-    def _rollback(self) -> None:
-        from repro.engine.objects import DBObject
+    def _validate(self, delta) -> list[str]:
+        """Commit-time validation: delta-driven when possible, full otherwise.
 
+        Full revalidation runs when the store was created with
+        ``incremental=False`` or when the schema fingerprint differs from
+        the one the store last validated under — whether the change happened
+        mid-transaction or before it (a rebound constant can invalidate
+        constraints with no data delta)."""
         store = self.store
-        assert self._snapshot_objects is not None
-        assert self._snapshot_extents is not None
-        survivors: dict[str, DBObject] = {}
-        for oid, (class_name, state) in self._snapshot_objects.items():
-            existing = store._objects.get(oid)
-            if existing is not None:
-                existing.state = state
-                survivors[oid] = existing
+        use_full = (
+            not store.incremental
+            or delta is None
+            or store._schema_changed_since_validation()
+        )
+        if use_full:
+            return store.check_all()
+        from repro.engine.incremental import delta_violations
+
+        return [v.describe() for v in delta_violations(store, delta)]
+
+    def _rollback(self) -> None:
+        store = self.store
+        undo = store._undo
+        store._undo = self._outer_undo
+        if undo:
+            self._apply_undo(undo)
+        # Restore the dirty set too: reverted operations must not force
+        # (or worse, mask) re-checks at the outer commit.
+        if self._was_deferred:
+            store._delta = self._delta_mark
+        else:
+            store._delta = self._outer_delta
+
+    def _apply_undo(self, undo: dict) -> None:
+        """Restore every touched object to its logged pre-image.
+
+        Pre-images keep object identity: an updated object gets its old
+        state dict back in place, and a deleted object is re-registered as
+        the *same* :class:`DBObject` instance, so references held outside
+        the store stay valid across a rollback.
+        """
+        store = self.store
+        resurrected = False
+        for oid, entry in undo.items():
+            if entry is None:
+                obj = store._objects.pop(oid, None)
+                if obj is not None:
+                    store._direct_extents[obj.class_name].discard(oid)
             else:
-                survivors[oid] = DBObject(oid, class_name, state)
-        store._objects = survivors
-        store._direct_extents = {
-            name: set(oids) for name, oids in self._snapshot_extents.items()
-        }
+                obj, state = entry
+                obj.state = state
+                if oid not in store._objects:
+                    resurrected = True
+                store._objects[oid] = obj
+                store._direct_extents[obj.class_name].add(oid)
+        if resurrected:
+            store._restore_object_order()

@@ -32,6 +32,16 @@ def render_report(result: IntegrationResult, width: int = 78) -> str:
         for issue in result.spec_issues:
             lines.append(f"  ! {issue.describe()}")
 
+    if result.component_violations:
+        section("Component store violations")
+        lines.append(
+            "  the paper assumes components enforce their own constraints;"
+        )
+        lines.append("  these stores do not, so derived results are unreliable:")
+        for component, violations in result.component_violations.items():
+            for violation in violations:
+                lines.append(f"  ! {component}: {violation}")
+
     if result.subjectivity is not None:
         section("Constraint subjectivity (Section 5.1)")
         for name, status in sorted(result.subjectivity.constraint_status.items()):

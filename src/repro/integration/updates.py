@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.constraints.evaluate import EvaluationError, evaluate
+from repro.engine.incremental import ConstraintDependencyIndex
 from repro.constraints.printer import to_source
 from repro.integration.decision import DecisionCategory
 from repro.integration.relationships import Side
@@ -139,10 +140,11 @@ class GlobalUpdateValidator:
                     projected[key] = value
                 else:  # settling / eliminating: not invertible
                     untranslatable.add(key)
+            index = ConstraintDependencyIndex.for_schema(schema)
             for constraint in schema.effective_object_constraints(
                 component.class_name
             ):
-                relevant = {path.parts[0] for path in _paths(constraint.formula)}
+                relevant = self._read_attrs(index, constraint)
                 if relevant & untranslatable:
                     continue
                 if not relevant & set(changes):
@@ -160,6 +162,17 @@ class GlobalUpdateValidator:
                             f"{to_source(constraint.formula)}",
                         )
                     )
+
+    @staticmethod
+    def _read_attrs(index, constraint) -> set:
+        """Attribute names ``constraint`` reads off the constrained object,
+        per the engine's constraint-dependency index.  Unresolvable
+        (universal) constraints report every attribute mentioned so they are
+        never skipped."""
+        entry = index.entry(constraint)
+        if entry is None or entry.universal:
+            return {path.parts[0] for path in _paths(constraint.formula)}
+        return set(entry.own_attr_names())
 
     def _propeq_for(self, conformation, obj, name):
         local = obj.component_on(Side.LOCAL)

@@ -75,6 +75,13 @@ class IntegrationResult:
     class_constraints: ClassConstraintReport | None = None
     database_constraints: DatabaseConstraintReport | None = None
     state_violations: list[StateViolation] = field(default_factory=list)
+    #: ``"local (Name)"`` / ``"remote (Name)"`` → violations found auditing
+    #: the component stores (keyed by side so two components sharing a
+    #: database name cannot shadow each other).  The paper's premise is that
+    #: components enforce their own constraints; a non-empty entry means a
+    #: supplied store breaks that premise and the derived global constraints
+    #: cannot be trusted.
+    component_violations: dict[str, list[str]] = field(default_factory=dict)
     suggestions: list[Suggestion] = field(default_factory=list)
 
     @property
@@ -89,6 +96,7 @@ class IntegrationResult:
 
     def conflict_count(self) -> int:
         total = len(self.state_violations)
+        total += sum(len(v) for v in self.component_violations.values())
         if self.rule_checks is not None:
             total += len(self.rule_checks.conflicts)
         if self.derivation is not None:
@@ -121,6 +129,16 @@ class IntegrationWorkbench:
     def run(self) -> IntegrationResult:
         result = IntegrationResult(self.spec)
         result.spec_issues = self.spec.validate()
+        for side, store in (
+            ("local", self.local_store),
+            ("remote", self.remote_store),
+        ):
+            if store is not None:
+                violations = store.check_all()
+                if violations:
+                    result.component_violations[
+                        f"{side} ({store.schema.name})"
+                    ] = violations
         result.subjectivity = analyse_subjectivity(self.spec)
         result.conformation = conform(
             self.spec,

@@ -67,6 +67,8 @@ class DatabaseSchema:
         self.classes: dict[str, ClassDef] = {}
         self.database_constraints: list[Constraint] = []
         self.constants: dict[str, Any] = {}
+        self._version = 0
+        self._fingerprint_cache: tuple[tuple, int] | None = None
 
     # -- construction -----------------------------------------------------------
 
@@ -74,6 +76,7 @@ class DatabaseSchema:
         if class_def.name in self.classes:
             raise SchemaError(f"duplicate class {class_def.name!r} in {self.name}")
         self.classes[class_def.name] = class_def
+        self._version += 1
         return class_def
 
     def new_class(self, name: str, parent: str | None = None, virtual: bool = False) -> ClassDef:
@@ -81,9 +84,11 @@ class DatabaseSchema:
 
     def add_database_constraint(self, constraint: Constraint) -> None:
         self.database_constraints.append(constraint)
+        self._version += 1
 
     def set_constant(self, name: str, value: Any) -> None:
         self.constants[name] = value
+        self._version += 1
 
     # -- lookups ------------------------------------------------------------------
 
@@ -185,6 +190,69 @@ class DatabaseSchema:
                     attribute.tm_type.class_name, f"{path}.", into, depth - 1
                 )
 
+    # -- change detection --------------------------------------------------------------
+
+    def fingerprint(self) -> int:
+        """A structural hash of everything constraint enforcement depends on.
+
+        The incremental enforcement layer (:mod:`repro.engine.incremental`)
+        caches a constraint-dependency index per schema and must notice when
+        the schema changes underneath it — classes or attributes added,
+        constraints attached, constants rebound (``set_constant`` is used by
+        tests and the conformation pipeline to retune e.g. ``MAX``).
+
+        Called on every mutation (staleness probe), so the full structural
+        hash is cached behind a cheap validity token: the schema-level
+        mutation counter plus per-class attribute/constraint counts.  The
+        counts catch :class:`ClassDef`-level additions, which bypass the
+        schema's mutators; replacing a constraint formula *in place* while
+        keeping the same label count is not detected — nothing in the
+        codebase does that (constraint lists are append-only, conformation
+        rewrites into fresh schemas).
+        """
+        token = (
+            self._version,
+            len(self.database_constraints),
+            len(self.constants),
+            tuple(
+                (name, len(cls.attributes), len(cls.constraints))
+                for name, cls in self.classes.items()
+            ),
+        )
+        if self._fingerprint_cache is not None:
+            cached_token, cached_value = self._fingerprint_cache
+            if cached_token == token:
+                return cached_value
+        pieces: list[Any] = [self.name]
+        for name in sorted(self.classes):
+            class_def = self.classes[name]
+            pieces.append(
+                (
+                    name,
+                    class_def.parent,
+                    tuple(sorted(class_def.attributes)),
+                    tuple(
+                        (c.qualified_name, c.kind.value, hash(c.formula))
+                        for c in class_def.constraints
+                    ),
+                )
+            )
+        pieces.append(
+            tuple(
+                (c.qualified_name, hash(c.formula))
+                for c in self.database_constraints
+            )
+        )
+        pieces.append(
+            tuple(
+                (name, _hashable(self.constants[name]))
+                for name in sorted(self.constants)
+            )
+        )
+        value = hash(tuple(pieces))
+        self._fingerprint_cache = (token, value)
+        return value
+
     # -- misc ----------------------------------------------------------------------------
 
     def all_constraints(self) -> Iterator[Constraint]:
@@ -197,3 +265,12 @@ class DatabaseSchema:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"DatabaseSchema({self.name!r}, {len(self.classes)} classes)"
+
+
+def _hashable(value: Any) -> Any:
+    """Constants are numbers, strings or (frozen)sets of those."""
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(value, key=repr))
+    if isinstance(value, (list, tuple)):
+        return tuple(_hashable(item) for item in value)
+    return value

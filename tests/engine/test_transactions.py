@@ -1,0 +1,147 @@
+"""Transaction edge cases: undo-log rollback, nested/re-entrant transactions,
+and the dirty-set lifecycle around commit and rollback."""
+
+import pytest
+
+from repro import ObjectStore
+from repro.errors import ConstraintViolation
+from repro.fixtures import bookseller_store, cslibrary_schema, cslibrary_store
+
+
+class TestRollbackRestoresExtents:
+    def test_failed_deferred_check_restores_extents_and_identity(self):
+        store, named = bookseller_store()
+        before_publishers = [o.oid for o in store.extent("Publisher", deep=False)]
+        before_items = [o.oid for o in store.extent("Item")]
+        victim = store.extent("Monograph")[0]
+        with pytest.raises(ConstraintViolation):
+            with store.transaction():
+                store.delete(victim)
+                store.update(named["vldb95"], libprice=1.0)
+                # Publisher without an Item: db1 fails at commit.
+                store.insert("Publisher", name="Ghost", location="Nowhere")
+        assert sorted(o.oid for o in store.extent("Publisher", deep=False)) == sorted(
+            before_publishers
+        )
+        assert sorted(o.oid for o in store.extent("Item")) == sorted(before_items)
+        # The deleted object is re-registered as the *same* instance, so
+        # references held outside the store stay valid.
+        assert store.get(victim.oid) is victim
+        assert named["vldb95"].state["libprice"] != 1.0
+
+    def test_rollback_of_delete_preserves_extent_order(self):
+        store, _ = cslibrary_store()
+        before = [obj.oid for obj in store.extent("Publication")]
+        first = store.extent("Publication")[0]
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.delete(first)
+                raise RuntimeError("abort")
+        assert [obj.oid for obj in store.extent("Publication")] == before
+
+    def test_rollback_of_insert_then_delete(self):
+        store, _ = cslibrary_store()
+        size = len(store)
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                obj = store.insert(
+                    "Publication",
+                    title="ephemeral",
+                    isbn="ISBN-E1",
+                    publisher="ACM",
+                    shopprice=10.0,
+                    ourprice=9.0,
+                )
+                store.delete(obj)
+                raise RuntimeError("abort")
+        assert len(store) == size
+        assert obj.oid not in store
+
+    def test_commit_clears_dirty_state(self):
+        store, named = bookseller_store()
+        with store.transaction():
+            store.update(named["vldb95"], libprice=12.0)
+        assert store._delta is None
+        assert store._undo is None
+        assert not store._deferred
+
+
+class TestNestedTransactions:
+    def test_inner_commit_defers_to_outer(self):
+        store, _ = bookseller_store()
+        with store.transaction():
+            with store.transaction():
+                # Violates db1 until the matching Item arrives; the inner
+                # commit must not validate.
+                publisher = store.insert(
+                    "Publisher", name="Morgan", location="SF"
+                )
+            store.insert(
+                "Monograph",
+                title="New readings",
+                isbn="ISBN-400",
+                publisher=publisher,
+                authors=frozenset(),
+                shopprice=20.0,
+                libprice=18.0,
+                subjects=frozenset(),
+            )
+        assert len(store.extent("Publisher", deep=False)) == 4
+
+    def test_inner_rollback_keeps_outer_work(self):
+        store, named = bookseller_store()
+        with store.transaction():
+            store.update(named["vldb95"], libprice=12.5)
+            with pytest.raises(RuntimeError):
+                with store.transaction():
+                    store.update(named["vldb95"], libprice=1.0)
+                    raise RuntimeError("inner abort")
+            # Inner rollback restored the outer transaction's value...
+            assert named["vldb95"].state["libprice"] == 12.5
+        # ...and the outer commit kept it.
+        assert named["vldb95"].state["libprice"] == 12.5
+
+    def test_outer_rollback_undoes_committed_inner(self):
+        store, named = bookseller_store()
+        original = named["vldb95"].state["libprice"]
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                with store.transaction():
+                    store.update(named["vldb95"], libprice=2.0)
+                raise RuntimeError("outer abort")
+        assert named["vldb95"].state["libprice"] == original
+
+    def test_outer_commit_validates_inner_violation(self):
+        store, _ = bookseller_store()
+        size = len(store)
+        with pytest.raises(ConstraintViolation):
+            with store.transaction():
+                with store.transaction():
+                    store.insert(
+                        "Publisher", name="Lonely", location="Nowhere"
+                    )
+        assert len(store) == size
+
+    def test_reentrant_sequential_transactions(self):
+        store, named = bookseller_store()
+        for price in (11.0, 12.0, 13.0):
+            with store.transaction():
+                store.update(named["vldb95"], libprice=price)
+        assert named["vldb95"].state["libprice"] == 13.0
+
+
+class TestUnenforcedStores:
+    def test_transaction_on_unenforced_store_skips_validation(self):
+        schema = cslibrary_schema()
+        store = ObjectStore(schema, enforce=False)
+        with store.transaction():
+            store.insert(
+                "Publication",
+                title="Overpriced",
+                isbn="X",
+                publisher="Basement Press",  # violates oc2, tolerated
+                shopprice=1.0,
+                ourprice=2.0,
+            )
+        assert len(store) == 1
+        assert store.check_all() != []

@@ -195,6 +195,39 @@ class TestSection513PriceExample:
         assert not result.is_consistent()
 
 
+class TestComponentAudit:
+    def test_clean_components_produce_no_violations(self, library_result):
+        assert library_result.component_violations == {}
+
+    def test_broken_component_is_reported_and_counted(self):
+        from repro.engine import ObjectStore
+        from repro.fixtures import (
+            bookseller_store,
+            cslibrary_schema,
+            library_integration_spec,
+        )
+
+        local_store = ObjectStore(cslibrary_schema(), enforce=False)
+        local_store.insert(
+            "Publication",
+            title="Bad",
+            isbn="X",
+            publisher="Basement Press",  # violates oc2
+            shopprice=1.0,
+            ourprice=2.0,  # violates oc1
+        )
+        remote_store, _ = bookseller_store()
+        result = IntegrationWorkbench(
+            library_integration_spec(), local_store, remote_store
+        ).run()
+        assert "local (CSLibrary)" in result.component_violations
+        assert result.conflict_count() >= 2
+        assert not result.is_consistent()
+        text = render_report(result)
+        assert "Component store violations" in text
+        assert "local (CSLibrary)" in text
+
+
 class TestReport:
     def test_report_renders_all_sections(self, library_result):
         text = render_report(library_result)
