@@ -5,9 +5,21 @@ assertions — a benchmark that reproduces the wrong result must fail) and
 *times* the machinery behind it, so `pytest benchmarks/ --benchmark-only`
 doubles as the reproduction record.  EXPERIMENTS.md maps each file to the
 paper artifact it covers.
+
+Every run additionally writes one machine-readable ``BENCH_<name>.json``
+summary per benchmark module (median/p95 per case, plus each case's
+``extra_info``) into the repository root, so the performance trajectory is
+comparable across PRs.  Committed baselines (e.g. ``BENCH_e14_indexes.json``)
+are refreshed by simply re-running the module.
 """
 
+import json
+import platform
+from pathlib import Path
+
 import pytest
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def pytest_addoption(parser):
@@ -20,10 +32,63 @@ def pytest_addoption(parser):
 
 
 def pytest_generate_tests(metafunc):
+    quick = metafunc.config.getoption("--quick")
     if "e13_size" in metafunc.fixturenames:
-        quick = metafunc.config.getoption("--quick")
         sizes = [100, 1_000] if quick else [100, 1_000, 10_000, 100_000]
         metafunc.parametrize("e13_size", sizes)
+    if "e14_size" in metafunc.fixturenames:
+        # The O(1)-commit regression guard needs the 10³→10⁴ pair even in
+        # --quick mode; the full run adds 10⁵.
+        sizes = [1_000, 10_000] if quick else [1_000, 10_000, 100_000]
+        metafunc.parametrize("e14_size", sizes)
+
+
+def _percentile(sorted_data, fraction):
+    if not sorted_data:
+        return None
+    rank = fraction * (len(sorted_data) - 1)
+    low = int(rank)
+    high = min(low + 1, len(sorted_data) - 1)
+    weight = rank - low
+    return sorted_data[low] * (1 - weight) + sorted_data[high] * weight
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write ``BENCH_<module>.json`` per benchmark module that ran.
+
+    Only clean full runs update the files — a failing run must not replace a
+    committed baseline with its own numbers.  (Single-case runs still write
+    a single-case summary; refresh baselines with a full module run.)"""
+    if exitstatus != 0:
+        return
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not getattr(bench_session, "benchmarks", None):
+        return
+    by_module: dict[str, list] = {}
+    for bench in bench_session.benchmarks:
+        module = Path(bench.fullname.split("::", 1)[0]).stem
+        name = module[len("bench_"):] if module.startswith("bench_") else module
+        data = sorted(bench.stats.data) if bench.stats.data else []
+        by_module.setdefault(name, []).append(
+            {
+                "case": bench.name,
+                "rounds": len(data),
+                "median_s": _percentile(data, 0.5),
+                "p95_s": _percentile(data, 0.95),
+                "min_s": data[0] if data else None,
+                "extra_info": dict(bench.extra_info),
+            }
+        )
+    quick = session.config.getoption("--quick")
+    for name, cases in by_module.items():
+        summary = {
+            "benchmark": f"bench_{name}",
+            "quick": bool(quick),
+            "python": platform.python_version(),
+            "cases": cases,
+        }
+        path = _REPO_ROOT / f"BENCH_{name}.json"
+        path.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
 
 
 from repro.fixtures import (

@@ -28,6 +28,14 @@ checked against every mutation, so the same formula is evaluated thousands of
 times per store lifetime; paying the ``isinstance`` dispatch and operator
 lookup once per formula instead of once per check is the difference between
 an interpretive and a compiled enforcement hot path.
+
+When the context carries an index probe (``ctx.indexes``, supplied by the
+engine's :class:`~repro.engine.indexes.IndexManager`), aggregate and key
+nodes first ask it for a materialized answer — a running sum/count/min/max
+or a key-uniqueness verdict maintained incrementally across mutations — and
+only fall back to the extent scan on :data:`INDEX_MISS`.  The probe answers
+in O(1) regardless of extent size, which is what makes aggregate- and
+key-constraint commits constant-time in store size.
 """
 
 from __future__ import annotations
@@ -67,6 +75,11 @@ class _Vacuous:
 
 VACUOUS = _Vacuous()
 
+#: Sentinel returned by an index probe that cannot answer a query (no index
+#: materialized for the class/attribute, or the index was invalidated);
+#: evaluation then falls back to the extent scan.
+INDEX_MISS = object()
+
 
 def _default_get_attr(obj: Any, name: str) -> Any:
     if isinstance(obj, Mapping):
@@ -100,6 +113,15 @@ class EvalContext:
     constants: Mapping[str, Any] = field(default_factory=dict)
     get_attr: Callable[[Any, str], Any] = _default_get_attr
     functions: Mapping[str, Callable[..., Any]] = field(default_factory=dict)
+    #: The class whose deep extent backs ``self`` in class constraints;
+    #: lets aggregate/key evaluation consult ``indexes`` instead of scanning.
+    self_extent_class: str | None = None
+    #: Optional index probe (duck-typed; the engine passes
+    #: :class:`repro.engine.indexes.IndexManager`).  Must provide
+    #: ``aggregate_value(func, class_name, over) -> value | INDEX_MISS`` and
+    #: ``key_unique(class_name, attributes) -> bool | None``.  ``None``
+    #: disables the fast path: every aggregate and key check scans extents.
+    indexes: Any = None
 
     def child(self, **overrides: Any) -> "EvalContext":
         """A copy with some fields replaced (used by quantifier binding)."""
@@ -111,6 +133,8 @@ class EvalContext:
             "constants": self.constants,
             "get_attr": self.get_attr,
             "functions": self.functions,
+            "self_extent_class": self.self_extent_class,
+            "indexes": self.indexes,
         }
         data.update(overrides)
         return EvalContext(**data)
@@ -328,6 +352,12 @@ def _compile_aggregate(node: Aggregate) -> CompiledNode:
         raise EvaluationError(f"unknown aggregate {func!r}")
 
     def run_aggregate(ctx: EvalContext) -> Any:
+        if ctx.indexes is not None:
+            base = ctx.self_extent_class if collection == "self" else collection
+            if base is not None:
+                value = ctx.indexes.aggregate_value(func, base, over)
+                if value is not INDEX_MISS:
+                    return value
         if collection == "self":
             extent = list(ctx.self_extent)
         else:
@@ -372,6 +402,10 @@ def _compile_key(node: KeyConstraint) -> CompiledNode:
     attributes = node.attributes
 
     def run_key(ctx: EvalContext) -> bool:
+        if ctx.indexes is not None and ctx.self_extent_class is not None:
+            verdict = ctx.indexes.key_unique(ctx.self_extent_class, attributes)
+            if verdict is not None:
+                return verdict
         seen: set[tuple] = set()
         get_attr = ctx.get_attr
         for obj in ctx.self_extent:

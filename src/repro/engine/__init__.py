@@ -15,6 +15,10 @@ constraint of its TM schema.
 * :mod:`~repro.engine.incremental` — delta-driven constraint checking: the
   constraint-dependency index, mutation dirty sets, and the validators that
   intersect them (the enforcement hot path);
+* :mod:`~repro.engine.indexes` — maintained auxiliary state: per-class
+  deep-extent indexes, running aggregates and key hash indexes, kept
+  transactionally consistent with the store so aggregate/key constraint
+  checks and ``extent()`` stop scanning;
 * :mod:`~repro.engine.query` — predicate queries over extents;
 * :mod:`~repro.engine.transactions` — snapshot transactions with deferred,
   delta-driven constraint checking at commit.
@@ -29,6 +33,7 @@ from repro.engine.incremental import (
     check_delta,
     delta_violations,
 )
+from repro.engine.indexes import IndexManager, KeyIndex, RunningAggregate
 
 __all__ = [
     "DBObject",
@@ -38,4 +43,7 @@ __all__ = [
     "MutationDelta",
     "check_delta",
     "delta_violations",
+    "IndexManager",
+    "KeyIndex",
+    "RunningAggregate",
 ]

@@ -145,6 +145,13 @@ class IndexedConstraint:
     #: True when static analysis could not resolve part of the formula;
     #: universal constraints are checked on every delta.
     universal: bool = False
+    #: ``(func, class, attribute)`` aggregates the formula evaluates over a
+    #: statically known extent; the :class:`~repro.engine.indexes.IndexManager`
+    #: materializes a running aggregate for each (``attribute`` is ``None``
+    #: for bare counts, answered from the deep-extent index).
+    aggregate_specs: frozenset[tuple[str, str, str | None]] = frozenset()
+    #: ``(class, attributes)`` uniqueness checks; each gets a key hash index.
+    key_specs: frozenset[tuple[str, tuple[str, ...]]] = frozenset()
     #: The formula's compiled closure, bound once at index build so checks
     #: skip the cache lookup (which re-hashes the AST); ``None`` when the
     #: formula does not compile — evaluation then fails at check time with
@@ -184,6 +191,8 @@ class _ReadSetBuilder:
         self.own: set[tuple[str, str]] = set()
         self.foreign: set[tuple[str, str]] = set()
         self.extents: set[str] = set()
+        self.aggregates: set[tuple[str, str, str | None]] = set()
+        self.keys: set[tuple[str, tuple[str, ...]]] = set()
         self.universal = False
 
     def closure(self, class_name: str) -> list[str]:
@@ -205,6 +214,11 @@ class _ReadSetBuilder:
             self.extents.update(self.closure(base))
             if node.over is not None:
                 self._walk_path(base, (node.over,), owner_rooted=False)
+            # Register the aggregate for materialization when its reads are
+            # statically resolvable (the attribute is effective on the base
+            # class, hence on every member of the deep extent).
+            if node.over is None or node.over in self.schema.effective_attributes(base):
+                self.aggregates.add((node.func, base, node.over))
             return
         if isinstance(node, KeyConstraint):
             if self.owner is None or not self.schema.has_class(self.owner):
@@ -213,6 +227,16 @@ class _ReadSetBuilder:
             self.extents.update(self.closure(self.owner))
             for attr in node.attributes:
                 self._walk_path(self.owner, (attr,), owner_rooted=False)
+            attributes = self.schema.effective_attributes(self.owner)
+            # Reference-typed key components are left to the scan path: it
+            # *dereferences* them (raising on a dangling oid), while a hash
+            # index would compare raw oids — a semantic divergence.
+            if all(
+                attr in attributes
+                and not isinstance(attributes[attr].tm_type, ClassRef)
+                for attr in node.attributes
+            ):
+                self.keys.add((self.owner, node.attributes))
             return
         if isinstance(node, Path):
             if node.parts[0] in env:
@@ -325,11 +349,29 @@ class ConstraintDependencyIndex:
             own=frozenset(builder.own),
             foreign=frozenset(builder.foreign),
             universal=builder.universal,
+            aggregate_specs=frozenset(builder.aggregates),
+            key_specs=frozenset(builder.keys),
             run=run,
         )
 
     def entry(self, constraint: Constraint) -> IndexedConstraint | None:
         return self._by_constraint.get(constraint)
+
+    def aggregate_specs(self) -> frozenset[tuple[str, str, str | None]]:
+        """Every ``(func, class, attribute)`` aggregate any constraint of the
+        schema evaluates — the registration feed for maintained aggregates."""
+        specs: set[tuple[str, str, str | None]] = set()
+        for entry in self._by_constraint.values():
+            specs |= entry.aggregate_specs
+        return frozenset(specs)
+
+    def key_specs(self) -> frozenset[tuple[str, tuple[str, ...]]]:
+        """Every ``(class, attributes)`` uniqueness constraint — the
+        registration feed for key hash indexes."""
+        specs: set[tuple[str, tuple[str, ...]]] = set()
+        for entry in self._by_constraint.values():
+            specs |= entry.key_specs
+        return frozenset(specs)
 
     def is_stale(self) -> bool:
         schema = self._schema_ref()

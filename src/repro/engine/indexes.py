@@ -1,0 +1,459 @@
+"""Maintained auxiliary state: deep extents, running aggregates, key indexes.
+
+PR 1 made enforcement *delta-driven*: only the constraints whose read set
+intersects a mutation's dirty set are re-checked.  But the residual check for
+an aggregate or key class constraint still cost O(extent) — the evaluator
+re-scanned the class to recompute a sum or probe uniqueness — and
+``ObjectStore.extent()`` scanned every object in the store.  Following the
+simplified-integrity-checking literature (incremental checking pays off only
+when the residual check is constant-time in store size), this module keeps
+three kinds of auxiliary state transactionally consistent with the store:
+
+* **deep-extent indexes** — class name → ordered oid set, maintained over the
+  subclass closure on every insert/delete, so ``extent()`` is O(|result|)
+  instead of O(|store|);
+
+* **maintained aggregates** (:class:`RunningAggregate`) — a running
+  sum/count per ``(class, attribute)`` pair some constraint aggregates over,
+  plus min/max via a value-count table and lazily-cleaned heaps.  Registered
+  from the PR-1 constraint-dependency index
+  (:meth:`~repro.engine.incremental.ConstraintDependencyIndex.aggregate_specs`),
+  so an aggregate-reading constraint commit is O(1);
+
+* **key hash indexes** (:class:`KeyIndex`) — key tuple → multiplicity with a
+  running duplicate count, so a uniqueness constraint answers in O(1) per
+  mutation instead of re-hashing the whole extent.
+
+Consistency contract
+--------------------
+
+The store routes every mutation through :meth:`IndexManager.on_insert` /
+:meth:`~IndexManager.on_update` / :meth:`~IndexManager.on_delete` *after*
+applying it to ``_objects``, and rolls indexes back with the *inverse* hook —
+both in the per-operation failure paths and in the transaction undo log
+(:meth:`~repro.engine.transactions.Transaction._apply_undo`), keeping
+rollback O(touched).  Index deltas need no separate log: each hook is
+deterministic in the (pre-image, post-image) pair the undo log already
+carries.
+
+Schema changes are detected by fingerprint
+(:meth:`~repro.tm.schema.DatabaseSchema.fingerprint`): every hook and probe
+first compares fingerprints and rebuilds all indexes from the live store
+contents when stale — a rebuild *replaces* the incremental application, since
+the store already reflects the mutation by the time a hook runs.
+
+Graceful degradation: an index that meets a value it cannot maintain (a
+non-numeric aggregate operand, an unhashable key component, a NaN) marks
+itself invalid and answers :data:`~repro.constraints.evaluate.INDEX_MISS`
+(aggregates) or ``None`` (keys); evaluation falls back to the extent scan
+with the exact pre-index semantics.  The next fingerprint-triggered rebuild
+retries.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+from repro.constraints.evaluate import INDEX_MISS, VACUOUS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.objects import DBObject
+    from repro.engine.store import ObjectStore
+
+#: Attribute lookup miss inside maintenance (states normally carry every
+#: effective attribute; a miss invalidates the affected index).
+_ABSENT = object()
+
+
+def oid_counter(oid: str) -> int:
+    """The global insertion counter embedded in an engine oid (``Class#N``)."""
+    return int(oid.rsplit("#", 1)[-1])
+
+
+class OrderedOidSet:
+    """An oid set that iterates in insertion order.
+
+    Adds are O(1): oids normally arrive in increasing counter order (the
+    store's counter is monotonic), so the backing dict preserves insertion
+    order by itself.  A rollback can *resurrect* an oid out of order; that
+    marks the set unsorted and the next read re-sorts lazily — O(k log k) on
+    this extent only, not on the store.
+    """
+
+    __slots__ = ("_oids", "_last", "_unsorted")
+
+    def __init__(self) -> None:
+        self._oids: dict[str, None] = {}
+        self._last = 0
+        self._unsorted = False
+
+    def add(self, oid: str) -> None:
+        counter = oid_counter(oid)
+        if counter < self._last:
+            self._unsorted = True
+        else:
+            self._last = counter
+        self._oids[oid] = None
+
+    def discard(self, oid: str) -> None:
+        self._oids.pop(oid, None)
+
+    def _ensure_sorted(self) -> None:
+        if self._unsorted:
+            self._oids = dict.fromkeys(sorted(self._oids, key=oid_counter))
+            self._last = oid_counter(next(reversed(self._oids))) if self._oids else 0
+            self._unsorted = False
+
+    def __len__(self) -> int:
+        return len(self._oids)
+
+    def __contains__(self, oid: object) -> bool:
+        return oid in self._oids
+
+    def __iter__(self):
+        self._ensure_sorted()
+        return iter(self._oids)
+
+
+class RunningAggregate:
+    """Sum/count — and, when requested, min/max — of one attribute over the
+    deep extent of one class, maintained in O(1) per mutation.
+
+    Min/max use a value→multiplicity table plus two heaps with *lazy
+    deletion*: removals only decrement the table, and queries pop heap heads
+    until a live value surfaces.  Heaps are compacted (rebuilt from the live
+    value table) when churn makes them four times larger than the live set.
+    """
+
+    __slots__ = (
+        "class_name", "over", "funcs", "count", "total", "valid",
+        "_counts", "_min_heap", "_max_heap",
+    )
+
+    def __init__(self, class_name: str, over: str, funcs: Iterable[str]):
+        self.class_name = class_name
+        self.over = over
+        self.funcs = frozenset(funcs)
+        self.count = 0
+        self.total: Any = 0
+        self.valid = True
+        #: value → live multiplicity; only tracked when min/max is needed.
+        self._counts: dict[Any, int] | None = (
+            {} if self.funcs & {"min", "max"} else None
+        )
+        self._min_heap: list = []
+        self._max_heap: list = []
+
+    def _usable(self, value: Any) -> bool:
+        # NaN breaks both removal (identity-keyed dict lookups) and heap
+        # ordering; any non-number breaks running sums.  Either invalidates.
+        return isinstance(value, (int, float)) and value == value
+
+    def add(self, value: Any) -> None:
+        if not self.valid:
+            return
+        if not self._usable(value):
+            self.valid = False
+            return
+        self.count += 1
+        self.total += value
+        if self._counts is not None:
+            self._counts[value] = self._counts.get(value, 0) + 1
+            heapq.heappush(self._min_heap, value)
+            heapq.heappush(self._max_heap, -value)
+            if len(self._min_heap) > 4 * len(self._counts) + 64:
+                self._compact()
+
+    def remove(self, value: Any) -> None:
+        if not self.valid:
+            return
+        if not self._usable(value):
+            self.valid = False
+            return
+        self.count -= 1
+        self.total -= value
+        if self.count == 0:
+            self.total = 0  # drop accumulated float drift at the fixpoint
+        elif self.count < 0:
+            self.valid = False
+            return
+        if self._counts is not None:
+            live = self._counts.get(value, 0)
+            if live <= 0:
+                self.valid = False  # removal of a value never added
+            elif live == 1:
+                del self._counts[value]
+            else:
+                self._counts[value] = live - 1
+
+    def _compact(self) -> None:
+        counts = self._counts or {}
+        self._min_heap = list(counts)
+        heapq.heapify(self._min_heap)
+        self._max_heap = [-value for value in counts]
+        heapq.heapify(self._max_heap)
+
+    def _live_extreme(self, heap: list, sign: int) -> Any:
+        counts = self._counts or {}
+        while heap:
+            candidate = sign * heap[0]
+            if counts.get(candidate, 0) > 0:
+                return candidate
+            heapq.heappop(heap)
+        return INDEX_MISS  # count > 0 but no live heap entry: inconsistent
+
+    def value(self, func: str) -> Any:
+        """The aggregate's current value, or :data:`INDEX_MISS`."""
+        if not self.valid:
+            return INDEX_MISS
+        if func == "count":
+            return self.count
+        if func == "sum":
+            return self.total
+        if self.count == 0:
+            return VACUOUS  # avg/min/max over an empty extent
+        if func == "avg":
+            return self.total / self.count
+        if func == "min" and self._counts is not None:
+            return self._live_extreme(self._min_heap, 1)
+        if func == "max" and self._counts is not None:
+            return self._live_extreme(self._max_heap, -1)
+        return INDEX_MISS
+
+
+class KeyIndex:
+    """Key-tuple multiplicities over the deep extent of one class, with a
+    running duplicate count: uniqueness is ``duplicates == 0``, O(1).
+
+    Key components are taken from raw object states.  Keys containing
+    reference-typed attributes are never registered (see the dependency
+    index): the scan path dereferences them — raising on dangling oids —
+    while this index would compare raw oid strings.
+    """
+
+    __slots__ = ("class_name", "attributes", "valid", "_counts", "_duplicates")
+
+    def __init__(self, class_name: str, attributes: Iterable[str]):
+        self.class_name = class_name
+        self.attributes = tuple(attributes)
+        self.valid = True
+        self._counts: dict[tuple, int] = {}
+        self._duplicates = 0
+
+    def _key(self, state: Mapping[str, Any]) -> tuple | None:
+        key = tuple(state.get(attr, _ABSENT) for attr in self.attributes)
+        return None if _ABSENT in key else key
+
+    def add(self, state: Mapping[str, Any]) -> None:
+        if not self.valid:
+            return
+        key = self._key(state)
+        if key is None:
+            self.valid = False
+            return
+        try:
+            live = self._counts.get(key, 0)
+        except TypeError:  # unhashable key component
+            self.valid = False
+            return
+        self._counts[key] = live + 1
+        if live >= 1:
+            self._duplicates += 1
+
+    def remove(self, state: Mapping[str, Any]) -> None:
+        if not self.valid:
+            return
+        key = self._key(state)
+        if key is None:
+            self.valid = False
+            return
+        try:
+            live = self._counts.get(key, 0)
+        except TypeError:
+            self.valid = False
+            return
+        if live <= 0:
+            self.valid = False  # removal of a key never added
+        elif live == 1:
+            del self._counts[key]
+        else:
+            self._counts[key] = live - 1
+            self._duplicates -= 1
+
+    def unique(self) -> bool | None:
+        """Whether all key tuples are distinct; ``None`` when invalidated."""
+        if not self.valid:
+            return None
+        return self._duplicates == 0
+
+
+class IndexManager:
+    """Owns and maintains all auxiliary indexes of one store.
+
+    Construction (and every fingerprint-triggered rebuild) registers what to
+    materialize from the store's constraint-dependency index and replays the
+    current store contents.  See the module docstring for the consistency
+    contract with mutations and rollback.
+    """
+
+    def __init__(self, store: "ObjectStore"):
+        self._store = store
+        self._fingerprint: int | None = None
+        #: Rebuild counter, exposed for tests and benchmarks.
+        self.rebuilds = 0
+        self.rebuild()
+
+    # -- construction / freshness ------------------------------------------------
+
+    def _stale(self) -> bool:
+        return self._fingerprint != self._store.schema.fingerprint()
+
+    def ensure_fresh(self) -> None:
+        if self._stale():
+            self.rebuild()
+
+    def probe(self) -> "IndexManager":
+        """The fast-path probe handed to evaluation contexts (checked fresh
+        once per context, not per query)."""
+        self.ensure_fresh()
+        return self
+
+    def rebuild(self) -> None:
+        """Re-derive every index from the schema and live store contents.
+
+        O(store) — runs once per schema change (or explicit call), never on
+        the per-mutation path.
+        """
+        store = self._store
+        schema = store.schema
+        self._fingerprint = schema.fingerprint()
+        self.rebuilds += 1
+        self._extents: dict[str, OrderedOidSet] = {
+            name: OrderedOidSet() for name in schema.classes
+        }
+        # Registration flow: the constraint-dependency index names every
+        # aggregate and key any constraint evaluates; merge per-(class, attr)
+        # so one structure serves all functions requested over it.
+        dependency_index = store.dependency_index()
+        wanted_funcs: dict[tuple[str, str], set[str]] = {}
+        for func, class_name, over in dependency_index.aggregate_specs():
+            if over is None:
+                continue  # bare counts are answered from the extent index
+            wanted_funcs.setdefault((class_name, over), set()).add(func)
+        self._aggregates: dict[tuple[str, str], RunningAggregate] = {
+            (class_name, over): RunningAggregate(class_name, over, funcs)
+            for (class_name, over), funcs in wanted_funcs.items()
+        }
+        self._keys: dict[tuple[str, tuple[str, ...]], KeyIndex] = {
+            (class_name, attributes): KeyIndex(class_name, attributes)
+            for class_name, attributes in dependency_index.key_specs()
+        }
+        # Feed maps: which structures an object of each class contributes to
+        # (its own class and every ancestor — deep-extent membership).
+        self._extent_feeds: dict[str, tuple[OrderedOidSet, ...]] = {}
+        self._agg_feeds: dict[str, tuple[RunningAggregate, ...]] = {}
+        self._key_feeds: dict[str, tuple[KeyIndex, ...]] = {}
+        for name in schema.classes:
+            chain = set(schema.ancestry(name))
+            self._extent_feeds[name] = tuple(
+                self._extents[ancestor] for ancestor in schema.ancestry(name)
+            )
+            self._agg_feeds[name] = tuple(
+                agg for agg in self._aggregates.values() if agg.class_name in chain
+            )
+            self._key_feeds[name] = tuple(
+                key for key in self._keys.values() if key.class_name in chain
+            )
+        for obj in store.objects():
+            self._apply_insert(obj)
+
+    # -- mutation hooks -----------------------------------------------------------
+    #
+    # Each hook runs *after* the store applied the mutation to ``_objects``.
+    # When the schema changed underneath, the rebuild replays the already-
+    # mutated store, so the incremental application is skipped entirely.
+
+    def on_insert(self, obj: "DBObject") -> None:
+        if self._stale():
+            self.rebuild()
+            return
+        self._apply_insert(obj)
+
+    def on_delete(self, obj: "DBObject") -> None:
+        if self._stale():
+            self.rebuild()
+            return
+        for extent in self._extent_feeds.get(obj.class_name, ()):
+            extent.discard(obj.oid)
+        for aggregate in self._agg_feeds.get(obj.class_name, ()):
+            aggregate.remove(obj.state.get(aggregate.over, _ABSENT))
+        for key in self._key_feeds.get(obj.class_name, ()):
+            key.remove(obj.state)
+
+    def on_update(
+        self,
+        obj: "DBObject",
+        old_state: Mapping[str, Any],
+        new_state: Mapping[str, Any],
+    ) -> None:
+        """Transition hook; also used in reverse by rollback (the hook is
+        symmetric in its explicit state pair, whatever ``obj.state`` holds)."""
+        if self._stale():
+            self.rebuild()
+            return
+        for aggregate in self._agg_feeds.get(obj.class_name, ()):
+            old = old_state.get(aggregate.over, _ABSENT)
+            new = new_state.get(aggregate.over, _ABSENT)
+            if old is new:
+                continue  # untouched attributes keep their value's identity
+            aggregate.remove(old)
+            aggregate.add(new)
+        for key in self._key_feeds.get(obj.class_name, ()):
+            if any(
+                old_state.get(attr, _ABSENT) is not new_state.get(attr, _ABSENT)
+                for attr in key.attributes
+            ):
+                key.remove(old_state)
+                key.add(new_state)
+
+    def _apply_insert(self, obj: "DBObject") -> None:
+        for extent in self._extent_feeds.get(obj.class_name, ()):
+            extent.add(obj.oid)
+        for aggregate in self._agg_feeds.get(obj.class_name, ()):
+            aggregate.add(obj.state.get(aggregate.over, _ABSENT))
+        for key in self._key_feeds.get(obj.class_name, ()):
+            key.add(obj.state)
+
+    # -- probes (the EvalContext fast path) ----------------------------------------
+
+    def aggregate_value(self, func: str, class_name: str, over: str | None) -> Any:
+        """A materialized aggregate value, or :data:`INDEX_MISS`.
+
+        ``count`` — with or without an ``over`` attribute — equals the deep
+        extent's size (every member carries its effective attributes), so it
+        is answered from the extent index even when no running aggregate was
+        registered for the pair.
+        """
+        if func == "count":
+            extent = self._extents.get(class_name)
+            return INDEX_MISS if extent is None else len(extent)
+        if over is None:
+            return INDEX_MISS
+        aggregate = self._aggregates.get((class_name, over))
+        if aggregate is None:
+            return INDEX_MISS
+        return aggregate.value(func)
+
+    def key_unique(self, class_name: str, attributes: Iterable[str]) -> bool | None:
+        """A materialized uniqueness verdict, or ``None`` (no usable index)."""
+        key = self._keys.get((class_name, tuple(attributes)))
+        if key is None:
+            return None
+        return key.unique()
+
+    def deep_extent_oids(self, class_name: str) -> OrderedOidSet | None:
+        """The maintained deep extent of ``class_name`` in insertion order,
+        or ``None`` when the class has no index (unknown to the schema the
+        indexes were built for)."""
+        return self._extents.get(class_name)

@@ -6,6 +6,7 @@ import itertools
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.constraints.evaluate import EvalContext
+from repro.engine.indexes import IndexManager, oid_counter
 from repro.engine.objects import DBObject
 from repro.errors import (
     ConstraintViolation,
@@ -35,6 +36,14 @@ class ObjectStore:
     ``incremental=False`` the store keeps the exhaustive behaviour: full
     revalidation at transaction commit and the fixed
     object/class/database-constraint sweep after every operation.
+
+    With ``indexed=True`` (the default) the store additionally maintains
+    auxiliary state through an :class:`~repro.engine.indexes.IndexManager` —
+    per-class deep-extent indexes, running aggregates and key hash indexes —
+    kept transactionally consistent with every mutation and rollback, so
+    ``extent()`` is O(|result|) and aggregate/key constraint checks answer
+    in O(1) instead of re-scanning extents.  ``indexed=False`` preserves the
+    scan-everything behaviour (useful as a performance baseline).
     """
 
     def __init__(
@@ -42,10 +51,12 @@ class ObjectStore:
         schema: DatabaseSchema,
         enforce: bool = True,
         incremental: bool = True,
+        indexed: bool = True,
     ):
         self.schema = schema
         self.enforce = enforce
         self.incremental = incremental
+        self.indexed = indexed
         self._objects: dict[str, DBObject] = {}
         self._direct_extents: dict[str, set[str]] = {
             name: set() for name in schema.classes
@@ -71,6 +82,10 @@ class ObjectStore:
         #: missing or stale, enforcement falls back to full revalidation,
         #: and any clean full pass re-baselines.
         self._validated_fingerprint: int | None = None
+        #: Maintained auxiliary indexes (deep extents, running aggregates,
+        #: key hash maps); ``None`` on unindexed stores.  Created last: the
+        #: manager reads the store's schema and (empty) contents.
+        self._indexes = IndexManager(self) if indexed else None
 
     # -- basic access --------------------------------------------------------
 
@@ -90,19 +105,31 @@ class ObjectStore:
 
     def extent(self, class_name: str, deep: bool = True) -> list[DBObject]:
         """The objects whose most specific class is ``class_name`` (or a
-        subclass, when ``deep``).  Order is insertion order."""
-        if class_name not in self._direct_extents:
+        subclass, when ``deep``).  Order is insertion order.
+
+        O(|result|) (plus an O(k log k) sort for shallow extents, where k is
+        the extent size): deep extents resolve from the maintained deep-extent
+        index, shallow ones from ``_direct_extents``.  Only an unindexed
+        store's deep extent falls back to the full-store scan.
+        """
+        if not self.schema.has_class(class_name):
             raise UnknownClassError(
                 f"no class {class_name!r} in database {self.schema.name}"
             )
-        names = {class_name}
-        if deep:
-            names.update(self.schema.subclasses_of(class_name))
-        return [
-            obj
-            for obj in self._objects.values()
-            if obj.class_name in names
-        ]
+        objects = self._objects
+        if not deep:
+            # Direct extents are plain oid sets; engine oids embed the global
+            # insertion counter, so insertion order is recoverable without
+            # touching the rest of the store.
+            oids = sorted(self._direct_extents.get(class_name, ()), key=oid_counter)
+            return [objects[oid] for oid in oids]
+        if self._indexes is not None:
+            self._indexes.ensure_fresh()
+            indexed = self._indexes.deep_extent_oids(class_name)
+            if indexed is not None:
+                return [objects[oid] for oid in indexed]
+        names = set(self.schema.subclass_closure(class_name))
+        return [obj for obj in objects.values() if obj.class_name in names]
 
     # -- mutation -----------------------------------------------------------------
 
@@ -122,7 +149,11 @@ class ObjectStore:
         oid = f"{class_name}#{next(self._counter)}"
         obj = DBObject(oid, class_name, checked)
         self._objects[oid] = obj
-        self._direct_extents[class_name].add(oid)
+        # setdefault: the class may have been added to the schema after the
+        # store was created.
+        self._direct_extents.setdefault(class_name, set()).add(oid)
+        if self._indexes is not None:
+            self._indexes.on_insert(obj)
         self._log_undo(oid, None)
         delta = self._new_delta()
         delta.record_insert(obj)
@@ -134,6 +165,8 @@ class ObjectStore:
         except EngineError:
             del self._objects[oid]
             self._direct_extents[class_name].discard(oid)
+            if self._indexes is not None:
+                self._indexes.on_delete(obj)
             raise
         return obj
 
@@ -151,12 +184,16 @@ class ObjectStore:
         old_state = obj.state
         self._log_undo(obj.oid, (obj, old_state))
         obj.state = checked
+        if self._indexes is not None:
+            self._indexes.on_update(obj, old_state, checked)
         delta = self._new_delta()
         delta.record_update(obj, set(changes))
         try:
             self._after_mutation(obj, delta)
         except EngineError:  # see insert(): keep the update atomic
             obj.state = old_state
+            if self._indexes is not None:
+                self._indexes.on_update(obj, checked, old_state)
             raise
         return obj
 
@@ -169,6 +206,8 @@ class ObjectStore:
         self._log_undo(obj.oid, (obj, obj.state))
         del self._objects[obj.oid]
         self._direct_extents[obj.class_name].discard(obj.oid)
+        if self._indexes is not None:
+            self._indexes.on_delete(obj)
         delta = self._new_delta()
         delta.record_delete(obj)
         self._note_delta(delta)
@@ -184,6 +223,8 @@ class ObjectStore:
         except EngineError:
             self._objects[obj.oid] = obj
             self._direct_extents[obj.class_name].add(obj.oid)
+            if self._indexes is not None:
+                self._indexes.on_insert(obj)
             self._restore_object_order()
             raise
 
@@ -268,16 +309,22 @@ class ObjectStore:
         self_extent_class: str | None = None,
         bindings: dict[str, Any] | None = None,
     ) -> EvalContext:
-        """An :class:`EvalContext` wired to this store's extents/constants."""
+        """An :class:`EvalContext` wired to this store's extents/constants.
+
+        ``self_extent`` is *lazy*: on indexed stores most aggregate and key
+        checks are answered by the index probe (``indexes``) without ever
+        materializing the extent, which is what keeps those checks O(1)."""
         return EvalContext(
             current=current,
             bindings=bindings or {},
             extents=_ExtentView(self),
             self_extent=(
-                self.extent(self_extent_class) if self_extent_class else ()
+                _LazyExtent(self, self_extent_class) if self_extent_class else ()
             ),
+            self_extent_class=self_extent_class,
             constants=self.schema.constants,
             get_attr=self.get_attr,
+            indexes=self._indexes.probe() if self._indexes is not None else None,
         )
 
     # -- enforcement --------------------------------------------------------------------
@@ -298,10 +345,7 @@ class ObjectStore:
         oids embed the global insertion counter (``Class#N``), so the order
         is recoverable without a snapshot."""
         self._objects = dict(
-            sorted(
-                self._objects.items(),
-                key=lambda item: int(item[0].rsplit("#", 1)[-1]),
-            )
+            sorted(self._objects.items(), key=lambda item: oid_counter(item[0]))
         )
 
     def _log_undo(self, oid: str, entry: "tuple[DBObject, dict] | None") -> None:
@@ -391,6 +435,20 @@ class ObjectStore:
         from repro.engine.transactions import Transaction
 
         return Transaction(self)
+
+
+class _LazyExtent:
+    """A deep extent resolved only when iterated — the scan fallback for
+    aggregate/key checks the index probe could not answer."""
+
+    __slots__ = ("_store", "_class_name")
+
+    def __init__(self, store: ObjectStore, class_name: str):
+        self._store = store
+        self._class_name = class_name
+
+    def __iter__(self):
+        return iter(self._store.extent(self._class_name))
 
 
 class _ExtentView(Mapping):

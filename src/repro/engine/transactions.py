@@ -138,20 +138,34 @@ class Transaction:
         state dict back in place, and a deleted object is re-registered as
         the *same* :class:`DBObject` instance, so references held outside
         the store stay valid across a rollback.
+
+        Maintained indexes roll back alongside, via the *inverse* mutation
+        hook per touched object — an insert is undone as a delete, a delete
+        as an insert, an update as the reverse state transition — keeping
+        rollback O(touched), index maintenance included.
         """
         store = self.store
+        indexes = store._indexes
         resurrected = False
         for oid, entry in undo.items():
             if entry is None:
                 obj = store._objects.pop(oid, None)
                 if obj is not None:
                     store._direct_extents[obj.class_name].discard(oid)
+                    if indexes is not None:
+                        indexes.on_delete(obj)
             else:
                 obj, state = entry
-                obj.state = state
-                if oid not in store._objects:
+                if oid in store._objects:
+                    if indexes is not None and obj.state is not state:
+                        indexes.on_update(obj, obj.state, state)
+                    obj.state = state
+                else:
+                    obj.state = state
                     resurrected = True
-                store._objects[oid] = obj
-                store._direct_extents[obj.class_name].add(oid)
+                    store._objects[oid] = obj
+                    store._direct_extents[obj.class_name].add(oid)
+                    if indexes is not None:
+                        indexes.on_insert(obj)
         if resurrected:
             store._restore_object_order()

@@ -69,6 +69,13 @@ class DatabaseSchema:
         self.constants: dict[str, Any] = {}
         self._version = 0
         self._fingerprint_cache: tuple[tuple, int] | None = None
+        #: Per-token cache of derived lookups (ancestry chains, subclass
+        #: closures, effective attribute maps).  These sit on the mutation
+        #: hot path — every insert maintains the deep-extent index of each
+        #: ancestor class — so they are memoised behind the same validity
+        #: token the fingerprint cache uses and dropped wholesale when the
+        #: schema changes.
+        self._derived_cache: tuple[tuple, dict[str, dict]] | None = None
 
     # -- construction -----------------------------------------------------------
 
@@ -123,12 +130,54 @@ class DatabaseSchema:
             if name != class_name and self.is_subclass_of(name, class_name)
         ]
 
+    def _derived(self, kind: str) -> dict:
+        """The memo dict for one family of derived lookups; see
+        ``_derived_cache``.  Returned dicts (and the values cached in them)
+        must be treated as immutable by callers.
+
+        Each lookup rebuilds the O(|classes|) validity token; that cost was
+        already on the per-mutation path (the enforcement staleness probe
+        calls :meth:`fingerprint` per operation), so this only raises its
+        constant, and the token cannot be keyed on ``_version`` alone —
+        :class:`ClassDef`-level additions bypass the schema's mutators."""
+        token = self._validity_token()
+        if self._derived_cache is None or self._derived_cache[0] != token:
+            self._derived_cache = (token, {})
+        return self._derived_cache[1].setdefault(kind, {})
+
+    def ancestry(self, class_name: str) -> tuple[str, ...]:
+        """Cached name-only inheritance chain (``class_name`` first)."""
+        cache = self._derived("ancestry")
+        chain = cache.get(class_name)
+        if chain is None:
+            chain = tuple(cls.name for cls in self.ancestors(class_name))
+            cache[class_name] = chain
+        return chain
+
+    def subclass_closure(self, class_name: str) -> tuple[str, ...]:
+        """Cached ``class_name`` plus all transitive subclasses — the classes
+        whose objects populate the deep extent of ``class_name``."""
+        cache = self._derived("closure")
+        closure = cache.get(class_name)
+        if closure is None:
+            closure = (class_name, *self.subclasses_of(class_name))
+            cache[class_name] = closure
+        return closure
+
     def effective_attributes(self, class_name: str) -> dict[str, Attribute]:
-        """Own plus inherited attributes (nearest declaration wins)."""
-        merged: dict[str, Attribute] = {}
-        for class_def in self.ancestors(class_name):
-            for name, attribute in class_def.attributes.items():
-                merged.setdefault(name, attribute)
+        """Own plus inherited attributes (nearest declaration wins).
+
+        The merged mapping is cached per schema state and shared between
+        callers; treat it as read-only.
+        """
+        cache = self._derived("attributes")
+        merged = cache.get(class_name)
+        if merged is None:
+            merged = {}
+            for class_def in self.ancestors(class_name):
+                for name, attribute in class_def.attributes.items():
+                    merged.setdefault(name, attribute)
+            cache[class_name] = merged
         return merged
 
     def effective_object_constraints(self, class_name: str) -> list[Constraint]:
@@ -192,6 +241,22 @@ class DatabaseSchema:
 
     # -- change detection --------------------------------------------------------------
 
+    def _validity_token(self) -> tuple:
+        """A cheap token that changes whenever the schema structure can have
+        changed: the schema-level mutation counter plus per-class
+        attribute/constraint counts (which catch :class:`ClassDef`-level
+        additions that bypass the schema's mutators).  Guards both the
+        fingerprint cache and the derived-lookup caches."""
+        return (
+            self._version,
+            len(self.database_constraints),
+            len(self.constants),
+            tuple(
+                (name, len(cls.attributes), len(cls.constraints))
+                for name, cls in self.classes.items()
+            ),
+        )
+
     def fingerprint(self) -> int:
         """A structural hash of everything constraint enforcement depends on.
 
@@ -210,15 +275,7 @@ class DatabaseSchema:
         codebase does that (constraint lists are append-only, conformation
         rewrites into fresh schemas).
         """
-        token = (
-            self._version,
-            len(self.database_constraints),
-            len(self.constants),
-            tuple(
-                (name, len(cls.attributes), len(cls.constraints))
-                for name, cls in self.classes.items()
-            ),
-        )
+        token = self._validity_token()
         if self._fingerprint_cache is not None:
             cached_token, cached_value = self._fingerprint_cache
             if cached_token == token:

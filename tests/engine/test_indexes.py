@@ -1,0 +1,400 @@
+"""Tests for the index-maintenance subsystem (repro.engine.indexes).
+
+The acceptance properties: after *any* sequence of inserts, updates, deletes
+and rollbacks, every maintained index agrees with a from-scratch naive scan
+(deep/shallow extents, running aggregates, key maps), and an indexed store
+accepts/rejects exactly the same transactions as an unindexed one.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ObjectStore
+from repro.constraints.evaluate import INDEX_MISS, VACUOUS
+from repro.engine.indexes import IndexManager, KeyIndex, OrderedOidSet, RunningAggregate
+from repro.errors import ConstraintViolation
+from repro.fixtures import cslibrary_schema
+from repro.tm.parser import parse_database
+
+INDEXLAB_SOURCE = """
+Database IndexLab
+
+constants
+  CEILING = 1000000
+
+Class Base
+attributes
+  name  : string
+  score : int
+class constraints
+  cc_key: key name
+  cc_sum: (sum (collect x for x in self) over score) < CEILING
+  cc_min: (min (collect x for x in self) over score) >= 0
+  cc_max: (max (collect x for x in self) over score) < CEILING
+end Base
+
+Class Sub isa Base
+attributes
+  extra : int
+class constraints
+  cc_avg: (avg (collect x for x in self) over extra) < CEILING
+end Sub
+"""
+
+
+def indexlab_schema():
+    return parse_database(INDEXLAB_SOURCE)
+
+
+class _Abort(Exception):
+    """Raised inside a transaction to force a rollback."""
+
+
+# ---------------------------------------------------------------------------
+# naive ground truth
+# ---------------------------------------------------------------------------
+
+
+def assert_indexes_match_naive_scan(store: ObjectStore) -> None:
+    """Every index must agree with a from-scratch scan of the raw store."""
+    manager = store._indexes
+    assert manager is not None
+    schema = store.schema
+    live = list(store._objects.values())
+
+    for class_name in schema.classes:
+        deep = [
+            obj.oid
+            for obj in live
+            if schema.is_subclass_of(obj.class_name, class_name)
+        ]
+        assert list(manager.deep_extent_oids(class_name)) == deep
+        assert [obj.oid for obj in store.extent(class_name)] == deep
+        shallow = [obj.oid for obj in live if obj.class_name == class_name]
+        assert [obj.oid for obj in store.extent(class_name, deep=False)] == shallow
+
+    for (class_name, over), aggregate in manager._aggregates.items():
+        values = [
+            obj.state[over]
+            for obj in live
+            if schema.is_subclass_of(obj.class_name, class_name)
+        ]
+        assert aggregate.valid
+        for func in sorted(aggregate.funcs | {"sum", "count"}):
+            if func in ("min", "max") and func not in aggregate.funcs:
+                continue
+            got = manager.aggregate_value(func, class_name, over)
+            if func == "sum":
+                assert got == sum(values)
+            elif func == "count":
+                assert got == len(values)
+            elif not values:
+                assert got is VACUOUS
+            elif func == "avg":
+                assert got == sum(values) / len(values)
+            elif func == "min":
+                assert got == min(values)
+            else:
+                assert got == max(values)
+
+    for (class_name, attributes), _key in manager._keys.items():
+        tuples = [
+            tuple(obj.state[attr] for attr in attributes)
+            for obj in live
+            if schema.is_subclass_of(obj.class_name, class_name)
+        ]
+        assert manager.key_unique(class_name, attributes) == (
+            len(set(tuples)) == len(tuples)
+        )
+
+
+# ---------------------------------------------------------------------------
+# op interpreter shared by the property tests
+# ---------------------------------------------------------------------------
+
+OPS = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [
+                "insert_base",
+                "insert_sub",
+                "update",
+                "delete",
+                "txn_commit",
+                "txn_abort",
+            ]
+        ),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=99),
+    ),
+    max_size=10,
+)
+
+
+def _apply_one(store: ObjectStore, kind: str, a: int, b: int, c: int) -> str | None:
+    """Run one op; returns ``"rejected"`` when enforcement refused it."""
+
+    def mutate(seed: int) -> None:
+        extent = store.extent("Base")
+        choice = seed % 4
+        if choice == 0 or not extent:
+            store.insert("Base", name=f"n{(seed + c) % 9}", score=c)
+        elif choice == 1:
+            store.insert(
+                "Sub", name=f"n{(seed + c) % 9}", score=c, extra=seed % 50
+            )
+        elif choice == 2:
+            store.update(extent[seed % len(extent)], score=c, name=f"n{b % 9}")
+        else:
+            store.delete(extent[seed % len(extent)])
+
+    try:
+        if kind == "txn_commit":
+            with store.transaction():
+                for offset in range(3):
+                    mutate(a + offset)
+        elif kind == "txn_abort":
+            try:
+                with store.transaction():
+                    for offset in range(3):
+                        mutate(a + offset)
+                    raise _Abort()
+            except _Abort:
+                pass
+        elif kind == "insert_base":
+            store.insert("Base", name=f"n{b % 9}", score=c)
+        elif kind == "insert_sub":
+            store.insert("Sub", name=f"n{b % 9}", score=c, extra=a % 50)
+        else:
+            extent = store.extent("Base")
+            if not extent:
+                return None
+            target = extent[a % len(extent)]
+            if kind == "update":
+                store.update(target, score=c, name=f"n{b % 9}")
+            else:
+                store.delete(target)
+    except ConstraintViolation:
+        return "rejected"
+    return None
+
+
+class TestIndexesMatchNaiveScans:
+    """Acceptance property 1: after any random sequence of insert / update /
+    delete / rollback, every index agrees with a from-scratch naive scan."""
+
+    @given(ops=OPS)
+    @settings(max_examples=120, deadline=None)
+    def test_random_histories(self, ops):
+        store = ObjectStore(indexlab_schema())
+        for kind, a, b, c in ops:
+            _apply_one(store, kind, a, b, c)
+            assert_indexes_match_naive_scan(store)
+
+    def test_aborted_transaction_restores_indexes_and_order(self):
+        store = ObjectStore(indexlab_schema())
+        for index in range(6):
+            store.insert("Base", name=f"n{index}", score=index)
+        before = [obj.oid for obj in store.extent("Base")]
+        with pytest.raises(_Abort):
+            with store.transaction():
+                store.delete(before[2])  # resurrection must restore order
+                store.insert("Base", name="n9", score=9)
+                store.update(store.extent("Base")[0], score=40)
+                raise _Abort()
+        assert [obj.oid for obj in store.extent("Base")] == before
+        assert_indexes_match_naive_scan(store)
+
+    def test_rejected_single_operations_roll_indexes_back(self):
+        store = ObjectStore(indexlab_schema())
+        store.insert("Base", name="a", score=1)
+        store.insert("Base", name="b", score=2)
+        with pytest.raises(ConstraintViolation, match="cc_key"):
+            store.insert("Base", name="a", score=3)
+        with pytest.raises(ConstraintViolation, match="cc_key"):
+            store.update(store.extent("Base")[1], name="a")
+        with pytest.raises(ConstraintViolation, match="cc_min"):
+            store.update(store.extent("Base")[0], score=-5)
+        assert_indexes_match_naive_scan(store)
+
+
+class TestIndexedUnindexedEquivalence:
+    """Acceptance property 2: indexed and unindexed validators accept/reject
+    identical transactions and leave identical states behind."""
+
+    @staticmethod
+    def _snapshot(store):
+        return {
+            obj.oid: (obj.class_name, dict(obj.state))
+            for obj in store.objects()
+        }
+
+    @given(ops=OPS)
+    @settings(max_examples=120, deadline=None)
+    def test_verdicts_and_states_match(self, ops):
+        indexed = ObjectStore(indexlab_schema(), indexed=True)
+        plain = ObjectStore(indexlab_schema(), indexed=False)
+        for kind, a, b, c in ops:
+            verdict_indexed = _apply_one(indexed, kind, a, b, c)
+            verdict_plain = _apply_one(plain, kind, a, b, c)
+            assert verdict_indexed == verdict_plain
+            assert self._snapshot(indexed) == self._snapshot(plain)
+        assert_indexes_match_naive_scan(indexed)
+
+    def test_invalidated_aggregate_falls_back_to_scan_semantics(self):
+        """An aggregate over a non-numeric attribute cannot be maintained;
+        the index invalidates itself and evaluation must fall back to the
+        scan with identical accept/reject behaviour."""
+        source = """
+        Database Words
+
+        Class Word
+        attributes
+          text : string
+        class constraints
+          cc_min: (min (collect x for x in self) over text) >= 'b'
+        end Word
+        """
+        verdicts = []
+        for indexed in (True, False):
+            store = ObjectStore(parse_database(source), indexed=indexed)
+            store.insert("Word", text="cat")
+            try:
+                store.insert("Word", text="ant")  # 'ant' < 'b': violation
+                verdicts.append("accepted")
+            except ConstraintViolation:
+                verdicts.append("rejected")
+            assert len(store.extent("Word")) == 1
+        assert verdicts == ["rejected", "rejected"]
+
+
+class TestRegistrationAndRebuild:
+    def test_registration_flow_from_dependency_index(self):
+        """The dependency index names what to materialize: cc2's running sum,
+        ScientificPubl.cc1's running avg, and cc1's key map."""
+        store = ObjectStore(cslibrary_schema())
+        manager = store._indexes
+        assert ("Publication", "ourprice") in manager._aggregates
+        assert ("ScientificPubl", "rating") in manager._aggregates
+        assert "avg" in manager._aggregates[("ScientificPubl", "rating")].funcs
+        assert ("Publication", ("isbn",)) in manager._keys
+        assert manager.key_unique("Publication", ("isbn",)) is True
+        # No index was registered for attributes nothing aggregates over.
+        assert manager.aggregate_value("sum", "Publication", "title") is INDEX_MISS
+
+    def test_key_over_reference_attribute_is_not_materialized(self):
+        """The scan path *dereferences* reference-typed key components
+        (raising on dangling oids); a hash index over raw oid strings would
+        silently diverge, so such keys stay on the scan path."""
+        source = """
+        Database Refs
+
+        Class Owner
+        attributes
+          name : string
+        end Owner
+
+        Class Pet
+        attributes
+          owner : Owner
+        class constraints
+          cc_key: key owner
+        end Pet
+        """
+        store = ObjectStore(parse_database(source))
+        assert store._indexes._keys == {}
+        owner = store.insert("Owner", name="a")
+        store.insert("Pet", owner=owner)
+        with pytest.raises(ConstraintViolation, match="cc_key"):
+            store.insert("Pet", owner=owner)  # duplicate, via the scan path
+
+    def test_count_answered_from_extent_index(self):
+        store = ObjectStore(indexlab_schema())
+        store.insert("Base", name="a", score=1)
+        store.insert("Sub", name="b", score=2, extra=3)
+        assert store._indexes.aggregate_value("count", "Base", None) == 2
+        assert store._indexes.aggregate_value("count", "Sub", None) == 1
+
+    def test_schema_fingerprint_change_triggers_rebuild(self):
+        schema = indexlab_schema()
+        store = ObjectStore(schema)
+        store.insert("Base", name="a", score=1)
+        manager = store._indexes
+        rebuilds = manager.rebuilds
+        schema.set_constant("CEILING", 2_000_000)
+        store.insert("Base", name="b", score=2)
+        assert manager.rebuilds == rebuilds + 1
+        assert_indexes_match_naive_scan(store)
+
+    def test_class_added_after_population_is_indexed_after_rebuild(self):
+        from repro.types.primitives import StringType
+
+        schema = indexlab_schema()
+        store = ObjectStore(schema)
+        store.insert("Base", name="a", score=1)
+        schema.new_class("Leaf", parent="Sub").add_attribute("kind", StringType())
+        leaf = store.insert("Leaf", name="b", score=2, extra=1, kind="x")
+        assert leaf in store.extent("Base")
+        assert leaf in store.extent("Sub")
+        assert_indexes_match_naive_scan(store)
+
+    def test_unindexed_store_has_no_manager_but_same_extents(self):
+        store = ObjectStore(indexlab_schema(), indexed=False)
+        store.insert("Base", name="a", score=1)
+        sub = store.insert("Sub", name="b", score=2, extra=3)
+        assert store._indexes is None
+        assert [o.oid for o in store.extent("Base")] == ["Base#1", "Sub#2"]
+        assert [o.oid for o in store.extent("Base", deep=False)] == ["Base#1"]
+        assert sub in store.extent("Sub")
+
+
+class TestStructures:
+    def test_ordered_oid_set_resorts_after_out_of_order_add(self):
+        oids = OrderedOidSet()
+        for counter in (1, 3, 5):
+            oids.add(f"C#{counter}")
+        oids.add("C#2")  # a resurrection
+        assert list(oids) == ["C#1", "C#2", "C#3", "C#5"]
+        oids.discard("C#3")
+        assert list(oids) == ["C#1", "C#2", "C#5"]
+
+    def test_running_aggregate_minmax_with_churn(self):
+        aggregate = RunningAggregate("C", "x", {"min", "max"})
+        for value in (5, 1, 9, 1):
+            aggregate.add(value)
+        aggregate.remove(1)
+        aggregate.remove(9)
+        assert aggregate.value("min") == 1
+        assert aggregate.value("max") == 5
+        assert aggregate.value("sum") == 6
+        assert aggregate.value("avg") == 3
+        aggregate.remove(1)
+        aggregate.remove(5)
+        assert aggregate.value("min") is VACUOUS
+        assert aggregate.value("sum") == 0
+
+    def test_running_aggregate_invalidates_on_unmaintainable_values(self):
+        aggregate = RunningAggregate("C", "x", {"min"})
+        aggregate.add("not a number")
+        assert not aggregate.valid
+        assert aggregate.value("sum") is INDEX_MISS
+        nan_aggregate = RunningAggregate("C", "x", {"min"})
+        nan_aggregate.add(float("nan"))
+        assert not nan_aggregate.valid
+
+    def test_key_index_duplicate_counting(self):
+        key = KeyIndex("C", ("a", "b"))
+        key.add({"a": 1, "b": 2})
+        key.add({"a": 1, "b": 3})
+        assert key.unique() is True
+        key.add({"a": 1, "b": 2})
+        assert key.unique() is False
+        key.remove({"a": 1, "b": 2})
+        assert key.unique() is True
+
+    def test_key_index_invalidates_on_unhashable_component(self):
+        key = KeyIndex("C", ("a",))
+        key.add({"a": [1, 2]})
+        assert key.unique() is None
