@@ -327,6 +327,75 @@ def disjoin(parts: list[Node]) -> Node:
     return Or(tuple(flattened))
 
 
+def match_referential_body(body: Node, var: str) -> tuple[str, Node] | None:
+    """Match the body of a *referential* existential quantifier.
+
+    Given the body of ``exists var in D | ...``, recognise the equality shape
+    ``var.attr = other`` (or mirrored, ``other = var.attr``) with a
+    single-dereference path on the quantified variable, and return
+    ``(attr, other)``.  This is the structural half of the reference-count
+    fast path: when ``attr`` is a reference attribute, ``exists y in D |
+    y.attr = x`` reduces to a maintained referrer-count lookup on ``x``'s
+    identity (see :mod:`repro.engine.indexes`).  Returns ``None`` for any
+    other body — those stay on the extent scan.
+
+    ``other`` must not mention ``var`` itself: the probe evaluates it in
+    the *enclosing* scope, where a same-named outer binding would silently
+    shadow-swap the semantics (``exists y in D | y.ref = y`` compares each
+    D member to *itself*, not to an outer ``y``).
+    """
+    if not isinstance(body, Comparison) or body.op != "=":
+        return None
+    for mine, other in ((body.left, body.right), (body.right, body.left)):
+        if (
+            isinstance(mine, Path)
+            and len(mine.parts) == 2
+            and mine.parts[0] == var
+            and not any(
+                isinstance(sub, Path) and sub.parts[0] == var
+                for sub in other.walk()
+            )
+        ):
+            return mine.parts[1], other
+    return None
+
+
+def match_referential_quantifier(node: Node) -> tuple[str, str, str, str] | None:
+    """Match a whole-formula referential quantifier pattern.
+
+    Recognised shapes (``mode``, with C the outer and D the inner class):
+
+    * ``forall x in C exists y in D | y.a = x``       → ``("all", C, D, a)``
+    * ``forall x in C | not (exists y in D | y.a = x)`` → ``("none", C, D, a)``
+    * ``exists x in C exists y in D | y.a = x``       → ``("any", C, D, a)``
+
+    These are the forms a maintained reference-count index answers in O(1)
+    from its live-referenced-member count; anything else returns ``None``.
+    """
+    if not isinstance(node, Quantified):
+        return None
+    inner, negated = node.body, False
+    if isinstance(inner, Not):
+        inner, negated = inner.operand, True
+    if not isinstance(inner, Quantified) or inner.kind != "exists":
+        return None
+    if inner.var == node.var:
+        return None  # the inner quantifier shadows the outer variable
+    match = match_referential_body(inner.body, inner.var)
+    if match is None:
+        return None
+    attr, other = match
+    if not (isinstance(other, Path) and other.parts == (node.var,)):
+        return None
+    if node.kind == "forall":
+        mode = "none" if negated else "all"
+    elif node.kind == "exists" and not negated:
+        mode = "any"
+    else:
+        return None
+    return mode, node.class_name, inner.class_name, attr
+
+
 def paths_in(node: Node) -> tuple[Path, ...]:
     """All :class:`Path` nodes in ``node``, in traversal order, deduplicated."""
     seen: dict[Path, None] = {}

@@ -17,9 +17,16 @@ stores states as dicts).  Evaluation is parameterised by an
   ``publisher.name`` traverse references.
 
 Aggregates over an empty extent: ``sum`` is 0 and ``count`` is 0; ``avg`` /
-``min`` / ``max`` are *vacuous* — any comparison against a vacuous value is
+``min`` / ``max`` are *vacuous* — a comparison against a vacuous value is
 satisfied.  (TM leaves this case open; vacuous truth matches how the paper
-treats constraints on empty classes.)
+treats constraints on empty classes.)  Vacuous truth is a *tri-state*: a
+comparison (or membership test) on a vacuous value returns the
+:data:`VACUOUS` sentinel itself — truthy, so it satisfies at formula roots —
+and the connectives propagate it (``not`` of a vacuous truth stays vacuous,
+conjunction/disjunction/implication absorb it unless a strict operand
+decides).  This keeps logically equivalent phrasings in agreement:
+``not (avg ... > 5)`` and ``avg ... <= 5`` are both satisfied on an empty
+extent, where naive boolean negation would make them disagree.
 
 Evaluation is *compiled*: :func:`compile_node` lowers an AST once into a tree
 of Python closures (``EvalContext -> value``), and :func:`evaluate` dispatches
@@ -30,12 +37,14 @@ lookup once per formula instead of once per check is the difference between
 an interpretive and a compiled enforcement hot path.
 
 When the context carries an index probe (``ctx.indexes``, supplied by the
-engine's :class:`~repro.engine.indexes.IndexManager`), aggregate and key
-nodes first ask it for a materialized answer — a running sum/count/min/max
-or a key-uniqueness verdict maintained incrementally across mutations — and
-only fall back to the extent scan on :data:`INDEX_MISS`.  The probe answers
-in O(1) regardless of extent size, which is what makes aggregate- and
-key-constraint commits constant-time in store size.
+engine's :class:`~repro.engine.indexes.IndexManager`), aggregate, key and
+*referential quantifier* nodes first ask it for a materialized answer — a
+running sum/count/min/max, a key-uniqueness verdict, or a reference-count
+verdict (``forall p in Publisher exists i in Item | i.publisher = p``
+reduces to one maintained counter comparison) — and only fall back to the
+extent scan on :data:`INDEX_MISS`.  The probe answers in O(1) regardless of
+extent size, which is what makes aggregate-, key- and referential-constraint
+commits constant-time in store size.
 """
 
 from __future__ import annotations
@@ -62,12 +71,22 @@ from repro.constraints.ast import (
     Quantified,
     SetLiteral,
     TrueFormula,
+    match_referential_body,
+    match_referential_quantifier,
 )
 from repro.errors import EvaluationError
 
 
 class _Vacuous:
-    """Result of an aggregate over an empty extent; satisfies any comparison."""
+    """Result of an aggregate over an empty extent; satisfies any comparison.
+
+    Doubles as the *vacuous truth* of the tri-state logic: comparisons on a
+    vacuous value return the sentinel itself, connectives propagate it, and
+    at a formula root its truthiness (``True``) counts as satisfied.
+    """
+
+    def __bool__(self) -> bool:
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<vacuous>"
@@ -118,9 +137,12 @@ class EvalContext:
     self_extent_class: str | None = None
     #: Optional index probe (duck-typed; the engine passes
     #: :class:`repro.engine.indexes.IndexManager`).  Must provide
-    #: ``aggregate_value(func, class_name, over) -> value | INDEX_MISS`` and
-    #: ``key_unique(class_name, attributes) -> bool | None``.  ``None``
-    #: disables the fast path: every aggregate and key check scans extents.
+    #: ``aggregate_value(func, class_name, over) -> value | INDEX_MISS``,
+    #: ``key_unique(class_name, attributes) -> bool | None``,
+    #: ``reference_count(referrer_class, attribute, oid) -> int | INDEX_MISS``
+    #: and ``referential_verdict(mode, referenced_class, referrer_class,
+    #: attribute) -> bool | INDEX_MISS``.  ``None`` disables the fast path:
+    #: every aggregate, key and referential check scans extents.
     indexes: Any = None
 
     def child(self, **overrides: Any) -> "EvalContext":
@@ -224,11 +246,11 @@ def compile_node(node: Node) -> CompiledNode:
     if isinstance(node, Membership):
         element = compiled(node.element)
         collection = compiled(node.collection)
-        def run_membership(ctx: EvalContext) -> bool:
+        def run_membership(ctx: EvalContext) -> Any:
             value = element(ctx)
             members = collection(ctx)
             if isinstance(value, _Vacuous):
-                return True
+                return VACUOUS
             try:
                 return value in members
             except TypeError as exc:
@@ -238,17 +260,60 @@ def compile_node(node: Node) -> CompiledNode:
         return run_membership
     if isinstance(node, Not):
         operand = compiled(node.operand)
-        return lambda ctx: not operand(ctx)
+
+        def run_not(ctx: EvalContext) -> Any:
+            value = operand(ctx)
+            if isinstance(value, _Vacuous):
+                return value  # ¬(vacuous) imposes nothing either
+            return not value
+
+        return run_not
     if isinstance(node, And):
         parts = tuple(compiled(part) for part in node.parts)
-        return lambda ctx: all(part(ctx) for part in parts)
+
+        def run_and(ctx: EvalContext) -> Any:
+            saw_vacuous = False
+            for part in parts:
+                value = part(ctx)
+                if isinstance(value, _Vacuous):
+                    saw_vacuous = True
+                elif not value:
+                    return False
+            return VACUOUS if saw_vacuous else True
+
+        return run_and
     if isinstance(node, Or):
         parts = tuple(compiled(part) for part in node.parts)
-        return lambda ctx: any(part(ctx) for part in parts)
+
+        def run_or(ctx: EvalContext) -> Any:
+            # A vacuous disjunct must not short-circuit: its De Morgan dual
+            # (a conjunction of negations) evaluates every part too.
+            saw_vacuous = False
+            for part in parts:
+                value = part(ctx)
+                if isinstance(value, _Vacuous):
+                    saw_vacuous = True
+                elif value:
+                    return True
+            return VACUOUS if saw_vacuous else False
+
+        return run_or
     if isinstance(node, Implies):
         antecedent = compiled(node.antecedent)
         consequent = compiled(node.consequent)
-        return lambda ctx: (not antecedent(ctx)) or consequent(ctx)
+
+        def run_implies(ctx: EvalContext) -> Any:
+            condition = antecedent(ctx)
+            if isinstance(condition, _Vacuous):
+                conclusion = consequent(ctx)
+                if not isinstance(conclusion, _Vacuous) and conclusion:
+                    return True
+                return VACUOUS
+            if not condition:
+                return True
+            return consequent(ctx)
+
+        return run_implies
     if isinstance(node, Quantified):
         return _compile_quantified(node)
     if isinstance(node, KeyConstraint):
@@ -331,11 +396,11 @@ def _compile_comparison(node: Comparison) -> CompiledNode:
     left = compiled(node.left)
     right = compiled(node.right)
 
-    def run_comparison(ctx: EvalContext) -> bool:
+    def run_comparison(ctx: EvalContext) -> Any:
         a = left(ctx)
         b = right(ctx)
         if isinstance(a, _Vacuous) or isinstance(b, _Vacuous):
-            return True
+            return VACUOUS
         try:
             return comparator(a, b)
         except TypeError as exc:
@@ -366,17 +431,26 @@ def _compile_aggregate(node: Aggregate) -> CompiledNode:
             return len(extent)
         get_attr = ctx.get_attr
         values = [get_attr(obj, over) for obj in extent]
-        if func == "sum":
-            return sum(values)
         if func == "count":
             return len(values)
         if not values:
-            return VACUOUS
-        if func == "avg":
-            return sum(values) / len(values)
-        if func == "min":
-            return min(values)
-        return max(values)
+            return 0 if func == "sum" else VACUOUS
+        try:
+            if func == "sum":
+                return sum(values)
+            if func == "avg":
+                return sum(values) / len(values)
+            if func == "min":
+                return min(values)
+            return max(values)
+        except TypeError as exc:
+            # Same error contract as comparisons/arithmetic: operand trouble
+            # surfaces as EvaluationError, never a raw TypeError — mirroring
+            # the index path, which degrades to INDEX_MISS on such values.
+            raise EvaluationError(
+                f"cannot aggregate {func!r} over {over!r}: "
+                f"non-numeric or mixed-type operands"
+            ) from exc
 
     return run_aggregate
 
@@ -386,14 +460,54 @@ def _compile_quantified(node: Quantified) -> CompiledNode:
         raise EvaluationError(f"unknown quantifier {node.kind!r}")
     body = compiled(node.body)
     var, class_name = node.var, node.class_name
-    combine = all if node.kind == "forall" else any
+    is_forall = node.kind == "forall"
 
-    def run_quantified(ctx: EvalContext) -> bool:
+    # Referential fast paths.  ``outer`` matches whole-formula shapes
+    # (``forall x in C exists y in D | y.a = x`` and the negated/existential
+    # variants) answered by one O(1) verdict probe; ``inner`` matches the
+    # bare existential (``exists y in D | y.a = <expr>``) answered by an O(1)
+    # referrer-count lookup on the expression's identity.  Both degrade to
+    # the extent scan on INDEX_MISS, exactly like aggregates and keys.
+    outer = match_referential_quantifier(node)
+    inner = match_referential_body(node.body, var) if not is_forall else None
+    inner_attr = inner[0] if inner is not None else None
+    inner_other = compiled(inner[1]) if inner is not None else None
+
+    def run_quantified(ctx: EvalContext) -> Any:
+        indexes = ctx.indexes
+        if indexes is not None:
+            if outer is not None:
+                verdict = indexes.referential_verdict(*outer)
+                if verdict is not INDEX_MISS:
+                    return verdict
+            if inner_other is not None:
+                try:
+                    target = inner_other(ctx)
+                except Exception:
+                    target = None  # scan fallback re-raises (or not), as before
+                oid = getattr(target, "oid", None)
+                if isinstance(oid, str):
+                    count = indexes.reference_count(class_name, inner_attr, oid)
+                    if count is not INDEX_MISS:
+                        return count > 0
         extent = ctx.extent_of(class_name)
-        return combine(
-            body(ctx.child(bindings={**ctx.bindings, var: obj}))
-            for obj in extent
-        )
+        bindings = ctx.bindings
+        saw_vacuous = False
+        if is_forall:
+            for obj in extent:
+                value = body(ctx.child(bindings={**bindings, var: obj}))
+                if isinstance(value, _Vacuous):
+                    saw_vacuous = True
+                elif not value:
+                    return False
+            return VACUOUS if saw_vacuous else True
+        for obj in extent:
+            value = body(ctx.child(bindings={**bindings, var: obj}))
+            if isinstance(value, _Vacuous):
+                saw_vacuous = True
+            elif value:
+                return True
+        return VACUOUS if saw_vacuous else False
 
     return run_quantified
 

@@ -14,9 +14,11 @@ from typing import TYPE_CHECKING
 from repro.constraints.evaluate import evaluate
 from repro.errors import ConstraintViolation, EngineError, EvaluationError
 
-#: Evaluation failures that count as violations rather than crashes in the
-#: bulk audit: a formula that cannot be evaluated (missing attribute,
-#: unknown function) or whose dereference hits a dangling/unknown object.
+#: Evaluation failures that count as violations rather than crashes: a
+#: formula that cannot be evaluated (missing attribute, unknown function)
+#: or whose dereference hits a dangling/unknown object.  Shared by the
+#: fail-fast checks and the bulk audit, matching the delta-driven
+#: validator's contract (:mod:`repro.engine.incremental`).
 #: ``ConstraintViolation`` subclasses ``EngineError`` but ``evaluate`` never
 #: raises it, so the widened catch is safe.
 _EVAL_FAILURES = (EvaluationError, EngineError)
@@ -38,12 +40,19 @@ class Violation:
 
 
 def check_object_constraints(store: "ObjectStore", obj: "DBObject") -> None:
-    """Raise unless ``obj`` satisfies all effective object constraints."""
+    """Raise unless ``obj`` satisfies all effective object constraints.
+
+    Evaluation failures (including dereferences that hit a dangling
+    reference, which surface as engine errors) are wrapped as
+    :class:`ConstraintViolation` — the same error contract the delta-driven
+    validator honours, so incremental and exhaustive enforcement reject with
+    the same exception type.
+    """
     for constraint in store.schema.effective_object_constraints(obj.class_name):
         ctx = store.eval_context(current=obj)
         try:
             satisfied = evaluate(constraint.formula, ctx)
-        except EvaluationError as exc:
+        except _EVAL_FAILURES as exc:
             raise ConstraintViolation(
                 constraint.qualified_name, f"cannot evaluate on {obj.oid}: {exc}"
             ) from exc
@@ -69,7 +78,7 @@ def check_class_constraints(store: "ObjectStore", class_name: str) -> None:
             ctx = store.eval_context(self_extent_class=ancestor.name)
             try:
                 satisfied = evaluate(constraint.formula, ctx)
-            except EvaluationError as exc:
+            except _EVAL_FAILURES as exc:
                 raise ConstraintViolation(
                     constraint.qualified_name, str(exc)
                 ) from exc
@@ -87,7 +96,7 @@ def check_database_constraints(store: "ObjectStore") -> None:
         ctx = store.eval_context()
         try:
             satisfied = evaluate(constraint.formula, ctx)
-        except EvaluationError as exc:
+        except _EVAL_FAILURES as exc:
             raise ConstraintViolation(constraint.qualified_name, str(exc)) from exc
         if not satisfied:
             raise ConstraintViolation(

@@ -43,7 +43,14 @@ from typing import TYPE_CHECKING, Any, Iterator
 import weakref
 from weakref import WeakKeyDictionary
 
-from repro.constraints.ast import Aggregate, KeyConstraint, Node, Path, Quantified
+from repro.constraints.ast import (
+    Aggregate,
+    KeyConstraint,
+    Node,
+    Path,
+    Quantified,
+    match_referential_body,
+)
 from repro.constraints.evaluate import compiled, evaluate
 from repro.constraints.model import Constraint, ConstraintKind
 from repro.errors import (
@@ -152,6 +159,12 @@ class IndexedConstraint:
     aggregate_specs: frozenset[tuple[str, str, str | None]] = frozenset()
     #: ``(class, attributes)`` uniqueness checks; each gets a key hash index.
     key_specs: frozenset[tuple[str, tuple[str, ...]]] = frozenset()
+    #: ``(referrer class, attribute, referenced class)`` referential
+    #: quantifier reads (``exists y in D | y.a = x`` with ``a`` a reference
+    #: into the referenced class); the
+    #: :class:`~repro.engine.indexes.IndexManager` materializes a
+    #: reference-count index for each.
+    reference_specs: frozenset[tuple[str, str, str]] = frozenset()
     #: The formula's compiled closure, bound once at index build so checks
     #: skip the cache lookup (which re-hashes the AST); ``None`` when the
     #: formula does not compile — evaluation then fails at check time with
@@ -193,6 +206,7 @@ class _ReadSetBuilder:
         self.extents: set[str] = set()
         self.aggregates: set[tuple[str, str, str | None]] = set()
         self.keys: set[tuple[str, tuple[str, ...]]] = set()
+        self.references: set[tuple[str, str, str]] = set()
         self.universal = False
 
     def closure(self, class_name: str) -> list[str]:
@@ -204,6 +218,7 @@ class _ReadSetBuilder:
                 self.universal = True
                 return
             self.extents.update(self.closure(node.class_name))
+            self._note_referential(node)
             self.walk(node.body, {**env, node.var: node.class_name})
             return
         if isinstance(node, Aggregate):
@@ -250,6 +265,37 @@ class _ReadSetBuilder:
             return
         for child in node.children():
             self.walk(child, env)
+
+    def _note_referential(self, node: Quantified) -> None:
+        """Register a reference spec for a referential existential.
+
+        ``exists y in D | y.a = <expr>`` (either operand order) with ``a`` a
+        reference attribute reads "who references ``<expr>``" — the shape a
+        maintained referrer-count index answers in O(1), both standalone and
+        as the body of the enclosing ``forall``/``exists`` verdict forms
+        (see :func:`repro.constraints.ast.match_referential_quantifier`).
+        The index counts *raw* a-values over the whole deep extent of D, so
+        registration requires every class in D's closure to agree on the
+        attribute's reference target; redeclared or non-reference slots stay
+        on the scan path.
+        """
+        if node.kind != "exists":
+            return
+        match = match_referential_body(node.body, node.var)
+        if match is None:
+            return
+        attribute, _other = match
+        referenced: str | None = None
+        for cls in self.closure(node.class_name):
+            target = self.schema.reference_target(cls, attribute)
+            if target is None:
+                return
+            if referenced is None:
+                referenced = target
+            elif target != referenced:
+                return
+        if referenced is not None and self.schema.has_class(referenced):
+            self.references.add((node.class_name, attribute, referenced))
 
     def _walk_path(
         self, start: str | None, parts: tuple[str, ...], owner_rooted: bool
@@ -351,6 +397,7 @@ class ConstraintDependencyIndex:
             universal=builder.universal,
             aggregate_specs=frozenset(builder.aggregates),
             key_specs=frozenset(builder.keys),
+            reference_specs=frozenset(builder.references),
             run=run,
         )
 
@@ -371,6 +418,15 @@ class ConstraintDependencyIndex:
         specs: set[tuple[str, tuple[str, ...]]] = set()
         for entry in self._by_constraint.values():
             specs |= entry.key_specs
+        return frozenset(specs)
+
+    def reference_specs(self) -> frozenset[tuple[str, str, str]]:
+        """Every ``(referrer class, attribute, referenced class)`` referential
+        quantifier read — the registration feed for reference-count
+        indexes."""
+        specs: set[tuple[str, str, str]] = set()
+        for entry in self._by_constraint.values():
+            specs |= entry.reference_specs
         return frozenset(specs)
 
     def is_stale(self) -> bool:

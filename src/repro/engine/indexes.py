@@ -7,7 +7,7 @@ re-scanned the class to recompute a sum or probe uniqueness — and
 ``ObjectStore.extent()`` scanned every object in the store.  Following the
 simplified-integrity-checking literature (incremental checking pays off only
 when the residual check is constant-time in store size), this module keeps
-three kinds of auxiliary state transactionally consistent with the store:
+four kinds of auxiliary state transactionally consistent with the store:
 
 * **deep-extent indexes** — class name → ordered oid set, maintained over the
   subclass closure on every insert/delete, so ``extent()`` is O(|result|)
@@ -22,7 +22,16 @@ three kinds of auxiliary state transactionally consistent with the store:
 
 * **key hash indexes** (:class:`KeyIndex`) — key tuple → multiplicity with a
   running duplicate count, so a uniqueness constraint answers in O(1) per
-  mutation instead of re-hashing the whole extent.
+  mutation instead of re-hashing the whole extent;
+
+* **reference-count indexes** (:class:`ReferenceIndex`) — per constraint-read
+  ``(referrer class, attribute) → referenced class`` pair, ``referenced oid →
+  referrer count`` plus running live/dangling totals.  Registered from the
+  dependency index's referential quantifier patterns
+  (:meth:`~repro.engine.incremental.ConstraintDependencyIndex.reference_specs`),
+  so ``forall p in Publisher exists i in Item | i.publisher = p`` — the
+  paper's dominant database-constraint shape — answers in O(1) instead of
+  O(|Publisher|·|Item|).
 
 Consistency contract
 --------------------
@@ -43,17 +52,20 @@ contents when stale — a rebuild *replaces* the incremental application, since
 the store already reflects the mutation by the time a hook runs.
 
 Graceful degradation: an index that meets a value it cannot maintain (a
-non-numeric aggregate operand, an unhashable key component, a NaN) marks
-itself invalid and answers :data:`~repro.constraints.evaluate.INDEX_MISS`
-(aggregates) or ``None`` (keys); evaluation falls back to the extent scan
-with the exact pre-index semantics.  The next fingerprint-triggered rebuild
-retries.
+non-numeric aggregate operand, an unhashable key component, a NaN, a
+non-string reference slot) marks itself invalid and answers
+:data:`~repro.constraints.evaluate.INDEX_MISS` (aggregates, references) or
+``None`` (keys); evaluation falls back to the extent scan with the exact
+pre-index semantics.  Reference indexes additionally answer
+:data:`~repro.constraints.evaluate.INDEX_MISS` while any counted reference
+dangles — only the scan reproduces dangling-dereference errors.  The next
+fingerprint-triggered rebuild retries.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
 
 from repro.constraints.evaluate import INDEX_MISS, VACUOUS
 
@@ -66,9 +78,25 @@ if TYPE_CHECKING:  # pragma: no cover
 _ABSENT = object()
 
 
-def oid_counter(oid: str) -> int:
-    """The global insertion counter embedded in an engine oid (``Class#N``)."""
-    return int(oid.rsplit("#", 1)[-1])
+def oid_counter(oid: str, default: int | None = None) -> int:
+    """The global insertion counter embedded in an engine oid (``Class#N``).
+
+    An oid not shaped ``Class#N`` has no recoverable counter; with a
+    ``default`` the caller degrades (the index layer passes ``-1`` so
+    malformed oids sort first and ordering falls back to "unsorted" instead
+    of crashing the whole index layer), without one the ``ValueError``
+    propagates.
+    """
+    try:
+        return int(str(oid).rsplit("#", 1)[-1])
+    except ValueError:
+        if default is None:
+            raise
+        return default
+
+
+def _oid_sort_key(oid: str) -> int:
+    return oid_counter(oid, default=-1)
 
 
 class OrderedOidSet:
@@ -78,7 +106,9 @@ class OrderedOidSet:
     store's counter is monotonic), so the backing dict preserves insertion
     order by itself.  A rollback can *resurrect* an oid out of order; that
     marks the set unsorted and the next read re-sorts lazily — O(k log k) on
-    this extent only, not on the store.
+    this extent only, not on the store.  An oid with no parseable counter
+    (not shaped ``Class#N``) also just marks the set unsorted — degrading
+    the ordering guarantee, never raising out of the index layer.
     """
 
     __slots__ = ("_oids", "_last", "_unsorted")
@@ -89,8 +119,8 @@ class OrderedOidSet:
         self._unsorted = False
 
     def add(self, oid: str) -> None:
-        counter = oid_counter(oid)
-        if counter < self._last:
+        counter = oid_counter(oid, default=-1)
+        if counter < self._last or counter < 0:
             self._unsorted = True
         else:
             self._last = counter
@@ -101,8 +131,10 @@ class OrderedOidSet:
 
     def _ensure_sorted(self) -> None:
         if self._unsorted:
-            self._oids = dict.fromkeys(sorted(self._oids, key=oid_counter))
-            self._last = oid_counter(next(reversed(self._oids))) if self._oids else 0
+            self._oids = dict.fromkeys(sorted(self._oids, key=_oid_sort_key))
+            self._last = (
+                _oid_sort_key(next(reversed(self._oids))) if self._oids else 0
+            )
             self._unsorted = False
 
     def __len__(self) -> int:
@@ -288,6 +320,128 @@ class KeyIndex:
         return self._duplicates == 0
 
 
+class ReferenceIndex:
+    """Referrer counts for one ``(referrer class, attribute)`` reference pair.
+
+    For every constraint-read reference pair ``D.a : R`` this keeps
+    ``referenced oid → number of live objects in the deep extent of D whose
+    raw a-value is that oid``, split into two running totals:
+
+    * ``_live_with_ref`` — distinct *live* referenced objects with at least
+      one referrer.  ``forall x in R exists y in D | y.a = x`` is then
+      ``_live_with_ref == |deep extent of R|`` — one O(1) comparison; the
+      negated and existential forms read the same counter.
+    * ``_dangling`` — distinct counted oids whose object has been deleted.
+      Any dangling entry disables the probes (:data:`INDEX_MISS`): the scan
+      path *dereferences* ``y.a`` and may raise on a dangler depending on
+      extent order, so only the scan can reproduce those semantics.
+
+    Liveness is probed against the store's object table (``_contains``) at
+    transition time; hooks run after the store applied the mutation, so a
+    newly inserted object (or rollback resurrection) already counts as live
+    and a deleted one no longer does.  Type checking guarantees every
+    counted oid once named a member of R's subclass closure, so referenced-
+    side membership changes only arrive through :meth:`join`/:meth:`leave`
+    hooks of classes in that closure.
+
+    Degradation mirrors the other indexes: a value that cannot be counted
+    (a non-string where an oid belongs, a removal never added) marks the
+    index invalid; probes answer :data:`INDEX_MISS` and evaluation falls
+    back to the extent scan until the next fingerprint-triggered rebuild.
+    """
+
+    __slots__ = (
+        "referrer_class", "attribute", "referenced_class", "valid",
+        "_counts", "_live_with_ref", "_dangling", "_contains",
+    )
+
+    def __init__(
+        self,
+        referrer_class: str,
+        attribute: str,
+        referenced_class: str,
+        contains: "Callable[[str], bool]",
+    ):
+        self.referrer_class = referrer_class
+        self.attribute = attribute
+        self.referenced_class = referenced_class
+        self.valid = True
+        self._counts: dict[str, int] = {}
+        self._live_with_ref = 0
+        self._dangling = 0
+        self._contains = contains
+
+    # -- referrer-side transitions (objects of D's closure) ---------------------
+
+    def add_referrer(self, value: Any) -> None:
+        if not self.valid:
+            return
+        if not isinstance(value, str):
+            self.valid = False  # a reference slot holds an oid string
+            return
+        live = self._counts.get(value, 0)
+        self._counts[value] = live + 1
+        if live == 0:
+            if self._contains(value):
+                self._live_with_ref += 1
+            else:
+                self._dangling += 1
+
+    def remove_referrer(self, value: Any) -> None:
+        if not self.valid:
+            return
+        if not isinstance(value, str):
+            self.valid = False
+            return
+        live = self._counts.get(value, 0)
+        if live <= 0:
+            self.valid = False  # removal of a referrer never added
+        elif live == 1:
+            del self._counts[value]
+            if self._contains(value):
+                self._live_with_ref -= 1
+            else:
+                self._dangling -= 1
+        else:
+            self._counts[value] = live - 1
+
+    # -- referenced-side transitions (objects of R's closure) -------------------
+
+    def join(self, oid: str) -> None:
+        """``oid`` (re)entered the store: referrers to it are live again."""
+        if self.valid and self._counts.get(oid, 0) > 0:
+            self._dangling -= 1
+            self._live_with_ref += 1
+
+    def leave(self, oid: str) -> None:
+        """``oid`` left the store: referrers to it now dangle."""
+        if self.valid and self._counts.get(oid, 0) > 0:
+            self._live_with_ref -= 1
+            self._dangling += 1
+
+    # -- probes -----------------------------------------------------------------
+
+    def count_for(self, oid: str) -> Any:
+        """Referrer count of one oid, or :data:`INDEX_MISS`."""
+        if not self.valid or self._dangling:
+            return INDEX_MISS
+        return self._counts.get(oid, 0)
+
+    def verdict(self, mode: str, referenced_extent_size: int) -> Any:
+        """Whole-formula verdict against R's deep-extent size, or
+        :data:`INDEX_MISS`.  ``mode``: ``all`` (every member referenced),
+        ``any`` (some member referenced), ``none`` (no member referenced)."""
+        if not self.valid or self._dangling:
+            return INDEX_MISS
+        if mode == "all":
+            return self._live_with_ref == referenced_extent_size
+        if mode == "any":
+            return self._live_with_ref > 0
+        if mode == "none":
+            return self._live_with_ref == 0
+        return INDEX_MISS
+
+
 class IndexManager:
     """Owns and maintains all auxiliary indexes of one store.
 
@@ -349,11 +503,30 @@ class IndexManager:
             (class_name, attributes): KeyIndex(class_name, attributes)
             for class_name, attributes in dependency_index.key_specs()
         }
+        # Liveness closes over the *store*, not the current ``_objects``
+        # dict: ``_restore_object_order()`` replaces that dict wholesale
+        # after a resurrection, and a bound ``__contains__`` would keep
+        # probing the abandoned one.
+        def contains(oid: str) -> bool:
+            return oid in store._objects
+
+        self._references: dict[tuple[str, str], ReferenceIndex] = {
+            (referrer, attribute): ReferenceIndex(
+                referrer, attribute, referenced, contains
+            )
+            for referrer, attribute, referenced
+            in dependency_index.reference_specs()
+        }
         # Feed maps: which structures an object of each class contributes to
-        # (its own class and every ancestor — deep-extent membership).
+        # (its own class and every ancestor — deep-extent membership).  A
+        # reference index has two feeds: the referrer side (classes below D,
+        # whose a-values are counted) and the referenced side (classes below
+        # R, whose store membership flips counted oids live/dangling).
         self._extent_feeds: dict[str, tuple[OrderedOidSet, ...]] = {}
         self._agg_feeds: dict[str, tuple[RunningAggregate, ...]] = {}
         self._key_feeds: dict[str, tuple[KeyIndex, ...]] = {}
+        self._referrer_feeds: dict[str, tuple[ReferenceIndex, ...]] = {}
+        self._referenced_feeds: dict[str, tuple[ReferenceIndex, ...]] = {}
         for name in schema.classes:
             chain = set(schema.ancestry(name))
             self._extent_feeds[name] = tuple(
@@ -365,8 +538,22 @@ class IndexManager:
             self._key_feeds[name] = tuple(
                 key for key in self._keys.values() if key.class_name in chain
             )
+            self._referrer_feeds[name] = tuple(
+                ref
+                for ref in self._references.values()
+                if ref.referrer_class in chain
+            )
+            self._referenced_feeds[name] = tuple(
+                ref
+                for ref in self._references.values()
+                if ref.referenced_class in chain
+            )
         for obj in store.objects():
-            self._apply_insert(obj)
+            # Replay skips the referenced-side join: liveness is probed
+            # against the already-complete store, so add_referrer classifies
+            # every oid correctly on its own (danglers included) and a join
+            # would double-count objects replayed after their referrers.
+            self._apply_insert(obj, replay=True)
 
     # -- mutation hooks -----------------------------------------------------------
     #
@@ -384,6 +571,13 @@ class IndexManager:
         if self._stale():
             self.rebuild()
             return
+        # Referenced-side leave before referrer-side remove: a self-pointing
+        # object must first flip its own counted entry to dangling so its
+        # referrer removal declassifies the same state it observes.
+        for reference in self._referenced_feeds.get(obj.class_name, ()):
+            reference.leave(obj.oid)
+        for reference in self._referrer_feeds.get(obj.class_name, ()):
+            reference.remove_referrer(obj.state.get(reference.attribute, _ABSENT))
         for extent in self._extent_feeds.get(obj.class_name, ()):
             extent.discard(obj.oid)
         for aggregate in self._agg_feeds.get(obj.class_name, ()):
@@ -416,14 +610,29 @@ class IndexManager:
             ):
                 key.remove(old_state)
                 key.add(new_state)
+        for reference in self._referrer_feeds.get(obj.class_name, ()):
+            old = old_state.get(reference.attribute, _ABSENT)
+            new = new_state.get(reference.attribute, _ABSENT)
+            if old is new:
+                continue
+            reference.remove_referrer(old)
+            reference.add_referrer(new)
 
-    def _apply_insert(self, obj: "DBObject") -> None:
+    def _apply_insert(self, obj: "DBObject", replay: bool = False) -> None:
         for extent in self._extent_feeds.get(obj.class_name, ()):
             extent.add(obj.oid)
         for aggregate in self._agg_feeds.get(obj.class_name, ()):
             aggregate.add(obj.state.get(aggregate.over, _ABSENT))
         for key in self._key_feeds.get(obj.class_name, ()):
             key.add(obj.state)
+        if not replay:
+            # Referenced-side join before referrer-side add: a resurrected
+            # self-pointer must reclassify pre-existing referrers before
+            # counting its own (already-live) reference.
+            for reference in self._referenced_feeds.get(obj.class_name, ()):
+                reference.join(obj.oid)
+        for reference in self._referrer_feeds.get(obj.class_name, ()):
+            reference.add_referrer(obj.state.get(reference.attribute, _ABSENT))
 
     # -- probes (the EvalContext fast path) ----------------------------------------
 
@@ -451,6 +660,40 @@ class IndexManager:
         if key is None:
             return None
         return key.unique()
+
+    def reference_count(
+        self, referrer_class: str, attribute: str, oid: str
+    ) -> Any:
+        """How many live members of ``referrer_class``'s deep extent hold
+        ``oid`` in ``attribute``, or :data:`INDEX_MISS` (no index registered
+        for the pair, invalidated, or dangling references present — the scan
+        path alone reproduces dangling-dereference semantics)."""
+        reference = self._references.get((referrer_class, attribute))
+        if reference is None:
+            return INDEX_MISS
+        return reference.count_for(oid)
+
+    def referential_verdict(
+        self,
+        mode: str,
+        referenced_class: str,
+        referrer_class: str,
+        attribute: str,
+    ) -> Any:
+        """A whole-formula referential verdict, or :data:`INDEX_MISS`.
+
+        ``mode`` ``all`` answers ``forall x in C exists y in D | y.a = x``,
+        ``none`` its negated body, ``any`` the doubly-existential form.  The
+        probe only applies when ``referenced_class`` is exactly the declared
+        target of ``D.a`` — the maintained live-referenced counter is scoped
+        to that class's deep extent; other quantification classes scan."""
+        reference = self._references.get((referrer_class, attribute))
+        if reference is None or reference.referenced_class != referenced_class:
+            return INDEX_MISS
+        extent = self._extents.get(referenced_class)
+        if extent is None:
+            return INDEX_MISS
+        return reference.verdict(mode, len(extent))
 
     def deep_extent_oids(self, class_name: str) -> OrderedOidSet | None:
         """The maintained deep extent of ``class_name`` in insertion order,

@@ -39,11 +39,12 @@ class ObjectStore:
 
     With ``indexed=True`` (the default) the store additionally maintains
     auxiliary state through an :class:`~repro.engine.indexes.IndexManager` —
-    per-class deep-extent indexes, running aggregates and key hash indexes —
-    kept transactionally consistent with every mutation and rollback, so
-    ``extent()`` is O(|result|) and aggregate/key constraint checks answer
-    in O(1) instead of re-scanning extents.  ``indexed=False`` preserves the
-    scan-everything behaviour (useful as a performance baseline).
+    per-class deep-extent indexes, running aggregates, key hash indexes and
+    reference-count indexes — kept transactionally consistent with every
+    mutation and rollback, so ``extent()`` is O(|result|) and aggregate/key/
+    referential constraint checks answer in O(1) instead of re-scanning
+    extents.  ``indexed=False`` preserves the scan-everything behaviour
+    (useful as a performance baseline).
     """
 
     def __init__(
@@ -120,8 +121,12 @@ class ObjectStore:
         if not deep:
             # Direct extents are plain oid sets; engine oids embed the global
             # insertion counter, so insertion order is recoverable without
-            # touching the rest of the store.
-            oids = sorted(self._direct_extents.get(class_name, ()), key=oid_counter)
+            # touching the rest of the store (malformed oids sort first
+            # rather than raising, matching the index layer's degradation).
+            oids = sorted(
+                self._direct_extents.get(class_name, ()),
+                key=lambda oid: oid_counter(oid, -1),
+            )
             return [objects[oid] for oid in oids]
         if self._indexes is not None:
             self._indexes.ensure_fresh()
@@ -345,7 +350,7 @@ class ObjectStore:
         oids embed the global insertion counter (``Class#N``), so the order
         is recoverable without a snapshot."""
         self._objects = dict(
-            sorted(self._objects.items(), key=lambda item: oid_counter(item[0]))
+            sorted(self._objects.items(), key=lambda item: oid_counter(item[0], -1))
         )
 
     def _log_undo(self, oid: str, entry: "tuple[DBObject, dict] | None") -> None:

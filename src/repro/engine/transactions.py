@@ -142,7 +142,11 @@ class Transaction:
         Maintained indexes roll back alongside, via the *inverse* mutation
         hook per touched object — an insert is undone as a delete, a delete
         as an insert, an update as the reverse state transition — keeping
-        rollback O(touched), index maintenance included.
+        rollback O(touched), index maintenance included.  Reference-count
+        indexes participate through the same hooks: a resurrected object
+        re-joins the referenced side (its referrers stop dangling) and
+        re-counts its own reference slots, in whichever order the undo log
+        replays the touched objects.
         """
         store = self.store
         indexes = store._indexes

@@ -204,6 +204,20 @@ class DatabaseSchema:
             )
         return attributes[attribute].tm_type
 
+    def reference_target(self, class_name: str, attribute: str) -> str | None:
+        """The class a reference attribute points at, or ``None`` when the
+        attribute is missing or not reference-typed.
+
+        Used by the dependency extractor to type referential quantifier
+        patterns (``exists i in Item | i.publisher = p``): a reference-count
+        index is only maintainable when the attribute uniformly dereferences
+        into one declared class.
+        """
+        attr = self.effective_attributes(class_name).get(attribute)
+        if attr is None or not isinstance(attr.tm_type, ClassRef):
+            return None
+        return attr.tm_type.class_name
+
     # -- solver support ---------------------------------------------------------------
 
     def type_environment(self, class_name: str, max_depth: int = 3):

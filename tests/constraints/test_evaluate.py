@@ -194,6 +194,83 @@ class TestVacuous:
     def test_vacuous_repr(self):
         assert "vacuous" in repr(VACUOUS)
 
+    def test_negated_vacuous_comparison_agrees_with_equivalent(self):
+        """Regression: ``not (avg ... > 5)`` and ``avg ... <= 5`` are
+        logically equivalent, so both must be satisfied on an empty extent.
+        Vacuous truth propagates through ``not`` instead of flipping."""
+        ctx = EvalContext(self_extent=[])
+        negated = "not ((avg (collect x for x in self) over p) > 5)"
+        direct = "(avg (collect x for x in self) over p) <= 5"
+        assert evaluate(parse_expression(direct), ctx)
+        assert evaluate(parse_expression(negated), ctx)
+
+    def test_vacuous_propagates_through_connectives(self):
+        ctx = EvalContext(self_extent=[], current={"q": 1})
+        avg = "(avg (collect x for x in self) over p)"
+        # A strict operand still decides; vacuity absorbs otherwise.
+        assert evaluate(parse_expression(f"{avg} > 5 and q = 1"), ctx)
+        assert not evaluate(parse_expression(f"{avg} > 5 and q = 2"), ctx)
+        assert evaluate(parse_expression(f"{avg} > 5 or q = 2"), ctx)
+        assert evaluate(parse_expression(f"not ({avg} > 5 and q = 1)"), ctx)
+        assert evaluate(parse_expression(f"{avg} > 5 implies q = 2"), ctx)
+        assert evaluate(parse_expression(f"q = 1 implies {avg} > 5"), ctx)
+
+    def test_de_morgan_agreement_on_vacuous_operands(self):
+        ctx = EvalContext(self_extent=[], current={"q": 1})
+        avg = "(avg (collect x for x in self) over p)"
+        left = f"not ({avg} > 5 or q = 2)"
+        right = f"(not ({avg} > 5)) and (not (q = 2))"
+        assert bool(evaluate(parse_expression(left), ctx)) == bool(
+            evaluate(parse_expression(right), ctx)
+        )
+
+    def test_vacuous_propagates_through_membership_negation(self):
+        ctx = EvalContext(self_extent=[])
+        avg = "(avg (collect x for x in self) over p)"
+        assert evaluate(parse_expression(f"{avg} in {{1, 2}}"), ctx)
+        assert evaluate(parse_expression(f"not ({avg} in {{1, 2}})"), ctx)
+
+    def test_vacuous_propagates_through_quantifiers(self):
+        extents = {"C": [{"q": 1}, {"q": 2}]}
+        ctx = EvalContext(extents=extents, self_extent=[])
+        avg = "(avg (collect x for x in self) over p)"
+        # not(forall c: vacuous) must agree with exists c: not(vacuous).
+        assert evaluate(
+            parse_expression(f"not (forall c in C | {avg} > 5)"), ctx
+        )
+        assert evaluate(
+            parse_expression(f"exists c in C | not ({avg} > 5)"), ctx
+        )
+
+
+class TestAggregateErrorContract:
+    def test_non_numeric_sum_raises_evaluation_error(self):
+        """Regression: a non-numeric aggregate operand on the scan path must
+        raise EvaluationError (the wrapping contract comparisons/arithmetic
+        honor), never a raw TypeError."""
+        ctx = EvalContext(self_extent=[{"p": "not a number"}])
+        src = "(sum (collect x for x in self) over p) < 5"
+        with pytest.raises(EvaluationError):
+            evaluate(parse_expression(src), ctx)
+
+    def test_non_numeric_avg_raises_evaluation_error(self):
+        ctx = EvalContext(self_extent=[{"p": "abc"}, {"p": "def"}])
+        src = "(avg (collect x for x in self) over p) < 5"
+        with pytest.raises(EvaluationError):
+            evaluate(parse_expression(src), ctx)
+
+    def test_mixed_type_min_raises_evaluation_error(self):
+        ctx = EvalContext(self_extent=[{"p": 1}, {"p": "abc"}])
+        src = "(min (collect x for x in self) over p) < 5"
+        with pytest.raises(EvaluationError):
+            evaluate(parse_expression(src), ctx)
+
+    def test_comparable_non_numbers_still_aggregate(self):
+        # Homogeneous orderable values keep working on min/max.
+        ctx = EvalContext(self_extent=[{"p": "b"}, {"p": "a"}])
+        src = "(min (collect x for x in self) over p) = 'a'"
+        assert evaluate(parse_expression(src), ctx)
+
 
 class TestCustomAccessor:
     def test_accessor_hook(self):

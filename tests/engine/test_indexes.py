@@ -351,6 +351,48 @@ class TestRegistrationAndRebuild:
 
 
 class TestStructures:
+    def test_ordered_oid_set_tolerates_malformed_oids(self):
+        """Regression: an oid not shaped ``Class#N`` used to raise a raw
+        ValueError out of ``OrderedOidSet.add``, crashing the whole index
+        layer.  The documented contract is degradation: the set marks itself
+        unsorted (malformed oids sort first, deterministically) and keeps
+        working."""
+        oids = OrderedOidSet()
+        oids.add("C#2")
+        oids.add("no-counter-here")  # previously: ValueError
+        oids.add("C#1")
+        assert "no-counter-here" in oids
+        assert len(oids) == 3
+        listing = list(oids)
+        assert listing[0] == "no-counter-here"
+        assert listing[1:] == ["C#1", "C#2"]
+        oids.discard("no-counter-here")
+        assert list(oids) == ["C#1", "C#2"]
+        oids.add("C#3")
+        assert list(oids) == ["C#1", "C#2", "C#3"]
+
+    def test_oid_counter_default_fallback(self):
+        from repro.engine.indexes import oid_counter
+
+        assert oid_counter("C#7") == 7
+        assert oid_counter("junk", -1) == -1
+        with pytest.raises(ValueError):
+            oid_counter("junk")
+
+    def test_manager_survives_malformed_oid_insert(self):
+        """An object with a hand-made oid reaching the index hooks must not
+        crash maintenance; extents still include it."""
+        from repro.engine.objects import DBObject
+
+        store = ObjectStore(indexlab_schema())
+        store.insert("Base", name="a", score=1)
+        rogue = DBObject("rogue-oid", "Base", {"name": "b", "score": 2})
+        store._objects[rogue.oid] = rogue
+        store._direct_extents["Base"].add(rogue.oid)
+        store._indexes.on_insert(rogue)  # previously: ValueError
+        assert rogue.oid in store._indexes.deep_extent_oids("Base")
+        assert {obj.oid for obj in store.extent("Base")} == {"Base#1", "rogue-oid"}
+
     def test_ordered_oid_set_resorts_after_out_of_order_add(self):
         oids = OrderedOidSet()
         for counter in (1, 3, 5):
