@@ -48,6 +48,12 @@ def pytest_generate_tests(metafunc):
         # comparison store, not on the indexed path under test.
         sizes = [1_000, 10_000] if quick else [1_000, 10_000, 30_000]
         metafunc.parametrize("e15_size", sizes)
+    if "e16_size" in metafunc.fixturenames:
+        # The WAL-overhead guard needs the 10³→10⁴ pair even in --quick
+        # mode; the full run adds 10⁵ (recovery time is O(store), so the
+        # large case mainly sizes the recovery-throughput record).
+        sizes = [1_000, 10_000] if quick else [1_000, 10_000, 100_000]
+        metafunc.parametrize("e16_size", sizes)
 
 
 def _percentile(sorted_data, fraction):

@@ -8,12 +8,17 @@ Usage::
     python -m repro validate --local DIR/cslibrary.tm \\
         --remote DIR/bookseller.tm --spec DIR/library.spec
     python -m repro demo            # the built-in Figure 1 scenario
+    python -m repro recover STOREDIR   # recover a durable store, audit it
+    python -m repro snapshot STOREDIR  # checkpoint: snapshot + compact log
 
 ``validate`` exits non-zero when the specification is inconsistent with the
 component constraints, so the workbench slots into CI pipelines.
 ``scaffold`` emits the paper's built-in schemas and integration
 specification as editable files, giving ``report``/``validate`` something to
-run on out of the box.
+run on out of the box.  ``recover`` and ``snapshot`` operate on the durable
+store directories of :meth:`repro.ObjectStore.open` (``snapshot.json`` +
+``wal.jsonl``); ``recover`` exits non-zero when the recovered state violates
+its constraints.
 """
 
 from __future__ import annotations
@@ -22,6 +27,8 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.engine.store import ObjectStore
+from repro.errors import ReproError
 from repro.fixtures import (
     bookseller_store,
     cslibrary_store,
@@ -63,6 +70,45 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _run_durable_command(args: argparse.Namespace) -> int:
+    """``recover`` / ``snapshot`` over a durable store directory."""
+    try:
+        # verify=False: the point of `recover` is to *report* violations,
+        # not to refuse stores whose history ran unenforced.
+        store = ObjectStore.open(args.directory, verify=False)
+    except ReproError as exc:
+        raise SystemExit(f"repro: cannot open {args.directory!r}: {exc}")
+    try:
+        violations = store.check_all()
+        by_class: dict[str, int] = {}
+        for obj in store.objects():
+            by_class[obj.class_name] = by_class.get(obj.class_name, 0) + 1
+        extents = ", ".join(
+            f"{name}: {count}" for name, count in sorted(by_class.items())
+        )
+        print(
+            f"recovered {len(store)} object(s) from {args.directory} "
+            f"({extents})" if extents else
+            f"recovered 0 objects from {args.directory}"
+        )
+        if args.command == "snapshot":
+            pending = store.wal.pending_records
+            store.checkpoint()
+            print(
+                f"checkpointed: snapshot rewritten, {pending} log record(s) "
+                "compacted away"
+            )
+        if violations:
+            print(f"{len(violations)} constraint violation(s):", file=sys.stderr)
+            for violation in violations:
+                print(f"  {violation}", file=sys.stderr)
+            return 0 if args.command == "snapshot" else 1
+        print("all constraints hold")
+        return 0
+    finally:
+        store.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -94,7 +140,28 @@ def main(argv: list[str] | None = None) -> int:
         help="overwrite files that already exist in the target directory",
     )
 
+    recover = commands.add_parser(
+        "recover",
+        help="recover a durable store (snapshot + write-ahead log) and "
+        "audit its constraints",
+    )
+    recover.add_argument(
+        "directory", help="durable store directory (snapshot.json + wal.jsonl)"
+    )
+
+    snapshot = commands.add_parser(
+        "snapshot",
+        help="checkpoint a durable store: write a fresh snapshot and "
+        "compact its write-ahead log",
+    )
+    snapshot.add_argument(
+        "directory", help="durable store directory (snapshot.json + wal.jsonl)"
+    )
+
     args = parser.parse_args(argv)
+
+    if args.command in ("recover", "snapshot"):
+        return _run_durable_command(args)
 
     if args.command == "scaffold":
         from repro.fixtures.schemas import bookseller_source, cslibrary_source

@@ -21,7 +21,10 @@ constraint of its TM schema.
   checks and ``extent()`` stop scanning;
 * :mod:`~repro.engine.query` — predicate queries over extents;
 * :mod:`~repro.engine.transactions` — snapshot transactions with deferred,
-  delta-driven constraint checking at commit.
+  delta-driven constraint checking at commit;
+* :mod:`~repro.engine.wal` — durability: the append-only write-ahead log,
+  snapshot checkpoints, and crash recovery behind
+  :meth:`~repro.engine.store.ObjectStore.open`.
 """
 
 from repro.engine.objects import DBObject
@@ -34,6 +37,7 @@ from repro.engine.incremental import (
     delta_violations,
 )
 from repro.engine.indexes import IndexManager, KeyIndex, RunningAggregate
+from repro.engine.wal import WriteAheadLog
 
 __all__ = [
     "DBObject",
@@ -46,4 +50,5 @@ __all__ = [
     "IndexManager",
     "KeyIndex",
     "RunningAggregate",
+    "WriteAheadLog",
 ]

@@ -25,6 +25,14 @@ Three pieces cooperate:
   used at transaction commit) — which intersect the dirty set with the index
   and check only the affected constraints.
 
+The same delta discipline underpins durability: on a durable store every
+operation a delta records is also written through to the write-ahead log
+(:mod:`repro.engine.wal`), bracketed by the transaction markers that mirror
+the undo-log merge, and a recovered store re-enters this module's contract
+by taking a fresh full-validation baseline (a clean
+:meth:`~repro.engine.store.ObjectStore.audit` re-baselines the schema
+fingerprint, after which checking is delta-driven again).
+
 Correctness argument: assuming the store satisfied all constraints before the
 delta, any newly violated constraint must read something the delta wrote
 (an attribute value or an extent membership), so it is matched by the

@@ -95,8 +95,16 @@ def oid_counter(oid: str, default: int | None = None) -> int:
         return default
 
 
-def _oid_sort_key(oid: str) -> int:
-    return oid_counter(oid, default=-1)
+def oid_sort_key(oid: str) -> tuple[int, str]:
+    """Deterministic insertion-order sort key for engine oids.
+
+    Primary key is the embedded insertion counter; the oid string breaks
+    ties so that malformed oids (counter ``-1``) still sort the same way
+    everywhere — the maintained extent indexes and the store's object-table
+    restoration must agree on one order, or ``indexed=True`` and
+    ``indexed=False`` extents would diverge after a rollback resurrection.
+    """
+    return (oid_counter(oid, default=-1), oid)
 
 
 class OrderedOidSet:
@@ -131,9 +139,11 @@ class OrderedOidSet:
 
     def _ensure_sorted(self) -> None:
         if self._unsorted:
-            self._oids = dict.fromkeys(sorted(self._oids, key=_oid_sort_key))
+            self._oids = dict.fromkeys(sorted(self._oids, key=oid_sort_key))
             self._last = (
-                _oid_sort_key(next(reversed(self._oids))) if self._oids else 0
+                oid_counter(next(reversed(self._oids)), default=-1)
+                if self._oids
+                else 0
             )
             self._unsorted = False
 

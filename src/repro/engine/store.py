@@ -2,12 +2,17 @@
 
 from __future__ import annotations
 
-import itertools
+import os
+import shutil
+import tempfile
+import weakref
+from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping
 
 from repro.constraints.evaluate import EvalContext
-from repro.engine.indexes import IndexManager, oid_counter
+from repro.engine.indexes import IndexManager, oid_sort_key
 from repro.engine.objects import DBObject
+from repro.engine.wal import RecoveredImage, WriteAheadLog, load_image
 from repro.errors import (
     ConstraintViolation,
     EngineError,
@@ -45,6 +50,16 @@ class ObjectStore:
     referential constraint checks answer in O(1) instead of re-scanning
     extents.  ``indexed=False`` preserves the scan-everything behaviour
     (useful as a performance baseline).
+
+    With ``wal`` set (a directory path or a pre-configured
+    :class:`~repro.engine.wal.WriteAheadLog`) the store is *durable*: every
+    accepted mutation writes through to an append-only log, transactions
+    bracket their operations with begin/commit/abort markers, and periodic
+    snapshot checkpoints bound the log.  :meth:`ObjectStore.open` recovers
+    such a directory after a crash or restart.  ``wal=None`` honours the
+    ``REPRO_WAL`` environment toggle (a throwaway log under a temp
+    directory, so an unmodified test suite exercises the write-through
+    path); ``wal=False`` disables durability unconditionally.
     """
 
     def __init__(
@@ -53,6 +68,7 @@ class ObjectStore:
         enforce: bool = True,
         incremental: bool = True,
         indexed: bool = True,
+        wal: "WriteAheadLog | str | Path | bool | None" = None,
     ):
         self.schema = schema
         self.enforce = enforce
@@ -62,7 +78,9 @@ class ObjectStore:
         self._direct_extents: dict[str, set[str]] = {
             name: set() for name in schema.classes
         }
-        self._counter = itertools.count(1)
+        #: Last issued oid counter value (oids are ``Class#N``); monotonic
+        #: for the lifetime of the durable directory, never reused.
+        self._oid_seq = 0
         self._deferred = False
         #: Dirty set of the enclosing transaction; None outside transactions.
         self._delta = None
@@ -87,6 +105,36 @@ class ObjectStore:
         #: key hash maps); ``None`` on unindexed stores.  Created last: the
         #: manager reads the store's schema and (empty) contents.
         self._indexes = IndexManager(self) if indexed else None
+        #: Durability write-through; ``None`` on purely in-memory stores.
+        self._wal: WriteAheadLog | None = None
+        from_environment = False
+        if wal is None:
+            wal = _wal_from_environment()
+            from_environment = wal is not None
+        elif wal is False:
+            wal = None
+        elif not isinstance(wal, WriteAheadLog):
+            wal = WriteAheadLog(wal)
+        if wal is not None:
+            if wal.has_data():
+                raise EngineError(
+                    f"durable state already exists at {str(wal.path)!r}; "
+                    "use ObjectStore.open() to recover it"
+                )
+            from repro.tm.printer import schema_to_source
+
+            try:
+                source = schema_to_source(schema)
+            except Exception:
+                # The REPRO_WAL toggle is best-effort: a schema the TM
+                # printer cannot render (integration-internal virtual
+                # classes) skips durability instead of failing the store.
+                if not from_environment:
+                    raise
+                source = None
+            if source is not None:
+                wal.initialize(source, schema.name, (), 0)
+                self._wal = wal
 
     # -- basic access --------------------------------------------------------
 
@@ -124,8 +172,7 @@ class ObjectStore:
             # touching the rest of the store (malformed oids sort first
             # rather than raising, matching the index layer's degradation).
             oids = sorted(
-                self._direct_extents.get(class_name, ()),
-                key=lambda oid: oid_counter(oid, -1),
+                self._direct_extents.get(class_name, ()), key=oid_sort_key
             )
             return [objects[oid] for oid in oids]
         if self._indexes is not None:
@@ -151,7 +198,8 @@ class ObjectStore:
         full_state = dict(state or {})
         full_state.update(kwargs)
         checked = self._check_types(class_name, full_state)
-        oid = f"{class_name}#{next(self._counter)}"
+        self._oid_seq += 1
+        oid = f"{class_name}#{self._oid_seq}"
         obj = DBObject(oid, class_name, checked)
         self._objects[oid] = obj
         # setdefault: the class may have been added to the schema after the
@@ -173,6 +221,11 @@ class ObjectStore:
             if self._indexes is not None:
                 self._indexes.on_delete(obj)
             raise
+        # Write-through only after the insert is accepted: a rejected
+        # operation must leave no trace in the log either.
+        if self._wal is not None:
+            self._wal.log_insert(obj)
+            self._wal_commit_point()
         return obj
 
     def update(self, target: DBObject | str, **changes: Any) -> DBObject:
@@ -200,6 +253,9 @@ class ObjectStore:
             if self._indexes is not None:
                 self._indexes.on_update(obj, checked, old_state)
             raise
+        if self._wal is not None:
+            self._wal.log_update(obj)
+            self._wal_commit_point()
         return obj
 
     def delete(self, target: DBObject | str) -> None:
@@ -232,6 +288,9 @@ class ObjectStore:
                 self._indexes.on_insert(obj)
             self._restore_object_order()
             raise
+        if self._wal is not None:
+            self._wal.log_delete(obj.oid)
+            self._wal_commit_point()
 
     # -- type checking -----------------------------------------------------------------
 
@@ -348,9 +407,12 @@ class ObjectStore:
         """Re-sort ``_objects`` into insertion order after a removed object
         was re-registered (which appends at the end of the dict).  Engine
         oids embed the global insertion counter (``Class#N``), so the order
-        is recoverable without a snapshot."""
+        is recoverable without a snapshot.  The key is the same
+        ``(counter, oid)`` pair the extent indexes sort by, so indexed and
+        unindexed extents agree on one deterministic order even when a
+        counter cannot be parsed."""
         self._objects = dict(
-            sorted(self._objects.items(), key=lambda item: oid_counter(item[0], -1))
+            sorted(self._objects.items(), key=lambda item: oid_sort_key(item[0]))
         )
 
     def _log_undo(self, oid: str, entry: "tuple[DBObject, dict] | None") -> None:
@@ -377,10 +439,12 @@ class ObjectStore:
         """Full-store validation when no valid incremental baseline exists
         (no full pass yet, or the schema changed since the last one); raises
         on any violation."""
-        violations = self.check_all()
+        violations = self.audit()
         if violations:
             raise ConstraintViolation(
-                "full revalidation", "; ".join(violations)
+                "full revalidation",
+                "; ".join(violation.describe() for violation in violations),
+                violations=violations,
             )
 
     def _enforce_incremental(self, delta) -> None:
@@ -415,18 +479,153 @@ class ObjectStore:
 
         check_database_constraints(self)
 
-    def check_all(self) -> list[str]:
-        """Validate the entire store; returns violation descriptions.
+    def audit(self) -> list:
+        """Validate the entire store; returns structured
+        :class:`~repro.engine.enforcement.Violation` objects.
 
         A clean full pass re-baselines the validated schema fingerprint:
         the store is known consistent under the *current* schema, so
         incremental enforcement may resume."""
         from repro.engine.enforcement import all_violations
 
-        found = [violation.describe() for violation in all_violations(self)]
+        found = all_violations(self)
         if not found:
             self._validated_fingerprint = self.schema.fingerprint()
         return found
+
+    def check_all(self) -> list[str]:
+        """Validate the entire store; returns violation descriptions
+        (:meth:`audit` keeps the structured objects)."""
+        return [violation.describe() for violation in self.audit()]
+
+    # -- durability ---------------------------------------------------------------------
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The attached write-ahead log; ``None`` on in-memory stores."""
+        return self._wal
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        schema: DatabaseSchema | None = None,
+        *,
+        enforce: bool = True,
+        incremental: bool = True,
+        indexed: bool = True,
+        sync: bool = False,
+        checkpoint_every: int = 10_000,
+        verify: bool = True,
+    ) -> "ObjectStore":
+        """Open the durable store at ``path``, recovering existing state.
+
+        When the directory holds a snapshot, recovery replays it plus the
+        committed tail of the write-ahead log (uncommitted transaction
+        tails and torn records are discarded — see
+        :mod:`repro.engine.wal`), rebuilds the maintained indexes from the
+        recovered contents, truncates any torn log tail, and resumes
+        appending.  The schema comes from the snapshot; passing ``schema``
+        overrides it (the caller owns compatibility).
+
+        When the directory is empty or missing, ``schema`` is required and
+        a fresh durable store is created.
+
+        With ``verify`` (the default) recovery ends with a full constraint
+        audit — raising :class:`ConstraintViolation` (with structured
+        ``violations``) if the recovered state is inconsistent, and
+        re-baselining incremental enforcement when clean.  Disable it to
+        inspect stores whose history ran with ``enforce=False``.
+        """
+        from repro.tm.parser import parse_database
+
+        wal = WriteAheadLog(path, sync=sync, checkpoint_every=checkpoint_every)
+        image = load_image(path)
+        if image is None:
+            if schema is None:
+                raise EngineError(
+                    f"no durable store at {str(path)!r}; pass a schema to "
+                    "create one"
+                )
+            return cls(
+                schema,
+                enforce=enforce,
+                incremental=incremental,
+                indexed=indexed,
+                wal=wal,
+            )
+        if schema is None:
+            schema = parse_database(image.schema_source)
+        store = cls(
+            schema,
+            enforce=enforce,
+            incremental=incremental,
+            indexed=indexed,
+            wal=False,
+        )
+        store._load_image(image)
+        wal.resume(image)
+        store._wal = wal
+        if verify:
+            violations = store.audit()
+            if violations:
+                raise ConstraintViolation(
+                    "recovery",
+                    "; ".join(violation.describe() for violation in violations),
+                    violations=violations,
+                )
+        return store
+
+    def _load_image(self, image: RecoveredImage) -> None:
+        """Adopt recovered contents wholesale, then rebuild the maintained
+        indexes from them (the same O(store) fingerprint-rebuild machinery
+        schema changes use — recovery is a rebuild trigger, not a replay of
+        per-mutation hooks)."""
+        for oid, class_name, state in image.objects:
+            obj = DBObject(oid, class_name, state)
+            self._objects[oid] = obj
+            self._direct_extents.setdefault(class_name, set()).add(oid)
+        self._oid_seq = max(self._oid_seq, image.counter)
+        self._restore_object_order()
+        if self._indexes is not None:
+            self._indexes.rebuild()
+
+    def checkpoint(self) -> None:
+        """Write a snapshot of the live store and compact the log.
+
+        Amortizes recovery: replay restarts from the snapshot instead of
+        the history's beginning.  Only callable outside transactions — a
+        snapshot must never capture uncommitted state."""
+        if self._wal is None:
+            raise EngineError("store has no write-ahead log attached")
+        if self._deferred:
+            raise EngineError("cannot checkpoint inside a transaction")
+        from repro.tm.printer import schema_to_source
+
+        self._wal.write_snapshot(
+            schema_to_source(self.schema),
+            self.schema.name,
+            (
+                (obj.oid, obj.class_name, obj.state)
+                for obj in self._objects.values()
+            ),
+            self._oid_seq,
+        )
+
+    def close(self) -> None:
+        """Flush and release the write-ahead log (no-op when in-memory)."""
+        if self._wal is not None:
+            self._wal.close()
+
+    def _wal_commit_point(self) -> None:
+        """After a logged mutation: outside transactions the record is an
+        auto-commit, so flush it and give the checkpoint policy a chance;
+        inside one, the commit/abort marker is the flush point."""
+        if self._deferred:
+            return
+        self._wal.operation_committed()
+        if self._wal.should_checkpoint():
+            self.checkpoint()
 
     # -- transactions -------------------------------------------------------------------
 
@@ -440,6 +639,21 @@ class ObjectStore:
         from repro.engine.transactions import Transaction
 
         return Transaction(self)
+
+
+def _wal_from_environment() -> WriteAheadLog | None:
+    """A throwaway write-ahead log when ``REPRO_WAL`` is set.
+
+    Lets an unmodified test suite exercise the durability write-through on
+    every store it builds (CI runs the tier-1 suite once this way).  The
+    temp directory lives exactly as long as the log object.
+    """
+    if not os.environ.get("REPRO_WAL"):
+        return None
+    directory = tempfile.mkdtemp(prefix="repro-wal-")
+    wal = WriteAheadLog(directory, checkpoint_every=0)
+    weakref.finalize(wal, shutil.rmtree, directory, True)
+    return wal
 
 
 class _LazyExtent:

@@ -26,9 +26,17 @@ the store size:
 Transactions nest: an inner transaction inside an already-deferred store
 keeps deferring to the *outermost* commit, which validates everything.  An
 inner commit merges its undo log into the outer one (first-touch pre-images
-win); an inner rollback restores the state and dirty set captured at the
-inner entry, so reverted operations neither leak into nor hide from the
-outer commit.
+win — insert pre-images are ``None`` entries and merge like any other, so
+an object inserted in an inner transaction is removed again when the outer
+transaction rolls back); an inner rollback restores the state and dirty set
+captured at the inner entry, so reverted operations neither leak into nor
+hide from the outer commit.
+
+On durable stores each transaction also brackets the write-ahead log:
+``begin`` at entry (written lazily with the first logged operation),
+``commit`` or ``abort`` at exit.  Recovery applies an operation only once
+every enclosing bracket committed, mirroring the undo-log merge exactly
+(:mod:`repro.engine.wal`).
 """
 
 from __future__ import annotations
@@ -57,6 +65,10 @@ class Transaction:
         store._deferred = True
         self._outer_undo = store._undo
         store._undo = {}
+        if store._wal is not None:
+            # Open a log bracket; the marker itself is written lazily, with
+            # the transaction's first logged operation.
+            store._wal.begin()
         if self._was_deferred:
             # Nested: keep accumulating into the outer delta, but remember
             # where we came in so a rollback can discard our contribution.
@@ -75,6 +87,8 @@ class Transaction:
         store._deferred = self._was_deferred
         if exc_type is not None:
             self._rollback()
+            if store._wal is not None:
+                store._wal.abort_transaction()
             return False
         undo = store._undo
         if self._was_deferred:
@@ -85,6 +99,10 @@ class Transaction:
                 for oid, entry in undo.items():
                     self._outer_undo.setdefault(oid, entry)
             store._undo = self._outer_undo
+            if store._wal is not None:
+                # Close the log bracket; recovery merges our operations
+                # into the enclosing transaction's buffer the same way.
+                store._wal.commit_transaction()
             return False
         store._undo = self._outer_undo
         delta = store._delta
@@ -93,19 +111,31 @@ class Transaction:
             violations = self._validate(delta)
             if violations:
                 self._apply_undo(undo)
+                if store._wal is not None:
+                    store._wal.abort_transaction()
                 raise ConstraintViolation(
-                    "transaction", "; ".join(violations)
+                    "transaction",
+                    "; ".join(
+                        violation.describe() for violation in violations
+                    ),
+                    violations=violations,
                 )
+        if store._wal is not None:
+            store._wal.commit_transaction()
+            if store._wal.should_checkpoint():
+                store.checkpoint()
         return False
 
-    def _validate(self, delta) -> list[str]:
+    def _validate(self, delta) -> list:
         """Commit-time validation: delta-driven when possible, full otherwise.
 
-        Full revalidation runs when the store was created with
-        ``incremental=False`` or when the schema fingerprint differs from
-        the one the store last validated under — whether the change happened
-        mid-transaction or before it (a rebound constant can invalidate
-        constraints with no data delta)."""
+        Returns structured :class:`~repro.engine.enforcement.Violation`
+        objects, so a failing commit can name every violated constraint on
+        the raised exception.  Full revalidation runs when the store was
+        created with ``incremental=False`` or when the schema fingerprint
+        differs from the one the store last validated under — whether the
+        change happened mid-transaction or before it (a rebound constant
+        can invalidate constraints with no data delta)."""
         store = self.store
         use_full = (
             not store.incremental
@@ -113,10 +143,10 @@ class Transaction:
             or store._schema_changed_since_validation()
         )
         if use_full:
-            return store.check_all()
+            return store.audit()
         from repro.engine.incremental import delta_violations
 
-        return [v.describe() for v in delta_violations(store, delta)]
+        return delta_violations(store, delta)
 
     def _rollback(self) -> None:
         store = self.store

@@ -1,0 +1,587 @@
+"""Durability: an append-only write-ahead log with snapshot checkpoints.
+
+The paper's interoperation architecture assumes component databases that
+survive their clients: a constraint the transaction manager accepted must
+still hold after a process restart.  This module gives
+:class:`~repro.engine.store.ObjectStore` that substrate — a durable store is
+a directory holding two files:
+
+* ``snapshot.json`` — a full image of the store at some checkpoint: the TM
+  schema (as re-parseable surface syntax), the oid counter, every live
+  object, and ``next_lsn``, the log sequence number the snapshot is current
+  up to.  Written atomically (temp file + fsync + rename).
+
+* ``wal.jsonl`` — the write-ahead log: one CRC-framed JSON record per line,
+  appended by the store's mutation write-through.  Record kinds::
+
+      {"n": lsn, "t": "insert", "oid": ..., "cls": ..., "state": {...}}
+      {"n": lsn, "t": "update", "oid": ..., "state": {...}}
+      {"n": lsn, "t": "delete", "oid": ...}
+      {"n": lsn, "t": "begin",  "x": txid}
+      {"n": lsn, "t": "commit", "x": txid}
+      {"n": lsn, "t": "abort",  "x": txid}
+
+Transactional exactness
+-----------------------
+
+Mutation records are written *eagerly* (inside a transaction they land in
+the log before the commit decision), so commit/abort markers decide their
+fate: recovery treats ``begin``/``commit``/``abort`` as nested brackets and
+applies an operation only once every enclosing bracket has committed — an
+inner commit merges its operations into the enclosing transaction's buffer,
+exactly mirroring how the in-memory undo log merges outward.  Operations of
+an aborted bracket, and of any bracket left open by a crash, are discarded.
+Operations outside any bracket are the store's auto-committed single
+mutations, logged only after enforcement accepted them.  Recovery therefore
+reconstructs precisely a prefix of the *committed* history, whatever log
+prefix survives.
+
+Each line carries a CRC32 of its payload; a torn or corrupt line ends the
+replay (everything before it is intact — the file is append-only), and
+re-attaching the log truncates the tail so new records never follow garbage.
+
+Checkpoints
+-----------
+
+A checkpoint snapshots the live store and then resets the log.  Records
+carry explicit LSNs and the snapshot stores ``next_lsn``, so every crash
+window is covered: a crash after the snapshot rename but before the log
+reset just makes recovery skip the already-snapshotted records (their LSNs
+lie below ``next_lsn``).  Checkpoints are only taken outside transactions,
+so no committed transaction ever straddles a snapshot boundary.  The store
+triggers one automatically every ``checkpoint_every`` log records (see
+:meth:`WriteAheadLog.should_checkpoint`).
+
+Single-writer: a durable directory must be attached to at most one live
+store at a time; nothing locks it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping, TYPE_CHECKING
+
+from repro.engine.indexes import oid_counter
+from repro.errors import EngineError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.objects import DBObject
+
+SNAPSHOT_NAME = "snapshot.json"
+LOG_NAME = "wal.jsonl"
+SNAPSHOT_FORMAT = 1
+
+_OPS = ("insert", "update", "delete")
+
+
+# ---------------------------------------------------------------------------
+# value codec — states hold type-checked values only: str/int/float/bool and
+# frozensets thereof (set-typed attributes), plus oid strings for references
+# ---------------------------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    if isinstance(value, (frozenset, set)):
+        return {"$set": sorted((encode_value(member) for member in value), key=repr)}
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise EngineError(
+        f"cannot serialize {value!r} ({type(value).__name__}) into the "
+        "write-ahead log"
+    )
+
+
+def decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if set(value) == {"$set"}:
+            return frozenset(decode_value(member) for member in value["$set"])
+        raise EngineError(f"unknown value encoding {value!r} in the write-ahead log")
+    return value
+
+
+def encode_state(state: Mapping[str, Any]) -> dict[str, Any]:
+    return {name: encode_value(value) for name, value in state.items()}
+
+
+def decode_state(state: Mapping[str, Any]) -> dict[str, Any]:
+    return {name: decode_value(value) for name, value in state.items()}
+
+
+# ---------------------------------------------------------------------------
+# record framing
+# ---------------------------------------------------------------------------
+
+
+def _frame(record: dict) -> bytes:
+    payload = json.dumps(record, separators=(",", ":"), sort_keys=True)
+    crc = zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x}:{payload}\n".encode("utf-8")
+
+
+def _parse_line(line: bytes) -> dict | None:
+    """The record behind one complete log line, or ``None`` when torn/corrupt."""
+    if len(line) < 10 or line[8:9] != b":":
+        return None
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return None
+    payload = line[9:]
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        record = json.loads(payload)
+    except ValueError:
+        return None
+    if not isinstance(record, dict) or "t" not in record or "n" not in record:
+        return None
+    return record
+
+
+def scan_log(data: bytes) -> tuple[list[tuple[dict, int]], int, bool]:
+    """Parse a log image into ``((record, start_offset) pairs, valid_bytes,
+    torn)``.
+
+    Replay stops at the first incomplete or corrupt line: the file is
+    append-only, so everything before that point is intact and everything
+    from it on is a crash artifact.  ``valid_bytes`` is where a re-attached
+    writer must truncate before appending.
+    """
+    records: list[tuple[dict, int]] = []
+    offset = 0
+    while offset < len(data):
+        newline = data.find(b"\n", offset)
+        if newline == -1:
+            return records, offset, True  # torn tail: no terminator
+        record = _parse_line(data[offset:newline])
+        if record is None:
+            return records, offset, True  # corrupt line
+        records.append((record, offset))
+        offset = newline + 1
+    return records, offset, False
+
+
+def _fsync_directory(path: Path) -> None:
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, separators=(",", ":"), sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_directory(path.parent)
+
+
+# ---------------------------------------------------------------------------
+# recovery
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RecoveredImage:
+    """What recovery reconstructed from a durable directory."""
+
+    schema_source: str
+    database: str
+    #: ``(oid, class name, state)`` in insertion order.
+    objects: list[tuple[str, str, dict]]
+    #: Highest oid counter the history ever used (aborted inserts included,
+    #: so a recovered store never re-issues an oid the log has seen).
+    counter: int
+    #: The LSN the re-attached writer continues from.
+    next_lsn: int
+    #: Byte length of the log's surviving prefix — the truncation point for
+    #: re-attachment.  Cuts both the torn/corrupt tail *and* any trailing
+    #: uncommitted transaction bracket a crash left open.
+    log_valid_bytes: int
+    #: Records in the surviving prefix that postdate the snapshot (the
+    #: re-attached writer's pending backlog toward the next checkpoint).
+    log_records: int
+    #: Committed operations applied on top of the snapshot.
+    replayed: int
+    #: Operations discarded: aborted transactions plus any bracket a crash
+    #: left open.
+    discarded: int
+    #: True when the log ended in a torn or corrupt line.
+    torn: bool
+
+
+def load_image(path: str | Path) -> RecoveredImage | None:
+    """Recover the durable image under ``path``; ``None`` when nothing exists.
+
+    Replays the snapshot, then every *committed* log record with
+    ``lsn >= snapshot.next_lsn`` (see the module docstring for the bracket
+    semantics).  Raises :class:`EngineError` on a malformed snapshot or a
+    log with no snapshot (the snapshot holds the schema, so a bare log is
+    unrecoverable).
+    """
+    base = Path(path)
+    snapshot_path = base / SNAPSHOT_NAME
+    log_path = base / LOG_NAME
+    if not snapshot_path.exists():
+        if log_path.exists():
+            raise EngineError(
+                f"write-ahead log without a snapshot at {str(base)!r}: the "
+                "snapshot holds the schema, so the log alone cannot be recovered"
+            )
+        return None
+    try:
+        snapshot = json.loads(snapshot_path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise EngineError(f"corrupt snapshot at {str(snapshot_path)!r}: {exc}") from exc
+    if not isinstance(snapshot, dict) or snapshot.get("format") != SNAPSHOT_FORMAT:
+        raise EngineError(
+            f"unsupported snapshot format at {str(snapshot_path)!r}: "
+            f"{snapshot.get('format') if isinstance(snapshot, dict) else snapshot!r}"
+        )
+
+    objects: dict[str, tuple[str, dict]] = {}
+    counter = int(snapshot.get("counter", 0))
+    for oid, class_name, state in snapshot.get("objects", []):
+        objects[oid] = (class_name, decode_state(state))
+        counter = max(counter, oid_counter(oid, 0))
+    start_lsn = int(snapshot.get("next_lsn", 0))
+
+    records: list[dict] = []
+    valid_bytes = 0
+    torn = False
+    if log_path.exists():
+        records, valid_bytes, torn = scan_log(log_path.read_bytes())
+
+    def apply(op: dict) -> None:
+        kind = op["t"]
+        if kind == "insert":
+            objects[op["oid"]] = (op["cls"], decode_state(op["state"]))
+        elif kind == "update":
+            current = objects.get(op["oid"])
+            if current is not None:
+                objects[op["oid"]] = (current[0], decode_state(op["state"]))
+        elif kind == "delete":
+            objects.pop(op["oid"], None)
+
+    #: Stack of op buffers, one per open transaction bracket.
+    open_brackets: list[list[dict]] = []
+    replayed = 0
+    discarded = 0
+    #: Post-snapshot records that survive in the log after recovery.
+    kept = 0
+    #: Byte offset / kept-count where the currently open outermost bracket
+    #: began.  If the log ends with the bracket chain still open, everything
+    #: from here on is an uncommitted tail: it must be *truncated* on
+    #: resume, or its stale ``begin`` would swallow the next session's
+    #: committed records at the following recovery (brackets are matched
+    #: positionally, not by txid).
+    tail_offset: int | None = None
+    tail_kept = 0
+    max_lsn = start_lsn - 1
+    for record, offset in records:
+        lsn = int(record["n"])
+        kind = record["t"]
+        if kind == "insert":
+            # Track the counter over *every* insert, committed or not: an
+            # aborted insert still burned its oid.
+            counter = max(counter, oid_counter(record["oid"], 0))
+        if lsn < start_lsn:
+            continue  # already folded into the snapshot
+        max_lsn = max(max_lsn, lsn)
+        if kind == "begin":
+            if not open_brackets:
+                tail_offset, tail_kept = offset, kept
+            open_brackets.append([])
+        elif kind == "commit":
+            if open_brackets:
+                ops = open_brackets.pop()
+                if open_brackets:
+                    open_brackets[-1].extend(ops)
+                else:
+                    for op in ops:
+                        apply(op)
+                    replayed += len(ops)
+                    tail_offset = None
+        elif kind == "abort":
+            if open_brackets:
+                discarded += len(open_brackets.pop())
+                if not open_brackets:
+                    tail_offset = None
+        elif kind in _OPS:
+            if open_brackets:
+                open_brackets[-1].append(record)
+            else:
+                apply(record)
+                replayed += 1
+        # unknown record kinds are skipped: forward compatibility
+        kept += 1
+    if open_brackets:
+        discarded += sum(len(ops) for ops in open_brackets)
+        if tail_offset is not None:
+            valid_bytes = tail_offset
+            kept = tail_kept
+
+    return RecoveredImage(
+        schema_source=snapshot.get("schema", ""),
+        database=snapshot.get("database", ""),
+        objects=[(oid, cls, state) for oid, (cls, state) in objects.items()],
+        counter=counter,
+        next_lsn=max_lsn + 1,
+        log_valid_bytes=valid_bytes,
+        log_records=kept,
+        replayed=replayed,
+        discarded=discarded,
+        torn=torn,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the writer
+# ---------------------------------------------------------------------------
+
+
+class WriteAheadLog:
+    """The append side of one durable directory.
+
+    Owned by an :class:`~repro.engine.store.ObjectStore`; the store calls
+    :meth:`log_insert`/:meth:`log_update`/:meth:`log_delete` after each
+    applied mutation, and the transaction layer brackets them with
+    :meth:`begin`/:meth:`commit_transaction`/:meth:`abort_transaction`.
+    ``begin`` markers are lazy — written only once the transaction logs its
+    first operation — so empty transactions never reach the disk.
+
+    ``sync=True`` fsyncs at every commit point (durable against power loss);
+    the default flushes Python's buffer at commit points, which survives a
+    process crash but not a kernel one.  ``checkpoint_every`` is the
+    auto-checkpoint threshold in log records (0 disables).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        sync: bool = False,
+        checkpoint_every: int = 10_000,
+    ):
+        self.path = Path(path)
+        self.sync = sync
+        self.checkpoint_every = checkpoint_every
+        self._handle = None
+        self._next_lsn = 0
+        #: Open transaction brackets: ``{"id": txid, "written": bool}``.
+        self._transactions: list[dict] = []
+        self._txid = 0
+        self._records_since_snapshot = 0
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.path / SNAPSHOT_NAME
+
+    @property
+    def log_path(self) -> Path:
+        return self.path / LOG_NAME
+
+    def has_data(self) -> bool:
+        return self.snapshot_path.exists() or self.log_path.exists()
+
+    @property
+    def pending_records(self) -> int:
+        """Log records not yet folded into a snapshot."""
+        return self._records_since_snapshot
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def initialize(
+        self,
+        schema_source: str,
+        database: str,
+        objects: Iterable[tuple[str, str, Mapping[str, Any]]],
+        counter: int,
+    ) -> None:
+        """Create a fresh durable directory (initial snapshot + empty log)."""
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._write_snapshot_file(schema_source, database, objects, counter)
+        self._reset_log()
+
+    def resume(self, image: RecoveredImage) -> None:
+        """Attach to a recovered directory: truncate everything recovery
+        discarded — the torn tail *and* any trailing uncommitted transaction
+        bracket (a stale open ``begin`` left in the log would swallow this
+        session's committed records at the next recovery) — and continue
+        the LSN sequence."""
+        self.path.mkdir(parents=True, exist_ok=True)
+        if self.log_path.exists():
+            if self.log_path.stat().st_size > image.log_valid_bytes:
+                with open(self.log_path, "r+b") as handle:
+                    handle.truncate(image.log_valid_bytes)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+        else:  # snapshot-only directory (e.g. crash between snapshot and log reset)
+            self.log_path.touch()
+        self._next_lsn = image.next_lsn
+        self._records_since_snapshot = image.log_records
+
+    def flush(self) -> None:
+        self._commit_point()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+    # -- appending ---------------------------------------------------------------
+
+    def _open_handle(self):
+        if self._handle is None:
+            self._handle = open(self.log_path, "ab")
+        return self._handle
+
+    def _append(self, record: dict) -> None:
+        record["n"] = self._next_lsn
+        self._next_lsn += 1
+        self._open_handle().write(_frame(record))
+        self._records_since_snapshot += 1
+
+    def _commit_point(self) -> None:
+        if self._handle is None:
+            return
+        self._handle.flush()
+        if self.sync:
+            os.fsync(self._handle.fileno())
+
+    def log_insert(self, obj: "DBObject") -> None:
+        self._log_operation(
+            {
+                "t": "insert",
+                "oid": obj.oid,
+                "cls": obj.class_name,
+                "state": encode_state(obj.state),
+            }
+        )
+
+    def log_update(self, obj: "DBObject") -> None:
+        """Log the full post-image — replay then needs no pre-state."""
+        self._log_operation(
+            {"t": "update", "oid": obj.oid, "state": encode_state(obj.state)}
+        )
+
+    def log_delete(self, oid: str) -> None:
+        self._log_operation({"t": "delete", "oid": oid})
+
+    def _log_operation(self, record: dict) -> None:
+        self._materialize_begins()
+        self._append(record)
+
+    def operation_committed(self) -> None:
+        """Flush point for an auto-committed (non-transactional) mutation."""
+        self._commit_point()
+
+    # -- transaction brackets ----------------------------------------------------
+
+    def begin(self) -> int:
+        self._txid += 1
+        self._transactions.append({"id": self._txid, "written": False})
+        return self._txid
+
+    def _materialize_begins(self) -> None:
+        for transaction in self._transactions:
+            if not transaction["written"]:
+                self._append({"t": "begin", "x": transaction["id"]})
+                transaction["written"] = True
+
+    def commit_transaction(self) -> None:
+        if not self._transactions:
+            return
+        transaction = self._transactions.pop()
+        if transaction["written"]:
+            self._append({"t": "commit", "x": transaction["id"]})
+            if not self._transactions:
+                self._commit_point()
+
+    def abort_transaction(self) -> None:
+        if not self._transactions:
+            return
+        transaction = self._transactions.pop()
+        if transaction["written"]:
+            self._append({"t": "abort", "x": transaction["id"]})
+            if not self._transactions:
+                # Flush aborts too: recovery must not mistake the rolled-back
+                # tail for a crash-opened bracket of a *later* session.
+                self._commit_point()
+
+    @property
+    def in_transaction(self) -> bool:
+        return bool(self._transactions)
+
+    # -- checkpoints -------------------------------------------------------------
+
+    def should_checkpoint(self) -> bool:
+        return (
+            self.checkpoint_every > 0
+            and not self._transactions
+            and self._records_since_snapshot >= self.checkpoint_every
+        )
+
+    def write_snapshot(
+        self,
+        schema_source: str,
+        database: str,
+        objects: Iterable[tuple[str, str, Mapping[str, Any]]],
+        counter: int,
+    ) -> None:
+        """Checkpoint: snapshot the given image, then reset the log.
+
+        The snapshot claims currency up to ``next_lsn``; a crash between the
+        two steps leaves stale records in the log, which recovery skips by
+        their LSNs.
+        """
+        if self._transactions:
+            raise EngineError("cannot checkpoint inside a transaction")
+        self._commit_point()
+        self._write_snapshot_file(schema_source, database, objects, counter)
+        self._reset_log()
+
+    def _write_snapshot_file(
+        self,
+        schema_source: str,
+        database: str,
+        objects: Iterable[tuple[str, str, Mapping[str, Any]]],
+        counter: int,
+    ) -> None:
+        payload = {
+            "format": SNAPSHOT_FORMAT,
+            "database": database,
+            "schema": schema_source,
+            "counter": counter,
+            "next_lsn": self._next_lsn,
+            "objects": [
+                [oid, class_name, encode_state(state)]
+                for oid, class_name, state in objects
+            ],
+        }
+        _write_json_atomic(self.snapshot_path, payload)
+        self._records_since_snapshot = 0
+
+    def _reset_log(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        tmp = self.log_path.with_name(self.log_path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.log_path)
+        _fsync_directory(self.path)
+        self._handle = open(self.log_path, "ab")

@@ -62,18 +62,47 @@ class ConstraintViolation(EngineError):
     Attributes
     ----------
     constraint_name:
-        The label of the violated constraint (e.g. ``"Publication.oc1"``).
+        The label of the violated constraint (e.g. ``"Publication.oc1"``),
+        or a phase label (``"transaction"``, ``"full revalidation"``) when
+        several constraints failed together.
     detail:
         Explanation of the violation, including the offending object(s).
+    violations:
+        The structured per-constraint findings behind a multi-constraint
+        failure (objects with ``constraint_name``/``detail`` attributes —
+        see :class:`repro.engine.enforcement.Violation`); empty when the
+        exception names a single constraint directly.
     """
 
-    def __init__(self, constraint_name: str, detail: str = ""):
+    def __init__(
+        self,
+        constraint_name: str,
+        detail: str = "",
+        violations: "tuple | list | None" = None,
+    ):
         self.constraint_name = constraint_name
         self.detail = detail
+        self.violations = tuple(violations) if violations is not None else ()
         message = f"constraint {constraint_name} violated"
         if detail:
             message += f": {detail}"
         super().__init__(message)
+
+    @property
+    def constraint_names(self) -> tuple[str, ...]:
+        """Names of every constraint this failure implicates, deduplicated.
+
+        Reads the structured ``violations`` when present, so commit-time
+        failures (raised under the ``"transaction"`` label) still attribute
+        each violated constraint by name.
+        """
+        if self.violations:
+            names = [
+                getattr(violation, "constraint_name", None) or str(violation)
+                for violation in self.violations
+            ]
+            return tuple(dict.fromkeys(names))
+        return (self.constraint_name,)
 
 
 class IntegrationError(ReproError):

@@ -129,6 +129,112 @@ class TestNestedTransactions:
                 store.update(named["vldb95"], libprice=price)
         assert named["vldb95"].state["libprice"] == 13.0
 
+    @staticmethod
+    def _reference_index_state(store):
+        """White-box image of the db1 reference-count index."""
+        reference = store._indexes._references[("Item", "publisher")]
+        return (
+            dict(reference._counts),
+            reference._live_with_ref,
+            reference._dangling,
+            reference.valid,
+        )
+
+    def test_outer_rollback_removes_nested_insert(self):
+        """Regression (insert pre-images through the undo merge): an object
+        inserted inside an *inner* transaction — whose commit merges its
+        undo log outward via ``setdefault`` with a ``None`` pre-image —
+        must be removed again when the outer transaction rolls back, with
+        store contents, extents, and reference-count indexes all restored."""
+        store, named = bookseller_store()
+        before_state = {oid: obj.state for oid, obj in store._objects.items()}
+        before_extents = {
+            name: sorted(oids) for name, oids in store._direct_extents.items()
+        }
+        before_refs = self._reference_index_state(store)
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                with store.transaction():
+                    publisher = store.insert(
+                        "Publisher", name="Morgan", location="SF"
+                    )
+                    inserted = store.insert(
+                        "Monograph",
+                        title="Ghost readings",
+                        isbn="ISBN-GHOST",
+                        publisher=publisher,
+                        authors=frozenset(),
+                        shopprice=20.0,
+                        libprice=18.0,
+                        subjects=frozenset(),
+                    )
+                # The outer transaction also touches the merged-in object:
+                # its first-touch pre-image must stay the insert's None.
+                store.update(inserted, libprice=17.0)
+                raise RuntimeError("outer abort")
+        assert publisher.oid not in store
+        assert inserted.oid not in store
+        assert {oid: obj.state for oid, obj in store._objects.items()} == before_state
+        assert {
+            name: sorted(oids) for name, oids in store._direct_extents.items()
+        } == before_extents
+        assert self._reference_index_state(store) == before_refs
+        assert [o.oid for o in store.extent("Item")] == sorted(
+            (o.oid for o in store.extent("Item")),
+            key=lambda oid: int(oid.rsplit("#", 1)[-1]),
+        )
+        assert store.check_all() == []
+
+    def test_outer_commit_failure_removes_nested_insert(self):
+        """Same merge path, but the outer rollback comes from commit-time
+        validation failing rather than an exception."""
+        store, _ = bookseller_store()
+        size = len(store)
+        before_refs = self._reference_index_state(store)
+        with pytest.raises(ConstraintViolation):
+            with store.transaction():
+                with store.transaction():
+                    store.insert("Publisher", name="Lonely", location="Nowhere")
+        assert len(store) == size
+        assert self._reference_index_state(store) == before_refs
+        assert store.check_all() == []
+
+
+class TestCommitFailureAttribution:
+    def test_commit_failure_carries_structured_violations(self):
+        """Regression: a commit-time ``ConstraintViolation("transaction",
+        ...)`` must keep the per-constraint findings, not just a joined
+        message."""
+        store, named = bookseller_store()
+        with pytest.raises(ConstraintViolation) as info:
+            with store.transaction():
+                # Two independent violations: a Publisher without an Item
+                # (db1) and a library price above the shop price (Item.oc1).
+                store.insert("Publisher", name="Lonely", location="Nowhere")
+                store.update(named["vldb95"], libprice=10_000.0)
+        exc = info.value
+        assert exc.constraint_name == "transaction"
+        assert exc.violations, "structured violations were dropped"
+        assert "Bookseller.db1" in exc.constraint_names
+        assert "Bookseller.Item.oc1" in exc.constraint_names
+        for violation in exc.violations:
+            assert violation.constraint_name and violation.describe()
+
+    def test_full_revalidation_carries_structured_violations(self):
+        """The incremental=False commit path attributes constraints too."""
+        store, named = bookseller_store()
+        store.incremental = False
+        with pytest.raises(ConstraintViolation) as info:
+            with store.transaction():
+                store.update(named["vldb95"], libprice=10_000.0)
+        assert "Bookseller.Item.oc1" in info.value.constraint_names
+
+    def test_single_operation_failure_keeps_plain_attribution(self):
+        store, named = bookseller_store()
+        with pytest.raises(ConstraintViolation) as info:
+            store.update(named["vldb95"], libprice=10_000.0)
+        assert info.value.constraint_names == ("Bookseller.Item.oc1",)
+
 
 class TestUnenforcedStores:
     def test_transaction_on_unenforced_store_skips_validation(self):

@@ -1,0 +1,635 @@
+"""Durability tests: write-ahead logging, snapshot checkpoints, and crash
+recovery.
+
+The central invariant (the paper's durable-component assumption): whatever
+prefix of the log survives a crash, ``ObjectStore.open`` recovers *exactly a
+prefix of the committed history* — never an aborted or uncommitted write,
+never a constraint-violating state — with the maintained indexes rebuilt
+consistent with the recovered contents.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ObjectStore, WriteAheadLog
+from repro.engine.wal import (
+    decode_state,
+    encode_state,
+    load_image,
+    scan_log,
+)
+from repro.errors import ConstraintViolation, EngineError
+from repro.tm import parse_database
+
+SCHEMA_SOURCE = """
+Database WalDB
+
+Class Item
+attributes
+  name  : string
+  price : real
+object constraints
+  oc1: price >= 0
+class constraints
+  cc1: key name
+end Item
+
+Class Order
+attributes
+  item : Item
+  qty  : int
+object constraints
+  oc2: qty >= 1
+end Order
+
+Database constraints
+  db1: forall i in Item exists o in Order | o.item = i
+"""
+
+
+def fresh_schema():
+    return parse_database(SCHEMA_SOURCE)
+
+
+def store_state(store):
+    """Comparable image of a store's contents."""
+    return {
+        obj.oid: (obj.class_name, dict(obj.state)) for obj in store.objects()
+    }
+
+
+def insert_pair(store, name, price=10.0, qty=1):
+    """Insert an Item plus the Order that satisfies db1, transactionally."""
+    with store.transaction():
+        item = store.insert("Item", name=name, price=price)
+        order = store.insert("Order", item=item, qty=qty)
+    return item, order
+
+
+def truncated_copy(source: Path, target: Path, wal_bytes: bytes) -> Path:
+    """A durable directory with the same snapshot but a cut-down log."""
+    target.mkdir(parents=True, exist_ok=True)
+    shutil.copyfile(source / "snapshot.json", target / "snapshot.json")
+    (target / "wal.jsonl").write_bytes(wal_bytes)
+    return target
+
+
+class TestCodecAndFraming:
+    def test_state_roundtrip_preserves_value_kinds(self):
+        state = {
+            "s": "text",
+            "i": 3,
+            "f": 2.5,
+            "b": True,
+            "set": frozenset({"a", "b"}),
+            "nested": frozenset({frozenset({"x"}), frozenset()}),
+        }
+        decoded = decode_state(encode_state(state))
+        assert decoded == state
+        assert isinstance(decoded["set"], frozenset)
+        assert isinstance(decoded["i"], int) and not isinstance(decoded["b"], int) or decoded["b"] is True
+
+    def test_unserializable_value_is_rejected(self):
+        with pytest.raises(EngineError, match="cannot serialize"):
+            encode_state({"x": object()})
+
+    def test_scan_stops_at_corrupt_line_keeping_prefix(self, tmp_path):
+        store = ObjectStore.open(tmp_path / "db", schema=fresh_schema())
+        insert_pair(store, "n1")
+        store.close()
+        data = (tmp_path / "db" / "wal.jsonl").read_bytes()
+        records, valid, torn = scan_log(data)
+        assert not torn and valid == len(data) and len(records) == 4
+        # Flip one byte in the last record's payload: CRC catches it.
+        broken = data[:-3] + bytes([data[-3] ^ 0xFF]) + data[-2:]
+        records2, valid2, torn2 = scan_log(broken)
+        assert torn2 and len(records2) == len(records) - 1
+        assert valid2 < len(broken)
+
+
+class TestDurabilityRoundtrip:
+    def test_recovery_restores_contents_counter_and_indexes(self, tmp_path):
+        path = tmp_path / "db"
+        store = ObjectStore.open(path, schema=fresh_schema())
+        item, order = insert_pair(store, "book", price=12.5)
+        store.update(order, qty=3)
+        item2, _ = insert_pair(store, "cd")
+        with store.transaction():
+            for other in store.extent("Order"):
+                if other.state["item"] == item2.oid:
+                    store.delete(other)
+            store.delete(item2)
+        store.close()
+
+        recovered = ObjectStore.open(path)
+        assert store_state(recovered) == store_state(store)
+        assert recovered.check_all() == []
+        # The oid counter continues past everything the history issued.
+        fresh = insert_pair(recovered, "new")[0]
+        assert int(fresh.oid.rsplit("#", 1)[-1]) > int(
+            item2.oid.rsplit("#", 1)[-1]
+        )
+        # Extents resolve from rebuilt indexes in insertion order.
+        assert [o.oid for o in recovered.extent("Item")] == sorted(
+            (o.oid for o in recovered.objects() if o.class_name == "Item"),
+            key=lambda oid: int(oid.rsplit("#", 1)[-1]),
+        )
+        recovered.close()
+
+    def test_recovered_store_matches_unindexed_recovery(self, tmp_path):
+        path = tmp_path / "db"
+        store = ObjectStore.open(path, schema=fresh_schema())
+        for index in range(5):
+            insert_pair(store, f"n{index}", price=float(index))
+        store.close()
+        indexed = ObjectStore.open(path)
+        indexed.close()
+        plain = ObjectStore.open(path, indexed=False)
+        plain.close()
+        assert [o.oid for o in indexed.extent("Item")] == [
+            o.oid for o in plain.extent("Item")
+        ]
+        assert store_state(indexed) == store_state(plain)
+
+    def test_frozenset_attributes_survive_recovery(self, tmp_path):
+        source = """
+        Database SetDB
+        Class Doc
+        attributes
+          tags : P string
+        end Doc
+        """
+        path = tmp_path / "db"
+        store = ObjectStore.open(path, schema=parse_database(source))
+        store.insert("Doc", tags=frozenset({"a", "b"}))
+        store.close()
+        recovered = ObjectStore.open(path)
+        (doc,) = recovered.extent("Doc")
+        assert doc.state["tags"] == frozenset({"a", "b"})
+        recovered.close()
+
+    def test_open_missing_directory_requires_schema(self, tmp_path):
+        with pytest.raises(EngineError, match="pass a schema"):
+            ObjectStore.open(tmp_path / "nowhere")
+
+    def test_plain_init_refuses_existing_durable_state(self, tmp_path):
+        path = tmp_path / "db"
+        ObjectStore.open(path, schema=fresh_schema()).close()
+        with pytest.raises(EngineError, match="use ObjectStore.open"):
+            ObjectStore(fresh_schema(), wal=path)
+
+    def test_recovery_with_verify_raises_on_violating_history(self, tmp_path):
+        path = tmp_path / "db"
+        store = ObjectStore.open(path, schema=fresh_schema(), enforce=False)
+        store.insert("Item", name="orphan", price=-1.0)  # violates oc1 + db1
+        store.close()
+        with pytest.raises(ConstraintViolation, match="recovery") as info:
+            ObjectStore.open(path)
+        assert "WalDB.Item.oc1" in info.value.constraint_names
+        audited = ObjectStore.open(path, verify=False)
+        assert audited.check_all() != []
+        audited.close()
+
+
+class TestTransactionMarkers:
+    def test_aborted_transaction_never_recovers(self, tmp_path):
+        path = tmp_path / "db"
+        store = ObjectStore.open(path, schema=fresh_schema())
+        insert_pair(store, "keep")
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                insert_pair(store, "ghost")
+                raise RuntimeError("abort")
+        store.close()
+        recovered = ObjectStore.open(path)
+        names = {o.state["name"] for o in recovered.extent("Item")}
+        assert names == {"keep"}
+        assert recovered.check_all() == []
+        recovered.close()
+
+    def test_inner_commit_inside_aborted_outer_never_recovers(self, tmp_path):
+        path = tmp_path / "db"
+        store = ObjectStore.open(path, schema=fresh_schema())
+        insert_pair(store, "keep")
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                with store.transaction():
+                    insert_pair(store, "inner")
+                raise RuntimeError("outer abort")
+        store.close()
+        recovered = ObjectStore.open(path)
+        assert {o.state["name"] for o in recovered.extent("Item")} == {"keep"}
+        recovered.close()
+
+    def test_crash_mid_transaction_discards_uncommitted_tail(self, tmp_path):
+        path = tmp_path / "db"
+        store = ObjectStore.open(path, schema=fresh_schema())
+        insert_pair(store, "keep")
+        with store.transaction():
+            item = store.insert("Item", name="wip", price=1.0)
+            store.insert("Order", item=item, qty=1)
+            store.wal.flush()
+            # Crash: copy the durable directory while the transaction is
+            # still open — its records are on disk but unterminated.
+            crashed = truncated_copy(
+                path, tmp_path / "crashed", (path / "wal.jsonl").read_bytes()
+            )
+        store.close()
+        recovered = ObjectStore.open(crashed)
+        assert {o.state["name"] for o in recovered.extent("Item")} == {"keep"}
+        assert recovered.check_all() == []
+        recovered.close()
+
+    def test_commits_after_crash_mid_transaction_survive_next_recovery(
+        self, tmp_path
+    ):
+        """Regression: the stale ``begin`` of a crashed transaction must be
+        truncated at resume time.  Left in the log, it would open a bracket
+        that never closes and silently swallow every record a *later*
+        session commits (brackets are matched positionally)."""
+        path = tmp_path / "db"
+        store = ObjectStore.open(path, schema=fresh_schema())
+        insert_pair(store, "keep")
+        with store.transaction():
+            item = store.insert("Item", name="wip", price=1.0)
+            store.insert("Order", item=item, qty=1)
+            store.wal.flush()
+            crashed = truncated_copy(
+                path, tmp_path / "crashed", (path / "wal.jsonl").read_bytes()
+            )
+        store.close()
+
+        # Session 2: recover the crash image, then commit new work.
+        second = ObjectStore.open(crashed)
+        assert {o.state["name"] for o in second.extent("Item")} == {"keep"}
+        insert_pair(second, "second-txn")
+        second.close()
+
+        # Session 3: both sessions' committed writes are still there.
+        third = ObjectStore.open(crashed)
+        assert {o.state["name"] for o in third.extent("Item")} == {
+            "keep",
+            "second-txn",
+        }
+        assert third.check_all() == []
+        third.close()
+
+    def test_empty_transactions_write_no_records(self, tmp_path):
+        path = tmp_path / "db"
+        store = ObjectStore.open(path, schema=fresh_schema())
+        before = store.wal.pending_records
+        with store.transaction():
+            with store.transaction():
+                pass
+        assert store.wal.pending_records == before
+        store.close()
+
+    def test_rejected_commit_leaves_abort_marker(self, tmp_path):
+        path = tmp_path / "db"
+        store = ObjectStore.open(path, schema=fresh_schema())
+        insert_pair(store, "keep")
+        with pytest.raises(ConstraintViolation):
+            with store.transaction():
+                store.insert("Item", name="orphan", price=2.0)  # breaks db1
+        store.close()
+        recovered = ObjectStore.open(path)
+        assert {o.state["name"] for o in recovered.extent("Item")} == {"keep"}
+        recovered.close()
+
+
+class TestCheckpoints:
+    def test_checkpoint_compacts_log_and_preserves_state(self, tmp_path):
+        path = tmp_path / "db"
+        store = ObjectStore.open(path, schema=fresh_schema())
+        for index in range(4):
+            insert_pair(store, f"n{index}")
+        assert store.wal.pending_records > 0
+        store.checkpoint()
+        assert store.wal.pending_records == 0
+        item, _ = insert_pair(store, "after")
+        store.close()
+        recovered = ObjectStore.open(path)
+        assert store_state(recovered) == store_state(store)
+        recovered.close()
+
+    def test_checkpoint_inside_transaction_is_refused(self, tmp_path):
+        store = ObjectStore.open(tmp_path / "db", schema=fresh_schema())
+        with pytest.raises(EngineError, match="inside a transaction"):
+            with store.transaction():
+                store.checkpoint()
+        store.close()
+
+    def test_crash_between_snapshot_and_log_reset_is_idempotent(self, tmp_path):
+        """The checkpoint crash window: snapshot renamed but the old log
+        still present.  Recovery must skip the already-snapshotted records
+        by their LSNs instead of applying them twice."""
+        path = tmp_path / "db"
+        store = ObjectStore.open(path, schema=fresh_schema())
+        item, order = insert_pair(store, "n0")
+        store.update(order, qty=5)
+        old_log = (path / "wal.jsonl").read_bytes()
+        store.checkpoint()
+        store.close()
+        # Undo the log reset, as if the crash hit right after the rename.
+        (path / "wal.jsonl").write_bytes(old_log)
+        recovered = ObjectStore.open(path)
+        assert store_state(recovered) == store_state(store)
+        assert recovered.get(order.oid).state["qty"] == 5
+        # The stale records are already folded into the snapshot: none of
+        # them count toward the next checkpoint.
+        assert recovered.wal.pending_records == 0
+        recovered.close()
+
+    def test_automatic_checkpoint_after_threshold(self, tmp_path):
+        path = tmp_path / "db"
+        store = ObjectStore.open(
+            path, schema=fresh_schema(), checkpoint_every=5
+        )
+        for index in range(4):
+            insert_pair(store, f"n{index}")
+        # Each pair writes begin + 2 ops + commit = 4 records; the policy
+        # must have checkpointed at least once by now.
+        assert store.wal.pending_records < 16
+        store.close()
+        recovered = ObjectStore.open(path)
+        assert len(recovered.extent("Item")) == 4
+        recovered.close()
+
+    def test_wal_without_snapshot_is_unrecoverable(self, tmp_path):
+        path = tmp_path / "db"
+        path.mkdir()
+        (path / "wal.jsonl").write_bytes(b"")
+        with pytest.raises(EngineError, match="without a snapshot"):
+            load_image(path)
+
+
+def _committed_prefixes(path, actions):
+    """Run ``actions`` against a fresh durable store at ``path``; returns
+    (store, committed states after each successful top-level action)."""
+    store = ObjectStore.open(path, schema=fresh_schema(), checkpoint_every=0)
+    committed = [store_state(store)]
+    for action in actions:
+        try:
+            action(store)
+            committed.append(store_state(store))
+        except (ConstraintViolation, RuntimeError):
+            pass  # rejected or aborted: no new committed state
+    return store, committed
+
+
+def _scripted_actions():
+    def abort_after_insert(store):
+        with store.transaction():
+            insert_pair(store, "aborted-marker")
+            raise RuntimeError("abort")
+
+    def nested_commit_outer_abort(store):
+        with store.transaction():
+            with store.transaction():
+                insert_pair(store, "inner-marker")
+            raise RuntimeError("outer abort")
+
+    def doomed_commit(store):
+        with store.transaction():
+            store.insert("Item", name="orphan-marker", price=3.0)
+
+    def update_first_order(store):
+        orders = store.extent("Order")
+        if orders:
+            store.update(orders[0], qty=orders[0].state["qty"] + 1)
+
+    def delete_last_pair(store):
+        items = store.extent("Item")
+        if not items:
+            return
+        victim = items[-1]
+        with store.transaction():
+            for order in store.extent("Order"):
+                if order.state["item"] == victim.oid:
+                    store.delete(order)
+            store.delete(victim)
+
+    return [
+        lambda s: insert_pair(s, "a"),
+        lambda s: insert_pair(s, "b", price=5.0, qty=2),
+        abort_after_insert,
+        update_first_order,
+        nested_commit_outer_abort,
+        lambda s: insert_pair(s, "c"),
+        doomed_commit,
+        delete_last_pair,
+        lambda s: insert_pair(s, "d", price=7.5),
+    ]
+
+
+class TestLogTruncation:
+    """Satellite: recovery from every log prefix — record boundaries and
+    mid-record cuts — yields a committed prefix, never an aborted write."""
+
+    @pytest.fixture(scope="class")
+    def history(self):
+        base = Path(tempfile.mkdtemp(prefix="repro-wal-test-"))
+        path = base / "db"
+        store, committed = _committed_prefixes(path, _scripted_actions())
+        store.close()
+        data = (path / "wal.jsonl").read_bytes()
+        yield base, path, committed, data
+        shutil.rmtree(base, ignore_errors=True)
+
+    def _boundaries(self, data):
+        boundaries = [0]
+        offset = 0
+        while True:
+            newline = data.find(b"\n", offset)
+            if newline == -1:
+                break
+            boundaries.append(newline + 1)
+            offset = newline + 1
+        return boundaries
+
+    def test_every_record_boundary_recovers_a_committed_prefix(self, history):
+        base, path, committed, data = history
+        boundaries = self._boundaries(data)
+        assert len(boundaries) > 10
+        for index, cut in enumerate(boundaries):
+            target = truncated_copy(path, base / f"cut-{index}", data[:cut])
+            recovered = ObjectStore.open(target)
+            state = store_state(recovered)
+            assert state in committed, f"boundary {index} not a committed prefix"
+            names = {
+                obj.state["name"]
+                for obj in recovered.objects()
+                if obj.class_name == "Item"
+            }
+            assert not names & {"aborted-marker", "inner-marker", "orphan-marker"}
+            assert recovered.check_all() == []
+            recovered.close()
+        # The full log recovers the final committed state.
+        final = truncated_copy(path, base / "cut-full", data)
+        recovered = ObjectStore.open(final)
+        assert store_state(recovered) == committed[-1]
+        recovered.close()
+
+    def test_mid_record_cuts_recover_a_committed_prefix(self, history):
+        base, path, committed, data = history
+        boundaries = self._boundaries(data)
+        cuts = [b + delta for b in boundaries for delta in (1, 7) if b + delta < len(data)]
+        cuts.append(len(data) - 1)
+        for index, cut in enumerate(cuts):
+            target = truncated_copy(path, base / f"mid-{index}", data[:cut])
+            recovered = ObjectStore.open(target)
+            assert store_state(recovered) in committed
+            assert recovered.check_all() == []
+            recovered.close()
+
+
+#: One generated top-level step: (kind, name index, price, qty, abort flag).
+_steps = st.lists(
+    st.tuples(
+        st.sampled_from(["pair", "update", "delete", "txn", "nested"]),
+        st.integers(0, 5),
+        st.floats(-5, 50, allow_nan=False, width=32),
+        st.integers(0, 4),
+        st.booleans(),
+    ),
+    max_size=12,
+)
+
+
+class TestCrashRecoveryProperty:
+    """Tentpole property: for arbitrary mutation histories and arbitrary
+    log-truncation points, recovery yields exactly a committed prefix with
+    consistent indexes and no constraint violations."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(steps=_steps, cut_fraction=st.floats(0.0, 1.0))
+    def test_recovered_state_is_a_committed_prefix(self, steps, cut_fraction):
+        base = Path(tempfile.mkdtemp(prefix="repro-wal-prop-"))
+        try:
+            path = base / "db"
+            actions = [self._compile(step) for step in steps]
+            store, committed = _committed_prefixes(path, actions)
+            store.close()
+            data = (path / "wal.jsonl").read_bytes()
+            cut = int(len(data) * cut_fraction)
+            target = truncated_copy(path, base / "rec", data[:cut])
+            recovered = ObjectStore.open(target)
+            state = store_state(recovered)
+            assert state in committed
+            assert recovered.check_all() == []
+            # Indexes agree with a from-scratch scan of the recovered store.
+            for class_name in ("Item", "Order"):
+                indexed = [o.oid for o in recovered.extent(class_name)]
+                scanned = sorted(
+                    (
+                        o.oid
+                        for o in recovered.objects()
+                        if o.class_name == class_name
+                    ),
+                    key=lambda oid: int(oid.rsplit("#", 1)[-1]),
+                )
+                assert indexed == scanned
+            recovered.close()
+        finally:
+            shutil.rmtree(base, ignore_errors=True)
+
+    @staticmethod
+    def _compile(step):
+        kind, index, price, qty, abort = step
+
+        def action(store):
+            if kind == "pair":
+                insert_pair(store, f"item-{index}", max(price, 0.0), max(qty, 1))
+            elif kind == "update":
+                orders = store.extent("Order")
+                if orders:
+                    store.update(orders[index % len(orders)], qty=qty)
+            elif kind == "delete":
+                items = store.extent("Item")
+                if items:
+                    victim = items[index % len(items)]
+                    with store.transaction():
+                        for order in store.extent("Order"):
+                            if order.state["item"] == victim.oid:
+                                store.delete(order)
+                        store.delete(victim)
+            elif kind == "txn":
+                with store.transaction():
+                    insert_pair(store, f"txn-{index}", abs(price), max(qty, 1))
+                    if abort:
+                        raise RuntimeError("abort")
+            elif kind == "nested":
+                with store.transaction():
+                    with store.transaction():
+                        insert_pair(store, f"nested-{index}", abs(price), 1)
+                    orders = store.extent("Order")
+                    if orders:
+                        store.update(orders[0], qty=max(qty, 1))
+                    if abort:
+                        raise RuntimeError("outer abort")
+
+        return action
+
+
+class TestEnvironmentToggle:
+    def test_repro_wal_env_attaches_throwaway_log(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WAL", "1")
+        store = ObjectStore(fresh_schema())
+        assert store.wal is not None
+        insert_pair(store, "logged")
+        assert store.wal.pending_records > 0
+        wal_dir = store.wal.path
+        assert (wal_dir / "wal.jsonl").exists()
+        # Explicit opt-out beats the environment.
+        assert ObjectStore(fresh_schema(), wal=False).wal is None
+
+    def test_no_env_means_no_wal(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WAL", raising=False)
+        assert ObjectStore(fresh_schema()).wal is None
+
+
+class TestDurableCli:
+    def _populated_dir(self, tmp_path):
+        path = tmp_path / "db"
+        store = ObjectStore.open(path, schema=fresh_schema())
+        insert_pair(store, "cli-item")
+        store.close()
+        return path
+
+    def test_recover_reports_contents(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._populated_dir(tmp_path)
+        assert main(["recover", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "recovered 2 object(s)" in out and "all constraints hold" in out
+
+    def test_snapshot_compacts(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._populated_dir(tmp_path)
+        assert main(["snapshot", str(path)]) == 0
+        assert "checkpointed" in capsys.readouterr().out
+        records, _, _ = scan_log((path / "wal.jsonl").read_bytes())
+        assert records == []
+
+    def test_recover_flags_violations(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "bad"
+        store = ObjectStore.open(path, schema=fresh_schema(), enforce=False)
+        store.insert("Item", name="orphan", price=-2.0)
+        store.close()
+        assert main(["recover", str(path)]) == 1
+        assert "violation" in capsys.readouterr().err
+
+    def test_recover_missing_directory_fails_cleanly(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="cannot open"):
+            main(["recover", str(tmp_path / "missing")])
