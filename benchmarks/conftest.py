@@ -54,6 +54,11 @@ def pytest_generate_tests(metafunc):
         # large case mainly sizes the recovery-throughput record).
         sizes = [1_000, 10_000] if quick else [1_000, 10_000, 100_000]
         metafunc.parametrize("e16_size", sizes)
+    if "e17_size" in metafunc.fixturenames:
+        # Snapshot-reader throughput under a sustained writer; the
+        # degradation gate holds at every size, so --quick keeps one.
+        sizes = [1_000] if quick else [1_000, 10_000]
+        metafunc.parametrize("e17_size", sizes)
 
 
 def _percentile(sorted_data, fraction):

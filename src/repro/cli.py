@@ -10,6 +10,7 @@ Usage::
     python -m repro demo            # the built-in Figure 1 scenario
     python -m repro recover STOREDIR   # recover a durable store, audit it
     python -m repro snapshot STOREDIR  # checkpoint: snapshot + compact log
+    python -m repro stress --writers 2 --readers 4 --seconds 2
 
 ``validate`` exits non-zero when the specification is inconsistent with the
 component constraints, so the workbench slots into CI pipelines.
@@ -18,7 +19,13 @@ specification as editable files, giving ``report``/``validate`` something to
 run on out of the box.  ``recover`` and ``snapshot`` operate on the durable
 store directories of :meth:`repro.ObjectStore.open` (``snapshot.json`` +
 ``wal.jsonl``); ``recover`` exits non-zero when the recovered state violates
-its constraints.
+its constraints, and warns (non-zero under ``--strict``) when the log tail
+carries schema-change records newer than the snapshot's schema digest.
+``stress`` exercises the store under concurrent load: writer threads
+committing transactions against one shared store while reader threads
+consume lock-free snapshots — with ``--dir``/``--sync`` the committers
+additionally demonstrate group commit (one fsync covering a batch of
+concurrent durable commits).
 """
 
 from __future__ import annotations
@@ -79,6 +86,17 @@ def _run_durable_command(args: argparse.Namespace) -> int:
     except ReproError as exc:
         raise SystemExit(f"repro: cannot open {args.directory!r}: {exc}")
     try:
+        drifted = False
+        info = store.recovery_info
+        if info is not None and info.schema_drift:
+            drifted = args.command == "recover"
+            print(
+                f"warning: the log tail carries {info.schema_changes} "
+                "schema-change record(s) newer than the snapshot's schema "
+                "digest — the snapshot no longer describes the running "
+                "schema; run `repro snapshot` to fold the changes in",
+                file=sys.stderr,
+            )
         violations = store.check_all()
         by_class: dict[str, int] = {}
         for obj in store.objects():
@@ -104,9 +122,129 @@ def _run_durable_command(args: argparse.Namespace) -> int:
                 print(f"  {violation}", file=sys.stderr)
             return 0 if args.command == "snapshot" else 1
         print("all constraints hold")
-        return 0
+        return 1 if (drifted and getattr(args, "strict", False)) else 0
     finally:
         store.close()
+
+
+def _run_stress(args: argparse.Namespace) -> int:
+    """``stress``: hammer one shared store with writer threads (serialized
+    by the coarse writer lock) and reader threads (lock-free snapshots),
+    then audit the result."""
+    import threading
+    import time
+
+    from repro.fixtures import cslibrary_schema
+
+    schema = cslibrary_schema()
+    schema.set_constant("MAX", 10**15)  # keep the sum constraint satisfiable
+    if args.dir:
+        # Re-running against the same directory recovers the previous
+        # population (the snapshot carries the schema) instead of
+        # colliding with it on the isbn key constraint.
+        try:
+            store = ObjectStore.open(args.dir, sync=args.sync)
+        except ReproError:
+            try:
+                store = ObjectStore.open(args.dir, schema, sync=args.sync)
+            except ReproError as exc:
+                raise SystemExit(
+                    f"repro: cannot open stress store at {args.dir!r}: {exc}"
+                )
+    else:
+        if args.sync:
+            raise SystemExit("repro: --sync requires --dir (a durable store)")
+        store = ObjectStore(schema, wal=False)
+    try:
+        existing = len(store.extent("Publication"))
+        for index in range(existing, args.objects):
+            store.insert(
+                "Publication",
+                title=f"Book {index}",
+                isbn=f"ISBN-{index}",
+                publisher="ACM",
+                shopprice=50.0,
+                ourprice=45.0,
+            )
+    except ReproError as exc:
+        store.close()
+        raise SystemExit(f"repro: cannot populate the stress store: {exc}")
+    targets = [obj.oid for obj in store.extent("Publication")]
+    if not targets:
+        store.close()
+        raise SystemExit("repro: --objects must be at least 1")
+
+    stop = threading.Event()
+    commits = [0] * args.writers
+    reads = [0] * args.readers
+    failures: list[BaseException] = []
+
+    def writer(slot: int) -> None:
+        step = 0
+        try:
+            while not stop.is_set():
+                oid = targets[(slot + step * args.writers) % len(targets)]
+                # Stays under oc1 (ourprice <= shopprice, 50.0).
+                with store.transaction():
+                    store.update(oid, ourprice=40.0 + (step % 10))
+                commits[slot] += 1
+                step += 1
+        except BaseException as exc:  # surface, don't swallow
+            failures.append(exc)
+
+    def reader(slot: int) -> None:
+        try:
+            while not stop.is_set():
+                with store.snapshot() as snap:
+                    total = 0.0
+                    for obj in snap.extent("Publication"):
+                        total += obj.state["ourprice"]
+                    assert total >= 0.0
+                reads[slot] += 1
+        except BaseException as exc:
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=writer, args=(slot,), daemon=True)
+        for slot in range(args.writers)
+    ] + [
+        threading.Thread(target=reader, args=(slot,), daemon=True)
+        for slot in range(args.readers)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    time.sleep(args.seconds)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    elapsed = time.perf_counter() - started
+
+    total_commits = sum(commits)
+    total_reads = sum(reads)
+    print(
+        f"{args.writers} writer(s) committed {total_commits} transaction(s) "
+        f"({total_commits / elapsed:.0f}/s), {args.readers} reader(s) took "
+        f"{total_reads} snapshot scan(s) ({total_reads / elapsed:.0f}/s) "
+        f"over {len(store)} object(s) in {elapsed:.2f}s"
+    )
+    if store.wal is not None and store.wal.sync_commits:
+        wal = store.wal
+        print(
+            f"group commit: {wal.fsyncs} fsync(s) for {wal.sync_commits} "
+            f"durable commit(s) — {wal.fsyncs / wal.sync_commits:.3f} "
+            "fsyncs/commit"
+        )
+    for exc in failures:
+        print(f"thread failed: {exc!r}", file=sys.stderr)
+    violations = store.check_all()
+    for violation in violations:
+        print(f"  {violation}", file=sys.stderr)
+    store.close()
+    if failures or violations:
+        return 1
+    print("all constraints hold")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -148,6 +286,12 @@ def main(argv: list[str] | None = None) -> int:
     recover.add_argument(
         "directory", help="durable store directory (snapshot.json + wal.jsonl)"
     )
+    recover.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when the log tail carries schema-change "
+        "records newer than the snapshot (schema drift)",
+    )
 
     snapshot = commands.add_parser(
         "snapshot",
@@ -158,10 +302,42 @@ def main(argv: list[str] | None = None) -> int:
         "directory", help="durable store directory (snapshot.json + wal.jsonl)"
     )
 
+    stress = commands.add_parser(
+        "stress",
+        help="hammer one store with concurrent writer and snapshot-reader "
+        "threads, then audit it",
+    )
+    stress.add_argument(
+        "--writers", type=int, default=2, help="writer threads (default 2)"
+    )
+    stress.add_argument(
+        "--readers", type=int, default=4,
+        help="snapshot-reader threads (default 4)",
+    )
+    stress.add_argument(
+        "--seconds", type=float, default=2.0,
+        help="how long to run (default 2)",
+    )
+    stress.add_argument(
+        "--objects", type=int, default=1_000,
+        help="store population (default 1000)",
+    )
+    stress.add_argument(
+        "--dir", default=None,
+        help="durable store directory (default: in-memory)",
+    )
+    stress.add_argument(
+        "--sync", action="store_true",
+        help="fsync at commit points (group commit; requires --dir)",
+    )
+
     args = parser.parse_args(argv)
 
     if args.command in ("recover", "snapshot"):
         return _run_durable_command(args)
+
+    if args.command == "stress":
+        return _run_stress(args)
 
     if args.command == "scaffold":
         from repro.fixtures.schemas import bookseller_source, cslibrary_source

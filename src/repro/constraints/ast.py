@@ -11,7 +11,7 @@ conversion) can traverse uniformly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 # Comparison operators and their negations/mirrors.

@@ -24,7 +24,6 @@ from repro.constraints.ast import (
     Comparison,
     FalseFormula,
     Implies,
-    Membership,
     Node,
     Not,
     Or,

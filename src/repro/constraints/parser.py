@@ -47,8 +47,6 @@ from repro.constraints.ast import (
     Path,
     Quantified,
     SetLiteral,
-    FALSE,
-    TRUE,
 )
 from repro.constraints.lexer import Token, TokenStream, tokenize
 

@@ -32,23 +32,18 @@ generated formulas within the fragment.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
 from repro.constraints.ast import (
-    Aggregate,
     BinaryOp,
     Comparison,
-    FunctionCall,
-    KeyConstraint,
     Literal,
     Membership,
     NamedConstant,
     Node,
     Not,
     Path,
-    Quantified,
     SetLiteral,
     TrueFormula,
     FalseFormula,

@@ -23,10 +23,16 @@ constraint of its TM schema.
 * :mod:`~repro.engine.transactions` — snapshot transactions with deferred,
   delta-driven constraint checking at commit;
 * :mod:`~repro.engine.wal` — durability: the append-only write-ahead log,
-  snapshot checkpoints, and crash recovery behind
-  :meth:`~repro.engine.store.ObjectStore.open`.
+  snapshot checkpoints, group commit (batched fsync), schema-change
+  records, and crash recovery behind
+  :meth:`~repro.engine.store.ObjectStore.open`;
+* :mod:`~repro.engine.concurrency` — concurrent serving: immutable
+  snapshot reads (multi-version history behind
+  :meth:`~repro.engine.store.ObjectStore.snapshot`) beside the store's
+  single writer.
 """
 
+from repro.engine.concurrency import ConcurrencyControl, Snapshot, SnapshotObject
 from repro.engine.objects import DBObject
 from repro.engine.store import ObjectStore
 from repro.engine.query import select
@@ -40,6 +46,9 @@ from repro.engine.indexes import IndexManager, KeyIndex, RunningAggregate
 from repro.engine.wal import WriteAheadLog
 
 __all__ = [
+    "ConcurrencyControl",
+    "Snapshot",
+    "SnapshotObject",
     "DBObject",
     "ObjectStore",
     "select",

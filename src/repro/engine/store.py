@@ -5,11 +5,13 @@ from __future__ import annotations
 import os
 import shutil
 import tempfile
+import threading
 import weakref
 from pathlib import Path
-from typing import Any, Callable, Iterable, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.constraints.evaluate import EvalContext
+from repro.engine.concurrency import ConcurrencyControl, Snapshot
 from repro.engine.indexes import IndexManager, oid_sort_key
 from repro.engine.objects import DBObject
 from repro.engine.wal import RecoveredImage, WriteAheadLog, load_image
@@ -60,6 +62,19 @@ class ObjectStore:
     ``REPRO_WAL`` environment toggle (a throwaway log under a temp
     directory, so an unmodified test suite exercises the write-through
     path); ``wal=False`` disables durability unconditionally.
+
+    **Concurrency.**  The store is safe under concurrent load: every
+    mutating operation (and every transaction, for its whole extent) runs
+    under one coarse reentrant writer lock, while readers call
+    :meth:`snapshot` for an immutable point-in-time view of the committed
+    store that never takes that lock (see
+    :mod:`repro.engine.concurrency`).  Durable ``sync=True`` commits
+    release the writer lock before waiting for their fsync, so concurrent
+    committers coalesce into one fsync per batch (group commit — see
+    :mod:`repro.engine.wal`).  Direct reads of the *live* store
+    (:meth:`extent`, :meth:`get`, iteration) are only safe from the writer
+    thread or quiesced stores; concurrent readers must go through
+    snapshots.
     """
 
     def __init__(
@@ -87,6 +102,19 @@ class ObjectStore:
         #: Undo log of the enclosing transaction (oid → pre-image);
         #: None outside transactions.
         self._undo: dict[str, tuple[DBObject, dict] | None] | None = None
+        #: Undo logs of *every* open transaction level, outermost first —
+        #: ``_undo`` is its last element while a transaction is open.  Lets
+        #: a same-thread :meth:`snapshot` reconstruct the committed state
+        #: from under a nested transaction.
+        self._undo_stack: list[dict] = []
+        #: Coarse writer lock: one mutator (or transaction) at a time.
+        #: Reentrant, so transactions hold it across their operations.
+        self._lock = threading.RLock()
+        #: Snapshot-read machinery; inert until the first snapshot() call.
+        self._concurrency = ConcurrencyControl(self)
+        #: The image the store was recovered from; ``None`` for fresh
+        #: stores.  Carries schema-drift diagnostics for the CLI.
+        self._recovery_info: RecoveredImage | None = None
         #: (class, attribute) → declared type, for the dereferencing hot
         #: path.  Safe to cache for the store's lifetime: an attribute's
         #: type cannot be redeclared once the class exists, and states are
@@ -191,6 +219,17 @@ class ObjectStore:
         All effective attributes must be provided; values are type-checked
         (with safe coercions such as int→real applied).
         """
+        with self._lock:
+            obj, ticket = self._insert_locked(class_name, state, kwargs)
+        self._await_durability(ticket)
+        return obj
+
+    def _insert_locked(
+        self,
+        class_name: str,
+        state: Mapping[str, Any] | None,
+        kwargs: Mapping[str, Any],
+    ) -> tuple[DBObject, "int | None"]:
         if class_name not in self.schema.classes:
             raise UnknownClassError(
                 f"no class {class_name!r} in database {self.schema.name}"
@@ -222,14 +261,26 @@ class ObjectStore:
                 self._indexes.on_delete(obj)
             raise
         # Write-through only after the insert is accepted: a rejected
-        # operation must leave no trace in the log either.
+        # operation must leave no trace in the log either.  Publication
+        # precedes the flush/checkpoint step: the in-memory commit stands
+        # even if durability raises, so snapshots must not skip it.
+        self._publish_commit(((obj.oid, obj.class_name, obj.state),))
+        ticket = None
         if self._wal is not None:
             self._wal.log_insert(obj)
-            self._wal_commit_point()
-        return obj
+            ticket = self._wal_commit_point()
+        return obj, ticket
 
     def update(self, target: DBObject | str, **changes: Any) -> DBObject:
         """Change attribute values of an existing object."""
+        with self._lock:
+            obj, ticket = self._update_locked(target, changes)
+        self._await_durability(ticket)
+        return obj
+
+    def _update_locked(
+        self, target: DBObject | str, changes: Mapping[str, Any]
+    ) -> tuple[DBObject, "int | None"]:
         obj = self.get(target.oid if isinstance(target, DBObject) else target)
         unknown = set(changes) - set(self.schema.effective_attributes(obj.class_name))
         if unknown:
@@ -253,16 +304,23 @@ class ObjectStore:
             if self._indexes is not None:
                 self._indexes.on_update(obj, checked, old_state)
             raise
+        self._publish_commit(((obj.oid, obj.class_name, obj.state),))
+        ticket = None
         if self._wal is not None:
             self._wal.log_update(obj)
-            self._wal_commit_point()
-        return obj
+            ticket = self._wal_commit_point()
+        return obj, ticket
 
     def delete(self, target: DBObject | str) -> None:
         """Remove an object, re-checking the constraints the removal can
         invalidate (database constraints, and — on incremental stores —
         aggregate/key class constraints over the shrunk extent and object
         constraints that referenced the removed object)."""
+        with self._lock:
+            ticket = self._delete_locked(target)
+        self._await_durability(ticket)
+
+    def _delete_locked(self, target: DBObject | str) -> "int | None":
         obj = self.get(target.oid if isinstance(target, DBObject) else target)
         self._log_undo(obj.oid, (obj, obj.state))
         del self._objects[obj.oid]
@@ -288,9 +346,12 @@ class ObjectStore:
                 self._indexes.on_insert(obj)
             self._restore_object_order()
             raise
+        self._publish_commit(((obj.oid, obj.class_name, None),))
+        ticket = None
         if self._wal is not None:
             self._wal.log_delete(obj.oid)
-            self._wal_commit_point()
+            ticket = self._wal_commit_point()
+        return ticket
 
     # -- type checking -----------------------------------------------------------------
 
@@ -556,6 +617,12 @@ class ObjectStore:
             )
         if schema is None:
             schema = parse_database(image.schema_source)
+            # Constant rebinds replayed from post-checkpoint schema-change
+            # records; a full-schema record already folded them into the
+            # re-parsed source (callers overriding ``schema`` own the whole
+            # schema, replayed changes included).
+            for name, value in image.constants:
+                schema.set_constant(name, value)
         store = cls(
             schema,
             enforce=enforce,
@@ -565,6 +632,11 @@ class ObjectStore:
         )
         store._load_image(image)
         wal.resume(image)
+        # Keep the image as diagnostics (replay counts, schema drift) but
+        # drop its O(store) contents list: the store must not pin every
+        # recovery-time state dict for its whole lifetime.
+        image.objects = []
+        store._recovery_info = image
         store._wal = wal
         if verify:
             violations = store.audit()
@@ -596,36 +668,153 @@ class ObjectStore:
         Amortizes recovery: replay restarts from the snapshot instead of
         the history's beginning.  Only callable outside transactions — a
         snapshot must never capture uncommitted state."""
-        if self._wal is None:
-            raise EngineError("store has no write-ahead log attached")
-        if self._deferred:
-            raise EngineError("cannot checkpoint inside a transaction")
-        from repro.tm.printer import schema_to_source
+        with self._lock:
+            if self._wal is None:
+                raise EngineError("store has no write-ahead log attached")
+            if self._deferred:
+                raise EngineError("cannot checkpoint inside a transaction")
+            from repro.tm.printer import schema_to_source
 
-        self._wal.write_snapshot(
-            schema_to_source(self.schema),
-            self.schema.name,
-            (
-                (obj.oid, obj.class_name, obj.state)
-                for obj in self._objects.values()
-            ),
-            self._oid_seq,
-        )
+            self._wal.write_snapshot(
+                schema_to_source(self.schema),
+                self.schema.name,
+                (
+                    (obj.oid, obj.class_name, obj.state)
+                    for obj in self._objects.values()
+                ),
+                self._oid_seq,
+            )
 
     def close(self) -> None:
         """Flush and release the write-ahead log (no-op when in-memory)."""
-        if self._wal is not None:
-            self._wal.close()
+        with self._lock:
+            if self._wal is not None:
+                self._wal.close()
 
-    def _wal_commit_point(self) -> None:
+    def _wal_commit_point(self) -> "int | None":
         """After a logged mutation: outside transactions the record is an
         auto-commit, so flush it and give the checkpoint policy a chance;
-        inside one, the commit/abort marker is the flush point."""
+        inside one, the commit/abort marker is the flush point.
+
+        Returns the group-commit durability ticket to redeem *after* the
+        writer lock is released (``None`` when no fsync is owed)."""
         if self._deferred:
+            return None
+        ticket = self._wal.commit_flush()
+        try:
+            if self._wal.should_checkpoint():
+                self.checkpoint()
+        except BaseException:
+            # The commit itself is flushed and accepted; release the
+            # unredeemed ticket so group-commit accounting stays balanced.
+            self._wal.abandon_ticket(ticket)
+            raise
+        return ticket
+
+    def _await_durability(self, ticket: "int | None") -> None:
+        """Redeem a group-commit ticket.  Called with the writer lock
+        released, so concurrent committers batch into one fsync."""
+        if ticket is not None and self._wal is not None:
+            self._wal.wait_durable(ticket)
+
+    def set_constant(self, name: str, value: Any) -> None:
+        """Rebind a schema constant *through the store*.
+
+        Equivalent to ``store.schema.set_constant`` for in-memory stores,
+        but durable: the rebind is logged as a schema-change record, so
+        recovery re-applies it even when it postdates the last checkpoint.
+        Refused inside a transaction (rollback does not undo schema
+        changes, so the log must not bracket them).  Like a direct schema
+        mutation, it does not re-audit eagerly — the next mutation notices
+        the fingerprint change and falls back to full revalidation.
+        """
+        with self._lock:
+            if self._deferred:
+                raise EngineError(
+                    "cannot rebind a schema constant inside a transaction"
+                )
+            self.schema.set_constant(name, value)
+            ticket = None
+            if self._wal is not None:
+                self._wal.log_set_constant(name, value)
+                ticket = self._wal_commit_point()
+        self._await_durability(ticket)
+
+    def log_schema_change(self) -> None:
+        """Record the *current* schema in the write-ahead log.
+
+        Call after mutating the schema in place (added classes or
+        constraints, conformation-style rebinds): the re-printed source is
+        logged as a full schema record, so recovery replays the change
+        instead of resurrecting the checkpoint's stale schema.  No-op for
+        in-memory stores; refused inside a transaction.
+        """
+        with self._lock:
+            if self._wal is None:
+                return
+            if self._deferred:
+                raise EngineError(
+                    "cannot log a schema change inside a transaction"
+                )
+            from repro.tm.printer import schema_to_source
+
+            self._wal.log_schema(schema_to_source(self.schema))
+            ticket = self._wal_commit_point()
+        self._await_durability(ticket)
+
+    @property
+    def recovery_info(self) -> "RecoveredImage | None":
+        """Diagnostics of the recovery this store was opened from
+        (``None`` for fresh stores) — replay counts, torn-tail flag, and
+        whether post-checkpoint schema records drifted the schema past the
+        snapshot's digest.  Its ``objects`` list is emptied once adopted:
+        only the scalar diagnostics are retained."""
+        return self._recovery_info
+
+    # -- concurrency --------------------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """An immutable point-in-time view of the committed store.
+
+        Safe to take and read from any thread while writers keep
+        committing; acquisition is O(1) and lock-free once the snapshot
+        machinery is active (the first call activates it under the writer
+        lock — O(store), once).  A snapshot never observes uncommitted
+        state: taken mid-transaction — even from the writing thread — it
+        sees the committed pre-state.  See :mod:`repro.engine.concurrency`.
+        """
+        control = self._concurrency
+        if not control.active:
+            with self._lock:
+                control.activate(self._committed_view())
+        return control.snapshot()
+
+    def _committed_view(self) -> list[tuple[str, str, Mapping[str, Any]]]:
+        """The committed contents (called under the writer lock): the live
+        objects, patched back to their pre-images through every open
+        transaction level, innermost first so outermost pre-images win."""
+        view: dict[str, tuple[str, Mapping[str, Any]]] = {
+            oid: (obj.class_name, obj.state)
+            for oid, obj in self._objects.items()
+        }
+        for undo in reversed(self._undo_stack):
+            for oid, entry in undo.items():
+                if entry is None:
+                    view.pop(oid, None)
+                else:
+                    obj, state = entry
+                    view[oid] = (obj.class_name, state)
+        return [(oid, cls, state) for oid, (cls, state) in view.items()]
+
+    def _publish_commit(
+        self, changes: Iterable[tuple[str, str, "Mapping[str, Any] | None"]]
+    ) -> None:
+        """Thread a committed change set into the snapshot history (no-op
+        inside transactions — the outermost commit publishes — and until a
+        first snapshot activates the machinery)."""
+        if self._deferred or not self._concurrency.active:
             return
-        self._wal.operation_committed()
-        if self._wal.should_checkpoint():
-            self.checkpoint()
+        self._concurrency.publish(changes)
 
     # -- transactions -------------------------------------------------------------------
 

@@ -37,6 +37,15 @@ On durable stores each transaction also brackets the write-ahead log:
 ``commit`` or ``abort`` at exit.  Recovery applies an operation only once
 every enclosing bracket committed, mirroring the undo-log merge exactly
 (:mod:`repro.engine.wal`).
+
+Concurrency: a transaction holds the store's coarse writer lock for its
+whole extent (entry to exit), so there is exactly one writer at a time and
+no reader of the *live* store can interleave with a half-applied
+transaction.  Concurrent readers go through ``store.snapshot()`` instead,
+which never takes the lock; the outermost commit publishes its touched set
+to the snapshot history before releasing.  On ``sync=True`` durable stores
+the commit's fsync is awaited *after* the lock is released, so concurrent
+committers coalesce into one fsync (group commit).
 """
 
 from __future__ import annotations
@@ -58,38 +67,72 @@ class Transaction:
         self._outer_undo: dict | None = None
         self._outer_delta = None
         self._delta_mark = None
+        #: Durability ticket of this transaction's abort marker, when an
+        #: exit path raised after flushing one; redeemed best-effort.
+        self._abort_ticket: "int | None" = None
 
     def __enter__(self) -> "Transaction":
         store = self.store
-        self._was_deferred = store._deferred
-        store._deferred = True
-        self._outer_undo = store._undo
-        store._undo = {}
-        if store._wal is not None:
-            # Open a log bracket; the marker itself is written lazily, with
-            # the transaction's first logged operation.
-            store._wal.begin()
-        if self._was_deferred:
-            # Nested: keep accumulating into the outer delta, but remember
-            # where we came in so a rollback can discard our contribution.
-            self._delta_mark = (
-                store._delta.copy() if store._delta is not None else None
-            )
-        else:
-            self._outer_delta = store._delta
-            from repro.engine.incremental import MutationDelta
+        # The writer lock is held from here until __exit__ returns: the
+        # transaction IS the writer for its whole extent.
+        store._lock.acquire()
+        try:
+            self._was_deferred = store._deferred
+            store._deferred = True
+            self._outer_undo = store._undo
+            store._undo = {}
+            store._undo_stack.append(store._undo)
+            if store._wal is not None:
+                # Open a log bracket; the marker itself is written lazily,
+                # with the transaction's first logged operation.
+                store._wal.begin()
+            if self._was_deferred:
+                # Nested: keep accumulating into the outer delta, but
+                # remember where we came in so a rollback can discard our
+                # contribution.
+                self._delta_mark = (
+                    store._delta.copy() if store._delta is not None else None
+                )
+            else:
+                self._outer_delta = store._delta
+                from repro.engine.incremental import MutationDelta
 
-            store._delta = MutationDelta()
+                store._delta = MutationDelta()
+        except BaseException:
+            store._lock.release()
+            raise
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         store = self.store
+        ticket = None
+        try:
+            ticket = self._exit_locked(exc_type)
+        finally:
+            store._lock.release()
+            if self._abort_ticket is not None:
+                # A raising exit path (commit-time violation) flushed an
+                # abort marker: redeem its ticket best-effort — recovery
+                # discards open and aborted brackets alike, so a failed
+                # fsync here must not mask the propagating violation.
+                try:
+                    store._await_durability(self._abort_ticket)
+                except Exception:
+                    pass
+        # The fsync wait happens with the writer lock released, so other
+        # committers can append behind us and share one fsync.
+        store._await_durability(ticket)
+        return False
+
+    def _exit_locked(self, exc_type) -> "int | None":
+        store = self.store
         store._deferred = self._was_deferred
+        store._undo_stack.pop()
         if exc_type is not None:
             self._rollback()
             if store._wal is not None:
-                store._wal.abort_transaction()
-            return False
+                return store._wal.abort_transaction()
+            return None
         undo = store._undo
         if self._was_deferred:
             # Inner commit: the outermost transaction validates.  Merge the
@@ -103,7 +146,7 @@ class Transaction:
                 # Close the log bracket; recovery merges our operations
                 # into the enclosing transaction's buffer the same way.
                 store._wal.commit_transaction()
-            return False
+            return None
         store._undo = self._outer_undo
         delta = store._delta
         store._delta = self._outer_delta
@@ -112,7 +155,7 @@ class Transaction:
             if violations:
                 self._apply_undo(undo)
                 if store._wal is not None:
-                    store._wal.abort_transaction()
+                    self._abort_ticket = store._wal.abort_transaction()
                 raise ConstraintViolation(
                     "transaction",
                     "; ".join(
@@ -120,11 +163,40 @@ class Transaction:
                     ),
                     violations=violations,
                 )
+        # Publication precedes the log flush/checkpoint: the in-memory
+        # commit stands even if durability raises below, so snapshots must
+        # not skip it.
+        self._publish(undo)
+        ticket = None
         if store._wal is not None:
-            store._wal.commit_transaction()
-            if store._wal.should_checkpoint():
-                store.checkpoint()
-        return False
+            ticket = store._wal.commit_transaction()
+            try:
+                if store._wal.should_checkpoint():
+                    store.checkpoint()
+            except BaseException:
+                # The commit is flushed and accepted; release the
+                # unredeemed ticket so close() cannot wait on it forever.
+                store._wal.abandon_ticket(ticket)
+                raise
+        return ticket
+
+    def _publish(self, undo: dict) -> None:
+        """Thread the committed touched set into the snapshot history: the
+        post-state of every object the transaction touched (tombstones for
+        deletions), read off the live store under the still-held lock."""
+        store = self.store
+        if not store._concurrency.active or not undo:
+            return
+        changes = []
+        for oid, entry in undo.items():
+            obj = store._objects.get(oid)
+            if obj is not None:
+                changes.append((oid, obj.class_name, obj.state))
+            elif entry is not None:
+                changes.append((oid, entry[0].class_name, None))
+            # entry None + object gone: inserted and deleted inside the
+            # transaction — no committed version ever existed.
+        store._publish_commit(changes)
 
     def _validate(self, delta) -> list:
         """Commit-time validation: delta-driven when possible, full otherwise.

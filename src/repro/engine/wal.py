@@ -20,6 +20,33 @@ a directory holding two files:
       {"n": lsn, "t": "begin",  "x": txid}
       {"n": lsn, "t": "commit", "x": txid}
       {"n": lsn, "t": "abort",  "x": txid}
+      {"n": lsn, "t": "set_constant", "name": ..., "value": ...}
+      {"n": lsn, "t": "schema", "source": ...}
+
+Schema-change records
+---------------------
+
+A checkpoint snapshot captures the schema, but the schema can *move* after
+the checkpoint — ``set_constant`` retunes a constant the constraints read,
+and conformation-style surgery rebinds whole constraint sets.  Without log
+records those mutations silently vanished on recovery.  The store now logs
+them (:meth:`~repro.engine.store.ObjectStore.set_constant` writes a compact
+``set_constant`` record; :meth:`~repro.engine.store.ObjectStore.log_schema_change`
+re-prints the whole schema into a ``schema`` record), and recovery replays
+them: a ``schema`` record swaps the schema source wholesale (and clears any
+earlier constant records — the re-printed source already embeds them), a
+``set_constant`` record is applied to whatever schema is current after the
+replay.  Unlike data operations, schema records are applied *regardless of
+transaction brackets*: an in-memory schema change survives a data rollback,
+so replay mirrors that (the store refuses to log them inside a transaction
+to keep the two sides trivially aligned).
+
+The snapshot additionally stores a stable digest of its schema surface
+(``schema_digest``).  When the replayed tail moves the schema past that
+digest, recovery flags ``schema_drift`` — ``repro recover`` warns (and
+exits non-zero under ``--strict``) that the snapshot no longer describes
+the schema the store actually runs, until a fresh checkpoint folds the
+change in.
 
 Transactional exactness
 -----------------------
@@ -52,16 +79,36 @@ so no committed transaction ever straddles a snapshot boundary.  The store
 triggers one automatically every ``checkpoint_every`` log records (see
 :meth:`WriteAheadLog.should_checkpoint`).
 
+Group commit
+------------
+
+``sync=True`` makes every commit point durable against power loss with an
+``fsync``.  Under concurrent committers that cost is amortized by **group
+commit**: the commit point splits into :meth:`WriteAheadLog.commit_flush`
+(buffer flush + durability ticket, called under the store's writer lock)
+and :meth:`WriteAheadLog.wait_durable` (called *after* the writer lock is
+released).  The first waiter becomes the fsync leader; committers arriving
+while the leader syncs — or during the short batching window the leader
+adds once it has seen concurrent committers — are covered by the same
+fsync and return without issuing their own.  One fsync thus retires many
+commits (the ``fsyncs``/``sync_commits`` counters expose the ratio), while
+a lone committer keeps the exact pre-group-commit latency: no concurrent
+ticket, no window, immediate fsync.
+
 Single-writer: a durable directory must be attached to at most one live
-store at a time; nothing locks it.
+store at a time (the owning store's writer lock serializes appends);
+nothing locks the directory itself against other processes.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import threading
+import time
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Mapping, TYPE_CHECKING
 
@@ -76,6 +123,19 @@ LOG_NAME = "wal.jsonl"
 SNAPSHOT_FORMAT = 1
 
 _OPS = ("insert", "update", "delete")
+
+
+def schema_digest(schema_source: str, constants: Iterable[tuple[str, Any]] = ()) -> str:
+    """A stable (cross-process) digest of a schema surface.
+
+    ``DatabaseSchema.fingerprint`` hashes Python objects and is salted per
+    interpreter, so snapshots store this digest instead: the re-printed
+    schema source, plus any constant rebinds replayed on top of it.
+    """
+    hasher = hashlib.sha256(schema_source.encode("utf-8"))
+    for name, value in constants:
+        hasher.update(f"\x00{name}={encode_value(value)!r}".encode("utf-8"))
+    return hasher.hexdigest()
 
 
 # ---------------------------------------------------------------------------
@@ -220,6 +280,15 @@ class RecoveredImage:
     discarded: int
     #: True when the log ended in a torn or corrupt line.
     torn: bool
+    #: Constant rebinds replayed from post-snapshot ``set_constant``
+    #: records, in log order, to apply after parsing ``schema_source``.
+    constants: list[tuple[str, Any]] = field(default_factory=list)
+    #: Schema-affecting records replayed from the log tail.
+    schema_changes: int = 0
+    #: True when the replayed tail moved the schema past the snapshot's
+    #: recorded digest — the snapshot no longer describes the running
+    #: schema until the next checkpoint.
+    schema_drift: bool = False
 
 
 def load_image(path: str | Path) -> RecoveredImage | None:
@@ -257,6 +326,10 @@ def load_image(path: str | Path) -> RecoveredImage | None:
         objects[oid] = (class_name, decode_state(state))
         counter = max(counter, oid_counter(oid, 0))
     start_lsn = int(snapshot.get("next_lsn", 0))
+    schema_source = snapshot.get("schema", "")
+    baseline_digest = snapshot.get("schema_digest") or schema_digest(schema_source)
+    constants: list[tuple[str, Any]] = []
+    schema_changes = 0
 
     records: list[dict] = []
     valid_bytes = 0
@@ -325,6 +398,18 @@ def load_image(path: str | Path) -> RecoveredImage | None:
             else:
                 apply(record)
                 replayed += 1
+        elif kind == "set_constant":
+            # Schema records are non-transactional: an in-memory schema
+            # change survives a data rollback, so replay applies them
+            # outside the bracket machinery.
+            constants.append((record["name"], decode_value(record["value"])))
+            schema_changes += 1
+        elif kind == "schema":
+            # A full re-print supersedes the source *and* any earlier
+            # constant records — the printed source embeds the constants.
+            schema_source = record["source"]
+            constants = []
+            schema_changes += 1
         # unknown record kinds are skipped: forward compatibility
         kept += 1
     if open_brackets:
@@ -333,8 +418,9 @@ def load_image(path: str | Path) -> RecoveredImage | None:
             valid_bytes = tail_offset
             kept = tail_kept
 
+    final_digest = schema_digest(schema_source, constants)
     return RecoveredImage(
-        schema_source=snapshot.get("schema", ""),
+        schema_source=schema_source,
         database=snapshot.get("database", ""),
         objects=[(oid, cls, state) for oid, (cls, state) in objects.items()],
         counter=counter,
@@ -344,6 +430,9 @@ def load_image(path: str | Path) -> RecoveredImage | None:
         replayed=replayed,
         discarded=discarded,
         torn=torn,
+        constants=constants,
+        schema_changes=schema_changes,
+        schema_drift=schema_changes > 0 and final_digest != baseline_digest,
     )
 
 
@@ -366,6 +455,12 @@ class WriteAheadLog:
     the default flushes Python's buffer at commit points, which survives a
     process crash but not a kernel one.  ``checkpoint_every`` is the
     auto-checkpoint threshold in log records (0 disables).
+
+    Under concurrent committers, ``sync=True`` commits coalesce through
+    group commit (see the module docstring): ``group_window`` is the short
+    wait the fsync leader adds while the system is under concurrent commit
+    load, letting more committers flush before the single fsync that
+    covers them all.  It never delays a lone committer.
     """
 
     def __init__(
@@ -373,16 +468,35 @@ class WriteAheadLog:
         path: str | Path,
         sync: bool = False,
         checkpoint_every: int = 10_000,
+        group_window: float = 0.001,
     ):
         self.path = Path(path)
         self.sync = sync
         self.checkpoint_every = checkpoint_every
+        self.group_window = group_window
         self._handle = None
         self._next_lsn = 0
         #: Open transaction brackets: ``{"id": txid, "written": bool}``.
         self._transactions: list[dict] = []
         self._txid = 0
         self._records_since_snapshot = 0
+        # -- group commit state (guarded by ``_sync_cond``'s lock) ---------
+        self._sync_cond = threading.Condition()
+        #: Highest LSN known flushed to the OS (updated at commit_flush,
+        #: i.e. under the store's writer lock; read by the fsync leader).
+        self._flushed_lsn = 0
+        #: Highest LSN covered by an fsync.
+        self._synced_lsn = 0
+        #: True while a leader is inside os.fsync.
+        self._syncing = False
+        #: Committers between ticket issue and durability.
+        self._pending_syncs = 0
+        #: Monotonic deadline: while now < deadline the system counts as
+        #: under concurrent commit load and leaders apply the window.
+        self._group_load_until = 0.0
+        #: Telemetry: fsyncs issued by the group path / sync commit points.
+        self.fsyncs = 0
+        self.sync_commits = 0
 
     @property
     def snapshot_path(self) -> Path:
@@ -436,6 +550,14 @@ class WriteAheadLog:
         self._commit_point()
 
     def close(self) -> None:
+        # Drain in-flight group commits first: a leader mid-fsync (or a
+        # ticket holder about to become one) must not race the handle
+        # teardown.  New tickets cannot be issued meanwhile — the owning
+        # store calls close() under its writer lock, which commit_flush
+        # also requires.
+        with self._sync_cond:
+            while self._syncing or self._pending_syncs > 0:
+                self._sync_cond.wait()
         if self._handle is not None:
             self._handle.flush()
             self._handle.close()
@@ -455,11 +577,112 @@ class WriteAheadLog:
         self._records_since_snapshot += 1
 
     def _commit_point(self) -> None:
+        ticket = self.commit_flush()
+        if ticket is not None:
+            self.wait_durable(ticket)
+
+    # -- group commit ------------------------------------------------------------
+
+    def commit_flush(self) -> int | None:
+        """First half of a commit point: flush the buffer to the OS and,
+        in ``sync`` mode, issue a durability ticket.
+
+        Must run under the store's writer lock (it touches the buffered
+        handle).  The returned ticket is redeemed with :meth:`wait_durable`
+        *after* the lock is released, so other committers can append while
+        this one waits — that overlap is what group commit batches.
+        Returns ``None`` when no fsync is owed (non-sync mode, or nothing
+        written yet).
+        """
         if self._handle is None:
-            return
+            return None
         self._handle.flush()
-        if self.sync:
-            os.fsync(self._handle.fileno())
+        if not self.sync:
+            return None
+        ticket = self._next_lsn
+        with self._sync_cond:
+            self._flushed_lsn = max(self._flushed_lsn, ticket)
+            self.sync_commits += 1
+            # The ticket is outstanding from *issue*, not from the wait:
+            # close()'s drain must cover a committer preempted between
+            # releasing the writer lock and redeeming its ticket.
+            self._pending_syncs += 1
+            if self._pending_syncs > 1:
+                # Two committers in flight at once: flag concurrent load
+                # for a while, so leaders batch even when the committers
+                # alternate rather than overlap exactly.
+                self._group_load_until = time.monotonic() + 0.05
+        return ticket
+
+    def abandon_ticket(self, ticket: "int | None") -> None:
+        """Release an issued ticket without waiting for durability (the
+        commit path failed after the flush).  Keeps the outstanding count
+        balanced so :meth:`close` cannot wait forever."""
+        if ticket is None:
+            return
+        with self._sync_cond:
+            self._pending_syncs -= 1
+            if self._pending_syncs == 0:
+                self._sync_cond.notify_all()
+
+    def wait_durable(self, ticket: int) -> None:
+        """Block until every record with ``lsn < ticket`` is fsynced.
+
+        The first waiter becomes the leader: it (optionally) waits out the
+        batching window, issues one fsync, and wakes everyone it covered.
+        Later waiters piggyback.  Callers must not hold locks an fsync
+        leader could need — the store releases its writer lock first.
+
+        A failed fsync raises for the leader and leaves ``_synced_lsn``
+        untouched, so piggybacking waiters do not report durability the
+        disk never provided: each retries as leader and surfaces the error
+        itself.
+        """
+        try:
+            while True:
+                with self._sync_cond:
+                    if self._synced_lsn >= ticket:
+                        return
+                    if self._syncing:
+                        self._sync_cond.wait()
+                        continue
+                    self._syncing = True
+                    under_load = time.monotonic() < self._group_load_until
+                # -- leader, outside the condition lock --------------------
+                synced = False
+                try:
+                    if under_load and self.group_window > 0:
+                        # Let concurrently running committers reach their
+                        # commit_flush; one fsync will cover them all.
+                        time.sleep(self.group_window)
+                    with self._sync_cond:
+                        cover = self._flushed_lsn
+                    handle = self._handle
+                    if handle is None:
+                        # Only possible when the log was torn down under
+                        # an unredeemed ticket; never claim durability the
+                        # disk cannot provide any more.
+                        raise EngineError(
+                            "write-ahead log closed while a durable commit "
+                            "was waiting for its fsync"
+                        )
+                    os.fsync(handle.fileno())
+                    self.fsyncs += 1
+                    synced = True
+                finally:
+                    with self._sync_cond:
+                        self._syncing = False
+                        if synced:
+                            # Only a completed fsync advances durability;
+                            # a failure wakes the waiters to retry (and
+                            # surface the error) as leaders themselves.
+                            self._synced_lsn = max(self._synced_lsn, cover)
+                        self._sync_cond.notify_all()
+        finally:
+            with self._sync_cond:
+                self._pending_syncs -= 1
+                if self._pending_syncs == 0:
+                    self._sync_cond.notify_all()
 
     def log_insert(self, obj: "DBObject") -> None:
         self._log_operation(
@@ -480,13 +703,31 @@ class WriteAheadLog:
     def log_delete(self, oid: str) -> None:
         self._log_operation({"t": "delete", "oid": oid})
 
+    def log_set_constant(self, name: str, value: Any) -> None:
+        """Schema-change record: a constant rebind.  Non-transactional —
+        refuse inside an open bracket (a data rollback would not undo the
+        in-memory schema change, so the log must not bracket it either)."""
+        self._log_schema_record(
+            {"t": "set_constant", "name": name, "value": encode_value(value)}
+        )
+
+    def log_schema(self, schema_source: str) -> None:
+        """Schema-change record: a full schema re-print, superseding the
+        snapshot's source (and any earlier constant records) on replay."""
+        self._log_schema_record({"t": "schema", "source": schema_source})
+
+    def _log_schema_record(self, record: dict) -> None:
+        if self._transactions:
+            raise EngineError(
+                "schema changes cannot be logged inside a transaction: "
+                "rollback does not undo them, so the log must not bracket "
+                "them (commit or abort first)"
+            )
+        self._append(record)
+
     def _log_operation(self, record: dict) -> None:
         self._materialize_begins()
         self._append(record)
-
-    def operation_committed(self) -> None:
-        """Flush point for an auto-committed (non-transactional) mutation."""
-        self._commit_point()
 
     # -- transaction brackets ----------------------------------------------------
 
@@ -501,25 +742,30 @@ class WriteAheadLog:
                 self._append({"t": "begin", "x": transaction["id"]})
                 transaction["written"] = True
 
-    def commit_transaction(self) -> None:
+    def commit_transaction(self) -> "int | None":
+        """Close the current bracket; for an outermost commit, flush and
+        return the group-commit durability ticket (redeem with
+        :meth:`wait_durable` once locks are released)."""
         if not self._transactions:
-            return
+            return None
         transaction = self._transactions.pop()
         if transaction["written"]:
             self._append({"t": "commit", "x": transaction["id"]})
             if not self._transactions:
-                self._commit_point()
+                return self.commit_flush()
+        return None
 
-    def abort_transaction(self) -> None:
+    def abort_transaction(self) -> "int | None":
         if not self._transactions:
-            return
+            return None
         transaction = self._transactions.pop()
         if transaction["written"]:
             self._append({"t": "abort", "x": transaction["id"]})
             if not self._transactions:
                 # Flush aborts too: recovery must not mistake the rolled-back
                 # tail for a crash-opened bracket of a *later* session.
-                self._commit_point()
+                return self.commit_flush()
+        return None
 
     @property
     def in_transaction(self) -> bool:
@@ -564,6 +810,7 @@ class WriteAheadLog:
             "format": SNAPSHOT_FORMAT,
             "database": database,
             "schema": schema_source,
+            "schema_digest": schema_digest(schema_source),
             "counter": counter,
             "next_lsn": self._next_lsn,
             "objects": [

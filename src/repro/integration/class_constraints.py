@@ -29,7 +29,7 @@ from repro.constraints.model import Constraint, ConstraintKind
 from repro.constraints.normalize import split_conjunction
 from repro.integration.conformation import ConformationResult
 from repro.integration.derivation import GlobalConstraint
-from repro.integration.relationships import RelationshipKind, Side
+from repro.integration.relationships import Side
 from repro.integration.rules import ComparisonRule
 from repro.integration.spec import IntegrationSpecification
 

@@ -17,7 +17,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.constraints.model import Constraint
 from repro.integration.rules import ComparisonRule

@@ -31,10 +31,10 @@ from typing import Any
 from repro.constraints.model import Constraint
 from repro.engine.store import ObjectStore
 from repro.errors import ConformationError
-from repro.integration.conversion import ConversionFunction, IdentityConversion
+from repro.integration.conversion import ConversionFunction
 from repro.integration.decision import DecisionFunction
 from repro.integration.propeq import PropertyEquivalence
-from repro.integration.relationships import RelationshipKind, Side
+from repro.integration.relationships import Side
 from repro.integration.rules import ComparisonRule
 from repro.integration.spec import IntegrationSpecification
 from repro.tm.schema import Attribute, ClassDef, DatabaseSchema

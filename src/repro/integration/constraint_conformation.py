@@ -43,7 +43,7 @@ from repro.constraints.ast import (
     Quantified,
     paths_in,
 )
-from repro.constraints.model import Constraint, ConstraintKind
+from repro.constraints.model import Constraint
 from repro.errors import ConformationError
 from repro.integration._rewrite import convert_domains, map_paths, rename_attributes
 from repro.integration.conformation import ConformedDatabase, Hiding, Relocation
@@ -409,7 +409,6 @@ def _conform_database_constraint(
         )
         return
     bindings = {node.var: node.class_name for node in quantified}
-    schema = conformed.original_schema
 
     def rewrite(path: Path) -> Path:
         if path.parts[0] in bindings:

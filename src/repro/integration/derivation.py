@@ -50,12 +50,11 @@ from repro.constraints.ast import (
     disjoin,
     paths_in,
 )
-from repro.constraints.model import Constraint, ConstraintKind
+from repro.constraints.model import Constraint
 from repro.constraints.normalize import split_conjunction
 from repro.constraints.printer import to_source
 from repro.constraints.solver import Solver, TypeEnvironment
 from repro.domains.combine import combine_pointwise
-from repro.domains.typed import type_to_valueset
 from repro.domains.valueset import TopSet, ValueSet
 from repro.errors import SolverError
 from repro.integration.conflicts import (
@@ -65,7 +64,7 @@ from repro.integration.conflicts import (
 )
 from repro.integration.conformation import ConformationResult, ConformedPropeq
 from repro.integration.decision import DecisionCategory
-from repro.integration.relationships import RelationshipKind, Side
+from repro.integration.relationships import Side
 from repro.integration.rule_checks import RuleCheckResult, domain_to_formula
 from repro.integration.rules import ComparisonRule
 from repro.integration.spec import IntegrationSpecification
@@ -643,7 +642,6 @@ class ConstraintDeriver:
         source_side = rule.source_side
         target_side = source_side.other
         target_class = rule.target_class
-        scope = self._qualified(target_side, target_class)
 
         # Ω: all object constraints of the target class except those the
         # designer declared subjective (value subjectivity plays no role for

@@ -19,7 +19,7 @@ from repro.constraints.evaluate import EvalContext, evaluate
 from repro.engine.objects import DBObject
 from repro.engine.store import ObjectStore
 from repro.errors import EvaluationError
-from repro.integration.relationships import RelationshipKind, Side
+from repro.integration.relationships import Side
 from repro.integration.rules import ComparisonRule
 from repro.integration.spec import IntegrationSpecification
 

@@ -14,7 +14,7 @@ predicates by pruning unsatisfiable disjuncts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.constraints.ast import Node, conjoin, disjoin
 from repro.constraints.normalize import to_dnf

@@ -17,11 +17,10 @@ This module turns each conflict into concrete, applicable suggestions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.constraints.ast import Node, conjoin
 from repro.constraints.printer import to_source
-from repro.errors import ConformationError
 from repro.integration._rewrite import map_paths
 from repro.integration.conflicts import (
     ExplicitConflict,
@@ -29,7 +28,6 @@ from repro.integration.conflicts import (
     SimilarityConflict,
 )
 from repro.integration.conformation import ConformationResult
-from repro.integration.relationships import Side
 from repro.integration.rules import ComparisonRule
 from repro.integration.spec import IntegrationSpecification
 

@@ -12,12 +12,11 @@ conjuncts into
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.constraints.ast import Node, Path, conjoin, paths_in, TRUE
 from repro.constraints.parser import parse_expression
 from repro.constraints.printer import to_source
-from repro.errors import SpecificationError
 from repro.integration.relationships import RelationshipKind, Side
 
 

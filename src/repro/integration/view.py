@@ -15,7 +15,6 @@ from repro.constraints.evaluate import EvalContext, evaluate
 from repro.constraints.parser import parse_expression
 from repro.errors import EvaluationError, IntegrationError
 from repro.integration.conformation import ConformationResult
-from repro.integration.relationships import Side
 from repro.integration.spec import IntegrationSpecification
 
 if TYPE_CHECKING:  # pragma: no cover

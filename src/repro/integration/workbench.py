@@ -24,9 +24,7 @@ which is what makes this the "design tool" the paper's conclusion calls for):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
 
-from repro.constraints.evaluate import EvaluationError
 from repro.engine.store import ObjectStore
 from repro.integration.class_constraints import (
     ClassConstraintReport,
@@ -46,7 +44,6 @@ from repro.integration.derivation import (
 from repro.integration.hierarchy import DerivedHierarchy, derive_hierarchy
 from repro.integration.matching import MatchResult, match_instances
 from repro.integration.merging import merge_instances
-from repro.integration.relationships import Side
 from repro.integration.resolution import (
     Suggestion,
     repair_similarity_rule,

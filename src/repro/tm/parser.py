@@ -276,7 +276,6 @@ class _SchemaParser:
         return " ".join(pieces)
 
     def _parse_database_constraints(self, schema: DatabaseSchema) -> None:
-        stream = self.stream
         self._expect_word("Database")
         self._expect_word("constraints")
         self._parse_labelled_constraints(None, schema, ConstraintKind.DATABASE)

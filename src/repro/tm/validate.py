@@ -20,7 +20,6 @@ from dataclasses import dataclass
 
 from repro.constraints.ast import (
     Aggregate,
-    Membership,
     NamedConstant,
     Node,
     Path,
