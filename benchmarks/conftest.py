@@ -54,6 +54,12 @@ def pytest_generate_tests(metafunc):
         # large case mainly sizes the recovery-throughput record).
         sizes = [1_000, 10_000] if quick else [1_000, 10_000, 100_000]
         metafunc.parametrize("e16_size", sizes)
+    if "e18_size" in metafunc.fixturenames:
+        # Explanation-cost record: tracing is free until a check fails, so
+        # both sizes of the 10³–10⁴ pair run even in --quick mode to hold
+        # the overhead gates.
+        sizes = [1_000, 10_000]
+        metafunc.parametrize("e18_size", sizes)
     if "e17_size" in metafunc.fixturenames:
         # Snapshot-reader throughput under a sustained writer; the
         # degradation gate holds at every size, so --quick keeps one.

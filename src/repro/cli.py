@@ -11,6 +11,8 @@ Usage::
     python -m repro recover STOREDIR   # recover a durable store, audit it
     python -m repro snapshot STOREDIR  # checkpoint: snapshot + compact log
     python -m repro stress --writers 2 --readers 4 --seconds 2
+    python -m repro explain STOREDIR   # minimal conflict cores for violations
+    python -m repro explain --demo     # cores for every violation class
 
 ``validate`` exits non-zero when the specification is inconsistent with the
 component constraints, so the workbench slots into CI pipelines.
@@ -26,6 +28,11 @@ committing transactions against one shared store while reader threads
 consume lock-free snapshots — with ``--dir``/``--sync`` the committers
 additionally demonstrate group commit (one fsync covering a batch of
 concurrent durable commits).
+``explain`` audits a durable store and prints a subset-minimal conflict
+core for every violation found — which objects, exactly, conflict with
+which constraint, with the binding chain that convicts each member
+(``--demo`` runs the same machinery on an in-memory store violating one
+constraint of every class: object, key, aggregate, referential).
 """
 
 from __future__ import annotations
@@ -125,6 +132,87 @@ def _run_durable_command(args: argparse.Namespace) -> int:
         return 1 if (drifted and getattr(args, "strict", False)) else 0
     finally:
         store.close()
+
+
+def _explain_demo_stores() -> "list[ObjectStore]":
+    """In-memory stores violating one constraint of every class the
+    evaluator distinguishes: object (``oc1``), membership (``oc2``), key
+    (``cc1``), aggregate (``cc2``) and the quantified referential database
+    constraint (``db1``)."""
+    from repro.fixtures import bookseller_schema, cslibrary_schema
+
+    library = ObjectStore(cslibrary_schema(), enforce=False)
+    common = dict(publisher="ACM", shopprice=50.0, ourprice=40.0)
+    library.insert("Publication", title="Duplicate A", isbn="X", **common)
+    library.insert("Publication", title="Duplicate B", isbn="X", **common)
+    library.insert(  # oc1: ourprice <= shopprice
+        "Publication", title="Overpriced", isbn="Y",
+        publisher="ACM", shopprice=50.0, ourprice=60.0,
+    )
+    library.insert(  # oc2: publisher in KNOWNPUBLISHERS
+        "Publication", title="Obscure", isbn="Z",
+        publisher="Nobody Press", shopprice=50.0, ourprice=40.0,
+    )
+    library.insert(  # cc2: sum over ourprice < MAX (MAX = 100000)
+        "Publication", title="Priceless", isbn="W",
+        publisher="ACM", shopprice=99999.0, ourprice=99999.0,
+    )
+
+    seller = ObjectStore(bookseller_schema(), enforce=False)
+    referenced = seller.insert("Publisher", name="Referenced", location="NY")
+    seller.insert("Publisher", name="Ghost", location="Nowhere")  # db1
+    seller.insert(
+        "Item", title="Book", isbn="1", publisher=referenced,
+        authors=frozenset({"a"}), shopprice=50.0, libprice=45.0,
+    )
+    return [library, seller]
+
+
+def _run_explain(args: argparse.Namespace) -> int:
+    """``explain``: subset-minimal conflict cores for a store's violations."""
+    if args.demo:
+        stores = _explain_demo_stores()
+    else:
+        if not args.directory:
+            raise SystemExit("repro: explain needs a store directory (or --demo)")
+        try:
+            store = ObjectStore.open(args.directory, verify=False)
+        except ReproError as exc:
+            raise SystemExit(f"repro: cannot open {args.directory!r}: {exc}")
+        stores = [store]
+    try:
+        total_violations = 0
+        total_cores = 0
+        for store in stores:
+            violations = store.audit()
+            if not violations:
+                continue
+            total_violations += len(violations)
+            cores = store.explain_violations(violations)
+            total_cores += len(cores)
+            print(
+                f"{store.schema.name}: {len(violations)} violation(s), "
+                f"{len(cores)} conflict core(s)"
+            )
+            for index, core in enumerate(cores, start=1):
+                print(f"\ncore {index} — ", end="")
+                print(core.describe())
+                if args.trace and core.trace is not None:
+                    print("  isolated-check trace:")
+                    for line in core.trace.describe().splitlines():
+                        print(f"    {line}")
+        if total_violations == 0:
+            print("all constraints hold — nothing to explain")
+            return 0
+        print(
+            f"\n{total_violations} violation(s) explained by "
+            f"{total_cores} subset-minimal conflict core(s); removing any "
+            "one member of a core resolves that core's conflict"
+        )
+        return 1
+    finally:
+        for store in stores:
+            store.close()
 
 
 def _run_stress(args: argparse.Namespace) -> int:
@@ -302,6 +390,25 @@ def main(argv: list[str] | None = None) -> int:
         "directory", help="durable store directory (snapshot.json + wal.jsonl)"
     )
 
+    explain = commands.add_parser(
+        "explain",
+        help="audit a durable store and print a subset-minimal conflict "
+        "core for every violation (which objects force it, and why)",
+    )
+    explain.add_argument(
+        "directory", nargs="?", default=None,
+        help="durable store directory (snapshot.json + wal.jsonl)",
+    )
+    explain.add_argument(
+        "--demo", action="store_true",
+        help="explain an in-memory store violating one constraint of "
+        "every class (object, key, aggregate, referential)",
+    )
+    explain.add_argument(
+        "--trace", action="store_true",
+        help="also print the reason trace of each isolated core check",
+    )
+
     stress = commands.add_parser(
         "stress",
         help="hammer one store with concurrent writer and snapshot-reader "
@@ -335,6 +442,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command in ("recover", "snapshot"):
         return _run_durable_command(args)
+
+    if args.command == "explain":
+        return _run_explain(args)
 
     if args.command == "stress":
         return _run_stress(args)

@@ -45,6 +45,20 @@ reduces to one maintained counter comparison) — and only fall back to the
 extent scan on :data:`INDEX_MISS`.  The probe answers in O(1) regardless of
 extent size, which is what makes aggregate-, key- and referential-constraint
 commits constant-time in store size.
+
+Reason tracing: when ``ctx.trace`` is a :class:`ReasonTrace`, every closure
+records the reads that determined its verdict — attribute reads (with the
+owning object), constant reads, index probes, extent scans, quantifier
+bindings — as :class:`TraceEvent` rows.  Quantifiers record *decisive*
+iterations only: an ``exists`` that succeeds keeps just the witness, a
+``forall`` that fails keeps just the falsifying binding, while a quantifier
+that had to exhaust its extent keeps every iteration (the whole extent
+supports the verdict).  Tracing is opt-in and adds exactly one ``is None``
+test per closure to the untraced path; verdicts are bit-identical with and
+without a trace (the property suite in ``tests/engine/test_explain.py``
+holds us to that).  :meth:`ReasonTrace.support` projects the events down to
+the set of object identifiers the verdict depended on — the seed for
+deletion-based conflict-core extraction (``repro.engine.explain``).
 """
 
 from __future__ import annotations
@@ -100,6 +114,150 @@ VACUOUS = _Vacuous()
 INDEX_MISS = object()
 
 
+@dataclass(frozen=True)
+class TraceEvent:
+    """One read recorded during a traced evaluation.
+
+    ``kind`` is one of:
+
+    * ``"attr"`` — an attribute read; ``subject`` is the owning object's oid
+      (or its repr for plain states), ``detail`` the attribute name;
+    * ``"constant"`` — a named-constant read; ``subject`` is the name,
+      ``detail`` the value's repr;
+    * ``"probe"`` — an index probe answered the node; ``subject`` describes
+      the probe, ``detail`` the answer;
+    * ``"extent"`` — a quantifier/aggregate/key scanned a class extent;
+      ``subject`` is the class name, ``detail`` what for;
+    * ``"binding"`` — a quantifier bound ``var`` to an object; ``subject``
+      is the object's oid, ``detail`` the binding description;
+    * ``"member"`` — an aggregate or key scan visited an extent member;
+      ``subject`` is its oid, ``detail`` the attribute(s) read from it;
+    * ``"error"`` — evaluation failed; ``subject`` is the message.
+
+    ``env`` snapshots the quantifier bindings in scope when the event was
+    recorded, as ``((var, oid), ...)`` — the binding chain explanations and
+    the CLI print for each conflict-core member.
+    """
+
+    kind: str
+    subject: str
+    detail: str = ""
+    env: tuple = ()
+
+    def describe(self) -> str:
+        text = f"{self.kind} {self.subject}"
+        if self.detail:
+            text += f" [{self.detail}]"
+        if self.env:
+            chain = ", ".join(f"{var}={oid}" for var, oid in self.env)
+            text += f" via {chain}"
+        return text
+
+
+class ReasonTrace:
+    """The reason graph of one evaluation: an ordered list of
+    :class:`TraceEvent` rows, append-only during evaluation.
+
+    Quantifier closures truncate their own event ranges to keep only
+    decisive iterations (see the module docstring), which is why the trace
+    exposes its raw ``events`` list rather than an opaque recorder.
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record(
+        self, kind: str, subject: str, detail: str = "", env: tuple = ()
+    ) -> None:
+        self.events.append(TraceEvent(kind, subject, detail, env))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ReasonTrace of {len(self.events)} events>"
+
+    def support(self) -> tuple[str, ...]:
+        """Subjects of every object whose state or membership determined
+        the verdict, in first-read order (the seed set for core
+        extraction).  Objects traced outside a store contribute their repr;
+        core extraction intersects with the store's object table, so those
+        drop out where masking is meaningless.
+        """
+        seen: dict[str, None] = {}
+        for event in self.events:
+            if event.kind in ("attr", "binding", "member"):
+                seen.setdefault(event.subject, None)
+            for _var, oid in event.env:
+                if isinstance(oid, str):
+                    seen.setdefault(oid, None)
+        return tuple(seen)
+
+    def constants_read(self) -> tuple[str, ...]:
+        """Names of every schema constant the verdict depended on."""
+        return tuple(
+            dict.fromkeys(
+                event.subject for event in self.events if event.kind == "constant"
+            )
+        )
+
+    def reads_of(self, oid: str) -> tuple[str, ...]:
+        """Attribute names read from ``oid`` during the evaluation."""
+        names: dict[str, None] = {}
+        for event in self.events:
+            if event.kind in ("attr", "member") and event.subject == oid:
+                if event.detail:
+                    names.setdefault(event.detail, None)
+        return tuple(names)
+
+    def chain_of(self, oid: str) -> tuple:
+        """The first binding chain that put ``oid`` in scope —
+        ``((var, oid), ...)`` ending at the binding that introduced it.
+        Only quantifier bindings (``var in Class`` details) extend the
+        chain; other events contribute the bindings they were read under.
+        """
+        for event in self.events:
+            if (
+                event.kind == "binding"
+                and event.subject == oid
+                and " in " in event.detail
+            ):
+                return event.env + ((_binding_var(event.detail), oid),)
+            if event.subject == oid and event.env:
+                return event.env
+            for var, bound in event.env:
+                if bound == oid:
+                    return event.env
+        return ()
+
+    def describe(self) -> str:
+        return "\n".join(event.describe() for event in self.events)
+
+
+def _binding_var(detail: str) -> str:
+    # binding details are "var in Class" (or "key collision with …")
+    return detail.split(" ", 1)[0] if detail else "?"
+
+
+def _subject_of(obj: Any) -> str:
+    """Trace subject for an object: its oid when it has one (store objects,
+    snapshot objects), otherwise a repr (plain dict states)."""
+    oid = getattr(obj, "oid", None)
+    if isinstance(oid, str):
+        return oid
+    text = repr(obj)
+    return text if len(text) <= 80 else text[:77] + "..."
+
+
+def _trace_env(ctx: "EvalContext") -> tuple:
+    """Snapshot of the quantifier bindings in scope, as ((var, oid), ...).
+    Only called on traced paths, so the untraced hot path never pays for it.
+    """
+    return tuple((var, _subject_of(obj)) for var, obj in ctx.bindings.items())
+
+
 def _default_get_attr(obj: Any, name: str) -> Any:
     if isinstance(obj, Mapping):
         if name in obj:
@@ -144,6 +302,10 @@ class EvalContext:
     #: attribute) -> bool | INDEX_MISS``.  ``None`` disables the fast path:
     #: every aggregate, key and referential check scans extents.
     indexes: Any = None
+    #: Optional :class:`ReasonTrace` collecting the reads that determine the
+    #: verdict.  ``None`` (the default) disables tracing; the only cost left
+    #: on the untraced path is one ``is None`` test per instrumented closure.
+    trace: Any = None
 
     def child(self, **overrides: Any) -> "EvalContext":
         """A copy with some fields replaced (used by quantifier binding)."""
@@ -157,6 +319,7 @@ class EvalContext:
             "functions": self.functions,
             "self_extent_class": self.self_extent_class,
             "indexes": self.indexes,
+            "trace": self.trace,
         }
         data.update(overrides)
         return EvalContext(**data)
@@ -207,6 +370,22 @@ def evaluate(node: Node, ctx: EvalContext) -> Any:
     return compiled(node)(ctx)
 
 
+def evaluate_traced(
+    node: Node, ctx: EvalContext, trace: ReasonTrace | None = None
+) -> tuple[Any, ReasonTrace]:
+    """Evaluate with reason tracing; returns ``(verdict, trace)``.
+
+    Same compiled closures, same verdict as :func:`evaluate` — bit-identical
+    by the property suite.  Pass ``trace`` explicitly to keep access to the
+    partial event list when evaluation raises (the events recorded up to the
+    failure stay on it); the :class:`EvaluationError` itself carries the
+    quantifier ``bindings`` that were in scope.
+    """
+    if trace is None:
+        trace = ReasonTrace()
+    return compiled(node)(ctx.child(trace=trace)), trace
+
+
 def compile_node(node: Node) -> CompiledNode:
     """Lower ``node`` to a closure over :class:`EvalContext`.
 
@@ -226,8 +405,13 @@ def compile_node(node: Node) -> CompiledNode:
         name = node.name
         def run_constant(ctx: EvalContext) -> Any:
             if name not in ctx.constants:
-                raise EvaluationError(f"unknown named constant {name!r}")
-            return ctx.constants[name]
+                raise EvaluationError(
+                    f"unknown named constant {name!r}", bindings=_trace_env(ctx)
+                )
+            value = ctx.constants[name]
+            if ctx.trace is not None:
+                ctx.trace.record("constant", name, repr(value), _trace_env(ctx))
+            return value
         return run_constant
     if isinstance(node, Path):
         return _compile_path(node)
@@ -255,7 +439,8 @@ def compile_node(node: Node) -> CompiledNode:
                 return value in members
             except TypeError as exc:
                 raise EvaluationError(
-                    f"cannot test membership in {members!r}"
+                    f"cannot test membership in {members!r}",
+                    bindings=_trace_env(ctx),
                 ) from exc
         return run_membership
     if isinstance(node, Not):
@@ -337,12 +522,22 @@ def _compile_path(path: Path) -> CompiledNode:
         else:
             if ctx.current is None:
                 raise EvaluationError(
-                    f"path {dotted!r} has no root: no current object bound"
+                    f"path {dotted!r} has no root: no current object bound",
+                    bindings=_trace_env(ctx),
                 )
             obj = ctx.current
             rest = parts
         get_attr = ctx.get_attr
+        trace = ctx.trace
+        if trace is None:
+            for name in rest:
+                obj = get_attr(obj, name)
+            return obj
+        env = _trace_env(ctx)
         for name in rest:
+            # Recorded before the read so a failing dereference still shows
+            # which object's attribute was being followed.
+            trace.record("attr", _subject_of(obj), name, env)
             obj = get_attr(obj, name)
         return obj
 
@@ -374,7 +569,8 @@ def _compile_arith(node: BinaryOp) -> CompiledNode:
             return operator(a, b)
         except TypeError as exc:
             raise EvaluationError(
-                f"arithmetic {op_name!r} failed on {a!r} and {b!r}"
+                f"arithmetic {op_name!r} failed on {a!r} and {b!r}",
+                bindings=_trace_env(ctx),
             ) from exc
 
     return run_arith
@@ -405,7 +601,8 @@ def _compile_comparison(node: Comparison) -> CompiledNode:
             return comparator(a, b)
         except TypeError as exc:
             raise EvaluationError(
-                f"cannot compare {a!r} {op_name} {b!r}"
+                f"cannot compare {a!r} {op_name} {b!r}",
+                bindings=_trace_env(ctx),
             ) from exc
 
     return run_comparison
@@ -417,16 +614,38 @@ def _compile_aggregate(node: Aggregate) -> CompiledNode:
         raise EvaluationError(f"unknown aggregate {func!r}")
 
     def run_aggregate(ctx: EvalContext) -> Any:
+        trace = ctx.trace
         if ctx.indexes is not None:
             base = ctx.self_extent_class if collection == "self" else collection
             if base is not None:
                 value = ctx.indexes.aggregate_value(func, base, over)
                 if value is not INDEX_MISS:
+                    if trace is not None:
+                        trace.record(
+                            "probe",
+                            f"{func}({base}.{over})" if over else f"{func}({base})",
+                            repr(value),
+                            _trace_env(ctx),
+                        )
                     return value
         if collection == "self":
             extent = list(ctx.self_extent)
+            base_name = ctx.self_extent_class or "self"
         else:
             extent = list(ctx.extent_of(collection))
+            base_name = collection
+        if trace is not None:
+            # The whole extent supports an aggregate verdict — including the
+            # empty extent (a vacuous verdict still gets a non-empty trace).
+            env = _trace_env(ctx)
+            trace.record(
+                "extent",
+                base_name,
+                f"{func} over {over}" if over else func,
+                env,
+            )
+            for obj in extent:
+                trace.record("member", _subject_of(obj), over or "", env)
         if func == "count" and over is None:
             return len(extent)
         get_attr = ctx.get_attr
@@ -449,7 +668,8 @@ def _compile_aggregate(node: Aggregate) -> CompiledNode:
             # the index path, which degrades to INDEX_MISS on such values.
             raise EvaluationError(
                 f"cannot aggregate {func!r} over {over!r}: "
-                f"non-numeric or mixed-type operands"
+                f"non-numeric or mixed-type operands",
+                bindings=_trace_env(ctx),
             ) from exc
 
     return run_aggregate
@@ -475,10 +695,19 @@ def _compile_quantified(node: Quantified) -> CompiledNode:
 
     def run_quantified(ctx: EvalContext) -> Any:
         indexes = ctx.indexes
+        trace = ctx.trace
         if indexes is not None:
             if outer is not None:
                 verdict = indexes.referential_verdict(*outer)
                 if verdict is not INDEX_MISS:
+                    if trace is not None:
+                        mode, referenced, referrer, attr = outer
+                        trace.record(
+                            "probe",
+                            f"referential {mode}: {referrer}.{attr} -> {referenced}",
+                            repr(verdict),
+                            _trace_env(ctx),
+                        )
                     return verdict
             if inner_other is not None:
                 try:
@@ -489,25 +718,69 @@ def _compile_quantified(node: Quantified) -> CompiledNode:
                 if isinstance(oid, str):
                     count = indexes.reference_count(class_name, inner_attr, oid)
                     if count is not INDEX_MISS:
+                        if trace is not None:
+                            trace.record(
+                                "probe",
+                                f"refcount {class_name}.{inner_attr} = {oid}",
+                                repr(count),
+                                _trace_env(ctx),
+                            )
                         return count > 0
         extent = ctx.extent_of(class_name)
         bindings = ctx.bindings
         saw_vacuous = False
-        if is_forall:
+        if trace is None:
+            if is_forall:
+                for obj in extent:
+                    value = body(ctx.child(bindings={**bindings, var: obj}))
+                    if isinstance(value, _Vacuous):
+                        saw_vacuous = True
+                    elif not value:
+                        return False
+                return VACUOUS if saw_vacuous else True
             for obj in extent:
                 value = body(ctx.child(bindings={**bindings, var: obj}))
                 if isinstance(value, _Vacuous):
                     saw_vacuous = True
-                elif not value:
-                    return False
-            return VACUOUS if saw_vacuous else True
+                elif value:
+                    return True
+            return VACUOUS if saw_vacuous else False
+        # Traced scan.  Bodies run *untraced* first — identical closures,
+        # identical verdicts — and only the decisive iteration (forall's
+        # falsifier, exists' witness, or the iteration that raises) is
+        # re-evaluated with tracing to capture its reason events.  An
+        # exhausted loop (forall→True/VACUOUS, exists→False/VACUOUS) keeps
+        # just the extent event: "every member was scanned" *is* the
+        # reason, and per-member events would make detection traces — and
+        # the conflict-core seed supports derived from them — O(extent).
+        env = _trace_env(ctx)
+        trace.record("extent", class_name, f"{node.kind} {var}", env)
+
+        def retrace(obj: Any) -> Any:
+            trace.record(
+                "binding", _subject_of(obj), f"{var} in {class_name}", env
+            )
+            return body(ctx.child(bindings={**bindings, var: obj}))
+
+        decisive = not is_forall  # forall exits on falsy, exists on truthy
         for obj in extent:
-            value = body(ctx.child(bindings={**bindings, var: obj}))
+            try:
+                value = body(
+                    ctx.child(bindings={**bindings, var: obj}, trace=None)
+                )
+            except Exception:
+                # Evaluation is pure, so the traced re-run deterministically
+                # raises the same error — now with its events on the trace.
+                retrace(obj)
+                raise
             if isinstance(value, _Vacuous):
                 saw_vacuous = True
-            elif value:
-                return True
-        return VACUOUS if saw_vacuous else False
+            elif bool(value) is decisive:
+                retrace(obj)
+                return decisive
+        if saw_vacuous:
+            return VACUOUS
+        return is_forall
 
     return run_quantified
 
@@ -516,17 +789,43 @@ def _compile_key(node: KeyConstraint) -> CompiledNode:
     attributes = node.attributes
 
     def run_key(ctx: EvalContext) -> bool:
+        trace = ctx.trace
         if ctx.indexes is not None and ctx.self_extent_class is not None:
             verdict = ctx.indexes.key_unique(ctx.self_extent_class, attributes)
             if verdict is not None:
+                if trace is not None:
+                    trace.record(
+                        "probe",
+                        f"key {ctx.self_extent_class}({', '.join(attributes)})",
+                        repr(verdict),
+                        _trace_env(ctx),
+                    )
                 return verdict
-        seen: set[tuple] = set()
+        # seen maps key → first holder's subject so a traced collision can
+        # name the pair; the untraced cost over a plain set is negligible.
+        seen: dict[tuple, str] = {}
         get_attr = ctx.get_attr
+        joined = ", ".join(attributes)
+        if trace is not None:
+            trace.record(
+                "extent", ctx.self_extent_class or "self", f"key {joined}", ()
+            )
+            loop_mark = len(trace.events)
         for obj in ctx.self_extent:
+            subject = _subject_of(obj) if trace is not None else ""
+            if trace is not None:
+                trace.record("member", subject, joined)
             key = tuple(get_attr(obj, attr) for attr in attributes)
             if key in seen:
+                if trace is not None:
+                    # Only the colliding pair supports a False verdict.
+                    del trace.events[loop_mark:]
+                    trace.record("member", seen[key], joined)
+                    trace.record("member", subject, joined)
+                    trace.record("binding", seen[key], f"key collision on ({joined})")
+                    trace.record("binding", subject, f"key collision on ({joined})")
                 return False
-            seen.add(key)
+            seen[key] = subject
         return True
 
     return run_key

@@ -8,8 +8,8 @@ database constraints against the whole store.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 from repro.constraints.evaluate import evaluate
 from repro.errors import ConstraintViolation, EngineError, EvaluationError
@@ -30,13 +30,38 @@ if TYPE_CHECKING:  # pragma: no cover
 
 @dataclass(frozen=True)
 class Violation:
-    """A detected constraint violation (used by bulk validation)."""
+    """A detected constraint violation (used by bulk validation).
+
+    The explanation fields — the violated :class:`Constraint` itself, the
+    culprit object's ``oid`` (object constraints only) and the detection
+    ``trace`` — are excluded from equality/hashing/repr so violation lists
+    from differently-configured stores (indexed vs scan, incremental vs
+    full) still compare on ``(constraint_name, detail)`` alone.
+    """
 
     constraint_name: str
     detail: str
+    constraint: Any = field(default=None, compare=False, repr=False)
+    oid: str | None = field(default=None, compare=False, repr=False)
+    trace: Any = field(default=None, compare=False, repr=False)
 
     def describe(self) -> str:
         return f"{self.constraint_name}: {self.detail}"
+
+
+def _detection_trace(
+    store: "ObjectStore",
+    constraint,
+    current=None,
+    self_extent_class: str | None = None,
+):
+    """Trace of a just-detected failure, or ``None`` if explanations are
+    off.  Lazy import: explain builds on this module's error contract."""
+    from repro.engine.explain import failure_trace
+
+    return failure_trace(
+        store, constraint, current=current, self_extent_class=self_extent_class
+    )
 
 
 def check_object_constraints(store: "ObjectStore", obj: "DBObject") -> None:
@@ -54,12 +79,15 @@ def check_object_constraints(store: "ObjectStore", obj: "DBObject") -> None:
             satisfied = evaluate(constraint.formula, ctx)
         except _EVAL_FAILURES as exc:
             raise ConstraintViolation(
-                constraint.qualified_name, f"cannot evaluate on {obj.oid}: {exc}"
+                constraint.qualified_name,
+                f"cannot evaluate on {obj.oid}: {exc}",
+                trace=_detection_trace(store, constraint, current=obj),
             ) from exc
         if not satisfied:
             raise ConstraintViolation(
                 constraint.qualified_name,
                 f"object {obj.oid} with state {obj.state!r}",
+                trace=_detection_trace(store, constraint, current=obj),
             )
 
 
@@ -80,13 +108,20 @@ def check_class_constraints(store: "ObjectStore", class_name: str) -> None:
                 satisfied = evaluate(constraint.formula, ctx)
             except _EVAL_FAILURES as exc:
                 raise ConstraintViolation(
-                    constraint.qualified_name, str(exc)
+                    constraint.qualified_name,
+                    str(exc),
+                    trace=_detection_trace(
+                        store, constraint, self_extent_class=ancestor.name
+                    ),
                 ) from exc
             if not satisfied:
                 raise ConstraintViolation(
                     constraint.qualified_name,
                     f"extent of {ancestor.name} "
                     f"({len(store.extent(ancestor.name))} objects)",
+                    trace=_detection_trace(
+                        store, constraint, self_extent_class=ancestor.name
+                    ),
                 )
 
 
@@ -97,10 +132,16 @@ def check_database_constraints(store: "ObjectStore") -> None:
         try:
             satisfied = evaluate(constraint.formula, ctx)
         except _EVAL_FAILURES as exc:
-            raise ConstraintViolation(constraint.qualified_name, str(exc)) from exc
+            raise ConstraintViolation(
+                constraint.qualified_name,
+                str(exc),
+                trace=_detection_trace(store, constraint),
+            ) from exc
         if not satisfied:
             raise ConstraintViolation(
-                constraint.qualified_name, "database constraint violated"
+                constraint.qualified_name,
+                "database constraint violated",
+                trace=_detection_trace(store, constraint),
             )
 
 
@@ -113,10 +154,24 @@ def all_violations(store: "ObjectStore") -> list[Violation]:
             try:
                 if not evaluate(constraint.formula, ctx):
                     found.append(
-                        Violation(constraint.qualified_name, f"object {obj.oid}")
+                        Violation(
+                            constraint.qualified_name,
+                            f"object {obj.oid}",
+                            constraint=constraint,
+                            oid=obj.oid,
+                            trace=_detection_trace(store, constraint, current=obj),
+                        )
                     )
             except _EVAL_FAILURES as exc:
-                found.append(Violation(constraint.qualified_name, str(exc)))
+                found.append(
+                    Violation(
+                        constraint.qualified_name,
+                        str(exc),
+                        constraint=constraint,
+                        oid=obj.oid,
+                        trace=_detection_trace(store, constraint, current=obj),
+                    )
+                )
     for class_def in store.schema.classes.values():
         for constraint in class_def.own_class_constraints():
             ctx = store.eval_context(self_extent_class=class_def.name)
@@ -126,16 +181,41 @@ def all_violations(store: "ObjectStore") -> list[Violation]:
                         Violation(
                             constraint.qualified_name,
                             f"extent of {class_def.name}",
+                            constraint=constraint,
+                            trace=_detection_trace(
+                                store, constraint, self_extent_class=class_def.name
+                            ),
                         )
                     )
             except _EVAL_FAILURES as exc:
-                found.append(Violation(constraint.qualified_name, str(exc)))
+                found.append(
+                    Violation(
+                        constraint.qualified_name,
+                        str(exc),
+                        constraint=constraint,
+                        trace=_detection_trace(
+                            store, constraint, self_extent_class=class_def.name
+                        ),
+                    )
+                )
     for constraint in store.schema.database_constraints:
         try:
             if not evaluate(constraint.formula, store.eval_context()):
                 found.append(
-                    Violation(constraint.qualified_name, "database constraint")
+                    Violation(
+                        constraint.qualified_name,
+                        "database constraint",
+                        constraint=constraint,
+                        trace=_detection_trace(store, constraint),
+                    )
                 )
         except _EVAL_FAILURES as exc:
-            found.append(Violation(constraint.qualified_name, str(exc)))
+            found.append(
+                Violation(
+                    constraint.qualified_name,
+                    str(exc),
+                    constraint=constraint,
+                    trace=_detection_trace(store, constraint),
+                )
+            )
     return found

@@ -1,0 +1,507 @@
+"""Explainable violations: reason traces and subset-minimal conflict cores.
+
+A :class:`~repro.constraints.evaluate.ReasonTrace` says which reads forced a
+verdict; this module turns a failing check into a *conflict core* — a
+subset-minimal set of objects that, together with the constraint, still
+conflicts when everything else is masked out.  The construction is the
+deletion-based MUS (minimal unsatisfiable subset) extraction of the SAT
+explanation literature, transplanted to integrity constraints in the spirit
+of abductive repair analysis (Arieli et al.) and integrity checking for
+knowledge bases (Cruz-Filipe et al.; see PAPERS.md):
+
+1. *Seed*: re-evaluate the already-compiled closure with scan semantics
+   (``indexes=None``) and a trace attached; the trace's support set is every
+   object the verdict read.
+2. *Shrink*: repeatedly re-evaluate with candidate objects masked out of the
+   store view (their extents membership removed, references to them failing),
+   dropping whole chunks while the conflict persists — a ddmin-flavoured
+   pass — then singleton passes to a fixpoint.
+3. *Certify*: the result is subset-minimal **in isolation**: the masked view
+   containing exactly the core still violates the constraint, and removing
+   any single member resolves it.  (MUSes are not unique; deletion finds
+   *one* minimal core, not the smallest.)
+
+Conflict is judged on the masked view: a falsy verdict for cores born from a
+falsy verdict, an evaluation error for cores born from an evaluation error
+(``verdict="error"``).  Masking an object a kept member still references
+raises inside evaluation; for falsy-born cores that counts as *resolved* —
+which is exactly what keeps, say, the referenced Publisher inside the core
+of a dangling-reference violation.
+
+Complexity: with ``s = |support|`` and ``k = |core|``, the chunked pass does
+O(k·log s) conflict tests and the fixpoint pass O(k²) in the worst case;
+every test is one evaluation over a view of ≤ s objects.  Quantifier tracing
+records only decisive iterations, so ``s`` is usually far below the extent
+size (a dangling reference seeds 1–2 objects at any store size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
+
+from repro.constraints.evaluate import (
+    EvalContext,
+    ReasonTrace,
+    compiled,
+)
+from repro.constraints.model import Constraint, ConstraintKind
+from repro.errors import EngineError, EvaluationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.store import ObjectStore
+
+#: Same widened catch as enforcement: evaluation failures count as verdicts,
+#: not crashes (``ConstraintViolation`` is never raised by ``evaluate``).
+_EVAL_FAILURES = (EvaluationError, EngineError)
+
+#: Safety valve on shrink work: conflict tests per core.  Generously above
+#: anything a traced support set produces (decisive tracing keeps supports
+#: small); a core that hits it is returned as-is with ``minimal=False``.
+MAX_SHRINK_CHECKS = 4096
+
+
+# ---------------------------------------------------------------------------
+# detection-time traces
+# ---------------------------------------------------------------------------
+
+
+def failure_trace(
+    store: "ObjectStore",
+    constraint: Constraint,
+    current: Any = None,
+    self_extent_class: str | None = None,
+) -> ReasonTrace | None:
+    """The reason trace of one failing check, re-run exactly as detected.
+
+    Uses the store's own evaluation context — *including its index probes* —
+    so the cost matches the detection cost (an O(1) probe stays an O(1)
+    probe; this is what keeps traced failure latency within a small factor
+    of untraced).  Scan-level object support for core extraction is computed
+    separately by :func:`extract_core`, which forces scan semantics.
+
+    Returns ``None`` when the store has explanations disabled.
+    """
+    if not getattr(store, "explain", True):
+        return None
+    trace = ReasonTrace()
+    ctx = store.eval_context(
+        current=current, self_extent_class=self_extent_class
+    )
+    ctx.trace = trace
+    try:
+        compiled(constraint.formula)(ctx)
+    except _EVAL_FAILURES as exc:
+        trace.record("error", str(exc), env=getattr(exc, "bindings", ()))
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# masked evaluation
+# ---------------------------------------------------------------------------
+
+
+class _MaskedExtents(Mapping):
+    """Class name → extent restricted to a visible-oid set (lazy per class)."""
+
+    def __init__(self, store: "ObjectStore", visible: frozenset):
+        self._store = store
+        self._visible = visible
+
+    def __getitem__(self, class_name: str) -> list:
+        if not self._store.schema.has_class(class_name):
+            raise KeyError(class_name)
+        return [
+            obj
+            for obj in self._store.extent(class_name)
+            if obj.oid in self._visible
+        ]
+
+    def __contains__(self, class_name: object) -> bool:
+        return isinstance(class_name, str) and self._store.schema.has_class(
+            class_name
+        )
+
+    def __iter__(self):
+        return iter(self._store.schema.classes)
+
+    def __len__(self) -> int:
+        return len(self._store.schema.classes)
+
+
+def masked_context(
+    store: "ObjectStore",
+    visible: frozenset,
+    current: Any = None,
+    self_extent_class: str | None = None,
+    trace: ReasonTrace | None = None,
+) -> EvalContext:
+    """An evaluation context over the sub-store of ``visible`` oids.
+
+    Scan semantics (``indexes=None`` — the maintained indexes describe the
+    *full* store, not the masked view).  Extents drop masked objects;
+    dereferencing an attribute that resolves to a masked object raises
+    ``EngineError``, exactly as if the object had been deleted.
+    """
+
+    def get_attr(obj: Any, name: str) -> Any:
+        value = store.get_attr(obj, name)
+        oid = getattr(value, "oid", None)
+        if isinstance(oid, str) and oid not in visible:
+            raise EngineError(
+                f"reference {name!r} of {getattr(obj, 'oid', obj)!r} "
+                f"resolves to masked object {oid!r}"
+            )
+        return value
+
+    extents = _MaskedExtents(store, visible)
+    self_extent: Iterable[Any] = ()
+    if self_extent_class is not None:
+        self_extent = extents[self_extent_class]
+    return EvalContext(
+        current=current,
+        extents=extents,
+        self_extent=self_extent,
+        self_extent_class=self_extent_class,
+        constants=store.schema.constants,
+        get_attr=get_attr,
+        indexes=None,
+        trace=trace,
+    )
+
+
+def constraint_conflicts(
+    store: "ObjectStore",
+    constraint: Constraint,
+    visible: frozenset,
+    errors_conflict: bool = False,
+    trace: ReasonTrace | None = None,
+) -> bool:
+    """Does ``constraint`` still fail on the sub-store of ``visible`` oids?
+
+    Object constraints are checked on every visible member of the owner's
+    deep extent (the core is about *objects*, not about one pre-chosen
+    culprit).  ``errors_conflict`` selects the conflict mode: cores born
+    from an evaluation error count errors as conflicts; cores born from a
+    falsy verdict count them as resolved.
+    """
+    run = compiled(constraint.formula)
+    if constraint.kind is ConstraintKind.OBJECT:
+        owner = constraint.owner
+        if owner is None or not store.schema.has_class(owner):
+            return False
+        for obj in store.extent(owner):
+            if obj.oid not in visible:
+                continue
+            try:
+                verdict = run(
+                    masked_context(store, visible, current=obj, trace=trace)
+                )
+            except _EVAL_FAILURES as exc:
+                if errors_conflict:
+                    if trace is not None:
+                        trace.record(
+                            "error", str(exc), env=getattr(exc, "bindings", ())
+                        )
+                    return True
+                continue
+            if not verdict:
+                return True
+        return False
+    owner = (
+        constraint.owner if constraint.kind is ConstraintKind.CLASS else None
+    )
+    ctx = masked_context(store, visible, self_extent_class=owner, trace=trace)
+    try:
+        verdict = run(ctx)
+    except _EVAL_FAILURES as exc:
+        if errors_conflict and trace is not None:
+            trace.record("error", str(exc), env=getattr(exc, "bindings", ()))
+        return errors_conflict
+    return not verdict
+
+
+# ---------------------------------------------------------------------------
+# deletion-based shrinking
+# ---------------------------------------------------------------------------
+
+
+def shrink(
+    members: Iterable[str],
+    conflicts: Callable[[frozenset], bool],
+    max_checks: int = MAX_SHRINK_CHECKS,
+) -> tuple[list[str], int, bool]:
+    """Shrink ``members`` to a subset-minimal set on which ``conflicts``
+    still holds; returns ``(core, checks_spent, minimal)``.
+
+    Precondition: ``conflicts(frozenset(members))`` is True.  Chunked
+    deletion first (drop half, then quarters, ...), then singleton passes
+    repeated to a fixpoint — the fixpoint pass is what certifies
+    subset-minimality: a full sweep in which no single member could be
+    removed.  ``minimal=False`` only when the check budget ran out.
+    """
+    current = list(dict.fromkeys(members))
+    checks = 0
+    chunk = len(current) // 2
+    while chunk > 1:
+        index = 0
+        while index < len(current):
+            if checks >= max_checks:
+                return current, checks, False
+            candidate = current[:index] + current[index + chunk :]
+            checks += 1
+            if conflicts(frozenset(candidate)):
+                current = candidate
+            else:
+                index += chunk
+        chunk //= 2
+    while True:
+        removed = False
+        for member in list(current):
+            if checks >= max_checks:
+                return current, checks, False
+            candidate = [m for m in current if m != member]
+            checks += 1
+            if conflicts(frozenset(candidate)):
+                current = candidate
+                removed = True
+        if not removed:
+            return current, checks, True
+
+
+# ---------------------------------------------------------------------------
+# conflict cores
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoreMember:
+    """One object of a conflict core, with its explanation metadata."""
+
+    oid: str
+    class_name: str
+    #: Binding chain that put the object in scope during the isolated
+    #: re-evaluation, as ``((var, oid), ...)``; empty for direct reads.
+    bindings: tuple = ()
+    #: Attribute names the verdict read from this object.
+    reads: tuple = ()
+
+    def describe(self) -> str:
+        text = f"{self.oid} ({self.class_name})"
+        if self.reads:
+            text += f"  reads: {', '.join(self.reads)}"
+        if self.bindings:
+            chain = " -> ".join(f"{var}={oid}" for var, oid in self.bindings)
+            text += f"  via {chain}"
+        return text
+
+
+@dataclass(frozen=True)
+class ConflictCore:
+    """A subset-minimal set of objects that conflicts with one constraint.
+
+    ``verdict`` records the conflict mode (``"falsy"`` or ``"error"``);
+    ``minimal`` is False only when shrinking hit its check budget;
+    ``checks`` counts the masked re-evaluations spent.  ``trace`` is the
+    reason trace of the *isolated* core (evaluated on the masked view
+    containing exactly the members), and ``constants`` the schema constants
+    that verdict read — both excluded from equality so differential tests
+    can compare cores structurally.
+    """
+
+    constraint_name: str
+    kind: str
+    members: tuple
+    verdict: str = "falsy"
+    minimal: bool = True
+    checks: int = 0
+    trace: ReasonTrace | None = field(default=None, compare=False, repr=False)
+    constants: tuple = field(default=(), compare=False, repr=False)
+    constraint: Constraint | None = field(
+        default=None, compare=False, repr=False
+    )
+
+    def oids(self) -> tuple[str, ...]:
+        return tuple(member.oid for member in self.members)
+
+    def describe(self) -> str:
+        mode = "minimal" if self.minimal else "shrunk (budget hit)"
+        lines = [
+            f"{self.constraint_name} ({self.kind} constraint, verdict "
+            f"{self.verdict}): {len(self.members)} object(s), {mode}"
+        ]
+        if self.members:
+            lines.append("  removing any one member resolves the conflict:")
+            lines.extend(f"    - {member.describe()}" for member in self.members)
+        else:
+            lines.append(
+                "  conflict persists on the empty view: no deletion repairs "
+                "it (the constraint demands objects that do not exist)"
+            )
+        if self.constants:
+            lines.append(f"  constants read: {', '.join(self.constants)}")
+        return "\n".join(lines)
+
+
+def extract_core(
+    store: "ObjectStore",
+    constraint: Constraint,
+    oid: str | None = None,
+    max_checks: int = MAX_SHRINK_CHECKS,
+) -> ConflictCore | None:
+    """The conflict core of ``constraint`` on the store's current state.
+
+    ``oid`` anchors object-constraint extraction to a known culprit (the
+    audit's finding); it is folded into the seed support.  Returns ``None``
+    when the constraint does not actually conflict on the full store (e.g.
+    the violation was repaired since it was reported).
+    """
+    visible_all = frozenset(store._objects)
+    run = compiled(constraint.formula)
+    seed_trace = ReasonTrace()
+    verdict_mode: str | None = None
+    anchor: str | None = None
+
+    # Seed: scan-semantics traced evaluation of the full store (the
+    # maintained indexes answer probes about the *full* store, so masking
+    # must use scan semantics throughout — seed included, for agreement).
+    if constraint.kind is ConstraintKind.OBJECT:
+        owner = constraint.owner
+        if owner is None or not store.schema.has_class(owner):
+            return None
+        candidates = store.extent(owner)
+        if oid is not None:
+            # The audit's culprit first, so its trace seeds the core.
+            candidates = sorted(candidates, key=lambda o: o.oid != oid)
+        for obj in candidates:
+            trace = ReasonTrace()
+            ctx = masked_context(store, visible_all, current=obj, trace=trace)
+            try:
+                verdict = run(ctx)
+            except _EVAL_FAILURES as exc:
+                trace.record(
+                    "error", str(exc), env=getattr(exc, "bindings", ())
+                )
+                verdict_mode, seed_trace, anchor = "error", trace, obj.oid
+                break
+            if not verdict:
+                verdict_mode, seed_trace, anchor = "falsy", trace, obj.oid
+                break
+    else:
+        self_extent_class = (
+            constraint.owner
+            if constraint.kind is ConstraintKind.CLASS
+            else None
+        )
+        ctx = masked_context(
+            store,
+            visible_all,
+            self_extent_class=self_extent_class,
+            trace=seed_trace,
+        )
+        try:
+            if not run(ctx):
+                verdict_mode = "falsy"
+        except _EVAL_FAILURES as exc:
+            seed_trace.record(
+                "error", str(exc), env=getattr(exc, "bindings", ())
+            )
+            verdict_mode = "error"
+    if verdict_mode is None:
+        return None
+
+    errors_conflict = verdict_mode == "error"
+
+    def conflicts(visible: frozenset) -> bool:
+        return constraint_conflicts(store, constraint, visible, errors_conflict)
+
+    # Support from the trace, widened to the whole store if the decisive
+    # subset alone does not conflict (conservative, rarely taken).
+    support = [o for o in seed_trace.support() if o in visible_all]
+    if anchor is not None and anchor not in support:
+        support.insert(0, anchor)
+    if not conflicts(frozenset(support)):
+        if not conflicts(visible_all):
+            return None
+        support = sorted(visible_all)
+
+    core_oids, checks, minimal = shrink(support, conflicts, max_checks)
+
+    # Certify + explain the isolated core: one traced evaluation on the
+    # masked view containing exactly the members.
+    iso_trace = ReasonTrace()
+    constraint_conflicts(
+        store,
+        constraint,
+        frozenset(core_oids),
+        errors_conflict,
+        trace=iso_trace,
+    )
+    members = tuple(
+        CoreMember(
+            oid=member,
+            class_name=store.get(member).class_name,
+            bindings=iso_trace.chain_of(member),
+            reads=iso_trace.reads_of(member),
+        )
+        for member in sorted(core_oids)
+    )
+    return ConflictCore(
+        constraint_name=constraint.qualified_name,
+        kind=constraint.kind.value,
+        members=members,
+        verdict=verdict_mode or "falsy",
+        minimal=minimal,
+        checks=checks,
+        trace=iso_trace,
+        constants=iso_trace.constants_read(),
+        constraint=constraint,
+    )
+
+
+def explain_violations(
+    store: "ObjectStore", violations: Iterable[Any] | None = None
+) -> list[ConflictCore]:
+    """Conflict cores for the store's standing violations.
+
+    ``violations`` defaults to a fresh ``store.audit()``.  Findings that
+    carry a ``constraint`` (the audit's do) are explained directly; bare
+    names are resolved against the schema.  Cores are deduplicated on
+    ``(constraint, member set)`` — several findings of one class constraint
+    collapse into the one core that explains them.
+    """
+    if violations is None:
+        violations = store.audit()
+    cores: list[ConflictCore] = []
+    seen: set = set()
+    for violation in violations:
+        constraint = getattr(violation, "constraint", None)
+        if constraint is None:
+            name = getattr(violation, "constraint_name", None) or str(violation)
+            constraint = _constraint_named(store, name)
+        if constraint is None:
+            continue
+        core = extract_core(
+            store, constraint, oid=getattr(violation, "oid", None)
+        )
+        if core is None:
+            continue
+        key = (core.constraint_name, frozenset(core.oids()))
+        if key not in seen:
+            seen.add(key)
+            cores.append(core)
+    return cores
+
+
+def _constraint_named(store: "ObjectStore", name: str) -> Constraint | None:
+    for constraint in _all_constraints(store):
+        if constraint.qualified_name == name or constraint.name == name:
+            return constraint
+    return None
+
+
+def _all_constraints(store: "ObjectStore") -> Iterable[Constraint]:
+    for class_def in store.schema.classes.values():
+        yield from class_def.own_object_constraints()
+        yield from class_def.own_class_constraints()
+    yield from store.schema.database_constraints

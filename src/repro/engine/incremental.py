@@ -523,6 +523,8 @@ def check_delta(store: "ObjectStore", delta: MutationDelta) -> None:
     single-operation path: object constraints, then class constraints, then
     database constraints.
     """
+    from repro.engine.explain import failure_trace
+
     index = store.dependency_index()
     for entry, obj in _affected_object_checks(store, delta, index):
         constraint = entry.constraint
@@ -531,12 +533,15 @@ def check_delta(store: "ObjectStore", delta: MutationDelta) -> None:
             satisfied = entry.evaluate_with(ctx)
         except (EvaluationError, EngineError) as exc:
             raise ConstraintViolation(
-                constraint.qualified_name, f"cannot evaluate on {obj.oid}: {exc}"
+                constraint.qualified_name,
+                f"cannot evaluate on {obj.oid}: {exc}",
+                trace=failure_trace(store, constraint, current=obj),
             ) from exc
         if not satisfied:
             raise ConstraintViolation(
                 constraint.qualified_name,
                 f"object {obj.oid} with state {obj.state!r}",
+                trace=failure_trace(store, constraint, current=obj),
             )
     for entry in index.class_constraints:
         if not entry.affected_by(delta):
@@ -547,11 +552,16 @@ def check_delta(store: "ObjectStore", delta: MutationDelta) -> None:
         try:
             satisfied = entry.evaluate_with(ctx)
         except (EvaluationError, EngineError) as exc:
-            raise ConstraintViolation(constraint.qualified_name, str(exc)) from exc
+            raise ConstraintViolation(
+                constraint.qualified_name,
+                str(exc),
+                trace=failure_trace(store, constraint, self_extent_class=owner),
+            ) from exc
         if not satisfied:
             raise ConstraintViolation(
                 constraint.qualified_name,
                 f"extent of {owner} ({len(store.extent(owner))} objects)",
+                trace=failure_trace(store, constraint, self_extent_class=owner),
             )
     for entry in index.database_constraints:
         if not entry.affected_by(delta):
@@ -560,10 +570,16 @@ def check_delta(store: "ObjectStore", delta: MutationDelta) -> None:
         try:
             satisfied = entry.evaluate_with(store.eval_context())
         except (EvaluationError, EngineError) as exc:
-            raise ConstraintViolation(constraint.qualified_name, str(exc)) from exc
+            raise ConstraintViolation(
+                constraint.qualified_name,
+                str(exc),
+                trace=failure_trace(store, constraint),
+            ) from exc
         if not satisfied:
             raise ConstraintViolation(
-                constraint.qualified_name, "database constraint violated"
+                constraint.qualified_name,
+                "database constraint violated",
+                trace=failure_trace(store, constraint),
             )
 
 
@@ -578,6 +594,7 @@ def delta_violations(store: "ObjectStore", delta: MutationDelta) -> list:
     validation reports some).
     """
     from repro.engine.enforcement import Violation
+    from repro.engine.explain import failure_trace
 
     found: list[Violation] = []
     index = store.dependency_index()
@@ -587,10 +604,24 @@ def delta_violations(store: "ObjectStore", delta: MutationDelta) -> list:
         try:
             if not entry.evaluate_with(ctx):
                 found.append(
-                    Violation(constraint.qualified_name, f"object {obj.oid}")
+                    Violation(
+                        constraint.qualified_name,
+                        f"object {obj.oid}",
+                        constraint=constraint,
+                        oid=obj.oid,
+                        trace=failure_trace(store, constraint, current=obj),
+                    )
                 )
         except (EvaluationError, EngineError) as exc:
-            found.append(Violation(constraint.qualified_name, str(exc)))
+            found.append(
+                Violation(
+                    constraint.qualified_name,
+                    str(exc),
+                    constraint=constraint,
+                    oid=obj.oid,
+                    trace=failure_trace(store, constraint, current=obj),
+                )
+            )
     for entry in index.class_constraints:
         if not entry.affected_by(delta):
             continue
@@ -602,10 +633,23 @@ def delta_violations(store: "ObjectStore", delta: MutationDelta) -> list:
                     Violation(
                         constraint.qualified_name,
                         f"extent of {constraint.owner}",
+                        constraint=constraint,
+                        trace=failure_trace(
+                            store, constraint, self_extent_class=constraint.owner
+                        ),
                     )
                 )
         except (EvaluationError, EngineError) as exc:
-            found.append(Violation(constraint.qualified_name, str(exc)))
+            found.append(
+                Violation(
+                    constraint.qualified_name,
+                    str(exc),
+                    constraint=constraint,
+                    trace=failure_trace(
+                        store, constraint, self_extent_class=constraint.owner
+                    ),
+                )
+            )
     for entry in index.database_constraints:
         if not entry.affected_by(delta):
             continue
@@ -613,8 +657,20 @@ def delta_violations(store: "ObjectStore", delta: MutationDelta) -> list:
         try:
             if not entry.evaluate_with(store.eval_context()):
                 found.append(
-                    Violation(constraint.qualified_name, "database constraint")
+                    Violation(
+                        constraint.qualified_name,
+                        "database constraint",
+                        constraint=constraint,
+                        trace=failure_trace(store, constraint),
+                    )
                 )
         except (EvaluationError, EngineError) as exc:
-            found.append(Violation(constraint.qualified_name, str(exc)))
+            found.append(
+                Violation(
+                    constraint.qualified_name,
+                    str(exc),
+                    constraint=constraint,
+                    trace=failure_trace(store, constraint),
+                )
+            )
     return found

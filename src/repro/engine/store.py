@@ -84,11 +84,17 @@ class ObjectStore:
         incremental: bool = True,
         indexed: bool = True,
         wal: "WriteAheadLog | str | Path | bool | None" = None,
+        explain: bool = True,
     ):
         self.schema = schema
         self.enforce = enforce
         self.incremental = incremental
         self.indexed = indexed
+        #: Attach reason traces to constraint failures and compute conflict
+        #: cores on commit-time rejections.  Tracing happens only *after* a
+        #: check has already failed (the success path is untouched), so the
+        #: flag trades rejection latency for diagnosability only.
+        self.explain = explain
         self._objects: dict[str, DBObject] = {}
         self._direct_extents: dict[str, set[str]] = {
             name: set() for name in schema.classes
@@ -506,6 +512,7 @@ class ObjectStore:
                 "full revalidation",
                 "; ".join(violation.describe() for violation in violations),
                 violations=violations,
+                cores=self._cores_for(violations),
             )
 
     def _enforce_incremental(self, delta) -> None:
@@ -558,6 +565,29 @@ class ObjectStore:
         """Validate the entire store; returns violation descriptions
         (:meth:`audit` keeps the structured objects)."""
         return [violation.describe() for violation in self.audit()]
+
+    def explain_violations(self, violations=None) -> list:
+        """Subset-minimal conflict cores for the store's standing
+        violations (defaults to a fresh :meth:`audit`); see
+        :mod:`repro.engine.explain`.  Each core is a set of objects that
+        still conflicts with its constraint in isolation, while removing
+        any single member resolves the conflict."""
+        from repro.engine.explain import explain_violations
+
+        return explain_violations(self, violations)
+
+    def _cores_for(self, violations) -> tuple:
+        """Cores attached to a failure-path exception.  Best-effort by
+        contract: explanation must never mask the violation being raised,
+        so any error inside extraction degrades to 'no cores'."""
+        if not self.explain:
+            return ()
+        from repro.engine.explain import explain_violations
+
+        try:
+            return tuple(explain_violations(self, violations))
+        except Exception:  # pragma: no cover - defensive, see docstring
+            return ()
 
     # -- durability ---------------------------------------------------------------------
 
@@ -645,6 +675,7 @@ class ObjectStore:
                     "recovery",
                     "; ".join(violation.describe() for violation in violations),
                     violations=violations,
+                    cores=store._cores_for(violations),
                 )
         return store
 

@@ -153,6 +153,9 @@ class Transaction:
         if store.enforce:
             violations = self._validate(delta)
             if violations:
+                # Conflict cores must be extracted before the undo below:
+                # rollback destroys the violating state they explain.
+                cores = store._cores_for(violations)
                 self._apply_undo(undo)
                 if store._wal is not None:
                     self._abort_ticket = store._wal.abort_transaction()
@@ -162,6 +165,7 @@ class Transaction:
                         violation.describe() for violation in violations
                     ),
                     violations=violations,
+                    cores=cores,
                 )
         # Publication precedes the log flush/checkpoint: the in-memory
         # commit stands even if durability raises below, so snapshots must

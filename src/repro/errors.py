@@ -72,6 +72,20 @@ class ConstraintViolation(EngineError):
         failure (objects with ``constraint_name``/``detail`` attributes —
         see :class:`repro.engine.enforcement.Violation`); empty when the
         exception names a single constraint directly.
+    trace:
+        The reason graph of the failing check, when the raising store had
+        explanations enabled: a
+        :class:`repro.constraints.evaluate.ReasonTrace` recording the
+        attribute reads, constant reads, index probes and quantifier
+        bindings that determined the verdict.  ``None`` otherwise.
+    cores:
+        Subset-minimal conflict cores
+        (:class:`repro.engine.explain.ConflictCore`) extracted for the
+        failure, when the raising path could afford to compute them —
+        commit-time multi-constraint failures compute cores *before*
+        rolling the transaction back, since the violating state is gone
+        afterwards.  Empty otherwise; ``store.explain_violations()``
+        recomputes cores for any standing violation.
     """
 
     def __init__(
@@ -79,10 +93,14 @@ class ConstraintViolation(EngineError):
         constraint_name: str,
         detail: str = "",
         violations: "tuple | list | None" = None,
+        trace: "object | None" = None,
+        cores: "tuple | list | None" = None,
     ):
         self.constraint_name = constraint_name
         self.detail = detail
         self.violations = tuple(violations) if violations is not None else ()
+        self.trace = trace
+        self.cores = tuple(cores) if cores is not None else ()
         message = f"constraint {constraint_name} violated"
         if detail:
             message += f": {detail}"
@@ -130,4 +148,14 @@ class SolverError(ReproError):
 
 class EvaluationError(ReproError):
     """A constraint could not be evaluated against an object state (missing
-    attribute, unknown function, unresolvable reference...)."""
+    attribute, unknown function, unresolvable reference...).
+
+    ``bindings`` carries the quantifier bindings in scope when the failure
+    happened, as ``((var, oid), ...)`` — so a scan-fallback failure deep in
+    a quantifier body keeps its originating binding context and reason
+    traces can report *which* object the evaluation died on.
+    """
+
+    def __init__(self, message: str, bindings: "tuple | list" = ()):
+        self.bindings = tuple(bindings)
+        super().__init__(message)

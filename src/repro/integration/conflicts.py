@@ -17,7 +17,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.constraints.model import Constraint
 from repro.integration.rules import ComparisonRule
@@ -64,12 +64,21 @@ class StateViolation:
     constraint_name: str
     global_oid: str
     detail: str
+    #: Subset-minimal conflict core over the integrated view (a
+    #: :class:`repro.engine.explain.ConflictCore`-shaped object whose
+    #: members are global oids), when the workbench could extract one.
+    #: Excluded from equality so violation comparison stays structural.
+    core: object = field(default=None, compare=False, repr=False)
 
     def describe(self) -> str:
-        return (
+        text = (
             f"global object {self.global_oid} violates {self.constraint_name} "
             f"({self.scope}): {self.detail}"
         )
+        if self.core is not None:
+            members = ", ".join(self.core.oids()) or "∅"
+            text += f" [conflict core: {members}]"
+        return text
 
 
 @dataclass(frozen=True)

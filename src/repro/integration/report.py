@@ -41,6 +41,11 @@ def render_report(result: IntegrationResult, width: int = 78) -> str:
         for component, violations in result.component_violations.items():
             for violation in violations:
                 lines.append(f"  ! {component}: {violation}")
+        for component, cores in result.component_cores.items():
+            for core in cores:
+                lines.append(f"  conflict core [{component}]:")
+                for core_line in core.describe().splitlines():
+                    lines.append(f"    {core_line}")
 
     if result.subjectivity is not None:
         section("Constraint subjectivity (Section 5.1)")
@@ -129,6 +134,9 @@ def render_report(result: IntegrationResult, width: int = 78) -> str:
             lines.append(f"  ! {conflict.describe()}")
         for violation in result.state_violations:
             lines.append(f"  ! {violation.describe()}")
+            if violation.core is not None:
+                for core_line in violation.core.describe().splitlines():
+                    lines.append(f"      {core_line}")
 
     if result.suggestions:
         section("Suggestions (Section 5.2.1 resolution options)")

@@ -79,6 +79,10 @@ class IntegrationResult:
     #: supplied store breaks that premise and the derived global constraints
     #: cannot be trusted.
     component_violations: dict[str, list[str]] = field(default_factory=dict)
+    #: Same keys as ``component_violations`` → subset-minimal conflict cores
+    #: (:class:`repro.engine.explain.ConflictCore`) explaining them: which
+    #: objects of the component store, exactly, break its own constraints.
+    component_cores: dict[str, list] = field(default_factory=dict)
     suggestions: list[Suggestion] = field(default_factory=list)
 
     @property
@@ -131,11 +135,15 @@ class IntegrationWorkbench:
             ("remote", self.remote_store),
         ):
             if store is not None:
-                violations = store.check_all()
+                violations = store.audit()
                 if violations:
-                    result.component_violations[
-                        f"{side} ({store.schema.name})"
-                    ] = violations
+                    key = f"{side} ({store.schema.name})"
+                    result.component_violations[key] = [
+                        violation.describe() for violation in violations
+                    ]
+                    result.component_cores[key] = store.explain_violations(
+                        violations
+                    )
         result.subjectivity = analyse_subjectivity(self.spec)
         result.conformation = conform(
             self.spec,
@@ -225,9 +233,101 @@ def _validate_states(result: IntegrationResult) -> list[StateViolation]:
                             oid,
                             f"state {obj.state!r} falsifies "
                             f"{constraint.describe()}",
+                            core=_state_violation_core(view, constraint, oid),
                         )
                     )
     return violations
+
+
+def _state_violation_core(view: IntegratedView, constraint, oid: str):
+    """Subset-minimal conflict core of a state violation, over the
+    integrated view: the smallest set of global objects (containing the
+    violator) whose isolated sub-view still falsifies the constraint.
+
+    Same deletion-based shrink as the engine's cores
+    (:func:`repro.engine.explain.shrink`); the conflict predicate masks
+    view extents and treats a reference to a masked global object as an
+    evaluation failure — which, mirroring ``view.satisfies`` returning
+    ``None``, counts as *resolved*.
+    """
+    from repro.constraints.evaluate import ReasonTrace, compiled
+    from repro.engine.explain import ConflictCore, CoreMember, shrink
+    from repro.errors import EvaluationError
+
+    run = compiled(constraint.formula)
+    all_oids = frozenset(view._objects)
+
+    def masked_ctx(visible, current, trace=None):
+        ctx = view.eval_context(current=current)
+        base_get_attr = ctx.get_attr
+
+        def get_attr(obj, name):
+            value = base_get_attr(obj, name)
+            target = getattr(value, "oid", None)
+            if isinstance(target, str) and target in all_oids and target not in visible:
+                raise EvaluationError(
+                    f"reference {name!r} resolves to masked global "
+                    f"object {target!r}"
+                )
+            return value
+
+        ctx.get_attr = get_attr
+        ctx.extents = {
+            name: [obj for obj in extent if obj.oid in visible]
+            for name, extent in ctx.extents.items()
+        }
+        ctx.trace = trace
+        return ctx
+
+    def conflicts(visible):
+        if oid not in visible:
+            return False
+        try:
+            return not run(masked_ctx(visible, view.get(oid)))
+        except EvaluationError:
+            return False
+
+    seed_trace = ReasonTrace()
+    try:
+        if run(masked_ctx(all_oids, view.get(oid), trace=seed_trace)):
+            return None
+    except EvaluationError:
+        return None
+    support = [s for s in seed_trace.support() if s in all_oids]
+    if oid not in support:
+        support.insert(0, oid)
+    if not conflicts(frozenset(support)):
+        support = sorted(all_oids)
+        if not conflicts(frozenset(support)):
+            return None
+    core_oids, checks, minimal = shrink(support, conflicts)
+    iso_trace = ReasonTrace()
+    conflicts_now = True
+    try:
+        conflicts_now = not run(
+            masked_ctx(frozenset(core_oids), view.get(oid), trace=iso_trace)
+        )
+    except EvaluationError:  # pragma: no cover - conflicts() above filters
+        pass
+    members = tuple(
+        CoreMember(
+            oid=member,
+            class_name=",".join(sorted(view.get(member).classes)) or "global",
+            bindings=iso_trace.chain_of(member),
+            reads=iso_trace.reads_of(member),
+        )
+        for member in sorted(core_oids)
+    )
+    return ConflictCore(
+        constraint_name=constraint.name,
+        kind="integrated",
+        members=members,
+        verdict="falsy" if conflicts_now else "stale",
+        minimal=minimal,
+        checks=checks,
+        trace=iso_trace,
+        constants=iso_trace.constants_read(),
+    )
 
 
 def _scope_classes(scope: str) -> list[str]:

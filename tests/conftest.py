@@ -1,0 +1,21 @@
+"""Shared test configuration: Hypothesis profiles.
+
+The ``ci`` profile prints the reproduction blob (``@reproduce_failure``)
+whenever a property fails, so a red CI run carries everything needed to
+replay the exact counterexample locally.  Select it with
+``HYPOTHESIS_PROFILE=ci`` (the CI workflow does); the default profile stays
+untouched so local runs keep Hypothesis' standard output.
+"""
+
+import os
+
+try:
+    from hypothesis import settings
+except ImportError:  # pragma: no cover - hypothesis is a dev dependency
+    settings = None
+
+if settings is not None:
+    settings.register_profile("ci", print_blob=True, derandomize=False)
+    profile = os.environ.get("HYPOTHESIS_PROFILE")
+    if profile:
+        settings.load_profile(profile)

@@ -146,8 +146,19 @@ OPS = st.lists(
 )
 
 
-def _apply_one(store: ObjectStore, kind: str, a: int, b: int, c: int) -> str | None:
-    """Run one op; returns ``"rejected"`` when enforcement refused it."""
+def _apply_one(
+    store: ObjectStore,
+    kind: str,
+    a: int,
+    b: int,
+    c: int,
+    on_reject=None,
+) -> str | None:
+    """Run one op; returns ``"rejected"`` when enforcement refused it.
+
+    ``on_reject`` receives the :class:`ConstraintViolation` itself, for
+    tests that compare *what* was rejected (constraint names, traces,
+    cores) and not just the verdict."""
     try:
         if kind == "pair_commit":
             with store.transaction():
@@ -210,9 +221,20 @@ def _apply_one(store: ObjectStore, kind: str, a: int, b: int, c: int) -> str | N
                 pass
         else:  # rebind: schema change with no data delta → rebuild path
             store.schema.set_constant("TUNING", c)
-    except ConstraintViolation:
+    except ConstraintViolation as exc:
+        if on_reject is not None:
+            on_reject(exc)
         return "rejected"
     return None
+
+
+def _implicated_names(exc: ConstraintViolation) -> frozenset:
+    """The constraint names a rejection implicates — from the structured
+    violation list when present (bulk revalidation / transactions), else
+    the single rejecting constraint's name."""
+    if exc.violations:
+        return frozenset(v.constraint_name for v in exc.violations)
+    return frozenset({exc.constraint_name})
 
 
 class TestReferenceIndexesMatchNaiveScans:
@@ -284,6 +306,64 @@ class TestIncrementalMatchesFullRevalidation:
         assert store._indexes.rebuilds == rebuilds + 1
         assert_reference_indexes_match_naive_scan(store)
         assert store._indexes.reference_count("Item", "publisher", acm.oid) == 2
+
+
+class TestExplanationsAgreeAcrossConfigurations:
+    """Differential acceptance property for explainable violations: the
+    delta-driven indexed store, the plain scan store, and full
+    ``store.audit()`` agree not only on the violation *set* but on the
+    subset-minimal conflict cores explaining it, and rejected operations
+    implicate the same constraints on both configurations."""
+
+    @staticmethod
+    def _core_set(store, violations):
+        return frozenset(
+            (core.constraint_name, frozenset(core.oids()))
+            for core in store.explain_violations(violations)
+        )
+
+    @given(ops=OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_audits_and_cores_agree(self, ops):
+        fast = ObjectStore(
+            reflab_schema(), enforce=False, incremental=True, indexed=True
+        )
+        slow = ObjectStore(
+            reflab_schema(), enforce=False, incremental=False, indexed=False
+        )
+        for kind, a, b, c in ops:
+            _apply_one(fast, kind, a, b, c)
+            _apply_one(slow, kind, a, b, c)
+        violations_fast = fast.audit()
+        violations_slow = slow.audit()
+        # Violation equality is (constraint_name, detail) — list order and
+        # content must match between the indexed and the scan store
+        assert violations_fast == violations_slow
+        assert self._core_set(fast, violations_fast) == self._core_set(
+            slow, violations_slow
+        )
+
+    @given(ops=OPS)
+    @settings(max_examples=60, deadline=None)
+    def test_rejections_implicate_the_same_constraints(self, ops):
+        fast = ObjectStore(reflab_schema(), incremental=True, indexed=True)
+        full = ObjectStore(reflab_schema(), incremental=False, indexed=False)
+        for kind, a, b, c in ops:
+            fast_excs: list = []
+            full_excs: list = []
+            verdict_fast = _apply_one(fast, kind, a, b, c, fast_excs.append)
+            verdict_full = _apply_one(full, kind, a, b, c, full_excs.append)
+            assert verdict_fast == verdict_full
+            if verdict_fast == "rejected":
+                # the incremental path raises on the first failing
+                # constraint, full revalidation lists every violation —
+                # they must overlap on at least one implicated constraint
+                names_fast = _implicated_names(fast_excs[0])
+                names_full = _implicated_names(full_excs[0])
+                assert names_fast & names_full, (
+                    f"disjoint rejection reasons: "
+                    f"{sorted(names_fast)} vs {sorted(names_full)}"
+                )
 
 
 class TestProbeSemantics:
