@@ -45,12 +45,21 @@ from repro.constraints import (
     parse_expression,
     to_source,
 )
-from repro.engine import DBObject, ObjectStore, select
+from repro.engine import (
+    DBObject,
+    FaultInjector,
+    FaultSpec,
+    ObjectStore,
+    SimulatedCrash,
+    fsck,
+    select,
+)
 from repro.errors import (
     ConstraintViolation,
     ReproError,
     SchemaError,
     SpecificationError,
+    StorePoisonedError,
 )
 from repro.fixtures import (
     bookseller_schema,
@@ -139,4 +148,9 @@ __all__ = [
     "SchemaError",
     "SpecificationError",
     "ConstraintViolation",
+    "StorePoisonedError",
+    "FaultInjector",
+    "FaultSpec",
+    "SimulatedCrash",
+    "fsck",
 ]

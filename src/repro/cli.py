@@ -10,6 +10,7 @@ Usage::
     python -m repro demo            # the built-in Figure 1 scenario
     python -m repro recover STOREDIR   # recover a durable store, audit it
     python -m repro snapshot STOREDIR  # checkpoint: snapshot + compact log
+    python -m repro fsck STOREDIR      # read-only scrub: frames, digests, replay
     python -m repro stress --writers 2 --readers 4 --seconds 2
     python -m repro explain STOREDIR   # minimal conflict cores for violations
     python -m repro explain --demo     # cores for every violation class
@@ -23,6 +24,11 @@ store directories of :meth:`repro.ObjectStore.open` (``snapshot.json`` +
 ``wal.jsonl``); ``recover`` exits non-zero when the recovered state violates
 its constraints, and warns (non-zero under ``--strict``) when the log tail
 carries schema-change records newer than the snapshot's schema digest.
+``fsck`` scrubs a durable directory *without* opening it for writing —
+CRC-checking every log frame, verifying the snapshot digests (newest and
+retained fallback), and replay-certifying the recoverable committed
+prefix — and exits 0 (clean), 1 (damaged but a committed prefix is
+recoverable by reopening) or 2 (no committed prefix survives).
 ``stress`` exercises the store under concurrent load: writer threads
 committing transactions against one shared store while reader threads
 consume lock-free snapshots — with ``--dir``/``--sync`` the committers
@@ -95,6 +101,21 @@ def _run_durable_command(args: argparse.Namespace) -> int:
     try:
         drifted = False
         info = store.recovery_info
+        if info is not None and info.used_fallback_snapshot:
+            reason = info.snapshot_error or "newest snapshot missing"
+            print(
+                f"warning: recovered from the retained previous snapshot "
+                f"({reason}); run `repro snapshot` to write a fresh one",
+                file=sys.stderr,
+            )
+            if info.lsn_gap:
+                print(
+                    "warning: the log was reset for a checkpoint newer than "
+                    "the fallback snapshot — its records were dropped, and "
+                    "the store holds the fallback checkpoint's committed "
+                    "state",
+                    file=sys.stderr,
+                )
         if info is not None and info.schema_drift:
             drifted = args.command == "recover"
             print(
@@ -132,6 +153,44 @@ def _run_durable_command(args: argparse.Namespace) -> int:
         return 1 if (drifted and getattr(args, "strict", False)) else 0
     finally:
         store.close()
+
+
+def _run_fsck(args: argparse.Namespace) -> int:
+    """``fsck``: read-only scrub of a durable store directory."""
+    from repro.engine.wal import fsck
+
+    report = fsck(args.directory)
+    print(
+        f"{report.path}: {report.status} — {report.frames_valid} intact log "
+        f"frame(s); certified prefix holds {report.objects} object(s) "
+        f"({report.replayed} op(s) replayed, {report.discarded} discarded, "
+        f"{report.tail_bytes} log byte(s) beyond it)"
+    )
+    for finding in report.findings:
+        print(f"  {finding}", file=sys.stderr)
+    if args.deep and report.status != "fatal":
+        # --deep actually *opens* the store and audits its constraints.
+        # Unlike the scrub passes this repairs on the way in (tail
+        # truncation, snapshot-rotation repair), exactly like any reopen.
+        try:
+            store = ObjectStore.open(args.directory, verify=False)
+        except ReproError as exc:
+            print(f"deep audit: cannot open: {exc}", file=sys.stderr)
+            return 2
+        try:
+            violations = store.check_all()
+        finally:
+            store.close()
+        if violations:
+            print(
+                f"deep audit: {len(violations)} constraint violation(s):",
+                file=sys.stderr,
+            )
+            for violation in violations:
+                print(f"  {violation}", file=sys.stderr)
+            return max(report.exit_code, 1)
+        print("deep audit: all constraints hold")
+    return report.exit_code
 
 
 def _explain_demo_stores() -> "list[ObjectStore]":
@@ -390,6 +449,22 @@ def main(argv: list[str] | None = None) -> int:
         "directory", help="durable store directory (snapshot.json + wal.jsonl)"
     )
 
+    fsck = commands.add_parser(
+        "fsck",
+        help="scrub a durable store without opening it for writing: CRC "
+        "frames, snapshot digests, replay certification (exit 0 clean, "
+        "1 truncatable damage, 2 unrecoverable)",
+    )
+    fsck.add_argument(
+        "directory", help="durable store directory (snapshot.json + wal.jsonl)"
+    )
+    fsck.add_argument(
+        "--deep",
+        action="store_true",
+        help="additionally open the recoverable prefix and audit its "
+        "constraints (repairs the directory on the way in, like any reopen)",
+    )
+
     explain = commands.add_parser(
         "explain",
         help="audit a durable store and print a subset-minimal conflict "
@@ -442,6 +517,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command in ("recover", "snapshot"):
         return _run_durable_command(args)
+
+    if args.command == "fsck":
+        return _run_fsck(args)
 
     if args.command == "explain":
         return _run_explain(args)

@@ -29,10 +29,22 @@ constraint of its TM schema.
 * :mod:`~repro.engine.concurrency` — concurrent serving: immutable
   snapshot reads (multi-version history behind
   :meth:`~repro.engine.store.ObjectStore.snapshot`) beside the store's
-  single writer.
+  single writer;
+* :mod:`~repro.engine.faults` — deterministic fault injection for the
+  durability stack (torn writes, failed fsyncs, ENOSPC, bit rot,
+  crash-at-rename), the errno classification policy, and the fail-stop
+  (poisoned, read-only) degradation the write-ahead log applies when a
+  commit point dies.
 """
 
 from repro.engine.concurrency import ConcurrencyControl, Snapshot, SnapshotObject
+from repro.engine.faults import (
+    FaultInjector,
+    FaultSpec,
+    SimulatedCrash,
+    classify_os_error,
+    flip_byte,
+)
 from repro.engine.objects import DBObject
 from repro.engine.store import ObjectStore
 from repro.engine.query import select
@@ -43,7 +55,7 @@ from repro.engine.incremental import (
     delta_violations,
 )
 from repro.engine.indexes import IndexManager, KeyIndex, RunningAggregate
-from repro.engine.wal import WriteAheadLog
+from repro.engine.wal import FsckReport, WriteAheadLog, fsck
 
 __all__ = [
     "ConcurrencyControl",
@@ -60,4 +72,11 @@ __all__ = [
     "KeyIndex",
     "RunningAggregate",
     "WriteAheadLog",
+    "FsckReport",
+    "fsck",
+    "FaultInjector",
+    "FaultSpec",
+    "SimulatedCrash",
+    "classify_os_error",
+    "flip_byte",
 ]

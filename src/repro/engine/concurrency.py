@@ -62,6 +62,15 @@ What is and isn't linearizable is documented in
 commits are linearizable (they serialize on the writer lock), snapshots
 are consistent prefixes of that order, but *schema* mutations are shared
 state outside snapshot isolation.
+
+Fail-stop interaction: when a durable store's write-ahead log poisons
+itself (a commit-point IO failure — see :mod:`repro.engine.faults` and
+:meth:`repro.engine.wal.WriteAheadLog.poison`), mutations start raising
+:class:`~repro.errors.StorePoisonedError` *before* touching the store, so
+nothing new is ever published — but this layer keeps serving: snapshots
+taken before or after the poisoning remain valid, lock-free reads of the
+last committed (and durably replayable) state.  Read-only degradation is
+a property of the write path; the read path never notices.
 """
 
 from __future__ import annotations

@@ -12,6 +12,7 @@ from typing import Any, Iterable, Mapping
 
 from repro.constraints.evaluate import EvalContext
 from repro.engine.concurrency import ConcurrencyControl, Snapshot
+from repro.engine.faults import FaultInjector
 from repro.engine.indexes import IndexManager, oid_sort_key
 from repro.engine.objects import DBObject
 from repro.engine.wal import RecoveredImage, WriteAheadLog, load_image
@@ -243,6 +244,7 @@ class ObjectStore:
         full_state = dict(state or {})
         full_state.update(kwargs)
         checked = self._check_types(class_name, full_state)
+        self._check_writable()
         self._oid_seq += 1
         oid = f"{class_name}#{self._oid_seq}"
         obj = DBObject(oid, class_name, checked)
@@ -267,14 +269,26 @@ class ObjectStore:
                 self._indexes.on_delete(obj)
             raise
         # Write-through only after the insert is accepted: a rejected
-        # operation must leave no trace in the log either.  Publication
-        # precedes the flush/checkpoint step: the in-memory commit stands
-        # even if durability raises, so snapshots must not skip it.
-        self._publish_commit(((obj.oid, obj.class_name, obj.state),))
+        # operation must leave no trace in the log either.  The log append
+        # and flush come *before* publication — if they fail, the record's
+        # durable fate is unknown, so the in-memory insert is undone and
+        # snapshots never see a state the durable prefix cannot replay.
         ticket = None
         if self._wal is not None:
-            self._wal.log_insert(obj)
-            ticket = self._wal_commit_point()
+            try:
+                self._wal.log_insert(obj)
+                ticket = self._wal_flush_point()
+            except BaseException:
+                del self._objects[oid]
+                self._direct_extents[class_name].discard(oid)
+                if self._indexes is not None:
+                    self._indexes.on_delete(obj)
+                raise
+        self._publish_commit(((obj.oid, obj.class_name, obj.state),))
+        if self._wal is not None:
+            # The checkpoint policy runs after publication: its failure
+            # abandons the ticket but the accepted commit stands.
+            ticket = self._wal_checkpoint_policy(ticket)
         return obj, ticket
 
     def update(self, target: DBObject | str, **changes: Any) -> DBObject:
@@ -296,6 +310,7 @@ class ObjectStore:
         new_state = dict(obj.state)
         new_state.update(changes)
         checked = self._check_types(obj.class_name, new_state)
+        self._check_writable()
         old_state = obj.state
         self._log_undo(obj.oid, (obj, old_state))
         obj.state = checked
@@ -310,11 +325,22 @@ class ObjectStore:
             if self._indexes is not None:
                 self._indexes.on_update(obj, checked, old_state)
             raise
-        self._publish_commit(((obj.oid, obj.class_name, obj.state),))
         ticket = None
         if self._wal is not None:
-            self._wal.log_update(obj)
-            ticket = self._wal_commit_point()
+            try:
+                self._wal.log_update(obj)
+                ticket = self._wal_flush_point()
+            except BaseException:
+                # See _insert_locked: memory must not run ahead of the
+                # durable prefix, so a failed write-through undoes the
+                # in-memory update before propagating.
+                obj.state = old_state
+                if self._indexes is not None:
+                    self._indexes.on_update(obj, checked, old_state)
+                raise
+        self._publish_commit(((obj.oid, obj.class_name, obj.state),))
+        if self._wal is not None:
+            ticket = self._wal_checkpoint_policy(ticket)
         return obj, ticket
 
     def delete(self, target: DBObject | str) -> None:
@@ -328,6 +354,7 @@ class ObjectStore:
 
     def _delete_locked(self, target: DBObject | str) -> "int | None":
         obj = self.get(target.oid if isinstance(target, DBObject) else target)
+        self._check_writable()
         self._log_undo(obj.oid, (obj, obj.state))
         del self._objects[obj.oid]
         self._direct_extents[obj.class_name].discard(obj.oid)
@@ -352,11 +379,23 @@ class ObjectStore:
                 self._indexes.on_insert(obj)
             self._restore_object_order()
             raise
-        self._publish_commit(((obj.oid, obj.class_name, None),))
         ticket = None
         if self._wal is not None:
-            self._wal.log_delete(obj.oid)
-            ticket = self._wal_commit_point()
+            try:
+                self._wal.log_delete(obj.oid)
+                ticket = self._wal_flush_point()
+            except BaseException:
+                # See _insert_locked: re-register the object so memory
+                # stays on the durable prefix.
+                self._objects[obj.oid] = obj
+                self._direct_extents[obj.class_name].add(obj.oid)
+                if self._indexes is not None:
+                    self._indexes.on_insert(obj)
+                self._restore_object_order()
+                raise
+        self._publish_commit(((obj.oid, obj.class_name, None),))
+        if self._wal is not None:
+            ticket = self._wal_checkpoint_policy(ticket)
         return ticket
 
     # -- type checking -----------------------------------------------------------------
@@ -608,6 +647,7 @@ class ObjectStore:
         sync: bool = False,
         checkpoint_every: int = 10_000,
         verify: bool = True,
+        faults: "FaultInjector | None" = None,
     ) -> "ObjectStore":
         """Open the durable store at ``path``, recovering existing state.
 
@@ -627,10 +667,16 @@ class ObjectStore:
         ``violations``) if the recovered state is inconsistent, and
         re-baselining incremental enforcement when clean.  Disable it to
         inspect stores whose history ran with ``enforce=False``.
+
+        ``faults`` threads a :class:`~repro.engine.faults.FaultInjector`
+        through every file operation of the attached log (testing only;
+        ``None`` is a true no-op).
         """
         from repro.tm.parser import parse_database
 
-        wal = WriteAheadLog(path, sync=sync, checkpoint_every=checkpoint_every)
+        wal = WriteAheadLog(
+            path, sync=sync, checkpoint_every=checkpoint_every, faults=faults
+        )
         image = load_image(path)
         if image is None:
             if schema is None:
@@ -722,22 +768,39 @@ class ObjectStore:
             if self._wal is not None:
                 self._wal.close()
 
-    def _wal_commit_point(self) -> "int | None":
-        """After a logged mutation: outside transactions the record is an
-        auto-commit, so flush it and give the checkpoint policy a chance;
-        inside one, the commit/abort marker is the flush point.
+    def _check_writable(self) -> None:
+        """Refuse mutations on a poisoned (fail-stopped) durable store.
 
-        Returns the group-commit durability ticket to redeem *after* the
-        writer lock is released (``None`` when no fsync is owed)."""
+        Raises :class:`~repro.errors.StorePoisonedError` before any
+        in-memory state is touched.  Reads — snapshots included — keep
+        working; reopening the directory recovers the durable prefix."""
+        if self._wal is not None:
+            self._wal.check_poisoned()
+
+    def _wal_flush_point(self) -> "int | None":
+        """Flush half of an auto-commit point, under the writer lock and
+        *before* publication: a failure here means the record's durable
+        fate is unknown, and the caller rolls the in-memory mutation back.
+        Inside a transaction the commit/abort marker is the flush point,
+        so this is a no-op."""
         if self._deferred:
             return None
-        ticket = self._wal.commit_flush()
+        return self._wal.commit_flush()
+
+    def _wal_checkpoint_policy(self, ticket: "int | None") -> "int | None":
+        """Checkpoint half of an auto-commit point, *after* publication:
+        the commit is flushed and accepted, so a checkpoint failure only
+        abandons the unredeemed ticket (keeping group-commit accounting
+        balanced) and propagates — it never rolls the mutation back.
+
+        Returns the ticket to redeem once the writer lock is released
+        (``None`` when no fsync is owed)."""
+        if self._deferred:
+            return ticket
         try:
             if self._wal.should_checkpoint():
                 self.checkpoint()
         except BaseException:
-            # The commit itself is flushed and accepted; release the
-            # unredeemed ticket so group-commit accounting stays balanced.
             self._wal.abandon_ticket(ticket)
             raise
         return ticket
@@ -764,11 +827,25 @@ class ObjectStore:
                 raise EngineError(
                     "cannot rebind a schema constant inside a transaction"
                 )
+            self._check_writable()
+            existed = name in self.schema.constants
+            previous = self.schema.constants.get(name)
             self.schema.set_constant(name, value)
             ticket = None
             if self._wal is not None:
-                self._wal.log_set_constant(name, value)
-                ticket = self._wal_commit_point()
+                try:
+                    self._wal.log_set_constant(name, value)
+                    ticket = self._wal_flush_point()
+                except BaseException:
+                    # The record's durable fate is unknown: restore the
+                    # in-memory binding so the schema never runs ahead of
+                    # the durable prefix.
+                    if existed:
+                        self.schema.set_constant(name, previous)
+                    else:
+                        self.schema.constants.pop(name, None)
+                    raise
+                ticket = self._wal_checkpoint_policy(ticket)
         self._await_durability(ticket)
 
     def log_schema_change(self) -> None:
@@ -779,6 +856,12 @@ class ObjectStore:
         logged as a full schema record, so recovery replays the change
         instead of resurrecting the checkpoint's stale schema.  No-op for
         in-memory stores; refused inside a transaction.
+
+        The schema was already mutated in place by the caller, so a log
+        failure here cannot be rolled back — the write-ahead log poisons
+        itself (the store degrades to read-only) and the error propagates;
+        reopening the directory recovers the schema as of the durable
+        prefix, without the unlogged change.
         """
         with self._lock:
             if self._wal is None:
@@ -787,10 +870,12 @@ class ObjectStore:
                 raise EngineError(
                     "cannot log a schema change inside a transaction"
                 )
+            self._check_writable()
             from repro.tm.printer import schema_to_source
 
             self._wal.log_schema(schema_to_source(self.schema))
-            ticket = self._wal_commit_point()
+            ticket = self._wal_flush_point()
+            ticket = self._wal_checkpoint_policy(ticket)
         self._await_durability(ticket)
 
     @property

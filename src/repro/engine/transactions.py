@@ -167,19 +167,29 @@ class Transaction:
                     violations=violations,
                     cores=cores,
                 )
-        # Publication precedes the log flush/checkpoint: the in-memory
-        # commit stands even if durability raises below, so snapshots must
-        # not skip it.
-        self._publish(undo)
         ticket = None
         if store._wal is not None:
-            ticket = store._wal.commit_transaction()
+            try:
+                ticket = store._wal.commit_transaction()
+            except BaseException:
+                # The commit marker (or its flush) failed: the bracket may
+                # be open in the durable log, so recovery will discard the
+                # transaction — memory must drop it too, or it would run
+                # ahead of the durable prefix.  The log poisoned itself;
+                # undo everything touched and propagate.
+                self._apply_undo(undo)
+                raise
+        # Publication happens after the flushed commit marker: snapshots
+        # only ever show transactions the durable prefix can replay.  The
+        # checkpoint policy runs after publication — its failure abandons
+        # the unredeemed ticket (so close() cannot wait on it forever) but
+        # the accepted commit stands.
+        self._publish(undo)
+        if store._wal is not None:
             try:
                 if store._wal.should_checkpoint():
                     store.checkpoint()
             except BaseException:
-                # The commit is flushed and accepted; release the
-                # unredeemed ticket so close() cannot wait on it forever.
                 store._wal.abandon_ticket(ticket)
                 raise
         return ticket

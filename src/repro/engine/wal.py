@@ -95,6 +95,34 @@ commits (the ``fsyncs``/``sync_commits`` counters expose the ratio), while
 a lone committer keeps the exact pre-group-commit latency: no concurrent
 ticket, no window, immediate fsync.
 
+Failure model
+-------------
+
+Every file operation is routed through an optional
+:class:`~repro.engine.faults.FaultInjector` (a no-op by default), and the
+log is **fail-stop**: an IO failure at a commit point — the append whose
+bytes may now sit partially in a userspace buffer, the flush whose state
+is unknown, or the fsync that must never be retried (fsyncgate: the kernel
+may have dropped the dirty pages while marking them clean) — **poisons**
+the log.  A poisoned log refuses every further append and flush with
+:class:`~repro.errors.StorePoisonedError`; the owning store degrades to
+read-only (snapshots still served) until the directory is reopened, which
+recovers exactly the durable committed prefix.  Retry-with-backoff is
+applied only where it is sound: directory fsyncs and renames, on the
+transient errno classes (``EINTR``/``EAGAIN``), with unsupported-class
+errors (directory fsync on filesystems where it is advisory) counted in
+``telemetry`` instead of silently swallowed.
+
+On the read side every snapshot payload carries a whole-file digest that
+:func:`load_image` verifies, the previous checkpoint snapshot is retained
+as ``snapshot.prev.json`` with automatic fallback when the newest is
+damaged (an LSN-contiguity check then truncates any log tail the older
+base cannot replay onto, so fallback recovery still yields exactly a
+committed prefix — the previous checkpoint's), and :func:`fsck` scrubs a
+directory offline: CRC frames, snapshot digests, replay certification,
+with ``clean``/``truncatable``/``fatal`` verdicts mapped to exit codes
+0/1/2 by the ``repro fsck`` CLI.
+
 Single-writer: a durable directory must be attached to at most one live
 store at a time (the owning store's writer lock serializes appends);
 nothing locks the directory itself against other processes.
@@ -112,15 +140,28 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Mapping, TYPE_CHECKING
 
+from repro.engine.faults import (
+    UNSUPPORTED_DIR_FSYNC_ERRNOS,
+    FaultInjector,
+    classify_os_error,
+)
 from repro.engine.indexes import oid_counter
-from repro.errors import EngineError
+from repro.errors import EngineError, StorePoisonedError
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.engine.objects import DBObject
 
 SNAPSHOT_NAME = "snapshot.json"
+SNAPSHOT_PREV_NAME = "snapshot.prev.json"
 LOG_NAME = "wal.jsonl"
 SNAPSHOT_FORMAT = 1
+
+#: Bounded-retry policy for the call sites where retry is *sound*
+#: (directory fsync, rename): attempts and the base backoff that doubles
+#: between them.  Commit-point fsyncs are never retried — see
+#: :meth:`WriteAheadLog.poison`.
+_RETRY_ATTEMPTS = 3
+_RETRY_BACKOFF = 0.001
 
 _OPS = ("insert", "update", "delete")
 
@@ -225,27 +266,127 @@ def scan_log(data: bytes) -> tuple[list[tuple[dict, int]], int, bool]:
     return records, offset, False
 
 
-def _fsync_directory(path: Path) -> None:
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:  # pragma: no cover - platform-dependent
-        return
-    try:
-        os.fsync(fd)
-    except OSError:  # pragma: no cover
-        pass
-    finally:
-        os.close(fd)
+def _count(telemetry: "dict | None", key: str) -> None:
+    if telemetry is not None:
+        telemetry[key] = telemetry.get(key, 0) + 1
 
 
-def _write_json_atomic(path: Path, payload: dict) -> None:
+def _fsync_directory(
+    path: Path,
+    faults: "FaultInjector | None" = None,
+    telemetry: "dict | None" = None,
+) -> None:
+    """Fsync a directory entry, with errors classified instead of swallowed.
+
+    Directory fsync is the one fsync where retry *is* sound (nothing was
+    handed to the kernel that a failure could have silently dropped — the
+    rename itself already happened), and where some filesystems legitimately
+    refuse the operation.  Policy per :func:`~repro.engine.faults.classify_os_error`:
+    ``unsupported`` errno classes are counted in ``telemetry`` and skipped,
+    ``transient`` ones get a bounded retry with doubling backoff, anything
+    else (EIO, ENOSPC, the unknown) raises — a durability guarantee the
+    disk refused must not be reported as kept.
+    """
+    for attempt in range(_RETRY_ATTEMPTS):
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError as exc:
+            kind = classify_os_error(exc, UNSUPPORTED_DIR_FSYNC_ERRNOS)
+            if kind == "unsupported":
+                _count(telemetry, "dir_fsync_unsupported")
+                return
+            if kind == "transient" and attempt + 1 < _RETRY_ATTEMPTS:
+                _count(telemetry, "dir_fsync_retries")
+                time.sleep(_RETRY_BACKOFF * (2**attempt))
+                continue
+            raise
+        try:
+            if faults is not None:
+                faults.fsync(fd, "dir.fsync")
+            else:
+                os.fsync(fd)
+            return
+        except OSError as exc:
+            kind = classify_os_error(exc, UNSUPPORTED_DIR_FSYNC_ERRNOS)
+            if kind == "unsupported":
+                _count(telemetry, "dir_fsync_unsupported")
+                return
+            if kind == "transient" and attempt + 1 < _RETRY_ATTEMPTS:
+                _count(telemetry, "dir_fsync_retries")
+                time.sleep(_RETRY_BACKOFF * (2**attempt))
+                continue
+            raise
+        finally:
+            os.close(fd)
+
+
+def _replace_with_retry(
+    src: Path,
+    dst: Path,
+    point: str,
+    faults: "FaultInjector | None" = None,
+    telemetry: "dict | None" = None,
+) -> None:
+    """``os.replace`` with a bounded retry on the transient errno classes
+    (the other rename-shaped call site where retry is sound: an EINTR'd
+    rename either happened or did not — re-issuing it is idempotent)."""
+    for attempt in range(_RETRY_ATTEMPTS):
+        try:
+            if faults is not None:
+                faults.replace(src, dst, point)
+            else:
+                os.replace(src, dst)
+            return
+        except OSError as exc:
+            if (
+                classify_os_error(exc) == "transient"
+                and attempt + 1 < _RETRY_ATTEMPTS
+            ):
+                _count(telemetry, "replace_retries")
+                time.sleep(_RETRY_BACKOFF * (2**attempt))
+                continue
+            raise
+
+
+def snapshot_payload_digest(payload: Mapping[str, Any]) -> str:
+    """The whole-file integrity digest of a snapshot payload: SHA-256 over
+    the canonical JSON rendering of everything except the ``digest`` key
+    itself.  Catches silent corruption (bit rot, partial overwrites) that
+    still parses as JSON — which the format check alone would accept."""
+    body = {key: value for key, value in payload.items() if key != "digest"}
+    canonical = json.dumps(body, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _write_json_atomic(
+    path: Path,
+    payload: dict,
+    faults: "FaultInjector | None" = None,
+    telemetry: "dict | None" = None,
+    retain: "Path | None" = None,
+) -> None:
+    """Atomically publish ``payload`` at ``path`` (tmp + fsync + rename +
+    directory fsync).  With ``retain``, the previous file at ``path`` is
+    rotated there first — the rotation order (tmp written and fsynced →
+    current→retain rename → tmp→current rename → directory fsync) leaves
+    every crash window recoverable: at any instant at least one of
+    ``path``/``retain`` holds a complete, verifiable payload."""
     tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, separators=(",", ":"), sort_keys=True)
+    data = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    with open(tmp, "wb") as handle:
+        if faults is not None:
+            faults.write(handle, data, "snapshot.write")
+        else:
+            handle.write(data)
         handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
-    _fsync_directory(path.parent)
+        if faults is not None:
+            faults.fsync(handle.fileno(), "snapshot.fsync")
+        else:
+            os.fsync(handle.fileno())
+    if retain is not None and path.exists():
+        _replace_with_retry(path, retain, "snapshot.retain", faults, telemetry)
+    _replace_with_retry(tmp, path, "snapshot.replace", faults, telemetry)
+    _fsync_directory(path.parent, faults, telemetry)
 
 
 # ---------------------------------------------------------------------------
@@ -289,29 +430,35 @@ class RecoveredImage:
     #: recorded digest — the snapshot no longer describes the running
     #: schema until the next checkpoint.
     schema_drift: bool = False
+    #: True when ``snapshot.json`` was missing or damaged and recovery fell
+    #: back to the retained ``snapshot.prev.json``.
+    used_fallback_snapshot: bool = False
+    #: What was wrong with the newest snapshot when the fallback was taken.
+    snapshot_error: "str | None" = None
+    #: True when the log's LSN sequence had a hole relative to the recovered
+    #: snapshot base (only possible after a fallback: the log was reset for
+    #: a newer checkpoint the fallback predates).  Replay truncates at the
+    #: gap, so the recovered state is exactly the fallback checkpoint's.
+    lsn_gap: bool = False
 
 
-def load_image(path: str | Path) -> RecoveredImage | None:
-    """Recover the durable image under ``path``; ``None`` when nothing exists.
+def _read_snapshot(snapshot_path: Path) -> dict:
+    """Parse and integrity-check one snapshot file.
 
-    Replays the snapshot, then every *committed* log record with
-    ``lsn >= snapshot.next_lsn`` (see the module docstring for the bracket
-    semantics).  Raises :class:`EngineError` on a malformed snapshot or a
-    log with no snapshot (the snapshot holds the schema, so a bare log is
-    unrecoverable).
-    """
-    base = Path(path)
-    snapshot_path = base / SNAPSHOT_NAME
-    log_path = base / LOG_NAME
-    if not snapshot_path.exists():
-        if log_path.exists():
-            raise EngineError(
-                f"write-ahead log without a snapshot at {str(base)!r}: the "
-                "snapshot holds the schema, so the log alone cannot be recovered"
-            )
-        return None
+    Raises :class:`EngineError` on unreadable bytes, non-JSON content, an
+    unknown format, or a digest mismatch (payloads written since digests
+    were introduced embed one; older snapshots without it are accepted on
+    parse alone)."""
     try:
-        snapshot = json.loads(snapshot_path.read_text(encoding="utf-8"))
+        raw = snapshot_path.read_bytes()
+    except OSError as exc:
+        raise EngineError(
+            f"unreadable snapshot at {str(snapshot_path)!r}: {exc}"
+        ) from exc
+    try:
+        # json.loads decodes the bytes itself; a bit flip landing inside a
+        # UTF-8 sequence raises UnicodeDecodeError, a ValueError subclass.
+        snapshot = json.loads(raw)
     except ValueError as exc:
         raise EngineError(f"corrupt snapshot at {str(snapshot_path)!r}: {exc}") from exc
     if not isinstance(snapshot, dict) or snapshot.get("format") != SNAPSHOT_FORMAT:
@@ -319,6 +466,67 @@ def load_image(path: str | Path) -> RecoveredImage | None:
             f"unsupported snapshot format at {str(snapshot_path)!r}: "
             f"{snapshot.get('format') if isinstance(snapshot, dict) else snapshot!r}"
         )
+    digest = snapshot.get("digest")
+    if digest is not None and digest != snapshot_payload_digest(snapshot):
+        raise EngineError(
+            f"snapshot digest mismatch at {str(snapshot_path)!r}: the file "
+            "was altered after it was written"
+        )
+    return snapshot
+
+
+def load_image(path: str | Path) -> RecoveredImage | None:
+    """Recover the durable image under ``path``; ``None`` when nothing exists.
+
+    Replays the snapshot, then every *committed* log record with
+    ``lsn >= snapshot.next_lsn`` (see the module docstring for the bracket
+    semantics).  A damaged or missing ``snapshot.json`` falls back to the
+    retained ``snapshot.prev.json`` when one exists (``used_fallback_snapshot``
+    flags it); a hole in the log's LSN sequence relative to the recovered
+    base truncates replay at the hole, so the result is always exactly a
+    committed prefix.  Raises :class:`EngineError` when no intact snapshot
+    survives, or on a log with no snapshot at all (the snapshot holds the
+    schema, so a bare log is unrecoverable).
+    """
+    base = Path(path)
+    snapshot_path = base / SNAPSHOT_NAME
+    prev_path = base / SNAPSHOT_PREV_NAME
+    log_path = base / LOG_NAME
+    used_fallback = False
+    snapshot_error: str | None = None
+    if snapshot_path.exists():
+        try:
+            snapshot = _read_snapshot(snapshot_path)
+        except EngineError as exc:
+            if not prev_path.exists():
+                raise
+            # Newest snapshot damaged but the previous checkpoint was
+            # retained: fall back.  If the fallback is damaged too, its
+            # (chained) error propagates — nothing recoverable remains.
+            try:
+                snapshot = _read_snapshot(prev_path)
+            except EngineError as prev_exc:
+                raise EngineError(
+                    f"{prev_exc} (after falling back from the newest "
+                    f"snapshot, itself unusable: {exc})"
+                ) from exc
+            used_fallback = True
+            snapshot_error = str(exc)
+    elif prev_path.exists():
+        # Crash window inside the snapshot rotation: the old current was
+        # renamed to .prev but the new file never made it into place.
+        snapshot = _read_snapshot(prev_path)
+        used_fallback = True
+        snapshot_error = (
+            f"missing {SNAPSHOT_NAME} (crash during snapshot rotation)"
+        )
+    elif log_path.exists():
+        raise EngineError(
+            f"write-ahead log without a snapshot at {str(base)!r}: the "
+            "snapshot holds the schema, so the log alone cannot be recovered"
+        )
+    else:
+        return None
 
     objects: dict[str, tuple[str, dict]] = {}
     counter = int(snapshot.get("counter", 0))
@@ -363,6 +571,22 @@ def load_image(path: str | Path) -> RecoveredImage | None:
     tail_offset: int | None = None
     tail_kept = 0
     max_lsn = start_lsn - 1
+    lsn_gap = False
+    if used_fallback and records and int(records[0][0]["n"]) > start_lsn:
+        # The log starts *above* the fallback base's LSN horizon: it was
+        # reset for a checkpoint the fallback predates, so the records
+        # between ``start_lsn`` and the log's first record are folded into
+        # the damaged newer snapshot only.  Replaying the survivors onto
+        # the older base would fabricate a state no commit ever produced —
+        # drop the whole log instead; recovery then yields exactly the
+        # fallback checkpoint's committed state (still a committed prefix).
+        # Note an LSN jump *within* a log is benign and replayed normally:
+        # resume-time tail truncation discards records without reusing
+        # their LSNs, so healthy logs contain such jumps by design.
+        lsn_gap = True
+        records = []
+        valid_bytes = 0
+        torn = False
     for record, offset in records:
         lsn = int(record["n"])
         kind = record["t"]
@@ -433,6 +657,9 @@ def load_image(path: str | Path) -> RecoveredImage | None:
         constants=constants,
         schema_changes=schema_changes,
         schema_drift=schema_changes > 0 and final_digest != baseline_digest,
+        used_fallback_snapshot=used_fallback,
+        snapshot_error=snapshot_error,
+        lsn_gap=lsn_gap,
     )
 
 
@@ -469,11 +696,23 @@ class WriteAheadLog:
         sync: bool = False,
         checkpoint_every: int = 10_000,
         group_window: float = 0.001,
+        faults: "FaultInjector | None" = None,
     ):
         self.path = Path(path)
         self.sync = sync
         self.checkpoint_every = checkpoint_every
         self.group_window = group_window
+        #: Optional fault-injection shim every file operation routes
+        #: through (:mod:`repro.engine.faults`); ``None`` costs nothing.
+        self.faults = faults
+        #: Why this log fail-stopped, or ``None`` while healthy.  Set once
+        #: (first failure wins) by :meth:`poison`; never cleared — recovery
+        #: means reopening the directory, not resuscitating this object.
+        self._poisoned: "str | None" = None
+        #: Classified-error and degraded-path counters: keys like
+        #: ``dir_fsync_unsupported``, ``dir_fsync_retries``,
+        #: ``replace_retries``, ``abort_markers_skipped``.
+        self.telemetry: dict[str, int] = {}
         self._handle = None
         self._next_lsn = 0
         #: Open transaction brackets: ``{"id": txid, "written": bool}``.
@@ -503,11 +742,60 @@ class WriteAheadLog:
         return self.path / SNAPSHOT_NAME
 
     @property
+    def prev_snapshot_path(self) -> Path:
+        return self.path / SNAPSHOT_PREV_NAME
+
+    @property
     def log_path(self) -> Path:
         return self.path / LOG_NAME
 
     def has_data(self) -> bool:
-        return self.snapshot_path.exists() or self.log_path.exists()
+        # The retained previous snapshot counts: a directory that crashed
+        # mid-rotation holds only snapshot.prev.json, and initializing a
+        # fresh store over it would clobber the recoverable state.
+        return (
+            self.snapshot_path.exists()
+            or self.prev_snapshot_path.exists()
+            or self.log_path.exists()
+        )
+
+    # -- fail-stop ---------------------------------------------------------------
+
+    @property
+    def poisoned(self) -> "str | None":
+        """Why this log fail-stopped, or ``None`` while healthy."""
+        return self._poisoned
+
+    def poison(self, reason: str) -> None:
+        """Fail-stop the log: every further append, flush, and durability
+        wait raises :class:`StorePoisonedError`.
+
+        Called on any commit-point IO failure.  The fsync case is the
+        load-bearing one (fsyncgate): after a failed fsync the kernel may
+        have dropped the dirty pages *and marked them clean*, so a retry
+        that returns success proves nothing about the lost writes — the
+        only honest outcome is to stop accepting commits and let a reopen
+        recover the prefix the disk actually holds.  Append/flush failures
+        poison for a different reason: part of a record may sit in the
+        userspace buffer, and if it ever flushed it would be mid-log
+        garbage that truncates *later* committed records at recovery.
+
+        First reason wins; waiters blocked in :meth:`wait_durable` are
+        woken so they can fail instead of hanging.
+        """
+        with self._sync_cond:
+            if self._poisoned is None:
+                self._poisoned = reason
+            self._sync_cond.notify_all()
+
+    def check_poisoned(self) -> None:
+        """Raise :class:`StorePoisonedError` if the log has fail-stopped."""
+        if self._poisoned is not None:
+            raise StorePoisonedError(
+                f"write-ahead log at {str(self.path)!r} is poisoned: "
+                f"{self._poisoned}; the store is read-only (reopen the "
+                "directory to recover the durable prefix)"
+            )
 
     @property
     def pending_records(self) -> int:
@@ -530,21 +818,67 @@ class WriteAheadLog:
 
     def resume(self, image: RecoveredImage) -> None:
         """Attach to a recovered directory: truncate everything recovery
-        discarded — the torn tail *and* any trailing uncommitted transaction
+        discarded — the torn tail, any trailing uncommitted transaction
         bracket (a stale open ``begin`` left in the log would swallow this
-        session's committed records at the next recovery) — and continue
-        the LSN sequence."""
+        session's committed records at the next recovery), and anything past
+        an LSN gap — and continue the LSN sequence.
+
+        Crash windows here are benign by construction and pinned by
+        regression tests: a crash *before* the truncate changes nothing
+        (the next recovery discards the same tail again), and a crash
+        *between truncate and fsync* can at worst resurrect part of the
+        discarded tail, which the next recovery re-discards — truncation
+        never touches the committed prefix, so no window loses it.
+
+        When recovery fell back to the retained previous snapshot, the
+        damaged ``snapshot.json`` is repaired first (atomically overwritten
+        with the fallback's content): the next checkpoint's rotation would
+        otherwise rotate the *damaged* file over the good fallback.
+        """
         self.path.mkdir(parents=True, exist_ok=True)
+        if image.used_fallback_snapshot and self.prev_snapshot_path.exists():
+            self._repair_snapshot_rotation()
         if self.log_path.exists():
             if self.log_path.stat().st_size > image.log_valid_bytes:
                 with open(self.log_path, "r+b") as handle:
-                    handle.truncate(image.log_valid_bytes)
+                    if self.faults is not None:
+                        self.faults.truncate(
+                            handle, image.log_valid_bytes, "wal.resume_truncate"
+                        )
+                    else:
+                        handle.truncate(image.log_valid_bytes)
                     handle.flush()
-                    os.fsync(handle.fileno())
+                    if self.faults is not None:
+                        self.faults.fsync(handle.fileno(), "wal.resume_fsync")
+                    else:
+                        os.fsync(handle.fileno())
         else:  # snapshot-only directory (e.g. crash between snapshot and log reset)
             self.log_path.touch()
         self._next_lsn = image.next_lsn
         self._records_since_snapshot = image.log_records
+
+    def _repair_snapshot_rotation(self) -> None:
+        """Atomically overwrite a damaged/missing ``snapshot.json`` with the
+        retained previous snapshot's bytes.  Afterwards both files hold the
+        same verified payload, so every later rotation window stays
+        recoverable; a crash inside the repair itself just re-runs it on
+        the next open (the fallback is read-only here)."""
+        data = self.prev_snapshot_path.read_bytes()
+        tmp = self.snapshot_path.with_name(self.snapshot_path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            if self.faults is not None:
+                self.faults.write(handle, data, "snapshot.write")
+            else:
+                handle.write(data)
+            handle.flush()
+            if self.faults is not None:
+                self.faults.fsync(handle.fileno(), "snapshot.fsync")
+            else:
+                os.fsync(handle.fileno())
+        _replace_with_retry(
+            tmp, self.snapshot_path, "snapshot.replace", self.faults, self.telemetry
+        )
+        _fsync_directory(self.path, self.faults, self.telemetry)
 
     def flush(self) -> None:
         self._commit_point()
@@ -559,9 +893,22 @@ class WriteAheadLog:
             while self._syncing or self._pending_syncs > 0:
                 self._sync_cond.wait()
         if self._handle is not None:
-            self._handle.flush()
-            self._handle.close()
-            self._handle = None
+            try:
+                if self._poisoned is None:
+                    self._handle.flush()
+            finally:
+                # On a poisoned log the explicit flush is skipped and the
+                # close is best-effort: whatever close()'s own flush still
+                # writes is either an already-acked record or tail bytes
+                # recovery truncates (the log is append-only and a failed
+                # append never entered the buffer), and a handle that
+                # cannot even close must still be released — the data
+                # loss is already declared.
+                try:
+                    self._handle.close()
+                except OSError:
+                    pass
+                self._handle = None
 
     # -- appending ---------------------------------------------------------------
 
@@ -571,9 +918,23 @@ class WriteAheadLog:
         return self._handle
 
     def _append(self, record: dict) -> None:
+        self.check_poisoned()
         record["n"] = self._next_lsn
+        data = _frame(record)
+        handle = self._open_handle()
+        try:
+            if self.faults is not None:
+                self.faults.write(handle, data, "wal.append")
+            else:
+                handle.write(data)
+        except BaseException:
+            # The record's durable fate is unknown (none, some, or all of
+            # its bytes may reach the log).  Fail stop: the caller rolls
+            # the in-memory mutation back, and recovery truncates whatever
+            # tail actually landed.
+            self.poison("write-ahead log append failed")
+            raise
         self._next_lsn += 1
-        self._open_handle().write(_frame(record))
         self._records_since_snapshot += 1
 
     def _commit_point(self) -> None:
@@ -596,7 +957,17 @@ class WriteAheadLog:
         """
         if self._handle is None:
             return None
-        self._handle.flush()
+        self.check_poisoned()
+        try:
+            if self.faults is not None:
+                self.faults.flush(self._handle, "wal.flush")
+            else:
+                self._handle.flush()
+        except BaseException:
+            # How much of the buffer reached the OS is unknown; nothing
+            # sound can be appended behind it.  Fail stop.
+            self.poison("write-ahead log flush failed at a commit point")
+            raise
         if not self.sync:
             return None
         ticket = self._next_lsn
@@ -633,16 +1004,31 @@ class WriteAheadLog:
         Later waiters piggyback.  Callers must not hold locks an fsync
         leader could need — the store releases its writer lock first.
 
-        A failed fsync raises for the leader and leaves ``_synced_lsn``
-        untouched, so piggybacking waiters do not report durability the
-        disk never provided: each retries as leader and surfaces the error
-        itself.
+        A failed fsync is **never retried** (fsyncgate: the kernel may
+        have dropped the dirty pages while marking them clean, so a retry
+        that succeeds proves nothing about the lost writes).  The leader
+        :meth:`poison`\\ s the log and raises
+        :class:`~repro.errors.StorePoisonedError`; every follower waiting
+        on the same batch — and every committer arriving later — fails the
+        same way instead of hanging or falsely reporting durability.
+        Followers whose ticket was already covered by an earlier completed
+        fsync still succeed: their durability was provided before the
+        failure.
         """
         try:
             while True:
                 with self._sync_cond:
+                    # Order matters: a ticket the disk already covered is
+                    # durable regardless of any later poisoning.
                     if self._synced_lsn >= ticket:
                         return
+                    if self._poisoned is not None:
+                        raise StorePoisonedError(
+                            "durable commit failed: write-ahead log at "
+                            f"{str(self.path)!r} is poisoned "
+                            f"({self._poisoned}); the commit's durability "
+                            "cannot be established"
+                        )
                     if self._syncing:
                         self._sync_cond.wait()
                         continue
@@ -666,17 +1052,35 @@ class WriteAheadLog:
                             "write-ahead log closed while a durable commit "
                             "was waiting for its fsync"
                         )
-                    os.fsync(handle.fileno())
+                    try:
+                        if self.faults is not None:
+                            self.faults.fsync(handle.fileno(), "wal.fsync")
+                        else:
+                            os.fsync(handle.fileno())
+                    except OSError as exc:
+                        self.poison(f"commit-point fsync failed: {exc}")
+                        raise StorePoisonedError(
+                            "durable commit failed: commit-point fsync "
+                            f"raised {exc!r}; the write-ahead log is "
+                            "poisoned (fsync is never retried after a "
+                            "failure) and the store is read-only"
+                        ) from exc
+                    except BaseException:
+                        # A simulated crash (or interpreter teardown) at
+                        # the fsync point: still fail stop, then let the
+                        # crash propagate untouched.
+                        self.poison("crash at a commit-point fsync")
+                        raise
                     self.fsyncs += 1
                     synced = True
                 finally:
                     with self._sync_cond:
                         self._syncing = False
                         if synced:
-                            # Only a completed fsync advances durability;
-                            # a failure wakes the waiters to retry (and
-                            # surface the error) as leaders themselves.
+                            # Only a completed fsync advances durability.
                             self._synced_lsn = max(self._synced_lsn, cover)
+                        # Wakes followers either way: on failure they see
+                        # the poisoned flag and fail instead of re-leading.
                         self._sync_cond.notify_all()
         finally:
             with self._sync_cond:
@@ -732,6 +1136,9 @@ class WriteAheadLog:
     # -- transaction brackets ----------------------------------------------------
 
     def begin(self) -> int:
+        # Refuse the bracket up front: a poisoned log could not write the
+        # commit marker anyway, so the transaction must not start.
+        self.check_poisoned()
         self._txid += 1
         self._transactions.append({"id": self._txid, "written": False})
         return self._txid
@@ -756,15 +1163,28 @@ class WriteAheadLog:
         return None
 
     def abort_transaction(self) -> "int | None":
+        """Close the current bracket with an abort marker.
+
+        Best-effort on a failing log: abort runs on paths that are already
+        raising (rollback, commit-time violation), and a failure here must
+        not mask the propagating cause.  Skipping the marker is safe — an
+        open bracket is discarded by recovery exactly like an aborted one,
+        and a poisoned log admits no later appends the stale ``begin``
+        could swallow.  Skips are counted in ``telemetry``."""
         if not self._transactions:
             return None
         transaction = self._transactions.pop()
         if transaction["written"]:
-            self._append({"t": "abort", "x": transaction["id"]})
-            if not self._transactions:
-                # Flush aborts too: recovery must not mistake the rolled-back
-                # tail for a crash-opened bracket of a *later* session.
-                return self.commit_flush()
+            try:
+                self._append({"t": "abort", "x": transaction["id"]})
+                if not self._transactions:
+                    # Flush aborts too: recovery must not mistake the
+                    # rolled-back tail for a crash-opened bracket of a
+                    # *later* session.
+                    return self.commit_flush()
+            except BaseException:
+                _count(self.telemetry, "abort_markers_skipped")
+                return None
         return None
 
     @property
@@ -818,17 +1238,193 @@ class WriteAheadLog:
                 for oid, class_name, state in objects
             ],
         }
-        _write_json_atomic(self.snapshot_path, payload)
+        # Whole-file integrity digest, verified by load_image/fsck; the
+        # previous snapshot is rotated to .prev so a damaged (or half-
+        # rotated) newest file always leaves a verified fallback behind.
+        payload["digest"] = snapshot_payload_digest(payload)
+        _write_json_atomic(
+            self.snapshot_path,
+            payload,
+            self.faults,
+            self.telemetry,
+            retain=self.prev_snapshot_path,
+        )
         self._records_since_snapshot = 0
 
     def _reset_log(self) -> None:
+        # Crash windows: before the replace, the old log survives and its
+        # records are skipped by LSN against the just-written snapshot;
+        # after it, the log is empty and the snapshot carries everything.
+        # A leftover .tmp is overwritten by the next reset.
         if self._handle is not None:
             self._handle.close()
             self._handle = None
         tmp = self.log_path.with_name(self.log_path.name + ".tmp")
         with open(tmp, "wb") as handle:
             handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.log_path)
-        _fsync_directory(self.path)
+            if self.faults is not None:
+                self.faults.fsync(handle.fileno(), "log.reset_fsync")
+            else:
+                os.fsync(handle.fileno())
+        _replace_with_retry(
+            tmp, self.log_path, "log.reset_replace", self.faults, self.telemetry
+        )
+        _fsync_directory(self.path, self.faults, self.telemetry)
         self._handle = open(self.log_path, "ab")
+
+
+# ---------------------------------------------------------------------------
+# offline scrubbing
+# ---------------------------------------------------------------------------
+
+_FSCK_RANK = {"clean": 0, "truncatable": 1, "fatal": 2}
+
+
+@dataclass
+class FsckReport:
+    """What :func:`fsck` found in one durable directory.
+
+    ``status`` is the worst verdict across the scrub passes:
+
+    ``clean``
+        Every frame checks out, every present snapshot verifies, replay
+        certifies the full log — reopening loses nothing.
+    ``truncatable``
+        Damage was found, but a committed prefix is recoverable: a torn or
+        bit-flipped log tail, an uncommitted transaction tail, a damaged
+        newest snapshot with an intact fallback, or an LSN gap behind a
+        fallback.  Reopening the directory repairs it (by truncation
+        and/or snapshot fallback) at the cost of the damaged suffix.
+    ``fatal``
+        No committed prefix is recoverable: no intact snapshot survives,
+        or the directory holds a log with no snapshot at all.
+    """
+
+    path: str
+    status: str
+    findings: list[str] = field(default_factory=list)
+    #: Intact CRC frames in the log.
+    frames_valid: int = 0
+    #: Log bytes past the recoverable prefix (truncated on reopen).
+    tail_bytes: int = 0
+    #: Objects / replayed ops / discarded ops of the certified prefix.
+    objects: int = 0
+    replayed: int = 0
+    discarded: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit code for the CLI: clean=0, truncatable=1, fatal=2."""
+        return _FSCK_RANK[self.status]
+
+
+def fsck(path: str | Path) -> FsckReport:
+    """Scrub the durable directory at ``path`` without opening it for
+    writing: CRC-check every log frame, verify both snapshot digests, and
+    replay-certify the recoverable committed prefix.  Never mutates the
+    directory — the verdict says what a reopen *would* do."""
+    base = Path(path)
+    report = FsckReport(path=str(base), status="clean")
+
+    def degrade(status: str, finding: str) -> None:
+        report.findings.append(finding)
+        if _FSCK_RANK[status] > _FSCK_RANK[report.status]:
+            report.status = status
+
+    snapshot_path = base / SNAPSHOT_NAME
+    prev_path = base / SNAPSHOT_PREV_NAME
+    log_path = base / LOG_NAME
+    if not (snapshot_path.exists() or prev_path.exists() or log_path.exists()):
+        degrade("fatal", f"no durable store at {str(base)!r}")
+        return report
+
+    # Pass 1: physical frame scan of the log.
+    log_size = 0
+    if log_path.exists():
+        data = log_path.read_bytes()
+        log_size = len(data)
+        records, valid_bytes, torn = scan_log(data)
+        report.frames_valid = len(records)
+        if torn:
+            degrade(
+                "truncatable",
+                f"log: torn or corrupt frame at byte {valid_bytes} "
+                f"({log_size - valid_bytes} trailing bytes unreadable)",
+            )
+
+    # Pass 2: snapshot digest verification, newest and retained.
+    snapshot_ok = prev_ok = False
+    for label, candidate in (
+        ("snapshot", snapshot_path),
+        ("previous snapshot", prev_path),
+    ):
+        if not candidate.exists():
+            continue
+        try:
+            _read_snapshot(candidate)
+        except EngineError as exc:
+            # Severity is decided below, once both verdicts are known.
+            report.findings.append(f"{label}: {exc}")
+        else:
+            if candidate is snapshot_path:
+                snapshot_ok = True
+            else:
+                prev_ok = True
+    if snapshot_path.exists() and not snapshot_ok:
+        if prev_ok:
+            degrade(
+                "truncatable",
+                "snapshot damaged; recovery falls back to the retained "
+                "previous snapshot",
+            )
+        else:
+            degrade("fatal", "snapshot damaged and no intact fallback exists")
+    elif not snapshot_path.exists() and prev_ok:
+        degrade(
+            "truncatable",
+            f"missing {SNAPSHOT_NAME} (crash during snapshot rotation); "
+            "recovery falls back to the retained previous snapshot",
+        )
+    if prev_path.exists() and not prev_ok and snapshot_ok:
+        degrade(
+            "truncatable",
+            "retained previous snapshot damaged (fallback protection lost "
+            "until the next checkpoint rotates a fresh one)",
+        )
+
+    # Pass 3: replay certification — does a committed prefix recover?
+    try:
+        image = load_image(base)
+    except EngineError as exc:
+        degrade("fatal", f"replay: {exc}")
+        return report
+    if image is None:  # pragma: no cover - presence-checked above
+        degrade("fatal", f"no durable store at {str(base)!r}")
+        return report
+    report.objects = len(image.objects)
+    report.replayed = image.replayed
+    report.discarded = image.discarded
+    report.tail_bytes = max(0, log_size - image.log_valid_bytes)
+    if image.lsn_gap:
+        degrade(
+            "truncatable",
+            "log: LSN gap behind the fallback snapshot; replay stops at "
+            "the fallback checkpoint's committed state",
+        )
+    if report.tail_bytes and not (image.torn or image.lsn_gap):
+        degrade(
+            "truncatable",
+            f"log: {report.tail_bytes} bytes of uncommitted transaction "
+            "tail will be truncated on reopen",
+        )
+    if image.discarded:
+        report.findings.append(
+            f"replay: {image.discarded} operation(s) of aborted or "
+            "unfinished transactions discarded"
+        )
+    if image.schema_drift:
+        report.findings.append(
+            "schema drift: post-checkpoint schema records moved the schema "
+            "past the snapshot's digest (checkpoint to fold them in)"
+        )
+    return report

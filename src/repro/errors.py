@@ -56,6 +56,19 @@ class UnknownObjectError(EngineError):
     """An operation referenced an object identifier that does not exist."""
 
 
+class StorePoisonedError(EngineError):
+    """The durable store degraded to read-only after an unrecoverable IO
+    failure at a commit point.
+
+    Raised on every mutation attempt once the write-ahead log has poisoned
+    itself — a failed commit-point fsync (which must never be retried: the
+    kernel may have dropped the dirty pages while marking them clean, so a
+    succeeding retry proves nothing about the lost writes), or an append
+    whose bytes may sit partially in a userspace buffer.  Snapshot reads
+    keep working; reopening the directory recovers the durable prefix.
+    """
+
+
 class ConstraintViolation(EngineError):
     """A database operation would leave the store violating a constraint.
 
