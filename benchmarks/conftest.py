@@ -66,6 +66,13 @@ def pytest_generate_tests(metafunc):
         # fsck-throughput record covers a non-trivial directory.
         sizes = [1_000] if quick else [1_000, 10_000]
         metafunc.parametrize("e19_size", sizes)
+    if "e20_size" in metafunc.fixturenames:
+        # Number of object constraints in the synthetic ladder schema; the
+        # pruning-speedup gate (≥1.5x) holds from 32 up, so --quick keeps
+        # that size and the full run adds 64 (where the O(n²) registration
+        # pass is most visible).
+        sizes = [32] if quick else [32, 64]
+        metafunc.parametrize("e20_size", sizes)
     if "e17_size" in metafunc.fixturenames:
         # Snapshot-reader throughput under a sustained writer; the
         # degradation gate holds at every size, so --quick keeps one.

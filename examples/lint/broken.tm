@@ -1,0 +1,9 @@
+Database Inventory
+Class Widget
+  attributes
+    size : int
+    label : string
+  object constraints
+    oc1 : size > 10 and size < 5
+    oc2 : label > 3
+end Widget

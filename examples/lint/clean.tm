@@ -1,0 +1,10 @@
+Database Inventory
+Class Widget
+  attributes
+    name : string
+    size : int
+    price : real
+  object constraints
+    oc1 : size >= 1
+    oc2 : price > 0
+end Widget

@@ -1,0 +1,8 @@
+Database Inventory
+Class Widget
+  attributes
+    size : int
+  object constraints
+    oc1 : size >= 3
+    oc2 : size >= 2
+end Widget

@@ -14,6 +14,7 @@ Usage::
     python -m repro stress --writers 2 --readers 4 --seconds 2
     python -m repro explain STOREDIR   # minimal conflict cores for violations
     python -m repro explain --demo     # cores for every violation class
+    python -m repro lint DIR/cslibrary.tm DIR/bookseller.tm
 
 ``validate`` exits non-zero when the specification is inconsistent with the
 component constraints, so the workbench slots into CI pipelines.
@@ -39,6 +40,12 @@ core for every violation found — which objects, exactly, conflict with
 which constraint, with the binding chain that convicts each member
 (``--demo`` runs the same machinery on an in-memory store violating one
 constraint of every class: object, key, aggregate, referential).
+``lint`` statically analyses TM schema files *before any data exists*:
+type/well-formedness lint with file positions, per-constraint
+satisfiability (always-violated and tautological constraints), and
+cross-constraint contradiction/redundancy detection.  It exits 0 when
+clean, 1 on warnings only, 2 on errors — info-level diagnostics (honest
+"unknown" reports) never affect the exit code.
 """
 
 from __future__ import annotations
@@ -64,7 +71,9 @@ def _read(path: str, role: str) -> str:
     try:
         return Path(path).read_text()
     except OSError as exc:
-        raise SystemExit(f"repro: cannot read {role} file {path!r}: {exc}")
+        raise SystemExit(
+            f"repro: cannot read {role} file {path!r}: {exc}"
+        ) from exc
 
 
 def _load_result(args: argparse.Namespace):
@@ -97,7 +106,9 @@ def _run_durable_command(args: argparse.Namespace) -> int:
         # not to refuse stores whose history ran unenforced.
         store = ObjectStore.open(args.directory, verify=False)
     except ReproError as exc:
-        raise SystemExit(f"repro: cannot open {args.directory!r}: {exc}")
+        raise SystemExit(
+            f"repro: cannot open {args.directory!r}: {exc}"
+        ) from exc
     try:
         drifted = False
         info = store.recovery_info
@@ -237,7 +248,9 @@ def _run_explain(args: argparse.Namespace) -> int:
         try:
             store = ObjectStore.open(args.directory, verify=False)
         except ReproError as exc:
-            raise SystemExit(f"repro: cannot open {args.directory!r}: {exc}")
+            raise SystemExit(
+                f"repro: cannot open {args.directory!r}: {exc}"
+            ) from exc
         stores = [store]
     try:
         total_violations = 0
@@ -274,6 +287,31 @@ def _run_explain(args: argparse.Namespace) -> int:
             store.close()
 
 
+def _run_lint(args: argparse.Namespace) -> int:
+    """``lint``: static analysis of TM schema files (exit 0/1/2)."""
+    import json
+
+    from repro.constraints.analysis import AnalysisReport, analyze_schema, summarize
+
+    reports: dict[str, AnalysisReport] = {}
+    for path in args.files:
+        source = _read(path, "schema")
+        try:
+            schema = parse_database(source)
+        except ReproError as exc:
+            raise SystemExit(f"repro: cannot parse {path!r}: {exc}") from exc
+        reports[path] = analyze_schema(schema, include_info=not args.no_info)
+    if args.format == "json":
+        print(json.dumps(summarize(reports), indent=2, sort_keys=True))
+    else:
+        for index, (path, report) in enumerate(reports.items()):
+            if index:
+                print()
+            print(f"== {path} ==")
+            print(report.render_text())
+    return max((report.exit_code() for report in reports.values()), default=0)
+
+
 def _run_stress(args: argparse.Namespace) -> int:
     """``stress``: hammer one shared store with writer threads (serialized
     by the coarse writer lock) and reader threads (lock-free snapshots),
@@ -297,7 +335,7 @@ def _run_stress(args: argparse.Namespace) -> int:
             except ReproError as exc:
                 raise SystemExit(
                     f"repro: cannot open stress store at {args.dir!r}: {exc}"
-                )
+                ) from exc
     else:
         if args.sync:
             raise SystemExit("repro: --sync requires --dir (a durable store)")
@@ -315,7 +353,9 @@ def _run_stress(args: argparse.Namespace) -> int:
             )
     except ReproError as exc:
         store.close()
-        raise SystemExit(f"repro: cannot populate the stress store: {exc}")
+        raise SystemExit(
+            f"repro: cannot populate the stress store: {exc}"
+        ) from exc
     targets = [obj.oid for obj in store.extent("Publication")]
     if not targets:
         store.close()
@@ -484,6 +524,25 @@ def main(argv: list[str] | None = None) -> int:
         help="also print the reason trace of each isolated core check",
     )
 
+    lint = commands.add_parser(
+        "lint",
+        help="statically analyse TM schema files: type lint with file "
+        "positions, per-constraint satisfiability, cross-constraint "
+        "contradiction and redundancy detection (exit 0 clean, 1 "
+        "warnings, 2 errors)",
+    )
+    lint.add_argument(
+        "files", nargs="+", metavar="FILE", help="TM schema file(s) to analyse"
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--no-info", action="store_true",
+        help="suppress info-level diagnostics (tautologies, honest unknowns)",
+    )
+
     stress = commands.add_parser(
         "stress",
         help="hammer one store with concurrent writer and snapshot-reader "
@@ -524,6 +583,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "explain":
         return _run_explain(args)
 
+    if args.command == "lint":
+        return _run_lint(args)
+
     if args.command == "stress":
         return _run_stress(args)
 
@@ -547,7 +609,9 @@ def main(argv: list[str] | None = None) -> int:
                 path.write_text(text.strip() + "\n")
                 written.append(str(path))
         except OSError as exc:
-            raise SystemExit(f"repro: cannot scaffold into {args.directory!r}: {exc}")
+            raise SystemExit(
+                f"repro: cannot scaffold into {args.directory!r}: {exc}"
+            ) from exc
         if written:
             print("wrote " + ", ".join(written))
         if skipped:

@@ -7,12 +7,25 @@ across databases, caching).  Collections inside nodes are tuples.
 Expression nodes produce values; formula nodes produce truth values.  Both
 share the :class:`Node` base so that rewriting (attribute substitution, domain
 conversion) can traverse uniformly.
+
+Every node carries an optional ``pos`` — the 1-based ``(line, column)`` of its
+first token in the source it was parsed from — so diagnostics (static
+analysis, lint, violation messages) can cite stable source locations.
+``pos`` is excluded from equality and hashing: two structurally identical
+formulas parsed from different places *are* the same constraint to the
+solver, the compiled-closure cache and cross-database comparison.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Iterator
+from dataclasses import dataclass, field
+from collections.abc import Iterator
+from typing import Any
+
+def _pos_field() -> tuple[int, int] | None:
+    """The shared ``pos`` field: carried along, never compared or hashed."""
+    return field(default=None, compare=False, repr=False, kw_only=True)
+
 
 # Comparison operators and their negations/mirrors.
 COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
@@ -39,15 +52,25 @@ MIRRORED_OP = {
 class Node:
     """Base class for every AST node."""
 
-    def children(self) -> Iterator["Node"]:
+    #: Source position; overridden by the dataclass field on every subclass.
+    pos: tuple[int, int] | None = None
+
+    def children(self) -> Iterator[Node]:
         """The node's direct sub-nodes, in source order."""
         return iter(())
 
-    def walk(self) -> Iterator["Node"]:
+    def walk(self) -> Iterator[Node]:
         """Depth-first pre-order traversal of the subtree rooted here."""
         yield self
         for child in self.children():
             yield from child.walk()
+
+    def position(self) -> tuple[int, int] | None:
+        """The first known source position in this subtree (pre-order)."""
+        for node in self.walk():
+            if node.pos is not None:
+                return node.pos
+        return None
 
 
 # ---------------------------------------------------------------------------
@@ -60,6 +83,7 @@ class Literal(Node):
     """A constant value: number, string or boolean."""
 
     value: Any
+    pos: tuple[int, int] | None = _pos_field()
 
 
 @dataclass(frozen=True)
@@ -67,6 +91,7 @@ class SetLiteral(Node):
     """An explicit finite set of constants, e.g. ``{10, 20}``."""
 
     values: tuple
+    pos: tuple[int, int] | None = _pos_field()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "values", tuple(self.values))
@@ -81,6 +106,7 @@ class NamedConstant(Node):
     """
 
     name: str
+    pos: tuple[int, int] | None = _pos_field()
 
 
 @dataclass(frozen=True)
@@ -95,26 +121,27 @@ class Path(Node):
     """
 
     parts: tuple[str, ...]
+    pos: tuple[int, int] | None = _pos_field()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "parts", tuple(self.parts))
 
     @staticmethod
-    def of(*parts: str) -> "Path":
+    def of(*parts: str) -> Path:
         return Path(tuple(parts))
 
     def dotted(self) -> str:
         return ".".join(self.parts)
 
-    def strip_root(self, root_names: tuple[str, ...]) -> "Path":
+    def strip_root(self, root_names: tuple[str, ...]) -> Path:
         """Drop a leading variable name in ``root_names``, if present."""
         if len(self.parts) > 1 and self.parts[0] in root_names:
-            return Path(self.parts[1:])
+            return Path(self.parts[1:], pos=self.pos)
         return self
 
-    def with_root(self, root: str) -> "Path":
+    def with_root(self, root: str) -> Path:
         """Prefix the path with an explicit root variable."""
-        return Path((root,) + self.parts)
+        return Path((root,) + self.parts, pos=self.pos)
 
 
 @dataclass(frozen=True)
@@ -124,6 +151,7 @@ class BinaryOp(Node):
     op: str
     left: Node
     right: Node
+    pos: tuple[int, int] | None = _pos_field()
 
     def children(self) -> Iterator[Node]:
         yield self.left
@@ -140,6 +168,7 @@ class FunctionCall(Node):
 
     name: str
     args: tuple[Node, ...]
+    pos: tuple[int, int] | None = _pos_field()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "args", tuple(self.args))
@@ -160,6 +189,7 @@ class Aggregate(Node):
     item_var: str
     collection: str
     over: str | None  # attribute name; None only for count
+    pos: tuple[int, int] | None = _pos_field()
 
     def children(self) -> Iterator[Node]:
         return iter(())
@@ -177,6 +207,7 @@ class Comparison(Node):
     op: str
     left: Node
     right: Node
+    pos: tuple[int, int] | None = _pos_field()
 
     def __post_init__(self) -> None:
         if self.op not in COMPARISON_OPS:
@@ -186,12 +217,12 @@ class Comparison(Node):
         yield self.left
         yield self.right
 
-    def negated(self) -> "Comparison":
-        return Comparison(NEGATED_OP[self.op], self.left, self.right)
+    def negated(self) -> Comparison:
+        return Comparison(NEGATED_OP[self.op], self.left, self.right, pos=self.pos)
 
-    def mirrored(self) -> "Comparison":
+    def mirrored(self) -> Comparison:
         """The same relation with operands swapped (``a < b`` ↦ ``b > a``)."""
-        return Comparison(MIRRORED_OP[self.op], self.right, self.left)
+        return Comparison(MIRRORED_OP[self.op], self.right, self.left, pos=self.pos)
 
 
 @dataclass(frozen=True)
@@ -201,6 +232,7 @@ class Membership(Node):
 
     element: Node
     collection: Node
+    pos: tuple[int, int] | None = _pos_field()
 
     def children(self) -> Iterator[Node]:
         yield self.element
@@ -210,6 +242,7 @@ class Membership(Node):
 @dataclass(frozen=True)
 class Not(Node):
     operand: Node
+    pos: tuple[int, int] | None = _pos_field()
 
     def children(self) -> Iterator[Node]:
         yield self.operand
@@ -218,6 +251,7 @@ class Not(Node):
 @dataclass(frozen=True)
 class And(Node):
     parts: tuple[Node, ...]
+    pos: tuple[int, int] | None = _pos_field()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "parts", tuple(self.parts))
@@ -229,6 +263,7 @@ class And(Node):
 @dataclass(frozen=True)
 class Or(Node):
     parts: tuple[Node, ...]
+    pos: tuple[int, int] | None = _pos_field()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "parts", tuple(self.parts))
@@ -244,6 +279,7 @@ class Implies(Node):
 
     antecedent: Node
     consequent: Node
+    pos: tuple[int, int] | None = _pos_field()
 
     def children(self) -> Iterator[Node]:
         yield self.antecedent
@@ -262,6 +298,7 @@ class Quantified(Node):
     var: str
     class_name: str
     body: Node
+    pos: tuple[int, int] | None = _pos_field()
 
     def children(self) -> Iterator[Node]:
         yield self.body
@@ -272,6 +309,7 @@ class KeyConstraint(Node):
     """``key isbn`` — a uniqueness constraint over the listed attributes."""
 
     attributes: tuple[str, ...]
+    pos: tuple[int, int] | None = _pos_field()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "attributes", tuple(self.attributes))
@@ -281,10 +319,14 @@ class KeyConstraint(Node):
 class TrueFormula(Node):
     """The always-true formula (unit of conjunction)."""
 
+    pos: tuple[int, int] | None = _pos_field()
+
 
 @dataclass(frozen=True)
 class FalseFormula(Node):
     """The always-false formula (unit of disjunction)."""
+
+    pos: tuple[int, int] | None = _pos_field()
 
 
 TRUE = TrueFormula()

@@ -13,7 +13,7 @@ proves the conjunction unsatisfiable — e.g. ``x < y and y < x``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Hashable, Iterable
+from collections.abc import Hashable, Iterable
 
 #: The distinguished node representing the constant 0.
 ZERO = "<zero>"

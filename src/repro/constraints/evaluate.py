@@ -64,7 +64,8 @@ deletion-based conflict-core extraction (``repro.engine.explain``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any
 
 from repro.constraints.ast import (
     Aggregate,

@@ -24,11 +24,18 @@ conditions in Section 2.2:
 
 Named constants (``MAX``, ``KNOWNPUBLISHERS``) are recognised either from an
 explicit ``constants`` set or by the paper's all-caps convention.
+
+Every node is stamped with the ``(line, column)`` of its leading token
+(``Node.pos``), so diagnostics downstream — the static analyser, lint, and
+violation messages — can cite source locations.  When parsing standalone
+source those are positions within the snippet; the TM schema parser feeds
+its original token slice through :func:`parse_tokens` instead, so constraint
+ASTs embedded in a ``.tm`` file carry *file* coordinates.
 """
 
 from __future__ import annotations
 
-from typing import Collection
+from collections.abc import Collection, Sequence
 
 from repro.constraints.ast import (
     Aggregate,
@@ -55,7 +62,17 @@ AGGREGATE_FUNCS = ("sum", "avg", "min", "max", "count")
 
 def parse_expression(source: str, constants: Collection[str] = ()) -> Node:
     """Parse a constraint formula (or bare expression) from source text."""
-    stream = TokenStream(tokenize(source))
+    return parse_tokens(tokenize(source), constants)
+
+
+def parse_tokens(tokens: Sequence[Token], constants: Collection[str] = ()) -> Node:
+    """Parse a formula from an already-lexed token sequence.
+
+    The sequence must end with an ``EOF`` token (append one if slicing from a
+    larger stream).  Because the tokens keep their original positions, ASTs
+    built this way cite coordinates in the file the tokens came from.
+    """
+    stream = TokenStream(list(tokens))
     parser = _Parser(stream, frozenset(constants))
     node = parser.parse_formula()
     stream.expect("EOF")
@@ -65,6 +82,10 @@ def parse_expression(source: str, constants: Collection[str] = ()) -> Node:
 def parse_constraint(source: str, constants: Collection[str] = ()) -> Node:
     """Alias of :func:`parse_expression`, kept for call-site readability."""
     return parse_expression(source, constants)
+
+
+def _pos(token: Token) -> tuple[int, int]:
+    return (token.line, token.column)
 
 
 class _Parser:
@@ -82,7 +103,7 @@ class _Parser:
         if self.stream.at_keyword("implies"):
             self.stream.next()
             right = self._implication()
-            return Implies(left, right)
+            return Implies(left, right, pos=left.position())
         return left
 
     def _disjunction(self) -> Node:
@@ -90,19 +111,23 @@ class _Parser:
         while self.stream.at_keyword("or"):
             self.stream.next()
             parts.append(self._conjunction())
-        return parts[0] if len(parts) == 1 else Or(tuple(parts))
+        if len(parts) == 1:
+            return parts[0]
+        return Or(tuple(parts), pos=parts[0].position())
 
     def _conjunction(self) -> Node:
         parts = [self._negation()]
         while self.stream.at_keyword("and"):
             self.stream.next()
             parts.append(self._negation())
-        return parts[0] if len(parts) == 1 else And(tuple(parts))
+        if len(parts) == 1:
+            return parts[0]
+        return And(tuple(parts), pos=parts[0].position())
 
     def _negation(self) -> Node:
         if self.stream.at_keyword("not"):
-            self.stream.next()
-            return Not(self._negation())
+            token = self.stream.next()
+            return Not(self._negation(), pos=_pos(token))
         return self._relation()
 
     def _relation(self) -> Node:
@@ -111,11 +136,11 @@ class _Parser:
         if token.kind == "OP":
             self.stream.next()
             right = self._additive()
-            return Comparison(token.text, left, right)
+            return Comparison(token.text, left, right, pos=_pos(token))
         if self.stream.at_keyword("in"):
-            self.stream.next()
+            in_token = self.stream.next()
             collection = self._set_expression()
-            return Membership(left, collection)
+            return Membership(left, collection, pos=_pos(in_token))
         return left
 
     def _set_expression(self) -> Node:
@@ -130,24 +155,26 @@ class _Parser:
     def _additive(self) -> Node:
         left = self._term()
         while self.stream.at("PLUS") or self.stream.at("MINUS"):
-            op = "+" if self.stream.next().kind == "PLUS" else "-"
-            left = BinaryOp(op, left, self._term())
+            token = self.stream.next()
+            op = "+" if token.kind == "PLUS" else "-"
+            left = BinaryOp(op, left, self._term(), pos=_pos(token))
         return left
 
     def _term(self) -> Node:
         left = self._unary()
         while self.stream.at("STAR") or self.stream.at("SLASH"):
-            op = "*" if self.stream.next().kind == "STAR" else "/"
-            left = BinaryOp(op, left, self._unary())
+            token = self.stream.next()
+            op = "*" if token.kind == "STAR" else "/"
+            left = BinaryOp(op, left, self._unary(), pos=_pos(token))
         return left
 
     def _unary(self) -> Node:
         if self.stream.at("MINUS"):
-            self.stream.next()
+            token = self.stream.next()
             operand = self._unary()
             if isinstance(operand, Literal) and isinstance(operand.value, (int, float)):
-                return Literal(-operand.value)
-            return BinaryOp("-", Literal(0), operand)
+                return Literal(-operand.value, pos=_pos(token))
+            return BinaryOp("-", Literal(0, pos=_pos(token)), operand, pos=_pos(token))
         return self._primary()
 
     def _primary(self) -> Node:
@@ -155,16 +182,16 @@ class _Parser:
         token = stream.peek()
         if token.kind == "NUMBER":
             stream.next()
-            return Literal(_number(token))
+            return Literal(_number(token), pos=_pos(token))
         if token.kind == "STRING":
             stream.next()
-            return Literal(token.text[1:-1])
+            return Literal(token.text[1:-1], pos=_pos(token))
         if stream.at_keyword("true"):
             stream.next()
-            return Literal(True)
+            return Literal(True, pos=_pos(token))
         if stream.at_keyword("false"):
             stream.next()
-            return Literal(False)
+            return Literal(False, pos=_pos(token))
         if stream.at("LBRACE"):
             return self._set_literal()
         if stream.at_keyword("forall", "exists"):
@@ -190,14 +217,14 @@ class _Parser:
 
     def _set_literal(self) -> Node:
         stream = self.stream
-        stream.expect("LBRACE")
+        open_token = stream.expect("LBRACE")
         values = []
         if not stream.at("RBRACE"):
             values.append(self._constant_value())
             while stream.accept("COMMA"):
                 values.append(self._constant_value())
         stream.expect("RBRACE")
-        return SetLiteral(tuple(values))
+        return SetLiteral(tuple(values), pos=_pos(open_token))
 
     def _constant_value(self):
         stream = self.stream
@@ -222,7 +249,8 @@ class _Parser:
 
     def _aggregate_body(self) -> Node:
         stream = self.stream
-        func = stream.next().text  # the aggregate keyword
+        func_token = stream.next()  # the aggregate keyword
+        func = func_token.text
         stream.expect("LPAREN")
         stream.expect("KEYWORD", "collect")
         item_var = stream.expect("IDENT").text
@@ -243,11 +271,12 @@ class _Parser:
             raise stream.error(
                 f"collect variable {item_var!r} must match loop variable {bound_var!r}"
             )
-        return Aggregate(func, item_var, collection, over)
+        return Aggregate(func, item_var, collection, over, pos=_pos(func_token))
 
     def _quantified(self) -> Node:
         stream = self.stream
-        kind = stream.next().text  # forall | exists
+        kind_token = stream.next()  # forall | exists
+        kind = kind_token.text
         var = stream.expect("IDENT").text
         stream.expect("KEYWORD", "in")
         class_name = stream.expect("IDENT").text
@@ -257,19 +286,20 @@ class _Parser:
             body = self.parse_formula()
         else:
             body = self.parse_formula()
-        return Quantified(kind, var, class_name, body)
+        return Quantified(kind, var, class_name, body, pos=_pos(kind_token))
 
     def _key(self) -> Node:
         stream = self.stream
-        stream.expect("KEYWORD", "key")
+        key_token = stream.expect("KEYWORD", "key")
         attributes = [stream.expect("IDENT").text]
         while stream.accept("COMMA"):
             attributes.append(stream.expect("IDENT").text)
-        return KeyConstraint(tuple(attributes))
+        return KeyConstraint(tuple(attributes), pos=_pos(key_token))
 
     def _call_or_path(self) -> Node:
         stream = self.stream
-        first = stream.next().text
+        first_token = stream.next()
+        first = first_token.text
         if stream.at("LPAREN"):
             stream.next()
             args = []
@@ -278,14 +308,14 @@ class _Parser:
                 while stream.accept("COMMA"):
                     args.append(self.parse_formula())
             stream.expect("RPAREN")
-            return FunctionCall(first, tuple(args))
+            return FunctionCall(first, tuple(args), pos=_pos(first_token))
         parts = [first]
         while stream.at("DOT"):
             stream.next()
             parts.append(stream.expect("IDENT").text)
         if len(parts) == 1 and self._is_constant(first):
-            return NamedConstant(first)
-        return Path(tuple(parts))
+            return NamedConstant(first, pos=_pos(first_token))
+        return Path(tuple(parts), pos=_pos(first_token))
 
     def _is_constant(self, name: str) -> bool:
         if name in self.constants:

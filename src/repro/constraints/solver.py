@@ -33,7 +33,8 @@ generated formulas within the fragment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.constraints.ast import (
     BinaryOp,

@@ -16,7 +16,7 @@ power-set values is handled structurally in
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.domains.interval import Interval, IntervalSet
 from repro.domains.valueset import (

@@ -9,7 +9,8 @@ construction and complements normalise back to finite sets.
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, Iterable
+from collections.abc import Iterable
+from typing import Any
 
 
 class AtomSet:
@@ -26,7 +27,7 @@ class AtomSet:
         self,
         values: Iterable[Any] = (),
         complemented: bool = False,
-        universe: FrozenSet[Any] | None = None,
+        universe: frozenset[Any] | None = None,
     ):
         values = frozenset(values)
         if universe is not None:
@@ -35,7 +36,7 @@ class AtomSet:
             if complemented:
                 values = universe - values
                 complemented = False
-        self.values: FrozenSet[Any] = values
+        self.values: frozenset[Any] = values
         self.complemented = complemented
         self.universe = universe
 
@@ -46,7 +47,7 @@ class AtomSet:
         return AtomSet(values)
 
     @staticmethod
-    def top(universe: FrozenSet[Any] | None = None) -> "AtomSet":
+    def top(universe: frozenset[Any] | None = None) -> "AtomSet":
         """The full universe (co-finite complement of nothing)."""
         return AtomSet((), complemented=True, universe=universe)
 
@@ -72,12 +73,12 @@ class AtomSet:
     def is_finite(self) -> bool:
         return not self.complemented
 
-    def finite_values(self) -> FrozenSet[Any] | None:
+    def finite_values(self) -> frozenset[Any] | None:
         return None if self.complemented else self.values
 
     # -- set algebra -----------------------------------------------------------
 
-    def _merged_universe(self, other: "AtomSet") -> FrozenSet[Any] | None:
+    def _merged_universe(self, other: "AtomSet") -> frozenset[Any] | None:
         if self.universe is not None:
             return self.universe
         return other.universe

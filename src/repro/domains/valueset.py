@@ -18,7 +18,8 @@ caller and raises :class:`~repro.errors.SolverError`.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 from repro.domains.discrete import AtomSet
 from repro.domains.interval import IntervalSet

@@ -77,7 +77,8 @@ from __future__ import annotations
 
 import threading
 import weakref
-from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping
+from collections.abc import Iterable, Iterator, Mapping
+from typing import Any, TYPE_CHECKING
 
 from repro.engine.indexes import oid_sort_key
 from repro.errors import (

@@ -38,7 +38,8 @@ size (a dangling reference seeds 1–2 objects at any store size).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any, TYPE_CHECKING
 
 from repro.constraints.evaluate import (
     EvalContext,

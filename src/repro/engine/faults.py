@@ -54,7 +54,7 @@ import errno
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable
+from collections.abc import Iterable
 
 #: Errno classes where retrying the *same* call is sound: the kernel
 #: reported the call never ran to completion, not that it failed.

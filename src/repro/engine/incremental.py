@@ -47,7 +47,8 @@ checking.  Stores that were already inconsistent (built with
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Iterator
+from collections.abc import Iterator
+from typing import Any, TYPE_CHECKING
 import weakref
 from weakref import WeakKeyDictionary
 
@@ -379,6 +380,32 @@ class ConstraintDependencyIndex:
                 self.class_constraints.append(entry)
             else:
                 self.database_constraints.append(entry)
+        # Martinenghi-style update-pattern dispatch: specialize the object
+        # constraints per mutation pattern at index-build time.  An insert
+        # into class C must check every effective object constraint of C; an
+        # update of attribute a on a C object must check exactly those whose
+        # read set contains (C, a) (plus universal ones).  Precomputing both
+        # replaces the per-mutation dirty-set ∩ read-set walk with a direct
+        # table lookup.  The tables are semantics-preserving (they encode the
+        # same relevance test the walk performed), so they serve every store.
+        self.insert_checks: dict[str, tuple[IndexedConstraint, ...]] = {}
+        self.update_checks: dict[tuple[str, str], tuple[IndexedConstraint, ...]] = {}
+        for class_name in schema.classes:
+            effective: list[IndexedConstraint] = []
+            for constraint in schema.effective_object_constraints(class_name):
+                entry = self._by_constraint.get(constraint)
+                if entry is not None:
+                    effective.append(entry)
+            self.insert_checks[class_name] = tuple(effective)
+            for attr in schema.effective_attributes(class_name):
+                self.update_checks[(class_name, attr)] = tuple(
+                    e
+                    for e in effective
+                    if e.universal or (class_name, attr) in e.attrs
+                )
+        #: Lazily computed set of safely prunable constraints (analysis
+        #: pass 4); ``None`` until a store with ``analyze=True`` asks.
+        self._pruned: frozenset[Constraint] | None = None
 
     def _analyze(self, constraint: Constraint) -> IndexedConstraint:
         schema = self._schema_ref()
@@ -411,6 +438,44 @@ class ConstraintDependencyIndex:
 
     def entry(self, constraint: Constraint) -> IndexedConstraint | None:
         return self._by_constraint.get(constraint)
+
+    def checks_for(
+        self, class_name: str, changed: set[str] | None
+    ) -> tuple[IndexedConstraint, ...] | None:
+        """The object-constraint checks one touched object needs, from the
+        update-pattern dispatch tables.
+
+        ``changed`` follows the :class:`MutationDelta` convention: ``None``
+        means "all attributes" (inserts).  Returns ``None`` when the class is
+        unknown to the tables (the caller falls back to the generic walk).
+        """
+        if changed is None:
+            return self.insert_checks.get(class_name)
+        if len(changed) == 1:
+            return self.update_checks.get((class_name, next(iter(changed))))
+        effective = self.insert_checks.get(class_name)
+        if effective is None:
+            return None
+        return tuple(
+            e
+            for e in effective
+            if e.universal
+            or any((class_name, attr) in e.attrs for attr in changed)
+        )
+
+    def pruned_constraints(self) -> frozenset[Constraint]:
+        """The safely prunable object constraints (analysis pass 4), computed
+        on first use and cached for the index lifetime.  Consumed only by
+        stores opened with ``analyze=True``; audits never prune."""
+        if self._pruned is None:
+            schema = self._schema_ref()
+            if schema is None:
+                self._pruned = frozenset()
+            else:
+                from repro.constraints.analysis import prunable_constraints
+
+                self._pruned = frozenset(prunable_constraints(schema))
+        return self._pruned
 
     def aggregate_specs(self) -> frozenset[tuple[str, str, str | None]]:
         """Every ``(func, class, attribute)`` aggregate any constraint of the
@@ -460,14 +525,20 @@ def _affected_object_checks(
     store: "ObjectStore",
     delta: MutationDelta,
     index: ConstraintDependencyIndex,
+    pruned: frozenset[Constraint] = frozenset(),
 ) -> Iterator[tuple[IndexedConstraint, "DBObject"]]:
     """(constraint, object) pairs that must be re-checked, deduplicated.
 
     Touched objects come first (in mutation order, each against its effective
-    constraints in the same order single-operation enforcement uses); then
-    full-extent re-checks for constraints that read *other* classes through
-    references — a change to a referenced object can invalidate the
-    constraint on any referrer.
+    constraints in the same order single-operation enforcement uses, selected
+    by the index's per-mutation-pattern dispatch tables); then full-extent
+    re-checks for constraints that read *other* classes through references —
+    a change to a referenced object can invalidate the constraint on any
+    referrer.
+
+    ``pruned`` (analysis pass 4, ``analyze=True`` stores only) names object
+    constraints whose rejections are guaranteed to be duplicated by a keeper
+    constraint in this same pass; they are skipped.
     """
     seen: set[tuple[int, str]] = set()
     schema = store.schema
@@ -475,24 +546,35 @@ def _affected_object_checks(
         if oid not in store:
             continue  # deleted later in the same delta, or rolled back
         obj = store.get(oid)
-        for constraint in schema.effective_object_constraints(obj.class_name):
-            # Every constraint of the schema is in the index: the caller
-            # fetched a fresh index for this same schema, and Constraint is
-            # a frozen value-hashed dataclass.
-            entry = index.entry(constraint)
-            assert entry is not None, constraint.qualified_name
-            if entry.universal or changed is None:
-                relevant = True
-            else:
-                relevant = any(
-                    (obj.class_name, attr) in entry.attrs for attr in changed
+        entries = index.checks_for(obj.class_name, changed)
+        if entries is None:
+            # The class is unknown to the dispatch tables (added behind the
+            # index's back); fall back to the generic relevance walk.
+            entries = tuple(
+                entry
+                for constraint in schema.effective_object_constraints(
+                    obj.class_name
                 )
-            if relevant:
-                key = (id(constraint), oid)
-                if key not in seen:
-                    seen.add(key)
-                    yield entry, obj
+                if (entry := index.entry(constraint)) is not None
+                and (
+                    entry.universal
+                    or changed is None
+                    or any(
+                        (obj.class_name, attr) in entry.attrs
+                        for attr in changed
+                    )
+                )
+            )
+        for entry in entries:
+            if pruned and entry.constraint in pruned:
+                continue
+            key = (id(entry.constraint), oid)
+            if key not in seen:
+                seen.add(key)
+                yield entry, obj
     for entry in index.object_constraints:
+        if pruned and entry.constraint in pruned:
+            continue
         # Full-extent re-check when the delta touched something the
         # constraint reads *outside* the constrained object itself: a
         # referenced object's attributes, or the membership of an extent the
@@ -526,7 +608,12 @@ def check_delta(store: "ObjectStore", delta: MutationDelta) -> None:
     from repro.engine.explain import failure_trace
 
     index = store.dependency_index()
-    for entry, obj in _affected_object_checks(store, delta, index):
+    pruned = (
+        index.pruned_constraints()
+        if getattr(store, "analyze", False)
+        else frozenset()
+    )
+    for entry, obj in _affected_object_checks(store, delta, index, pruned):
         constraint = entry.constraint
         ctx = store.eval_context(current=obj)
         try:
@@ -598,7 +685,12 @@ def delta_violations(store: "ObjectStore", delta: MutationDelta) -> list:
 
     found: list[Violation] = []
     index = store.dependency_index()
-    for entry, obj in _affected_object_checks(store, delta, index):
+    pruned = (
+        index.pruned_constraints()
+        if getattr(store, "analyze", False)
+        else frozenset()
+    )
+    for entry, obj in _affected_object_checks(store, delta, index, pruned):
         constraint = entry.constraint
         ctx = store.eval_context(current=obj)
         try:

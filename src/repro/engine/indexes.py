@@ -65,7 +65,8 @@ fingerprint-triggered rebuild retries.
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping
+from typing import Any, TYPE_CHECKING
 
 from repro.constraints.evaluate import INDEX_MISS, VACUOUS
 

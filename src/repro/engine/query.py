@@ -6,7 +6,8 @@ predicate.  Used by the examples and by the integration layer's rule matcher.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.constraints.ast import Node
 from repro.constraints.evaluate import evaluate

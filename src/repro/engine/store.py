@@ -8,7 +8,8 @@ import tempfile
 import threading
 import weakref
 from pathlib import Path
-from typing import Any, Iterable, Mapping
+from collections.abc import Iterable, Mapping
+from typing import Any
 
 from repro.constraints.evaluate import EvalContext
 from repro.engine.concurrency import ConcurrencyControl, Snapshot
@@ -86,6 +87,7 @@ class ObjectStore:
         indexed: bool = True,
         wal: "WriteAheadLog | str | Path | bool | None" = None,
         explain: bool = True,
+        analyze: bool = False,
     ):
         self.schema = schema
         self.enforce = enforce
@@ -96,6 +98,22 @@ class ObjectStore:
         #: check has already failed (the success path is untouched), so the
         #: flag trades rejection latency for diagnosability only.
         self.explain = explain
+        #: Opt-in schema static analysis (:mod:`repro.constraints.analysis`):
+        #: registration rejects schemas with error-level findings (malformed
+        #: constraints, individually-UNSAT constraints, contradictory
+        #: constraint sets), and incremental enforcement skips constraints
+        #: the analyser proved redundant (entailed by a keeper with a
+        #: covering read set).  Audits and full revalidation never prune.
+        self.analyze = analyze
+        if analyze:
+            from repro.constraints.analysis import registration_errors
+
+            problems = registration_errors(schema)
+            if problems:
+                raise SchemaError(
+                    "static analysis rejected the schema: "
+                    + "; ".join(d.render() for d in problems)
+                )
         self._objects: dict[str, DBObject] = {}
         self._direct_extents: dict[str, set[str]] = {
             name: set() for name in schema.classes
@@ -648,6 +666,7 @@ class ObjectStore:
         checkpoint_every: int = 10_000,
         verify: bool = True,
         faults: "FaultInjector | None" = None,
+        analyze: bool = False,
     ) -> "ObjectStore":
         """Open the durable store at ``path``, recovering existing state.
 
@@ -671,6 +690,10 @@ class ObjectStore:
         ``faults`` threads a :class:`~repro.engine.faults.FaultInjector`
         through every file operation of the attached log (testing only;
         ``None`` is a true no-op).
+
+        ``analyze`` opts into schema static analysis at registration and
+        redundancy pruning on the incremental hot path (see
+        :class:`ObjectStore`).
         """
         from repro.tm.parser import parse_database
 
@@ -690,6 +713,7 @@ class ObjectStore:
                 incremental=incremental,
                 indexed=indexed,
                 wal=wal,
+                analyze=analyze,
             )
         if schema is None:
             schema = parse_database(image.schema_source)
@@ -705,6 +729,7 @@ class ObjectStore:
             incremental=incremental,
             indexed=indexed,
             wal=False,
+            analyze=analyze,
         )
         store._load_image(image)
         wal.resume(image)

@@ -138,7 +138,8 @@ import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Iterable, Mapping, TYPE_CHECKING
+from collections.abc import Iterable, Mapping
+from typing import Any, TYPE_CHECKING
 
 from repro.engine.faults import (
     UNSUPPORTED_DIR_FSYNC_ERRNOS,

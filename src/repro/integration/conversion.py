@@ -11,7 +11,8 @@ environment stay faithful.
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.domains.interval import IntervalSet
 from repro.errors import ConformationError

@@ -23,7 +23,8 @@ the global value can lie given local/remote value sets.
 from __future__ import annotations
 
 import enum
-from typing import Any, Iterable
+from collections.abc import Iterable
+from typing import Any
 
 from repro.errors import SpecificationError
 from repro.integration.relationships import Side

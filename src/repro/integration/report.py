@@ -47,6 +47,19 @@ def render_report(result: IntegrationResult, width: int = 78) -> str:
                 for core_line in core.describe().splitlines():
                     lines.append(f"    {core_line}")
 
+    if result.static_warnings:
+        section("Static analysis")
+        lines.append(
+            "  constraint-level findings needing no data at all — a"
+        )
+        lines.append(
+            "  contradiction here means the merged schema is inconsistent"
+        )
+        lines.append("  before any instance exists:")
+        for diagnostic in result.static_warnings:
+            marker = "!" if diagnostic.severity == "error" else "*"
+            lines.append(f"  {marker} {diagnostic.render()}")
+
     if result.subjectivity is not None:
         section("Constraint subjectivity (Section 5.1)")
         for name, status in sorted(result.subjectivity.constraint_status.items()):

@@ -8,7 +8,8 @@ classes arising from approximate similarity or partial extent overlaps, and
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Iterable
+from collections.abc import Callable, Iterable
+from typing import Any, TYPE_CHECKING
 
 from repro.constraints.ast import Node
 from repro.constraints.evaluate import EvalContext, evaluate

@@ -25,6 +25,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.constraints.analysis import (
+    Diagnostic,
+    analyze_schema,
+    pairwise_conflicts,
+)
 from repro.engine.store import ObjectStore
 from repro.integration.class_constraints import (
     ClassConstraintReport,
@@ -83,6 +88,12 @@ class IntegrationResult:
     #: (:class:`repro.engine.explain.ConflictCore`) explaining them: which
     #: objects of the component store, exactly, break its own constraints.
     component_cores: dict[str, list] = field(default_factory=dict)
+    #: Static-analysis findings made *before any data exists*: per-component
+    #: schema diagnostics (errors and warnings only) plus cross-schema
+    #: contradictions among the conformed constraints of matched classes.
+    #: Advisory design-tool output — not counted by :meth:`conflict_count`,
+    #: so it never flips :meth:`is_consistent` on its own.
+    static_warnings: list[Diagnostic] = field(default_factory=list)
     suggestions: list[Suggestion] = field(default_factory=list)
 
     @property
@@ -152,6 +163,7 @@ class IntegrationWorkbench:
             descriptivity_view=self.descriptivity_view,
         )
         result.rule_checks = check_rules(self.spec, result.conformation)
+        result.static_warnings = _static_analysis(self.spec, result.conformation)
 
         if self.local_store is not None and self.remote_store is not None:
             result.match = match_instances(
@@ -202,6 +214,75 @@ class IntegrationWorkbench:
                 replacements.get(rule.name, rule) for rule in self.spec.rules
             ]
         return history
+
+
+# ---------------------------------------------------------------------------
+# static analysis (warnings before any data exists)
+# ---------------------------------------------------------------------------
+
+
+def _static_analysis(
+    spec: IntegrationSpecification, conformation: ConformationResult
+) -> list[Diagnostic]:
+    """Constraint-level findings that need no instances at all.
+
+    Two sources: each component schema's own analysis (unsatisfiable or
+    contradictory constraints, type lint errors, redundancies), and
+    cross-schema contradiction checks over the *conformed* constraints of
+    classes the specification matches — an equality rule merges extents, a
+    similarity rule classifies source objects under the target class, so in
+    either case one object must satisfy both sides' constraints.  A conflict
+    here means the merged schema is inconsistent before any data exists.
+    """
+    diagnostics: list[Diagnostic] = []
+    for schema in (spec.local_schema, spec.remote_schema):
+        diagnostics.extend(analyze_schema(schema, include_info=False).diagnostics)
+
+    pairs = []
+    for local_name, remote_name in _matched_classes(spec):
+        local_schema = conformation.local.schema
+        remote_schema = conformation.remote.schema
+        if not local_schema.has_class(local_name) or not remote_schema.has_class(
+            remote_name
+        ):
+            continue
+        pairs.extend(
+            (local_constraint, remote_constraint)
+            for local_constraint in local_schema.effective_object_constraints(
+                local_name
+            )
+            for remote_constraint in remote_schema.effective_object_constraints(
+                remote_name
+            )
+        )
+    diagnostics.extend(pairwise_conflicts(pairs))
+    return diagnostics
+
+
+def _matched_classes(spec: IntegrationSpecification) -> list[tuple[str, str]]:
+    """(local class, remote class) pairs whose members must co-satisfy
+    both sides' object constraints after integration."""
+    from repro.integration.relationships import RelationshipKind, Side
+
+    matched: list[tuple[str, str]] = []
+    for rule in spec.rules:
+        if rule.kind is RelationshipKind.EQUALITY:
+            matched.extend(
+                (local_name, remote_name)
+                for local_name in rule.classes_on(Side.LOCAL)
+                for remote_name in rule.classes_on(Side.REMOTE)
+            )
+        elif rule.kind in (
+            RelationshipKind.SIMILARITY,
+            RelationshipKind.APPROXIMATE_SIMILARITY,
+        ):
+            if not rule.source_class or not rule.target_class:
+                continue
+            if rule.source_side is Side.LOCAL:
+                matched.append((rule.source_class, rule.target_class))
+            else:
+                matched.append((rule.target_class, rule.source_class))
+    return matched
 
 
 # ---------------------------------------------------------------------------

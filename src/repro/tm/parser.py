@@ -15,11 +15,13 @@ The accepted grammar (case of section keywords follows the paper):
     labelled      := IDENT ':' formula_tokens
     db_constraints:= 'Database' 'constraints' labelled+
 
-Attribute types and constraint formulas are collected as token spans and
-re-parsed with :func:`repro.types.parse_type` /
-:func:`repro.constraints.parse_expression`; a constraint continues onto the
-following line whenever that line does not start a new labelled constraint,
-section, or class (Figure 1 wraps ``cc2`` and ``db1`` across lines).
+Attribute types are collected as token spans and re-parsed with
+:func:`repro.types.parse_type`; constraint formulas are collected as *token
+slices* and parsed with :func:`repro.constraints.parser.parse_tokens`, so
+their AST positions are true file coordinates.  A constraint continues onto
+the following line whenever that line does not start a new labelled
+constraint, section, or class (Figure 1 wraps ``cc2`` and ``db1`` across
+lines).
 """
 
 from __future__ import annotations
@@ -29,7 +31,7 @@ from typing import Any
 from repro.constraints.classify import classify_formula
 from repro.constraints.lexer import Token, TokenStream, tokenize
 from repro.constraints.model import Constraint, ConstraintKind
-from repro.constraints.parser import parse_expression
+from repro.constraints.parser import parse_tokens
 from repro.errors import ParseError, SchemaError
 from repro.tm.schema import ClassDef, DatabaseSchema
 from repro.types.primitives import parse_type
@@ -227,13 +229,15 @@ class _SchemaParser:
         while stream.at("IDENT") and stream.peek(1).kind == "COLON":
             label = stream.expect("IDENT").text
             stream.expect("COLON")
-            formula_text = self._collect_formula_text()
+            formula_tokens = self._collect_formula_tokens()
+            formula_text = " ".join(token.text for token in formula_tokens[:-1])
             try:
-                formula = parse_expression(formula_text, constants=schema.constants)
+                formula = parse_tokens(formula_tokens, constants=schema.constants)
             except ParseError as exc:
                 raise ParseError(
                     f"bad constraint {label}: {exc.message} in {formula_text!r}",
                     exc.line,
+                    exc.column,
                 ) from exc
             kind = classify_formula(formula)
             if self.validate_sections and kind is not expected_kind:
@@ -251,13 +255,18 @@ class _SchemaParser:
                 schema.add_database_constraint(constraint)
             stream.skip_newlines()
 
-    def _collect_formula_text(self) -> str:
-        """Consume the constraint body, following line continuations."""
+    def _collect_formula_tokens(self) -> list[Token]:
+        """Consume the constraint body, following line continuations.
+
+        Returns the original token slice (terminated with a synthetic EOF) so
+        the formula re-parse keeps true file positions — diagnostics on a
+        ``.tm``-declared constraint cite the line/column in that file.
+        """
         stream = self.stream
-        pieces: list[str] = []
+        pieces: list[Token] = []
         while True:
             while not stream.at("NEWLINE") and not stream.at("EOF"):
-                pieces.append(stream.next().text)
+                pieces.append(stream.next())
             if stream.at("EOF"):
                 break
             # Decide whether the next line continues this constraint.
@@ -273,7 +282,9 @@ class _SchemaParser:
             if follow.text in _SECTION_STARTERS or follow.text in ("Class", "Database"):
                 break
             stream.next()  # consume the newline; keep collecting
-        return " ".join(pieces)
+        tail = pieces[-1] if pieces else stream.peek()
+        pieces.append(Token("EOF", "", tail.line, tail.column + len(tail.text)))
+        return pieces
 
     def _parse_database_constraints(self, schema: DatabaseSchema) -> None:
         self._expect_word("Database")

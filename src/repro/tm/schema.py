@@ -11,7 +11,8 @@ here.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from collections.abc import Iterator
+from typing import Any
 
 from repro.constraints.model import Constraint, ConstraintKind
 from repro.errors import SchemaError

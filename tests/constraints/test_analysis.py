@@ -1,0 +1,543 @@
+"""Tests for the static-analysis subsystem (:mod:`repro.constraints.analysis`).
+
+Covers the four passes — lint, per-constraint satisfiability, cross-constraint
+contradiction/subsumption, redundancy pruning — plus the soundness contract:
+the analyser must never report a satisfiable schema as contradictory, and
+every UNSAT verdict on the solver fragment must survive brute-force
+enumeration.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.analysis import (
+    AnalysisReport,
+    Diagnostic,
+    analyze_schema,
+    check_satisfiability,
+    in_solver_fragment,
+    lint_schema,
+    pairwise_conflicts,
+    prunable_constraints,
+    registration_errors,
+    summarize,
+)
+from repro.constraints.evaluate import EvalContext, evaluate
+from repro.constraints.model import Constraint, ConstraintKind
+from repro.constraints.parser import parse_expression
+from repro.fixtures import bookseller_schema, cslibrary_schema
+from repro.tm.parser import parse_database
+from repro.tm.schema import ClassDef, DatabaseSchema
+from repro.types.primitives import RangeType
+
+
+def codes(report: AnalysisReport) -> set[str]:
+    return {d.code for d in report.diagnostics}
+
+
+def by_code(report: AnalysisReport, code: str) -> list[Diagnostic]:
+    return [d for d in report.diagnostics if d.code == code]
+
+
+# ---------------------------------------------------------------------------
+# pass 1: lint
+# ---------------------------------------------------------------------------
+
+
+class TestLint:
+    def test_unknown_attribute_is_located_error(self):
+        schema = parse_database(
+            "Database Demo\n"
+            "Class Widget\n"
+            "  attributes\n"
+            "    size : int\n"
+            "  object constraints\n"
+            "    oc1 : sizee > 1\n"
+            "end Widget\n"
+        )
+        (diag,) = lint_schema(schema)
+        assert diag.severity == "error"
+        assert diag.code == "unknown-attribute"
+        assert diag.constraint == "Demo.Widget.oc1"
+        # 'sizee' starts at line 6, column 11 of the source above.
+        assert (diag.line, diag.column) == (6, 11)
+
+    def test_unknown_class_in_quantifier(self):
+        schema = parse_database(
+            "Database Demo\n"
+            "Class Widget\n"
+            "  attributes\n"
+            "    size : int\n"
+            "end Widget\n"
+            "Database constraints\n"
+            "  db1 : forall w in Wodget | w.size > 0\n"
+        )
+        diagnostics = lint_schema(schema)
+        assert any(d.code == "unknown-class" for d in diagnostics)
+        assert all(d.severity == "error" for d in diagnostics)
+
+    def test_incomparable_types_is_error(self):
+        schema = parse_database(
+            "Database Demo\n"
+            "Class Widget\n"
+            "  attributes\n"
+            "    label : string\n"
+            "  object constraints\n"
+            "    oc1 : label > 3\n"
+            "end Widget\n"
+        )
+        diagnostics = lint_schema(schema)
+        assert any(d.code == "incomparable-types" for d in diagnostics)
+
+    def test_cross_kind_equality_is_warning_only(self):
+        schema = parse_database(
+            "Database Demo\n"
+            "Class Widget\n"
+            "  attributes\n"
+            "    label : string\n"
+            "  object constraints\n"
+            "    oc1 : label != 3\n"
+            "end Widget\n"
+        )
+        diagnostics = lint_schema(schema)
+        assert [d.code for d in diagnostics] == ["constant-comparison"]
+        assert diagnostics[0].severity == "warn"
+
+    def test_paper_fixture_schemas_lint_clean(self):
+        for schema in (cslibrary_schema(), bookseller_schema()):
+            assert lint_schema(schema) == []
+
+    def test_paper_fixture_schemas_analyze_without_errors(self):
+        for schema in (cslibrary_schema(), bookseller_schema()):
+            report = analyze_schema(schema)
+            assert report.errors() == []
+            assert report.warnings() == []
+            # The aggregate/key/quantified constraints are honestly unknown.
+            assert codes(report) <= {"analysis-unknown", "tautology"}
+            assert report.exit_code() == 0
+
+
+# ---------------------------------------------------------------------------
+# pass 2: per-constraint satisfiability
+# ---------------------------------------------------------------------------
+
+
+class TestSatisfiability:
+    def test_unsat_constraint_is_error(self):
+        schema = parse_database(
+            "Database Demo\n"
+            "Class Widget\n"
+            "  attributes\n"
+            "    size : int\n"
+            "  object constraints\n"
+            "    oc1 : size > 10 and size < 5\n"
+            "end Widget\n"
+        )
+        report = analyze_schema(schema)
+        assert by_code(report, "unsatisfiable")
+        assert report.exit_code() == 2
+
+    def test_tautology_under_declared_types_is_info(self):
+        schema = parse_database(
+            "Database Demo\n"
+            "Class Widget\n"
+            "  attributes\n"
+            "    size : 0..3\n"
+            "  object constraints\n"
+            "    oc1 : size >= 0\n"
+            "end Widget\n"
+        )
+        report = analyze_schema(schema)
+        (diag,) = by_code(report, "tautology")
+        assert diag.severity == "info"
+        assert report.exit_code() == 0  # info never fails the gate
+
+    def test_out_of_fragment_reports_honest_unknown(self):
+        schema = parse_database(
+            "Database Demo\n"
+            "Class Widget\n"
+            "  attributes\n"
+            "    size : int\n"
+            "  class constraints\n"
+            "    cc1 : key size\n"
+            "end Widget\n"
+        )
+        (constraint,) = schema.all_constraints()
+        assert not in_solver_fragment(constraint.formula)
+        diagnostics = check_satisfiability(schema, constraint)
+        assert [d.code for d in diagnostics] == ["analysis-unknown"]
+        assert diagnostics[0].severity == "info"
+
+
+# ---------------------------------------------------------------------------
+# pass 3: cross-constraint contradiction and subsumption
+# ---------------------------------------------------------------------------
+
+
+class TestCrossConstraint:
+    def test_pairwise_contradiction_is_error(self):
+        schema = parse_database(
+            "Database Demo\n"
+            "Class Widget\n"
+            "  attributes\n"
+            "    size : int\n"
+            "  object constraints\n"
+            "    oc1 : size >= 10\n"
+            "    oc2 : size < 5\n"
+            "end Widget\n"
+        )
+        report = analyze_schema(schema)
+        assert by_code(report, "contradiction")
+        assert report.exit_code() == 2
+
+    def test_joint_contradiction_without_pairwise_conflict(self):
+        schema = parse_database(
+            "Database Demo\n"
+            "Class T\n"
+            "  attributes\n"
+            "    a : int\n"
+            "    b : int\n"
+            "    c : int\n"
+            "  object constraints\n"
+            "    oc1 : a <= b\n"
+            "    oc2 : b <= c\n"
+            "    oc3 : a > c\n"
+            "end T\n"
+        )
+        report = analyze_schema(schema)
+        assert not by_code(report, "contradiction")
+        assert by_code(report, "joint-contradiction")
+
+    def test_subsumption_is_redundancy_warning(self):
+        schema = parse_database(
+            "Database Demo\n"
+            "Class Widget\n"
+            "  attributes\n"
+            "    size : int\n"
+            "  object constraints\n"
+            "    oc1 : size >= 3\n"
+            "    oc2 : size >= 2\n"
+            "end Widget\n"
+        )
+        report = analyze_schema(schema)
+        (diag,) = by_code(report, "redundant")
+        assert diag.severity == "warn"
+        assert diag.constraint == "Demo.Widget.oc2"
+        assert "Demo.Widget.oc1" in diag.message
+        assert report.exit_code() == 1
+
+    def test_pairwise_conflicts_across_schemas(self):
+        local = parse_database(
+            "Database Shop\n"
+            "Class Product\n"
+            "  attributes\n"
+            "    price : real\n"
+            "  object constraints\n"
+            "    oc1 : price >= 100\n"
+            "end Product\n"
+        )
+        remote = parse_database(
+            "Database Outlet\n"
+            "Class Item\n"
+            "  attributes\n"
+            "    price : real\n"
+            "  object constraints\n"
+            "    oc1 : price < 50\n"
+            "end Item\n"
+        )
+        (lc,) = local.all_constraints()
+        (rc,) = remote.all_constraints()
+        (diag,) = pairwise_conflicts([(lc, rc)])
+        assert diag.code == "contradiction"
+        assert "Shop.Product.oc1" in diag.message
+        assert "Outlet.Item.oc1" in diag.message
+        # Compatible pairs produce nothing.
+        assert pairwise_conflicts([(lc, lc)]) == []
+
+
+# ---------------------------------------------------------------------------
+# pass 4: redundancy pruning
+# ---------------------------------------------------------------------------
+
+
+def _pruning_schema(extra: str = "") -> DatabaseSchema:
+    return parse_database(
+        "Database Demo\n"
+        "Class Widget\n"
+        "  attributes\n"
+        "    size : int\n"
+        "  object constraints\n"
+        "    oc1 : size >= 3\n"
+        "    oc2 : size >= 2\n"
+        "end Widget\n" + extra
+    )
+
+
+class TestPruning:
+    def test_entailed_constraint_is_pruned_to_its_keeper(self):
+        pruned = prunable_constraints(_pruning_schema())
+        assert {v.qualified_name: k.qualified_name for v, k in pruned.items()} == {
+            "Demo.Widget.oc2": "Demo.Widget.oc1"
+        }
+
+    def test_keeper_on_subclass_cannot_prune_parent_constraint(self):
+        # The stronger constraint lives on a subclass: it is not effective on
+        # plain Widget objects, so the parent's weaker constraint must stay.
+        schema = parse_database(
+            "Database Demo\n"
+            "Class Widget\n"
+            "  attributes\n"
+            "    size : int\n"
+            "  object constraints\n"
+            "    oc1 : size >= 2\n"
+            "end Widget\n"
+            "Class BigWidget isa Widget\n"
+            "  object constraints\n"
+            "    oc2 : size >= 3\n"
+            "end BigWidget\n"
+        )
+        assert prunable_constraints(schema) == {}
+
+    def test_keeper_on_ancestor_prunes_subclass_constraint(self):
+        schema = parse_database(
+            "Database Demo\n"
+            "Class Widget\n"
+            "  attributes\n"
+            "    size : int\n"
+            "  object constraints\n"
+            "    oc1 : size >= 3\n"
+            "end Widget\n"
+            "Class BigWidget isa Widget\n"
+            "  object constraints\n"
+            "    oc2 : size >= 2\n"
+            "end BigWidget\n"
+        )
+        pruned = prunable_constraints(schema)
+        assert {v.qualified_name for v in pruned} == {"Demo.BigWidget.oc2"}
+
+    def test_lint_dirty_constraint_is_never_pruned(self):
+        # oc2 is entailed by oc1 but its other conjunct compares across kinds
+        # (warn) — a constraint that may surprise at evaluation time must not
+        # be silenced by the pruner.
+        schema = parse_database(
+            "Database Demo\n"
+            "Class Widget\n"
+            "  attributes\n"
+            "    size : int\n"
+            "    label : string\n"
+            "  object constraints\n"
+            "    oc1 : size >= 3\n"
+            "    oc2 : size >= 2 or label != 7\n"
+            "end Widget\n"
+        )
+        assert prunable_constraints(schema) == {}
+
+
+# ---------------------------------------------------------------------------
+# conservative SAT (satellite: pinned behaviour outside completeness)
+# ---------------------------------------------------------------------------
+
+
+class TestConservativeSat:
+    def test_pigeonhole_disequalities_stay_conservatively_sat(self):
+        """Three pairwise disequalities over a two-value domain are UNSAT by
+        pigeonhole, but the solver's per-variable domain reasoning cannot see
+        it.  The analyser must stay silent (conservative SAT), never guess."""
+        schema = parse_database(
+            "Database Demo\n"
+            "Class T\n"
+            "  attributes\n"
+            "    x : 0..1\n"
+            "    y : 0..1\n"
+            "    z : 0..1\n"
+            "  object constraints\n"
+            "    oc1 : x != y\n"
+            "    oc2 : y != z\n"
+            "    oc3 : x != z\n"
+            "end T\n"
+        )
+        # Brute force: genuinely unsatisfiable.
+        formula = parse_expression("x != y and y != z and x != z")
+        assert not any(
+            evaluate(formula, EvalContext(current={"x": x, "y": y, "z": z}))
+            for x, y, z in itertools.product((0, 1), repeat=3)
+        )
+        # …yet the analyser reports nothing: SAT verdicts are conservative.
+        report = analyze_schema(schema)
+        assert not by_code(report, "unsatisfiable")
+        assert not by_code(report, "contradiction")
+        assert not by_code(report, "joint-contradiction")
+        assert report.exit_code() == 0
+
+    def test_two_value_disequality_chain_that_is_satisfiable(self):
+        schema = parse_database(
+            "Database Demo\n"
+            "Class T\n"
+            "  attributes\n"
+            "    x : 0..1\n"
+            "    y : 0..1\n"
+            "  object constraints\n"
+            "    oc1 : x != y\n"
+            "end T\n"
+        )
+        report = analyze_schema(schema)
+        assert report.exit_code() == 0
+
+
+# ---------------------------------------------------------------------------
+# report plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestReportPlumbing:
+    def test_render_and_to_dict_round_trip(self):
+        report = analyze_schema(_pruning_schema())
+        text = report.render_text()
+        assert "[redundant]" in text
+        assert text.strip().endswith("0 error(s), 1 warning(s), 0 info(s)")
+        payload = report.to_dict()
+        assert payload["schema"] == "Demo"
+        assert payload["exit_code"] == 1
+        assert payload["warnings"] == 1
+
+    def test_summarize_takes_worst_exit_code(self):
+        clean = analyze_schema(cslibrary_schema())
+        warned = analyze_schema(_pruning_schema())
+        summary = summarize({"a.tm": clean, "b.tm": warned})
+        assert summary["exit_code"] == 1
+        assert set(summary["schemas"]) == {"a.tm", "b.tm"}
+
+    def test_registration_errors_ignores_warnings(self):
+        assert registration_errors(_pruning_schema()) == []
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: soundness against brute-force enumeration
+# ---------------------------------------------------------------------------
+
+_VARS = ("x", "y")
+_DOMAIN = (0, 1, 2, 3)
+
+_atom_strategy = st.one_of(
+    st.builds(
+        lambda var, op, val: f"{var} {op} {val}",
+        st.sampled_from(_VARS),
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        st.sampled_from(_DOMAIN),
+    ),
+    st.builds(
+        lambda var, vals: f"{var} in {{{', '.join(map(str, sorted(vals)))}}}",
+        st.sampled_from(_VARS),
+        st.frozensets(st.sampled_from(_DOMAIN), min_size=1, max_size=3),
+    ),
+    st.builds(
+        lambda a, op, b: f"{a} {op} {b}",
+        st.sampled_from(_VARS),
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        st.sampled_from(_VARS),
+    ),
+)
+
+
+@st.composite
+def _formula_sources(draw, max_atoms=3):
+    atoms = draw(st.lists(_atom_strategy, min_size=1, max_size=max_atoms))
+    connectives = draw(
+        st.lists(
+            st.sampled_from(["and", "or", "implies"]),
+            min_size=len(atoms) - 1,
+            max_size=len(atoms) - 1,
+        )
+    )
+    source = atoms[0]
+    for connective, atom in zip(connectives, atoms[1:]):
+        source = f"({source}) {connective} ({atom})"
+    return source
+
+
+def _schema_with_constraints(sources: list[str]) -> DatabaseSchema:
+    schema = DatabaseSchema("Prop")
+    class_def = ClassDef("T")
+    for var in _VARS:
+        class_def.add_attribute(var, RangeType(_DOMAIN[0], _DOMAIN[-1]))
+    for index, source in enumerate(sources, start=1):
+        class_def.add_constraint(
+            Constraint(
+                f"oc{index}",
+                ConstraintKind.OBJECT,
+                parse_expression(source),
+                database="Prop",
+            )
+        )
+    schema.add_class(class_def)
+    return schema
+
+
+def _jointly_satisfiable(sources: list[str]) -> bool:
+    formulas = [parse_expression(source) for source in sources]
+    return any(
+        all(
+            evaluate(formula, EvalContext(current=dict(zip(_VARS, values))))
+            for formula in formulas
+        )
+        for values in itertools.product(_DOMAIN, repeat=len(_VARS))
+    )
+
+
+class TestSoundness:
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(_formula_sources(), min_size=1, max_size=3))
+    def test_satisfiable_schemas_are_never_reported_contradictory(self, sources):
+        """The load-bearing guarantee: a schema some object state satisfies
+        must never be rejected by the analyser."""
+        schema = _schema_with_constraints(sources)
+        report = analyze_schema(schema)
+        if _jointly_satisfiable(sources):
+            assert not by_code(report, "joint-contradiction")
+            assert not by_code(report, "contradiction")
+            # Individually satisfiable constraints are never flagged UNSAT.
+            for index, source in enumerate(sources, start=1):
+                formula = parse_expression(source)
+                individually_sat = any(
+                    evaluate(formula, EvalContext(current=dict(zip(_VARS, v))))
+                    for v in itertools.product(_DOMAIN, repeat=len(_VARS))
+                )
+                if individually_sat:
+                    assert not [
+                        d
+                        for d in by_code(report, "unsatisfiable")
+                        if d.constraint == f"Prop.T.oc{index}"
+                    ]
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(_formula_sources(), min_size=1, max_size=3))
+    def test_unsat_verdicts_survive_enumeration(self, sources):
+        """Dual direction: every contradiction the analyser *does* report on
+        the solver fragment is a real one."""
+        schema = _schema_with_constraints(sources)
+        report = analyze_schema(schema)
+        if by_code(report, "joint-contradiction") or by_code(report, "contradiction"):
+            assert not _jointly_satisfiable(sources)
+        for diag in by_code(report, "unsatisfiable"):
+            index = int(diag.constraint.rsplit("oc", 1)[1])
+            formula = parse_expression(sources[index - 1])
+            assert not any(
+                evaluate(formula, EvalContext(current=dict(zip(_VARS, values))))
+                for values in itertools.product(_DOMAIN, repeat=len(_VARS))
+            )
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(_formula_sources(), min_size=2, max_size=3))
+    def test_pruned_constraints_are_really_entailed(self, sources):
+        """Whenever pass 4 prunes a constraint, its keeper must entail it on
+        every reachable state — enumeration over the whole domain."""
+        schema = _schema_with_constraints(sources)
+        for victim, keeper in prunable_constraints(schema).items():
+            for values in itertools.product(_DOMAIN, repeat=len(_VARS)):
+                state = dict(zip(_VARS, values))
+                if evaluate(keeper.formula, EvalContext(current=state)):
+                    assert evaluate(victim.formula, EvalContext(current=state))

@@ -1,0 +1,92 @@
+"""Static conflict warnings in the integration workbench: a merged schema
+whose constraints are inconsistent is flagged *before any data exists*."""
+
+from __future__ import annotations
+
+from repro.fixtures import library_integration_spec
+from repro.integration.report import render_report
+from repro.integration.rules import ComparisonRule
+from repro.integration.spec import IntegrationSpecification
+from repro.integration.workbench import IntegrationWorkbench
+from repro.tm.parser import parse_database
+
+LOCAL = """
+Database Shop
+Class Product
+  attributes
+    name : string
+    price : real
+  object constraints
+    oc1 : price >= 100
+end Product
+"""
+
+REMOTE = """
+Database Outlet
+Class Item
+  attributes
+    name : string
+    price : real
+  object constraints
+    oc1 : price < 50
+end Item
+"""
+
+
+def _spec() -> IntegrationSpecification:
+    spec = IntegrationSpecification(parse_database(LOCAL), parse_database(REMOTE))
+    spec.add_rule(
+        ComparisonRule.equality("Product", "Item", "self.name = other.name")
+    )
+    return spec
+
+
+class TestStaticWarnings:
+    def test_data_free_inconsistency_is_reported(self):
+        result = IntegrationWorkbench(_spec()).run()
+        contradictions = [
+            d for d in result.static_warnings if d.code == "contradiction"
+        ]
+        assert contradictions, "merged-schema contradiction not detected"
+        message = contradictions[0].message
+        assert "Shop.Product.oc1" in message
+        assert "Outlet.Item.oc1" in message
+        assert "before any data exists" in message
+
+    def test_static_warnings_do_not_count_as_conflicts(self):
+        # conflict_count() keeps its pre-analysis meaning: static warnings
+        # are advisory.  (The same inconsistency typically *also* surfaces as
+        # a derivation conflict, which does count — so only check that the
+        # static diagnostics add nothing on top.)
+        result = IntegrationWorkbench(_spec()).run()
+        baseline = result.conflict_count()
+        result.static_warnings = []
+        assert result.conflict_count() == baseline
+
+    def test_report_renders_a_static_analysis_section(self):
+        result = IntegrationWorkbench(_spec()).run()
+        report = render_report(result)
+        assert "Static analysis" in report
+        assert "before any instance exists" in report
+        assert "Shop.Product.oc1" in report
+
+    def test_consistent_paper_spec_stays_clean(self):
+        result = IntegrationWorkbench(library_integration_spec()).run()
+        assert [
+            d for d in result.static_warnings if d.severity == "error"
+        ] == []
+        assert "Static analysis" not in render_report(result) or all(
+            d.severity != "error" for d in result.static_warnings
+        )
+
+    def test_similarity_rule_also_pairs_constraints(self):
+        spec = IntegrationSpecification(
+            parse_database(LOCAL), parse_database(REMOTE)
+        )
+        spec.add_rule(
+            ComparisonRule.similarity("Item", "Product", condition="true")
+        )
+        result = IntegrationWorkbench(spec).run()
+        assert any(
+            d.code == "contradiction" for d in result.static_warnings
+        )

@@ -1,0 +1,128 @@
+"""The ``repro lint`` command: exit codes 0/1/2, text and JSON output."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.fixtures.schemas import bookseller_source, cslibrary_source
+
+CLEAN = cslibrary_source()
+
+WARN_ONLY = """
+Database Warny
+Class Widget
+  attributes
+    size : int
+  object constraints
+    oc1 : size >= 3
+    oc2 : size >= 2
+end Widget
+"""
+
+ERRORS = """
+Database Broken
+Class Widget
+  attributes
+    size : int
+    label : string
+  object constraints
+    oc1 : size > 10 and size < 5
+    oc2 : label > 3
+end Widget
+"""
+
+
+@pytest.fixture
+def schema_file(tmp_path):
+    def write(source: str, name: str = "schema.tm") -> str:
+        path = tmp_path / name
+        path.write_text(source)
+        return str(path)
+
+    return write
+
+
+class TestLintExitCodes:
+    def test_clean_schema_exits_zero(self, schema_file, capsys):
+        assert main(["lint", schema_file(CLEAN)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_warnings_exit_one(self, schema_file, capsys):
+        assert main(["lint", schema_file(WARN_ONLY)]) == 1
+        out = capsys.readouterr().out
+        assert "[redundant]" in out
+        assert "Warny.Widget.oc2" in out
+
+    def test_errors_exit_two(self, schema_file, capsys):
+        assert main(["lint", schema_file(ERRORS)]) == 2
+        out = capsys.readouterr().out
+        assert "[unsatisfiable]" in out
+        assert "[incomparable-types]" in out
+
+    def test_worst_file_wins_across_many(self, schema_file, capsys):
+        paths = [
+            schema_file(CLEAN, "clean.tm"),
+            schema_file(WARN_ONLY, "warn.tm"),
+        ]
+        assert main(["lint", *paths]) == 1
+        out = capsys.readouterr().out
+        assert "clean.tm" in out and "warn.tm" in out
+
+    def test_unreadable_file_aborts(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["lint", str(tmp_path / "missing.tm")])
+
+    def test_unparsable_file_aborts(self, schema_file):
+        with pytest.raises(SystemExit, match="cannot parse"):
+            main(["lint", schema_file("Database\n")])
+
+
+class TestCommittedFixtures:
+    """The seeded fixtures under examples/lint/ that the CI smoke walks
+    through exit codes 0/1/2 must keep producing exactly those codes."""
+
+    FIXTURES = Path(__file__).resolve().parent.parent / "examples" / "lint"
+
+    def test_clean_fixture_exits_zero(self):
+        assert main(["lint", str(self.FIXTURES / "clean.tm")]) == 0
+
+    def test_redundant_fixture_exits_one(self, capsys):
+        assert main(["lint", str(self.FIXTURES / "redundant.tm")]) == 1
+        assert "[redundant]" in capsys.readouterr().out
+
+    def test_broken_fixture_exits_two(self, capsys):
+        assert main(["lint", str(self.FIXTURES / "broken.tm")]) == 2
+        out = capsys.readouterr().out
+        assert "[unsatisfiable]" in out
+        assert "[incomparable-types]" in out
+
+
+class TestLintOutput:
+    def test_json_format_carries_locations(self, schema_file, capsys):
+        assert main(["lint", "--format", "json", schema_file(ERRORS)]) == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["exit_code"] == 2
+        (report,) = payload["schemas"].values()
+        assert report["schema"] == "Broken"
+        assert report["errors"] >= 2
+        located = [d for d in report["diagnostics"] if d["severity"] == "error"]
+        assert all("line" in d and "column" in d for d in located)
+
+    def test_no_info_suppresses_honest_unknowns(self, schema_file, capsys):
+        path = schema_file(bookseller_source())
+        assert main(["lint", path]) == 0
+        assert "[analysis-unknown]" in capsys.readouterr().out
+        assert main(["lint", "--no-info", path]) == 0
+        assert "[analysis-unknown]" not in capsys.readouterr().out
+
+    def test_positions_cite_the_tm_file(self, schema_file, capsys):
+        # The contradiction of ERRORS sits on line 8 of the file written
+        # (leading newline shifts everything by one).
+        main(["lint", schema_file(ERRORS)])
+        out = capsys.readouterr().out
+        assert "(line 8, col" in out
