@@ -73,6 +73,13 @@ def pytest_generate_tests(metafunc):
         # pass is most visible).
         sizes = [32] if quick else [32, 64]
         metafunc.parametrize("e20_size", sizes)
+    if "e21_size" in metafunc.fixturenames:
+        # Commits per measured batch.  The parity (≤1.1x), scaling (≥3x
+        # critical path at 4 shards) and 2PC (≤3x) gates all hold from 200
+        # commits up, so --quick keeps that size; the full run adds 800
+        # where per-commit noise is negligible.
+        sizes = [200] if quick else [200, 800]
+        metafunc.parametrize("e21_size", sizes)
     if "e17_size" in metafunc.fixturenames:
         # Snapshot-reader throughput under a sustained writer; the
         # degradation gate holds at every size, so --quick keeps one.

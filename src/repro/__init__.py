@@ -50,6 +50,7 @@ from repro.engine import (
     FaultInjector,
     FaultSpec,
     ObjectStore,
+    ShardedStore,
     SimulatedCrash,
     fsck,
     select,
@@ -108,6 +109,7 @@ __all__ = [
     "entails",
     "is_satisfiable",
     "ObjectStore",
+    "ShardedStore",
     "DBObject",
     "select",
     "DatabaseSchema",

@@ -166,11 +166,12 @@ def _run_durable_command(args: argparse.Namespace) -> int:
         store.close()
 
 
-def _run_fsck(args: argparse.Namespace) -> int:
-    """``fsck``: read-only scrub of a durable store directory."""
+def _scrub_directory(directory: str, deep: bool) -> int:
+    """Scrub one durable store directory; print the report, return the
+    severity (0 clean, 1 truncatable, 2 unrecoverable)."""
     from repro.engine.wal import fsck
 
-    report = fsck(args.directory)
+    report = fsck(directory)
     print(
         f"{report.path}: {report.status} — {report.frames_valid} intact log "
         f"frame(s); certified prefix holds {report.objects} object(s) "
@@ -179,12 +180,12 @@ def _run_fsck(args: argparse.Namespace) -> int:
     )
     for finding in report.findings:
         print(f"  {finding}", file=sys.stderr)
-    if args.deep and report.status != "fatal":
+    if deep and report.status != "fatal":
         # --deep actually *opens* the store and audits its constraints.
         # Unlike the scrub passes this repairs on the way in (tail
         # truncation, snapshot-rotation repair), exactly like any reopen.
         try:
-            store = ObjectStore.open(args.directory, verify=False)
+            store = ObjectStore.open(directory, verify=False)
         except ReproError as exc:
             print(f"deep audit: cannot open: {exc}", file=sys.stderr)
             return 2
@@ -202,6 +203,69 @@ def _run_fsck(args: argparse.Namespace) -> int:
             return max(report.exit_code, 1)
         print("deep audit: all constraints hold")
     return report.exit_code
+
+
+def _run_fsck(args: argparse.Namespace) -> int:
+    """``fsck``: read-only scrub of a durable store directory — or, with
+    ``--all``, of every shard directory under a sharded store root."""
+    from pathlib import Path
+
+    if not args.all:
+        return _scrub_directory(args.directory, args.deep)
+
+    from repro.engine.sharding import MANIFEST_NAME, ShardedStore, shard_directory
+
+    root = Path(args.directory)
+    manifest_path = root / MANIFEST_NAME
+    if manifest_path.exists():
+        try:
+            import json
+
+            shard_count = int(
+                json.loads(manifest_path.read_text("utf-8"))["shards"]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            print(
+                f"{manifest_path}: unreadable shard manifest: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        directories = [shard_directory(root, shard) for shard in range(shard_count)]
+    else:
+        # No manifest: scrub whatever shard directories are on disk.
+        directories = sorted(
+            entry for entry in root.glob("shard-*") if entry.is_dir()
+        )
+    if not directories:
+        print(f"{root}: no shard directories to scrub", file=sys.stderr)
+        return 2
+    # Per-shard deep audits would resolve in-doubt two-phase brackets
+    # without the other shards' decide records, so the scrub stays
+    # per-directory and the deep audit (if asked) opens the store whole.
+    worst = max(
+        _scrub_directory(str(directory), deep=False)
+        for directory in directories
+    )
+    if args.deep and worst < 2:
+        try:
+            store = ShardedStore.open(root, verify=False)
+        except ReproError as exc:
+            print(f"deep audit: cannot open: {exc}", file=sys.stderr)
+            return 2
+        try:
+            violations = store.check_all()
+        finally:
+            store.close()
+        if violations:
+            print(
+                f"deep audit: {len(violations)} constraint violation(s):",
+                file=sys.stderr,
+            )
+            for violation in violations:
+                print(f"  {violation}", file=sys.stderr)
+            return max(worst, 1)
+        print("deep audit: all constraints hold")
+    return worst
 
 
 def _explain_demo_stores() -> "list[ObjectStore]":
@@ -312,6 +376,168 @@ def _run_lint(args: argparse.Namespace) -> int:
     return max((report.exit_code() for report in reports.values()), default=0)
 
 
+def _stress_shard_source(classes: int) -> str:
+    """A TM schema of ``classes`` reference-free classes, one per shard:
+    the placement planner pins ``S<i>`` to shard ``i``, so single-object
+    commits are shard-local and multi-class transactions exercise the
+    two-phase bracket."""
+    parts = ["Database StressShards\n"]
+    for index in range(classes):
+        parts.append(
+            f"\nClass S{index}\n"
+            "attributes\n"
+            "  name      : string\n"
+            "  shopprice : real\n"
+            "  ourprice  : real\n"
+            "object constraints\n"
+            f"  oc{index}: ourprice <= shopprice\n"
+            "class constraints\n"
+            f"  cc{index}: key name\n"
+            f"end S{index}\n"
+        )
+    return "".join(parts)
+
+
+def _run_sharded_stress(args: argparse.Namespace) -> int:
+    """``stress --shards N``: the sharded variant — writers hammer a
+    :class:`~repro.engine.sharding.ShardedStore` with shard-local commits
+    plus periodic cross-shard (two-phase) transactions, readers scan
+    per-core snapshots, and the run reports the router's op counters and
+    each shard's group-commit telemetry."""
+    import threading
+    import time
+
+    from repro.engine import ShardedStore
+    from repro.tm import parse_database
+
+    shards = args.shards
+    schema = parse_database(_stress_shard_source(shards))
+    if args.dir:
+        try:
+            store = ShardedStore.open(args.dir, sync=args.sync)
+        except ReproError:
+            try:
+                store = ShardedStore.open(
+                    args.dir, schema, shards, sync=args.sync
+                )
+            except ReproError as exc:
+                raise SystemExit(
+                    f"repro: cannot open stress store at {args.dir!r}: {exc}"
+                ) from exc
+    else:
+        if args.sync:
+            raise SystemExit("repro: --sync requires --dir (a durable store)")
+        store = ShardedStore(schema, shards)
+    try:
+        existing = len(store)
+        for index in range(existing, args.objects):
+            store.insert(
+                f"S{index % shards}",
+                name=f"Obj {index}",
+                shopprice=50.0,
+                ourprice=45.0,
+            )
+    except ReproError as exc:
+        store.close()
+        raise SystemExit(
+            f"repro: cannot populate the stress store: {exc}"
+        ) from exc
+    # The merged object table orders by insertion counter then shard, so
+    # adjacent targets live on different shards — the cross-shard step
+    # below pairs neighbours to guarantee a two-phase bracket.
+    targets = [obj.oid for obj in store.objects()]
+    if not targets:
+        store.close()
+        raise SystemExit("repro: --objects must be at least 1")
+
+    stop = threading.Event()
+    commits = [0] * args.writers
+    reads = [0] * args.readers
+    failures: list[BaseException] = []
+
+    def writer(slot: int) -> None:
+        step = 0
+        try:
+            while not stop.is_set():
+                index = (slot + step * args.writers) % len(targets)
+                price = 40.0 + (step % 10)  # stays under shopprice (50.0)
+                if shards > 1 and step % 16 == 15 and len(targets) > 1:
+                    neighbour = targets[(index + 1) % len(targets)]
+                    with store.transaction():
+                        store.update(targets[index], ourprice=price)
+                        store.update(neighbour, ourprice=price)
+                else:
+                    store.update(targets[index], ourprice=price)
+                commits[slot] += 1
+                step += 1
+        except BaseException as exc:  # surface, don't swallow
+            failures.append(exc)
+
+    def reader(slot: int) -> None:
+        try:
+            while not stop.is_set():
+                total = 0.0
+                for snapshot in store.snapshots():
+                    with snapshot as snap:
+                        for index in range(shards):
+                            for obj in snap.extent(f"S{index}"):
+                                total += obj.state["ourprice"]
+                assert total >= 0.0
+                reads[slot] += 1
+        except BaseException as exc:
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=writer, args=(slot,), daemon=True)
+        for slot in range(args.writers)
+    ] + [
+        threading.Thread(target=reader, args=(slot,), daemon=True)
+        for slot in range(args.readers)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    time.sleep(args.seconds)
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=30.0)
+    elapsed = time.perf_counter() - started
+
+    total_commits = sum(commits)
+    total_reads = sum(reads)
+    print(
+        f"{args.writers} writer(s) committed {total_commits} operation(s) "
+        f"({total_commits / elapsed:.0f}/s), {args.readers} reader(s) took "
+        f"{total_reads} snapshot scan(s) ({total_reads / elapsed:.0f}/s) "
+        f"over {len(store)} object(s) across {shards} shard(s) "
+        f"in {elapsed:.2f}s"
+    )
+    print(
+        f"router: {store.fast_path_ops} fast-path op(s), "
+        f"{store.routed_global_ops} routed op(s), "
+        f"{store.two_phase_commits} two-phase commit(s)"
+    )
+    for row in store.shard_stats():
+        line = f"shard {row['shard']}: {row['objects']} object(s)"
+        if "fsyncs" in row:
+            line += (
+                f", {row['fsyncs']} fsync(s) for {row['sync_commits']} "
+                f"durable commit(s) — {row['fsyncs_per_commit']:.3f} "
+                f"fsyncs/commit, mean batch {row['mean_batch']:.2f}"
+            )
+        print(line)
+    for exc in failures:
+        print(f"thread failed: {exc!r}", file=sys.stderr)
+    violations = store.check_all()
+    for violation in violations:
+        print(f"  {violation}", file=sys.stderr)
+    store.close()
+    if failures or violations:
+        return 1
+    print("all constraints hold")
+    return 0
+
+
 def _run_stress(args: argparse.Namespace) -> int:
     """``stress``: hammer one shared store with writer threads (serialized
     by the coarse writer lock) and reader threads (lock-free snapshots),
@@ -320,6 +546,11 @@ def _run_stress(args: argparse.Namespace) -> int:
     import time
 
     from repro.fixtures import cslibrary_schema
+
+    if args.shards is not None:
+        if args.shards < 1:
+            raise SystemExit("repro: --shards must be at least 1")
+        return _run_sharded_stress(args)
 
     schema = cslibrary_schema()
     schema.set_constant("MAX", 10**15)  # keep the sum constraint satisfiable
@@ -504,6 +735,14 @@ def main(argv: list[str] | None = None) -> int:
         help="additionally open the recoverable prefix and audit its "
         "constraints (repairs the directory on the way in, like any reopen)",
     )
+    fsck.add_argument(
+        "--all",
+        action="store_true",
+        help="treat DIRECTORY as a sharded store root: scrub every shard "
+        "directory and exit with the worst severity (with --deep, the "
+        "audit opens the store whole so in-doubt two-phase brackets "
+        "resolve against every shard's log)",
+    )
 
     explain = commands.add_parser(
         "explain",
@@ -570,6 +809,12 @@ def main(argv: list[str] | None = None) -> int:
     stress.add_argument(
         "--sync", action="store_true",
         help="fsync at commit points (group commit; requires --dir)",
+    )
+    stress.add_argument(
+        "--shards", type=int, default=None,
+        help="run against a ShardedStore with this many shard cores: "
+        "shard-local commits plus periodic cross-shard (two-phase) "
+        "transactions, with per-shard group-commit stats",
     )
 
     args = parser.parse_args(argv)

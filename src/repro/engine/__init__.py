@@ -34,7 +34,12 @@ constraint of its TM schema.
   durability stack (torn writes, failed fsyncs, ENOSPC, bit rot,
   crash-at-rename), the errno classification policy, and the fail-stop
   (poisoned, read-only) degradation the write-ahead log applies when a
-  commit point dies.
+  commit point dies;
+* :mod:`~repro.engine.sharding` — horizontal scale: shard-partitioned
+  stores (:class:`~repro.engine.sharding.ShardedStore`) that route
+  operations to independent shard cores behind a constraint-aware commit
+  router, with two-phase commit across shard WALs for cross-shard
+  transactions.
 """
 
 from repro.engine.concurrency import ConcurrencyControl, Snapshot, SnapshotObject
@@ -55,6 +60,7 @@ from repro.engine.incremental import (
     delta_violations,
 )
 from repro.engine.indexes import IndexManager, KeyIndex, RunningAggregate
+from repro.engine.sharding import ShardedStore, plan_placement
 from repro.engine.wal import FsckReport, WriteAheadLog, fsck
 
 __all__ = [
@@ -71,6 +77,8 @@ __all__ = [
     "IndexManager",
     "KeyIndex",
     "RunningAggregate",
+    "ShardedStore",
+    "plan_placement",
     "WriteAheadLog",
     "FsckReport",
     "fsck",

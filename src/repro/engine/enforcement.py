@@ -73,7 +73,10 @@ def check_object_constraints(store: "ObjectStore", obj: "DBObject") -> None:
     validator honours, so incremental and exhaustive enforcement reject with
     the same exception type.
     """
+    scope = getattr(store, "constraint_scope", None)
     for constraint in store.schema.effective_object_constraints(obj.class_name):
+        if scope is not None and constraint not in scope:
+            continue  # cross-shard: the commit router checks it
         ctx = store.eval_context(current=obj)
         try:
             satisfied = evaluate(constraint.formula, ctx)
@@ -101,8 +104,11 @@ def check_class_constraints(store: "ObjectStore", class_name: str) -> None:
     membership, not constraint inheritance — the constraint stays attached to
     the ancestor.
     """
+    scope = getattr(store, "constraint_scope", None)
     for ancestor in store.schema.ancestors(class_name):
         for constraint in ancestor.own_class_constraints():
+            if scope is not None and constraint not in scope:
+                continue  # cross-shard: the commit router checks it
             ctx = store.eval_context(self_extent_class=ancestor.name)
             try:
                 satisfied = evaluate(constraint.formula, ctx)
@@ -127,7 +133,10 @@ def check_class_constraints(store: "ObjectStore", class_name: str) -> None:
 
 def check_database_constraints(store: "ObjectStore") -> None:
     """Raise unless all database constraints hold on the current store."""
+    scope = getattr(store, "constraint_scope", None)
     for constraint in store.schema.database_constraints:
+        if scope is not None and constraint not in scope:
+            continue  # cross-shard: the commit router checks it
         ctx = store.eval_context()
         try:
             satisfied = evaluate(constraint.formula, ctx)
@@ -148,8 +157,11 @@ def check_database_constraints(store: "ObjectStore") -> None:
 def all_violations(store: "ObjectStore") -> list[Violation]:
     """Every violation in the store (does not stop at the first)."""
     found: list[Violation] = []
+    scope = getattr(store, "constraint_scope", None)
     for obj in store.objects():
         for constraint in store.schema.effective_object_constraints(obj.class_name):
+            if scope is not None and constraint not in scope:
+                continue
             ctx = store.eval_context(current=obj)
             try:
                 if not evaluate(constraint.formula, ctx):
@@ -174,6 +186,8 @@ def all_violations(store: "ObjectStore") -> list[Violation]:
                 )
     for class_def in store.schema.classes.values():
         for constraint in class_def.own_class_constraints():
+            if scope is not None and constraint not in scope:
+                continue
             ctx = store.eval_context(self_extent_class=class_def.name)
             try:
                 if not evaluate(constraint.formula, ctx):
@@ -199,6 +213,8 @@ def all_violations(store: "ObjectStore") -> list[Violation]:
                     )
                 )
     for constraint in store.schema.database_constraints:
+        if scope is not None and constraint not in scope:
+            continue
         try:
             if not evaluate(constraint.formula, store.eval_context()):
                 found.append(

@@ -542,6 +542,10 @@ def _affected_object_checks(
     """
     seen: set[tuple[int, str]] = set()
     schema = store.schema
+    # A shard core enforces only the constraints its router scoped to it
+    # (``None`` = everything, the plain-store default); cross-shard
+    # constraints are the router's to check against the merged view.
+    scope = getattr(store, "constraint_scope", None)
     for oid, changed in delta.objects.items():
         if oid not in store:
             continue  # deleted later in the same delta, or rolled back
@@ -568,12 +572,16 @@ def _affected_object_checks(
         for entry in entries:
             if pruned and entry.constraint in pruned:
                 continue
+            if scope is not None and entry.constraint not in scope:
+                continue
             key = (id(entry.constraint), oid)
             if key not in seen:
                 seen.add(key)
                 yield entry, obj
     for entry in index.object_constraints:
         if pruned and entry.constraint in pruned:
+            continue
+        if scope is not None and entry.constraint not in scope:
             continue
         # Full-extent re-check when the delta touched something the
         # constraint reads *outside* the constrained object itself: a
@@ -613,6 +621,7 @@ def check_delta(store: "ObjectStore", delta: MutationDelta) -> None:
         if getattr(store, "analyze", False)
         else frozenset()
     )
+    scope = getattr(store, "constraint_scope", None)
     for entry, obj in _affected_object_checks(store, delta, index, pruned):
         constraint = entry.constraint
         ctx = store.eval_context(current=obj)
@@ -631,6 +640,8 @@ def check_delta(store: "ObjectStore", delta: MutationDelta) -> None:
                 trace=failure_trace(store, constraint, current=obj),
             )
     for entry in index.class_constraints:
+        if scope is not None and entry.constraint not in scope:
+            continue
         if not entry.affected_by(delta):
             continue
         constraint = entry.constraint
@@ -651,6 +662,8 @@ def check_delta(store: "ObjectStore", delta: MutationDelta) -> None:
                 trace=failure_trace(store, constraint, self_extent_class=owner),
             )
     for entry in index.database_constraints:
+        if scope is not None and entry.constraint not in scope:
+            continue
         if not entry.affected_by(delta):
             continue
         constraint = entry.constraint
@@ -690,6 +703,7 @@ def delta_violations(store: "ObjectStore", delta: MutationDelta) -> list:
         if getattr(store, "analyze", False)
         else frozenset()
     )
+    scope = getattr(store, "constraint_scope", None)
     for entry, obj in _affected_object_checks(store, delta, index, pruned):
         constraint = entry.constraint
         ctx = store.eval_context(current=obj)
@@ -715,6 +729,8 @@ def delta_violations(store: "ObjectStore", delta: MutationDelta) -> list:
                 )
             )
     for entry in index.class_constraints:
+        if scope is not None and entry.constraint not in scope:
+            continue
         if not entry.affected_by(delta):
             continue
         constraint = entry.constraint
@@ -743,6 +759,8 @@ def delta_violations(store: "ObjectStore", delta: MutationDelta) -> list:
                 )
             )
     for entry in index.database_constraints:
+        if scope is not None and entry.constraint not in scope:
+            continue
         if not entry.affected_by(delta):
             continue
         constraint = entry.constraint
@@ -766,3 +784,127 @@ def delta_violations(store: "ObjectStore", delta: MutationDelta) -> list:
                 )
             )
     return found
+
+
+# ---------------------------------------------------------------------------
+# shard classification
+# ---------------------------------------------------------------------------
+
+
+#: Enforcement tiers a constraint can land in under a sharded layout.
+SHARD_LOCAL = "local"
+SHARD_MERGEABLE = "mergeable"
+SHARD_GLOBAL = "global"
+
+
+@dataclass(frozen=True)
+class ConstraintShardPlan:
+    """Where one constraint is enforced under a given class→shard placement.
+
+    ``tier`` is one of:
+
+    :data:`SHARD_LOCAL`
+        Every read lands inside one shard — the shard core enforces it with
+        no coordination.  ``shard`` names the core; ``None`` means
+        *anywhere-local*: the constraint reads only the constrained object
+        itself, so whichever core holds the object enforces it (the form a
+        spread class's object constraints take).
+    :data:`SHARD_MERGEABLE`
+        Reads span shards, but the formula's cross-shard reads are covered
+        by maintained index summaries (aggregates, reference counts) that
+        combine as mergeable partials — the router sums per-shard
+        ``sum``/``count``/min-max candidates and live/dangling totals
+        instead of scanning.
+    :data:`SHARD_GLOBAL`
+        Reads span shards with no covering summaries (or static analysis
+        gave up: ``universal``); the router evaluates against the merged
+        multi-shard view.
+    """
+
+    constraint: Constraint
+    entry: IndexedConstraint
+    tier: str
+    #: Enforcing shard for pinned-local constraints; ``None`` for
+    #: anywhere-local and for both cross-shard tiers.
+    shard: int | None
+
+    @property
+    def local(self) -> bool:
+        return self.tier == SHARD_LOCAL
+
+
+def classify_constraints(
+    index: ConstraintDependencyIndex,
+    placement: "dict[str, int]",
+    spread: "frozenset[str] | set[str]" = frozenset(),
+) -> list[ConstraintShardPlan]:
+    """Classify every constraint of ``index`` against a shard layout.
+
+    ``placement`` maps each pinned class to its home shard; ``spread`` names
+    classes whose *extents* are distributed across shards (their objects
+    have no single home, so any read of their extent membership or of other
+    objects' attributes is a cross-shard read).  The classification is the
+    static half of the routing contract: a shard core's enforcement scope
+    (:func:`shard_scopes`) is exactly the local tier, and the router owns
+    the two cross-shard tiers.
+    """
+    spread = frozenset(spread)
+    plans: list[ConstraintShardPlan] = []
+    for entry in (
+        *index.object_constraints,
+        *index.class_constraints,
+        *index.database_constraints,
+    ):
+        constraint = entry.constraint
+        if entry.universal:
+            # Static analysis could not bound the read set: only the
+            # router's merged view is guaranteed to contain every read.
+            plans.append(ConstraintShardPlan(constraint, entry, SHARD_GLOBAL, None))
+            continue
+        if (
+            constraint.kind is ConstraintKind.OBJECT
+            and not entry.foreign
+            and not entry.extents
+        ):
+            # Reads nothing beyond the constrained object's own attributes:
+            # checkable on whichever core holds the object, spread or not.
+            plans.append(ConstraintShardPlan(constraint, entry, SHARD_LOCAL, None))
+            continue
+        read_classes = (
+            {cls for cls, _attr in entry.attrs}
+            | set(entry.extents)
+            | set(entry.owner_extent)
+        )
+        shards = {placement[cls] for cls in read_classes if cls in placement}
+        unplaced = any(cls not in placement for cls in read_classes)
+        if read_classes & spread or unplaced or len(shards) > 1:
+            tier = (
+                SHARD_MERGEABLE
+                if (entry.aggregate_specs or entry.reference_specs)
+                else SHARD_GLOBAL
+            )
+            plans.append(ConstraintShardPlan(constraint, entry, tier, None))
+        else:
+            # Constant-only formulas read no class at all; any single core
+            # can enforce them — shard 0 by convention.
+            shard = shards.pop() if shards else 0
+            plans.append(ConstraintShardPlan(constraint, entry, SHARD_LOCAL, shard))
+    return plans
+
+
+def shard_scopes(
+    plans: "list[ConstraintShardPlan]", shard_count: int
+) -> list[frozenset[Constraint]]:
+    """Per-shard enforcement scopes: shard ``s`` enforces the local-tier
+    constraints pinned to it plus every anywhere-local constraint.  The two
+    cross-shard tiers appear in no scope — the router checks them."""
+    scopes: list[frozenset[Constraint]] = []
+    for shard in range(shard_count):
+        scopes.append(
+            frozenset(
+                plan.constraint
+                for plan in plans
+                if plan.local and plan.shard in (None, shard)
+            )
+        )
+    return scopes

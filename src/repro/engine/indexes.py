@@ -80,32 +80,72 @@ _ABSENT = object()
 
 
 def oid_counter(oid: str, default: int | None = None) -> int:
-    """The global insertion counter embedded in an engine oid (``Class#N``).
+    """The insertion counter embedded in an engine oid.
 
-    An oid not shaped ``Class#N`` has no recoverable counter; with a
-    ``default`` the caller degrades (the index layer passes ``-1`` so
-    malformed oids sort first and ordering falls back to "unsorted" instead
-    of crashing the whole index layer), without one the ``ValueError``
-    propagates.
+    Plain stores mint ``Class#N``; shard cores mint ``Class#S.N`` where
+    ``S`` is the shard namespace (:mod:`repro.engine.sharding`) and ``N``
+    the shard-local counter.  Both shapes recover ``N`` — each shard's
+    counter is monotonic on its own, which is what the ordered extent
+    indexes and WAL counter recovery rely on.  An oid in neither shape has
+    no recoverable counter; with a ``default`` the caller degrades (the
+    index layer passes ``-1`` so malformed oids sort first and ordering
+    falls back to "unsorted" instead of crashing the whole index layer),
+    without one the ``ValueError`` propagates.
     """
+    tail = str(oid).rsplit("#", 1)[-1]
+    namespace, dot, sequence = tail.rpartition(".")
+    # Branch on the dot instead of trying ``int(tail)`` first: this runs
+    # once per extent level on every insert, and an exception-per-call for
+    # the sharded oid shape would tax exactly the hot path sharding is
+    # meant to speed up.
+    if dot:
+        try:
+            int(namespace)
+            return int(sequence)
+        except ValueError:
+            pass
+    else:
+        try:
+            return int(tail)
+        except ValueError:
+            pass
+    if default is None:
+        raise ValueError(f"oid {oid!r} carries no insertion counter")
+    return default
+
+
+def oid_shard(oid: str) -> int | None:
+    """The shard namespace embedded in a sharded oid (``Class#S.N``), or
+    ``None`` for plain ``Class#N`` oids and anything malformed.  The commit
+    router uses this to route oid-addressed operations without a lookup."""
+    tail = str(oid).rsplit("#", 1)[-1]
+    namespace, dot, sequence = tail.rpartition(".")
+    if not dot:
+        return None
     try:
-        return int(str(oid).rsplit("#", 1)[-1])
+        int(sequence)
+        return int(namespace)
     except ValueError:
-        if default is None:
-            raise
-        return default
+        return None
 
 
-def oid_sort_key(oid: str) -> tuple[int, str]:
+def oid_sort_key(oid: str) -> tuple[int, int, str]:
     """Deterministic insertion-order sort key for engine oids.
 
-    Primary key is the embedded insertion counter; the oid string breaks
-    ties so that malformed oids (counter ``-1``) still sort the same way
-    everywhere — the maintained extent indexes and the store's object-table
-    restoration must agree on one order, or ``indexed=True`` and
-    ``indexed=False`` extents would diverge after a rollback resurrection.
+    Primary key is the embedded insertion counter; shard-prefixed oids
+    (``Class#S.N``) tie-break on the *numeric* shard namespace (so shard 10
+    sorts after shard 2, which a plain string comparison would get wrong
+    and a round-robin spread layout relies on: the k-th accepted insert of
+    a spread class lands at ``(k // shards, k % shards)``, which is
+    increasing in k exactly when the namespace ranks numerically); the oid
+    string breaks the remaining ties so that malformed oids (counter
+    ``-1``) still sort the same way everywhere — the maintained extent
+    indexes and the store's object-table restoration must agree on one
+    order, or ``indexed=True`` and ``indexed=False`` extents would diverge
+    after a rollback resurrection.
     """
-    return (oid_counter(oid, default=-1), oid)
+    shard = oid_shard(oid)
+    return (oid_counter(oid, default=-1), -1 if shard is None else shard, oid)
 
 
 class OrderedOidSet:
@@ -705,6 +745,29 @@ class IndexManager:
         if extent is None:
             return INDEX_MISS
         return reference.verdict(mode, len(extent))
+
+    def reference_totals(
+        self,
+        referrer_class: str,
+        attribute: str,
+        referenced_class: str,
+    ) -> tuple[int, int] | Any:
+        """The raw ``(live_with_ref, dangling)`` running totals of one
+        reference pair, or :data:`INDEX_MISS`.
+
+        These are the *mergeable partials* behind cross-shard referential
+        checking (:mod:`repro.engine.sharding`): referrer classes are pinned
+        to one shard, so summing each shard's totals and comparing against
+        the merged referenced-extent size reproduces
+        :meth:`referential_verdict` exactly — any dangling entry anywhere
+        still forces the scan path, same as the single-store probe.
+        """
+        reference = self._references.get((referrer_class, attribute))
+        if reference is None or reference.referenced_class != referenced_class:
+            return INDEX_MISS
+        if not reference.valid:
+            return INDEX_MISS
+        return (reference._live_with_ref, reference._dangling)
 
     def deep_extent_oids(self, class_name: str) -> OrderedOidSet | None:
         """The maintained deep extent of ``class_name`` in insertion order,

@@ -1,0 +1,1251 @@
+"""Shard-partitioned stores: shard cores behind a constraint-aware router.
+
+An :class:`~repro.engine.store.ObjectStore` already factors cleanly into a
+*shard core* — extents, maintained indexes, undo logs, a write-ahead log and
+one writer lock, with no knowledge of any store beyond itself.  This module
+adds the missing half: a :class:`ShardedStore` that partitions a schema's
+classes over ``N`` independent cores and routes every operation to the
+smallest set of shards that can decide it.
+
+**Placement** (:func:`plan_placement`).  Classes are grouped by the edges a
+constraint check may traverse without leaving its store: inheritance (an
+object of a subclass is a member of every ancestor's extent) and reference
+attributes (dereferencing must find the target in the same core).  Each
+connected group is pinned whole to one shard, round-robin.  A class may
+instead be *spread* — its extent distributed over every shard for write
+scaling — but only when it is structurally alone: no inheritance relatives,
+no reference attributes, never referenced.  The layout is persisted in a
+``shards.json`` manifest so reopening reuses it verbatim.
+
+**Constraint routing** (:func:`~repro.engine.incremental.classify_constraints`).
+Every constraint is classified from its statically extracted read set:
+
+* *shard-local* — all reads land in one core; that core enforces it alone
+  through its ``constraint_scope`` and the router never sees it.
+* *mergeable* — reads span shards but are covered by maintained index
+  summaries: the router's merged probe sums per-shard ``sum``/``count``
+  partials, takes min/max of per-shard candidates, and totals per-shard
+  live/dangling reference counts instead of scanning.
+* *global* — reads span shards with no covering summary; the router
+  evaluates against the merged multi-shard view.
+
+The router itself duck-types the store interface the enforcement layers
+consume (``get``/``extent``/``eval_context``/``dependency_index``/...), so
+:mod:`repro.engine.enforcement` and :mod:`repro.engine.incremental` run
+unmodified against the merged state.
+
+**Commit protocol.**  Single-shard operations whose affected constraints are
+all in the target core's scope commit exactly like a standalone store — one
+core lock, one WAL bracket, one group-commit fsync; the router adds a dict
+lookup.  Operations affecting cross-shard constraints quiesce every core and
+validate against the merged view before the touching core's bracket closes.
+Transactions that *wrote* to two or more durable shards commit via
+two-phase-commit brackets across the shard WALs (see
+:mod:`repro.engine.wal`): every participant flushes a ``prepare`` marker,
+the lowest-numbered participant durably logs the ``decide`` record, and each
+participant settles with a ``resolve`` marker.  Recovery feeds every shard's
+decided outcomes back to the others (presumed abort for gids no log
+decided), so a crash between markers never commits a transaction on one
+shard and discards it on another.  On ``sync=False`` stores this atomicity
+is exactly as best-effort as single-store durability: the ordering of
+cross-file OS writeback is not controlled, only the marker ordering within
+each log.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import uuid
+from collections.abc import Iterable, Mapping
+from pathlib import Path
+from typing import Any
+
+from repro.constraints.evaluate import INDEX_MISS, VACUOUS, EvalContext
+from repro.engine.indexes import oid_shard, oid_sort_key
+from repro.engine.objects import DBObject
+from repro.engine.store import ObjectStore, _ExtentView, _LazyExtent
+from repro.engine.wal import load_image
+from repro.errors import (
+    ConstraintViolation,
+    EngineError,
+    SchemaError,
+    ShardingError,
+    UnknownClassError,
+    UnknownObjectError,
+)
+from repro.tm.schema import DatabaseSchema
+from repro.types.primitives import ClassRef
+
+#: Name of the shard-layout manifest inside a sharded store root.
+MANIFEST_NAME = "shards.json"
+_MANIFEST_FORMAT = 1
+
+
+def shard_directory(root: "str | Path", shard: int) -> Path:
+    """The durable directory of one shard core under a sharded store root."""
+    return Path(root) / f"shard-{int(shard)}"
+
+
+# ---------------------------------------------------------------------------
+# placement planning
+# ---------------------------------------------------------------------------
+
+
+def plan_placement(
+    schema: DatabaseSchema,
+    shard_count: int,
+    spread: "Iterable[str]" = (),
+    existing: "Mapping[str, int] | None" = None,
+) -> dict[str, int]:
+    """Assign every class of ``schema`` to a home shard.
+
+    Classes connected by inheritance or reference attributes must co-locate
+    (a shard core's constraint checks dereference and walk extents inside
+    its own store), so the unit of placement is the connected group, not the
+    class.  Groups are assigned round-robin in schema declaration order —
+    deterministic, so every reopen of the same schema plans the same layout.
+
+    ``spread`` classes are excluded from the returned placement: their
+    extents are distributed across all shards by the router's insert cursor.
+    A spread class must be structurally alone — no parent, no subclasses,
+    no reference attributes, and never the target of one; anything else
+    would make the *core-local* checks of other classes read across shards.
+
+    ``existing`` seeds group assignments (the persisted manifest of a
+    reopened store, possibly missing classes added since): every group with
+    a previously placed member keeps that shard, and the whole mapping is
+    re-validated against the current schema.  Raises :class:`ShardingError`
+    when the seed splits a connected group across shards or names a shard
+    outside ``range(shard_count)``.
+    """
+    shard_count = int(shard_count)
+    if shard_count < 1:
+        raise ShardingError(f"shard count must be at least 1, got {shard_count}")
+    spread = frozenset(spread)
+    for name in sorted(spread):
+        if name not in schema.classes:
+            raise ShardingError(
+                f"cannot spread unknown class {name!r} "
+                f"(database {schema.name})"
+            )
+
+    parent_of = {name: name for name in schema.classes}
+
+    def find(name: str) -> str:
+        root = name
+        while parent_of[root] != root:
+            root = parent_of[root]
+        while parent_of[name] != root:  # path compression
+            parent_of[name], name = root, parent_of[name]
+        return root
+
+    def union(a: str, b: str) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent_of[root_b] = root_a
+
+    referenced: set[str] = set()
+    has_references: set[str] = set()
+    for name, class_def in schema.classes.items():
+        if class_def.parent is not None and class_def.parent in parent_of:
+            union(name, class_def.parent)
+        for attr_name in schema.effective_attributes(name):
+            target = schema.reference_target(name, attr_name)
+            if target is not None:
+                has_references.add(name)
+                if target in parent_of:
+                    referenced.add(target)
+                    union(name, target)
+
+    group_sizes: dict[str, int] = {}
+    for name in schema.classes:
+        root = find(name)
+        group_sizes[root] = group_sizes.get(root, 0) + 1
+
+    for name in sorted(spread):
+        problems = []
+        if group_sizes[find(name)] > 1:
+            problems.append("is connected to other classes by inheritance or references")
+        if name in has_references:
+            problems.append("declares reference attributes")
+        if name in referenced:
+            problems.append("is the target of reference attributes")
+        if problems:
+            raise ShardingError(
+                f"class {name!r} cannot be spread across shards: it "
+                + " and ".join(problems)
+                + " — cross-shard checks of its neighbours would have to "
+                "read a distributed extent"
+            )
+
+    group_shard: dict[str, int] = {}
+    if existing:
+        for name, shard in existing.items():
+            if name not in parent_of or name in spread:
+                continue  # class gone from the schema, or re-declared spread
+            shard = int(shard)
+            if not 0 <= shard < shard_count:
+                raise ShardingError(
+                    f"manifest places class {name!r} on shard {shard}, but "
+                    f"the store has {shard_count} shard(s)"
+                )
+            root = find(name)
+            prior = group_shard.setdefault(root, shard)
+            if prior != shard:
+                raise ShardingError(
+                    f"placement splits connected classes across shards: "
+                    f"{name!r} on shard {shard} is connected to classes on "
+                    f"shard {prior}"
+                )
+
+    placement: dict[str, int] = {}
+    fresh_groups = 0
+    for name in schema.classes:
+        if name in spread:
+            continue
+        root = find(name)
+        if root not in group_shard:
+            group_shard[root] = fresh_groups % shard_count
+            fresh_groups += 1
+        placement[name] = group_shard[root]
+    return placement
+
+
+# ---------------------------------------------------------------------------
+# merged evaluation over all cores
+# ---------------------------------------------------------------------------
+
+
+class _MergedProbe:
+    """The router's index probe: cross-shard answers from per-shard partials.
+
+    Mirrors the :class:`~repro.engine.indexes.IndexManager` probe interface
+    the evaluator consults (``aggregate_value`` / ``key_unique`` /
+    ``reference_count`` / ``referential_verdict``), answering from the
+    *merge* of every core's maintained summaries.  ``sum``/``count``
+    combine additively, min/max as the extreme of per-shard candidates,
+    referential verdicts from summed live/dangling totals.  ``avg`` (whose
+    maintained form is already a quotient) and anything any core cannot
+    answer degrade to :data:`INDEX_MISS` — the evaluator falls back to
+    scanning the merged extent, exactly like an invalidated index.
+    """
+
+    __slots__ = ("_router", "_probes")
+
+    def __init__(self, router: "ShardedStore"):
+        self._router = router
+        self._probes = [
+            core._indexes.probe()
+            for core in router.cores
+            if core._indexes is not None
+        ]
+
+    def _complete(self) -> bool:
+        return len(self._probes) == len(self._router.cores)
+
+    def aggregate_value(self, func: str, class_name: str, over: str | None) -> Any:
+        if not self._complete():
+            return INDEX_MISS
+        if func in ("count", "sum"):
+            total = 0
+            for probe in self._probes:
+                value = probe.aggregate_value(func, class_name, over)
+                if value is INDEX_MISS:
+                    return INDEX_MISS
+                if value is VACUOUS:
+                    continue
+                total += value
+            return total
+        if func in ("min", "max"):
+            pick = min if func == "min" else max
+            best: Any = VACUOUS
+            for probe in self._probes:
+                value = probe.aggregate_value(func, class_name, over)
+                if value is INDEX_MISS:
+                    return INDEX_MISS
+                if value is VACUOUS:
+                    continue
+                best = value if best is VACUOUS else pick(best, value)
+            return best
+        # avg: the maintained value is sum/count already divided per shard;
+        # recombining quotients would introduce rounding the plain store
+        # never sees.  Miss instead — the scan fallback is exact.
+        return INDEX_MISS
+
+    def key_unique(self, class_name: str, attributes: Iterable[str]) -> bool | None:
+        router = self._router
+        if not self._complete():
+            return None
+        shard = router.placement.get(class_name)
+        if shard is None:
+            # Spread (or unplanned) extent: no single core sees every
+            # member, so no core's key index can vouch for uniqueness.
+            return None
+        # Pinned classes keep their whole deep extent (subclasses
+        # co-locate), so the home core's verdict is the global verdict.
+        return self._probes[shard].key_unique(class_name, attributes)
+
+    def reference_count(self, referrer_class: str, attribute: str, oid: str) -> Any:
+        if not self._complete():
+            return INDEX_MISS
+        total = 0
+        for probe in self._probes:
+            value = probe.reference_count(referrer_class, attribute, oid)
+            if value is INDEX_MISS:
+                return INDEX_MISS
+            total += value
+        return total
+
+    def referential_verdict(
+        self,
+        mode: str,
+        referenced_class: str,
+        referrer_class: str,
+        attribute: str,
+    ) -> Any:
+        if not self._complete():
+            return INDEX_MISS
+        live = 0
+        for probe in self._probes:
+            totals = probe.reference_totals(
+                referrer_class, attribute, referenced_class
+            )
+            if totals is INDEX_MISS:
+                return INDEX_MISS
+            live_with_ref, dangling = totals
+            if dangling:
+                # Dangling references must surface through the scan path's
+                # dereference error, exactly like a single core's verdict.
+                return INDEX_MISS
+            live += live_with_ref
+        size = self.aggregate_value("count", referenced_class, None)
+        if size is INDEX_MISS:
+            return INDEX_MISS
+        if mode == "all":
+            return live == size
+        if mode == "any":
+            return live > 0
+        if mode == "none":
+            return live == 0
+        return INDEX_MISS
+
+
+# ---------------------------------------------------------------------------
+# the commit router
+# ---------------------------------------------------------------------------
+
+
+class ShardedStore:
+    """``N`` independent shard cores behind one constraint-aware router.
+
+    Presents the :class:`~repro.engine.store.ObjectStore` surface (insert /
+    update / delete / get / extent / transaction / audit / ...) while
+    partitioning the contents by class — and, for *spread* classes, by a
+    round-robin insert cursor — over ``shards`` cores, each a full
+    standalone store with its own extents, indexes, undo log, write-ahead
+    log and writer lock.
+
+    Each core enforces exactly the constraints classified shard-local to it
+    (its ``constraint_scope``); the router enforces the cross-shard rest
+    against the merged view, using per-shard index summaries as mergeable
+    partials where they cover the reads.  Operations whose affected
+    constraints are all core-local take the *fast path* — routed straight
+    to one core, no router lock, no cross-shard coordination — so disjoint
+    shards accept writers concurrently and a single-shard workload keeps
+    the standalone store's cost profile.  With ``shards=1`` every
+    constraint is local to the only core and every operation takes the
+    fast path: the router degenerates to a dict lookup in front of a plain
+    store.
+
+    Cross-shard *transactions* that wrote to several durable shards commit
+    atomically via two-phase-commit brackets across the shard WALs; see the
+    module docstring for the protocol and its ``sync=False`` caveat.
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        shards: int = 1,
+        *,
+        spread: "Iterable[str]" = (),
+        enforce: bool = True,
+        incremental: bool = True,
+        indexed: bool = True,
+        explain: bool = True,
+        analyze: bool = False,
+        placement: "Mapping[str, int] | None" = None,
+        _cores: "list[ObjectStore] | None" = None,
+    ):
+        self.schema = schema
+        self.shards = int(shards)
+        #: The N=1 degeneration: with one core there is nothing to route —
+        #: every constraint is core-local (scopes collapse to ``None``) and
+        #: the core's own incremental fallback already handles schema
+        #: staleness exactly as a plain store would, so single-core routers
+        #: skip the per-operation readiness probe entirely.
+        self._single = self.shards == 1
+        self.spread = frozenset(spread)
+        self.enforce = enforce
+        self.incremental = incremental
+        self.indexed = indexed
+        self.explain = explain
+        self.analyze = analyze
+        #: The router checks every constraint the cores do not (and, on its
+        #: merged view, re-checking a local one is merely redundant): no
+        #: scope filter.  Present so enforcement treats the router and a
+        #: plain store uniformly.
+        self.constraint_scope: "frozenset | None" = None
+        self.placement = plan_placement(
+            schema, self.shards, self.spread, existing=placement
+        )
+        if _cores is not None:
+            if len(_cores) != self.shards:
+                raise ShardingError(
+                    f"expected {self.shards} shard cores, got {len(_cores)}"
+                )
+            self.cores = list(_cores)
+        else:
+            self.cores = [
+                ObjectStore(
+                    schema,
+                    enforce=enforce,
+                    incremental=incremental,
+                    indexed=indexed,
+                    wal=None,
+                    explain=explain,
+                    analyze=analyze,
+                    oid_namespace=shard,
+                )
+                for shard in range(self.shards)
+            ]
+        #: Router lock: serializes cross-shard (global) operations, routing
+        #: rebuilds and transactions.  Fast-path operations never take it.
+        self._lock = threading.RLock()
+        self._txn_depth = 0
+        self._txn_owner: int | None = None
+        self._spread_lock = threading.Lock()
+        #: Per-spread-class insert cursor (next shard, round-robin).
+        self._spread_seq: dict[str, int] = {}
+        self._attr_types: dict[tuple[str, str], Any] = {}
+        #: Schema fingerprint of the last clean full validation of the
+        #: *merged* store; mirrors the plain store's incremental baseline.
+        self._validated_fingerprint: int | None = None
+        self._routing_fingerprint: int | None = None
+        #: class → every affected constraint is local to the class's home
+        #: core(s); insert/delete may skip the router.
+        self._class_fast: dict[str, bool] = {}
+        #: (class, attr) → ditto for single-attribute updates.
+        self._attr_fast: dict[tuple[str, str], bool] = {}
+        self._plans: list = []
+        #: Operation counters (observability; the stress harness reports
+        #: them alongside per-shard group-commit stats).
+        self.fast_path_ops = 0
+        self.routed_global_ops = 0
+        self.two_phase_commits = 0
+        self._rebuild_routing()
+
+    # -- routing -------------------------------------------------------------
+
+    def _rebuild_routing(self) -> None:
+        """(Re)derive constraint scopes and fast-path tables from the
+        current schema.  Called under the router lock (or from ``__init__``
+        before the store is shared)."""
+        from repro.engine.incremental import classify_constraints, shard_scopes
+
+        self.placement = plan_placement(
+            self.schema, self.shards, self.spread, existing=self.placement
+        )
+        index = self.dependency_index()
+        plans = classify_constraints(index, self.placement, self.spread)
+        scopes = shard_scopes(plans, self.shards)
+        total = len(index._by_constraint)
+        for core, scope in zip(self.cores, scopes):
+            # A scope covering every constraint filters nothing: drop it so
+            # the core's hot path pays no membership tests (always the case
+            # at shards=1).
+            core.constraint_scope = None if len(scope) == total else scope
+        entries = (
+            *index.object_constraints,
+            *index.class_constraints,
+            *index.database_constraints,
+        )
+        class_fast: dict[str, bool] = {}
+        attr_fast: dict[tuple[str, str], bool] = {}
+        for class_name in self.schema.classes:
+            if class_name in self.spread:
+                # A spread object may land on any core, so every affected
+                # constraint must be in *every* core's scope.
+                allowed: frozenset = (
+                    frozenset.intersection(*scopes) if scopes else frozenset()
+                )
+            else:
+                allowed = scopes[self.placement.get(class_name, 0)]
+            # Constraints any insert/delete of this class can affect: its
+            # own effective object constraints, plus everything reading the
+            # class's extent or attributes from outside (foreign reads,
+            # aggregates, referential quantifiers), plus universal ones.
+            touched = {
+                entry.constraint
+                for entry in entries
+                if entry.universal
+                or class_name in entry.extents
+                or any(cls == class_name for cls, _attr in entry.attrs)
+            }
+            for entry in index.insert_checks.get(class_name, ()):
+                touched.add(entry.constraint)
+            class_fast[class_name] = touched <= allowed
+            for attr in self.schema.effective_attributes(class_name):
+                affected = {
+                    entry.constraint
+                    for entry in entries
+                    if entry.universal or (class_name, attr) in entry.attrs
+                }
+                attr_fast[(class_name, attr)] = affected <= allowed
+        self._plans = plans
+        self._class_fast = class_fast
+        self._attr_fast = attr_fast
+        self._routing_fingerprint = self.schema.fingerprint()
+
+    def constraint_plans(self) -> list:
+        """The current constraint classification
+        (:class:`~repro.engine.incremental.ConstraintShardPlan` per
+        constraint), as derived at the last routing rebuild."""
+        return list(self._plans)
+
+    def _fast_ready(self) -> bool:
+        """Whether the fast path may run: the routing tables were built for
+        the current schema *and* the merged store holds a clean validation
+        baseline under it.  A stale baseline (first ever mutation, or a
+        schema/constant change since) forces one routed operation, which
+        fully revalidates and re-baselines — mirroring the plain store's
+        incremental fallback."""
+        fingerprint = self.schema.fingerprint()
+        return (
+            fingerprint == self._routing_fingerprint
+            and fingerprint == self._validated_fingerprint
+        )
+
+    def _in_transaction(self) -> bool:
+        return self._txn_depth > 0 and self._txn_owner == threading.get_ident()
+
+    def _core_for_insert(self, class_name: str) -> ObjectStore:
+        if class_name in self.spread:
+            with self._spread_lock:
+                seq = self._spread_seq.get(class_name, 0)
+                self._spread_seq[class_name] = seq + 1
+            return self.cores[seq % self.shards]
+        return self.cores[self.placement.get(class_name, 0)]
+
+    def _locate(self, oid: str) -> ObjectStore:
+        """The core holding ``oid``.  Sharded oids (``Class#S.N``) name
+        their core directly; plain or foreign oids fall back to probing
+        every core."""
+        shard = oid_shard(oid)
+        if shard is not None and 0 <= shard < self.shards:
+            core = self.cores[shard]
+            if oid in core:
+                return core
+        for core in self.cores:
+            if oid in core:
+                return core
+        raise UnknownObjectError(f"no object with identifier {oid!r}")
+
+    # -- basic access --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(core) for core in self.cores)
+
+    def __contains__(self, oid: str) -> bool:
+        shard = oid_shard(oid)
+        if shard is not None and 0 <= shard < self.shards:
+            if oid in self.cores[shard]:
+                return True
+        return any(oid in core for core in self.cores)
+
+    def get(self, oid: str) -> DBObject:
+        return self._locate(oid).get(oid)
+
+    @property
+    def _objects(self) -> dict[str, DBObject]:
+        """The merged oid → object mapping, in global insertion order.
+        Materialized per call — meant for audits and explanation passes,
+        not hot paths."""
+        merged: dict[str, DBObject] = {}
+        for core in self.cores:
+            merged.update(core._objects)
+        return dict(sorted(merged.items(), key=lambda item: oid_sort_key(item[0])))
+
+    def objects(self) -> "Iterable[DBObject]":
+        return list(self._objects.values())
+
+    def extent(self, class_name: str, deep: bool = True) -> list[DBObject]:
+        """See :meth:`ObjectStore.extent`.  Pinned classes answer from their
+        home core (their whole deep extent co-locates); spread classes merge
+        per-core extents in oid order — the global insertion-attempt order,
+        since the insert cursor and per-core sequences both only grow."""
+        home = self.placement.get(class_name)
+        if home is not None:
+            return self.cores[home].extent(class_name, deep)
+        if not self.schema.has_class(class_name):
+            raise UnknownClassError(
+                f"no class {class_name!r} in database {self.schema.name}"
+            )
+        merged = [
+            obj for core in self.cores for obj in core.extent(class_name, deep)
+        ]
+        merged.sort(key=lambda obj: oid_sort_key(obj.oid))
+        return merged
+
+    def get_attr(self, obj: Any, name: str) -> Any:
+        """See :meth:`ObjectStore.get_attr`; dereferences resolve through
+        the router, so cross-core references (foreign oids inserted as
+        plain strings) still traverse."""
+        if isinstance(obj, DBObject):
+            if name not in obj.state:
+                raise EngineError(
+                    f"{obj.class_name} object {obj.oid} has no attribute {name!r}"
+                )
+            value = obj.state[name]
+            key = (obj.class_name, name)
+            if key in self._attr_types:
+                tm_type = self._attr_types[key]
+            else:
+                try:
+                    tm_type = self.schema.attribute_type(obj.class_name, name)
+                except SchemaError:
+                    tm_type = None
+                self._attr_types[key] = tm_type
+            if isinstance(tm_type, ClassRef) and isinstance(value, str):
+                return self.get(value)
+            return value
+        if isinstance(obj, Mapping):
+            value = obj[name]
+            if isinstance(value, str) and value in self:
+                return self.get(value)
+            return value
+        raise EngineError(f"cannot read attribute {name!r} from {obj!r}")
+
+    def eval_context(
+        self,
+        current: Any = None,
+        self_extent_class: str | None = None,
+        bindings: dict[str, Any] | None = None,
+    ) -> EvalContext:
+        """An evaluation context over the *merged* store: lazy merged
+        extents, router-wide dereferencing, and the merged index probe
+        (cross-shard aggregates answered from per-shard partials)."""
+        return EvalContext(
+            current=current,
+            bindings=bindings or {},
+            extents=_ExtentView(self),
+            self_extent=(
+                _LazyExtent(self, self_extent_class) if self_extent_class else ()
+            ),
+            self_extent_class=self_extent_class,
+            constants=self.schema.constants,
+            get_attr=self.get_attr,
+            indexes=_MergedProbe(self) if self.indexed else None,
+        )
+
+    # -- enforcement plumbing (duck-typed store surface) ---------------------
+
+    def dependency_index(self):
+        from repro.engine.incremental import ConstraintDependencyIndex
+
+        return ConstraintDependencyIndex.for_schema(self.schema)
+
+    def _schema_changed_since_validation(self) -> bool:
+        return (
+            self._validated_fingerprint is None
+            or self.schema.fingerprint() != self._validated_fingerprint
+        )
+
+    def audit(self) -> list:
+        """Validate the merged store; a clean pass re-baselines the router
+        *and* every core (each local scope holds on its core whenever the
+        whole holds on the merge)."""
+        from repro.engine.enforcement import all_violations
+
+        found = all_violations(self)
+        if not found:
+            fingerprint = self.schema.fingerprint()
+            self._validated_fingerprint = fingerprint
+            for core in self.cores:
+                core._validated_fingerprint = fingerprint
+        return found
+
+    def check_all(self) -> list[str]:
+        return [violation.describe() for violation in self.audit()]
+
+    def explain_violations(self, violations=None) -> list:
+        from repro.engine.explain import explain_violations
+
+        return explain_violations(self, violations)
+
+    def _cores_for(self, violations) -> tuple:
+        if not self.explain:
+            return ()
+        from repro.engine.explain import explain_violations
+
+        try:
+            return tuple(explain_violations(self, violations))
+        except Exception:  # pragma: no cover - defensive, see ObjectStore
+            return ()
+
+    def _revalidate_fully(self) -> None:
+        violations = self.audit()
+        if violations:
+            raise ConstraintViolation(
+                "full revalidation",
+                "; ".join(violation.describe() for violation in violations),
+                violations=violations,
+                cores=self._cores_for(violations),
+            )
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert(
+        self,
+        class_name: str,
+        state: "Mapping[str, Any] | None" = None,
+        **kwargs: Any,
+    ) -> DBObject:
+        core = self._core_for_insert(class_name)
+        if self._in_transaction():
+            return core.insert(class_name, state, **kwargs)
+        if self._single or (
+            self._fast_ready() and self._class_fast.get(class_name, False)
+        ):
+            self.fast_path_ops += 1
+            return core.insert(class_name, state, **kwargs)
+        return self._global_op(
+            core,
+            lambda: core.insert(class_name, state, **kwargs),
+            exhaustive=self._exhaustive_upsert_check,
+        )
+
+    def update(self, target: "DBObject | str", **changes: Any) -> DBObject:
+        oid = target.oid if isinstance(target, DBObject) else target
+        core = self._locate(oid)
+        if self._in_transaction():
+            return core.update(target, **changes)
+        if self._single:
+            self.fast_path_ops += 1
+            return core.update(target, **changes)
+        if self._fast_ready():
+            class_name = core.get(oid).class_name
+            if all(
+                self._attr_fast.get((class_name, attr), False) for attr in changes
+            ):
+                self.fast_path_ops += 1
+                return core.update(target, **changes)
+        return self._global_op(
+            core,
+            lambda: core.update(target, **changes),
+            exhaustive=self._exhaustive_upsert_check,
+        )
+
+    def delete(self, target: "DBObject | str") -> None:
+        oid = target.oid if isinstance(target, DBObject) else target
+        core = self._locate(oid)
+        if self._in_transaction():
+            return core.delete(target)
+        if self._single:
+            self.fast_path_ops += 1
+            return core.delete(target)
+        if self._fast_ready():
+            class_name = core.get(oid).class_name
+            if self._class_fast.get(class_name, False):
+                self.fast_path_ops += 1
+                return core.delete(target)
+        return self._global_op(
+            core,
+            lambda: core.delete(target),
+            exhaustive=self._exhaustive_delete_check,
+        )
+
+    def _exhaustive_upsert_check(self, result: Any) -> None:
+        from repro.engine.enforcement import (
+            check_class_constraints,
+            check_database_constraints,
+            check_object_constraints,
+        )
+
+        check_object_constraints(self, result)
+        check_class_constraints(self, result.class_name)
+        check_database_constraints(self)
+
+    def _exhaustive_delete_check(self, result: Any) -> None:
+        from repro.engine.enforcement import check_database_constraints
+
+        check_database_constraints(self)
+
+    def _global_op(self, core: ObjectStore, op, exhaustive) -> Any:
+        """Run one operation on ``core`` under full cross-shard validation.
+
+        Quiesces every core (router lock + all core locks, in shard order —
+        the one global acquisition order, so no interleaving with fast-path
+        writers can deadlock), applies the operation inside an unvalidated
+        core bracket, then checks the merged view: the delta-driven check
+        when a clean incremental baseline exists, the exhaustive sweep (or
+        a full revalidation) otherwise.  A failed check rolls the core
+        bracket back and propagates with the plain store's exception
+        shapes."""
+        with self._lock:
+            if self.schema.fingerprint() != self._routing_fingerprint:
+                self._rebuild_routing()
+            self.routed_global_ops += 1
+            held: list[ObjectStore] = []
+            try:
+                for other in self.cores:
+                    other._lock.acquire()
+                    held.append(other)
+                txn = core.transaction(validate=False)
+                txn.__enter__()
+                try:
+                    result = op()
+                    if self.enforce:
+                        if self.incremental:
+                            if self._schema_changed_since_validation():
+                                self._revalidate_fully()
+                            else:
+                                from repro.engine.incremental import check_delta
+
+                                check_delta(self, core._delta)
+                        else:
+                            exhaustive(result)
+                except BaseException as exc:
+                    txn.__exit__(type(exc), exc, exc.__traceback__)
+                    raise
+                txn.__exit__(None, None, None)
+                return result
+            finally:
+                for other in reversed(held):
+                    other._lock.release()
+
+    def set_constant(self, name: str, value: Any) -> None:
+        """Rebind a schema constant through every core: the shared schema
+        is set once (idempotently re-set per core) and each durable core
+        logs its own schema-change record, so any single shard's log
+        replays the binding.  Invalidates the merged validation baseline —
+        the next routed operation fully revalidates, as on a plain store."""
+        with self._lock:
+            if self._txn_depth:
+                raise EngineError(
+                    "cannot rebind a schema constant inside a transaction"
+                )
+            for core in self.cores:
+                core.set_constant(name, value)
+
+    # -- transactions ---------------------------------------------------------
+
+    def transaction(self, validate: bool = True) -> "_ShardedTransaction":
+        """A deferred-validation transaction spanning all shards.
+
+        Opens an unvalidated bracket on every core (empty brackets cost
+        nothing — begin markers are written lazily with a bracket's first
+        operation); operations inside route by placement with no per-op
+        enforcement.  At exit the router validates the merged delta and
+        either rolls every bracket back or commits — atomically across the
+        durable shards that were written, via two-phase commit when there
+        is more than one.  Nested transactions nest per core, exactly like
+        the plain store's."""
+        return _ShardedTransaction(self, validate=validate)
+
+    # -- durability -----------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        root: "str | Path",
+        schema: DatabaseSchema | None = None,
+        shards: int | None = None,
+        *,
+        spread: "Iterable[str]" = (),
+        enforce: bool = True,
+        incremental: bool = True,
+        indexed: bool = True,
+        explain: bool = True,
+        analyze: bool = False,
+        sync: bool = False,
+        checkpoint_every: int = 10_000,
+        verify: bool = True,
+        faults: Any = None,
+    ) -> "ShardedStore":
+        """Open (or create) the sharded durable store rooted at ``root``.
+
+        A sharded root holds a ``shards.json`` manifest plus one
+        ``shard-<i>`` directory per core.  When the manifest exists, the
+        persisted shard count, spread set and class placement are reused
+        verbatim (``shards`` may be omitted, and must match when given);
+        otherwise ``schema`` and ``shards`` create a fresh layout.
+
+        Recovery first loads every shard's log image to pool the decided
+        outcomes of two-phase commits, then recovers each core with that
+        pool as its in-doubt ``resolutions`` — a bracket prepared on one
+        shard commits iff *some* shard's log holds its durable ``decide``,
+        and is discarded otherwise (presumed abort).  The schema is parsed
+        once (from shard 0's image) and shared by every core.  With
+        ``verify`` the merged store is audited after recovery.
+
+        ``faults`` is a single :class:`~repro.engine.faults.FaultInjector`
+        shared by every shard, or a mapping of shard index to injector for
+        targeting one shard's files (testing only).
+        """
+        root = Path(root)
+        manifest_path = root / MANIFEST_NAME
+        spread = frozenset(spread)
+        placement: "dict[str, int] | None" = None
+        if manifest_path.exists():
+            try:
+                manifest = json.loads(manifest_path.read_text("utf-8"))
+                manifest_shards = int(manifest["shards"])
+                placement = {
+                    str(name): int(shard)
+                    for name, shard in dict(manifest["placement"]).items()
+                }
+                manifest_spread = frozenset(
+                    str(name) for name in manifest.get("spread", ())
+                )
+            except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+                raise ShardingError(
+                    f"unreadable shard manifest at {str(manifest_path)!r}: {exc}"
+                ) from exc
+            if shards is not None and int(shards) != manifest_shards:
+                raise ShardingError(
+                    f"store at {str(root)!r} has {manifest_shards} shard(s); "
+                    f"requested {int(shards)}"
+                )
+            shards = manifest_shards
+            spread = spread | manifest_spread
+        elif shards is None:
+            shards = 1
+
+        def injector_for(shard: int) -> Any:
+            if isinstance(faults, Mapping):
+                return faults.get(shard)
+            return faults
+
+        shard_count = int(shards)
+        if shard_count < 1:
+            raise ShardingError(f"shard count must be at least 1, got {shard_count}")
+        directories = [shard_directory(root, shard) for shard in range(shard_count)]
+        images = [load_image(directory) for directory in directories]
+        outcomes: dict[str, bool] = {}
+        for image in images:
+            if image is not None:
+                outcomes.update(image.decisions)
+        if schema is None:
+            seed = next((image for image in images if image is not None), None)
+            if seed is None:
+                raise EngineError(
+                    f"no durable store at {str(root)!r}; pass a schema to "
+                    "create one"
+                )
+            from repro.tm.parser import parse_database
+
+            schema = parse_database(seed.schema_source)
+            for name, value in seed.constants:
+                schema.set_constant(name, value)
+        placement = plan_placement(schema, shard_count, spread, existing=placement)
+        root.mkdir(parents=True, exist_ok=True)
+        manifest_path.write_text(
+            json.dumps(
+                {
+                    "format": _MANIFEST_FORMAT,
+                    "database": schema.name,
+                    "shards": shard_count,
+                    "spread": sorted(spread),
+                    "placement": placement,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+            "utf-8",
+        )
+        cores = [
+            ObjectStore.open(
+                directory,
+                schema,
+                enforce=enforce,
+                incremental=incremental,
+                indexed=indexed,
+                sync=sync,
+                checkpoint_every=checkpoint_every,
+                verify=False,
+                faults=injector_for(shard),
+                analyze=analyze and shard == 0,
+                oid_namespace=shard,
+                resolutions=outcomes,
+            )
+            for shard, directory in enumerate(directories)
+        ]
+        store = cls(
+            schema,
+            shard_count,
+            spread=spread,
+            enforce=enforce,
+            incremental=incremental,
+            indexed=indexed,
+            explain=explain,
+            analyze=analyze,
+            placement=placement,
+            _cores=cores,
+        )
+        # Recover each spread class's insert cursor: total size keeps the
+        # round-robin balanced; the exact phase only affects fairness.
+        for name in store.spread:
+            store._spread_seq[name] = len(store.extent(name))
+        if verify:
+            violations = store.audit()
+            if violations:
+                raise ConstraintViolation(
+                    "recovery",
+                    "; ".join(violation.describe() for violation in violations),
+                    violations=violations,
+                    cores=store._cores_for(violations),
+                )
+        return store
+
+    def checkpoint(self) -> None:
+        """Checkpoint every durable core (snapshot + log compaction)."""
+        for core in self.cores:
+            if core.wal is not None:
+                core.checkpoint()
+
+    def close(self) -> None:
+        for core in self.cores:
+            core.close()
+
+    def snapshots(self) -> list:
+        """One immutable point-in-time snapshot per core, taken in shard
+        order.  There is deliberately no merged snapshot: a cut that is
+        consistent across cores would need the router to quiesce them all,
+        which is what snapshots exist to avoid — per-core snapshots are
+        each internally consistent, which is what the per-shard readers
+        (backups, per-shard scans) need."""
+        return [core.snapshot() for core in self.cores]
+
+    def shard_stats(self) -> list[dict[str, Any]]:
+        """Per-shard observability: object counts and group-commit telemetry
+        (fsyncs, sync commits, fsyncs per commit, mean commits per fsync
+        batch) for each core's write-ahead log."""
+        stats = []
+        for shard, core in enumerate(self.cores):
+            entry: dict[str, Any] = {"shard": shard, "objects": len(core)}
+            wal = core.wal
+            if wal is not None:
+                fsyncs = wal.fsyncs
+                commits = wal.sync_commits
+                entry["fsyncs"] = fsyncs
+                entry["sync_commits"] = commits
+                entry["fsyncs_per_commit"] = fsyncs / commits if commits else 0.0
+                entry["mean_batch"] = commits / fsyncs if fsyncs else 0.0
+            stats.append(entry)
+        return stats
+
+
+# ---------------------------------------------------------------------------
+# cross-shard transactions
+# ---------------------------------------------------------------------------
+
+
+class _ShardedTransaction:
+    """One router-level transaction: per-core unvalidated brackets, merged
+    commit-time validation, and two-phase commit across the durable shards
+    that were written.  Returned by :meth:`ShardedStore.transaction`."""
+
+    def __init__(self, router: ShardedStore, validate: bool = True):
+        self.router = router
+        self.validate = validate
+        self._core_txns: list = []
+        self._outer = False
+
+    def __enter__(self) -> "_ShardedTransaction":
+        router = self.router
+        router._lock.acquire()
+        try:
+            self._outer = router._txn_depth == 0
+            if self._outer:
+                if router.schema.fingerprint() != router._routing_fingerprint:
+                    router._rebuild_routing()
+                router._txn_owner = threading.get_ident()
+            txns: list = []
+            try:
+                for core in router.cores:
+                    txn = core.transaction(validate=False)
+                    txn.__enter__()
+                    txns.append(txn)
+            except BaseException as exc:
+                for txn in reversed(txns):
+                    txn.__exit__(type(exc), exc, exc.__traceback__)
+                raise
+            self._core_txns = txns
+            router._txn_depth += 1
+        except BaseException:
+            if router._txn_depth == 0:
+                router._txn_owner = None
+            router._lock.release()
+            raise
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        router = self.router
+        try:
+            if exc_type is not None:
+                self._close_all(exc_type, exc, tb)
+                return False
+            # Merge the per-core dirty sets *before* closing any bracket
+            # (closing resets them).  Inner commits do not validate — the
+            # outermost does, exactly like the plain store's transactions.
+            if self._outer and self.validate and router.enforce:
+                violations = self._validate()
+                if violations:
+                    # Cores must be extracted before rollback destroys the
+                    # violating state they explain.
+                    cores = router._cores_for(violations)
+                    failure = ConstraintViolation(
+                        "transaction",
+                        "; ".join(
+                            violation.describe() for violation in violations
+                        ),
+                        violations=violations,
+                        cores=cores,
+                    )
+                    self._close_all(
+                        ConstraintViolation, failure, failure.__traceback__
+                    )
+                    raise failure
+            self._commit()
+            return False
+        finally:
+            router._txn_depth -= 1
+            if router._txn_depth == 0:
+                router._txn_owner = None
+            router._lock.release()
+
+    def _validate(self) -> list:
+        router = self.router
+        if router.incremental and not router._schema_changed_since_validation():
+            from repro.engine.incremental import MutationDelta, delta_violations
+
+            merged = MutationDelta()
+            for txn in self._core_txns:
+                delta = txn.store._delta
+                if delta is not None:
+                    merged.merge(delta)
+            return delta_violations(router, merged)
+        return router.audit()
+
+    def _close_all(self, exc_type, exc, tb) -> None:
+        """Exit every core bracket with the given exception state."""
+        self._close(self._core_txns, exc_type, exc, tb)
+
+    @staticmethod
+    def _close(txns, exc_type, exc, tb) -> None:
+        """Exit the given core brackets (all of them, even if one exit
+        raises — their writer locks must be released either way)."""
+        first: BaseException | None = None
+        for txn in reversed(txns):
+            try:
+                txn.__exit__(exc_type, exc, tb)
+            except BaseException as failure:  # keep closing the rest
+                if first is None:
+                    first = failure
+        if first is not None:
+            raise first
+
+    def _commit(self) -> None:
+        router = self.router
+        if not self._outer:
+            self._close_all(None, None, None)
+            return
+        durable = [
+            txn
+            for txn in self._core_txns
+            if txn.store._undo and txn.store._wal is not None
+        ]
+        if len(durable) < 2:
+            # Zero or one durable participant: the plain commit path is
+            # already atomic (empty brackets close without ever having
+            # written a begin marker).
+            self._close_all(None, None, None)
+            return
+        gid = uuid.uuid4().hex
+        rest = [txn for txn in self._core_txns if txn not in durable]
+        prepared: list = []
+        decide_attempted = False
+        try:
+            tickets = []
+            for txn in durable:
+                prepared.append(txn)
+                tickets.append((txn.store, txn.prepare_commit(gid)))
+            # Every prepare marker durable before the decide: a decide
+            # record must never outrun a participant's prepared ops.
+            for store, ticket in tickets:
+                if ticket is not None:
+                    store._wal.wait_durable(ticket)
+            coordinator = durable[0].store
+            decide_attempted = True
+            coordinator._wal.log_decide(gid, True)
+            ticket = coordinator._wal.commit_flush()
+            if ticket is not None:
+                coordinator._wal.wait_durable(ticket)
+        except BaseException:
+            if not decide_attempted:
+                # No decide record can exist on any shard yet, so presumed
+                # abort is sound: logging resolve(False) merely settles
+                # what recovery would conclude from the silence anyway.
+                for txn in prepared:
+                    try:
+                        txn.store._wal.log_resolve(gid, False)
+                        txn.store._wal.commit_flush()
+                    except BaseException:
+                        pass  # presumed abort covers an unlogged resolve
+                    txn.finish_prepared(False)
+            else:
+                # The decide append was issued: its bytes may sit readably
+                # in the coordinator's log even though the commit point
+                # died, so recovery could legitimately find decide=commit.
+                # Durably aborting any participant now would split the
+                # transaction's outcome across shards.  The outcome belongs
+                # to recovery alone — leave every bracket in-doubt on disk,
+                # roll the memory image back, and fail-stop the
+                # participating shards so nothing can build on a state the
+                # reopen may contradict.
+                for txn in prepared:
+                    try:
+                        txn.store._wal.poison(
+                            "two-phase decide outcome unknown; "
+                            "bracket is in-doubt until reopen"
+                        )
+                    except BaseException:
+                        pass
+                    txn.finish_prepared(False)
+            abort = EngineError("two-phase commit aborted")
+            # Participants never reached by the prepare loop, plus the
+            # non-durable brackets, roll back the ordinary way.
+            self._close(
+                durable[len(prepared):] + rest, type(abort), abort, None
+            )
+            raise
+        for txn in durable:
+            try:
+                txn.store._wal.log_resolve(gid, True)
+                ticket = txn.store._wal.commit_flush()
+                if ticket is not None:
+                    # Resolve durability before releasing: once every
+                    # participant's resolve is down, any later checkpoint
+                    # may safely fold the coordinator's decide away.
+                    txn.store._wal.wait_durable(ticket)
+            except BaseException:
+                pass  # the durable decide already fixes the outcome
+            txn.finish_prepared(True)
+        router.two_phase_commits += 1
+        # Non-durable / untouched brackets commit trivially.  The per-core
+        # checkpoint policy is skipped on this path (prepared brackets
+        # bypass the normal commit exit); the next single-shard operation
+        # on a core triggers its checkpoint as usual.
+        self._close(rest, None, None, None)

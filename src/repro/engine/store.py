@@ -88,11 +88,26 @@ class ObjectStore:
         wal: "WriteAheadLog | str | Path | bool | None" = None,
         explain: bool = True,
         analyze: bool = False,
+        oid_namespace: int | None = None,
     ):
         self.schema = schema
         self.enforce = enforce
         self.incremental = incremental
         self.indexed = indexed
+        #: Shard namespace stamped into minted oids (``Class#S.N``); ``None``
+        #: keeps the plain ``Class#N`` shape.  Set by the commit router
+        #: (:mod:`repro.engine.sharding`) so oid minting never serializes
+        #: across shards — each core's ``_oid_seq`` is independent and its
+        #: oids parse back to their own counter (:func:`oid_counter`).
+        self.oid_namespace = oid_namespace
+        self._oid_prefix = "" if oid_namespace is None else f"{int(oid_namespace)}."
+        #: Constraints this store is responsible for enforcing; ``None``
+        #: means all of them (the default, standalone behaviour).  A shard
+        #: core is scoped to the constraints its shard can check alone —
+        #: the router owns everything else.  Checked by identity against
+        #: the schema's constraint objects, so the set must be built from
+        #: the same schema instance this store holds.
+        self.constraint_scope: "frozenset | None" = None
         #: Attach reason traces to constraint failures and compute conflict
         #: cores on commit-time rejections.  Tracing happens only *after* a
         #: check has already failed (the success path is untouched), so the
@@ -264,7 +279,7 @@ class ObjectStore:
         checked = self._check_types(class_name, full_state)
         self._check_writable()
         self._oid_seq += 1
-        oid = f"{class_name}#{self._oid_seq}"
+        oid = f"{class_name}#{self._oid_prefix}{self._oid_seq}"
         obj = DBObject(oid, class_name, checked)
         self._objects[oid] = obj
         # setdefault: the class may have been added to the schema after the
@@ -667,6 +682,8 @@ class ObjectStore:
         verify: bool = True,
         faults: "FaultInjector | None" = None,
         analyze: bool = False,
+        oid_namespace: int | None = None,
+        resolutions: "Mapping[str, bool] | None" = None,
     ) -> "ObjectStore":
         """Open the durable store at ``path``, recovering existing state.
 
@@ -694,6 +711,17 @@ class ObjectStore:
         ``analyze`` opts into schema static analysis at registration and
         redundancy pruning on the incremental hot path (see
         :class:`ObjectStore`).
+
+        ``oid_namespace`` restores a shard core's oid prefix (see
+        ``__init__``); ``resolutions`` is the commit router's recovery hook
+        for two-phase-commit brackets: a mapping of global transaction ids
+        to their decided outcomes.  Prepared-but-unresolved brackets found
+        in the log are applied (``True``) or discarded (``False``, also the
+        presumed-abort default for gids missing from the mapping) and a
+        resolution marker is logged for each.  With ``resolutions=None``
+        (the default, standalone behaviour) in-doubt brackets stay
+        unapplied and unlogged — only a router that has seen *every*
+        shard's log may decide them.
         """
         from repro.tm.parser import parse_database
 
@@ -714,6 +742,7 @@ class ObjectStore:
                 indexed=indexed,
                 wal=wal,
                 analyze=analyze,
+                oid_namespace=oid_namespace,
             )
         if schema is None:
             schema = parse_database(image.schema_source)
@@ -723,6 +752,11 @@ class ObjectStore:
             # schema, replayed changes included).
             for name, value in image.constants:
                 schema.set_constant(name, value)
+        resolved: list[tuple[str, bool]] = []
+        if resolutions is not None and image.prepared:
+            from repro.engine.wal import apply_resolutions
+
+            resolved = apply_resolutions(image, resolutions)
         store = cls(
             schema,
             enforce=enforce,
@@ -730,9 +764,16 @@ class ObjectStore:
             indexed=indexed,
             wal=False,
             analyze=analyze,
+            oid_namespace=oid_namespace,
         )
         store._load_image(image)
         wal.resume(image)
+        for gid, ok in resolved:
+            wal.log_resolve(gid, ok)
+        if resolved:
+            ticket = wal.commit_flush()
+            if ticket is not None:
+                wal.wait_durable(ticket)
         # Keep the image as diagnostics (replay counts, schema drift) but
         # drop its O(store) contents list: the store must not pin every
         # recovery-time state dict for its whole lifetime.
@@ -959,16 +1000,21 @@ class ObjectStore:
 
     # -- transactions -------------------------------------------------------------------
 
-    def transaction(self):
+    def transaction(self, validate: bool = True):
         """A snapshot transaction with deferred constraint checking.
 
         Inside the ``with`` block constraints are not enforced; at exit the
         whole store is validated and rolled back (raising
         :class:`ConstraintViolation`) if any constraint is broken.
+
+        ``validate=False`` skips the commit-time validation entirely — the
+        caller owns consistency.  The commit router uses this to wrap shard-
+        core brackets whose validation it performs itself against the merged
+        cross-shard state; everything else should leave it on.
         """
         from repro.engine.transactions import Transaction
 
-        return Transaction(self)
+        return Transaction(self, validate=validate)
 
 
 def _wal_from_environment() -> WriteAheadLog | None:

@@ -61,12 +61,19 @@ if TYPE_CHECKING:  # pragma: no cover
 class Transaction:
     """Context manager: ``with store.transaction(): ...``"""
 
-    def __init__(self, store: "ObjectStore"):
+    def __init__(self, store: "ObjectStore", validate: bool = True):
         self.store = store
+        #: Commit-time validation switch.  ``False`` hands consistency to
+        #: the caller — the commit router validates shard-core brackets
+        #: against the merged cross-shard state itself.
+        self.validate = validate
         self._was_deferred = False
         self._outer_undo: dict | None = None
         self._outer_delta = None
         self._delta_mark = None
+        #: Undo log captured by :meth:`prepare_commit` for the 2PC decision
+        #: (:meth:`finish_prepared` publishes or rolls it back).
+        self._prepared_undo: dict | None = None
         #: Durability ticket of this transaction's abort marker, when an
         #: exit path raised after flushing one; redeemed best-effort.
         self._abort_ticket: "int | None" = None
@@ -150,7 +157,7 @@ class Transaction:
         store._undo = self._outer_undo
         delta = store._delta
         store._delta = self._outer_delta
-        if store.enforce:
+        if store.enforce and self.validate:
             violations = self._validate(delta)
             if violations:
                 # Conflict cores must be extracted before the undo below:
@@ -193,6 +200,61 @@ class Transaction:
                 store._wal.abandon_ticket(ticket)
                 raise
         return ticket
+
+    # -- two-phase commit (router-driven) -----------------------------------------
+    #
+    # A cross-shard transaction cannot use the normal __exit__ commit: each
+    # shard core's WAL bracket must close with a *prepare* marker, stay
+    # undecided until every participant prepared, and only then learn its
+    # fate (see repro.engine.sharding).  The router drives that split
+    # life-cycle through the two methods below instead of __exit__; they are
+    # only valid on an outermost transaction of their store.
+
+    def prepare_commit(self, gid: str) -> "int | None":
+        """2PC phase 1: close this store's WAL bracket with a ``prepare``
+        marker for global transaction ``gid`` and flush it.
+
+        Transaction bookkeeping (deferred flag, undo stack, dirty set) is
+        unwound as on a normal commit, but the in-memory mutations stay
+        applied, nothing is published to snapshots, and the writer lock
+        stays held — :meth:`finish_prepared` completes or reverts once the
+        coordinator decides.  Validation is the router's job (these
+        transactions are created with ``validate=False``).  Returns the
+        group-commit ticket of the prepare flush, if any; if the flush
+        raises, the caller must still call ``finish_prepared(False)`` to
+        roll the memory image back and release the lock.
+        """
+        store = self.store
+        store._deferred = self._was_deferred
+        store._undo_stack.pop()
+        self._prepared_undo = store._undo
+        store._undo = self._outer_undo
+        store._delta = self._outer_delta
+        if store._wal is not None:
+            return store._wal.prepare_transaction(gid)
+        return None
+
+    def finish_prepared(self, ok: bool) -> None:
+        """2PC phase 3: apply the coordinator's decision to this store.
+
+        ``ok=True`` publishes the prepared mutations to the snapshot
+        history (they are already applied in memory and durably prepared);
+        ``ok=False`` rolls them back.  Releases the writer lock taken at
+        ``__enter__`` either way — the transaction is finished.  The
+        ``resolve`` WAL marker is the router's to write (it owns the
+        ordering against the coordinator's ``decide`` record).
+        """
+        store = self.store
+        try:
+            undo = self._prepared_undo
+            if undo is not None:
+                if ok:
+                    self._publish(undo)
+                else:
+                    self._apply_undo(undo)
+        finally:
+            self._prepared_undo = None
+            store._lock.release()
 
     def _publish(self, undo: dict) -> None:
         """Thread the committed touched set into the snapshot history: the

@@ -22,6 +22,30 @@ a directory holding two files:
       {"n": lsn, "t": "abort",  "x": txid}
       {"n": lsn, "t": "set_constant", "name": ..., "value": ...}
       {"n": lsn, "t": "schema", "source": ...}
+      {"n": lsn, "t": "prepare", "g": gid}
+      {"n": lsn, "t": "decide",  "g": gid, "ok": true|false}
+      {"n": lsn, "t": "resolve", "g": gid, "ok": true|false}
+
+Two-phase commit brackets
+-------------------------
+
+A transaction spanning several shard stores (:mod:`repro.engine.sharding`)
+cannot close each shard's bracket with an independent ``commit`` — a crash
+between two commits would persist half the transaction.  The commit router
+instead closes each participant's outermost bracket with ``prepare`` (the
+bracket's operations become *in-doubt*: durably logged, neither applied
+nor discarded by replay), appends one ``decide`` record to the coordinator
+shard's log (the lowest participating shard id) once every participant
+prepared, and then marks each participant with ``resolve`` carrying the
+outcome.  Replay applies a prepared bracket when its ``resolve`` says so,
+discards it when ``resolve`` says abort, and otherwise leaves it in-doubt
+on the :class:`RecoveredImage` (``prepared``/``decisions``) — presumed
+abort, except that only the router, having read *every* shard's log, may
+decide: the coordinator's ``decide`` is the transaction's durable fate.
+Flush ordering carries atomicity: every ``prepare`` is flushed before the
+``decide`` is written, and the ``decide`` is flushed before any
+``resolve`` — so a surviving ``decide`` implies every participant's
+prepare survived, and a surviving ``resolve`` implies the decision did.
 
 Schema-change records
 ---------------------
@@ -441,6 +465,15 @@ class RecoveredImage:
     #: a newer checkpoint the fallback predates).  Replay truncates at the
     #: gap, so the recovered state is exactly the fallback checkpoint's.
     lsn_gap: bool = False
+    #: In-doubt two-phase-commit brackets: gid -> the bracket's operation
+    #: records, durably prepared but with no ``resolve`` in this log.
+    #: Neither applied nor discarded — the commit router resolves them from
+    #: the coordinator shard's ``decide`` (see :func:`apply_resolutions`).
+    prepared: dict[str, list[dict]] = field(default_factory=dict)
+    #: Coordinator decisions replayed from this log: gid -> outcome.  On a
+    #: sharded root the union over all shards resolves every in-doubt gid;
+    #: a gid absent everywhere is presumed aborted.
+    decisions: dict[str, bool] = field(default_factory=dict)
 
 
 def _read_snapshot(snapshot_path: Path) -> dict:
@@ -559,6 +592,8 @@ def load_image(path: str | Path) -> RecoveredImage | None:
 
     #: Stack of op buffers, one per open transaction bracket.
     open_brackets: list[list[dict]] = []
+    prepared: dict[str, list[dict]] = {}
+    decisions: dict[str, bool] = {}
     replayed = 0
     discarded = 0
     #: Post-snapshot records that survive in the log after recovery.
@@ -617,6 +652,31 @@ def load_image(path: str | Path) -> RecoveredImage | None:
                 discarded += len(open_brackets.pop())
                 if not open_brackets:
                     tail_offset = None
+        elif kind == "prepare":
+            if open_brackets:
+                ops = open_brackets.pop()
+                if open_brackets:
+                    # A nested prepare is a protocol violation (the router
+                    # only prepares outermost brackets); fold it into the
+                    # parent like a commit so no logged work is lost.
+                    open_brackets[-1].extend(ops)
+                else:
+                    # The bracket is durably in-doubt, not uncommitted: it
+                    # must survive resume truncation, so the tail marker is
+                    # cleared just as for a commit.
+                    prepared[str(record["g"])] = ops
+                    tail_offset = None
+        elif kind == "decide":
+            decisions[str(record["g"])] = bool(record["ok"])
+        elif kind == "resolve":
+            ops = prepared.pop(str(record["g"]), None)
+            if ops is not None:
+                if record["ok"]:
+                    for op in ops:
+                        apply(op)
+                    replayed += len(ops)
+                else:
+                    discarded += len(ops)
         elif kind in _OPS:
             if open_brackets:
                 open_brackets[-1].append(record)
@@ -661,7 +721,50 @@ def load_image(path: str | Path) -> RecoveredImage | None:
         used_fallback_snapshot=used_fallback,
         snapshot_error=snapshot_error,
         lsn_gap=lsn_gap,
+        prepared=prepared,
+        decisions=decisions,
     )
+
+
+def apply_resolutions(
+    image: RecoveredImage, outcomes: "Mapping[str, bool]"
+) -> list[tuple[str, bool]]:
+    """Resolve an image's in-doubt prepared brackets against ``outcomes``.
+
+    The commit router calls this after gathering every shard's replayed
+    ``decide`` records: each prepared gid found in ``outcomes`` with a
+    ``True`` verdict is applied onto ``image.objects`` (in log order);
+    everything else — explicit ``False`` or absent entirely — is presumed
+    aborted and discarded.  Returns the ``(gid, outcome)`` pairs in
+    resolution order so the caller can append matching ``resolve`` records
+    to the re-attached log, making the next recovery self-contained.
+    """
+    if not image.prepared:
+        return []
+    objects: dict[str, tuple[str, dict]] = {
+        oid: (cls, state) for oid, cls, state in image.objects
+    }
+    resolved: list[tuple[str, bool]] = []
+    for gid, ops in image.prepared.items():
+        ok = bool(outcomes.get(gid, False))
+        if ok:
+            for op in ops:
+                kind = op["t"]
+                if kind == "insert":
+                    objects[op["oid"]] = (op["cls"], decode_state(op["state"]))
+                elif kind == "update":
+                    current = objects.get(op["oid"])
+                    if current is not None:
+                        objects[op["oid"]] = (current[0], decode_state(op["state"]))
+                elif kind == "delete":
+                    objects.pop(op["oid"], None)
+            image.replayed += len(ops)
+        else:
+            image.discarded += len(ops)
+        resolved.append((gid, ok))
+    image.objects = [(oid, cls, state) for oid, (cls, state) in objects.items()]
+    image.prepared = {}
+    return resolved
 
 
 # ---------------------------------------------------------------------------
@@ -1188,6 +1291,58 @@ class WriteAheadLog:
                 return None
         return None
 
+    # -- two-phase commit --------------------------------------------------------
+
+    def prepare_transaction(self, gid: str) -> "int | None":
+        """2PC phase 1: close the current bracket with a ``prepare`` marker.
+
+        The bracket's operations become durably in-doubt — recovery neither
+        applies nor discards them until a ``resolve`` (or, via the router,
+        the coordinator's ``decide``) settles the outcome.  Like
+        :meth:`commit_transaction`, an outermost prepare flushes and returns
+        the group-commit durability ticket; the router must redeem every
+        participant's ticket (or flush) before writing the ``decide`` —
+        that ordering is what makes the decision imply all prepares
+        survived.  Only outermost brackets are prepared; nested calls are a
+        caller bug and fold into the parent on replay."""
+        if not self._transactions:
+            return None
+        transaction = self._transactions.pop()
+        if transaction["written"]:
+            self._append({"t": "prepare", "g": str(gid)})
+            if not self._transactions:
+                return self.commit_flush()
+        return None
+
+    def log_decide(self, gid: str, ok: bool) -> None:
+        """2PC phase 2: the coordinator's durable verdict for ``gid``.
+
+        Non-transactional — refused inside an open bracket, like schema
+        records.  The caller must flush (:meth:`commit_flush`) before any
+        participant's ``resolve`` is written: the decision is the
+        transaction's fate, so it must not be reorderable behind its own
+        consequences."""
+        if self._transactions:
+            raise EngineError(
+                "2PC decide records cannot be logged inside a transaction "
+                "bracket (prepare or close the bracket first)"
+            )
+        self._append({"t": "decide", "g": str(gid), "ok": bool(ok)})
+
+    def log_resolve(self, gid: str, ok: bool) -> None:
+        """2PC phase 3: settle this participant's in-doubt ``prepare``.
+
+        Replay applies the prepared bracket when ``ok`` and discards it
+        otherwise.  Durability is optional: if a crash loses the resolve,
+        the bracket is in-doubt again and the coordinator's durable
+        ``decide`` re-settles it at the next sharded recovery."""
+        if self._transactions:
+            raise EngineError(
+                "2PC resolve records cannot be logged inside a transaction "
+                "bracket (prepare or close the bracket first)"
+            )
+        self._append({"t": "resolve", "g": str(gid), "ok": bool(ok)})
+
     @property
     def in_transaction(self) -> bool:
         return bool(self._transactions)
@@ -1422,6 +1577,14 @@ def fsck(path: str | Path) -> FsckReport:
         report.findings.append(
             f"replay: {image.discarded} operation(s) of aborted or "
             "unfinished transactions discarded"
+        )
+    if image.prepared:
+        # Informational, not damage: an in-doubt 2PC bracket is resolved by
+        # the commit router from the coordinator shard's decide record when
+        # the sharded root is reopened as a whole.
+        report.findings.append(
+            f"replay: {len(image.prepared)} in-doubt prepared "
+            "transaction(s) awaiting the commit router's resolution"
         )
     if image.schema_drift:
         report.findings.append(

@@ -69,6 +69,13 @@ class StorePoisonedError(EngineError):
     """
 
 
+class ShardingError(EngineError):
+    """The shard layout is unusable: a schema whose reference edges would
+    span shards, a manifest that disagrees with the directories on disk,
+    a spread class that carries references, or an unknown class in the
+    requested placement (see :mod:`repro.engine.sharding`)."""
+
+
 class ConstraintViolation(EngineError):
     """A database operation would leave the store violating a constraint.
 

@@ -1,0 +1,977 @@
+"""Sharding tests: placement, classification, equivalence, and 2PC recovery.
+
+The tentpole property: a :class:`~repro.engine.sharding.ShardedStore` is
+*observably identical* to a plain :class:`~repro.engine.store.ObjectStore`
+— for arbitrary operation histories the two accept and reject the same
+operations (naming the same constraints), hold the same objects, and audit
+to the same verdicts, at every shard count.  Sharding may only change
+*where* work happens, never *what* the store does.
+
+The durable half extends the crash matrix of ``test_faults.py`` per shard:
+a fault injector targeting one shard's files must never break cross-shard
+atomicity — after recovery a two-phase transaction is either applied on
+every shard or on none (presumed abort), and the merged store audits
+clean.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import ObjectStore, ShardedStore, plan_placement
+from repro.engine.faults import FaultInjector, FaultSpec, SimulatedCrash
+from repro.engine.incremental import (
+    SHARD_GLOBAL,
+    SHARD_LOCAL,
+    SHARD_MERGEABLE,
+    classify_constraints,
+    shard_scopes,
+)
+from repro.engine.indexes import oid_shard, oid_sort_key
+from repro.engine.sharding import MANIFEST_NAME, shard_directory
+from repro.engine.wal import LOG_NAME, fsck, scan_log
+from repro.errors import ConstraintViolation, EngineError, ShardingError
+from repro.fixtures import bookseller_schema
+from repro.tm import parse_database
+
+#: Everything an injected fault can surface as at the API boundary
+#: (mirrors ``test_faults.FAULT_EXCEPTIONS``).
+FAULT_EXCEPTIONS = (OSError, EngineError, SimulatedCrash)
+
+#: Three reference-free class groups: Alpha and Beta pin to (possibly
+#: different) shards, Gauge is a spread candidate.  ``cc_sum`` is
+#: shard-local once Alpha is pinned; spreading Gauge makes ``cc_gauge``
+#: a mergeable cross-shard aggregate.
+SHARDLAB_SOURCE = """
+Database ShardLab
+
+constants
+  CAP = 1000
+
+Class Alpha
+attributes
+  name  : string
+  score : int
+object constraints
+  oc_a: score >= 0
+class constraints
+  cc_key: key name
+  cc_sum: (sum (collect x for x in self) over score) < CAP
+end Alpha
+
+Class Beta
+attributes
+  label : string
+  value : int
+object constraints
+  oc_b: value >= 0
+end Beta
+
+Class Gauge
+attributes
+  reading : int
+object constraints
+  oc_g: reading >= 0
+class constraints
+  cc_gauge: (sum (collect g for g in self) over reading) < CAP
+end Gauge
+"""
+
+#: Two unconnected groups coupled only by a quantified database
+#: constraint with no covering summary — the global tier.
+CROSSDB_SOURCE = """
+Database CrossDB
+
+Class Left
+attributes
+  tag : int
+end Left
+
+Class Right
+attributes
+  tag : int
+end Right
+
+Database constraints
+  db_cover: forall l in Left exists r in Right | r.tag = l.tag
+"""
+
+
+def shardlab_schema():
+    return parse_database(SHARDLAB_SOURCE)
+
+
+def crossdb_schema():
+    return parse_database(CROSSDB_SOURCE)
+
+
+# ---------------------------------------------------------------------------
+# oid helpers
+# ---------------------------------------------------------------------------
+
+
+class TestOidHelpers:
+    def test_oid_shard_parses_namespace(self):
+        assert oid_shard("Alpha#3.7") == 3
+        assert oid_shard("Alpha#7") is None
+        assert oid_shard("Alpha#x.7") is None
+        assert oid_shard("bogus") is None
+
+    def test_numeric_shard_ordering(self):
+        # Shard 10 must sort after shard 2 at the same counter — a string
+        # comparison of "10" < "2" would invert round-robin spread order.
+        oids = ["G#10.1", "G#2.1", "G#0.2", "G#1.1", "G#0.1"]
+        assert sorted(oids, key=oid_sort_key) == [
+            "G#0.1",
+            "G#1.1",
+            "G#2.1",
+            "G#10.1",
+            "G#0.2",
+        ]
+
+    def test_plain_oids_sort_before_sharded_at_same_counter(self):
+        assert sorted(["A#0.1", "A#1"], key=oid_sort_key) == ["A#1", "A#0.1"]
+
+
+# ---------------------------------------------------------------------------
+# placement
+# ---------------------------------------------------------------------------
+
+
+class TestPlacement:
+    def test_groups_round_robin(self):
+        placement = plan_placement(shardlab_schema(), 2)
+        # Three singleton groups in declaration order: Alpha, Beta, Gauge.
+        assert placement == {"Alpha": 0, "Beta": 1, "Gauge": 0}
+
+    def test_reference_edges_co_locate(self):
+        placement = plan_placement(bookseller_schema(), 4)
+        # Item/Proceedings/Monograph reference Publisher: one group.
+        assert len(set(placement.values())) == 1
+
+    def test_inheritance_co_locates(self):
+        placement = plan_placement(bookseller_schema(), 4)
+        assert placement["Item"] == placement["Proceedings"]
+        assert placement["Item"] == placement["Monograph"]
+
+    def test_spread_class_is_unplaced(self):
+        placement = plan_placement(shardlab_schema(), 4, spread=("Gauge",))
+        assert "Gauge" not in placement
+        assert set(placement) == {"Alpha", "Beta"}
+
+    def test_spread_class_with_references_is_rejected(self):
+        with pytest.raises(ShardingError, match="spread"):
+            plan_placement(bookseller_schema(), 2, spread=("Item",))
+
+    def test_spread_referenced_class_is_rejected(self):
+        with pytest.raises(ShardingError, match="spread"):
+            plan_placement(bookseller_schema(), 2, spread=("Publisher",))
+
+    def test_spread_unknown_class_is_rejected(self):
+        with pytest.raises(ShardingError):
+            plan_placement(shardlab_schema(), 2, spread=("Nope",))
+
+    def test_existing_seed_is_respected(self):
+        placement = plan_placement(
+            shardlab_schema(), 4, existing={"Alpha": 3, "Beta": 1}
+        )
+        assert placement["Alpha"] == 3
+        assert placement["Beta"] == 1
+        assert placement["Gauge"] in range(4)
+
+    def test_existing_out_of_range_is_rejected(self):
+        with pytest.raises(ShardingError):
+            plan_placement(shardlab_schema(), 2, existing={"Alpha": 5})
+
+    def test_existing_splitting_a_group_is_rejected(self):
+        with pytest.raises(ShardingError):
+            plan_placement(
+                bookseller_schema(), 2, existing={"Item": 0, "Publisher": 1}
+            )
+
+
+# ---------------------------------------------------------------------------
+# classification
+# ---------------------------------------------------------------------------
+
+
+def _plans_by_name(schema, placement, spread=frozenset()):
+    from repro.engine.incremental import ConstraintDependencyIndex
+
+    index = ConstraintDependencyIndex.for_schema(schema)
+    plans = classify_constraints(index, placement, spread)
+    return {plan.constraint.qualified_name: plan for plan in plans}
+
+
+class TestClassification:
+    def test_pinned_layout_is_all_local(self):
+        schema = shardlab_schema()
+        placement = plan_placement(schema, 2)
+        plans = _plans_by_name(schema, placement)
+        assert all(plan.tier == SHARD_LOCAL for plan in plans.values())
+        assert plans["ShardLab.Alpha.cc_sum"].shard == placement["Alpha"]
+        assert plans["ShardLab.Gauge.cc_gauge"].shard == placement["Gauge"]
+
+    def test_object_constraints_are_anywhere_local(self):
+        schema = shardlab_schema()
+        plans = _plans_by_name(
+            schema, plan_placement(schema, 4, spread=("Gauge",)), {"Gauge"}
+        )
+        # Reads only the constrained object: local with no pinned shard.
+        assert plans["ShardLab.Gauge.oc_g"].tier == SHARD_LOCAL
+        assert plans["ShardLab.Gauge.oc_g"].shard is None
+
+    def test_spread_aggregate_is_mergeable(self):
+        schema = shardlab_schema()
+        plans = _plans_by_name(
+            schema, plan_placement(schema, 4, spread=("Gauge",)), {"Gauge"}
+        )
+        assert plans["ShardLab.Gauge.cc_gauge"].tier == SHARD_MERGEABLE
+
+    def test_cross_shard_quantifier_is_global(self):
+        schema = crossdb_schema()
+        placement = {"Left": 0, "Right": 1}
+        plans = _plans_by_name(schema, placement)
+        assert plans["CrossDB.db_cover"].tier == SHARD_GLOBAL
+
+    def test_single_shard_quantifier_is_local(self):
+        schema = crossdb_schema()
+        plans = _plans_by_name(schema, {"Left": 0, "Right": 0})
+        assert plans["CrossDB.db_cover"].tier == SHARD_LOCAL
+        assert plans["CrossDB.db_cover"].shard == 0
+
+    def test_scopes_cover_exactly_the_local_tier(self):
+        schema = shardlab_schema()
+        placement = plan_placement(schema, 2, spread=("Gauge",))
+        from repro.engine.incremental import ConstraintDependencyIndex
+
+        index = ConstraintDependencyIndex.for_schema(schema)
+        plans = classify_constraints(index, placement, {"Gauge"})
+        scopes = shard_scopes(plans, 2)
+        merged = scopes[0] | scopes[1]
+        local = {p.constraint for p in plans if p.tier == SHARD_LOCAL}
+        assert merged == local
+        # Pinned constraints appear in exactly one scope.
+        for plan in plans:
+            if plan.tier == SHARD_LOCAL and plan.shard is not None:
+                assert (plan.constraint in scopes[plan.shard]) and (
+                    plan.constraint not in scopes[1 - plan.shard]
+                )
+
+    def test_single_shard_scope_collapses_to_none(self):
+        # The N=1 degeneration: every constraint is local to shard 0, so
+        # the core's scope filter is disabled entirely.
+        router = ShardedStore(shardlab_schema(), 1)
+        assert router.cores[0].constraint_scope is None
+
+
+# ---------------------------------------------------------------------------
+# equivalence harness
+# ---------------------------------------------------------------------------
+
+
+class _Abort(Exception):
+    """Client-requested rollback inside a transaction."""
+
+
+def _apply_history(store, ops):
+    """Apply ``ops`` to ``store``; return ``(oids, outcomes)``.
+
+    ``oids`` is the creation-ordered list of minted oids (``None`` once
+    deleted) — positions, not values, are the cross-store identity.
+    ``outcomes`` records each op's observable result: accepted, skipped
+    (no live target), or rejected with the constraint names / error type.
+    """
+    oids = []
+    outcomes = []
+
+    def _target(idx):
+        live = [oid for oid in oids if oid is not None]
+        if not live:
+            return None
+        return live[idx % len(live)]
+
+    def _one(op):
+        kind = op[0]
+        if kind == "insert":
+            _, class_name, fields = op
+            obj = store.insert(class_name, **fields)
+            oids.append(obj.oid)
+        elif kind == "update":
+            _, idx, fields = op
+            target = _target(idx)
+            if target is None:
+                return "skip"
+            store.update(target, **fields)
+        elif kind == "delete":
+            _, idx = op
+            target = _target(idx)
+            if target is None:
+                return "skip"
+            store.delete(target)
+            oids[oids.index(target)] = None
+        elif kind == "constant":
+            _, value = op
+            store.set_constant("CAP", value)
+        else:  # pragma: no cover - strategy bug
+            raise AssertionError(f"unknown op {kind!r}")
+        return "ok"
+
+    for op in ops:
+        checkpoint = list(oids)
+        try:
+            if op[0] == "txn":
+                _, subops, abort = op
+                sub_outcomes = []
+                with store.transaction():
+                    for sub in subops:
+                        sub_outcomes.append(_one(sub))
+                    if abort:
+                        raise _Abort()
+                outcomes.append(("txn", tuple(sub_outcomes)))
+            else:
+                outcomes.append((_one(op),))
+        except _Abort:
+            oids[:] = checkpoint
+            outcomes.append(("abort",))
+        except ConstraintViolation as exc:
+            oids[:] = checkpoint
+            outcomes.append(("violation", exc.constraint_names))
+        except EngineError as exc:
+            oids[:] = checkpoint
+            outcomes.append(("error", type(exc).__name__))
+    return oids, outcomes
+
+
+def _assert_equivalent(plain, plain_trace, sharded, sharded_trace):
+    plain_oids, plain_outcomes = plain_trace
+    shard_oids, shard_outcomes = sharded_trace
+    assert plain_outcomes == shard_outcomes
+    assert len(plain_oids) == len(shard_oids)
+    assert len(plain) == len(sharded)
+    for plain_oid, shard_oid in zip(plain_oids, shard_oids):
+        assert (plain_oid is None) == (shard_oid is None)
+        if plain_oid is None:
+            continue
+        left, right = plain.get(plain_oid), sharded.get(shard_oid)
+        assert left.class_name == right.class_name
+        assert dict(left.state) == dict(right.state)
+    plain_audit = sorted(v.constraint_name for v in plain.audit())
+    shard_audit = sorted(v.constraint_name for v in sharded.audit())
+    assert plain_audit == shard_audit
+
+
+_NAMES = st.text(alphabet="abcd", min_size=1, max_size=2)
+_SINGLE_OPS = st.one_of(
+    st.tuples(
+        st.just("insert"),
+        st.just("Alpha"),
+        st.fixed_dictionaries(
+            {"name": _NAMES, "score": st.integers(-3, 400)}
+        ),
+    ),
+    st.tuples(
+        st.just("insert"),
+        st.just("Beta"),
+        st.fixed_dictionaries(
+            {"label": _NAMES, "value": st.integers(-3, 50)}
+        ),
+    ),
+    st.tuples(
+        st.just("insert"),
+        st.just("Gauge"),
+        st.fixed_dictionaries({"reading": st.integers(-3, 400)}),
+    ),
+    st.tuples(
+        st.just("update"),
+        st.integers(0, 30),
+        st.fixed_dictionaries({"score": st.integers(-3, 400)}),
+    ),
+    st.tuples(st.just("delete"), st.integers(0, 30)),
+)
+_OPS = st.one_of(
+    _SINGLE_OPS,
+    st.tuples(
+        st.just("txn"),
+        st.lists(_SINGLE_OPS, min_size=1, max_size=4),
+        st.booleans(),
+    ),
+    st.tuples(st.just("constant"), st.integers(5, 2000)),
+)
+_HISTORIES = st.lists(_OPS, max_size=25)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @settings(max_examples=40, deadline=None)
+    @given(ops=_HISTORIES)
+    def test_sharded_store_matches_plain_store(self, shards, ops):
+        schema = shardlab_schema()
+        plain = ObjectStore(schema)
+        sharded = ShardedStore(parse_database(SHARDLAB_SOURCE), shards)
+        plain_trace = _apply_history(plain, ops)
+        sharded_trace = _apply_history(sharded, ops)
+        _assert_equivalent(plain, plain_trace, sharded, sharded_trace)
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops=_HISTORIES)
+    def test_spread_layout_matches_plain_store(self, ops):
+        plain = ObjectStore(shardlab_schema())
+        sharded = ShardedStore(
+            parse_database(SHARDLAB_SOURCE), 4, spread=("Gauge",)
+        )
+        plain_trace = _apply_history(plain, ops)
+        sharded_trace = _apply_history(sharded, ops)
+        _assert_equivalent(plain, plain_trace, sharded, sharded_trace)
+
+    @settings(max_examples=25, deadline=None)
+    @given(ops=_HISTORIES)
+    def test_global_tier_matches_plain_store(self, ops):
+        ops = [_crossdb_op(op) for op in ops]
+        plain = ObjectStore(crossdb_schema())
+        sharded = ShardedStore(crossdb_schema(), 2)
+        plain_trace = _apply_history(plain, ops)
+        sharded_trace = _apply_history(sharded, ops)
+        _assert_equivalent(plain, plain_trace, sharded, sharded_trace)
+
+
+def _crossdb_op(op):
+    """Remap a ShardLab op onto the CrossDB schema."""
+    if op[0] == "insert":
+        _, class_name, fields = op
+        target = "Left" if class_name == "Alpha" else "Right"
+        value = fields.get("score", fields.get("value", fields.get("reading", 0)))
+        return ("insert", target, {"tag": int(value) % 5})
+    if op[0] == "update":
+        return ("update", op[1], {"tag": sum(op[2].values()) % 5})
+    if op[0] == "txn":
+        return ("txn", [_crossdb_op(sub) for sub in op[1]], op[2])
+    if op[0] == "constant":
+        return ("delete", op[1] % 7)  # CrossDB has no constants
+    return op
+
+
+# ---------------------------------------------------------------------------
+# durable stores: manifest, recovery, 2PC
+# ---------------------------------------------------------------------------
+
+
+def _scripted_mix(store):
+    """A deterministic history touching both pinned groups, with one
+    cross-shard transaction in the middle.  Returns expected names."""
+    store.insert("Alpha", name="a1", score=1)
+    store.insert("Beta", label="b1", value=1)
+    with store.transaction():
+        store.insert("Alpha", name="a2", score=2)
+        store.insert("Beta", label="b2", value=2)
+    store.insert("Alpha", name="a3", score=3)
+    return {"a1", "b1", "a2", "b2", "a3"}
+
+
+def _names(store):
+    return {
+        obj.state.get("name") or obj.state.get("label")
+        for obj in store.objects()
+    }
+
+
+class TestDurableSharding:
+    def test_manifest_written_and_reused(self, tmp_path):
+        store = ShardedStore.open(tmp_path, shardlab_schema(), 2)
+        _scripted_mix(store)
+        store.close()
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text("utf-8"))
+        assert manifest["shards"] == 2
+        assert manifest["database"] == "ShardLab"
+        reopened = ShardedStore.open(tmp_path)
+        assert reopened.shards == 2
+        assert _names(reopened) == {"a1", "b1", "a2", "b2", "a3"}
+        assert reopened.audit() == []
+        reopened.close()
+
+    def test_shard_count_mismatch_is_rejected(self, tmp_path):
+        ShardedStore.open(tmp_path, shardlab_schema(), 2).close()
+        with pytest.raises(ShardingError, match="2 shard"):
+            ShardedStore.open(tmp_path, shardlab_schema(), 4)
+
+    def test_unreadable_manifest_is_rejected(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{not json", "utf-8")
+        with pytest.raises(ShardingError, match="unreadable"):
+            ShardedStore.open(tmp_path, shardlab_schema(), 2)
+
+    def test_missing_schema_and_store_is_an_error(self, tmp_path):
+        with pytest.raises(EngineError, match="no durable store"):
+            ShardedStore.open(tmp_path / "void")
+
+    def test_cross_shard_commit_uses_two_phases(self, tmp_path):
+        store = ShardedStore.open(tmp_path, shardlab_schema(), 2)
+        _scripted_mix(store)
+        assert store.two_phase_commits == 1
+        store.close()
+        # The coordinator shard's log holds the decide; both hold
+        # prepare + resolve.
+        kinds_by_shard = {}
+        for shard in range(2):
+            data = (shard_directory(tmp_path, shard) / LOG_NAME).read_bytes()
+            records, _, _ = scan_log(data)
+            kinds_by_shard[shard] = [rec["t"] for rec, _ in records]
+        all_kinds = kinds_by_shard[0] + kinds_by_shard[1]
+        assert all_kinds.count("prepare") == 2
+        assert all_kinds.count("decide") == 1
+        assert all_kinds.count("resolve") == 2
+
+    def test_single_shard_touch_skips_two_phase(self, tmp_path):
+        store = ShardedStore.open(tmp_path, shardlab_schema(), 2)
+        with store.transaction():
+            store.insert("Alpha", name="a1", score=1)
+            store.insert("Alpha", name="a2", score=2)
+        assert store.two_phase_commits == 0
+        store.close()
+
+    def test_violating_cross_shard_txn_rolls_back_everywhere(self, tmp_path):
+        store = ShardedStore.open(tmp_path, shardlab_schema(), 2)
+        with pytest.raises(ConstraintViolation) as excinfo:
+            with store.transaction():
+                store.insert("Alpha", name="big", score=999)
+                store.insert("Beta", label="bad", value=-1)
+        assert "ShardLab.Beta.oc_b" in excinfo.value.constraint_names
+        assert len(store) == 0
+        store.close()
+        reopened = ShardedStore.open(tmp_path)
+        assert len(reopened) == 0
+        reopened.close()
+
+    def test_per_shard_oid_namespaces_survive_reopen(self, tmp_path):
+        store = ShardedStore.open(tmp_path, shardlab_schema(), 2)
+        a = store.insert("Alpha", name="a1", score=1)
+        b = store.insert("Beta", label="b1", value=1)
+        assert oid_shard(a.oid) == store.placement["Alpha"]
+        assert oid_shard(b.oid) == store.placement["Beta"]
+        store.close()
+        reopened = ShardedStore.open(tmp_path)
+        a2 = reopened.insert("Alpha", name="a2", score=2)
+        # The shard-local counter continues; no oid is ever reused.
+        assert a2.oid != a.oid
+        assert oid_shard(a2.oid) == oid_shard(a.oid)
+        reopened.close()
+
+    def test_spread_cursor_recovers(self, tmp_path):
+        store = ShardedStore.open(
+            tmp_path, shardlab_schema(), 2, spread=("Gauge",)
+        )
+        first = [store.insert("Gauge", reading=i).oid for i in range(3)]
+        store.close()
+        reopened = ShardedStore.open(tmp_path)
+        more = [reopened.insert("Gauge", reading=9).oid for _ in range(2)]
+        seen = first + more
+        assert len(set(seen)) == 5
+        # Round-robin resumes: five inserts over two shards never pile
+        # more than one extra object onto a shard.
+        counts = {}
+        for oid in seen:
+            counts[oid_shard(oid)] = counts.get(oid_shard(oid), 0) + 1
+        assert sorted(counts.values()) == [2, 3]
+        reopened.close()
+
+    def test_shard_stats_shape(self, tmp_path):
+        store = ShardedStore.open(tmp_path, shardlab_schema(), 2, sync=True)
+        _scripted_mix(store)
+        stats = store.shard_stats()
+        assert [row["shard"] for row in stats] == [0, 1]
+        assert sum(row["objects"] for row in stats) == 5
+        for row in stats:
+            assert row["fsyncs"] >= 1
+        store.close()
+
+    def test_fsck_clean_after_close(self, tmp_path):
+        store = ShardedStore.open(tmp_path, shardlab_schema(), 2)
+        _scripted_mix(store)
+        store.close()
+        for shard in range(2):
+            report = fsck(shard_directory(tmp_path, shard))
+            assert report.exit_code == 0
+
+
+# ---------------------------------------------------------------------------
+# the per-shard crash matrix
+# ---------------------------------------------------------------------------
+
+
+#: Fault points swept per shard.  ``at`` indexes the n-th crossing of the
+#: point *on that shard's files only*, so the sweep lands before, inside
+#: and after the 2PC bracket of the scripted history.
+_MATRIX = [
+    (shard, point, kind, at)
+    for shard in (0, 1)
+    for point in ("wal.append", "wal.fsync")
+    for kind in ("crash", "crash_after")
+    for at in (0, 1, 2, 3, 4)
+]
+
+
+class TestPerShardCrashMatrix:
+    @pytest.mark.parametrize("shard,point,kind,at", _MATRIX)
+    def test_crash_preserves_cross_shard_atomicity(
+        self, tmp_path, shard, point, kind, at
+    ):
+        injector = FaultInjector([FaultSpec(point, kind, at=at)])
+        store = ShardedStore.open(
+            tmp_path,
+            shardlab_schema(),
+            2,
+            sync=True,
+            faults={shard: injector},
+        )
+        completed = set()
+        steps = [
+            ("a1", lambda s: s.insert("Alpha", name="a1", score=1)),
+            ("b1", lambda s: s.insert("Beta", label="b1", value=1)),
+            ("txn", _cross_shard_txn),
+            ("a3", lambda s: s.insert("Alpha", name="a3", score=3)),
+        ]
+        crashed = False
+        for label, step in steps:
+            try:
+                step(store)
+                completed.add(label)
+            except FAULT_EXCEPTIONS:
+                crashed = True
+                break
+        if not crashed:
+            try:
+                # The schedule may name crossings this history never hit,
+                # or a swallowed resolve-phase fault left the shard's log
+                # poisoned — close is then allowed to fail too.
+                store.close()
+            except FAULT_EXCEPTIONS:
+                pass
+        recovered = ShardedStore.open(tmp_path, verify=True)
+        names = _names(recovered)
+        # Cross-shard atomicity: the 2PC transaction is all-or-nothing.
+        assert ("a2" in names) == ("b2" in names)
+        # Sync commits that returned are durable; later steps may have
+        # landed or not (the crashing one), never partially.
+        expected = {"txn": {"a2", "b2"}}
+        for label in completed:
+            for name in expected.get(label, {label}):
+                assert name in names
+        assert names <= {"a1", "b1", "a2", "b2", "a3"}
+        assert recovered.audit() == []
+        recovered.close()
+        # Logs are settled after recovery: no torn tails above severity 1.
+        for i in range(2):
+            assert fsck(shard_directory(tmp_path, i)).exit_code <= 1
+
+    def test_prepare_without_decide_is_presumed_abort(self, tmp_path):
+        # Crash shard 1 at its first fsync *inside* the bracket: its
+        # prepare may persist, but no decide exists anywhere.
+        injector = FaultInjector([FaultSpec("wal.fsync", "crash", at=0)])
+        store = ShardedStore.open(
+            tmp_path, shardlab_schema(), 2, sync=True, faults={1: injector}
+        )
+        with pytest.raises(FAULT_EXCEPTIONS):
+            _cross_shard_txn(store)
+        recovered = ShardedStore.open(tmp_path, verify=True)
+        assert _names(recovered) == set()
+        assert recovered.audit() == []
+        recovered.close()
+
+    def test_decide_in_one_log_commits_every_shard(self, tmp_path):
+        # Crash the non-coordinator after the decide is durable (its own
+        # resolve fsync): recovery must pool the coordinator's decide and
+        # apply the in-doubt bracket on the crashed shard.
+        coordinator = None
+        probe = ShardedStore(shardlab_schema(), 2)
+        alpha_shard = probe.placement["Alpha"]
+        beta_shard = probe.placement["Beta"]
+        coordinator = min(alpha_shard, beta_shard)
+        other = beta_shard if coordinator == alpha_shard else alpha_shard
+        # On ``other`` the fsync order is: prepare (0), resolve (1).
+        injector = FaultInjector([FaultSpec("wal.fsync", "crash", at=1)])
+        store = ShardedStore.open(
+            tmp_path,
+            shardlab_schema(),
+            2,
+            sync=True,
+            faults={other: injector},
+        )
+        try:
+            _cross_shard_txn(store)
+        except FAULT_EXCEPTIONS:
+            pass
+        recovered = ShardedStore.open(tmp_path, verify=True)
+        names = _names(recovered)
+        assert ("a2" in names) == ("b2" in names)
+        # The decide record fsynced on the coordinator before the crashed
+        # resolve, so the bracket must have committed.
+        data = (
+            shard_directory(tmp_path, coordinator) / LOG_NAME
+        ).read_bytes()
+        records, _, _ = scan_log(data)
+        kinds = [rec["t"] for rec, _ in records]
+        if "decide" in kinds:
+            assert names == {"a2", "b2"}
+        recovered.close()
+
+
+def _cross_shard_txn(store):
+    with store.transaction():
+        store.insert("Alpha", name="a2", score=2)
+        store.insert("Beta", label="b2", value=2)
+
+
+# ---------------------------------------------------------------------------
+# durable equivalence under crashes (Hypothesis)
+# ---------------------------------------------------------------------------
+
+
+_CRASH_STEPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("alpha"), st.integers(0, 100)),
+        st.tuples(st.just("beta"), st.integers(0, 40)),
+        st.tuples(st.just("pair"), st.integers(0, 100)),
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestCrashEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        steps=_CRASH_STEPS,
+        shard=st.integers(0, 1),
+        point=st.sampled_from(["wal.append", "wal.fsync"]),
+        at=st.integers(0, 5),
+    )
+    def test_recovery_lands_on_a_committed_state(
+        self, tmp_path_factory, steps, shard, point, at
+    ):
+        tmp_path = tmp_path_factory.mktemp("crash-eq")
+        injector = FaultInjector([FaultSpec(point, "crash", at=at)])
+        store = ShardedStore.open(
+            tmp_path,
+            shardlab_schema(),
+            2,
+            sync=True,
+            faults={shard: injector},
+        )
+        committed = []  # names durable when the call returned
+        attempted = []
+        seq = 0
+        try:
+            for kind, value in steps:
+                seq += 1
+                if kind == "alpha":
+                    name = f"a{seq}"
+                    attempted.append([name])
+                    store.insert("Alpha", name=name, score=value)
+                    committed.append(name)
+                elif kind == "beta":
+                    name = f"b{seq}"
+                    attempted.append([name])
+                    store.insert("Beta", label=name, value=value)
+                    committed.append(name)
+                else:
+                    pair = [f"pa{seq}", f"pb{seq}"]
+                    attempted.append(pair)
+                    with store.transaction():
+                        store.insert("Alpha", name=pair[0], score=value)
+                        store.insert("Beta", label=pair[1], value=value)
+                    committed.extend(pair)
+        except FAULT_EXCEPTIONS:
+            pass
+        else:
+            store.close()
+        recovered = ShardedStore.open(tmp_path, verify=True)
+        names = _names(recovered)
+        assert set(committed) <= names
+        assert names <= {n for group in attempted for n in group}
+        # Pairs are atomic even when the crash hit mid-bracket.
+        for group in attempted:
+            if len(group) == 2:
+                assert (group[0] in names) == (group[1] in names)
+        assert recovered.audit() == []
+        recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# in-memory routing behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestRouting:
+    def test_fast_path_engages_for_local_ops(self):
+        store = ShardedStore(shardlab_schema(), 2)
+        store.insert("Alpha", name="a1", score=1)
+        before = store.fast_path_ops
+        store.insert("Alpha", name="a2", score=2)
+        assert store.fast_path_ops == before + 1
+
+    def test_global_tier_forces_routed_ops(self):
+        store = ShardedStore(crossdb_schema(), 2)
+        with store.transaction():
+            store.insert("Left", tag=1)
+            store.insert("Right", tag=1)
+        before = store.routed_global_ops
+        store.insert("Right", tag=2)
+        assert store.routed_global_ops == before + 1
+
+    def test_len_contains_get_across_shards(self):
+        store = ShardedStore(shardlab_schema(), 2)
+        a = store.insert("Alpha", name="a1", score=1)
+        b = store.insert("Beta", label="b1", value=1)
+        assert len(store) == 2
+        assert a.oid in store and b.oid in store
+        assert store.get(a.oid).state["name"] == "a1"
+        assert store.get(b.oid).state["label"] == "b1"
+
+    def test_extent_merges_spread_shards_in_insertion_order(self):
+        store = ShardedStore(shardlab_schema(), 4, spread=("Gauge",))
+        minted = [store.insert("Gauge", reading=i).oid for i in range(6)]
+        assert [obj.oid for obj in store.extent("Gauge")] == minted
+
+    def test_set_constant_reaches_every_shard(self):
+        store = ShardedStore(shardlab_schema(), 2, spread=("Gauge",))
+        store.insert("Gauge", reading=500)
+        store.set_constant("CAP", 600)
+        with pytest.raises(ConstraintViolation):
+            store.insert("Gauge", reading=200)
+
+    def test_mergeable_aggregate_sums_partials(self):
+        store = ShardedStore(shardlab_schema(), 4, spread=("Gauge",))
+        for i in range(8):
+            store.insert("Gauge", reading=100)
+        # 8 * 100 = 800 < 1000; the next 100 would still fit, 300 not.
+        with pytest.raises(ConstraintViolation) as excinfo:
+            store.insert("Gauge", reading=300)
+        assert "ShardLab.Gauge.cc_gauge" in excinfo.value.constraint_names
+        assert len(store.extent("Gauge")) == 8
+
+    def test_key_constraint_spans_one_shard(self):
+        store = ShardedStore(shardlab_schema(), 2)
+        store.insert("Alpha", name="dup", score=1)
+        with pytest.raises(ConstraintViolation) as excinfo:
+            store.insert("Alpha", name="dup", score=2)
+        assert "ShardLab.Alpha.cc_key" in excinfo.value.constraint_names
+
+    def test_unknown_oid_message_matches_plain_store(self):
+        plain = ObjectStore(shardlab_schema())
+        sharded = ShardedStore(shardlab_schema(), 2)
+        with pytest.raises(EngineError) as plain_exc:
+            plain.get("Alpha#99")
+        with pytest.raises(EngineError) as shard_exc:
+            sharded.get("Alpha#99")
+        assert type(plain_exc.value) is type(shard_exc.value)
+
+    def test_explain_violations_works_on_router(self):
+        store = ShardedStore(shardlab_schema(), 2, enforce=False)
+        store.insert("Alpha", name="bad", score=-5)
+        cores = store.explain_violations()
+        assert any("oc_a" in core.constraint_name for core in cores)
+
+
+# ---------------------------------------------------------------------------
+# the CLI surface
+# ---------------------------------------------------------------------------
+
+
+class TestShardingCli:
+    def _make_store(self, tmp_path, sync=False):
+        store = ShardedStore.open(tmp_path, shardlab_schema(), 2, sync=sync)
+        _scripted_mix(store)
+        store.close()
+
+    def test_fsck_all_clean(self, tmp_path, capsys):
+        from repro.cli import main
+
+        self._make_store(tmp_path)
+        assert main(["fsck", "--all", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "shard-0" in out and "shard-1" in out
+
+    def test_fsck_all_deep_audits_whole_store(self, tmp_path, capsys):
+        from repro.cli import main
+
+        self._make_store(tmp_path)
+        assert main(["fsck", "--all", "--deep", str(tmp_path)]) == 0
+        assert "deep audit: all constraints hold" in capsys.readouterr().out
+
+    def test_fsck_all_reports_worst_shard(self, tmp_path):
+        from repro.cli import main
+
+        self._make_store(tmp_path)
+        log = shard_directory(tmp_path, 1) / LOG_NAME
+        with log.open("ab") as handle:
+            handle.write(b"\x00garbage tail not a frame\n")
+        assert main(["fsck", "--all", str(tmp_path)]) >= 1
+        # The single-directory scrub agrees on the damaged shard...
+        assert main(["fsck", str(shard_directory(tmp_path, 1))]) >= 1
+        # ...and the intact shard still scrubs clean.
+        assert main(["fsck", str(shard_directory(tmp_path, 0))]) == 0
+
+    def test_fsck_all_without_shards_is_fatal(self, tmp_path):
+        from repro.cli import main
+
+        assert main(["fsck", "--all", str(tmp_path)]) == 2
+
+    def test_stress_shards_in_memory(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "stress",
+                    "--shards",
+                    "2",
+                    "--seconds",
+                    "0.2",
+                    "--objects",
+                    "40",
+                    "--writers",
+                    "1",
+                    "--readers",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "across 2 shard(s)" in out
+        assert "fast-path op(s)" in out
+        assert "shard 0: " in out and "shard 1: " in out
+        assert "all constraints hold" in out
+
+    def test_stress_shards_durable_reports_group_commit(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "stress",
+                    "--shards",
+                    "2",
+                    "--seconds",
+                    "0.2",
+                    "--objects",
+                    "40",
+                    "--writers",
+                    "2",
+                    "--readers",
+                    "1",
+                    "--dir",
+                    str(tmp_path / "db"),
+                    "--sync",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "two-phase commit(s)" in out
+        assert "fsyncs/commit" in out
+        # The directory the stressor leaves behind scrubs clean.
+        assert main(["fsck", "--all", str(tmp_path / "db")]) == 0
