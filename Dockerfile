@@ -1,0 +1,21 @@
+# The served store: `repro serve` in a container.  The engine is pure
+# Python (no runtime dependencies), so the image is just an interpreter
+# plus src/.  Tenant stores persist under /data — mount a volume there.
+FROM python:3.12-slim
+
+WORKDIR /app
+COPY src/ src/
+
+ENV PYTHONPATH=/app/src \
+    PYTHONUNBUFFERED=1
+
+EXPOSE 7707
+VOLUME /data
+
+# Exec form so SIGTERM reaches the server directly: `docker stop` runs
+# the clean-shutdown path (every tenant store checkpointed and closed).
+ENTRYPOINT ["python", "-m", "repro", "serve"]
+CMD ["--host", "0.0.0.0", "--port", "7707", "--root", "/data"]
+
+HEALTHCHECK --interval=30s --timeout=3s --start-period=5s \
+    CMD python -c "import socket; socket.create_connection(('127.0.0.1', 7707), 2).close()"

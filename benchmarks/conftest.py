@@ -80,6 +80,19 @@ def pytest_generate_tests(metafunc):
         # where per-commit noise is negligible.
         sizes = [200] if quick else [200, 800]
         metafunc.parametrize("e21_size", sizes)
+    if "e22_conns" in metafunc.fixturenames:
+        # Concurrent connections against one served tenant.  The
+        # coalescing gate (≤0.2 fsyncs/commit) is defined at 16; the 1-
+        # and 4-connection cases record the latency floor and the trend,
+        # and the solo case gates the lone-committer fast path (~1
+        # fsync/commit), so all three run even in --quick mode.
+        metafunc.parametrize("e22_conns", [1, 4, 16])
+    if "e22_size" in metafunc.fixturenames:
+        # Commits per connection per measured round.  Both gates hold
+        # from 50 commits up; the full run uses 200 where the fsync
+        # ratio has fully converged.
+        sizes = [50] if quick else [200]
+        metafunc.parametrize("e22_size", sizes)
     if "e17_size" in metafunc.fixturenames:
         # Snapshot-reader throughput under a sustained writer; the
         # degradation gate holds at every size, so --quick keeps one.

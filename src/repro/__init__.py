@@ -32,6 +32,10 @@ Package map (see DESIGN.md for the full inventory):
   Figure 3 workbench; plus the two motivating applications (query
   optimisation, update validation);
 * :mod:`repro.reverse` — relational→TM reverse engineering ([VeA95]);
+* :mod:`repro.server` / :mod:`repro.client` — the network front-end: an
+  asyncio multi-tenant server and the blocking client whose
+  :class:`~repro.client.RemoteStore` satisfies the same
+  :class:`~repro.engine.api.StoreAPI` protocol as the embedded stores;
 * :mod:`repro.fixtures` — the paper's running examples, ready to use.
 """
 
@@ -52,9 +56,13 @@ from repro.engine import (
     ObjectStore,
     ShardedStore,
     SimulatedCrash,
+    SnapshotAPI,
+    StoreAPI,
+    TransactionAPI,
     fsck,
     select,
 )
+from repro.client import connect
 from repro.errors import (
     ConstraintViolation,
     ReproError,
@@ -110,6 +118,10 @@ __all__ = [
     "is_satisfiable",
     "ObjectStore",
     "ShardedStore",
+    "StoreAPI",
+    "TransactionAPI",
+    "SnapshotAPI",
+    "connect",
     "DBObject",
     "select",
     "DatabaseSchema",

@@ -665,6 +665,60 @@ def _run_stress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    """``repro serve``: the asyncio multi-tenant server, in the foreground.
+
+    SIGINT/SIGTERM (or ``--seconds``) trigger the clean shutdown path:
+    connections drained, open transactions rolled back, every tenant store
+    checkpointed and closed.
+    """
+    import asyncio
+    import contextlib
+    import signal
+
+    from repro.server import ReproServer, ServerConfig
+
+    if args.sync and not args.root:
+        print("repro serve: --sync requires --root", file=sys.stderr)
+        return 2
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        root=args.root,
+        sync=args.sync,
+        max_connections=args.max_connections,
+        max_inflight=args.max_inflight,
+        idle_timeout=args.idle_timeout,
+    )
+
+    async def run() -> int:
+        server = ReproServer(config)
+        host, port = await server.start()
+        where = (
+            f"durable tenants under {args.root}"
+            if args.root
+            else "in-memory tenants"
+        )
+        print(f"repro server listening on {host}:{port} ({where})")
+        if args.port_file:
+            Path(args.port_file).write_text(f"{port}\n")
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, ValueError):
+                loop.add_signal_handler(sig, server.request_stop)
+        if args.seconds is not None:
+            loop.call_later(args.seconds, server.request_stop)
+        await server.serve_forever()
+        print("repro server: clean shutdown (tenant stores checkpointed)")
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:  # fallback when signal handlers can't install
+        return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -817,7 +871,57 @@ def main(argv: list[str] | None = None) -> int:
         "transactions, with per-shard group-commit stats",
     )
 
+    serve = commands.add_parser(
+        "serve",
+        help="serve stores over TCP: a multi-tenant asyncio server "
+        "speaking the repro wire protocol (connect with repro.client)",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port", type=int, default=7707,
+        help="bind port; 0 picks an ephemeral one (default 7707)",
+    )
+    serve.add_argument(
+        "--root", default=None,
+        help="directory for durable tenant stores under ROOT/<tenant>/ "
+        "(default: tenants are in-memory)",
+    )
+    serve.add_argument(
+        "--sync", action="store_true",
+        help="fsync every commit instead of group commit (requires --root)",
+    )
+    serve.add_argument(
+        "--max-connections", type=int, default=64,
+        help="admission limit; surplus connections get a retryable "
+        "rejection frame (default 64)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=32,
+        help="concurrently executing store operations across all "
+        "connections; 0 disables the cap (default 32)",
+    )
+    serve.add_argument(
+        "--idle-timeout", type=float, default=300.0,
+        help="checkpoint and close tenant stores unleased for this many "
+        "seconds; 0 disables eviction (default 300)",
+    )
+    serve.add_argument(
+        "--port-file", default=None,
+        help="write the bound port to this file once listening (for "
+        "scripts wrapping --port 0)",
+    )
+    serve.add_argument(
+        "--seconds", type=float, default=None,
+        help="serve for this long, then shut down cleanly (default: "
+        "until SIGINT/SIGTERM)",
+    )
+
     args = parser.parse_args(argv)
+
+    if args.command == "serve":
+        return _run_serve(args)
 
     if args.command in ("recover", "snapshot"):
         return _run_durable_command(args)

@@ -1,0 +1,408 @@
+"""``repro.client`` — the blocking network client.
+
+:func:`connect` dials a :class:`repro.server.ReproServer` and returns a
+:class:`RemoteStore` satisfying the same
+:class:`~repro.engine.api.StoreAPI` protocol as the embedded
+:class:`~repro.engine.store.ObjectStore` — same methods, same returned
+object shapes (:class:`~repro.engine.objects.DBObject` value copies), and
+the *same exception classes*: a constraint broken on the server re-raises
+here as :class:`~repro.errors.ConstraintViolation` with its structured
+``violations`` (so ``constraint_names`` works), its subset-minimal
+conflict cores and its message; a poisoned store raises
+:class:`~repro.errors.StorePoisonedError`; and so on through the typed
+error mapping in :mod:`repro.server.protocol`.  Code written against
+``StoreAPI`` runs unchanged embedded or remote::
+
+    import repro.client
+
+    store = repro.client.connect(("127.0.0.1", 7707),
+                                 tenant="acme", schema=SCHEMA_SOURCE)
+    with store.transaction():
+        store.insert("Publication", isbn=1, ourprice=10, shopprice=12, ...)
+    store.close()
+
+One connection serves one request at a time (a lock serializes the
+request/response exchange, so a ``RemoteStore`` may be shared across
+threads); open several connections for parallelism — the server funnels
+their commits into its group-commit window.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from collections.abc import Iterable, Iterator, Mapping
+from types import TracebackType
+from typing import Any
+
+from repro.engine.enforcement import Violation
+from repro.engine.explain import ConflictCore
+from repro.engine.objects import DBObject
+from repro.engine.wal import encode_state
+from repro.errors import ConnectionLostError, ProtocolError
+from repro.server import protocol
+
+__all__ = ["connect", "RemoteStore", "RemoteSnapshot", "RemoteTransaction"]
+
+
+def connect(
+    address: tuple[str, int] | str,
+    *,
+    tenant: str | None = None,
+    schema: str | None = None,
+    shards: int | None = None,
+    spread: Iterable[str] = (),
+    codec: str | None = None,
+    timeout: float | None = None,
+) -> RemoteStore:
+    """Dial a server; optionally open a tenant in the same breath.
+
+    ``address`` is ``(host, port)`` or ``"host:port"``.  ``codec`` asks
+    the server for a specific frame codec (it falls back to ``json`` when
+    either end cannot speak the request).  ``timeout`` bounds the TCP
+    connect only — established connections block until the server answers.
+    """
+    if isinstance(address, str):
+        host, _, port_text = address.rpartition(":")
+        if not host:
+            raise ProtocolError(f"address {address!r} is not 'host:port'")
+        address = (host, int(port_text))
+    sock = socket.create_connection(address, timeout=timeout)
+    sock.settimeout(None)
+    store = RemoteStore(sock, codec=codec)
+    if tenant is not None:
+        store.open(
+            tenant, schema=schema, shards=shards, spread=spread
+        )
+    return store
+
+
+class RemoteStore:
+    """A :class:`~repro.engine.api.StoreAPI` view of a server-side store."""
+
+    def __init__(self, sock: socket.socket, *, codec: str | None = None):
+        self._sock: socket.socket | None = sock
+        self._codec = "json"
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self.tenant: str | None = None
+        self._durable = False
+        hello = self._call(
+            protocol.OP_HELLO, **({"codec": codec} if codec else {})
+        )
+        #: Server-confirmed protocol metadata from the hello exchange.
+        self.server_info: dict[str, Any] = {
+            "server": hello.get("server"),
+            "version": hello.get("version"),
+            "codec": hello.get("codec", "json"),
+        }
+        self._codec = str(hello.get("codec", "json"))
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _call(self, op: str, **fields: Any) -> dict[str, Any]:
+        """One request/response exchange; raises the decoded server error."""
+        with self._lock:
+            sock = self._sock
+            if sock is None:
+                raise ConnectionLostError("this client is closed")
+            request: dict[str, Any] = {"id": next(self._ids), "op": op}
+            request.update(fields)
+            protocol.send_frame(sock, request, self._codec)
+            response = protocol.recv_frame(sock, self._codec)
+        if response.get("ok"):
+            if response.get("id") not in (request["id"], None):
+                raise ProtocolError(
+                    f"response id {response.get('id')!r} does not match "
+                    f"request id {request['id']!r}"
+                )
+            return response
+        raise protocol.decode_error(dict(response.get("error") or {}))
+
+    def open(
+        self,
+        tenant: str,
+        *,
+        schema: str | None = None,
+        shards: int | None = None,
+        spread: Iterable[str] = (),
+    ) -> dict[str, Any]:
+        """Lease a tenant store on this connection (see
+        :meth:`repro.server.tenants.TenantRegistry.lease`)."""
+        fields: dict[str, Any] = {"tenant": tenant}
+        if schema is not None:
+            fields["schema"] = schema
+        if shards is not None:
+            fields["shards"] = shards
+        if spread:
+            fields["spread"] = list(spread)
+        response = self._call(protocol.OP_OPEN, **fields)
+        self.tenant = tenant
+        self._durable = bool(response.get("durable"))
+        return {
+            "tenant": response.get("tenant"),
+            "database": response.get("database"),
+            "durable": self._durable,
+            "objects": response.get("objects"),
+        }
+
+    # -- StoreAPI: mutation ------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        return self._durable
+
+    def insert(
+        self,
+        class_name: str,
+        state: Mapping[str, Any] | None = None,
+        **kwargs: Any,
+    ) -> DBObject:
+        merged = dict(state) if state is not None else {}
+        merged.update(kwargs)
+        response = self._call(
+            protocol.OP_INSERT,
+            **{"class": class_name, "state": encode_state(merged)},
+        )
+        return protocol.decode_object(response["object"])
+
+    def update(self, target: Any, **changes: Any) -> DBObject:
+        response = self._call(
+            protocol.OP_UPDATE,
+            oid=_oid(target),
+            changes=encode_state(changes),
+        )
+        return protocol.decode_object(response["object"])
+
+    def delete(self, target: Any) -> None:
+        self._call(protocol.OP_DELETE, oid=_oid(target))
+
+    # -- StoreAPI: reading -------------------------------------------------
+
+    def get(self, oid: str) -> DBObject:
+        response = self._call(protocol.OP_GET, oid=oid)
+        return protocol.decode_object(response["object"])
+
+    def extent(self, class_name: str, deep: bool = True) -> list[DBObject]:
+        response = self._call(
+            protocol.OP_EXTENT, **{"class": class_name, "deep": deep}
+        )
+        return [protocol.decode_object(obj) for obj in response["objects"]]
+
+    def objects(self) -> Iterable[DBObject]:
+        response = self._call(protocol.OP_EXTENT, **{"class": None})
+        return [protocol.decode_object(obj) for obj in response["objects"]]
+
+    def query(
+        self,
+        class_name: str,
+        where: Mapping[str, Any] | None = None,
+        deep: bool = True,
+        limit: int | None = None,
+    ) -> list[DBObject]:
+        """Server-side filtered extent: attribute-equality ``where`` with
+        an optional ``limit``, evaluated without shipping the extent."""
+        response = self._call(
+            protocol.OP_QUERY,
+            **{
+                "class": class_name,
+                "deep": deep,
+                "where": encode_state(dict(where or {})),
+                "limit": limit,
+            },
+        )
+        return [protocol.decode_object(obj) for obj in response["objects"]]
+
+    def __len__(self) -> int:
+        entry = self.stats().get("tenant") or {}
+        return int(entry.get("objects", 0))
+
+    def __contains__(self, oid: str) -> bool:
+        from repro.errors import UnknownObjectError
+
+        try:
+            self.get(oid)
+        except UnknownObjectError:
+            return False
+        return True
+
+    # -- StoreAPI: transactions and snapshots ------------------------------
+
+    def transaction(self, validate: bool = True) -> RemoteTransaction:
+        """A deferred-validation bracket mirroring the embedded one: the
+        whole bracket runs against the server-side transaction opened on
+        this connection's pinned worker thread."""
+        return RemoteTransaction(self, validate)
+
+    def snapshot(self) -> RemoteSnapshot:
+        response = self._call(protocol.OP_SNAPSHOT_OPEN)
+        return RemoteSnapshot(
+            self, str(response["snapshot"]), int(response.get("objects", 0))
+        )
+
+    # -- StoreAPI: auditing and administration -----------------------------
+
+    def audit(self) -> list[Violation]:
+        response = self._call(protocol.OP_AUDIT)
+        return [
+            protocol.decode_violation(violation)
+            for violation in response["violations"]
+        ]
+
+    def check_all(self) -> list[str]:
+        return [violation.describe() for violation in self.audit()]
+
+    def explain_violations(self, violations: Any = None) -> list[ConflictCore]:
+        """Conflict cores for the store's standing violations.  The server
+        recomputes from a fresh audit; the ``violations`` argument exists
+        for StoreAPI parity and must be ``None`` remotely."""
+        if violations is not None:
+            raise ProtocolError(
+                "a remote explain_violations cannot take pre-computed "
+                "violations; pass None and let the server audit"
+            )
+        response = self._call(protocol.OP_EXPLAIN)
+        return [protocol.decode_core(core) for core in response["cores"]]
+
+    def set_constant(self, name: str, value: Any) -> None:
+        self._call(
+            protocol.OP_SET_CONSTANT,
+            name=name,
+            value=protocol.encode_constant(value),
+        )
+
+    def checkpoint(self) -> None:
+        self._call(protocol.OP_CHECKPOINT)
+
+    def stats(self) -> dict[str, Any]:
+        """Server/tenant telemetry: connection counts and per-tenant
+        object/fsync/commit counters (the benchmark's measurement tap)."""
+        return self._call(protocol.OP_STATS)
+
+    def close(self) -> None:
+        """Say goodbye and drop the socket (idempotent)."""
+        with self._lock:
+            sock = self._sock
+            if sock is None:
+                return
+            self._sock = None
+        try:
+            protocol.send_frame(
+                sock, {"id": next(self._ids), "op": protocol.OP_CLOSE},
+                self._codec,
+            )
+            protocol.recv_frame(sock, self._codec)
+        except Exception:
+            pass  # closing a torn connection is still a close
+        finally:
+            sock.close()
+
+    def __enter__(self) -> RemoteStore:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class RemoteTransaction:
+    """Client half of a wire transaction bracket (:class:`TransactionAPI`)."""
+
+    def __init__(self, store: RemoteStore, validate: bool):
+        self._store = store
+        self._validate = validate
+        self._open = False
+
+    def __enter__(self) -> RemoteTransaction:
+        self._store._call(protocol.OP_TXN_BEGIN, validate=self._validate)
+        self._open = True
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        if not self._open:
+            return False
+        self._open = False
+        if exc_type is None:
+            # Commit validation failures raise ConstraintViolation here —
+            # the same class, violations and cores the embedded bracket
+            # raises — after the server has rolled the transaction back.
+            self._store._call(protocol.OP_TXN_COMMIT)
+            return False
+        try:
+            self._store._call(protocol.OP_TXN_ABORT)
+        except ConnectionLostError:
+            pass  # the server rolls back on disconnect anyway
+        return False  # propagate the caller's exception
+
+
+class RemoteSnapshot:
+    """Client handle for a server-side pinned snapshot
+    (:class:`SnapshotAPI`).  Reads go to the pinned version; the live
+    store keeps moving underneath."""
+
+    def __init__(self, store: RemoteStore, handle: str, size: int):
+        self._store = store
+        self._handle = handle
+        self._size = size
+        self._closed = False
+
+    def get(self, oid: str) -> DBObject:
+        response = self._store._call(
+            protocol.OP_SNAPSHOT_GET, snapshot=self._handle, oid=oid
+        )
+        return protocol.decode_object(response["object"])
+
+    def extent(self, class_name: str, deep: bool = True) -> list[DBObject]:
+        response = self._store._call(
+            protocol.OP_SNAPSHOT_EXTENT,
+            **{"snapshot": self._handle, "class": class_name, "deep": deep},
+        )
+        return [protocol.decode_object(obj) for obj in response["objects"]]
+
+    def objects(self) -> Iterator[DBObject]:
+        response = self._store._call(
+            protocol.OP_SNAPSHOT_EXTENT,
+            **{"snapshot": self._handle, "class": None},
+        )
+        yield from (
+            protocol.decode_object(obj) for obj in response["objects"]
+        )
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, oid: object) -> bool:
+        from repro.errors import UnknownObjectError
+
+        try:
+            self.get(str(oid))
+        except UnknownObjectError:
+            return False
+        return True
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._store._call(
+                protocol.OP_SNAPSHOT_CLOSE, snapshot=self._handle
+            )
+        except ConnectionLostError:
+            pass  # the server releases snapshots on disconnect
+
+    def __enter__(self) -> RemoteSnapshot:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _oid(target: Any) -> str:
+    """Accept an object (anything with an ``oid``) or a bare oid string."""
+    return str(getattr(target, "oid", target))

@@ -39,9 +39,22 @@ constraint of its TM schema.
   stores (:class:`~repro.engine.sharding.ShardedStore`) that route
   operations to independent shard cores behind a constraint-aware commit
   router, with two-phase commit across shard WALs for cross-shard
-  transactions.
+  transactions;
+* :mod:`~repro.engine.api` — the unified :class:`StoreAPI` protocol that
+  :class:`~repro.engine.store.ObjectStore`,
+  :class:`~repro.engine.sharding.ShardedStore` and the network client's
+  :class:`~repro.client.RemoteStore` all
+  satisfy (mypy-enforced): the supported public surface, so code written
+  against it runs unchanged embedded or remote.
 """
 
+from repro.engine.api import (
+    SnapshotAPI,
+    StoreAPI,
+    StoredObject,
+    TransactionAPI,
+    ViolationLike,
+)
 from repro.engine.concurrency import ConcurrencyControl, Snapshot, SnapshotObject
 from repro.engine.faults import (
     FaultInjector,
@@ -60,10 +73,16 @@ from repro.engine.incremental import (
     delta_violations,
 )
 from repro.engine.indexes import IndexManager, KeyIndex, RunningAggregate
-from repro.engine.sharding import ShardedStore, plan_placement
+from repro.engine.sharding import MergedSnapshot, ShardedStore, plan_placement
 from repro.engine.wal import FsckReport, WriteAheadLog, fsck
 
 __all__ = [
+    "StoreAPI",
+    "TransactionAPI",
+    "SnapshotAPI",
+    "StoredObject",
+    "ViolationLike",
+    "MergedSnapshot",
     "ConcurrencyControl",
     "Snapshot",
     "SnapshotObject",

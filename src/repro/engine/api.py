@@ -1,0 +1,205 @@
+"""``StoreAPI`` — the unified store protocol every store flavor satisfies.
+
+The engine grew three ways to hold a database — the plain
+:class:`~repro.engine.store.ObjectStore`, the shard-partitioned
+:class:`~repro.engine.sharding.ShardedStore`, and (since the serving PR)
+the network-attached :class:`~repro.client.RemoteStore` — and every
+consumer above the engine (the integration workbench, the CLI, the server,
+tests, benchmarks) should be able to take any of them interchangeably.
+This module pins that contract down as typed :class:`typing.Protocol`
+classes instead of folklore:
+
+* :class:`StoreAPI` — the store surface: mutation
+  (``insert``/``update``/``delete``), deferred-validation ``transaction``
+  brackets, point-in-time ``snapshot`` reads, whole-store ``audit`` /
+  ``check_all`` / ``explain_violations``, durable ``set_constant`` /
+  ``checkpoint`` / ``close``, and the read accessors (``get``, ``extent``,
+  ``objects``, ``len``, ``in``).
+* :class:`TransactionAPI` — what ``store.transaction()`` returns: a
+  reentrant-safe context manager that validates at exit and rolls back on
+  failure.
+* :class:`SnapshotAPI` — what ``store.snapshot()`` returns: an immutable
+  point-in-time view with ``get``/``extent``/``objects`` mirroring the
+  live accessors, released by ``close()`` or context-manager exit.
+* :class:`StoredObject` — the object shape all three return: an ``oid``,
+  a most-specific ``class_name`` and a ``state`` mapping.
+
+The protocols are ``runtime_checkable`` so tests can assert conformance
+with ``isinstance`` (structure only — signatures are checked statically).
+The real enforcement is the :data:`_conformance` block at the bottom:
+mypy (strict on this module, see ``pyproject.toml``) verifies that
+``ObjectStore``, ``ShardedStore`` and ``RemoteStore`` each structurally
+satisfy :class:`StoreAPI`, so signature drift between the flavors is a
+type error, not a runtime surprise.
+
+This protocol — not the concrete classes — is the supported public
+surface: code written against :class:`StoreAPI` runs unchanged embedded
+or over the wire.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from types import TracebackType
+from typing import Any, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class StoredObject(Protocol):
+    """A stored object: identity, most-specific class, attribute state."""
+
+    @property
+    def oid(self) -> str: ...
+
+    @property
+    def class_name(self) -> str: ...
+
+    @property
+    def state(self) -> Mapping[str, Any]: ...
+
+
+@runtime_checkable
+class ViolationLike(Protocol):
+    """One audit finding: a constraint name plus a human-readable detail."""
+
+    @property
+    def constraint_name(self) -> str: ...
+
+    @property
+    def detail(self) -> str: ...
+
+    def describe(self) -> str: ...
+
+
+@runtime_checkable
+class TransactionAPI(Protocol):
+    """A deferred-validation transaction bracket.
+
+    Entering defers constraint checking; a clean exit validates everything
+    the bracket touched and commits, raising
+    :class:`~repro.errors.ConstraintViolation` (after rolling back) when a
+    constraint is broken; an exceptional exit rolls back.
+    """
+
+    def __enter__(self) -> object: ...
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool: ...
+
+
+@runtime_checkable
+class SnapshotAPI(Protocol):
+    """An immutable point-in-time view of the committed store.
+
+    Mirrors the live read accessors.  Snapshots are context managers;
+    ``close()`` (or exit) releases the pinned version so the store's
+    version history can be garbage-collected.
+    """
+
+    def get(self, oid: str) -> Any: ...
+
+    def extent(self, class_name: str, deep: bool = True) -> list[Any]: ...
+
+    def objects(self) -> Iterable[Any]: ...
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, oid: object) -> bool: ...
+
+    def close(self) -> None: ...
+
+    def __enter__(self) -> SnapshotAPI: ...
+
+    def __exit__(self, *exc_info: object) -> None: ...
+
+
+@runtime_checkable
+class StoreAPI(Protocol):
+    """The unified store surface (see the module docstring).
+
+    Contract notes shared by every implementation:
+
+    * ``insert`` mints the oid; ``update``/``delete`` accept an object or
+      its oid.  All three raise :class:`~repro.errors.ConstraintViolation`
+      (store left unchanged) when the mutation would break a constraint,
+      and :class:`~repro.errors.StorePoisonedError` once a durable store
+      has fail-stopped.
+    * ``transaction(validate=False)`` hands commit-time consistency to the
+      caller; everything else should leave validation on.
+    * ``snapshot`` never blocks on writers (remote stores pin the snapshot
+      server-side).
+    * ``audit`` returns structured violations; a clean pass re-baselines
+      incremental enforcement.  ``check_all`` is its description-only
+      convenience form.
+    * ``checkpoint`` raises :class:`~repro.errors.EngineError` on
+      non-durable stores — probe ``durable`` first.
+    * ``close`` flushes and releases durable resources (and, for remote
+      stores, the connection); it is idempotent.
+    """
+
+    @property
+    def durable(self) -> bool: ...
+
+    def insert(
+        self,
+        class_name: str,
+        state: Mapping[str, Any] | None = None,
+        **kwargs: Any,
+    ) -> Any: ...
+
+    def update(self, target: Any, **changes: Any) -> Any: ...
+
+    def delete(self, target: Any) -> None: ...
+
+    def get(self, oid: str) -> Any: ...
+
+    def extent(self, class_name: str, deep: bool = True) -> list[Any]: ...
+
+    def objects(self) -> Iterable[Any]: ...
+
+    def __len__(self) -> int: ...
+
+    def __contains__(self, oid: str) -> bool: ...
+
+    def transaction(self, validate: bool = True) -> TransactionAPI: ...
+
+    def snapshot(self) -> SnapshotAPI: ...
+
+    def audit(self) -> list[Any]: ...
+
+    def check_all(self) -> list[str]: ...
+
+    def explain_violations(self, violations: Any = None) -> list[Any]: ...
+
+    def set_constant(self, name: str, value: Any) -> None: ...
+
+    def checkpoint(self) -> None: ...
+
+    def close(self) -> None: ...
+
+
+def _conformance() -> None:  # pragma: no cover - exists for mypy only
+    """Static conformance proof: assigning each store flavor to a
+    ``StoreAPI``-typed name makes signature drift a mypy error.  Never
+    called; the imports are local so the module has no runtime cost."""
+    from repro.client import RemoteStore
+    from repro.engine.sharding import ShardedStore
+    from repro.engine.store import ObjectStore
+
+    stores: list[StoreAPI] = []
+
+    def _accept(store: StoreAPI) -> None:
+        stores.append(store)
+
+    def _check(
+        plain: ObjectStore, sharded: ShardedStore, remote: RemoteStore
+    ) -> None:
+        _accept(plain)
+        _accept(sharded)
+        _accept(remote)
+
+    del _check

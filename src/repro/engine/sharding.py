@@ -1009,8 +1009,24 @@ class ShardedStore:
                 )
         return store
 
+    @property
+    def durable(self) -> bool:
+        """Whether any shard core writes through to a write-ahead log.
+        Cores are homogeneous (all durable or none), so this mirrors
+        :attr:`ObjectStore.durable` exactly."""
+        return any(core.wal is not None for core in self.cores)
+
     def checkpoint(self) -> None:
-        """Checkpoint every durable core (snapshot + log compaction)."""
+        """Checkpoint every durable core (snapshot + log compaction).
+
+        Raises :class:`~repro.errors.EngineError` on a fully in-memory
+        sharded store and inside a transaction — the same contract as
+        :meth:`ObjectStore.checkpoint`, so :class:`StoreAPI` callers see
+        one behaviour whichever flavor they hold."""
+        if not self.durable:
+            raise EngineError("store has no write-ahead log attached")
+        if self._txn_depth:
+            raise EngineError("cannot checkpoint inside a transaction")
         for core in self.cores:
             if core.wal is not None:
                 core.checkpoint()
@@ -1019,13 +1035,38 @@ class ShardedStore:
         for core in self.cores:
             core.close()
 
+    def snapshot(self) -> "MergedSnapshot":
+        """An immutable point-in-time view of the *merged* committed store.
+
+        A cut that is consistent across cores requires quiescing them:
+        the router briefly acquires every core's writer lock (in shard
+        order, the global acquisition order), takes one per-core snapshot
+        under each, and releases.  Acquisition is therefore O(shards) lock
+        hops — heavier than a single core's O(1) snapshot, but still
+        non-blocking for readers once taken, and it never waits on fsyncs
+        (commits release their writer lock before redeeming group-commit
+        tickets).  Per-shard readers that do not need a cross-shard cut
+        should prefer :meth:`snapshots`."""
+        taken: list = []
+        held: "list[ObjectStore]" = []
+        with self._lock:
+            try:
+                for core in self.cores:
+                    core._lock.acquire()
+                    held.append(core)
+                for core in self.cores:
+                    taken.append(core.snapshot())
+            finally:
+                for core in reversed(held):
+                    core._lock.release()
+        return MergedSnapshot(taken)
+
     def snapshots(self) -> list:
         """One immutable point-in-time snapshot per core, taken in shard
-        order.  There is deliberately no merged snapshot: a cut that is
-        consistent across cores would need the router to quiesce them all,
-        which is what snapshots exist to avoid — per-core snapshots are
-        each internally consistent, which is what the per-shard readers
-        (backups, per-shard scans) need."""
+        order *without* quiescing the router: each is internally
+        consistent, but the cut is not coordinated across cores — what
+        per-shard readers (backups, per-shard scans) need.  Use
+        :meth:`snapshot` for a consistent cross-shard cut."""
         return [core.snapshot() for core in self.cores]
 
     def shard_stats(self) -> list[dict[str, Any]]:
@@ -1249,3 +1290,94 @@ class _ShardedTransaction:
         # bypass the normal commit exit); the next single-shard operation
         # on a core triggers its checkpoint as usual.
         self._close(rest, None, None, None)
+
+
+# ---------------------------------------------------------------------------
+# merged snapshots
+# ---------------------------------------------------------------------------
+
+
+class MergedSnapshot:
+    """A consistent cross-shard cut: one per-core snapshot per shard, taken
+    while :meth:`ShardedStore.snapshot` held every core's writer lock.
+
+    Read accessors mirror :class:`~repro.engine.concurrency.Snapshot`:
+    ``get`` routes by the oid's shard namespace (falling back to probing
+    every member), ``extent`` merges per-core extents in global
+    ``(counter, oid)`` order, and closing releases every member's version
+    pin.  Immutable and safe to read from any thread, like its members.
+    """
+
+    __slots__ = ("_members",)
+
+    def __init__(self, members: list):
+        self._members = list(members)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        for member in self._members:
+            member.close()
+
+    def __enter__(self) -> "MergedSnapshot":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- reads -------------------------------------------------------------
+
+    def _member_for(self, oid: str):
+        shard = oid_shard(oid)
+        if shard is not None and 0 <= shard < len(self._members):
+            return self._members[shard]
+        return None
+
+    def __contains__(self, oid: object) -> bool:
+        if not isinstance(oid, str):
+            return False
+        member = self._member_for(oid)
+        if member is not None and oid in member:
+            return True
+        return any(oid in candidate for candidate in self._members)
+
+    def get(self, oid: str):
+        member = self._member_for(oid)
+        if member is not None and oid in member:
+            return member.get(oid)
+        for candidate in self._members:
+            if oid in candidate:
+                return candidate.get(oid)
+        raise UnknownObjectError(
+            f"no object with identifier {oid!r} in the merged snapshot"
+        )
+
+    def get_attr(self, obj: Any, name: str) -> Any:
+        """Reference-dereferencing attribute read across the cut: the
+        member that owns ``obj`` resolves plain values and same-core
+        references; a cross-core reference resolves through the merged
+        lookup at this cut."""
+        member = self._member_for(getattr(obj, "oid", "")) or self._members[0]
+        try:
+            return member.get_attr(obj, name)
+        except UnknownObjectError:
+            value = obj.state[name]
+            if isinstance(value, str) and value in self:
+                return self.get(value)
+            raise
+
+    def extent(self, class_name: str, deep: bool = True) -> list:
+        merged = [
+            obj
+            for member in self._members
+            for obj in member.extent(class_name, deep)
+        ]
+        merged.sort(key=lambda obj: oid_sort_key(obj.oid))
+        return merged
+
+    def objects(self):
+        for member in self._members:
+            yield from member.objects()
+
+    def __len__(self) -> int:
+        return sum(len(member) for member in self._members)

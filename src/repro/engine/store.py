@@ -668,6 +668,15 @@ class ObjectStore:
         """The attached write-ahead log; ``None`` on in-memory stores."""
         return self._wal
 
+    @property
+    def durable(self) -> bool:
+        """Whether this store writes through to a write-ahead log.
+
+        Part of the :class:`~repro.engine.api.StoreAPI` surface: callers
+        probe it before :meth:`checkpoint`, which refuses on in-memory
+        stores."""
+        return self._wal is not None
+
     @classmethod
     def open(
         cls,

@@ -143,6 +143,46 @@ class ConstraintViolation(EngineError):
         return (self.constraint_name,)
 
 
+class ServerError(ReproError):
+    """Base class for errors raised by the network server and client
+    (:mod:`repro.server`, :mod:`repro.client`).
+
+    Engine errors crossing the wire do **not** arrive as ``ServerError`` —
+    the protocol maps them back to their original classes
+    (:class:`ConstraintViolation` with structured violations and conflict
+    cores, :class:`StorePoisonedError`, :class:`SchemaError`, ...), so
+    remote callers catch exactly what embedded callers catch.  This branch
+    covers what only exists over a wire: framing damage, admission
+    rejections, connection loss.
+    """
+
+
+class ProtocolError(ServerError):
+    """A wire frame was malformed: oversized, truncated, undecodable, an
+    unknown operation, or a reference to server-side state (transaction,
+    snapshot, tenant) the connection does not hold."""
+
+
+class AdmissionError(ServerError):
+    """The server refused the request to protect itself (connection limit,
+    in-flight cap, draining for shutdown).
+
+    ``retryable`` distinguishes back-off-and-retry rejections (the limit
+    is transient — another client may disconnect) from permanent ones.
+    """
+
+    def __init__(self, message: str, retryable: bool = True):
+        self.retryable = retryable
+        super().__init__(message)
+
+
+class ConnectionLostError(ServerError):
+    """The transport died mid-conversation: the peer closed the socket (or
+    the frame stream tore) before a response arrived.  Any in-flight
+    operation's outcome is unknown to the client; the server side rolls
+    open transactions back and releases the connection's leases."""
+
+
 class IntegrationError(ReproError):
     """Base class for errors raised by the integration machinery."""
 

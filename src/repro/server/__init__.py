@@ -1,0 +1,30 @@
+"""The network front-end: serve stores to remote clients over TCP.
+
+* :mod:`~repro.server.protocol` — the wire protocol both ends share:
+  length-prefixed frames, json/msgpack codecs, object/violation/conflict-
+  core codecs, and the typed error mapping that re-raises engine
+  exceptions client-side as their original classes;
+* :mod:`~repro.server.tenants` — the multi-tenant registry: per-tenant
+  schemas and stores (plain or sharded, in-memory or durable), lease
+  refcounting, idle eviction, shutdown checkpoints;
+* :mod:`~repro.server.service` — the asyncio server: per-connection
+  worker threads (transaction affinity + cross-connection group-commit
+  funneling), admission control, and clean lifecycle.
+
+The blocking counterpart is :mod:`repro.client`, whose
+:class:`~repro.client.RemoteStore` satisfies the same
+:class:`~repro.engine.api.StoreAPI` as the embedded stores.
+"""
+
+from repro.server.protocol import MAX_FRAME_BYTES, PROTOCOL_VERSION
+from repro.server.service import ReproServer, ServerConfig, ServerThread
+from repro.server.tenants import TenantRegistry
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "ReproServer",
+    "ServerConfig",
+    "ServerThread",
+    "TenantRegistry",
+]

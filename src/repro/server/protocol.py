@@ -1,0 +1,428 @@
+"""Wire protocol: length-prefixed frames, codecs, and typed error mapping.
+
+Shared by the asyncio server (:mod:`repro.server.service`) and the blocking
+client (:mod:`repro.client`), so both ends agree by construction.
+
+**Frame layout.**  A frame is a 4-byte big-endian unsigned payload length
+followed by exactly that many payload bytes::
+
+    +----------------+----------------------------------------+
+    | length (4B BE) | payload (length bytes, codec-encoded)  |
+    +----------------+----------------------------------------+
+
+The payload is one request or response *message* — a string-keyed mapping
+— encoded by the connection's codec.  Frames larger than
+:data:`MAX_FRAME_BYTES` are refused (:class:`~repro.errors.ProtocolError`)
+before any allocation, so a corrupt length prefix cannot balloon memory.
+
+**Codecs.**  ``json`` (always available, the default) or ``msgpack`` (used
+only when the optional dependency is importable on *both* ends — the
+client requests it in its ``hello`` and the server confirms or falls back
+to ``json``).  Values inside object states ride the write-ahead log's
+value codec (:func:`repro.engine.wal.encode_value`), so set-typed
+attributes survive the wire exactly as they survive the log.
+
+**Messages.**  Requests are ``{"id": n, "op": <OP_*>, ...}``; responses
+are ``{"id": n, "ok": true, ...result fields...}`` or ``{"id": n, "ok":
+false, "error": {...}}``.  The request id is echoed verbatim (the client
+pipelines at most one request per connection today, but the id keeps the
+protocol honest about matching).
+
+**Errors.**  :func:`encode_error` / :func:`decode_error` map engine
+exceptions to wire dicts and back to the *same exception classes*:
+a remote :class:`~repro.errors.ConstraintViolation` re-raises with its
+structured ``violations`` (real
+:class:`~repro.engine.enforcement.Violation` instances, so
+``constraint_names`` works identically), its subset-minimal conflict
+cores, and its message; :class:`~repro.errors.StorePoisonedError`,
+:class:`~repro.errors.SchemaError` and the rest re-raise as themselves.
+Unknown kinds degrade to :class:`~repro.errors.ServerError` rather than
+losing the failure.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from collections.abc import Mapping
+from typing import Any, Protocol
+
+from repro.engine.enforcement import Violation
+from repro.engine.objects import DBObject
+from repro.engine.wal import decode_state, decode_value, encode_value
+from repro.errors import (
+    AdmissionError,
+    ConnectionLostError,
+    ConstraintViolation,
+    EngineError,
+    EvaluationError,
+    ParseError,
+    ProtocolError,
+    ReproError,
+    SchemaError,
+    ServerError,
+    ShardingError,
+    StorePoisonedError,
+    TypeSystemError,
+    UnknownClassError,
+    UnknownObjectError,
+)
+
+try:  # optional accelerated codec; the protocol works without it
+    import msgpack  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover - the container has no msgpack
+    msgpack = None
+
+#: Hard ceiling on one frame's payload (checked before allocation).
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+#: Protocol revision, echoed by ``hello`` so clients can detect skew.
+PROTOCOL_VERSION = 1
+
+_LENGTH = struct.Struct(">I")
+
+# -- operations -------------------------------------------------------------
+
+OP_HELLO = "hello"
+OP_OPEN = "open"
+OP_INSERT = "insert"
+OP_UPDATE = "update"
+OP_DELETE = "delete"
+OP_GET = "get"
+OP_EXTENT = "extent"
+OP_QUERY = "query"
+OP_TXN_BEGIN = "txn_begin"
+OP_TXN_COMMIT = "txn_commit"
+OP_TXN_ABORT = "txn_abort"
+OP_SNAPSHOT_OPEN = "snapshot_open"
+OP_SNAPSHOT_GET = "snapshot_get"
+OP_SNAPSHOT_EXTENT = "snapshot_extent"
+OP_SNAPSHOT_CLOSE = "snapshot_close"
+OP_AUDIT = "audit"
+OP_EXPLAIN = "explain"
+OP_SET_CONSTANT = "set_constant"
+OP_CHECKPOINT = "checkpoint"
+OP_STATS = "stats"
+OP_CLOSE = "close"
+
+
+# -- codecs -----------------------------------------------------------------
+
+
+def available_codecs() -> tuple[str, ...]:
+    """Codec names this process can speak, preference-ordered."""
+    if msgpack is not None:  # pragma: no cover - container has no msgpack
+        return ("msgpack", "json")
+    return ("json",)
+
+
+def negotiate_codec(requested: str | None) -> str:
+    """The codec the server answers a ``hello`` with: the requested one
+    when this process speaks it, ``json`` otherwise (every peer must)."""
+    if requested in available_codecs():
+        return str(requested)
+    return "json"
+
+
+def encode_payload(message: Mapping[str, Any], codec: str) -> bytes:
+    if codec == "json":
+        return json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if codec == "msgpack" and msgpack is not None:  # pragma: no cover
+        return bytes(msgpack.packb(message, use_bin_type=True))
+    raise ProtocolError(f"unknown frame codec {codec!r}")
+
+
+def decode_payload(payload: bytes, codec: str) -> dict[str, Any]:
+    try:
+        if codec == "json":
+            message = json.loads(payload.decode("utf-8"))
+        elif codec == "msgpack" and msgpack is not None:  # pragma: no cover
+            message = msgpack.unpackb(payload, raw=False)
+        else:
+            raise ProtocolError(f"unknown frame codec {codec!r}")
+    except ProtocolError:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"undecodable {codec} frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a mapping, got {type(message).__name__}"
+        )
+    return message
+
+
+# -- framing ----------------------------------------------------------------
+
+
+def pack_frame(message: Mapping[str, Any], codec: str = "json") -> bytes:
+    """One full wire frame: length prefix + encoded payload."""
+    payload = encode_payload(message, codec)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def frame_length(prefix: bytes) -> int:
+    """Payload length behind a 4-byte prefix, bounds-checked."""
+    if len(prefix) != _LENGTH.size:
+        raise ProtocolError(f"truncated frame length prefix ({len(prefix)}B)")
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    return int(length)
+
+
+def recv_frame(sock: socket.socket, codec: str = "json") -> dict[str, Any]:
+    """Read one frame from a blocking socket (the client's read half).
+
+    Raises :class:`~repro.errors.ConnectionLostError` on EOF at a frame
+    boundary or mid-frame.
+    """
+    prefix = _recv_exact(sock, _LENGTH.size)
+    return decode_payload(_recv_exact(sock, frame_length(prefix)), codec)
+
+
+def send_frame(
+    sock: socket.socket, message: Mapping[str, Any], codec: str = "json"
+) -> None:
+    """Write one frame to a blocking socket (the client's write half)."""
+    try:
+        sock.sendall(pack_frame(message, codec))
+    except OSError as exc:
+        raise ConnectionLostError(f"connection lost while sending: {exc}") from exc
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = bytearray()
+    while len(chunks) < count:
+        try:
+            chunk = sock.recv(count - len(chunks))
+        except OSError as exc:
+            raise ConnectionLostError(
+                f"connection lost while receiving: {exc}"
+            ) from exc
+        if not chunk:
+            raise ConnectionLostError(
+                "connection closed by peer mid-frame"
+                if chunks
+                else "connection closed by peer"
+            )
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+# -- object / violation / core codecs ---------------------------------------
+
+
+def encode_object(obj: Any) -> dict[str, Any]:
+    """A stored object (live or snapshot) as a wire dict."""
+    return {
+        "oid": obj.oid,
+        "class": obj.class_name,
+        "state": {
+            name: encode_value(value) for name, value in obj.state.items()
+        },
+    }
+
+
+def decode_object(payload: Mapping[str, Any]) -> DBObject:
+    """The wire dict back as a :class:`DBObject` (the engine's own object
+    shape, so remote results quack exactly like embedded ones)."""
+    return DBObject(
+        str(payload["oid"]),
+        str(payload["class"]),
+        decode_state(dict(payload["state"])),
+    )
+
+
+def encode_violation(violation: Any) -> dict[str, Any]:
+    return {
+        "constraint_name": violation.constraint_name,
+        "detail": violation.detail,
+    }
+
+
+def decode_violation(payload: Mapping[str, Any]) -> Violation:
+    return Violation(
+        constraint_name=str(payload["constraint_name"]),
+        detail=str(payload["detail"]),
+    )
+
+
+def encode_core(core: Any) -> dict[str, Any]:
+    """A :class:`repro.engine.explain.ConflictCore` as a wire dict.  The
+    evaluator-only fields (``trace``, ``constants``, ``constraint``) stay
+    server-side; everything that participates in core equality crosses."""
+    return {
+        "constraint_name": core.constraint_name,
+        "kind": core.kind,
+        "members": [
+            {
+                "oid": member.oid,
+                "class": member.class_name,
+                "bindings": [list(binding) for binding in member.bindings],
+                "reads": list(member.reads),
+            }
+            for member in core.members
+        ],
+        "verdict": core.verdict,
+        "minimal": bool(core.minimal),
+        "checks": int(core.checks),
+    }
+
+
+def decode_core(payload: Mapping[str, Any]) -> Any:
+    """The wire dict back as a *real*
+    :class:`repro.engine.explain.ConflictCore` with
+    :class:`~repro.engine.explain.CoreMember` members — remote cores
+    compare equal (``==``) to the embedded cores they were encoded from,
+    and ``oids()`` / ``describe()`` behave identically."""
+    from repro.engine.explain import ConflictCore, CoreMember
+
+    return ConflictCore(
+        constraint_name=str(payload["constraint_name"]),
+        kind=str(payload["kind"]),
+        members=tuple(
+            CoreMember(
+                oid=str(member["oid"]),
+                class_name=str(member["class"]),
+                bindings=tuple(
+                    (str(var), str(oid))
+                    for var, oid in member.get("bindings", ())
+                ),
+                reads=tuple(str(name) for name in member.get("reads", ())),
+            )
+            for member in payload["members"]
+        ),
+        verdict=str(payload.get("verdict", "falsy")),
+        minimal=bool(payload.get("minimal", True)),
+        checks=int(payload.get("checks", 0)),
+    )
+
+
+# -- error mapping ----------------------------------------------------------
+
+
+class _ExceptionFactory(Protocol):
+    def __call__(self, payload: Mapping[str, Any]) -> ReproError: ...
+
+
+def encode_error(exc: BaseException) -> dict[str, Any]:
+    """An exception as a wire dict: ``kind`` selects the class on decode,
+    the rest carries the structured payload each kind defines."""
+    encoded: dict[str, Any] = {
+        "kind": type(exc).__name__,
+        "message": str(exc),
+    }
+    if isinstance(exc, ConstraintViolation):
+        encoded["constraint_name"] = exc.constraint_name
+        encoded["detail"] = exc.detail
+        encoded["violations"] = [
+            encode_violation(violation) for violation in exc.violations
+        ]
+        encoded["cores"] = [encode_core(core) for core in exc.cores]
+    elif isinstance(exc, AdmissionError):
+        encoded["retryable"] = exc.retryable
+    elif isinstance(exc, ParseError):
+        encoded["line"] = exc.line
+        encoded["column"] = exc.column
+    return encoded
+
+
+def _decode_constraint_violation(payload: Mapping[str, Any]) -> ConstraintViolation:
+    return ConstraintViolation(
+        str(payload.get("constraint_name", "remote")),
+        str(payload.get("detail", "")),
+        violations=[
+            decode_violation(violation)
+            for violation in payload.get("violations", ())
+        ],
+        cores=[decode_core(core) for core in payload.get("cores", ())],
+    )
+
+
+def _decode_admission_error(payload: Mapping[str, Any]) -> AdmissionError:
+    return AdmissionError(
+        str(payload.get("message", "admission refused")),
+        retryable=bool(payload.get("retryable", True)),
+    )
+
+
+def _decode_parse_error(payload: Mapping[str, Any]) -> ParseError:
+    line = payload.get("line")
+    column = payload.get("column")
+    return ParseError(
+        str(payload.get("message", "parse error")),
+        line=int(line) if line is not None else None,
+        column=int(column) if column is not None else None,
+    )
+
+
+def _plain(
+    exception_class: type[ReproError],
+) -> _ExceptionFactory:
+    def build(payload: Mapping[str, Any]) -> ReproError:
+        return exception_class(str(payload.get("message", "")))
+
+    return build
+
+
+_DECODERS: dict[str, _ExceptionFactory] = {
+    "ConstraintViolation": _decode_constraint_violation,
+    "AdmissionError": _decode_admission_error,
+    "ParseError": _decode_parse_error,
+    "StorePoisonedError": _plain(StorePoisonedError),
+    "SchemaError": _plain(SchemaError),
+    "ShardingError": _plain(ShardingError),
+    "UnknownClassError": _plain(UnknownClassError),
+    "UnknownObjectError": _plain(UnknownObjectError),
+    "EvaluationError": _plain(EvaluationError),
+    "TypeSystemError": _plain(TypeSystemError),
+    "EngineError": _plain(EngineError),
+    "ProtocolError": _plain(ProtocolError),
+    "ConnectionLostError": _plain(ConnectionLostError),
+    "ServerError": _plain(ServerError),
+    "ReproError": _plain(ReproError),
+}
+
+
+def decode_error(payload: Mapping[str, Any]) -> ReproError:
+    """The exception instance behind an error dict.
+
+    Unknown kinds (a newer server, or a non-``ReproError`` crash mapped by
+    the service layer) decode to :class:`~repro.errors.ServerError`
+    carrying the kind in the message — the failure always surfaces, typed
+    as precisely as this client knows how.
+    """
+    kind = str(payload.get("kind", "ServerError"))
+    decoder = _DECODERS.get(kind)
+    if decoder is not None:
+        return decoder(payload)
+    return ServerError(f"{kind}: {payload.get('message', '')}")
+
+
+def error_response(request_id: Any, exc: BaseException) -> dict[str, Any]:
+    """The response frame for a failed request."""
+    return {"id": request_id, "ok": False, "error": encode_error(exc)}
+
+
+def ok_response(request_id: Any, **fields: Any) -> dict[str, Any]:
+    """The response frame for a successful request."""
+    response: dict[str, Any] = {"id": request_id, "ok": True}
+    response.update(fields)
+    return response
+
+
+def encode_constant(value: Any) -> Any:
+    """Constants ride the WAL value codec (sets become ``{"$set": ...}``)."""
+    return encode_value(value)
+
+
+def decode_constant(value: Any) -> Any:
+    return decode_value(value)

@@ -1,0 +1,92 @@
+"""Shared fixtures for the server tests: a reference-free schema that
+every store flavor (plain, sharded, remote) accepts, a per-module
+in-memory server, and a store factory covering all four flavors."""
+
+import itertools
+
+import pytest
+
+from repro.client import connect
+from repro.engine import ObjectStore, ShardedStore
+from repro.server import ServerConfig, ServerThread
+from repro.tm import parse_database
+
+#: Reference-free so ShardedStore accepts it at any shard count: an
+#: object constraint, a key constraint, and an aggregate over a settable
+#: constant — one constraint of every enforcement flavor.
+SERVLAB_SOURCE = """
+Database ServLab
+
+constants
+  CAP = 1000
+
+Class Alpha
+attributes
+  name  : string
+  score : int
+object constraints
+  oc_a: score >= 0
+class constraints
+  cc_key: key name
+  cc_sum: (sum (collect x for x in self) over score) < CAP
+end Alpha
+
+Class Beta
+attributes
+  label : string
+  value : int
+object constraints
+  oc_b: value >= 0
+end Beta
+"""
+
+_tenant_seq = itertools.count(1)
+
+
+@pytest.fixture(scope="session")
+def servlab_source():
+    return SERVLAB_SOURCE
+
+
+@pytest.fixture
+def fresh_tenant():
+    """A callable minting tenant ids no other test has touched."""
+    return lambda: f"t{next(_tenant_seq)}"
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One in-memory server per test module; tests isolate by tenant."""
+    thread = ServerThread(ServerConfig(idle_timeout=0.0))
+    address = thread.start()
+    yield address
+    thread.stop()
+
+
+@pytest.fixture(scope="module")
+def store_factory(server):
+    """``make(flavor)`` → a fresh ServLab store of the requested flavor:
+    ``plain`` / ``sharded`` embedded, ``remote`` / ``remote-sharded``
+    served.  Everything made here is closed at module teardown."""
+    created = []
+
+    def make(flavor):
+        if flavor == "plain":
+            store = ObjectStore(parse_database(SERVLAB_SOURCE))
+        elif flavor == "sharded":
+            store = ShardedStore(parse_database(SERVLAB_SOURCE), 2)
+        elif flavor in ("remote", "remote-sharded"):
+            store = connect(
+                server,
+                tenant=f"t{next(_tenant_seq)}",
+                schema=SERVLAB_SOURCE,
+                shards=2 if flavor == "remote-sharded" else None,
+            )
+        else:  # pragma: no cover - test bug
+            raise AssertionError(f"unknown flavor {flavor!r}")
+        created.append(store)
+        return store
+
+    yield make
+    for store in created:
+        store.close()

@@ -1,0 +1,248 @@
+"""StoreAPI conformance: one shared history, every store flavor.
+
+The tentpole property of the serving PR: a
+:class:`~repro.client.RemoteStore` is *observably identical* to the
+embedded stores.  One deterministic operation history — inserts, updates,
+deletes, constant rebinds, committed/aborted/violating transactions,
+unknown classes and oids — runs against four flavors:
+
+* the embedded :class:`~repro.engine.store.ObjectStore`,
+* the embedded :class:`~repro.engine.sharding.ShardedStore` (2 shards),
+* a remote plain store (served tenant, in-memory),
+* a remote sharded store (served tenant, 2 shards),
+
+and every observable must agree *positionally* (oids differ across
+sharded flavors — ``Alpha#2`` vs ``Alpha#0.2`` — so positions in creation
+order are the cross-flavor identity): per-op outcomes including the
+violated constraint names and error classes, surviving object states,
+audit verdicts, explain cores, and snapshot reads.
+"""
+
+import pytest
+
+from repro.engine.api import SnapshotAPI, StoreAPI, TransactionAPI
+from repro.errors import ConstraintViolation, EngineError
+
+FLAVORS = ("plain", "sharded", "remote", "remote-sharded")
+
+
+class _Abort(Exception):
+    """Client-side abort marker for transaction brackets."""
+
+
+#: The shared history.  Update/delete targets are indexes into the
+#: live-oid list at execution time, so every flavor resolves them
+#: identically without naming flavor-specific oids.
+HISTORY = [
+    ("insert", "Alpha", {"name": "a1", "score": 10}),
+    ("insert", "Alpha", {"name": "a2", "score": 20}),
+    ("insert", "Beta", {"label": "b1", "value": 5}),
+    ("insert", "Alpha", {"name": "bad", "score": -1}),  # oc_a
+    ("insert", "Alpha", {"name": "a1", "score": 1}),  # cc_key duplicate
+    ("update", 0, {"score": 15}),
+    ("update", 0, {"score": -5}),  # oc_a
+    ("update", 2, {"value": 7}),
+    ("delete", 1),
+    ("insert", "Alpha", {"name": "a2", "score": 30}),  # key free again
+    ("txn", [
+        ("insert", "Alpha", {"name": "t1", "score": 1}),
+        ("insert", "Alpha", {"name": "t2", "score": 2}),
+    ], False),
+    ("txn", [  # transient duplicate fixed before commit: must pass
+        ("insert", "Alpha", {"name": "t1", "score": 3}),
+        ("update", -1, {"name": "t3"}),
+    ], False),
+    ("txn", [  # aborted by the client: must leave no trace
+        ("insert", "Alpha", {"name": "gone", "score": 9}),
+    ], True),
+    ("txn", [  # violates at commit: cc_key on t2
+        ("insert", "Alpha", {"name": "t4", "score": 4}),
+        ("insert", "Alpha", {"name": "t2", "score": 5}),
+    ], False),
+    ("constant", 40),
+    ("insert", "Alpha", {"name": "big", "score": 500}),  # cc_sum over CAP
+    ("constant", 1000),
+    ("insert", "Alpha", {"name": "big", "score": 500}),  # now fine
+    ("insert", "NoSuchClass", {"x": 1}),  # UnknownClassError
+    ("update", 99, {"score": 1}),  # index far past live count: wraps
+    ("delete", 0),
+]
+
+
+def apply_history(store, ops):
+    """Run ``ops``; return (positional oids, per-op outcomes)."""
+    oids = []
+    outcomes = []
+
+    def target(idx):
+        live = [oid for oid in oids if oid is not None]
+        return live[idx % len(live)] if live else None
+
+    def one(op):
+        kind = op[0]
+        if kind == "insert":
+            _, class_name, fields = op
+            oids.append(store.insert(class_name, **fields).oid)
+        elif kind == "update":
+            _, idx, fields = op
+            store.update(target(idx), **fields)
+        elif kind == "delete":
+            _, idx = op
+            victim = target(idx)
+            store.delete(victim)
+            oids[oids.index(victim)] = None
+        elif kind == "constant":
+            store.set_constant("CAP", op[1])
+        else:  # pragma: no cover - history bug
+            raise AssertionError(f"unknown op {kind!r}")
+        return "ok"
+
+    for op in ops:
+        checkpoint = list(oids)
+        try:
+            if op[0] == "txn":
+                _, subops, abort = op
+                with store.transaction():
+                    for sub in subops:
+                        one(sub)
+                    if abort:
+                        raise _Abort()
+                outcomes.append(("txn-ok",))
+            else:
+                outcomes.append((one(op),))
+        except _Abort:
+            oids[:] = checkpoint
+            outcomes.append(("abort",))
+        except ConstraintViolation as exc:
+            oids[:] = checkpoint
+            outcomes.append(("violation", exc.constraint_names))
+        except EngineError as exc:
+            oids[:] = checkpoint
+            outcomes.append(("error", type(exc).__name__))
+    return oids, outcomes
+
+
+def observable_state(store, oids):
+    """States of surviving objects, in creation order (oid-agnostic)."""
+    survivors = []
+    for oid in oids:
+        if oid is None:
+            continue
+        obj = store.get(oid)
+        survivors.append((obj.class_name, dict(obj.state)))
+    return survivors
+
+
+@pytest.fixture(scope="module")
+def traces(store_factory):
+    """Run the whole history once per flavor; tests compare the traces."""
+    result = {}
+    for flavor in FLAVORS:
+        store = store_factory(flavor)
+        oids, outcomes = apply_history(store, HISTORY)
+        result[flavor] = {"store": store, "oids": oids, "outcomes": outcomes}
+    return result
+
+
+def test_every_flavor_satisfies_store_api(store_factory):
+    for flavor in FLAVORS:
+        store = store_factory(flavor)
+        assert isinstance(store, StoreAPI), flavor
+        assert isinstance(store.transaction(), TransactionAPI), flavor
+        with store.snapshot() as snapshot:
+            assert isinstance(snapshot, SnapshotAPI), flavor
+
+
+def test_outcomes_identical_across_flavors(traces):
+    reference = traces["plain"]["outcomes"]
+    # The history must actually exercise the interesting paths.
+    assert ("violation", ("ServLab.Alpha.oc_a",)) in reference
+    assert any(
+        outcome[0] == "violation"
+        and "ServLab.Alpha.cc_key" in outcome[1]
+        for outcome in reference
+    )
+    assert ("abort",) in reference
+    assert ("error", "UnknownClassError") in reference
+    for flavor in FLAVORS[1:]:
+        assert traces[flavor]["outcomes"] == reference, flavor
+
+
+def test_survivors_identical_across_flavors(traces):
+    reference = observable_state(
+        traces["plain"]["store"], traces["plain"]["oids"]
+    )
+    assert reference, "history must leave survivors"
+    for flavor in FLAVORS[1:]:
+        entry = traces[flavor]
+        assert observable_state(entry["store"], entry["oids"]) == reference, (
+            flavor
+        )
+
+
+def test_liveness_pattern_and_len_identical(traces):
+    reference = [oid is None for oid in traces["plain"]["oids"]]
+    for flavor in FLAVORS[1:]:
+        assert [oid is None for oid in traces[flavor]["oids"]] == reference
+    sizes = {flavor: len(traces[flavor]["store"]) for flavor in FLAVORS}
+    assert len(set(sizes.values())) == 1, sizes
+
+
+def test_audit_and_snapshots_agree(traces):
+    for flavor in FLAVORS:
+        assert traces[flavor]["store"].audit() == [], flavor
+        assert traces[flavor]["store"].check_all() == [], flavor
+    reference = None
+    for flavor in FLAVORS:
+        entry = traces[flavor]
+        with entry["store"].snapshot() as snapshot:
+            seen = observable_state(snapshot, entry["oids"])
+            live = sum(1 for oid in entry["oids"] if oid is not None)
+            assert len(snapshot) == live, flavor
+        if reference is None:
+            reference = seen
+        else:
+            assert seen == reference, flavor
+
+
+def test_standing_violations_audit_and_explain_identically(store_factory):
+    """Bypass commit validation, then compare audit verdicts and conflict
+    cores across an embedded and a remote store."""
+    reports = {}
+    for flavor in ("plain", "remote"):
+        store = store_factory(flavor)
+        store.insert("Alpha", name="k1", score=1)
+        with store.transaction(validate=False):
+            store.insert("Alpha", name="k1", score=2)  # duplicate key
+        verdicts = [(v.constraint_name, v.detail) for v in store.audit()]
+        cores = store.explain_violations()
+        reports[flavor] = {
+            "verdicts": verdicts,
+            "cores": [
+                (core.constraint_name, core.kind, len(core.members))
+                for core in cores
+            ],
+        }
+    assert reports["plain"]["verdicts"], "violation must stand"
+    assert reports["plain"]["cores"], "explain must find cores"
+    assert reports["remote"] == reports["plain"]
+
+
+def test_remote_violation_carries_cores_like_embedded(store_factory):
+    """A commit-time rejection delivers the same structured payload
+    remotely as the embedded bracket raises in-process."""
+    failures = {}
+    for flavor in ("plain", "remote"):
+        store = store_factory(flavor)
+        store.insert("Alpha", name="dup", score=1)
+        with pytest.raises(ConstraintViolation) as excinfo:
+            with store.transaction():
+                store.insert("Alpha", name="dup", score=2)
+        failures[flavor] = excinfo.value
+    emb, rem = failures["plain"], failures["remote"]
+    assert rem.constraint_names == emb.constraint_names
+    assert rem.violations == emb.violations
+    assert [core.constraint_name for core in rem.cores] == [
+        core.constraint_name for core in emb.cores
+    ]
+    assert str(rem) == str(emb)

@@ -1,0 +1,222 @@
+"""Wire-protocol unit tests: framing, codecs, and the typed error mapping.
+
+No server here — these exercise :mod:`repro.server.protocol` directly,
+including the property the client leans its whole error model on: an
+engine exception encoded on one end decodes to the *same class* with the
+same structured payload on the other.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.engine.enforcement import Violation
+from repro.engine.explain import ConflictCore, CoreMember
+from repro.engine.objects import DBObject
+from repro.errors import (
+    AdmissionError,
+    ConnectionLostError,
+    ConstraintViolation,
+    ParseError,
+    ProtocolError,
+    SchemaError,
+    ServerError,
+    StorePoisonedError,
+)
+from repro.server import protocol
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def test_frame_roundtrip():
+    message = {"id": 7, "op": "insert", "state": {"x": 1.5, "y": [1, 2]}}
+    frame = protocol.pack_frame(message)
+    length = protocol.frame_length(frame[:4])
+    assert length == len(frame) - 4
+    assert protocol.decode_payload(frame[4:], "json") == message
+
+
+def test_frame_length_refuses_oversize_before_allocation():
+    prefix = (protocol.MAX_FRAME_BYTES + 1).to_bytes(4, "big")
+    with pytest.raises(ProtocolError, match="exceeds"):
+        protocol.frame_length(prefix)
+
+
+def test_frame_length_refuses_truncated_prefix():
+    with pytest.raises(ProtocolError, match="truncated"):
+        protocol.frame_length(b"\x00\x00")
+
+
+def test_decode_payload_rejects_garbage_and_non_mappings():
+    with pytest.raises(ProtocolError, match="undecodable"):
+        protocol.decode_payload(b"\xff\xfe not json", "json")
+    with pytest.raises(ProtocolError, match="mapping"):
+        protocol.decode_payload(b"[1,2,3]", "json")
+    with pytest.raises(ProtocolError, match="unknown frame codec"):
+        protocol.decode_payload(b"{}", "no-such-codec")
+
+
+def test_recv_frame_reassembles_dribbled_bytes():
+    """A frame delivered one byte at a time must still decode whole."""
+    left, right = socket.socketpair()
+    frame = protocol.pack_frame({"id": 1, "op": "hello"})
+
+    def dribble():
+        for i in range(len(frame)):
+            left.sendall(frame[i : i + 1])
+        left.close()
+
+    feeder = threading.Thread(target=dribble)
+    feeder.start()
+    try:
+        assert protocol.recv_frame(right) == {"id": 1, "op": "hello"}
+        with pytest.raises(ConnectionLostError):
+            protocol.recv_frame(right)  # feeder closed: EOF at boundary
+    finally:
+        feeder.join()
+        right.close()
+
+
+def test_recv_frame_mid_frame_eof_is_connection_lost():
+    left, right = socket.socketpair()
+    frame = protocol.pack_frame({"id": 1, "op": "hello"})
+    left.sendall(frame[: len(frame) - 3])
+    left.close()
+    try:
+        with pytest.raises(ConnectionLostError, match="mid-frame"):
+            protocol.recv_frame(right)
+    finally:
+        right.close()
+
+
+def test_negotiate_codec_always_lands_on_a_speakable_codec():
+    assert protocol.negotiate_codec(None) == "json"
+    assert protocol.negotiate_codec("json") == "json"
+    # msgpack is negotiated only when importable; either way the answer
+    # must be a codec this process actually speaks.
+    assert protocol.negotiate_codec("msgpack") in protocol.available_codecs()
+    assert protocol.negotiate_codec("no-such-codec") == "json"
+    assert "json" in protocol.available_codecs()
+
+
+# -- object / violation / core codecs ---------------------------------------
+
+
+def test_object_roundtrip_preserves_set_values():
+    obj = DBObject(
+        "Alpha#3", "Alpha", {"name": "a", "tags": frozenset({"x", "y"})}
+    )
+    decoded = protocol.decode_object(protocol.encode_object(obj))
+    assert decoded.oid == "Alpha#3"
+    assert decoded.class_name == "Alpha"
+    assert decoded.state["tags"] == frozenset({"x", "y"})
+    # The wire form is json-safe: sets ride the WAL's {"$set": ...} codec.
+    protocol.pack_frame({"object": protocol.encode_object(obj)})
+
+
+def test_core_roundtrip_compares_equal_to_the_original():
+    core = ConflictCore(
+        constraint_name="ServLab.Alpha.cc_key",
+        kind="class",
+        members=(
+            CoreMember("Alpha#1", "Alpha", reads=("name",)),
+            CoreMember(
+                "Alpha#2", "Alpha", bindings=(("x", "Alpha#2"),),
+                reads=("name",),
+            ),
+        ),
+        verdict="falsy",
+        minimal=True,
+        checks=5,
+    )
+    decoded = protocol.decode_core(protocol.encode_core(core))
+    assert decoded == core  # ConflictCore equality covers members
+    assert decoded.oids() == ("Alpha#1", "Alpha#2")
+    assert decoded.describe() == core.describe()
+
+
+# -- error mapping -----------------------------------------------------------
+
+
+def _roundtrip(exc):
+    return protocol.decode_error(protocol.encode_error(exc))
+
+
+def test_constraint_violation_roundtrips_with_structure():
+    violation = ConstraintViolation(
+        "transaction",
+        "2 constraint(s) violated",
+        violations=[
+            Violation("ServLab.Alpha.oc_a", "object Alpha#1"),
+            Violation("ServLab.Alpha.cc_key", "duplicate key"),
+        ],
+        cores=[
+            ConflictCore(
+                constraint_name="ServLab.Alpha.cc_key",
+                kind="class",
+                members=(CoreMember("Alpha#1", "Alpha"),),
+            )
+        ],
+    )
+    decoded = _roundtrip(violation)
+    assert type(decoded) is ConstraintViolation
+    assert decoded.constraint_name == "transaction"
+    assert decoded.constraint_names == (
+        "ServLab.Alpha.oc_a",
+        "ServLab.Alpha.cc_key",
+    )
+    assert decoded.violations == violation.violations
+    assert decoded.cores == violation.cores
+    assert str(decoded) == str(violation)
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        StorePoisonedError("store degraded to read-only"),
+        SchemaError("tenant 'x' is not registered"),
+        ProtocolError("unknown operation 'frobnicate'"),
+        ConnectionLostError("peer closed"),
+    ],
+)
+def test_plain_errors_roundtrip_as_their_own_class(exc):
+    decoded = _roundtrip(exc)
+    assert type(decoded) is type(exc)
+    assert str(decoded) == str(exc)
+
+
+def test_admission_error_keeps_retryable_flag():
+    assert _roundtrip(AdmissionError("full", retryable=True)).retryable is True
+    assert _roundtrip(AdmissionError("no", retryable=False)).retryable is False
+
+
+def test_parse_error_keeps_position():
+    decoded = _roundtrip(ParseError("bad token", line=3, column=9))
+    assert type(decoded) is ParseError
+    assert (decoded.line, decoded.column) == (3, 9)
+
+
+def test_unknown_kind_degrades_to_server_error():
+    decoded = protocol.decode_error(
+        {"kind": "FutureError", "message": "from a newer server"}
+    )
+    assert type(decoded) is ServerError
+    assert "FutureError" in str(decoded)
+    assert "from a newer server" in str(decoded)
+
+
+def test_non_repro_exception_encodes_and_degrades():
+    encoded = protocol.encode_error(RuntimeError("engine invariant broken"))
+    decoded = protocol.decode_error(encoded)
+    assert type(decoded) is ServerError
+    assert "engine invariant broken" in str(decoded)
+
+
+def test_response_shapes():
+    ok = protocol.ok_response(5, value=1)
+    assert ok == {"id": 5, "ok": True, "value": 1}
+    err = protocol.error_response(6, SchemaError("nope"))
+    assert err["id"] == 6 and err["ok"] is False
+    assert err["error"]["kind"] == "SchemaError"
